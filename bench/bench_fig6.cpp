@@ -1,0 +1,17 @@
+/// \file bench_fig6.cpp
+/// Reproduces Fig. 6: HDLock security validation on the *non-binary* HDC
+/// model — the Fig. 5 experiment with the cosine criterion.
+///
+/// Without binarization the observed difference H^1 - H^M equals the probed
+/// feature's term exactly, so the correct guess reaches cosine = 1 while any
+/// single wrong parameter collapses the similarity to ~0.  The conclusion is
+/// the same as Fig. 5: one wrong parameter ruins the mapping, the joint
+/// (D*P)^L search stands.
+
+#include "lock_sweep_common.hpp"
+
+int main(int argc, char** argv) {
+    return hdlock::bench::run_lock_sweep_bench(
+        argc, argv, /*binary_oracle=*/false, /*cosine_view=*/true,
+        "Fig. 6: single-parameter sweeps against HDLock, non-binary HDC (cosine criterion)");
+}

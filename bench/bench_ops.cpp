@@ -1,0 +1,214 @@
+/// \file bench_ops.cpp
+/// google-benchmark micro-costs behind the paper's overhead claims, plus the
+/// ablations called out in DESIGN.md §4:
+///
+///  - MAP operator kernels (bind, rotate, Hamming) across dimensions;
+///  - record encoding: bit-sliced column accumulation vs. the naive
+///    per-element reference (the encoder hot-loop ablation);
+///  - Eq. 9 feature materialization cost vs. the number of key layers;
+///  - the feature attack's full-distance vs. restricted-index criterion
+///    (the attack-cost ablation);
+///  - the Sec. 4.2 single-parameter sweep, the unit of the (D*P)^L search.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "attack/feature_attack.hpp"
+#include "attack/lock_attack.hpp"
+#include "attack/oracle.hpp"
+#include "core/locked_encoder.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/item_memory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+hdc::BinaryHV random_hv(std::size_t dim, std::uint64_t seed) {
+    util::Xoshiro256ss rng(seed);
+    return hdc::BinaryHV::random(dim, rng);
+}
+
+void BM_BinaryMultiply(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto a = random_hv(dim, 1);
+    const auto b = random_hv(dim, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a * b);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_BinaryMultiply)->Arg(1024)->Arg(4096)->Arg(10000)->Arg(16384);
+
+void BM_BinaryRotate(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto hv = random_hv(dim, 3);
+    std::size_t k = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hv.rotated(k));
+        k = (k * 31 + 7) % dim;  // vary the shift so no branch predictor wins
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_BinaryRotate)->Arg(1024)->Arg(10000);
+
+void BM_Hamming(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto a = random_hv(dim, 4);
+    const auto b = random_hv(dim, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.hamming(b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Hamming)->Arg(1024)->Arg(10000);
+
+void BM_IntHVSign(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    util::Xoshiro256ss rng(6);
+    hdc::IntHV sums(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        sums[j] = static_cast<std::int32_t>(rng.next_below(64)) - 32;
+    }
+    for (auto _ : state) {
+        util::Xoshiro256ss tie_rng(7);
+        benchmark::DoNotOptimize(sums.sign(tie_rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_IntHVSign)->Arg(1024)->Arg(10000);
+
+/// Encoder hot loop: bit-sliced accumulation (the shipping implementation).
+void BM_EncodeBitsliced(benchmark::State& state) {
+    const auto n_features = static_cast<std::size_t>(state.range(0));
+    hdc::ItemMemoryConfig config;
+    config.dim = 4096;
+    config.n_features = n_features;
+    config.n_levels = 16;
+    config.seed = 11;
+    const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+    const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
+
+    std::vector<int> levels(n_features);
+    for (std::size_t i = 0; i < n_features; ++i) levels[i] = static_cast<int>(i % 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(encoder.encode(levels));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n_features) * 4096);
+}
+BENCHMARK(BM_EncodeBitsliced)->Arg(64)->Arg(256)->Arg(784);
+
+/// Ablation: the naive per-element Eq. 2 reference the tests compare against.
+void BM_EncodeReference(benchmark::State& state) {
+    const auto n_features = static_cast<std::size_t>(state.range(0));
+    hdc::ItemMemoryConfig config;
+    config.dim = 4096;
+    config.n_features = n_features;
+    config.n_levels = 16;
+    config.seed = 11;
+    const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+    const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
+
+    std::vector<int> levels(n_features);
+    for (std::size_t i = 0; i < n_features; ++i) levels[i] = static_cast<int>(i % 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(encoder.encode_reference(levels));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n_features) * 4096);
+}
+BENCHMARK(BM_EncodeReference)->Arg(64)->Arg(256)->Arg(784);
+
+/// Eq. 9 product cost per feature as the key deepens (bench_fig9's software
+/// cross-check, isolated).
+void BM_MaterializeFeature(benchmark::State& state) {
+    const auto n_layers = static_cast<std::size_t>(state.range(0));
+    PublicStoreConfig config;
+    config.dim = 10000;
+    config.pool_size = 64;
+    config.n_levels = 2;
+    config.seed = 13;
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(config, mapping);
+
+    std::vector<SubKeyEntry> sub_key(n_layers);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+        sub_key[l] = SubKeyEntry{static_cast<std::uint32_t>((l * 17 + 3) % config.pool_size),
+                                 static_cast<std::uint32_t>(l * 991 + 7)};
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(LockedEncoder::materialize_feature(store, sub_key));
+    }
+}
+BENCHMARK(BM_MaterializeFeature)->DenseRange(1, 5);
+
+struct AttackFixture {
+    Deployment deployment;
+    std::shared_ptr<attack::EncodingOracle> oracle;
+    ValueMapping level_to_slot;
+
+    explicit AttackFixture(std::size_t n_features, std::size_t dim, std::size_t n_layers) {
+        DeploymentConfig config;
+        config.dim = dim;
+        config.n_features = n_features;
+        config.n_levels = 8;
+        config.n_layers = n_layers;
+        config.seed = 17;
+        deployment = provision(config);
+        oracle = std::make_shared<attack::EncodingOracle>(deployment.encoder);
+        level_to_slot = deployment.secure->value_mapping();
+    }
+};
+
+/// Ablation: full-distance criterion (Eq. 8 over every dimension).
+void BM_FeatureAttackFull(benchmark::State& state) {
+    const AttackFixture fixture(/*n_features=*/96, /*dim=*/2048, /*n_layers=*/0);
+    attack::FeatureAttackConfig config;
+    config.criterion = attack::DistanceCriterion::full;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attack::extract_feature_mapping(
+            *fixture.deployment.store, *fixture.oracle, fixture.level_to_slot, config));
+    }
+}
+BENCHMARK(BM_FeatureAttackFull)->Unit(benchmark::kMillisecond);
+
+/// Ablation: restricted-index criterion (distance only on the flipped set I).
+void BM_FeatureAttackRestricted(benchmark::State& state) {
+    const AttackFixture fixture(/*n_features=*/96, /*dim=*/2048, /*n_layers=*/0);
+    attack::FeatureAttackConfig config;
+    config.criterion = attack::DistanceCriterion::restricted;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attack::extract_feature_mapping(
+            *fixture.deployment.store, *fixture.oracle, fixture.level_to_slot, config));
+    }
+}
+BENCHMARK(BM_FeatureAttackRestricted)->Unit(benchmark::kMillisecond);
+
+/// One Sec. 4.2 parameter sweep: D guesses, the unit step of the (D*P)^L
+/// joint search whose total the paper extrapolates.
+void BM_LockRotationSweep(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const AttackFixture fixture(/*n_features=*/32, dim, /*n_layers=*/2);
+    attack::LockSweepConfig config;
+    config.parameter = attack::LockParameter::rotation;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attack::sweep_lock_parameter(
+            *fixture.deployment.store, *fixture.oracle, fixture.deployment.secure->key(),
+            fixture.level_to_slot, config));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));  // guesses per sweep
+}
+BENCHMARK(BM_LockRotationSweep)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

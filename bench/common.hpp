@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared command-line handling for the table/figure reproduction binaries.
+///
+/// Every bench accepts:
+///   --csv        emit machine-readable CSV instead of aligned text tables
+///   --quick      reduced dimensionality/dataset sizes (CI-friendly)
+///   --full       paper-scale parameters where the default is reduced
+///   --seed=S     override the experiment seed
+/// Unknown flags print usage and exit non-zero, so typos never silently run
+/// the wrong experiment.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+namespace hdlock::bench {
+
+struct BenchArgs {
+    bool csv = false;
+    bool quick = false;
+    bool full = false;
+    std::uint64_t seed = 1;
+};
+
+inline BenchArgs parse_args(int argc, char** argv, std::string_view description) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--csv") {
+            args.csv = true;
+        } else if (arg == "--quick") {
+            args.quick = true;
+        } else if (arg == "--full") {
+            args.full = true;
+        } else if (arg.starts_with("--seed=")) {
+            args.seed = std::strtoull(std::string(arg.substr(7)).c_str(), nullptr, 10);
+        } else {
+            std::cerr << description << "\n\nusage: " << argv[0]
+                      << " [--csv] [--quick] [--full] [--seed=S]\n";
+            std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
+        }
+    }
+    if (args.quick && args.full) {
+        std::cerr << "--quick and --full are mutually exclusive\n";
+        std::exit(2);
+    }
+    return args;
+}
+
+/// Prints a table as text or CSV per the parsed flags, preceded in text mode
+/// by a "== title ==" heading.
+template <typename Table>
+void emit(const BenchArgs& args, const std::string& title, const Table& table) {
+    if (args.csv) {
+        std::cout << table.to_csv();
+    } else {
+        std::cout << "== " << title << " ==\n" << table.to_string() << '\n';
+    }
+}
+
+}  // namespace hdlock::bench

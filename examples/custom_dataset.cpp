@@ -1,0 +1,86 @@
+/// \file custom_dataset.cpp
+/// Bringing your own data: CSV round-trip, training on a loaded dataset, and
+/// persisting / restoring the trained artifacts with the binary serializers.
+///
+///   $ ./custom_dataset [workdir]             (default: ./custom_dataset_out)
+///
+/// The synthetic generator stands in for "your" data here so the example is
+/// self-contained; point data::load_csv at any numeric CSV with an integer
+/// label column to use real data.
+
+#include <filesystem>
+#include <iostream>
+
+#include "core/locked_encoder.hpp"
+#include "data/loaders.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/classifier.hpp"
+#include "util/serialize.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hdlock;
+    namespace fs = std::filesystem;
+
+    const fs::path workdir = argc > 1 ? argv[1] : "custom_dataset_out";
+    fs::create_directories(workdir);
+
+    // --- Pretend this CSV came from your pipeline.
+    data::SyntheticSpec spec;
+    spec.name = "sensors";
+    spec.n_features = 24;
+    spec.n_classes = 3;
+    spec.n_train = 300;
+    spec.n_test = 120;
+    spec.n_levels = 10;
+    spec.noise = 0.10;
+    spec.seed = 2024;
+    const auto generated = data::make_benchmark(spec);
+    data::save_csv(generated.train, workdir / "train.csv");
+    data::save_csv(generated.test, workdir / "test.csv");
+    std::cout << "wrote " << (workdir / "train.csv").string() << " and test.csv\n";
+
+    // --- Load them back (label in the last column by default).
+    const auto train = data::load_csv(workdir / "train.csv");
+    const auto test = data::load_csv(workdir / "test.csv");
+    std::cout << "loaded " << train.n_samples() << " train / " << test.n_samples()
+              << " test samples, " << train.n_features() << " features, " << train.n_classes
+              << " classes\n";
+
+    // --- Provision, train, evaluate.
+    DeploymentConfig device;
+    device.dim = 4096;
+    device.n_features = train.n_features();
+    device.n_levels = spec.n_levels;
+    device.n_layers = 2;
+    device.seed = 11;
+    const Deployment deployment = provision(device);
+
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = hdc::ModelKind::non_binary;
+    const auto classifier = hdc::HdcClassifier::fit(train, deployment.encoder, pipeline);
+    std::cout << "trained; test accuracy " << classifier.evaluate(test) << "\n";
+
+    // --- Persist the owner's artifacts: model, key, public store.
+    util::save_file(classifier.model(), workdir / "model.hdc");
+    util::save_file(deployment.secure->key(), workdir / "key.bin");
+    util::save_file(*deployment.store, workdir / "public_store.bin");
+    std::cout << "saved model.hdc (" << fs::file_size(workdir / "model.hdc") << " B), key.bin ("
+              << fs::file_size(workdir / "key.bin") << " B), public_store.bin ("
+              << fs::file_size(workdir / "public_store.bin") << " B)\n";
+
+    // --- Restore and check the round trip end to end.
+    const auto restored_model = util::load_file<hdc::HdcModel>(workdir / "model.hdc");
+    const auto restored_key = util::load_file<LockKey>(workdir / "key.bin");
+    const auto restored_store =
+        std::make_shared<const PublicStore>(util::load_file<PublicStore>(workdir / "public_store.bin"));
+
+    const LockedEncoder restored_encoder(restored_store, restored_key,
+                                         deployment.secure->value_mapping(),
+                                         deployment.encoder->tie_seed());
+    const std::vector<int> probe(train.n_features(), 1);
+    const bool identical = restored_encoder.encode(probe) == deployment.encoder->encode(probe);
+    std::cout << "restored encoder reproduces the original encoding: "
+              << (identical ? "yes" : "NO -- round-trip bug") << "\n";
+    std::cout << "restored model classes: " << restored_model.n_classes() << "\n";
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/// \file hw_cost_explorer.cpp
+/// Interactive exploration of the encoder datapath cost model behind Fig. 9:
+/// how key depth, datapath width and memory ports trade off against the
+/// attack complexity bought.
+///
+///   $ ./hw_cost_explorer [N] [D] [P]         (defaults: 784 10000 784)
+///
+/// Prints, for L = 0..5: encode cycles, relative overhead, microseconds at
+/// 200 MHz, the log10 attack complexity, and the secure-memory footprint —
+/// the security-vs-latency trade-off table a deployment engineer would use
+/// to pick L (the paper recommends L = 2: 10 orders of magnitude for 21%
+/// latency).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/complexity.hpp"
+#include "hw/pipeline_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hdlock;
+
+    const std::size_t n_features = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 784;
+    const std::size_t dim = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10000;
+    const std::size_t pool = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : n_features;
+    if (n_features == 0 || dim == 0 || pool == 0) {
+        std::cerr << "usage: " << argv[0] << " [N] [D] [P]\n";
+        return 2;
+    }
+
+    const hw::HwConfig hw_config;
+    std::cout << "HDLock deployment explorer -- N=" << n_features << ", D=" << dim
+              << ", P=" << pool << " (datapath " << hw_config.datapath_width << "b, "
+              << hw_config.memory_ports << " port(s), " << hw_config.clock_mhz << " MHz)\n\n";
+
+    util::TextTable table({"L", "cycles/sample", "relative", "us/sample", "log10_guesses",
+                           "attack_gain", "secure_mem"});
+    for (std::size_t layers = 0; layers <= 5; ++layers) {
+        const hw::EncoderPipelineModel model(hw_config, dim, n_features, layers);
+        const auto footprint = complexity::footprint(n_features, dim, pool, layers,
+                                                     /*n_levels=*/16, /*n_classes=*/10);
+        table.add_row(
+            {layers == 0 ? "0 (off)" : std::to_string(layers),
+             std::to_string(model.cycles()), util::format_fixed(model.relative_to_baseline(), 3),
+             util::format_fixed(model.encode_cost().microseconds(hw_config.clock_mhz), 1),
+             util::format_fixed(complexity::log10_guesses(n_features, dim, pool, layers), 2),
+             util::format_pow10(complexity::security_gain_log10(n_features, dim, pool, layers)),
+             util::format_bits(footprint.secure_total_bits())});
+    }
+    std::cout << table.to_string();
+
+    std::cout << "\npublic memory (pool + values + class HVs): "
+              << util::format_bits(complexity::footprint(n_features, dim, pool, 2, 16, 10)
+                                       .public_total_bits())
+              << " -- the threat model's point: the secure column above is what fits in "
+                 "tamper-proof storage, the public blob does not\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/// \file sequence_classification.cpp
+/// HDLock beyond record encoders: locking the *symbol memory* of an n-gram
+/// sequence classifier (the encoding family used by HDC text / voice / DNA
+/// workloads such as GenieHD).
+///
+///   $ ./sequence_classification
+///
+/// Three synthetic "languages" are defined by their preferred symbol
+/// transitions; sequences are classified from trigram statistics.  The demo
+/// trains the same model over an unprotected symbol memory and over an
+/// HDLock-materialized one (Eq. 9 products of pooled bases), showing equal
+/// accuracy — and prints the key-search complexity an attacker faces to
+/// reason the locked alphabet.
+
+#include <iostream>
+#include <vector>
+
+#include "core/complexity.hpp"
+#include "core/locked_encoder.hpp"
+#include "hdc/model.hpp"
+#include "hdc/ngram_encoder.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+constexpr std::size_t kDim = 8192;
+constexpr std::size_t kAlphabet = 12;
+constexpr int kClasses = 3;
+constexpr std::size_t kGram = 3;
+constexpr std::size_t kSeqLen = 64;
+
+std::vector<int> language_sample(int cls, util::Xoshiro256ss& rng) {
+    std::vector<int> sequence(kSeqLen);
+    sequence[0] = static_cast<int>(rng.next_below(kAlphabet));
+    for (std::size_t t = 1; t < kSeqLen; ++t) {
+        if (rng.next_double() < 0.8) {
+            // Each "language" walks the alphabet with its own stride.
+            sequence[t] = static_cast<int>(
+                (static_cast<std::size_t>(sequence[t - 1]) + static_cast<std::size_t>(cls) * 2 +
+                 1) %
+                kAlphabet);
+        } else {
+            sequence[t] = static_cast<int>(rng.next_below(kAlphabet));
+        }
+    }
+    return sequence;
+}
+
+hdc::EncodedBatch encode_corpus(const hdc::NGramEncoder& encoder, std::size_t per_class,
+                                std::uint64_t seed) {
+    util::Xoshiro256ss rng(seed);
+    hdc::EncodedBatch batch;
+    for (std::size_t s = 0; s < per_class * kClasses; ++s) {
+        const int cls = static_cast<int>(s % kClasses);
+        const auto sequence = language_sample(cls, rng);
+        batch.non_binary.push_back(encoder.encode(sequence));
+        batch.binary.push_back(encoder.encode_binary(sequence));
+        batch.labels.push_back(cls);
+    }
+    return batch;
+}
+
+double run(const hdc::NGramEncoder& encoder) {
+    const auto train = encode_corpus(encoder, 60, 0xAAA);
+    const auto test = encode_corpus(encoder, 30, 0xBBB);
+    hdc::TrainConfig config;
+    config.kind = hdc::ModelKind::binary;
+    config.retrain_epochs = 8;
+    const auto model = hdc::HdcModel::train(train, kClasses, config);
+    return model.evaluate(test);
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "n-gram sequence classification, " << kClasses << " synthetic languages ("
+              << kAlphabet << "-symbol alphabet, " << kGram << "-grams, D=" << kDim << ")\n\n";
+
+    // Unprotected symbol memory: the alphabet hypervectors sit in plain
+    // memory exactly like record-encoder FeaHVs — same vulnerability.
+    const hdc::NGramEncoder plain(hdc::generate_symbol_hvs(kDim, kAlphabet, 5), kGram, 77);
+
+    // HDLock-protected: symbols are Eq. 9 products over a public pool.
+    PublicStoreConfig store_config;
+    store_config.dim = kDim;
+    store_config.pool_size = kAlphabet;
+    store_config.n_levels = 2;
+    store_config.seed = 33;
+    ValueMapping unused;
+    const auto store = PublicStore::generate(store_config, unused);
+    const auto key = LockKey::random(kAlphabet, /*n_layers=*/2, kAlphabet, kDim, /*seed=*/4);
+    const hdc::NGramEncoder locked(materialize_locked_symbols(store, key), kGram, 77);
+
+    util::TextTable table({"symbol memory", "test accuracy", "mapping search space"});
+    table.add_row({"plain (unprotected)", util::format_fixed(run(plain), 3),
+                   util::format_pow10(complexity::log10_guesses(kAlphabet, kDim, kAlphabet, 0))});
+    table.add_row({"HDLock, L=2", util::format_fixed(run(locked), 3),
+                   util::format_pow10(complexity::log10_guesses(kAlphabet, kDim, kAlphabet, 2))});
+    std::cout << table.to_string();
+
+    std::cout << "\nsame accuracy, " << util::format_pow10(complexity::security_gain_log10(
+                                            kAlphabet, kDim, kAlphabet, 2))
+              << "x more expensive to reason the alphabet mapping -- HDLock generalizes to the "
+                 "n-gram encoding family\n";
+    return 0;
+}

@@ -1,0 +1,291 @@
+#include "attack/feature_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdlock::attack {
+
+namespace {
+
+/// Shared per-attack context: the attacker's reconstruction of everything
+/// that does not depend on the probed feature.
+struct AttackContext {
+    const PublicStore& store;
+    const hdc::BinaryHV& val_min;  ///< believed Val_1
+    const hdc::BinaryHV& val_max;  ///< believed Val_M
+    hdc::IntHV s_min;              ///< Val_1 (elementwise) * sum of pool bases
+    std::vector<int> all_min_levels;
+    std::vector<int> max_level_template;
+};
+
+AttackContext make_context(const PublicStore& store, const EncodingOracle& oracle,
+                           std::span<const std::uint32_t> level_to_slot) {
+    HDLOCK_EXPECTS(level_to_slot.size() == store.n_levels(),
+                   "feature attack: value mapping size mismatch");
+    HDLOCK_EXPECTS(oracle.n_features() == store.pool_size(),
+                   "feature attack: requires the baseline threat model with P == N");
+    const auto& val_min = store.value_slot(level_to_slot.front());
+    const auto& val_max = store.value_slot(level_to_slot.back());
+
+    hdc::IntHV pool_sum(store.dim());
+    for (const auto& base : store.bases()) pool_sum.add(base);
+    hdc::IntHV s_min(store.dim());
+    for (std::size_t j = 0; j < store.dim(); ++j) {
+        s_min[j] = val_min.get(j) * pool_sum[j];
+    }
+
+    AttackContext context{store, val_min, val_max, std::move(s_min),
+                          std::vector<int>(oracle.n_features(), 0),
+                          std::vector<int>(oracle.n_features(), 0)};
+    return context;
+}
+
+/// Binary criterion: fraction of positions where sign(S_min + candidate
+/// term) disagrees with the observed output; sign(0) counts half.
+///
+/// `prune_above` enables branch-and-bound: once the mismatch count provably
+/// exceeds that fraction the scan bails out and returns the partial (larger)
+/// fraction.  Candidates pruned this way can never become the best or the
+/// runner-up, so argmin and margins stay exact.
+double binary_candidate_distance(const AttackContext& context, const hdc::BinaryHV& candidate,
+                                 const hdc::BinaryHV& observed,
+                                 std::span<const std::uint32_t> positions,
+                                 double prune_above = 2.0) {
+    if (positions.empty()) return 0.5;
+    const double prune_count = prune_above * static_cast<double>(positions.size());
+    double mismatches = 0.0;
+    for (const std::uint32_t j : positions) {
+        const int val_min = context.val_min.get(j);
+        const int val_max = context.val_max.get(j);
+        const std::int32_t predicted_sum =
+            context.s_min[j] + candidate.get(j) * (val_max - val_min);
+        if (predicted_sum == 0) {
+            mismatches += 0.5;  // tie: the device would have coin-flipped
+        } else if ((predicted_sum > 0 ? 1 : -1) != observed.get(j)) {
+            mismatches += 1.0;
+        }
+        if (mismatches > prune_count) break;
+    }
+    return mismatches / static_cast<double>(positions.size());
+}
+
+/// Non-binary criterion: the output difference H_i - H_min must equal the
+/// candidate term exactly (Sec. 3.2: "the cosine value [is] exactly 1").
+/// `prune_above` works as in binary_candidate_distance.
+double nonbinary_candidate_distance(const AttackContext& context, const hdc::BinaryHV& candidate,
+                                    const hdc::IntHV& observed_diff,
+                                    std::span<const std::uint32_t> positions,
+                                    double prune_above = 2.0) {
+    if (positions.empty()) return 0.5;
+    const auto prune_count = static_cast<std::size_t>(
+        std::min(prune_above, 1.0) * static_cast<double>(positions.size()));
+    std::size_t mismatches = 0;
+    for (const std::uint32_t j : positions) {
+        const int val_min = context.val_min.get(j);
+        const int val_max = context.val_max.get(j);
+        const std::int32_t predicted = candidate.get(j) * (val_max - val_min);
+        if (predicted != observed_diff[j]) {
+            if (++mismatches > prune_count) break;
+        }
+    }
+    return static_cast<double>(mismatches) / static_cast<double>(positions.size());
+}
+
+/// Sample size for the non-binary restricted criterion; wrong candidates
+/// survive a position with probability ~0.5, so 192 positions push the
+/// false-accept rate below 2^-190 before the full-support verification.
+constexpr std::size_t kNonBinarySample = 192;
+
+/// Evenly strided subsample (deterministic; the support order carries no
+/// adversarial structure, so striding is as good as random sampling).
+std::vector<std::uint32_t> sample_support(std::span<const std::uint32_t> support,
+                                          std::size_t max_size) {
+    if (support.size() <= max_size) return {support.begin(), support.end()};
+    std::vector<std::uint32_t> sample;
+    sample.reserve(max_size);
+    const std::size_t stride = support.size() / max_size;
+    for (std::size_t s = 0; s < max_size; ++s) sample.push_back(support[s * stride]);
+    return sample;
+}
+
+std::vector<std::uint32_t> all_positions(std::size_t dim) {
+    std::vector<std::uint32_t> positions(dim);
+    for (std::size_t j = 0; j < dim; ++j) positions[j] = static_cast<std::uint32_t>(j);
+    return positions;
+}
+
+/// Positions where the value hypervectors differ — the support of every
+/// candidate term in the non-binary case.
+std::vector<std::uint32_t> value_support(const AttackContext& context) {
+    std::vector<std::uint32_t> positions;
+    positions.reserve(context.store.dim() / 2 + 64);
+    for (std::size_t j = 0; j < context.store.dim(); ++j) {
+        if (context.val_min.get(j) != context.val_max.get(j)) {
+            positions.push_back(static_cast<std::uint32_t>(j));
+        }
+    }
+    return positions;
+}
+
+}  // namespace
+
+FeatureExtractionResult extract_feature_mapping(const PublicStore& store,
+                                                const EncodingOracle& oracle,
+                                                std::span<const std::uint32_t> level_to_slot,
+                                                const FeatureAttackConfig& config) {
+    AttackContext context = make_context(store, oracle, level_to_slot);
+    const std::size_t n_features = oracle.n_features();
+    const std::size_t pool_size = store.pool_size();
+    const int max_level = static_cast<int>(store.n_levels()) - 1;
+
+    FeatureExtractionResult result;
+    result.feature_to_slot.assign(n_features, 0);
+
+    // Baseline observation shared by every probe.
+    hdc::BinaryHV h_min_binary;
+    hdc::IntHV h_min_nonbinary;
+    if (config.binary_oracle) {
+        h_min_binary = oracle.query_binary(context.all_min_levels);
+    } else {
+        h_min_nonbinary = oracle.query(context.all_min_levels);
+    }
+
+    const std::vector<std::uint32_t> full_support =
+        config.binary_oracle ? all_positions(store.dim()) : value_support(context);
+
+    std::vector<bool> claimed(pool_size, false);
+    double margin_sum = 0.0;
+
+    std::vector<int> crafted = context.all_min_levels;
+    for (std::size_t i = 0; i < n_features; ++i) {
+        crafted[i] = max_level;
+
+        std::vector<std::uint32_t> restricted;
+        hdc::BinaryHV h_probe_binary;
+        hdc::IntHV observed_diff;
+        if (config.binary_oracle) {
+            h_probe_binary = oracle.query_binary(crafted);
+            if (config.criterion == DistanceCriterion::restricted) {
+                // I = indices where the probe flipped the output (Sec. 4.2's
+                // subtraction trick, applied here to the baseline attack).
+                std::vector<util::bits::Word> diff(h_probe_binary.words().size());
+                util::bits::xor_into(diff, h_probe_binary.words(), h_min_binary.words());
+                util::bits::collect_set_bits(diff, store.dim(), restricted);
+            }
+        } else {
+            observed_diff = oracle.query(crafted) - h_min_nonbinary;
+            if (config.criterion == DistanceCriterion::restricted) {
+                // The correct candidate matches the observed difference
+                // *exactly* on the whole support while a wrong one mismatches
+                // every position with probability ~0.5, so a strided sample
+                // of the support separates them with error ~2^-|sample|; the
+                // winner is then verified on the full support below.
+                restricted = sample_support(full_support, kNonBinarySample);
+            }
+        }
+        const std::span<const std::uint32_t> positions =
+            config.criterion == DistanceCriterion::restricted
+                ? std::span<const std::uint32_t>(restricted)
+                : std::span<const std::uint32_t>(full_support);
+
+        struct ScanResult {
+            double best = std::numeric_limits<double>::infinity();
+            double runner_up = std::numeric_limits<double>::infinity();
+            std::size_t best_slot = 0;
+        };
+        const auto scan = [&](std::span<const std::uint32_t> scored_positions) {
+            ScanResult scan_result;
+            for (std::size_t n = 0; n < pool_size; ++n) {
+                if (config.enforce_unique && claimed[n]) continue;
+                // Bail out of a candidate once it provably exceeds the
+                // current runner-up; pruned scores stay above it, so argmin
+                // and the margin are unaffected.
+                const double prune_above =
+                    std::isfinite(scan_result.runner_up) ? scan_result.runner_up : 2.0;
+                const double distance =
+                    config.binary_oracle
+                        ? binary_candidate_distance(context, store.base(n), h_probe_binary,
+                                                    scored_positions, prune_above)
+                        : nonbinary_candidate_distance(context, store.base(n), observed_diff,
+                                                       scored_positions, prune_above);
+                ++result.guesses;
+                if (distance < scan_result.best) {
+                    scan_result.runner_up = scan_result.best;
+                    scan_result.best = distance;
+                    scan_result.best_slot = n;
+                } else if (distance < scan_result.runner_up) {
+                    scan_result.runner_up = distance;
+                }
+            }
+            return scan_result;
+        };
+
+        ScanResult chosen = scan(positions);
+        if (!config.binary_oracle && config.criterion == DistanceCriterion::restricted) {
+            // The sampled scan is a filter; the winner must be exact on the
+            // *full* support (Sec. 3.2's 100%-confidence criterion).  A
+            // failed verification falls back to the exact scan.
+            const double verified = nonbinary_candidate_distance(
+                context, store.base(chosen.best_slot), observed_diff, full_support);
+            if (verified != 0.0) chosen = scan(full_support);
+        }
+        result.feature_to_slot[i] = static_cast<std::uint32_t>(chosen.best_slot);
+        if (config.enforce_unique) claimed[chosen.best_slot] = true;
+        if (std::isfinite(chosen.runner_up)) margin_sum += chosen.runner_up - chosen.best;
+
+        crafted[i] = 0;  // restore the all-minimum template
+    }
+    result.oracle_queries = oracle.query_count();
+    result.mean_margin = margin_sum / static_cast<double>(n_features);
+    return result;
+}
+
+GuessCurve feature_guess_curve(const PublicStore& store, const EncodingOracle& oracle,
+                               std::span<const std::uint32_t> level_to_slot,
+                               std::size_t probe_feature, bool binary_oracle) {
+    HDLOCK_EXPECTS(probe_feature < oracle.n_features(),
+                   "feature_guess_curve: probe feature out of range");
+    AttackContext context = make_context(store, oracle, level_to_slot);
+    const int max_level = static_cast<int>(store.n_levels()) - 1;
+
+    std::vector<int> crafted = context.all_min_levels;
+    crafted[probe_feature] = max_level;
+
+    const std::vector<std::uint32_t> positions =
+        binary_oracle ? std::vector<std::uint32_t>{} : value_support(context);
+    const std::vector<std::uint32_t> full = all_positions(store.dim());
+
+    hdc::BinaryHV h_probe_binary;
+    hdc::IntHV observed_diff;
+    if (binary_oracle) {
+        h_probe_binary = oracle.query_binary(crafted);
+    } else {
+        const hdc::IntHV h_min = oracle.query(context.all_min_levels);
+        observed_diff = oracle.query(crafted) - h_min;
+    }
+
+    GuessCurve curve;
+    curve.distances.reserve(store.pool_size());
+    for (std::size_t n = 0; n < store.pool_size(); ++n) {
+        const double distance =
+            binary_oracle
+                ? binary_candidate_distance(context, store.base(n), h_probe_binary, full)
+                : nonbinary_candidate_distance(context, store.base(n), observed_diff, positions);
+        curve.distances.push_back(distance);
+    }
+
+    curve.best_candidate = static_cast<std::size_t>(
+        std::min_element(curve.distances.begin(), curve.distances.end()) -
+        curve.distances.begin());
+    curve.best_distance = curve.distances[curve.best_candidate];
+    curve.runner_up_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 0; n < curve.distances.size(); ++n) {
+        if (n != curve.best_candidate) {
+            curve.runner_up_distance = std::min(curve.runner_up_distance, curve.distances[n]);
+        }
+    }
+    return curve;
+}
+
+}  // namespace hdlock::attack

@@ -1,0 +1,99 @@
+#include "attack/ip_theft.hpp"
+
+#include "util/timer.hpp"
+
+namespace hdlock::attack {
+
+std::shared_ptr<const hdc::RecordEncoder> build_cloned_encoder(
+    const PublicStore& store, std::span<const std::uint32_t> feature_to_slot,
+    std::span<const std::uint32_t> level_to_slot, std::uint64_t tie_seed) {
+    std::vector<hdc::BinaryHV> feature_hvs;
+    feature_hvs.reserve(feature_to_slot.size());
+    for (const std::uint32_t slot : feature_to_slot) {
+        feature_hvs.push_back(store.base(slot));
+    }
+    std::vector<hdc::BinaryHV> value_hvs;
+    value_hvs.reserve(level_to_slot.size());
+    for (const std::uint32_t slot : level_to_slot) {
+        value_hvs.push_back(store.value_slot(slot));
+    }
+    auto memory = std::make_shared<const hdc::ItemMemory>(
+        hdc::ItemMemory::from_hypervectors(std::move(feature_hvs), std::move(value_hvs)));
+    return std::make_shared<const hdc::RecordEncoder>(std::move(memory), tie_seed);
+}
+
+IpTheftReport steal_model(const data::Dataset& train, const data::Dataset& test,
+                          const IpTheftConfig& config) {
+    // --- Owner side: provision an unprotected device (Sec. 3's baseline).
+    DeploymentConfig deployment_config;
+    deployment_config.dim = config.dim;
+    deployment_config.n_features = train.n_features();
+    deployment_config.n_levels = config.n_levels;
+    deployment_config.n_layers = 0;  // the vulnerable baseline of Sec. 3
+    deployment_config.seed = config.seed;
+    return steal_model(provision(deployment_config), train, test, config);
+}
+
+IpTheftReport steal_model(const Deployment& deployment, const data::Dataset& train,
+                          const data::Dataset& test, const IpTheftConfig& config) {
+    train.validate();
+    test.validate();
+    HDLOCK_EXPECTS(deployment.secure->key().is_plain(),
+                   "steal_model: deployment is locked; use steal_locked_model");
+
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = config.kind;
+    pipeline.train.retrain_epochs = config.retrain_epochs;
+    pipeline.train.seed = util::hash_mix(config.seed, 0x0A11E);
+    const auto victim = hdc::HdcClassifier::fit(train, deployment.encoder, pipeline);
+
+    IpTheftReport report;
+    report.benchmark = train.name;
+    report.original_accuracy = victim.evaluate(test);
+
+    // --- Attacker side: reason the mappings from public memory + oracle.
+    const bool binary_oracle = config.kind == hdc::ModelKind::binary;
+    const EncodingOracle oracle(deployment.encoder);
+    util::WallTimer timer;
+
+    const ValueExtractionResult values =
+        extract_value_mapping(*deployment.store, oracle, binary_oracle);
+
+    FeatureAttackConfig attack_config;
+    attack_config.binary_oracle = binary_oracle;
+    attack_config.criterion = config.criterion;
+    const FeatureExtractionResult features =
+        extract_feature_mapping(*deployment.store, oracle, values.level_to_slot, attack_config);
+    report.reasoning_seconds = timer.elapsed_seconds();
+    report.guesses = features.guesses;
+    report.oracle_queries = oracle.query_count();
+
+    // --- Scoring (experimenter's view): compare against the ground truth.
+    const auto& true_key = deployment.secure->key();
+    const auto& true_mapping = deployment.secure->value_mapping();
+    std::size_t value_hits = 0;
+    for (std::size_t level = 0; level < true_mapping.size(); ++level) {
+        value_hits += values.level_to_slot[level] == true_mapping[level] ? 1u : 0u;
+    }
+    report.value_mapping_accuracy =
+        static_cast<double>(value_hits) / static_cast<double>(true_mapping.size());
+
+    std::size_t feature_hits = 0;
+    for (std::size_t i = 0; i < train.n_features(); ++i) {
+        feature_hits += features.feature_to_slot[i] == true_key.entry(i, 0).base_index ? 1u : 0u;
+    }
+    report.feature_mapping_accuracy =
+        static_cast<double>(feature_hits) / static_cast<double>(train.n_features());
+
+    // --- Attacker trains the duplicate model with the stolen encoder.
+    const auto cloned_encoder =
+        build_cloned_encoder(*deployment.store, features.feature_to_slot, values.level_to_slot,
+                             util::hash_mix(config.seed, 0xC10E));
+    hdc::PipelineConfig clone_pipeline = pipeline;
+    clone_pipeline.train.seed = util::hash_mix(config.seed, 0xC10E7);
+    const auto clone = hdc::HdcClassifier::fit(train, cloned_encoder, clone_pipeline);
+    report.recovered_accuracy = clone.evaluate(test);
+    return report;
+}
+
+}  // namespace hdlock::attack

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file ip_theft.hpp
+/// End-to-end model-stealing experiment (Table 1).
+///
+/// The experiment provisions an *unprotected* deployment, trains the
+/// victim model, then plays the attacker: reason the value mapping, reason
+/// the feature mapping (timed), rebuild a duplicate encoder from public
+/// memory plus the reasoned mappings, and train a clone.  The paper's
+/// finding is that the clone matches the original's accuracy — the IP leaks
+/// completely.
+///
+/// Ground-truth mappings are consulted only *after* the attack, to score
+/// how much of the mapping was recovered; the attack itself runs purely on
+/// (PublicStore, EncodingOracle).
+
+#include <string>
+
+#include "attack/feature_attack.hpp"
+#include "attack/value_attack.hpp"
+#include "core/locked_encoder.hpp"
+#include "data/dataset.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdlock::attack {
+
+struct IpTheftConfig {
+    hdc::ModelKind kind = hdc::ModelKind::binary;
+    std::size_t dim = 4096;       ///< D of the victim deployment
+    std::size_t n_levels = 16;    ///< M
+    int retrain_epochs = 10;      ///< victim and clone training epochs
+    DistanceCriterion criterion = DistanceCriterion::restricted;
+    std::uint64_t seed = 1;
+};
+
+struct IpTheftReport {
+    std::string benchmark;
+    double original_accuracy = 0.0;
+    double recovered_accuracy = 0.0;
+    /// Wall-clock seconds of the reasoning attack (value + feature steps).
+    double reasoning_seconds = 0.0;
+    /// Fraction of value levels / features whose mapping was recovered
+    /// exactly (1.0 = full leak).
+    double value_mapping_accuracy = 0.0;
+    double feature_mapping_accuracy = 0.0;
+    std::uint64_t guesses = 0;
+    std::uint64_t oracle_queries = 0;
+};
+
+/// Runs the complete Table 1 experiment on one dataset pair, provisioning a
+/// fresh unprotected deployment from `config`.
+IpTheftReport steal_model(const data::Dataset& train, const data::Dataset& test,
+                          const IpTheftConfig& config);
+
+/// As above against an existing deployment (its SecureStore must be unsealed
+/// so the experiment can score the recovery against the ground truth).  The
+/// deployment must be unprotected (plain key) — that is the Table 1 setup.
+IpTheftReport steal_model(const Deployment& deployment, const data::Dataset& train,
+                          const data::Dataset& test, const IpTheftConfig& config);
+
+/// Builds the attacker's duplicate encoder from reasoned mappings and public
+/// memory (usable on its own, e.g. for crafting adversarial inputs).
+std::shared_ptr<const hdc::RecordEncoder> build_cloned_encoder(
+    const PublicStore& store, std::span<const std::uint32_t> feature_to_slot,
+    std::span<const std::uint32_t> level_to_slot, std::uint64_t tie_seed);
+
+}  // namespace hdlock::attack

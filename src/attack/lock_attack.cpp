@@ -1,0 +1,193 @@
+#include "attack/lock_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdlock::attack {
+
+namespace {
+
+/// Everything the Sec. 4.2 criterion needs about one probed feature,
+/// computed from exactly two oracle queries (Eq. 11).
+struct LockProbe {
+    bool binary = true;
+    // Binary criterion state: the flip set I and the observed sign there.
+    std::vector<std::uint32_t> flip_positions;
+    std::vector<std::int8_t> observed_sign;  // H^1_Lock[j] for j in I
+    // Non-binary criterion state.
+    hdc::IntHV observed_diff;  // H^1 - H^M
+    // Shared.
+    const hdc::BinaryHV* val_min = nullptr;
+    const hdc::BinaryHV* val_max = nullptr;
+    std::uint64_t oracle_queries = 0;
+};
+
+LockProbe make_probe(const PublicStore& store, const EncodingOracle& oracle,
+                     std::span<const std::uint32_t> level_to_slot, std::size_t feature,
+                     bool binary_oracle) {
+    HDLOCK_EXPECTS(level_to_slot.size() == store.n_levels(),
+                   "lock attack: value mapping size mismatch");
+    HDLOCK_EXPECTS(feature < oracle.n_features(), "lock attack: feature out of range");
+
+    LockProbe probe;
+    probe.binary = binary_oracle;
+    probe.val_min = &store.value_slot(level_to_slot.front());
+    probe.val_max = &store.value_slot(level_to_slot.back());
+
+    std::vector<int> all_min(oracle.n_features(), 0);
+    std::vector<int> probe_input = all_min;
+    probe_input[feature] = static_cast<int>(store.n_levels()) - 1;
+
+    if (binary_oracle) {
+        const hdc::BinaryHV h1 = oracle.query_binary(all_min);
+        const hdc::BinaryHV hm = oracle.query_binary(probe_input);
+        std::vector<util::bits::Word> diff(h1.words().size());
+        util::bits::xor_into(diff, h1.words(), hm.words());
+        util::bits::collect_set_bits(diff, store.dim(), probe.flip_positions);
+        probe.observed_sign.reserve(probe.flip_positions.size());
+        for (const std::uint32_t j : probe.flip_positions) {
+            probe.observed_sign.push_back(static_cast<std::int8_t>(h1.get(j)));
+        }
+    } else {
+        const hdc::IntHV h1 = oracle.query(all_min);
+        const hdc::IntHV hm = oracle.query(probe_input);
+        probe.observed_diff = h1 - hm;
+    }
+    probe.oracle_queries = 2;
+    return probe;
+}
+
+/// Scores one guessed feature hypervector against the probe (Eq. 13);
+/// lower is better, the correct guess scores exactly 0.
+double score_guess(const LockProbe& probe, const hdc::BinaryHV& guess) {
+    if (probe.binary) {
+        if (probe.flip_positions.empty()) return 0.5;
+        std::size_t mismatches = 0;
+        for (std::size_t idx = 0; idx < probe.flip_positions.size(); ++idx) {
+            const std::uint32_t j = probe.flip_positions[idx];
+            // On I, Val_1[j] != Val_M[j], so sign((Val_1 - Val_M)[j] * F[j])
+            // reduces to Val_1[j] * F[j].
+            const int predicted = probe.val_min->get(j) * guess.get(j);
+            if (predicted != probe.observed_sign[idx]) ++mismatches;
+        }
+        return static_cast<double>(mismatches) /
+               static_cast<double>(probe.flip_positions.size());
+    }
+    // Non-binary: 1 - cosine(H1 - HM, (Val_1 - Val_M) * F_guess).
+    std::int64_t dot = 0;
+    std::int64_t predicted_norm_sq = 0;
+    double observed_norm_sq = 0.0;
+    for (std::size_t j = 0; j < guess.dim(); ++j) {
+        const int predicted = (probe.val_min->get(j) - probe.val_max->get(j)) * guess.get(j);
+        const std::int32_t observed = probe.observed_diff[j];
+        dot += static_cast<std::int64_t>(predicted) * observed;
+        predicted_norm_sq += static_cast<std::int64_t>(predicted) * predicted;
+        observed_norm_sq += static_cast<double>(observed) * observed;
+    }
+    const double denom =
+        std::sqrt(static_cast<double>(predicted_norm_sq)) * std::sqrt(observed_norm_sq);
+    if (denom == 0.0) return 1.0;
+    return 1.0 - static_cast<double>(dot) / denom;
+}
+
+}  // namespace
+
+LockSweepResult sweep_lock_parameter(const PublicStore& store, const EncodingOracle& oracle,
+                                     const LockKey& known_key,
+                                     std::span<const std::uint32_t> level_to_slot,
+                                     const LockSweepConfig& config) {
+    HDLOCK_EXPECTS(config.layer < known_key.entries_per_feature(),
+                   "sweep_lock_parameter: layer out of range");
+    const LockProbe probe =
+        make_probe(store, oracle, level_to_slot, config.feature, config.binary_oracle);
+
+    const std::size_t domain =
+        config.parameter == LockParameter::rotation ? store.dim() : store.pool_size();
+
+    // The guessed sub-key: all layers from the known key, one coordinate
+    // swept through its whole domain.
+    std::vector<SubKeyEntry> sub_key(known_key.sub_key(config.feature).begin(),
+                                     known_key.sub_key(config.feature).end());
+
+    LockSweepResult result;
+    result.scores.reserve(domain);
+    result.deciding_positions = probe.flip_positions.size();
+    result.oracle_queries = probe.oracle_queries;
+
+    double best = std::numeric_limits<double>::infinity();
+    double runner_up = std::numeric_limits<double>::infinity();
+    std::size_t best_guess = 0;
+    for (std::size_t v = 0; v < domain; ++v) {
+        if (config.parameter == LockParameter::rotation) {
+            sub_key[config.layer].rotation = static_cast<std::uint32_t>(v);
+        } else {
+            sub_key[config.layer].base_index = static_cast<std::uint32_t>(v);
+        }
+        const hdc::BinaryHV guess = LockedEncoder::materialize_feature(store, sub_key);
+        const double score = score_guess(probe, guess);
+        result.scores.push_back(score);
+        if (score < best) {
+            runner_up = best;
+            best = score;
+            best_guess = v;
+        } else if (score < runner_up) {
+            runner_up = score;
+        }
+    }
+    result.best_guess = best_guess;
+    result.best_score = best;
+    result.runner_up_score = runner_up;
+    return result;
+}
+
+ExhaustiveAttackResult exhaustive_feature_attack(const PublicStore& store,
+                                                 const EncodingOracle& oracle,
+                                                 std::span<const std::uint32_t> level_to_slot,
+                                                 std::size_t feature, std::size_t n_layers,
+                                                 bool binary_oracle) {
+    HDLOCK_EXPECTS(n_layers >= 1, "exhaustive_feature_attack: need at least one layer");
+    const double joint_space = std::pow(
+        static_cast<double>(store.pool_size()) * static_cast<double>(store.dim()),
+        static_cast<double>(n_layers));
+    HDLOCK_EXPECTS(joint_space <= 4e6,
+                   "exhaustive_feature_attack: joint key space too large; this attack exists "
+                   "to demonstrate scaling on toy configurations only");
+
+    const LockProbe probe = make_probe(store, oracle, level_to_slot, feature, binary_oracle);
+
+    ExhaustiveAttackResult result;
+    std::vector<SubKeyEntry> sub_key(n_layers);
+
+    double best = std::numeric_limits<double>::infinity();
+    // Odometer over the (P*D)^L joint space.
+    const std::uint64_t per_layer =
+        static_cast<std::uint64_t>(store.pool_size()) * store.dim();
+    std::uint64_t total = 1;
+    for (std::size_t l = 0; l < n_layers; ++l) total *= per_layer;
+
+    for (std::uint64_t code = 0; code < total; ++code) {
+        std::uint64_t rest = code;
+        for (std::size_t l = 0; l < n_layers; ++l) {
+            const std::uint64_t layer_code = rest % per_layer;
+            rest /= per_layer;
+            sub_key[l].base_index = static_cast<std::uint32_t>(layer_code / store.dim());
+            sub_key[l].rotation = static_cast<std::uint32_t>(layer_code % store.dim());
+        }
+        const hdc::BinaryHV guess = LockedEncoder::materialize_feature(store, sub_key);
+        const double score = score_guess(probe, guess);
+        ++result.guesses;
+        if (score < best) {
+            best = score;
+            result.recovered_sub_key = sub_key;
+            result.recovered_feature_hv = guess;
+            result.ties_at_best = 1;
+        } else if (score == best) {
+            ++result.ties_at_best;
+        }
+    }
+    result.best_score = best;
+    return result;
+}
+
+}  // namespace hdlock::attack

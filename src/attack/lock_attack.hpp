@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file lock_attack.hpp
+/// Reasoning attacks against the HDLock-protected module (Sec. 4.2).
+///
+/// The paper's security validation assumes the strongest sensible attacker:
+/// the value mapping is already known, and for the probed feature all but
+/// one sub-key parameter have been learned.  The attacker crafts the two
+/// inputs of Eq. 11 (all-minimum, and first-feature-maximum), subtracts the
+/// outputs, and keeps the non-zero index set I.  A guessed sub-key is scored
+/// by comparing sign((Val_1 - Val_M) * F_guess) against the observed
+/// difference on I (Eq. 13).  The correct guess scores ~0; any single wrong
+/// parameter randomizes F_guess and pushes the score to ~0.5 — which is why
+/// the joint space (D*P)^L must be searched and the defense holds.
+///
+/// ExhaustiveKeyAttack actually performs that joint search; it is only
+/// feasible for toy configurations and exists to demonstrate both the
+/// criterion's correctness and the cost scaling.
+
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "core/locked_encoder.hpp"
+#include "core/stores.hpp"
+
+namespace hdlock::attack {
+
+/// Which sub-key coordinate the single-parameter sweep perturbs.
+enum class LockParameter {
+    rotation,   ///< k_{i,l}
+    base_index  ///< index(B_{i,l})
+};
+
+struct LockSweepConfig {
+    std::size_t feature = 0;  ///< probed feature (the paper uses feature 1)
+    std::size_t layer = 0;    ///< probed layer l
+    LockParameter parameter = LockParameter::rotation;
+    bool binary_oracle = true;
+};
+
+struct LockSweepResult {
+    /// Score per guessed parameter value, in domain order ([0,D) rotations or
+    /// [0,P) base indices).  Binary: mismatch fraction on I (lower is
+    /// better).  Non-binary: 1 - cosine of Eq. 13 (lower is better, correct
+    /// guess hits 0).
+    std::vector<double> scores;
+    std::size_t best_guess = 0;
+    double best_score = 0.0;
+    double runner_up_score = 0.0;
+    std::size_t deciding_positions = 0;  ///< |I|
+    std::uint64_t oracle_queries = 0;
+};
+
+/// Sweeps one parameter of one sub-key with every other parameter taken from
+/// `known_key` (the worst case of Fig. 5 / Fig. 6).  `level_to_slot` is the
+/// known value mapping (strong attack model of Sec. 4.2).
+LockSweepResult sweep_lock_parameter(const PublicStore& store, const EncodingOracle& oracle,
+                                     const LockKey& known_key,
+                                     std::span<const std::uint32_t> level_to_slot,
+                                     const LockSweepConfig& config);
+
+struct ExhaustiveAttackResult {
+    /// The best-scoring sub-key found by the joint search.
+    std::vector<SubKeyEntry> recovered_sub_key;
+    /// The materialized FeaHV of the best sub-key. Distinct sub-keys can
+    /// materialize the same hypervector (layer order is commutative), so
+    /// success is defined on the materialization.
+    hdc::BinaryHV recovered_feature_hv;
+    double best_score = 0.0;
+    std::uint64_t guesses = 0;  ///< (P*D)^L joint candidates scored
+    /// Number of sub-keys attaining the best score (> 1 for L >= 2 because
+    /// layer permutations alias).
+    std::size_t ties_at_best = 0;
+};
+
+/// Joint search over every sub-key in (P*D)^L for one feature of a locked
+/// module.  Cost grows as (P*D)^L — keep P, D, L tiny.
+ExhaustiveAttackResult exhaustive_feature_attack(const PublicStore& store,
+                                                 const EncodingOracle& oracle,
+                                                 std::span<const std::uint32_t> level_to_slot,
+                                                 std::size_t feature, std::size_t n_layers,
+                                                 bool binary_oracle);
+
+}  // namespace hdlock::attack

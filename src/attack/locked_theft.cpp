@@ -1,0 +1,126 @@
+#include "attack/locked_theft.hpp"
+
+#include <algorithm>
+
+#include "attack/ip_theft.hpp"
+#include "util/timer.hpp"
+
+namespace hdlock::attack {
+
+namespace {
+
+/// True when `recovered` equals the true level->slot mapping or its reverse
+/// (the pairwise-distance scan cannot tell Val_1 from Val_M without Eq. 5/6,
+/// so orientation is the one bit it may miss).
+bool chain_matches(std::span<const std::uint32_t> recovered,
+                   std::span<const std::uint32_t> truth) {
+    if (recovered.size() != truth.size()) return false;
+    if (std::ranges::equal(recovered, truth)) return true;
+    return std::equal(recovered.begin(), recovered.end(), truth.rbegin());
+}
+
+/// Encodes `dataset` with the attacker's encoder but the victim's
+/// discretizer, then scores it against the victim's class hypervectors —
+/// the "does the stolen encoder drive the stolen model" transfer test.
+double transfer_accuracy(const hdc::HdcClassifier& victim, const hdc::Encoder& naive_encoder,
+                         const data::Dataset& dataset) {
+    const bool binary = victim.model().kind() == hdc::ModelKind::binary;
+    hdc::EncodedBatch batch;
+    batch.non_binary.reserve(dataset.n_samples());
+    batch.labels = dataset.y;
+
+    std::vector<int> levels(dataset.n_features());
+    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
+        victim.discretizer().transform_row(dataset.X.row(s), levels);
+        batch.non_binary.push_back(naive_encoder.encode(levels));
+        if (binary) batch.binary.push_back(naive_encoder.encode_binary(levels));
+    }
+    return victim.model().evaluate(batch);
+}
+
+}  // namespace
+
+LockedTheftReport steal_locked_model(const data::Dataset& train, const data::Dataset& test,
+                                     const LockedTheftConfig& config) {
+    HDLOCK_EXPECTS(config.n_layers >= 1, "steal_locked_model: use steal_model for L = 0");
+
+    // --- Owner side: provision the protected device.
+    DeploymentConfig deployment_config;
+    deployment_config.dim = config.dim;
+    deployment_config.n_features = train.n_features();
+    deployment_config.n_levels = config.n_levels;
+    deployment_config.pool_size = config.pool_size;
+    deployment_config.n_layers = config.n_layers;
+    deployment_config.seed = config.seed;
+    return steal_locked_model(provision(deployment_config), train, test, config);
+}
+
+LockedTheftReport steal_locked_model(const Deployment& deployment, const data::Dataset& train,
+                                     const data::Dataset& test,
+                                     const LockedTheftConfig& config) {
+    train.validate();
+    test.validate();
+    HDLOCK_EXPECTS(deployment.secure->key().n_layers() >= 1,
+                   "steal_locked_model: deployment is unprotected; use steal_model");
+
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = config.kind;
+    pipeline.train.retrain_epochs = config.retrain_epochs;
+    pipeline.train.seed = util::hash_mix(config.seed, 0x0A11E);
+    const auto victim = hdc::HdcClassifier::fit(train, deployment.encoder, pipeline);
+
+    LockedTheftReport report;
+    report.benchmark = train.name;
+    report.n_layers = deployment.secure->key().n_layers();
+    report.original_accuracy = victim.evaluate(test);
+    report.chance_accuracy = 1.0 / static_cast<double>(test.n_classes);
+
+    const std::size_t n_features = train.n_features();
+    const std::size_t pool_size = deployment.store->pool_size();
+    const std::size_t dim = deployment.store->dim();
+    report.log10_guesses_required =
+        complexity::log10_guesses(n_features, dim, pool_size, report.n_layers);
+    report.log10_guesses_baseline = complexity::log10_guesses(n_features, dim, pool_size,
+                                                              /*n_layers=*/0);
+
+    // --- Attacker side: replay the Sec. 3.2 strategy against the oracle.
+    const bool binary_oracle = config.kind == hdc::ModelKind::binary;
+    const EncodingOracle oracle(deployment.encoder);
+    util::WallTimer timer;
+
+    const ValueExtractionResult values =
+        extract_value_mapping(*deployment.store, oracle, binary_oracle);
+
+    // Strong attack model of Sec. 4.2 from here on: the feature step gets the
+    // *true* value mapping, so its failure is attributable purely to the lock.
+    const auto& true_mapping = deployment.secure->value_mapping();
+    FeatureAttackConfig attack_config;
+    attack_config.binary_oracle = binary_oracle;
+    attack_config.criterion = config.criterion;
+    const FeatureExtractionResult features =
+        extract_feature_mapping(*deployment.store, oracle, true_mapping, attack_config);
+    report.reasoning_seconds = timer.elapsed_seconds();
+    report.naive_attack_margin = features.mean_margin;
+    report.oracle_queries = oracle.query_count();
+
+    // --- Scoring (experimenter's view): compare against the ground truth.
+    report.value_chain_recovered = chain_matches(values.level_to_slot, true_mapping);
+
+    std::size_t materialized_hits = 0;
+    for (std::size_t i = 0; i < n_features; ++i) {
+        const auto& guessed = deployment.store->base(features.feature_to_slot[i]);
+        const double distance = guessed.normalized_hamming(deployment.encoder->feature_hv(i));
+        materialized_hits += distance < 0.05 ? 1u : 0u;
+    }
+    report.feature_hv_recovery =
+        static_cast<double>(materialized_hits) / static_cast<double>(n_features);
+
+    // --- Transfer test: victim's class hypervectors + naive encoder.
+    const auto naive_encoder =
+        build_cloned_encoder(*deployment.store, features.feature_to_slot, true_mapping,
+                             util::hash_mix(config.seed, 0xC10E));
+    report.transfer_accuracy = transfer_accuracy(victim, *naive_encoder, test);
+    return report;
+}
+
+}  // namespace hdlock::attack

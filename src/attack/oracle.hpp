@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file oracle.hpp
+/// The attacker's only interface to the victim device (threat model,
+/// Sec. 3.1): craft inputs, observe encoding outputs.
+///
+/// Attack code in this library exclusively consumes (PublicStore,
+/// EncodingOracle) pairs — never an Encoder, a LockKey or a SecureStore — so
+/// the trust boundary is enforced by construction: nothing in
+/// hdlock::attack can touch the index mapping.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "hdc/encoder.hpp"
+
+namespace hdlock::attack {
+
+/// Query-counting wrapper around the victim's encoding module.
+class EncodingOracle {
+public:
+    explicit EncodingOracle(std::shared_ptr<const hdc::Encoder> encoder)
+        : encoder_(std::move(encoder)) {
+        HDLOCK_EXPECTS(encoder_ != nullptr, "EncodingOracle: null encoder");
+    }
+
+    std::size_t dim() const { return encoder_->dim(); }
+    std::size_t n_features() const { return encoder_->n_features(); }
+    std::size_t n_levels() const { return encoder_->n_levels(); }
+
+    /// Observes the non-binary encoding H_nb of a crafted input.
+    hdc::IntHV query(std::span<const int> levels) const {
+        ++queries_;
+        return encoder_->encode(levels);
+    }
+
+    /// Observes the binary encoding H_b of a crafted input.
+    hdc::BinaryHV query_binary(std::span<const int> levels) const {
+        ++queries_;
+        return encoder_->encode_binary(levels);
+    }
+
+    /// Number of crafted inputs observed so far.
+    std::uint64_t query_count() const noexcept { return queries_; }
+
+private:
+    std::shared_ptr<const hdc::Encoder> encoder_;
+    mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace hdlock::attack

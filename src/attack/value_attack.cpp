@@ -1,0 +1,96 @@
+#include "attack/value_attack.hpp"
+
+#include <algorithm>
+
+namespace hdlock::attack {
+
+namespace {
+
+/// sign(sum of all pool bases): with P == N this equals sign(sum_i FeaHV_i)
+/// regardless of the secret feature permutation (Eq. 5's key observation).
+hdc::BinaryHV pool_sum_sign(const PublicStore& store) {
+    hdc::IntHV sum(store.dim());
+    for (const auto& base : store.bases()) sum.add(base);
+    // Tie-breaking here is the attacker's own choice; any fixed seed works
+    // because ties only add symmetric noise to an overwhelming margin.
+    util::Xoshiro256ss tie_rng(0xA77AC4);
+    return sum.sign(tie_rng);
+}
+
+}  // namespace
+
+ValueExtractionResult extract_value_mapping(const PublicStore& store,
+                                            const EncodingOracle& oracle, bool binary_oracle) {
+    const std::size_t n_levels = store.n_levels();
+    HDLOCK_EXPECTS(n_levels >= 2, "extract_value_mapping: need at least two value slots");
+    HDLOCK_EXPECTS(oracle.n_levels() == n_levels,
+                   "extract_value_mapping: oracle level count differs from store");
+
+    ValueExtractionResult result;
+
+    // Step 1: endpoints = the pair at maximum Hamming distance.
+    std::size_t best_a = 0, best_b = 1;
+    std::size_t best_distance = 0;
+    for (std::size_t a = 0; a < n_levels; ++a) {
+        for (std::size_t b = a + 1; b < n_levels; ++b) {
+            const std::size_t distance = store.value_slot(a).hamming(store.value_slot(b));
+            if (distance > best_distance) {
+                best_distance = distance;
+                best_a = a;
+                best_b = b;
+            }
+        }
+    }
+    result.endpoint_distance =
+        static_cast<double>(best_distance) / static_cast<double>(store.dim());
+
+    // Step 2: chain the slots by distance from endpoint A.
+    std::vector<std::size_t> order(n_levels);
+    for (std::size_t slot = 0; slot < n_levels; ++slot) order[slot] = slot;
+    const auto& anchor = store.value_slot(best_a);
+    std::sort(order.begin(), order.end(), [&](std::size_t lhs, std::size_t rhs) {
+        return anchor.hamming(store.value_slot(lhs)) < anchor.hamming(store.value_slot(rhs));
+    });
+
+    // Step 3: orientation via the all-minimum crafted input (Eq. 5/6).
+    const std::vector<int> all_min(oracle.n_features(), 0);
+    const hdc::BinaryHV fea_sum_sign = pool_sum_sign(store);
+    double similarity_to_a = 0.0;
+    double similarity_to_b = 0.0;
+    if (binary_oracle) {
+        const hdc::BinaryHV h_min = oracle.query_binary(all_min);
+        const hdc::BinaryHV val1_estimate = h_min * fea_sum_sign;  // Eq. 6
+        similarity_to_a = 1.0 - 2.0 * val1_estimate.normalized_hamming(store.value_slot(best_a));
+        similarity_to_b = 1.0 - 2.0 * val1_estimate.normalized_hamming(store.value_slot(best_b));
+    } else {
+        // Non-binary leak is stronger: H_min[j] = Val_1[j] * S[j], so
+        // sign(H_min[j]) * sign(S[j]) recovers Val_1[j] wherever S[j] != 0.
+        const hdc::IntHV h_min = oracle.query(all_min);
+        std::int64_t dot_a = 0, dot_b = 0;
+        std::int64_t weight = 0;
+        for (std::size_t j = 0; j < store.dim(); ++j) {
+            if (h_min[j] == 0) continue;
+            const int estimate = (h_min[j] > 0 ? 1 : -1) * fea_sum_sign.get(j);
+            dot_a += estimate * store.value_slot(best_a).get(j);
+            dot_b += estimate * store.value_slot(best_b).get(j);
+            ++weight;
+        }
+        similarity_to_a = weight == 0 ? 0.0 : static_cast<double>(dot_a) / static_cast<double>(weight);
+        similarity_to_b = weight == 0 ? 0.0 : static_cast<double>(dot_b) / static_cast<double>(weight);
+    }
+    result.oracle_queries = 1;
+    result.orientation_margin = std::abs(similarity_to_a - similarity_to_b);
+
+    const bool a_is_minimum = similarity_to_a >= similarity_to_b;
+    result.endpoint_low = a_is_minimum ? best_a : best_b;
+    result.endpoint_high = a_is_minimum ? best_b : best_a;
+    if (!a_is_minimum) std::reverse(order.begin(), order.end());
+
+    result.level_to_slot.reserve(n_levels);
+    for (const std::size_t slot : order) {
+        result.level_to_slot.push_back(static_cast<std::uint32_t>(slot));
+    }
+    return result;
+}
+
+}  // namespace hdlock::attack

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file value_attack.hpp
+/// Value hypervector extraction (Sec. 3.2, step 1).
+///
+/// The value hypervectors' "inherent weakness lies in the consecutive
+/// distribution": only Val_1 and Val_M are quasi-orthogonal, every other
+/// pair sits at a distance proportional to its level gap (Eq. 1b).  The
+/// attacker therefore:
+///   1. finds the endpoint pair by scanning pairwise Hamming distances of
+///      the public value slots;
+///   2. orders the remaining slots by distance from one endpoint (the chain
+///      is recovered up to orientation);
+///   3. resolves the orientation with one crafted all-minimum input: by
+///      Eq. 5/6, Val_1' = H_b,min * sign(sum_i FeaHV_i), and with P == N the
+///      FeaHV sum equals the (permutation-invariant) sum of all pool
+///      entries, which the attacker can compute from public memory alone.
+
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "core/stores.hpp"
+
+namespace hdlock::attack {
+
+struct ValueExtractionResult {
+    /// Recovered mapping: level l -> slot in the public store.
+    std::vector<std::uint32_t> level_to_slot;
+    /// The two slots identified as the orthogonal endpoints.
+    std::size_t endpoint_low = 0;   ///< slot claimed to hold Val_1 (minimum)
+    std::size_t endpoint_high = 0;  ///< slot claimed to hold Val_M (maximum)
+    /// Normalized Hamming distance between the endpoints (~0.5).
+    double endpoint_distance = 0.0;
+    /// Similarity margin of the orientation decision (>0 = confident).
+    double orientation_margin = 0.0;
+    std::uint64_t oracle_queries = 0;
+};
+
+/// Recovers the level->slot value mapping.  `binary_oracle` selects whether
+/// the victim exposes binary (Eq. 3) or non-binary (Eq. 2) outputs.
+/// Precondition: the store's pool entries are exactly the encoder's feature
+/// hypervectors (the baseline threat model with P == N); see file comment.
+ValueExtractionResult extract_value_mapping(const PublicStore& store,
+                                            const EncodingOracle& oracle, bool binary_oracle);
+
+}  // namespace hdlock::attack

@@ -1,0 +1,79 @@
+#include "core/complexity.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace hdlock::complexity {
+
+double log10_guesses_per_feature(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                                 std::size_t n_layers) {
+    HDLOCK_EXPECTS(n_features > 0 && dim > 0 && pool_size > 0,
+                   "complexity: all sizes must be positive");
+    if (n_layers == 0) {
+        // Baseline divide-and-conquer: each feature tries the N candidates.
+        return std::log10(static_cast<double>(n_features));
+    }
+    return static_cast<double>(n_layers) *
+           (std::log10(static_cast<double>(dim)) + std::log10(static_cast<double>(pool_size)));
+}
+
+double log10_guesses(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                     std::size_t n_layers) {
+    return std::log10(static_cast<double>(n_features)) +
+           log10_guesses_per_feature(n_features, dim, pool_size, n_layers);
+}
+
+long double guesses(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                    std::size_t n_layers) {
+    const double log_value = log10_guesses(n_features, dim, pool_size, n_layers);
+    if (log_value > static_cast<double>(std::numeric_limits<long double>::max_exponent10)) {
+        return std::numeric_limits<long double>::infinity();
+    }
+    return powl(10.0L, static_cast<long double>(log_value));
+}
+
+double security_gain_log10(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                           std::size_t n_layers) {
+    return log10_guesses(n_features, dim, pool_size, n_layers) -
+           log10_guesses(n_features, dim, pool_size, 0);
+}
+
+std::string format_log10(double log10_value) {
+    const double exponent = std::floor(log10_value);
+    const double mantissa = std::pow(10.0, log10_value - exponent);
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.2fe+%02d", mantissa, static_cast<int>(exponent));
+    return buffer;
+}
+
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t value) {
+    if (value <= 1) return 0;
+    return static_cast<std::uint64_t>(std::bit_width(value - 1));
+}
+
+}  // namespace
+
+FootprintReport footprint(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                          std::size_t n_layers, std::size_t n_levels, std::size_t n_classes) {
+    HDLOCK_EXPECTS(n_features > 0 && dim > 0 && pool_size > 0 && n_levels > 0,
+                   "footprint: all sizes must be positive");
+    FootprintReport report;
+    const std::uint64_t entries = static_cast<std::uint64_t>(n_features) *
+                                  (n_layers == 0 ? 1 : n_layers);
+    const std::uint64_t index_bits = ceil_log2(pool_size);
+    const std::uint64_t rotation_bits = n_layers == 0 ? 0 : ceil_log2(dim);
+    report.secure_key_bits = entries * (index_bits + rotation_bits);
+    report.secure_mapping_bits = static_cast<std::uint64_t>(n_levels) * ceil_log2(n_levels);
+    report.public_pool_bits = static_cast<std::uint64_t>(pool_size) * dim;
+    report.public_value_bits = static_cast<std::uint64_t>(n_levels) * dim;
+    report.model_bits = static_cast<std::uint64_t>(n_classes) * dim;
+    return report;
+}
+
+}  // namespace hdlock::complexity

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file complexity.hpp
+/// Closed-form adversarial reasoning cost (Sec. 4.2, Sec. 5.2, Fig. 7).
+///
+/// Divide-and-conquer reasoning on the standard encoder costs O(N^2)
+/// guesses (N features, N candidate FeaHVs each).  Against HDLock every
+/// feature sub-key spans (D * P)^L joint choices, so the total is
+/// N * (D*P)^L.  These counts overflow doubles quickly (the paper quotes
+/// 4.81e16 for MNIST at L = 2 and plots up to 1e40 in Fig. 7b), so all
+/// arithmetic here is done in log10 space.
+
+#include <cstdint>
+#include <string>
+
+namespace hdlock::complexity {
+
+/// log10 of the number of reasoning guesses for the whole encoding module.
+/// n_layers == 0 gives the unprotected baseline N^2.
+double log10_guesses(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                     std::size_t n_layers);
+
+/// log10 guesses for a single feature: N (baseline) or (D*P)^L.
+double log10_guesses_per_feature(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                                 std::size_t n_layers);
+
+/// Number of guesses as a long double; +inf when it exceeds the range.
+long double guesses(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                    std::size_t n_layers);
+
+/// Security gain over the unprotected baseline, in orders of magnitude:
+/// log10( N*(D*P)^L / N^2 ).
+double security_gain_log10(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                           std::size_t n_layers);
+
+/// Scientific-notation rendering of a log10 count, e.g. "4.81e+16".
+std::string format_log10(double log10_value);
+
+/// Memory accounting behind the threat model's "secure memory is tiny"
+/// argument and HDLock's key-size claims.
+struct FootprintReport {
+    std::uint64_t secure_key_bits = 0;     ///< lock key in tamper-proof memory
+    std::uint64_t secure_mapping_bits = 0; ///< value level mapping
+    std::uint64_t public_pool_bits = 0;    ///< P base HVs of D bits
+    std::uint64_t public_value_bits = 0;   ///< M value HVs of D bits
+    std::uint64_t model_bits = 0;          ///< C binarized class HVs
+
+    std::uint64_t secure_total_bits() const noexcept {
+        return secure_key_bits + secure_mapping_bits;
+    }
+    std::uint64_t public_total_bits() const noexcept {
+        return public_pool_bits + public_value_bits + model_bits;
+    }
+};
+
+FootprintReport footprint(std::size_t n_features, std::size_t dim, std::size_t pool_size,
+                          std::size_t n_layers, std::size_t n_levels, std::size_t n_classes);
+
+}  // namespace hdlock::complexity

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file key.hpp
+/// The HDLock key (Sec. 4.1).
+///
+/// A LockKey holds, for every feature i, a sub-key key_i of L entries
+/// (index(B_{i,l}), k_{i,l}): which base hypervector from the public pool is
+/// used at layer l and by how many positions it is rotated (Eq. 9).
+///
+/// The unprotected baseline model is represented as a "plain" key with
+/// n_layers() == 0: feature i maps directly to one pool entry with rotation
+/// 0 (the paper's footnote 2: with P = N the pool entries double as the
+/// feature hypervectors of a normal HDC model).  This unifies Fig. 8's
+/// L = 0 baseline with the locked configurations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace hdlock {
+
+/// One layer of one feature's sub-key.
+struct SubKeyEntry {
+    std::uint32_t base_index = 0;  ///< index(B_{i,l}) into the public pool
+    std::uint32_t rotation = 0;    ///< k_{i,l} in [0, D)
+
+    bool operator==(const SubKeyEntry& other) const = default;
+};
+
+class LockKey {
+public:
+    LockKey() = default;
+
+    /// Uniformly random key: every entry draws base_index from [0, pool_size)
+    /// and rotation from [0, dim).  Feature sub-keys are kept pairwise
+    /// distinct (identical sub-keys would alias two feature hypervectors).
+    static LockKey random(std::size_t n_features, std::size_t n_layers, std::size_t pool_size,
+                          std::size_t dim, std::uint64_t seed);
+
+    /// Unprotected baseline ("L = 0"): feature i uses pool entry
+    /// permutation[i] unrotated. Entries must be unique.
+    static LockKey plain(std::vector<std::uint32_t> permutation);
+
+    /// Random injective baseline mapping; requires pool_size >= n_features.
+    static LockKey plain_random(std::size_t n_features, std::size_t pool_size,
+                                std::uint64_t seed);
+
+    std::size_t n_features() const noexcept { return n_features_; }
+
+    /// Number of key layers L; 0 means the plain (unprotected) mapping.
+    std::size_t n_layers() const noexcept { return n_layers_; }
+    bool is_plain() const noexcept { return n_layers_ == 0; }
+
+    /// Entries stored per feature: max(1, L).
+    std::size_t entries_per_feature() const noexcept { return n_layers_ == 0 ? 1 : n_layers_; }
+
+    const SubKeyEntry& entry(std::size_t feature, std::size_t layer) const;
+
+    /// The full sub-key of one feature.
+    std::span<const SubKeyEntry> sub_key(std::size_t feature) const;
+
+    /// Copy of this key with one entry replaced (used by the security
+    /// validation of Sec. 4.2, which perturbs a single parameter).
+    LockKey with_entry(std::size_t feature, std::size_t layer, SubKeyEntry entry) const;
+
+    bool operator==(const LockKey& other) const = default;
+
+    /// Bits of tamper-proof memory needed to store the key: one
+    /// (ceil(log2 P) + ceil(log2 D)) record per entry; the plain key stores
+    /// no rotations.
+    std::uint64_t storage_bits(std::size_t pool_size, std::size_t dim) const;
+
+    void save(util::BinaryWriter& writer) const;
+    static LockKey load(util::BinaryReader& reader);
+
+private:
+    std::size_t n_features_ = 0;
+    std::size_t n_layers_ = 0;  // 0 = plain
+    std::vector<SubKeyEntry> entries_;
+};
+
+}  // namespace hdlock

@@ -1,0 +1,139 @@
+#include "core/key_tools.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/locked_encoder.hpp"
+
+namespace hdlock {
+
+namespace {
+
+std::vector<SubKeyEntry> canonical_sub_key(const LockKey& key, std::size_t feature) {
+    const auto sub_key = key.sub_key(feature);
+    std::vector<SubKeyEntry> sorted(sub_key.begin(), sub_key.end());
+    std::ranges::sort(sorted, [](const SubKeyEntry& a, const SubKeyEntry& b) {
+        return std::pair{a.base_index, a.rotation} < std::pair{b.base_index, b.rotation};
+    });
+    return sorted;
+}
+
+}  // namespace
+
+std::string KeyAuditReport::summary() const {
+    std::ostringstream out;
+    out << (ok() ? "OK" : "FAIL") << ": bounds " << (in_bounds ? "ok" : "VIOLATED")
+        << ", injective " << (injective ? "yes" : "NO");
+    if (!aliased_features.empty()) {
+        out << " (" << aliased_features.size() << " aliased pair(s))";
+    }
+    out << ", " << sub_key_entropy_bits << " entropy bits/feature, " << storage_bits
+        << " key bits";
+    return out.str();
+}
+
+KeyAuditReport audit_key(const LockKey& key, const PublicStore& store) {
+    KeyAuditReport report;
+    const std::size_t pool = store.pool_size();
+    const std::size_t dim = store.dim();
+
+    report.in_bounds = true;
+    for (std::size_t i = 0; i < key.n_features(); ++i) {
+        for (const auto& entry : key.sub_key(i)) {
+            if (entry.base_index >= pool || entry.rotation >= dim) {
+                report.in_bounds = false;
+            }
+        }
+    }
+
+    if (report.in_bounds) {
+        // Materialization-level aliasing: canonical textual duplicates catch
+        // layer reorderings cheaply; the hypervector comparison then catches
+        // any residual coincidences (e.g. rotation-invariant bases).
+        std::vector<hdc::BinaryHV> materialized;
+        materialized.reserve(key.n_features());
+        for (std::size_t i = 0; i < key.n_features(); ++i) {
+            materialized.push_back(LockedEncoder::materialize_feature(store, key.sub_key(i)));
+        }
+        for (std::size_t a = 0; a < key.n_features(); ++a) {
+            for (std::size_t b = a + 1; b < key.n_features(); ++b) {
+                if (materialized[a] == materialized[b]) {
+                    report.aliased_features.emplace_back(static_cast<std::uint32_t>(a),
+                                                         static_cast<std::uint32_t>(b));
+                }
+            }
+        }
+    }
+    report.injective = report.in_bounds && report.aliased_features.empty();
+
+    report.sub_key_entropy_bits =
+        static_cast<double>(key.entries_per_feature()) *
+        std::log2(static_cast<double>(dim) * static_cast<double>(pool));
+    if (key.is_plain()) {
+        report.sub_key_entropy_bits = std::log2(static_cast<double>(pool));
+    }
+    report.storage_bits = key.storage_bits(pool, dim);
+    return report;
+}
+
+LockKey canonicalize(const LockKey& key) {
+    if (key.is_plain()) return key;
+    LockKey canonical = key;
+    for (std::size_t i = 0; i < key.n_features(); ++i) {
+        const auto sorted = canonical_sub_key(key, i);
+        for (std::size_t l = 0; l < sorted.size(); ++l) {
+            canonical = canonical.with_entry(i, l, sorted[l]);
+        }
+    }
+    return canonical;
+}
+
+bool materialize_equal(const LockKey& a, const LockKey& b, const PublicStore& store) {
+    if (a.n_features() != b.n_features()) return false;
+    for (std::size_t i = 0; i < a.n_features(); ++i) {
+        if (LockedEncoder::materialize_feature(store, a.sub_key(i)) !=
+            LockedEncoder::materialize_feature(store, b.sub_key(i))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+LockKey rekey(const LockKey& compromised, const PublicStore& store, std::uint64_t seed) {
+    HDLOCK_EXPECTS(!compromised.is_plain(), "rekey: plain keys carry no lock to rotate");
+    const std::size_t pool = store.pool_size();
+    const std::size_t dim = store.dim();
+    const std::size_t n_features = compromised.n_features();
+    const std::size_t n_layers = compromised.entries_per_feature();
+    if (static_cast<double>(pool) * static_cast<double>(dim) <
+        2.0 * static_cast<double>(n_features) * static_cast<double>(n_layers)) {
+        throw ConfigError("rekey: (D * P) too small to avoid reusing leaked layer pairs");
+    }
+
+    std::set<std::pair<std::uint32_t, std::uint32_t>> burned;
+    for (std::size_t i = 0; i < n_features; ++i) {
+        for (const auto& entry : compromised.sub_key(i)) {
+            burned.emplace(entry.base_index, entry.rotation);
+        }
+    }
+
+    util::Xoshiro256ss rng(util::hash_mix(seed, 0x4E4BE1ull));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        LockKey fresh = LockKey::random(n_features, n_layers, pool, dim, rng());
+        bool clean = true;
+        for (std::size_t i = 0; i < n_features && clean; ++i) {
+            for (const auto& entry : fresh.sub_key(i)) {
+                if (burned.contains({entry.base_index, entry.rotation})) {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if (clean && !materialize_equal(fresh, compromised, store)) return fresh;
+    }
+    throw ConfigError("rekey: could not draw a non-overlapping key; enlarge D or P");
+}
+
+}  // namespace hdlock

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file key_tools.hpp
+/// Owner-side key hygiene for HDLock deployments.
+///
+/// The paper stores the key in tamper-proof memory and never revisits it;
+/// an operational deployment also needs to answer: is this key *sound*
+/// (in-bounds, no two features aliased to the same hypervector), how much
+/// entropy does it actually carry, and how do I rotate to a fresh key after
+/// a suspected leak?  These utilities cover that lifecycle.
+///
+/// Aliasing subtlety: Eq. 9 products are commutative, so two sub-keys that
+/// differ only in layer order materialize the *same* feature hypervector.
+/// Equality of keys is therefore defined on the canonical (sorted) form, and
+/// the audit detects materialization-level aliases rather than just textual
+/// duplicates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/key.hpp"
+#include "core/stores.hpp"
+
+namespace hdlock {
+
+/// Result of audit_key(): everything the owner should check before sealing.
+struct KeyAuditReport {
+    bool in_bounds = false;       ///< all base indices < P, rotations < D
+    bool injective = false;       ///< no two features materialize identically
+    /// Pairs of features whose sub-keys materialize the same hypervector
+    /// (empty when injective).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> aliased_features;
+    /// Shannon entropy (bits) of a uniformly drawn sub-key: L * log2(D * P).
+    double sub_key_entropy_bits = 0.0;
+    /// Tamper-proof memory the key occupies.
+    std::uint64_t storage_bits = 0;
+
+    bool ok() const noexcept { return in_bounds && injective; }
+    std::string summary() const;
+};
+
+/// Audits `key` against the store it will index. Bounds violations are
+/// reported (not thrown) so the audit can run on untrusted key material.
+KeyAuditReport audit_key(const LockKey& key, const PublicStore& store);
+
+/// Canonical form: each sub-key's entries sorted by (base_index, rotation).
+/// Materializes identically to the input (Eq. 9 products commute); equal
+/// canonical forms <=> textually aliased keys.
+LockKey canonicalize(const LockKey& key);
+
+/// True when the two keys materialize the same feature hypervectors against
+/// `store` (the semantic equality that matters for encoder behaviour).
+bool materialize_equal(const LockKey& a, const LockKey& b, const PublicStore& store);
+
+/// Replacement-key generation after a suspected leak: draws a fresh random
+/// key whose sub-keys avoid the compromised key's canonical sub-keys
+/// entirely (no feature keeps any old (base, rotation) layer pair).
+/// Requires n_layers >= 1 on both keys and throws ConfigError if the space
+/// is too small to avoid reuse.
+LockKey rekey(const LockKey& compromised, const PublicStore& store, std::uint64_t seed);
+
+}  // namespace hdlock

@@ -1,0 +1,95 @@
+#include "core/locked_encoder.hpp"
+
+namespace hdlock {
+
+LockedEncoder::LockedEncoder(std::shared_ptr<const PublicStore> store, LockKey key,
+                             ValueMapping value_mapping, std::uint64_t tie_seed)
+    : Encoder(tie_seed), store_(std::move(store)), key_(std::move(key)) {
+    HDLOCK_EXPECTS(store_ != nullptr, "LockedEncoder: null public store");
+    HDLOCK_EXPECTS(key_.n_features() > 0, "LockedEncoder: empty key");
+    HDLOCK_EXPECTS(value_mapping.size() == store_->n_levels(),
+                   "LockedEncoder: value mapping size must match store levels");
+    for (std::size_t i = 0; i < key_.n_features(); ++i) {
+        for (const SubKeyEntry& entry : key_.sub_key(i)) {
+            HDLOCK_EXPECTS(entry.base_index < store_->pool_size(),
+                           "LockedEncoder: key references base outside the pool");
+            HDLOCK_EXPECTS(entry.rotation < store_->dim(),
+                           "LockedEncoder: rotation exceeds dimensionality");
+        }
+    }
+
+    feature_hvs_.reserve(key_.n_features());
+    for (std::size_t i = 0; i < key_.n_features(); ++i) {
+        feature_hvs_.push_back(materialize_feature(*store_, key_.sub_key(i)));
+    }
+
+    value_hvs_.reserve(value_mapping.size());
+    for (std::size_t level = 0; level < value_mapping.size(); ++level) {
+        value_hvs_.push_back(store_->value_slot(value_mapping[level]));
+    }
+}
+
+hdc::BinaryHV LockedEncoder::materialize_feature(const PublicStore& store,
+                                                 std::span<const SubKeyEntry> sub_key) {
+    HDLOCK_EXPECTS(!sub_key.empty(), "materialize_feature: empty sub-key");
+    hdc::BinaryHV product = store.base(sub_key.front().base_index).rotated(sub_key.front().rotation);
+    for (std::size_t l = 1; l < sub_key.size(); ++l) {
+        product *= store.base(sub_key[l].base_index).rotated(sub_key[l].rotation);
+    }
+    return product;
+}
+
+hdc::IntHV LockedEncoder::encode(std::span<const int> levels) const {
+    check_levels(levels);
+    return hdc::encode_with_hvs(feature_hvs_, value_hvs_, levels);
+}
+
+const hdc::BinaryHV& LockedEncoder::feature_hv(std::size_t feature) const {
+    HDLOCK_EXPECTS(feature < feature_hvs_.size(), "LockedEncoder::feature_hv: out of range");
+    return feature_hvs_[feature];
+}
+
+const hdc::BinaryHV& LockedEncoder::value_hv(std::size_t level) const {
+    HDLOCK_EXPECTS(level < value_hvs_.size(), "LockedEncoder::value_hv: out of range");
+    return value_hvs_[level];
+}
+
+Deployment provision(const DeploymentConfig& config) {
+    HDLOCK_EXPECTS(config.n_features > 0, "provision: n_features must be positive");
+    const std::size_t pool_size = config.pool_size == 0 ? config.n_features : config.pool_size;
+
+    PublicStoreConfig store_config;
+    store_config.dim = config.dim;
+    store_config.pool_size = pool_size;
+    store_config.n_levels = config.n_levels;
+    store_config.seed = util::hash_mix(config.seed, 0x5703E);
+
+    ValueMapping value_mapping;
+    auto store = std::make_shared<const PublicStore>(
+        PublicStore::generate(store_config, value_mapping));
+
+    LockKey key = config.n_layers == 0
+                      ? LockKey::plain_random(config.n_features, pool_size,
+                                              util::hash_mix(config.seed, 0x9EA))
+                      : LockKey::random(config.n_features, config.n_layers, pool_size,
+                                        config.dim, util::hash_mix(config.seed, 0x4E7));
+
+    Deployment deployment;
+    deployment.store = store;
+    deployment.encoder =
+        std::make_shared<const LockedEncoder>(store, key, value_mapping, config.tie_seed);
+    deployment.secure = std::make_shared<SecureStore>(std::move(key), std::move(value_mapping));
+    return deployment;
+}
+
+std::vector<hdc::BinaryHV> materialize_locked_symbols(const PublicStore& store,
+                                                      const LockKey& key) {
+    std::vector<hdc::BinaryHV> symbols;
+    symbols.reserve(key.n_features());
+    for (std::size_t i = 0; i < key.n_features(); ++i) {
+        symbols.push_back(LockedEncoder::materialize_feature(store, key.sub_key(i)));
+    }
+    return symbols;
+}
+
+}  // namespace hdlock

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file locked_encoder.hpp
+/// HDLock's privileged encoding module (Sec. 4.1, Fig. 4).
+///
+/// Every feature hypervector is the product of L permuted base hypervectors
+/// selected from the public pool by the secret key (Eq. 9):
+///
+///     FeaHV_i = prod_{l=1..L} rho_{k_{i,l}}(B_{i,l})
+///
+/// so the encoding output is Eq. 10.  With a plain key (L = 0) the module
+/// degenerates to the standard unprotected encoder whose FeaHVs are pool
+/// entries — the paper's baseline.
+///
+/// The device materializes its feature hypervectors once at construction
+/// (the hardware equivalent streams base HVs through the XOR datapath; the
+/// cycle model in src/hw/ accounts for that cost).
+
+#include <memory>
+
+#include "core/stores.hpp"
+#include "hdc/encoder.hpp"
+
+namespace hdlock {
+
+class LockedEncoder final : public hdc::Encoder {
+public:
+    /// \param store          the public hypervector memory
+    /// \param key            per-feature base selections and rotations
+    /// \param value_mapping  secret level -> store slot order of the ValHVs
+    /// \param tie_seed       sign(0) tie-break seed (see hdc::Encoder)
+    LockedEncoder(std::shared_ptr<const PublicStore> store, LockKey key,
+                  ValueMapping value_mapping, std::uint64_t tie_seed);
+
+    std::size_t dim() const override { return store_->dim(); }
+    std::size_t n_features() const override { return key_.n_features(); }
+    std::size_t n_levels() const override { return value_hvs_.size(); }
+
+    hdc::IntHV encode(std::span<const int> levels) const override;
+
+    /// The materialized FeaHV_i (owner-side view; an attacker only ever sees
+    /// encoding outputs through attack::EncodingOracle).
+    const hdc::BinaryHV& feature_hv(std::size_t feature) const;
+
+    /// Value hypervector by semantic level (the secret order applied).
+    const hdc::BinaryHV& value_hv(std::size_t level) const;
+
+    const LockKey& key() const noexcept { return key_; }
+    const PublicStore& store() const noexcept { return *store_; }
+    std::shared_ptr<const PublicStore> store_ptr() const noexcept { return store_; }
+
+    /// Computes Eq. 9 for an arbitrary sub-key against a store. Shared with
+    /// the attack code, which evaluates it for *guessed* sub-keys.
+    static hdc::BinaryHV materialize_feature(const PublicStore& store,
+                                             std::span<const SubKeyEntry> sub_key);
+
+private:
+    std::shared_ptr<const PublicStore> store_;
+    LockKey key_;
+    std::vector<hdc::BinaryHV> feature_hvs_;  // materialized Eq. 9 products
+    std::vector<hdc::BinaryHV> value_hvs_;    // ordered by level
+};
+
+/// Everything a model owner sets up when deploying one protected device.
+struct DeploymentConfig {
+    std::size_t dim = 10000;     ///< D
+    std::size_t n_features = 0;  ///< N
+    std::size_t n_levels = 2;    ///< M
+    std::size_t pool_size = 0;   ///< P; 0 means "equal to n_features"
+    std::size_t n_layers = 2;    ///< L; 0 deploys the unprotected baseline
+    std::uint64_t seed = 1;
+    std::uint64_t tie_seed = 0x7E11;
+};
+
+struct Deployment {
+    std::shared_ptr<const PublicStore> store;     ///< attacker-visible memory
+    std::shared_ptr<SecureStore> secure;          ///< tamper-proof key memory
+    std::shared_ptr<const LockedEncoder> encoder; ///< the device's encoder
+};
+
+/// Provisions public memory, key and encoder in one step. The SecureStore is
+/// returned unsealed so owner-side tooling (key export, re-provisioning) can
+/// still read it; call secure->seal() to enter the deployed state.
+Deployment provision(const DeploymentConfig& config);
+
+/// Materializes a full locked *symbol* memory: entry i is the Eq. 9 product
+/// selected by the key's i-th sub-key.  This is how HDLock generalizes to
+/// the n-gram encoder family (hdc::NGramEncoder): the alphabet plays the
+/// role of the feature set, the symbol memory is derived from the public
+/// pool, and the mapping stays in the secure key.
+std::vector<hdc::BinaryHV> materialize_locked_symbols(const PublicStore& store,
+                                                      const LockKey& key);
+
+}  // namespace hdlock

@@ -1,0 +1,62 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+
+namespace hdlock::data {
+
+void Dataset::validate() const {
+    HDLOCK_EXPECTS(X.rows() == y.size(), "Dataset: row count and label count differ");
+    HDLOCK_EXPECTS(n_classes > 0, "Dataset: n_classes must be positive");
+    for (const int label : y) {
+        HDLOCK_EXPECTS(label >= 0 && label < n_classes, "Dataset: label out of range");
+    }
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
+    for (const int label : y) ++counts[static_cast<std::size_t>(label)];
+    return counts;
+}
+
+Dataset take_rows(const Dataset& source, std::span<const std::size_t> rows) {
+    Dataset out;
+    out.name = source.name;
+    out.n_classes = source.n_classes;
+    out.X = util::Matrix<float>(rows.size(), source.X.cols());
+    out.y.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::size_t r = rows[i];
+        HDLOCK_EXPECTS(r < source.X.rows(), "take_rows: row index out of range");
+        const auto src = source.X.row(r);
+        const auto dst = out.X.row(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+        out.y.push_back(source.y[r]);
+    }
+    return out;
+}
+
+TrainTestSplit split_train_test(const Dataset& full, double train_fraction, std::uint64_t seed) {
+    HDLOCK_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0,
+                   "split_train_test: fraction must be in (0, 1)");
+    full.validate();
+
+    std::vector<std::size_t> order(full.n_samples());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    util::Xoshiro256ss rng(seed);
+    rng.shuffle(std::span<std::size_t>(order));
+
+    const auto n_train = static_cast<std::size_t>(
+        static_cast<double>(full.n_samples()) * train_fraction);
+    HDLOCK_EXPECTS(n_train > 0 && n_train < full.n_samples(),
+                   "split_train_test: split produced an empty side");
+
+    TrainTestSplit split;
+    split.train = take_rows(full, std::span<const std::size_t>(order.data(), n_train));
+    split.test = take_rows(
+        full, std::span<const std::size_t>(order.data() + n_train, full.n_samples() - n_train));
+    split.train.name = full.name + "/train";
+    split.test.name = full.name + "/test";
+    return split;
+}
+
+}  // namespace hdlock::data

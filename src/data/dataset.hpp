@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Labeled dataset container with split and inspection helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hdlock::data {
+
+/// A labeled classification dataset: one row of X per sample, labels in
+/// [0, n_classes).
+struct Dataset {
+    std::string name;
+    util::Matrix<float> X;
+    std::vector<int> y;
+    int n_classes = 0;
+
+    std::size_t n_samples() const noexcept { return X.rows(); }
+    std::size_t n_features() const noexcept { return X.cols(); }
+
+    /// Throws ContractViolation if labels and matrix shape disagree.
+    void validate() const;
+
+    /// Number of samples per class.
+    std::vector<std::size_t> class_counts() const;
+};
+
+/// A train/test pair produced by split functions.
+struct TrainTestSplit {
+    Dataset train;
+    Dataset test;
+};
+
+/// Shuffles (seeded) and splits by fraction; train_fraction in (0, 1).
+TrainTestSplit split_train_test(const Dataset& full, double train_fraction, std::uint64_t seed);
+
+/// Selects a subset of rows by index (bounds-checked).
+Dataset take_rows(const Dataset& source, std::span<const std::size_t> rows);
+
+}  // namespace hdlock::data

@@ -1,0 +1,250 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hdlock::data {
+
+namespace {
+
+std::vector<std::string_view> split_line(std::string_view line, char delimiter,
+                                         std::vector<std::string_view>& fields) {
+    fields.clear();
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = line.find(delimiter, start);
+        if (pos == std::string_view::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+float parse_float(std::string_view text, std::size_t line_no) {
+    float value = 0.0f;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw FormatError("CSV line " + std::to_string(line_no) + ": cannot parse number '" +
+                          std::string(text) + "'");
+    }
+    return value;
+}
+
+int parse_label(std::string_view text, std::size_t line_no) {
+    int value = 0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || value < 0) {
+        throw FormatError("CSV line " + std::to_string(line_no) +
+                          ": label must be a non-negative integer, got '" + std::string(text) + "'");
+    }
+    return value;
+}
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && (text.back() == '\r' || text.back() == ' ')) text.remove_suffix(1);
+    while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+    return text;
+}
+
+std::uint32_t read_be_u32(std::istream& in, const std::string& context) {
+    unsigned char bytes[4];
+    in.read(reinterpret_cast<char*>(bytes), 4);
+    if (in.gcount() != 4) throw FormatError(context + ": truncated header");
+    return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes[2]) << 8) | static_cast<std::uint32_t>(bytes[3]);
+}
+
+void write_be_u32(std::ostream& out, std::uint32_t value) {
+    const unsigned char bytes[4] = {
+        static_cast<unsigned char>(value >> 24), static_cast<unsigned char>(value >> 16),
+        static_cast<unsigned char>(value >> 8), static_cast<unsigned char>(value)};
+    out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+}  // namespace
+
+Dataset load_csv(const std::filesystem::path& path, const CsvOptions& options) {
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot open CSV file: " + path.string());
+
+    std::vector<std::vector<float>> feature_rows;
+    std::vector<int> labels;
+    std::optional<std::size_t> n_columns;
+
+    std::string line;
+    std::vector<std::string_view> fields;
+    std::size_t line_no = 0;
+    bool skipped_header = !options.has_header;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string_view trimmed = trim(line);
+        if (trimmed.empty()) continue;
+        if (!skipped_header) {
+            skipped_header = true;
+            continue;
+        }
+        split_line(trimmed, options.delimiter, fields);
+        if (!n_columns.has_value()) {
+            if (fields.size() < 2) {
+                throw FormatError("CSV line " + std::to_string(line_no) +
+                                  ": need at least one feature and a label");
+            }
+            n_columns = fields.size();
+        } else if (fields.size() != *n_columns) {
+            throw FormatError("CSV line " + std::to_string(line_no) + ": expected " +
+                              std::to_string(*n_columns) + " columns, found " +
+                              std::to_string(fields.size()));
+        }
+
+        const auto n_cols = static_cast<std::ptrdiff_t>(fields.size());
+        std::ptrdiff_t label_col = options.label_column;
+        if (label_col < 0) label_col += n_cols;
+        if (label_col < 0 || label_col >= n_cols) {
+            throw FormatError("CSV: label column out of range");
+        }
+
+        std::vector<float> row;
+        row.reserve(fields.size() - 1);
+        for (std::ptrdiff_t c = 0; c < n_cols; ++c) {
+            const auto field = trim(fields[static_cast<std::size_t>(c)]);
+            if (c == label_col) {
+                labels.push_back(parse_label(field, line_no));
+            } else {
+                row.push_back(parse_float(field, line_no));
+            }
+        }
+        feature_rows.push_back(std::move(row));
+    }
+    if (feature_rows.empty()) throw FormatError("CSV file has no data rows: " + path.string());
+
+    Dataset dataset;
+    dataset.name = path.stem().string();
+    dataset.X = util::Matrix<float>(feature_rows.size(), feature_rows.front().size());
+    for (std::size_t r = 0; r < feature_rows.size(); ++r) {
+        const auto dst = dataset.X.row(r);
+        std::copy(feature_rows[r].begin(), feature_rows[r].end(), dst.begin());
+    }
+    dataset.y = std::move(labels);
+    dataset.n_classes = *std::max_element(dataset.y.begin(), dataset.y.end()) + 1;
+    dataset.validate();
+    return dataset;
+}
+
+void save_csv(const Dataset& dataset, const std::filesystem::path& path,
+              const CsvOptions& options) {
+    dataset.validate();
+    HDLOCK_EXPECTS(options.label_column == -1 ||
+                       options.label_column == static_cast<int>(dataset.n_features()),
+                   "save_csv: only trailing label column is supported when writing");
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot open CSV file for writing: " + path.string());
+    out.precision(9);
+    for (std::size_t r = 0; r < dataset.n_samples(); ++r) {
+        const auto row = dataset.X.row(r);
+        for (const float v : row) out << v << options.delimiter;
+        out << dataset.y[r] << '\n';
+    }
+    if (!out) throw IoError("CSV write failed: " + path.string());
+}
+
+Dataset load_idx(const std::filesystem::path& images_path,
+                 const std::filesystem::path& labels_path, const std::string& name) {
+    std::ifstream images(images_path, std::ios::binary);
+    if (!images) throw IoError("cannot open IDX image file: " + images_path.string());
+    std::ifstream labels(labels_path, std::ios::binary);
+    if (!labels) throw IoError("cannot open IDX label file: " + labels_path.string());
+
+    if (read_be_u32(images, "IDX images") != 0x00000803u) {
+        throw FormatError("IDX images: bad magic (expected 0x00000803)");
+    }
+    const std::uint32_t n_images = read_be_u32(images, "IDX images");
+    const std::uint32_t rows = read_be_u32(images, "IDX images");
+    const std::uint32_t cols = read_be_u32(images, "IDX images");
+
+    if (read_be_u32(labels, "IDX labels") != 0x00000801u) {
+        throw FormatError("IDX labels: bad magic (expected 0x00000801)");
+    }
+    const std::uint32_t n_labels = read_be_u32(labels, "IDX labels");
+    if (n_labels != n_images) throw FormatError("IDX: image and label counts differ");
+
+    const std::size_t n_features = static_cast<std::size_t>(rows) * cols;
+    Dataset dataset;
+    dataset.name = name;
+    dataset.X = util::Matrix<float>(n_images, n_features);
+    dataset.y.reserve(n_images);
+
+    std::vector<unsigned char> pixel_row(n_features);
+    for (std::uint32_t s = 0; s < n_images; ++s) {
+        images.read(reinterpret_cast<char*>(pixel_row.data()),
+                    static_cast<std::streamsize>(n_features));
+        if (images.gcount() != static_cast<std::streamsize>(n_features)) {
+            throw FormatError("IDX images: truncated pixel data");
+        }
+        const auto dst = dataset.X.row(s);
+        for (std::size_t f = 0; f < n_features; ++f) {
+            dst[f] = static_cast<float>(pixel_row[f]) / 255.0f;
+        }
+        char label = 0;
+        labels.read(&label, 1);
+        if (labels.gcount() != 1) throw FormatError("IDX labels: truncated label data");
+        dataset.y.push_back(static_cast<int>(static_cast<unsigned char>(label)));
+    }
+    dataset.n_classes = *std::max_element(dataset.y.begin(), dataset.y.end()) + 1;
+    dataset.validate();
+    return dataset;
+}
+
+void save_idx(const Dataset& dataset, const std::filesystem::path& images_path,
+              const std::filesystem::path& labels_path) {
+    dataset.validate();
+    HDLOCK_EXPECTS(dataset.n_classes <= 256, "save_idx: labels must fit in one byte");
+
+    float lo = dataset.X(0, 0), hi = dataset.X(0, 0);
+    for (const float v : dataset.X.data()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+
+    std::ofstream images(images_path, std::ios::binary);
+    if (!images) throw IoError("cannot open IDX image file for writing: " + images_path.string());
+    write_be_u32(images, 0x00000803u);
+    write_be_u32(images, static_cast<std::uint32_t>(dataset.n_samples()));
+    write_be_u32(images, 1u);
+    write_be_u32(images, static_cast<std::uint32_t>(dataset.n_features()));
+
+    std::vector<unsigned char> pixel_row(dataset.n_features());
+    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
+        const auto row = dataset.X.row(s);
+        for (std::size_t f = 0; f < row.size(); ++f) {
+            pixel_row[f] = static_cast<unsigned char>(
+                std::clamp((row[f] - lo) * scale, 0.0f, 255.0f));
+        }
+        images.write(reinterpret_cast<const char*>(pixel_row.data()),
+                     static_cast<std::streamsize>(pixel_row.size()));
+    }
+    if (!images) throw IoError("IDX image write failed: " + images_path.string());
+
+    std::ofstream labels(labels_path, std::ios::binary);
+    if (!labels) throw IoError("cannot open IDX label file for writing: " + labels_path.string());
+    write_be_u32(labels, 0x00000801u);
+    write_be_u32(labels, static_cast<std::uint32_t>(dataset.n_samples()));
+    for (const int label : dataset.y) {
+        const char byte = static_cast<char>(static_cast<unsigned char>(label));
+        labels.write(&byte, 1);
+    }
+    if (!labels) throw IoError("IDX label write failed: " + labels_path.string());
+}
+
+}  // namespace hdlock::data

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file loaders.hpp
+/// File-format loaders/writers so real datasets can replace the synthetic
+/// stand-ins: CSV (one sample per line, numeric features + integer label)
+/// and the IDX format used by the original MNIST distribution.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hdlock::data {
+
+struct CsvOptions {
+    char delimiter = ',';
+    /// Column index holding the class label; negative counts from the end
+    /// (-1 = last column, the default).
+    int label_column = -1;
+    /// Skip the first line (header).
+    bool has_header = false;
+};
+
+/// Reads a CSV file into a Dataset. Labels must be non-negative integers;
+/// n_classes is max(label)+1.  Throws IoError / FormatError.
+Dataset load_csv(const std::filesystem::path& path, const CsvOptions& options = {});
+
+/// Writes a dataset as CSV (features then label, '%.9g' precision).
+void save_csv(const Dataset& dataset, const std::filesystem::path& path,
+              const CsvOptions& options = {});
+
+/// Reads an MNIST-style IDX image file (magic 0x00000803, u8 pixels) plus an
+/// IDX label file (magic 0x00000801).  Pixels are scaled to [0, 1].
+Dataset load_idx(const std::filesystem::path& images_path,
+                 const std::filesystem::path& labels_path, const std::string& name = "idx");
+
+/// Writes a dataset in the IDX pair format (values are rescaled to u8 via
+/// the dataset's min/max).  Feature count must be expressible as rows*cols;
+/// this writer stores it as a single row of n_features columns.
+void save_idx(const Dataset& dataset, const std::filesystem::path& images_path,
+              const std::filesystem::path& labels_path);
+
+}  // namespace hdlock::data

@@ -1,0 +1,68 @@
+#include "hdc/classifier.hpp"
+
+namespace hdlock::hdc {
+
+HdcClassifier HdcClassifier::fit(const data::Dataset& train_set,
+                                 std::shared_ptr<const Encoder> encoder,
+                                 const PipelineConfig& config) {
+    HDLOCK_EXPECTS(encoder != nullptr, "HdcClassifier::fit: null encoder");
+    train_set.validate();
+    HDLOCK_EXPECTS(train_set.n_features() == encoder->n_features(),
+                   "HdcClassifier::fit: dataset feature count does not match encoder");
+
+    HdcClassifier classifier;
+    classifier.encoder_ = std::move(encoder);
+    classifier.discretizer_ = MinMaxDiscretizer::fit(train_set.X, classifier.encoder_->n_levels(),
+                                                     config.discretizer_mode);
+    const EncodedBatch batch =
+        classifier.encode_dataset(train_set, config.train.kind == ModelKind::binary);
+    classifier.model_ = HdcModel::train(batch, train_set.n_classes, config.train);
+    return classifier;
+}
+
+EncodedBatch HdcClassifier::encode_dataset(const data::Dataset& dataset) const {
+    return encode_dataset(dataset, model_.kind() == ModelKind::binary);
+}
+
+EncodedBatch HdcClassifier::encode_dataset(const data::Dataset& dataset, bool with_binary) const {
+    HDLOCK_EXPECTS(encoder_ != nullptr, "HdcClassifier: not fitted");
+    dataset.validate();
+    HDLOCK_EXPECTS(dataset.n_features() == encoder_->n_features(),
+                   "HdcClassifier: dataset feature count does not match encoder");
+
+    const bool need_binary = with_binary;
+    EncodedBatch batch;
+    batch.non_binary.reserve(dataset.n_samples());
+    batch.labels = dataset.y;
+
+    std::vector<int> levels(dataset.n_features());
+    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
+        discretizer_.transform_row(dataset.X.row(s), levels);
+        batch.non_binary.push_back(encoder_->encode(levels));
+        if (need_binary) batch.binary.push_back(encoder_->encode_binary(levels));
+    }
+    return batch;
+}
+
+int HdcClassifier::predict_row(std::span<const float> row) const {
+    HDLOCK_EXPECTS(encoder_ != nullptr, "HdcClassifier: not fitted");
+    HDLOCK_EXPECTS(row.size() == encoder_->n_features(),
+                   "HdcClassifier::predict_row: wrong feature count");
+    const std::vector<int> levels = discretizer_.transform_row(row);
+    if (model_.kind() == ModelKind::binary) {
+        return model_.predict(encoder_->encode_binary(levels));
+    }
+    return model_.predict(encoder_->encode(levels));
+}
+
+std::vector<int> HdcClassifier::predict(const data::Dataset& dataset) const {
+    const EncodedBatch batch = encode_dataset(dataset);
+    return model_.predict_batch(batch);
+}
+
+double HdcClassifier::evaluate(const data::Dataset& dataset) const {
+    const EncodedBatch batch = encode_dataset(dataset);
+    return model_.evaluate(batch);
+}
+
+}  // namespace hdlock::hdc

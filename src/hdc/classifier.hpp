@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file classifier.hpp
+/// End-to-end HDC classification pipeline (Fig. 1): discretize -> encode ->
+/// train/infer.  The encoder is injected, so the same pipeline runs with the
+/// standard RecordEncoder or with HDLock's LockedEncoder — this is how the
+/// paper's Fig. 8 (accuracy vs. number of key layers) is produced.
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "hdc/discretize.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/model.hpp"
+
+namespace hdlock::hdc {
+
+struct PipelineConfig {
+    DiscretizerMode discretizer_mode = DiscretizerMode::global;
+    TrainConfig train;
+};
+
+class HdcClassifier {
+public:
+    HdcClassifier() = default;
+
+    /// Fits the discretizer on `train_set`, encodes it with `encoder`, and
+    /// trains the HDC model. The dataset's feature count must match the
+    /// encoder's.
+    static HdcClassifier fit(const data::Dataset& train_set,
+                             std::shared_ptr<const Encoder> encoder,
+                             const PipelineConfig& config);
+
+    /// Discretizes and encodes a whole dataset once; reusable across
+    /// evaluations (and across retraining epochs inside fit()).  Binarized
+    /// encodings are included exactly when the trained model is binary.
+    EncodedBatch encode_dataset(const data::Dataset& dataset) const;
+
+    /// As above with explicit control over whether binarized encodings are
+    /// produced (used before a model exists).
+    EncodedBatch encode_dataset(const data::Dataset& dataset, bool with_binary) const;
+
+    int predict_row(std::span<const float> row) const;
+    std::vector<int> predict(const data::Dataset& dataset) const;
+    double evaluate(const data::Dataset& dataset) const;
+
+    const HdcModel& model() const noexcept { return model_; }
+    const Encoder& encoder() const noexcept { return *encoder_; }
+    const MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
+
+private:
+    std::shared_ptr<const Encoder> encoder_;
+    MinMaxDiscretizer discretizer_;
+    HdcModel model_;
+};
+
+}  // namespace hdlock::hdc

@@ -1,0 +1,62 @@
+#include "hdc/encoder.hpp"
+
+namespace hdlock::hdc {
+
+namespace bits = util::bits;
+
+void Encoder::check_levels(std::span<const int> levels) const {
+    HDLOCK_EXPECTS(levels.size() == n_features(), "Encoder: level vector has wrong length");
+    const auto top = static_cast<int>(n_levels());
+    for (const int level : levels) {
+        HDLOCK_EXPECTS(level >= 0 && level < top, "Encoder: level out of range");
+    }
+}
+
+BinaryHV Encoder::encode_binary(std::span<const int> levels) const {
+    const IntHV sums = encode(levels);
+    util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, util::fnv1a_of(levels)));
+    return sums.sign(tie_rng);
+}
+
+RecordEncoder::RecordEncoder(std::shared_ptr<const ItemMemory> memory, std::uint64_t tie_seed)
+    : Encoder(tie_seed), memory_(std::move(memory)) {
+    HDLOCK_EXPECTS(memory_ != nullptr, "RecordEncoder: null item memory");
+    HDLOCK_EXPECTS(memory_->n_features() > 0, "RecordEncoder: item memory has no feature HVs");
+}
+
+IntHV encode_with_hvs(std::span<const BinaryHV> feature_hvs, std::span<const BinaryHV> value_hvs,
+                      std::span<const int> levels) {
+    HDLOCK_EXPECTS(!feature_hvs.empty(), "encode_with_hvs: no feature hypervectors");
+    HDLOCK_EXPECTS(levels.size() == feature_hvs.size(), "encode_with_hvs: shape mismatch");
+    const std::size_t dim = feature_hvs.front().dim();
+
+    util::ColumnCounter counter(dim);
+    std::vector<bits::Word> product(bits::word_count(dim));
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const BinaryHV& value_hv = value_hvs[static_cast<std::size_t>(levels[i])];
+        bits::xor_into(product, feature_hvs[i].words(), value_hv.words());
+        counter.add(product);
+    }
+
+    IntHV sums(dim);
+    counter.bipolar_sums_into(sums.values());
+    return sums;
+}
+
+IntHV RecordEncoder::encode(std::span<const int> levels) const {
+    check_levels(levels);
+    return encode_with_hvs(memory_->feature_hvs(), memory_->value_hvs(), levels);
+}
+
+IntHV RecordEncoder::encode_reference(std::span<const int> levels) const {
+    check_levels(levels);
+    IntHV sums(dim());
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const BinaryHV product =
+            memory_->feature_hv(i) * memory_->value_hv(static_cast<std::size_t>(levels[i]));
+        sums.add(product);
+    }
+    return sums;
+}
+
+}  // namespace hdlock::hdc

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file encoder.hpp
+/// The HDC encoding module (Fig. 1 of the paper).
+///
+/// An Encoder maps a discretized feature vector (N levels in [0, M)) to a
+/// hypervector.  The record-based scheme of Eq. 2/3 is implemented here;
+/// HDLock's privileged variant (Eq. 10) lives in core/locked_encoder.hpp and
+/// shares this interface, which is what lets models, oracles, attacks and
+/// benchmarks treat protected and unprotected modules uniformly.
+///
+/// Binarization ties: Eq. 3 assigns sign(0) randomly.  To keep an encoder a
+/// *function* (the same input always yields the same output, as a hardware
+/// module would), ties are broken by a PRNG seeded from the encoder's tie
+/// seed mixed with a hash of the input.  Two encoders with different tie
+/// seeds agree on every non-tied element and disagree on about half of the
+/// ties — exactly the residual Hamming floor visible in the paper's Fig. 3.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+#include "util/bitslice.hpp"
+
+namespace hdlock::hdc {
+
+class Encoder {
+public:
+    explicit Encoder(std::uint64_t tie_seed) : tie_seed_(tie_seed) {}
+    virtual ~Encoder() = default;
+
+    Encoder(const Encoder&) = default;
+    Encoder& operator=(const Encoder&) = default;
+
+    virtual std::size_t dim() const = 0;
+    virtual std::size_t n_features() const = 0;
+    virtual std::size_t n_levels() const = 0;
+
+    /// Non-binary encoding H_nb (Eq. 2): the bundling sum of ValHV_{f_i} x
+    /// FeaHV_i over all features.  `levels[i]` must lie in [0, n_levels).
+    virtual IntHV encode(std::span<const int> levels) const = 0;
+
+    /// Binary encoding H_b = sign(H_nb) (Eq. 3) with deterministic-per-input
+    /// randomized tie-breaking (see file comment).
+    BinaryHV encode_binary(std::span<const int> levels) const;
+
+    std::uint64_t tie_seed() const noexcept { return tie_seed_; }
+
+protected:
+    /// Validates a level vector against this encoder's shape.
+    void check_levels(std::span<const int> levels) const;
+
+private:
+    std::uint64_t tie_seed_;
+};
+
+/// The standard record-based encoder of Sec. 2 (Eq. 2/3): one orthogonal
+/// FeaHV per feature index and M correlated ValHVs.
+class RecordEncoder final : public Encoder {
+public:
+    RecordEncoder(std::shared_ptr<const ItemMemory> memory, std::uint64_t tie_seed);
+
+    std::size_t dim() const override { return memory_->dim(); }
+    std::size_t n_features() const override { return memory_->n_features(); }
+    std::size_t n_levels() const override { return memory_->n_levels(); }
+
+    IntHV encode(std::span<const int> levels) const override;
+
+    /// Naive per-element reference implementation of Eq. 2, kept for the
+    /// bit-slicing equivalence tests and as executable documentation.
+    IntHV encode_reference(std::span<const int> levels) const;
+
+    const ItemMemory& memory() const noexcept { return *memory_; }
+    std::shared_ptr<const ItemMemory> memory_ptr() const noexcept { return memory_; }
+
+private:
+    std::shared_ptr<const ItemMemory> memory_;
+};
+
+/// Bundles the bound (ValHV x FeaHV) products for a level vector given
+/// explicit hypervector arrays; shared by RecordEncoder and LockedEncoder.
+IntHV encode_with_hvs(std::span<const BinaryHV> feature_hvs, std::span<const BinaryHV> value_hvs,
+                      std::span<const int> levels);
+
+}  // namespace hdlock::hdc

@@ -1,0 +1,219 @@
+#include "hdc/hypervector.hpp"
+
+#include <cmath>
+
+namespace hdlock::hdc {
+
+namespace bits = util::bits;
+
+BinaryHV::BinaryHV(std::size_t dim) : dim_(dim), words_(bits::word_count(dim), 0) {}
+
+BinaryHV BinaryHV::random(std::size_t dim, util::Xoshiro256ss& rng) {
+    HDLOCK_EXPECTS(dim > 0, "BinaryHV::random: dimension must be positive");
+    BinaryHV hv(dim);
+    bits::fill_random(hv.words_, dim, rng);
+    return hv;
+}
+
+int BinaryHV::get(std::size_t i) const {
+    HDLOCK_EXPECTS(i < dim_, "BinaryHV::get: index out of range");
+    return bits::get_bit(words_, i) ? -1 : +1;
+}
+
+void BinaryHV::set(std::size_t i, int value) {
+    HDLOCK_EXPECTS(i < dim_, "BinaryHV::set: index out of range");
+    HDLOCK_EXPECTS(value == 1 || value == -1, "BinaryHV::set: value must be +1 or -1");
+    bits::set_bit(words_, i, value == -1);
+}
+
+BinaryHV BinaryHV::operator*(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(dim_ == other.dim_, "BinaryHV::operator*: dimension mismatch");
+    BinaryHV out(dim_);
+    bits::xor_into(out.words_, words_, other.words_);
+    return out;
+}
+
+BinaryHV& BinaryHV::operator*=(const BinaryHV& other) {
+    HDLOCK_EXPECTS(dim_ == other.dim_, "BinaryHV::operator*=: dimension mismatch");
+    bits::xor_into(words_, words_, other.words_);
+    return *this;
+}
+
+BinaryHV BinaryHV::rotated(std::size_t k) const {
+    HDLOCK_EXPECTS(dim_ > 0, "BinaryHV::rotated: empty hypervector");
+    BinaryHV out(dim_);
+    bits::rotate(out.words_, words_, dim_, k);
+    return out;
+}
+
+std::size_t BinaryHV::hamming(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(dim_ == other.dim_, "BinaryHV::hamming: dimension mismatch");
+    return bits::hamming(words_, other.words_);
+}
+
+double BinaryHV::normalized_hamming(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(dim_ > 0, "BinaryHV::normalized_hamming: empty hypervector");
+    return static_cast<double>(hamming(other)) / static_cast<double>(dim_);
+}
+
+std::int64_t BinaryHV::dot(const BinaryHV& other) const {
+    return static_cast<std::int64_t>(dim_) - 2 * static_cast<std::int64_t>(hamming(other));
+}
+
+double BinaryHV::cosine(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(dim_ > 0, "BinaryHV::cosine: empty hypervector");
+    return static_cast<double>(dot(other)) / static_cast<double>(dim_);
+}
+
+void BinaryHV::save(util::BinaryWriter& writer) const {
+    writer.write_tag("BHV1");
+    writer.write_u64(dim_);
+    writer.write_span(std::span<const Word>(words_));
+}
+
+BinaryHV BinaryHV::load(util::BinaryReader& reader) {
+    reader.expect_tag("BHV1");
+    const std::uint64_t dim = reader.read_u64();
+    auto words = reader.read_vector<Word>();
+    if (words.size() != bits::word_count(static_cast<std::size_t>(dim))) {
+        throw FormatError("BinaryHV::load: word count does not match dimension");
+    }
+    if (!words.empty() && (words.back() & ~bits::tail_mask(static_cast<std::size_t>(dim))) != 0) {
+        throw FormatError("BinaryHV::load: dirty tail bits");
+    }
+    BinaryHV hv;
+    hv.dim_ = static_cast<std::size_t>(dim);
+    hv.words_ = std::move(words);
+    return hv;
+}
+
+IntHV IntHV::from_binary(const BinaryHV& hv) {
+    IntHV out(hv.dim());
+    out.add(hv);
+    return out;
+}
+
+void IntHV::add(const BinaryHV& hv) {
+    HDLOCK_EXPECTS(dim() == hv.dim(), "IntHV::add: dimension mismatch");
+    const auto words = hv.words();
+    const std::size_t n = dim();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        const Word word = words[w];
+        const std::size_t base = w * bits::kWordBits;
+        const std::size_t limit = std::min(bits::kWordBits, n - base);
+        for (std::size_t b = 0; b < limit; ++b) {
+            values_[base + b] += ((word >> b) & 1u) != 0 ? -1 : +1;
+        }
+    }
+}
+
+void IntHV::sub(const BinaryHV& hv) {
+    HDLOCK_EXPECTS(dim() == hv.dim(), "IntHV::sub: dimension mismatch");
+    const auto words = hv.words();
+    const std::size_t n = dim();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        const Word word = words[w];
+        const std::size_t base = w * bits::kWordBits;
+        const std::size_t limit = std::min(bits::kWordBits, n - base);
+        for (std::size_t b = 0; b < limit; ++b) {
+            values_[base + b] -= ((word >> b) & 1u) != 0 ? -1 : +1;
+        }
+    }
+}
+
+void IntHV::add(const IntHV& other) {
+    HDLOCK_EXPECTS(dim() == other.dim(), "IntHV::add: dimension mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+}
+
+void IntHV::sub(const IntHV& other) {
+    HDLOCK_EXPECTS(dim() == other.dim(), "IntHV::sub: dimension mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] -= other.values_[i];
+}
+
+IntHV IntHV::operator+(const IntHV& other) const {
+    IntHV out = *this;
+    out.add(other);
+    return out;
+}
+
+IntHV IntHV::operator-(const IntHV& other) const {
+    IntHV out = *this;
+    out.sub(other);
+    return out;
+}
+
+BinaryHV IntHV::sign(util::Xoshiro256ss& tie_rng) const {
+    HDLOCK_EXPECTS(!empty(), "IntHV::sign: empty hypervector");
+    BinaryHV out(dim());
+    auto words = out.words();
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        const std::int32_t v = values_[i];
+        const bool negative = v < 0 || (v == 0 && tie_rng.next_sign() < 0);
+        if (negative) bits::set_bit(words, i, true);
+    }
+    return out;
+}
+
+std::size_t IntHV::zero_count() const noexcept {
+    std::size_t zeros = 0;
+    for (const auto v : values_) zeros += v == 0 ? 1u : 0u;
+    return zeros;
+}
+
+std::int64_t IntHV::dot(const IntHV& other) const {
+    HDLOCK_EXPECTS(dim() == other.dim(), "IntHV::dot: dimension mismatch");
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        sum += static_cast<std::int64_t>(values_[i]) * other.values_[i];
+    }
+    return sum;
+}
+
+std::int64_t IntHV::dot(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(dim() == other.dim(), "IntHV::dot: dimension mismatch");
+    const auto words = other.words();
+    std::int64_t sum = 0;
+    const std::size_t n = dim();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        const Word word = words[w];
+        const std::size_t base = w * bits::kWordBits;
+        const std::size_t limit = std::min(bits::kWordBits, n - base);
+        for (std::size_t b = 0; b < limit; ++b) {
+            const std::int64_t v = values_[base + b];
+            sum += ((word >> b) & 1u) != 0 ? -v : v;
+        }
+    }
+    return sum;
+}
+
+double IntHV::norm() const {
+    double sum = 0.0;
+    for (const auto v : values_) sum += static_cast<double>(v) * v;
+    return std::sqrt(sum);
+}
+
+double IntHV::cosine(const IntHV& other) const {
+    const double denom = norm() * other.norm();
+    if (denom == 0.0) return 0.0;
+    return static_cast<double>(dot(other)) / denom;
+}
+
+double IntHV::cosine(const BinaryHV& other) const {
+    HDLOCK_EXPECTS(other.dim() > 0, "IntHV::cosine: empty hypervector");
+    const double denom = norm() * std::sqrt(static_cast<double>(other.dim()));
+    if (denom == 0.0) return 0.0;
+    return static_cast<double>(dot(other)) / denom;
+}
+
+void IntHV::save(util::BinaryWriter& writer) const {
+    writer.write_tag("IHV1");
+    writer.write_span(std::span<const std::int32_t>(values_));
+}
+
+IntHV IntHV::load(util::BinaryReader& reader) {
+    reader.expect_tag("IHV1");
+    return IntHV(reader.read_vector<std::int32_t>());
+}
+
+}  // namespace hdlock::hdc

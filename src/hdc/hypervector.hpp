@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file hypervector.hpp
+/// Hypervector value types and the MAP (Multiply-Add-Permute) algebra.
+///
+/// Two representations are used, following the paper's Sec. 2:
+///  - BinaryHV: a bipolar vector in {+1,-1}^D, stored packed (one bit per
+///    element; bit 1 encodes -1 so element-wise multiplication is XOR).
+///  - IntHV:    an integer vector in Z^D used for bundling sums (Eq. 2) and
+///    non-binary class hypervectors (Eq. 4).
+///
+/// Similarity metrics follow the paper: normalized Hamming distance between
+/// binary hypervectors (Eq. 1), cosine similarity between non-binary ones.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace hdlock::hdc {
+
+using Word = util::bits::Word;
+
+/// Packed bipolar hypervector in {+1,-1}^D.
+class BinaryHV {
+public:
+    /// Empty (dimension zero) hypervector.
+    BinaryHV() = default;
+
+    /// All-(+1) hypervector of the given dimension.
+    explicit BinaryHV(std::size_t dim);
+
+    /// I.i.d. uniform random bipolar hypervector. Two independent draws are
+    /// quasi-orthogonal: their normalized Hamming distance concentrates
+    /// around 0.5 (Eq. 1a).
+    static BinaryHV random(std::size_t dim, util::Xoshiro256ss& rng);
+
+    std::size_t dim() const noexcept { return dim_; }
+    bool empty() const noexcept { return dim_ == 0; }
+
+    /// Element access in the bipolar domain: returns +1 or -1.
+    int get(std::size_t i) const;
+    void set(std::size_t i, int value);
+
+    std::span<const Word> words() const noexcept { return words_; }
+    std::span<Word> words() noexcept { return words_; }
+
+    /// Element-wise bipolar multiplication (the MAP "bind" operator).
+    BinaryHV operator*(const BinaryHV& other) const;
+    BinaryHV& operator*=(const BinaryHV& other);
+
+    /// The paper's permutation rho_k: rotated(k)[i] = (*this)[(i + k) mod D].
+    /// k may exceed D; rho_D is the identity.
+    BinaryHV rotated(std::size_t k) const;
+
+    /// Unnormalized Hamming distance (number of differing elements).
+    std::size_t hamming(const BinaryHV& other) const;
+
+    /// Hamming distance divided by the dimension, as in Eq. 1.
+    double normalized_hamming(const BinaryHV& other) const;
+
+    /// Inner product in the bipolar domain: D - 2 * hamming.
+    std::int64_t dot(const BinaryHV& other) const;
+
+    /// Cosine similarity; for bipolar vectors this is dot / D in [-1, 1].
+    double cosine(const BinaryHV& other) const;
+
+    bool operator==(const BinaryHV& other) const = default;
+
+    void save(util::BinaryWriter& writer) const;
+    static BinaryHV load(util::BinaryReader& reader);
+
+private:
+    std::size_t dim_ = 0;
+    std::vector<Word> words_;
+};
+
+/// Integer hypervector in Z^D holding bundling sums.
+class IntHV {
+public:
+    IntHV() = default;
+
+    /// Zero vector of the given dimension.
+    explicit IntHV(std::size_t dim) : values_(dim, 0) {}
+
+    explicit IntHV(std::vector<std::int32_t> values) : values_(std::move(values)) {}
+
+    /// Lifts a bipolar hypervector into Z^D.
+    static IntHV from_binary(const BinaryHV& hv);
+
+    std::size_t dim() const noexcept { return values_.size(); }
+    bool empty() const noexcept { return values_.empty(); }
+
+    std::int32_t operator[](std::size_t i) const { return values_[i]; }
+    std::int32_t& operator[](std::size_t i) { return values_[i]; }
+    std::span<const std::int32_t> values() const noexcept { return values_; }
+    std::span<std::int32_t> values() noexcept { return values_; }
+
+    /// Element-wise accumulation of a bipolar hypervector (bundling).
+    void add(const BinaryHV& hv);
+    void sub(const BinaryHV& hv);
+    void add(const IntHV& other);
+    void sub(const IntHV& other);
+
+    IntHV operator+(const IntHV& other) const;
+    IntHV operator-(const IntHV& other) const;
+
+    /// Binarization sign(H) of Eq. 3. Zeros are broken to +1/-1 by the
+    /// supplied generator, matching the paper's randomized sign(0).
+    BinaryHV sign(util::Xoshiro256ss& tie_rng) const;
+
+    /// Number of exactly-zero elements (the sign() ties).
+    std::size_t zero_count() const noexcept;
+
+    std::int64_t dot(const IntHV& other) const;
+    std::int64_t dot(const BinaryHV& other) const;
+    double norm() const;
+
+    /// Cosine similarity used by non-binary inference; 0 when either vector
+    /// has zero norm.
+    double cosine(const IntHV& other) const;
+    double cosine(const BinaryHV& other) const;
+
+    bool operator==(const IntHV& other) const = default;
+
+    void save(util::BinaryWriter& writer) const;
+    static IntHV load(util::BinaryReader& reader);
+
+private:
+    std::vector<std::int32_t> values_;
+};
+
+}  // namespace hdlock::hdc

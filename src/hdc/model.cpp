@@ -1,0 +1,147 @@
+#include "hdc/model.hpp"
+
+namespace hdlock::hdc {
+
+HdcModel HdcModel::train(const EncodedBatch& batch, int n_classes, const TrainConfig& config) {
+    HDLOCK_EXPECTS(n_classes >= 2, "HdcModel::train: need at least two classes");
+    HDLOCK_EXPECTS(batch.size() > 0, "HdcModel::train: empty batch");
+    HDLOCK_EXPECTS(batch.labels.size() == batch.size(), "HdcModel::train: label count mismatch");
+    HDLOCK_EXPECTS(config.retrain_epochs >= 0, "HdcModel::train: negative epoch count");
+    HDLOCK_EXPECTS(config.learning_rate >= 1, "HdcModel::train: learning rate must be >= 1");
+    const bool binary = config.kind == ModelKind::binary;
+    HDLOCK_EXPECTS(!binary || batch.binary.size() == batch.size(),
+                   "HdcModel::train: binary model needs binarized encodings");
+
+    const std::size_t dim = batch.non_binary.front().dim();
+    HdcModel model;
+    model.kind_ = config.kind;
+    model.class_sums_.assign(static_cast<std::size_t>(n_classes), IntHV(dim));
+
+    // Initial bundling (Eq. 4): every sample is added to its class sum.
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        const int label = batch.labels[s];
+        HDLOCK_EXPECTS(label >= 0 && label < n_classes, "HdcModel::train: label out of range");
+        model.class_sums_[static_cast<std::size_t>(label)].add(batch.non_binary[s]);
+    }
+
+    util::Xoshiro256ss tie_rng(util::hash_mix(config.seed, 0xB1AA));
+    if (binary) model.rebinarize_(tie_rng);
+
+    // QuantHD-style retraining: predict with the deployed representation and
+    // repair mistakes in the full-precision sums.
+    for (int epoch = 0; epoch < config.retrain_epochs; ++epoch) {
+        std::size_t mistakes = 0;
+        for (std::size_t s = 0; s < batch.size(); ++s) {
+            const int truth = batch.labels[s];
+            const int predicted =
+                binary ? model.predict(batch.binary[s]) : model.predict(batch.non_binary[s]);
+            if (predicted == truth) continue;
+            ++mistakes;
+            for (int rep = 0; rep < config.learning_rate; ++rep) {
+                model.class_sums_[static_cast<std::size_t>(truth)].add(batch.non_binary[s]);
+                model.class_sums_[static_cast<std::size_t>(predicted)].sub(batch.non_binary[s]);
+            }
+        }
+        if (binary) model.rebinarize_(tie_rng);
+        model.epochs_run_ = epoch + 1;
+        if (config.stop_when_clean && mistakes == 0) break;
+    }
+    return model;
+}
+
+void HdcModel::rebinarize_(util::Xoshiro256ss& rng) {
+    class_binary_.clear();
+    class_binary_.reserve(class_sums_.size());
+    for (const auto& sum : class_sums_) class_binary_.push_back(sum.sign(rng));
+}
+
+const IntHV& HdcModel::class_sum(int cls) const {
+    HDLOCK_EXPECTS(cls >= 0 && cls < n_classes(), "HdcModel::class_sum: class out of range");
+    return class_sums_[static_cast<std::size_t>(cls)];
+}
+
+const BinaryHV& HdcModel::class_binary(int cls) const {
+    HDLOCK_EXPECTS(kind_ == ModelKind::binary, "HdcModel::class_binary: non-binary model");
+    HDLOCK_EXPECTS(cls >= 0 && cls < n_classes(), "HdcModel::class_binary: class out of range");
+    return class_binary_[static_cast<std::size_t>(cls)];
+}
+
+int HdcModel::predict(const IntHV& query) const {
+    HDLOCK_EXPECTS(!class_sums_.empty(), "HdcModel::predict: untrained model");
+    int best = 0;
+    double best_similarity = -2.0;
+    for (int cls = 0; cls < n_classes(); ++cls) {
+        const double similarity = class_sums_[static_cast<std::size_t>(cls)].cosine(query);
+        if (similarity > best_similarity) {
+            best_similarity = similarity;
+            best = cls;
+        }
+    }
+    return best;
+}
+
+int HdcModel::predict(const BinaryHV& query) const {
+    HDLOCK_EXPECTS(kind_ == ModelKind::binary, "HdcModel::predict(BinaryHV): non-binary model");
+    HDLOCK_EXPECTS(!class_binary_.empty(), "HdcModel::predict: untrained model");
+    int best = 0;
+    std::size_t best_distance = query.dim() + 1;
+    for (int cls = 0; cls < n_classes(); ++cls) {
+        const std::size_t distance = class_binary_[static_cast<std::size_t>(cls)].hamming(query);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = cls;
+        }
+    }
+    return best;
+}
+
+std::vector<int> HdcModel::predict_batch(const EncodedBatch& batch) const {
+    const bool binary = kind_ == ModelKind::binary;
+    HDLOCK_EXPECTS(!binary || batch.binary.size() == batch.size(),
+                   "HdcModel::predict_batch: binary model needs binarized encodings");
+    std::vector<int> predictions;
+    predictions.reserve(batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        predictions.push_back(binary ? predict(batch.binary[s]) : predict(batch.non_binary[s]));
+    }
+    return predictions;
+}
+
+double HdcModel::evaluate(const EncodedBatch& batch) const {
+    HDLOCK_EXPECTS(batch.size() > 0, "HdcModel::evaluate: empty batch");
+    const auto predictions = predict_batch(batch);
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        correct += predictions[s] == batch.labels[s] ? 1u : 0u;
+    }
+    return static_cast<double>(correct) / static_cast<double>(batch.size());
+}
+
+void HdcModel::save(util::BinaryWriter& writer) const {
+    writer.write_tag("MDL1");
+    writer.write_u8(static_cast<std::uint8_t>(kind_));
+    writer.write_i32(epochs_run_);
+    writer.write_u64(class_sums_.size());
+    for (const auto& sum : class_sums_) sum.save(writer);
+    writer.write_u64(class_binary_.size());
+    for (const auto& hv : class_binary_) hv.save(writer);
+}
+
+HdcModel HdcModel::load(util::BinaryReader& reader) {
+    reader.expect_tag("MDL1");
+    HdcModel model;
+    const auto kind = reader.read_u8();
+    if (kind > 1) throw FormatError("HdcModel::load: bad model kind");
+    model.kind_ = static_cast<ModelKind>(kind);
+    model.epochs_run_ = reader.read_i32();
+    const std::uint64_t n_sums = reader.read_u64();
+    for (std::uint64_t i = 0; i < n_sums; ++i) model.class_sums_.push_back(IntHV::load(reader));
+    const std::uint64_t n_bin = reader.read_u64();
+    for (std::uint64_t i = 0; i < n_bin; ++i) model.class_binary_.push_back(BinaryHV::load(reader));
+    if (model.kind_ == ModelKind::binary && model.class_binary_.size() != model.class_sums_.size()) {
+        throw FormatError("HdcModel::load: binary model missing binarized class HVs");
+    }
+    return model;
+}
+
+}  // namespace hdlock::hdc

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file model.hpp
+/// HDC classification model: class hypervectors, training and inference.
+///
+/// Training follows the paper's Sec. 2: class hypervectors are the bundling
+/// sums of the encoded training samples (Eq. 4), optionally refined with
+/// QuantHD-style retraining — on a misprediction the sample is added to the
+/// correct class sum and subtracted from the mispredicted one.  Inference
+/// compares the encoded query against every class hypervector with cosine
+/// similarity (non-binary model) or Hamming distance (binary model).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace hdlock::hdc {
+
+enum class ModelKind : std::uint8_t {
+    non_binary = 0,  ///< integer class HVs, cosine similarity
+    binary = 1       ///< binarized class HVs, Hamming distance
+};
+
+struct TrainConfig {
+    ModelKind kind = ModelKind::non_binary;
+    /// Retraining passes over the training set after the initial bundling;
+    /// 0 reproduces plain single-pass HDC training.
+    int retrain_epochs = 10;
+    /// Integer "learning rate": the weight applied to retraining updates.
+    int learning_rate = 1;
+    /// Stop early once a full epoch makes no mistakes.
+    bool stop_when_clean = true;
+    std::uint64_t seed = 1;
+};
+
+/// A batch of encoded samples: the non-binary encodings plus (for binary
+/// models) their binarizations, computed once so retraining epochs and
+/// evaluation never re-encode.
+struct EncodedBatch {
+    std::vector<IntHV> non_binary;
+    std::vector<BinaryHV> binary;  ///< empty unless the model kind needs it
+    std::vector<int> labels;
+
+    std::size_t size() const noexcept { return non_binary.size(); }
+};
+
+class HdcModel {
+public:
+    HdcModel() = default;
+
+    /// Trains on encoded samples. `batch.binary` must be populated when
+    /// config.kind == ModelKind::binary.
+    static HdcModel train(const EncodedBatch& batch, int n_classes, const TrainConfig& config);
+
+    ModelKind kind() const noexcept { return kind_; }
+    int n_classes() const noexcept { return static_cast<int>(class_sums_.size()); }
+    std::size_t dim() const noexcept { return class_sums_.empty() ? 0 : class_sums_[0].dim(); }
+
+    /// Integer class hypervector (Eq. 4 sums plus retraining updates).
+    const IntHV& class_sum(int cls) const;
+    /// Binarized class hypervector; only valid for binary models.
+    const BinaryHV& class_binary(int cls) const;
+
+    /// Non-binary inference: argmax cosine(query, ClassHV_j).
+    int predict(const IntHV& query) const;
+    /// Binary inference: argmin Hamming(query, sign(ClassHV_j)).
+    int predict(const BinaryHV& query) const;
+
+    /// Predicts every sample in the batch using the representation matching
+    /// the model kind.
+    std::vector<int> predict_batch(const EncodedBatch& batch) const;
+
+    /// Fraction of batch samples classified correctly.
+    double evaluate(const EncodedBatch& batch) const;
+
+    /// Number of retraining epochs actually executed (early stop included).
+    int epochs_run() const noexcept { return epochs_run_; }
+
+    void save(util::BinaryWriter& writer) const;
+    static HdcModel load(util::BinaryReader& reader);
+
+private:
+    void rebinarize_(util::Xoshiro256ss& rng);
+
+    ModelKind kind_ = ModelKind::non_binary;
+    std::vector<IntHV> class_sums_;
+    std::vector<BinaryHV> class_binary_;
+    int epochs_run_ = 0;
+};
+
+}  // namespace hdlock::hdc

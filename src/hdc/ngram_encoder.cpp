@@ -1,0 +1,77 @@
+#include "hdc/ngram_encoder.hpp"
+
+#include "util/bitslice.hpp"
+#include "util/error.hpp"
+
+namespace hdlock::hdc {
+
+NGramEncoder::NGramEncoder(std::vector<BinaryHV> symbols, std::size_t gram_size,
+                           std::uint64_t tie_seed)
+    : symbols_(std::move(symbols)), gram_size_(gram_size), tie_seed_(tie_seed) {
+    HDLOCK_EXPECTS(!symbols_.empty(), "NGramEncoder: empty symbol memory");
+    HDLOCK_EXPECTS(gram_size_ >= 1, "NGramEncoder: gram size must be at least 1");
+    dim_ = symbols_.front().dim();
+    HDLOCK_EXPECTS(dim_ > 0, "NGramEncoder: zero-dimensional symbols");
+    for (const auto& symbol : symbols_) {
+        HDLOCK_EXPECTS(symbol.dim() == dim_, "NGramEncoder: inconsistent symbol dimensions");
+    }
+}
+
+const BinaryHV& NGramEncoder::symbol_hv(std::size_t symbol) const {
+    HDLOCK_EXPECTS(symbol < symbols_.size(), "NGramEncoder: symbol out of range");
+    return symbols_[symbol];
+}
+
+BinaryHV NGramEncoder::gram_hv(std::span<const int> gram) const {
+    HDLOCK_EXPECTS(gram.size() == gram_size_, "NGramEncoder: gram has wrong length");
+    BinaryHV bound;
+    for (std::size_t g = 0; g < gram.size(); ++g) {
+        const int symbol = gram[g];
+        HDLOCK_EXPECTS(symbol >= 0 && static_cast<std::size_t>(symbol) < symbols_.size(),
+                       "NGramEncoder: symbol out of range");
+        // Position g (0 = oldest) is rotated by gram_size - 1 - g, so the
+        // most recent symbol enters unrotated.
+        const BinaryHV rotated =
+            symbols_[static_cast<std::size_t>(symbol)].rotated(gram_size_ - 1 - g);
+        bound = g == 0 ? rotated : bound * rotated;
+    }
+    return bound;
+}
+
+IntHV NGramEncoder::encode(std::span<const int> sequence) const {
+    HDLOCK_EXPECTS(sequence.size() >= gram_size_,
+                   "NGramEncoder: sequence shorter than one gram");
+    util::ColumnCounter counter(dim_);
+    for (std::size_t t = 0; t + gram_size_ <= sequence.size(); ++t) {
+        const BinaryHV gram = gram_hv(sequence.subspan(t, gram_size_));
+        counter.add(gram.words());
+    }
+    IntHV sums(dim_);
+    counter.bipolar_sums_into(sums.values());
+    return sums;
+}
+
+BinaryHV NGramEncoder::encode_binary(std::span<const int> sequence) const {
+    const IntHV sums = encode(sequence);
+    // Mix the tie seed with a cheap sequence hash so ties break randomly but
+    // reproducibly per input, mirroring hdc::Encoder::encode_binary.
+    std::uint64_t input_hash = 0x9E3779B97F4A7C15ull;
+    for (const int symbol : sequence) {
+        input_hash = util::hash_mix(input_hash, static_cast<std::uint64_t>(symbol) + 1);
+    }
+    util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, input_hash));
+    return sums.sign(tie_rng);
+}
+
+std::vector<BinaryHV> generate_symbol_hvs(std::size_t dim, std::size_t alphabet,
+                                          std::uint64_t seed) {
+    HDLOCK_EXPECTS(dim > 0, "generate_symbol_hvs: dim must be positive");
+    HDLOCK_EXPECTS(alphabet > 0, "generate_symbol_hvs: alphabet must be positive");
+    util::Xoshiro256ss rng(seed);
+    std::vector<BinaryHV> symbols;
+    symbols.reserve(alphabet);
+    for (std::size_t a = 0; a < alphabet; ++a) symbols.push_back(BinaryHV::random(dim, rng));
+    return symbols;
+}
+
+}  // namespace hdlock::hdc

@@ -1,0 +1,61 @@
+#include "hw/pipeline_model.hpp"
+
+namespace hdlock::hw {
+
+namespace {
+
+void validate(const HwConfig& config) {
+    HDLOCK_EXPECTS(config.datapath_width > 0, "HwConfig: datapath_width must be positive");
+    HDLOCK_EXPECTS(config.memory_ports > 0, "HwConfig: memory_ports must be positive");
+    HDLOCK_EXPECTS(config.accumulate_beats > 0, "HwConfig: accumulate_beats must be positive");
+}
+
+}  // namespace
+
+EncoderPipelineModel::EncoderPipelineModel(const HwConfig& config, std::size_t dim,
+                                           std::size_t n_features, std::size_t n_layers)
+    : config_(config), dim_(dim), n_features_(n_features), n_layers_(n_layers) {
+    validate(config);
+    HDLOCK_EXPECTS(dim > 0, "EncoderPipelineModel: dim must be positive");
+    HDLOCK_EXPECTS(n_features > 0, "EncoderPipelineModel: n_features must be positive");
+}
+
+EncodeCost EncoderPipelineModel::encode_cost() const {
+    const std::uint64_t segments =
+        (dim_ + config_.datapath_width - 1) / config_.datapath_width;
+
+    // Operands streamed per feature-segment: the ValHV plus max(1, L)
+    // base/feature hypervectors.  Rotation is absorbed into the read address
+    // (fact 1 in the file comment), and the XOR is fused into the stream.
+    const std::uint64_t operands = 1 + (n_layers_ == 0 ? 1 : n_layers_);
+    const std::uint64_t fetch_per_segment =
+        (operands + config_.memory_ports - 1) / config_.memory_ports;
+
+    EncodeCost cost;
+    cost.fetch_beats = n_features_ * segments * fetch_per_segment;
+    cost.accumulate_beats = n_features_ * segments * config_.accumulate_beats;
+    cost.binarize_beats = segments;
+    cost.fill_beats = config_.pipeline_fill;
+    cost.cycles =
+        cost.fetch_beats + cost.accumulate_beats + cost.binarize_beats + cost.fill_beats;
+    return cost;
+}
+
+double EncoderPipelineModel::relative_to_baseline() const {
+    const EncoderPipelineModel baseline(config_, dim_, n_features_, 0);
+    return static_cast<double>(cycles()) / static_cast<double>(baseline.cycles());
+}
+
+std::vector<double> relative_time_curve(const HwConfig& config, std::size_t dim,
+                                        std::size_t n_features, std::size_t max_layers) {
+    HDLOCK_EXPECTS(max_layers >= 1, "relative_time_curve: need at least one layer");
+    std::vector<double> curve;
+    curve.reserve(max_layers);
+    for (std::size_t layers = 1; layers <= max_layers; ++layers) {
+        curve.push_back(
+            EncoderPipelineModel(config, dim, n_features, layers).relative_to_baseline());
+    }
+    return curve;
+}
+
+}  // namespace hdlock::hw

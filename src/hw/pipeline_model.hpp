@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file pipeline_model.hpp
+/// Clock-cycle cost model of the HDC encoder datapath (Fig. 9 substrate).
+///
+/// The paper measures encoding time in clock cycles on a Zynq UltraScale+
+/// FPGA with the computation "segmented, pipelined and paralleled as tree
+/// structure" [QuantHD].  That hardware is replaced here by a parametric
+/// model (DESIGN.md §2) built around three structural facts the paper
+/// reports:
+///
+///  1. A permutation rho_k is a shifted memory access — free.  Hence L = 1
+///     costs exactly as much as the unprotected baseline (both stream two
+///     operands per feature-segment: one ValHV and one base/FeaHV).
+///  2. Every additional layer streams one more base hypervector through the
+///     fused fetch+XOR datapath, so cycles grow linearly from L = 2.
+///  3. Both locked and baseline cost scale with N * D / datapath_width, so
+///     their *ratio* is dataset-independent — the paper's observation that
+///     the relative-time curves of all five benchmarks coincide.
+///
+/// Per feature-segment the initiation interval is
+///     II(L) = ceil((1 + max(1, L)) / memory_ports) + accumulate_beats
+/// and a whole sample costs
+///     cycles = pipeline_fill + N * segments * II(L) + segments(binarize).
+///
+/// The defaults (one memory port, 3 accumulate beats) are calibrated so the
+/// two-layer overhead matches the paper's headline 1.21x: II(2)/II(1) =
+/// 6/5 = 1.20.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdlock::hw {
+
+/// Parametric description of the encoder datapath.
+struct HwConfig {
+    /// Bits processed per beat (the segment width of the segmented design).
+    std::size_t datapath_width = 512;
+    /// Concurrent hypervector-memory reads per beat.
+    std::size_t memory_ports = 1;
+    /// Adder-tree beats to fold one product segment into the accumulator.
+    std::size_t accumulate_beats = 3;
+    /// One-time pipeline priming latency in beats.
+    std::size_t pipeline_fill = 16;
+    /// Clock frequency used by microseconds().
+    double clock_mhz = 200.0;
+};
+
+/// Cycle breakdown for encoding one input sample.
+struct EncodeCost {
+    std::uint64_t cycles = 0;
+    std::uint64_t fetch_beats = 0;       ///< operand streaming (incl. fused XOR)
+    std::uint64_t accumulate_beats = 0;  ///< adder-tree folding
+    std::uint64_t binarize_beats = 0;    ///< final sign() pass
+    std::uint64_t fill_beats = 0;        ///< pipeline priming
+
+    double microseconds(double clock_mhz) const {
+        HDLOCK_EXPECTS(clock_mhz > 0.0, "EncodeCost: clock must be positive");
+        return static_cast<double>(cycles) / clock_mhz;
+    }
+};
+
+/// Cycle-cost model for one encoder configuration.
+class EncoderPipelineModel {
+public:
+    /// \param n_layers HDLock layers; 0 = unprotected baseline.
+    EncoderPipelineModel(const HwConfig& config, std::size_t dim, std::size_t n_features,
+                         std::size_t n_layers);
+
+    /// Cost of encoding one sample.
+    EncodeCost encode_cost() const;
+    std::uint64_t cycles() const { return encode_cost().cycles; }
+
+    /// Encoding time of this configuration relative to the same device
+    /// running the unprotected (L = 0) module — the y-axis of Fig. 9.
+    double relative_to_baseline() const;
+
+    std::size_t dim() const noexcept { return dim_; }
+    std::size_t n_features() const noexcept { return n_features_; }
+    std::size_t n_layers() const noexcept { return n_layers_; }
+    const HwConfig& config() const noexcept { return config_; }
+
+private:
+    HwConfig config_;
+    std::size_t dim_;
+    std::size_t n_features_;
+    std::size_t n_layers_;
+};
+
+/// Convenience: the relative-time curve for L = 1..max_layers on one device
+/// (one line of Fig. 9).
+std::vector<double> relative_time_curve(const HwConfig& config, std::size_t dim,
+                                        std::size_t n_features, std::size_t max_layers);
+
+}  // namespace hdlock::hw

@@ -1,0 +1,78 @@
+#include "util/bitslice.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hdlock::util {
+
+ColumnCounter::ColumnCounter(std::size_t n_bits, std::size_t n_planes)
+    : n_bits_(n_bits), n_words_(bits::word_count(n_bits)), n_planes_(n_planes) {
+    HDLOCK_EXPECTS(n_bits > 0, "ColumnCounter: n_bits must be positive");
+    HDLOCK_EXPECTS(n_planes >= 1 && n_planes <= 16, "ColumnCounter: n_planes out of range");
+    planes_.assign(n_planes_ * n_words_, 0);
+    flushed_.assign(n_bits_, 0);
+}
+
+void ColumnCounter::add(std::span<const bits::Word> row) {
+    HDLOCK_EXPECTS(row.size() == n_words_, "ColumnCounter::add: row width mismatch");
+    if (rows_in_planes_ == (std::size_t{1} << n_planes_) - 1) flush_planes_();
+    // Carry-save addition of a 1-bit row across the planes: plane p holds bit
+    // p of every column's running count.
+    for (std::size_t w = 0; w < n_words_; ++w) {
+        bits::Word carry = row[w];
+        for (std::size_t p = 0; p < n_planes_ && carry != 0; ++p) {
+            bits::Word& plane = planes_[p * n_words_ + w];
+            const bits::Word sum = plane ^ carry;
+            carry &= plane;
+            plane = sum;
+        }
+    }
+    ++rows_in_planes_;
+    ++rows_added_;
+}
+
+void ColumnCounter::flush_planes_() {
+    for (std::size_t p = 0; p < n_planes_; ++p) {
+        const auto weight = static_cast<std::int32_t>(1u << p);
+        for (std::size_t w = 0; w < n_words_; ++w) {
+            bits::Word word = planes_[p * n_words_ + w];
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                flushed_[w * bits::kWordBits + bit] += weight;
+                word &= word - 1;
+            }
+        }
+    }
+    std::ranges::fill(planes_, bits::Word{0});
+    rows_in_planes_ = 0;
+}
+
+void ColumnCounter::counts_into(std::span<std::int32_t> counts) {
+    HDLOCK_EXPECTS(counts.size() == n_bits_, "ColumnCounter::counts_into: size mismatch");
+    flush_planes_();
+    std::copy(flushed_.begin(), flushed_.end(), counts.begin());
+}
+
+void ColumnCounter::bipolar_sums_into(std::span<std::int32_t> sums) {
+    HDLOCK_EXPECTS(sums.size() == n_bits_, "ColumnCounter::bipolar_sums_into: size mismatch");
+    flush_planes_();
+    const auto n = static_cast<std::int32_t>(rows_added_);
+    for (std::size_t j = 0; j < n_bits_; ++j) sums[j] = n - 2 * flushed_[j];
+}
+
+void ColumnCounter::reset() noexcept {
+    std::ranges::fill(planes_, bits::Word{0});
+    std::ranges::fill(flushed_, 0);
+    rows_in_planes_ = 0;
+    rows_added_ = 0;
+}
+
+void naive_accumulate(std::span<const bits::Word> row, std::size_t n_bits,
+                      std::span<std::int32_t> counts) {
+    HDLOCK_EXPECTS(counts.size() == n_bits, "naive_accumulate: size mismatch");
+    for (std::size_t j = 0; j < n_bits; ++j) {
+        counts[j] += bits::get_bit(row, j) ? 1 : 0;
+    }
+}
+
+}  // namespace hdlock::util

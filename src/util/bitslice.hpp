@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file bitslice.hpp
+/// Bit-sliced (carry-save) column accumulation.
+///
+/// The HDC encoder hot loop needs, for every output dimension j, the count of
+/// set bits across N packed product vectors (a column sum of an N x D bit
+/// matrix).  Unpacking every word bit-by-bit costs 64 scalar adds per word
+/// per row.  ColumnCounter instead accumulates rows into a small stack of
+/// "vertical" carry-save bit planes with ~n_planes bitwise ops per word per
+/// row, and only unpacks the planes every 2^n_planes - 1 rows.  This is the
+/// classic vertical-counter technique used in population-count literature and
+/// mirrors how a hardware adder tree would fold the same computation.
+///
+/// tests/util/bitslice_test.cc asserts exact equality with the naive
+/// accumulation; bench/bench_ops.cpp measures the speedup (the ablation
+/// called out in DESIGN.md §4).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace hdlock::util {
+
+/// Accumulates per-column set-bit counts over a stream of equally sized
+/// packed bit rows.
+class ColumnCounter {
+public:
+    /// \param n_bits   logical columns per row
+    /// \param n_planes number of carry-save planes (flush period = 2^n_planes - 1)
+    explicit ColumnCounter(std::size_t n_bits, std::size_t n_planes = 6);
+
+    /// Adds one packed row. `row` must hold word_count(n_bits) words with a
+    /// clean tail.
+    void add(std::span<const bits::Word> row);
+
+    /// Number of rows added since the last reset().
+    std::size_t rows_added() const noexcept { return rows_added_; }
+
+    /// Writes the per-column set-bit count into `counts` (size n_bits).
+    /// The counter remains usable; more rows may be added afterwards.
+    void counts_into(std::span<std::int32_t> counts);
+
+    /// Writes the per-column bipolar sum into `sums` (size n_bits), using the
+    /// bit convention of bitvec.hpp (bit 1 == value -1):
+    ///   sums[j] = rows_added() - 2 * count[j].
+    void bipolar_sums_into(std::span<std::int32_t> sums);
+
+    /// Clears all state.
+    void reset() noexcept;
+
+    std::size_t n_bits() const noexcept { return n_bits_; }
+
+private:
+    void flush_planes_();
+
+    std::size_t n_bits_;
+    std::size_t n_words_;
+    std::size_t n_planes_;
+    std::size_t rows_added_ = 0;
+    std::size_t rows_in_planes_ = 0;
+    std::vector<bits::Word> planes_;        // n_planes_ consecutive rows of n_words_
+    std::vector<std::int32_t> flushed_;     // counts already folded out of the planes
+};
+
+/// Reference implementation used by tests and kept as documentation of the
+/// semantics: adds each bit of `row` to `counts` individually.
+void naive_accumulate(std::span<const bits::Word> row, std::size_t n_bits,
+                      std::span<std::int32_t> counts);
+
+}  // namespace hdlock::util

@@ -1,0 +1,125 @@
+#include "util/bitvec.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hdlock::util::bits {
+
+void clear(std::span<Word> words) noexcept {
+    std::ranges::fill(words, Word{0});
+}
+
+void fill_random(std::span<Word> words, std::size_t n_bits, Xoshiro256ss& rng) noexcept {
+    for (auto& word : words) word = rng();
+    if (!words.empty()) words.back() &= tail_mask(n_bits);
+}
+
+void xor_into(std::span<Word> dst, std::span<const Word> a, std::span<const Word> b) noexcept {
+    const std::size_t n = dst.size();
+    for (std::size_t w = 0; w < n; ++w) dst[w] = a[w] ^ b[w];
+}
+
+void not_into(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits) noexcept {
+    const std::size_t n = dst.size();
+    for (std::size_t w = 0; w < n; ++w) dst[w] = ~src[w];
+    if (!dst.empty()) dst.back() &= tail_mask(n_bits);
+}
+
+std::size_t popcount(std::span<const Word> words) noexcept {
+    std::size_t total = 0;
+    for (const Word w : words) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+std::size_t hamming(std::span<const Word> a, std::span<const Word> b) noexcept {
+    std::size_t total = 0;
+    const std::size_t n = a.size();
+    for (std::size_t w = 0; w < n; ++w) {
+        total += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+    }
+    return total;
+}
+
+void collect_set_bits(std::span<const Word> words, std::size_t n_bits,
+                      std::vector<std::uint32_t>& out) {
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        Word word = words[w];
+        while (word != 0) {
+            const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+            const std::size_t index = w * kWordBits + bit;
+            if (index < n_bits) out.push_back(static_cast<std::uint32_t>(index));
+            word &= word - 1;  // clear lowest set bit
+        }
+    }
+}
+
+namespace {
+
+/// Extracts `len` (1..64) bits of src starting at bit offset `off`.
+Word extract_bits(std::span<const Word> src, std::size_t off, std::size_t len) noexcept {
+    const std::size_t word = off / kWordBits;
+    const std::size_t shift = off % kWordBits;
+    Word value = src[word] >> shift;
+    const std::size_t taken = kWordBits - shift;
+    if (len > taken) {
+        value |= src[word + 1] << taken;
+    }
+    if (len < kWordBits) {
+        value &= (Word{1} << len) - 1;
+    }
+    return value;
+}
+
+/// Deposits `len` (1..64) bits of `value` into dst at bit offset `off`.
+/// Bits of `value` above `len` must be zero.
+void deposit_bits(std::span<Word> dst, std::size_t off, std::size_t len, Word value) noexcept {
+    const std::size_t word = off / kWordBits;
+    const std::size_t shift = off % kWordBits;
+    const Word mask = (len < kWordBits) ? ((Word{1} << len) - 1) : ~Word{0};
+    dst[word] = (dst[word] & ~(mask << shift)) | (value << shift);
+    const std::size_t taken = kWordBits - shift;
+    if (len > taken) {
+        const std::size_t spill = len - taken;
+        const Word spill_mask = (Word{1} << spill) - 1;
+        dst[word + 1] = (dst[word + 1] & ~spill_mask) | (value >> taken);
+    }
+}
+
+}  // namespace
+
+void copy_bits(std::span<Word> dst, std::size_t dst_off, std::span<const Word> src,
+               std::size_t src_off, std::size_t len) {
+    HDLOCK_EXPECTS(dst_off + len <= dst.size() * kWordBits, "copy_bits: destination overflow");
+    HDLOCK_EXPECTS(src_off + len <= src.size() * kWordBits, "copy_bits: source overflow");
+    HDLOCK_EXPECTS(dst.data() != src.data(), "copy_bits: aliasing is not supported");
+    while (len > 0) {
+        const std::size_t chunk = std::min({len, kWordBits, kWordBits - dst_off % kWordBits});
+        deposit_bits(dst, dst_off, chunk, extract_bits(src, src_off, chunk));
+        dst_off += chunk;
+        src_off += chunk;
+        len -= chunk;
+    }
+}
+
+void rotate(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits, std::size_t k) {
+    HDLOCK_EXPECTS(n_bits > 0, "rotate: empty vector");
+    HDLOCK_EXPECTS(dst.size() >= word_count(n_bits) && src.size() >= word_count(n_bits),
+                   "rotate: spans too small for n_bits");
+    HDLOCK_EXPECTS(dst.data() != src.data(), "rotate: aliasing is not supported");
+    k %= n_bits;
+    if (k == 0) {
+        std::copy(src.begin(), src.end(), dst.begin());
+        return;
+    }
+    // dst[i] = src[(i + k) mod n]: the suffix of src starting at bit k moves
+    // to the front of dst, and the first k bits of src wrap to the tail.
+    copy_bits(dst, 0, src, k, n_bits - k);
+    copy_bits(dst, n_bits - k, src, 0, k);
+    if (!dst.empty()) dst[word_count(n_bits) - 1] &= tail_mask(n_bits);
+}
+
+bool equal(std::span<const Word> a, std::span<const Word> b) noexcept {
+    return std::ranges::equal(a, b);
+}
+
+}  // namespace hdlock::util::bits

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file bitvec.hpp
+/// Packed-bit kernels underlying all hypervector arithmetic.
+///
+/// A logical bit array of n_bits is stored little-endian in 64-bit words:
+/// logical bit i lives in word i/64 at bit position i%64.  All routines keep
+/// the invariant that bits past n_bits in the last word are zero — callers
+/// that produce words directly must re-mask with tail_mask().
+///
+/// The bipolar mapping used by the HDC layer is: stored bit 1 represents the
+/// value -1 and stored bit 0 represents +1, so that element-wise bipolar
+/// multiplication is exactly word-wise XOR.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hdlock::util::bits {
+
+using Word = std::uint64_t;
+inline constexpr std::size_t kWordBits = 64;
+
+/// Number of words needed to hold n_bits.
+constexpr std::size_t word_count(std::size_t n_bits) noexcept {
+    return (n_bits + kWordBits - 1) / kWordBits;
+}
+
+/// Mask of the valid bits in the last word (all ones when n_bits % 64 == 0).
+constexpr Word tail_mask(std::size_t n_bits) noexcept {
+    const std::size_t rem = n_bits % kWordBits;
+    return rem == 0 ? ~Word{0} : (Word{1} << rem) - 1;
+}
+
+inline bool get_bit(std::span<const Word> words, std::size_t i) noexcept {
+    return ((words[i / kWordBits] >> (i % kWordBits)) & Word{1}) != 0;
+}
+
+inline void set_bit(std::span<Word> words, std::size_t i, bool value) noexcept {
+    const Word mask = Word{1} << (i % kWordBits);
+    if (value) {
+        words[i / kWordBits] |= mask;
+    } else {
+        words[i / kWordBits] &= ~mask;
+    }
+}
+
+/// Sets all words to zero.
+void clear(std::span<Word> words) noexcept;
+
+/// Fills with uniform random bits; the tail beyond n_bits is masked to zero.
+void fill_random(std::span<Word> words, std::size_t n_bits, Xoshiro256ss& rng) noexcept;
+
+/// dst = a ^ b. All spans must have equal size; dst may alias a or b.
+void xor_into(std::span<Word> dst, std::span<const Word> a, std::span<const Word> b) noexcept;
+
+/// dst = ~src with the tail re-masked. dst may alias src.
+void not_into(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits) noexcept;
+
+/// Number of set bits across all words.
+std::size_t popcount(std::span<const Word> words) noexcept;
+
+/// Number of positions where a and b differ (unnormalized Hamming distance).
+std::size_t hamming(std::span<const Word> a, std::span<const Word> b) noexcept;
+
+/// Appends the indices of all set bits of `words` (restricted to n_bits) to `out`.
+void collect_set_bits(std::span<const Word> words, std::size_t n_bits,
+                      std::vector<std::uint32_t>& out);
+
+/// Copies `len` bits from src starting at bit src_off into dst starting at
+/// bit dst_off.  The bit ranges must lie within the respective spans and the
+/// arrays must not overlap.
+void copy_bits(std::span<Word> dst, std::size_t dst_off, std::span<const Word> src,
+               std::size_t src_off, std::size_t len);
+
+/// Circular rotation with the paper's semantics (Sec. 2):
+///   rho_k(v)[i] = v[(i + k) mod n_bits]
+/// i.e. the first k logical elements wrap to the end.  dst must not alias
+/// src; k may be any non-negative value (it is reduced mod n_bits).
+void rotate(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits, std::size_t k);
+
+/// True when all words compare equal.
+bool equal(std::span<const Word> a, std::span<const Word> b) noexcept;
+
+}  // namespace hdlock::util::bits

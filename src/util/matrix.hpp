@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix used for dataset storage.
+
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return values_.empty(); }
+
+    T& operator()(std::size_t r, std::size_t c) {
+        HDLOCK_EXPECTS(r < rows_ && c < cols_, "Matrix: index out of range");
+        return values_[r * cols_ + c];
+    }
+
+    const T& operator()(std::size_t r, std::size_t c) const {
+        HDLOCK_EXPECTS(r < rows_ && c < cols_, "Matrix: index out of range");
+        return values_[r * cols_ + c];
+    }
+
+    std::span<T> row(std::size_t r) {
+        HDLOCK_EXPECTS(r < rows_, "Matrix: row out of range");
+        return std::span<T>(values_).subspan(r * cols_, cols_);
+    }
+
+    std::span<const T> row(std::size_t r) const {
+        HDLOCK_EXPECTS(r < rows_, "Matrix: row out of range");
+        return std::span<const T>(values_).subspan(r * cols_, cols_);
+    }
+
+    std::span<T> data() noexcept { return values_; }
+    std::span<const T> data() const noexcept { return values_; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> values_;
+};
+
+}  // namespace hdlock::util

@@ -1,0 +1,115 @@
+#include "util/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace hdlock::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "serialization assumes a little-endian host; add byte swapping "
+              "before porting to a big-endian target");
+
+void BinaryWriter::write_bytes(std::span<const std::byte> bytes) {
+    out_.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!out_) throw IoError("BinaryWriter: stream write failed");
+}
+
+void BinaryWriter::write_tag(std::string_view tag) {
+    HDLOCK_EXPECTS(tag.size() == 4, "tags must be exactly four bytes");
+    write_bytes(std::as_bytes(std::span<const char>(tag.data(), tag.size())));
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) {
+    write_bytes(std::as_bytes(std::span<const std::uint8_t>(&v, 1)));
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+    write_bytes(std::as_bytes(std::span<const std::uint32_t>(&v, 1)));
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+    write_bytes(std::as_bytes(std::span<const std::uint64_t>(&v, 1)));
+}
+
+void BinaryWriter::write_i32(std::int32_t v) {
+    write_bytes(std::as_bytes(std::span<const std::int32_t>(&v, 1)));
+}
+
+void BinaryWriter::write_i64(std::int64_t v) {
+    write_bytes(std::as_bytes(std::span<const std::int64_t>(&v, 1)));
+}
+
+void BinaryWriter::write_f64(double v) {
+    write_bytes(std::as_bytes(std::span<const double>(&v, 1)));
+}
+
+void BinaryWriter::write_string(std::string_view s) {
+    write_u64(s.size());
+    write_bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+void BinaryReader::read_bytes(std::span<std::byte> bytes) {
+    in_.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+    if (in_.gcount() != static_cast<std::streamsize>(bytes.size())) {
+        throw FormatError("BinaryReader: unexpected end of stream");
+    }
+}
+
+void BinaryReader::expect_tag(std::string_view tag) {
+    HDLOCK_EXPECTS(tag.size() == 4, "tags must be exactly four bytes");
+    std::array<char, 4> found{};
+    read_bytes(std::as_writable_bytes(std::span<char>(found)));
+    if (std::string_view(found.data(), 4) != tag) {
+        throw FormatError("BinaryReader: expected tag '" + std::string(tag) + "' but found '" +
+                          std::string(found.data(), 4) + "'");
+    }
+}
+
+std::uint8_t BinaryReader::read_u8() {
+    std::uint8_t v = 0;
+    read_bytes(std::as_writable_bytes(std::span<std::uint8_t>(&v, 1)));
+    return v;
+}
+
+std::uint32_t BinaryReader::read_u32() {
+    std::uint32_t v = 0;
+    read_bytes(std::as_writable_bytes(std::span<std::uint32_t>(&v, 1)));
+    return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+    std::uint64_t v = 0;
+    read_bytes(std::as_writable_bytes(std::span<std::uint64_t>(&v, 1)));
+    return v;
+}
+
+std::int32_t BinaryReader::read_i32() {
+    std::int32_t v = 0;
+    read_bytes(std::as_writable_bytes(std::span<std::int32_t>(&v, 1)));
+    return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+    std::int64_t v = 0;
+    read_bytes(std::as_writable_bytes(std::span<std::int64_t>(&v, 1)));
+    return v;
+}
+
+double BinaryReader::read_f64() {
+    double v = 0.0;
+    read_bytes(std::as_writable_bytes(std::span<double>(&v, 1)));
+    return v;
+}
+
+std::string BinaryReader::read_string() {
+    const std::uint64_t n = read_u64();
+    if (n > (1ULL << 24)) throw FormatError("BinaryReader: unreasonable string length");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    read_bytes(std::as_writable_bytes(std::span<char>(s.data(), s.size())));
+    return s;
+}
+
+}  // namespace hdlock::util

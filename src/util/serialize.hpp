@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Minimal tagged binary serialization.
+///
+/// Formats are explicit: fixed-width little-endian integers with 4-byte ASCII
+/// section tags, so files are stable across platforms and versions can be
+/// checked.  Objects implement `void save(BinaryWriter&) const` and
+/// `static T load(BinaryReader&)`; save_file()/load_file() wrap streams.
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+class BinaryWriter {
+public:
+    explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+    void write_tag(std::string_view tag);
+    void write_u8(std::uint8_t v);
+    void write_u32(std::uint32_t v);
+    void write_u64(std::uint64_t v);
+    void write_i32(std::int32_t v);
+    void write_i64(std::int64_t v);
+    void write_f64(double v);
+    void write_string(std::string_view s);
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    void write_span(std::span<const T> values) {
+        write_u64(values.size());
+        write_bytes(std::as_bytes(values));
+    }
+
+    void write_bytes(std::span<const std::byte> bytes);
+
+private:
+    std::ostream& out_;
+};
+
+class BinaryReader {
+public:
+    explicit BinaryReader(std::istream& in) : in_(in) {}
+
+    /// Throws FormatError when the next four bytes differ from `tag`.
+    void expect_tag(std::string_view tag);
+    std::uint8_t read_u8();
+    std::uint32_t read_u32();
+    std::uint64_t read_u64();
+    std::int32_t read_i32();
+    std::int64_t read_i64();
+    double read_f64();
+    std::string read_string();
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    std::vector<T> read_vector(std::uint64_t max_elements = (1ULL << 32)) {
+        const std::uint64_t n = read_u64();
+        if (n > max_elements) {
+            throw FormatError("serialized vector length " + std::to_string(n) +
+                              " exceeds limit " + std::to_string(max_elements));
+        }
+        std::vector<T> values(static_cast<std::size_t>(n));
+        read_bytes(std::as_writable_bytes(std::span<T>(values)));
+        return values;
+    }
+
+    void read_bytes(std::span<std::byte> bytes);
+
+private:
+    std::istream& in_;
+};
+
+/// Serializes `object` to `path`, throwing IoError on filesystem failure.
+template <typename T>
+void save_file(const T& object, const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError("cannot open for writing: " + path.string());
+    BinaryWriter writer(out);
+    object.save(writer);
+    out.flush();
+    if (!out) throw IoError("write failed: " + path.string());
+}
+
+/// Deserializes a T from `path`.
+template <typename T>
+T load_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open for reading: " + path.string());
+    BinaryReader reader(in);
+    return T::load(reader);
+}
+
+}  // namespace hdlock::util

@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdlock::util {
+
+void OnlineStats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+ConfusionMatrix::ConfusionMatrix(int n_classes) : n_classes_(n_classes) {
+    HDLOCK_EXPECTS(n_classes > 0, "ConfusionMatrix: n_classes must be positive");
+    cells_.assign(static_cast<std::size_t>(n_classes) * static_cast<std::size_t>(n_classes), 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+    HDLOCK_EXPECTS(truth >= 0 && truth < n_classes_, "ConfusionMatrix::add: truth out of range");
+    HDLOCK_EXPECTS(predicted >= 0 && predicted < n_classes_,
+                   "ConfusionMatrix::add: prediction out of range");
+    ++cells_[static_cast<std::size_t>(truth) * static_cast<std::size_t>(n_classes_) +
+             static_cast<std::size_t>(predicted)];
+    ++total_;
+    if (truth == predicted) ++correct_;
+}
+
+std::int64_t ConfusionMatrix::at(int truth, int predicted) const {
+    HDLOCK_EXPECTS(truth >= 0 && truth < n_classes_, "ConfusionMatrix::at: truth out of range");
+    HDLOCK_EXPECTS(predicted >= 0 && predicted < n_classes_,
+                   "ConfusionMatrix::at: prediction out of range");
+    return cells_[static_cast<std::size_t>(truth) * static_cast<std::size_t>(n_classes_) +
+                  static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+    HDLOCK_EXPECTS(cls >= 0 && cls < n_classes_, "ConfusionMatrix::recall: class out of range");
+    std::int64_t row_total = 0;
+    for (int p = 0; p < n_classes_; ++p) row_total += at(cls, p);
+    return row_total == 0 ? 0.0 : static_cast<double>(at(cls, cls)) / static_cast<double>(row_total);
+}
+
+double agreement(std::span<const int> a, std::span<const int> b) {
+    HDLOCK_EXPECTS(a.size() == b.size(), "agreement: size mismatch");
+    if (a.empty()) return 0.0;
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]) ? 1u : 0u;
+    return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+double mean(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+    OnlineStats stats;
+    for (const double v : values) stats.add(v);
+    return stats.stddev();
+}
+
+double median(std::vector<double> values) {
+    if (values.empty()) return 0.0;
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid), values.end());
+    if (values.size() % 2 == 1) return values[mid];
+    const double hi = values[mid];
+    const double lo = *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace hdlock::util

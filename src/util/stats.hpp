@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers used by experiments and tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+/// Numerically stable running mean / variance (Welford).
+class OnlineStats {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Confusion matrix over a fixed number of classes.
+class ConfusionMatrix {
+public:
+    explicit ConfusionMatrix(int n_classes);
+
+    void add(int truth, int predicted);
+
+    int n_classes() const noexcept { return n_classes_; }
+    std::int64_t total() const noexcept { return total_; }
+    std::int64_t at(int truth, int predicted) const;
+    double accuracy() const noexcept;
+    /// Recall of one class; 0 when the class has no samples.
+    double recall(int cls) const;
+
+private:
+    int n_classes_;
+    std::int64_t total_ = 0;
+    std::int64_t correct_ = 0;
+    std::vector<std::int64_t> cells_;  // row = truth, col = predicted
+};
+
+/// Fraction of positions where the two label sequences agree.
+double agreement(std::span<const int> a, std::span<const int> b);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+double median(std::vector<double> values);  // by value: it must partially sort
+
+}  // namespace hdlock::util

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    HDLOCK_EXPECTS(!headers_.empty(), "TextTable: at least one column required");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    HDLOCK_EXPECTS(cells.size() == headers_.size(),
+                   "TextTable::add_row: cell count does not match column count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) out << "  ";
+            out << cells[c];
+            if (c + 1 < cells.size()) {
+                out << std::string(widths[c] - cells[c].size(), ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    emit(headers_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) rule_width += widths[c] + (c > 0 ? 2 : 0);
+    out << std::string(rule_width, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+std::string TextTable::to_csv(char delimiter) const {
+    const auto escape = [delimiter](const std::string& cell) {
+        const bool needs_quotes = cell.find_first_of(std::string{delimiter} + "\"\n\r") !=
+                                  std::string::npos;
+        if (!needs_quotes) return cell;
+        std::string quoted = "\"";
+        for (const char ch : cell) {
+            if (ch == '"') quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) out << delimiter;
+            out << escape(cells[c]);
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << to_string(); }
+
+std::string format_fixed(double value, int precision) {
+    HDLOCK_EXPECTS(precision >= 0 && precision <= 17, "format_fixed: precision out of range");
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    return buffer;
+}
+
+std::string format_sci(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.2e", value);
+    return buffer;
+}
+
+std::string format_pow10(double log10_value) {
+    // 10^x = mantissa * 10^exponent with mantissa in [1, 10).
+    const double exponent = std::floor(log10_value);
+    const double mantissa = std::pow(10.0, log10_value - exponent);
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.2fe+%02d", mantissa, static_cast<int>(exponent));
+    return buffer;
+}
+
+std::string format_bits(std::uint64_t bits) {
+    const double bytes = static_cast<double>(bits) / 8.0;
+    char buffer[64];
+    if (bytes < 1024.0) {
+        std::snprintf(buffer, sizeof buffer, "%.0f B", bytes);
+    } else if (bytes < 1024.0 * 1024.0) {
+        std::snprintf(buffer, sizeof buffer, "%.1f KiB", bytes / 1024.0);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.1f MiB", bytes / (1024.0 * 1024.0));
+    }
+    return buffer;
+}
+
+}  // namespace hdlock::util

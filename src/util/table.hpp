@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering for the benchmark harnesses and examples.
+///
+/// Every experiment binary in bench/ prints the rows of one paper table or
+/// the series of one paper figure; TextTable keeps that output aligned and
+/// uniform, and can emit the same rows as CSV for plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdlock::util {
+
+/// Column-aligned text table with an optional title and CSV export.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    std::size_t n_columns() const noexcept { return headers_.size(); }
+    std::size_t n_rows() const noexcept { return rows_.size(); }
+
+    /// Appends a row; must have exactly n_columns() cells.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with every column padded to its widest cell, a header rule,
+    /// and two spaces between columns.
+    std::string to_string() const;
+
+    /// RFC-4180-ish CSV: cells containing the delimiter, quotes or newlines
+    /// are quoted, embedded quotes doubled.
+    std::string to_csv(char delimiter = ',') const;
+
+    void print(std::ostream& out) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering ("0.8176" for precision 4).
+std::string format_fixed(double value, int precision);
+
+/// Scientific rendering with two decimals ("4.81e+16").
+std::string format_sci(double value);
+
+/// Renders 10^log10_value in scientific notation without materializing the
+/// (possibly astronomically large) value.
+std::string format_pow10(double log10_value);
+
+/// Human-readable bit count ("1.2 KiB", "9.8 MiB").
+std::string format_bits(std::uint64_t bits);
+
+}  // namespace hdlock::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file timer.hpp
+/// Monotonic wall-clock timing for the experiment harnesses.
+
+#include <chrono>
+
+namespace hdlock::util {
+
+class WallTimer {
+public:
+    WallTimer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace hdlock::util

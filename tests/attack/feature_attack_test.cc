@@ -1,0 +1,236 @@
+// Tests for the divide-and-conquer feature extraction (src/attack/
+// feature_attack.*): full recovery against the unprotected baseline, the
+// full/restricted criterion equivalence, and failure against HDLock.
+
+#include "attack/feature_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "attack/value_attack.hpp"
+#include "core/locked_encoder.hpp"
+
+using hdlock::ContractViolation;
+using hdlock::Deployment;
+using hdlock::DeploymentConfig;
+using hdlock::provision;
+using hdlock::attack::DistanceCriterion;
+using hdlock::attack::EncodingOracle;
+using hdlock::attack::extract_feature_mapping;
+using hdlock::attack::extract_value_mapping;
+using hdlock::attack::FeatureAttackConfig;
+using hdlock::attack::feature_guess_curve;
+
+namespace {
+
+Deployment make_deployment(std::size_t n_features, std::size_t dim, std::size_t n_levels,
+                           std::size_t n_layers, std::uint64_t seed) {
+    DeploymentConfig config;
+    config.dim = dim;
+    config.n_features = n_features;
+    config.n_levels = n_levels;
+    config.n_layers = n_layers;
+    config.seed = seed;
+    return provision(config);
+}
+
+double mapping_accuracy(const Deployment& deployment,
+                        std::span<const std::uint32_t> feature_to_slot) {
+    const auto& key = deployment.secure->key();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < key.n_features(); ++i) {
+        hits += feature_to_slot[i] == key.entry(i, 0).base_index ? 1u : 0u;
+    }
+    return static_cast<double>(hits) / static_cast<double>(key.n_features());
+}
+
+}  // namespace
+
+// (binary oracle, criterion)
+class FeatureAttackTest
+    : public ::testing::TestWithParam<std::tuple<bool, DistanceCriterion>> {};
+
+TEST_P(FeatureAttackTest, FullyRecoversPlainMapping) {
+    const auto [binary, criterion] = GetParam();
+    const auto deployment = make_deployment(32, 4096, 4, 0, 41);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, binary);
+
+    FeatureAttackConfig config;
+    config.binary_oracle = binary;
+    config.criterion = criterion;
+    const auto result =
+        extract_feature_mapping(*deployment.store, oracle, values.level_to_slot, config);
+
+    EXPECT_DOUBLE_EQ(mapping_accuracy(deployment, result.feature_to_slot), 1.0);
+    EXPECT_GT(result.mean_margin, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OracleAndCriterion, FeatureAttackTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(DistanceCriterion::full, DistanceCriterion::restricted)),
+    [](const ::testing::TestParamInfo<FeatureAttackTest::ParamType>& info) {
+        const bool binary = std::get<0>(info.param);
+        const DistanceCriterion criterion = std::get<1>(info.param);
+        return std::string(binary ? "binary" : "nonbinary") + "_" +
+               (criterion == DistanceCriterion::full ? "full" : "restricted");
+    });
+
+TEST(FeatureAttack, RestrictedAndFullAgree) {
+    // The ablation of DESIGN.md §4: the cheap restricted-index criterion must
+    // select the same mapping as the paper-faithful full criterion.
+    const auto deployment = make_deployment(24, 2048, 4, 0, 43);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+
+    FeatureAttackConfig full;
+    full.criterion = DistanceCriterion::full;
+    FeatureAttackConfig restricted;
+    restricted.criterion = DistanceCriterion::restricted;
+    const auto a = extract_feature_mapping(*deployment.store, oracle, values.level_to_slot, full);
+    const auto b =
+        extract_feature_mapping(*deployment.store, oracle, values.level_to_slot, restricted);
+    EXPECT_EQ(a.feature_to_slot, b.feature_to_slot);
+}
+
+TEST(FeatureAttack, GuessCountsMatchDivideAndConquer) {
+    const std::size_t n = 16;
+    const auto deployment = make_deployment(n, 1024, 4, 0, 47);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+
+    FeatureAttackConfig with_exclusion;
+    with_exclusion.enforce_unique = true;
+    const auto a = extract_feature_mapping(*deployment.store, oracle, values.level_to_slot,
+                                           with_exclusion);
+    EXPECT_EQ(a.guesses, n * (n + 1) / 2);  // shrinking candidate pool
+
+    FeatureAttackConfig without_exclusion;
+    without_exclusion.enforce_unique = false;
+    const auto b = extract_feature_mapping(*deployment.store, oracle, values.level_to_slot,
+                                           without_exclusion);
+    EXPECT_EQ(b.guesses, n * n);  // the paper's O(N^2)
+    EXPECT_EQ(b.feature_to_slot, a.feature_to_slot);
+}
+
+TEST(FeatureAttack, OracleQueriesAreLinearInFeatures) {
+    const std::size_t n = 12;
+    const auto deployment = make_deployment(n, 1024, 4, 0, 53);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+    extract_feature_mapping(*deployment.store, oracle, values.level_to_slot,
+                            FeatureAttackConfig{});
+    // 1 (value step) + 1 (all-min baseline) + N probes.
+    EXPECT_EQ(oracle.query_count(), 1u + 1u + n);
+}
+
+TEST(FeatureAttack, GuessCurveSeparatesCorrectCandidate) {
+    // The Fig. 3 experiment in miniature. An odd feature count keeps every
+    // encoding sum away from zero, so there are no sign(0) ties and the
+    // correct candidate reconstructs the output *exactly* (distance 0).
+    const auto deployment = make_deployment(47, 10000, 2, 0, 59);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+
+    const std::size_t probe = 7;
+    const auto curve =
+        feature_guess_curve(*deployment.store, oracle, values.level_to_slot, probe, true);
+
+    const auto truth = deployment.secure->key().entry(probe, 0).base_index;
+    EXPECT_EQ(curve.best_candidate, truth);
+    EXPECT_DOUBLE_EQ(curve.best_distance, 0.0);
+    EXPECT_GT(curve.runner_up_distance, 0.02);
+    EXPECT_EQ(curve.distances.size(), deployment.store->pool_size());
+}
+
+TEST(FeatureAttack, GuessCurveTieNoiseFloorWithEvenFeatureCount) {
+    // With an even feature count the encoding sum can hit exactly zero; the
+    // oracle and the attacker then coin-flip independently, which puts the
+    // correct guess at a small but non-zero Hamming floor — the residual
+    // visible in the paper's Fig. 3.  The argmin must still be the truth.
+    const auto deployment = make_deployment(48, 10000, 2, 0, 59);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+    const auto curve =
+        feature_guess_curve(*deployment.store, oracle, values.level_to_slot, 7, true);
+    EXPECT_EQ(curve.best_candidate, deployment.secure->key().entry(7, 0).base_index);
+    EXPECT_GT(curve.best_distance, 0.0);          // ties do occur...
+    EXPECT_LT(curve.best_distance, 0.1);          // ...but stay a small floor
+    EXPECT_GT(curve.runner_up_distance, curve.best_distance);
+}
+
+TEST(FeatureAttack, NonBinaryGuessCurveIsExact) {
+    // Sec. 3.2: for the non-binary module the correct guess matches exactly
+    // ("the cosine value [is] exactly 1") — distance 0 with certainty.
+    const auto deployment = make_deployment(24, 2048, 4, 0, 61);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, false);
+    const auto curve =
+        feature_guess_curve(*deployment.store, oracle, values.level_to_slot, 3, false);
+    EXPECT_EQ(curve.best_candidate, deployment.secure->key().entry(3, 0).base_index);
+    EXPECT_DOUBLE_EQ(curve.best_distance, 0.0);
+    EXPECT_GT(curve.runner_up_distance, 0.3);
+}
+
+TEST(FeatureAttack, FailsAgainstLockedEncoder) {
+    // The defense claim: the same divide-and-conquer attack run against an
+    // HDLock deployment (L = 2) recovers essentially nothing, because no
+    // pool entry matches any Eq. 9 product.
+    const std::size_t n = 32;
+    const auto deployment = make_deployment(n, 4096, 4, 2, 67);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+
+    const auto result = extract_feature_mapping(*deployment.store, oracle, values.level_to_slot,
+                                                FeatureAttackConfig{});
+    // Score against layer-0 base indices (the closest thing to a "truth"):
+    // chance level is 1/N; allow a little slack above it.
+    const auto& key = deployment.secure->key();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        hits += result.feature_to_slot[i] == key.entry(i, 0).base_index ? 1u : 0u;
+    }
+    EXPECT_LE(hits, 4u);
+}
+
+TEST(FeatureAttack, LockedEncoderGuessCurveHasNoSignal) {
+    // Against HDLock even the best candidate sits in the noise band around
+    // 0.5 x (flip rate of wrong guesses on the unprotected module).
+    const auto deployment = make_deployment(32, 4096, 2, 2, 71);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+    const auto curve =
+        feature_guess_curve(*deployment.store, oracle, values.level_to_slot, 0, true);
+    // No candidate may stand out the way the correct one does on the plain
+    // module: best and runner-up are statistically indistinguishable.
+    EXPECT_GT(curve.best_distance, 0.5 * curve.runner_up_distance);
+}
+
+TEST(FeatureAttack, RejectsMismatchedPool) {
+    // P != N breaks the permutation-invariance precondition; the attack
+    // must refuse rather than silently return garbage.
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = 8;
+    config.n_levels = 4;
+    config.pool_size = 16;
+    config.n_layers = 1;
+    const auto deployment = provision(config);
+    const EncodingOracle oracle(deployment.encoder);
+    const std::vector<std::uint32_t> fake_mapping = {0, 1, 2, 3};
+    EXPECT_THROW(extract_feature_mapping(*deployment.store, oracle, fake_mapping,
+                                         FeatureAttackConfig{}),
+                 ContractViolation);
+    EXPECT_THROW(feature_guess_curve(*deployment.store, oracle, fake_mapping, 0, true),
+                 ContractViolation);
+}
+
+TEST(FeatureAttack, ProbeFeatureBoundsChecked) {
+    const auto deployment = make_deployment(8, 1024, 2, 0, 73);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto values = extract_value_mapping(*deployment.store, oracle, true);
+    EXPECT_THROW(feature_guess_curve(*deployment.store, oracle, values.level_to_slot, 8, true),
+                 ContractViolation);
+}

@@ -1,0 +1,99 @@
+// Tests for the end-to-end IP-theft experiment (src/attack/ip_theft.*):
+// the Table 1 pipeline on small synthetic datasets.
+
+#include "attack/ip_theft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+using hdlock::attack::IpTheftConfig;
+using hdlock::attack::IpTheftReport;
+using hdlock::attack::steal_model;
+using hdlock::data::SyntheticSpec;
+using hdlock::hdc::ModelKind;
+
+namespace {
+
+hdlock::data::SyntheticBenchmark small_benchmark() {
+    SyntheticSpec spec;
+    spec.name = "theft";
+    spec.n_features = 32;
+    spec.n_classes = 4;
+    spec.n_train = 240;
+    spec.n_test = 120;
+    spec.n_levels = 8;
+    spec.noise = 0.15;
+    spec.seed = 21;
+    return hdlock::data::make_benchmark(spec);
+}
+
+}  // namespace
+
+class IpTheftTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(IpTheftTest, CloneMatchesOriginalAccuracy) {
+    const auto benchmark = small_benchmark();
+    IpTheftConfig config;
+    config.kind = GetParam();
+    config.dim = 2048;
+    config.n_levels = benchmark.spec.n_levels;
+    config.retrain_epochs = 5;
+    config.seed = 3;
+
+    const IpTheftReport report = steal_model(benchmark.train, benchmark.test, config);
+
+    // The attack recovers the *entire* mapping...
+    EXPECT_DOUBLE_EQ(report.value_mapping_accuracy, 1.0);
+    EXPECT_DOUBLE_EQ(report.feature_mapping_accuracy, 1.0);
+    // ...so the clone performs like the original (Table 1's conclusion).
+    EXPECT_GT(report.original_accuracy, 0.8);
+    EXPECT_NEAR(report.recovered_accuracy, report.original_accuracy, 0.05);
+    EXPECT_GT(report.guesses, 0u);
+    EXPECT_GT(report.oracle_queries, 32u);
+    EXPECT_GE(report.reasoning_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModelKinds, IpTheftTest,
+                         ::testing::Values(ModelKind::binary, ModelKind::non_binary),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                             return info.param == ModelKind::binary ? "binary" : "nonbinary";
+                         });
+
+TEST(IpTheft, ClonedEncoderReproducesVictimEncodings) {
+    // With a perfectly reasoned mapping the clone's item memory is the
+    // victim's: non-binary encodings must be bit-identical.
+    hdlock::DeploymentConfig deployment_config;
+    deployment_config.dim = 1024;
+    deployment_config.n_features = 16;
+    deployment_config.n_levels = 4;
+    deployment_config.n_layers = 0;
+    deployment_config.seed = 5;
+    const auto deployment = hdlock::provision(deployment_config);
+
+    const hdlock::attack::EncodingOracle oracle(deployment.encoder);
+    const auto values =
+        hdlock::attack::extract_value_mapping(*deployment.store, oracle, true);
+    const auto features = hdlock::attack::extract_feature_mapping(
+        *deployment.store, oracle, values.level_to_slot, hdlock::attack::FeatureAttackConfig{});
+
+    const auto clone = hdlock::attack::build_cloned_encoder(
+        *deployment.store, features.feature_to_slot, values.level_to_slot, /*tie_seed=*/999);
+
+    hdlock::util::Xoshiro256ss rng(7);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<int> levels(16);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(4));
+        EXPECT_EQ(clone->encode(levels), deployment.encoder->encode(levels));
+    }
+}
+
+TEST(IpTheft, ReportCarriesBenchmarkName) {
+    const auto benchmark = small_benchmark();
+    IpTheftConfig config;
+    config.dim = 1024;
+    config.n_levels = benchmark.spec.n_levels;
+    config.retrain_epochs = 2;
+    const auto report = steal_model(benchmark.train, benchmark.test, config);
+    EXPECT_EQ(report.benchmark, benchmark.train.name);
+}

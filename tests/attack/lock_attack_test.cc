@@ -1,0 +1,200 @@
+// Tests for the Sec. 4.2 attacks on HDLock (src/attack/lock_attack.*): the
+// single-parameter sweeps behind Fig. 5 / Fig. 6 and the exhaustive joint
+// search on toy configurations.
+
+#include "attack/lock_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using hdlock::ContractViolation;
+using hdlock::Deployment;
+using hdlock::DeploymentConfig;
+using hdlock::LockedEncoder;
+using hdlock::provision;
+using hdlock::attack::EncodingOracle;
+using hdlock::attack::exhaustive_feature_attack;
+using hdlock::attack::LockParameter;
+using hdlock::attack::LockSweepConfig;
+using hdlock::attack::sweep_lock_parameter;
+
+namespace {
+
+Deployment locked_deployment(std::size_t n_features, std::size_t dim, std::size_t pool,
+                             std::size_t n_layers, std::uint64_t seed) {
+    DeploymentConfig config;
+    config.dim = dim;
+    config.n_features = n_features;
+    config.n_levels = 2;
+    config.pool_size = pool;
+    config.n_layers = n_layers;
+    config.seed = seed;
+    return provision(config);
+}
+
+}  // namespace
+
+// (layer, parameter, binary oracle): the four panels of Fig. 5 / Fig. 6.
+class LockSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, LockParameter, bool>> {};
+
+TEST_P(LockSweepTest, CorrectGuessIsUniquelyIdentifiable) {
+    const auto [layer, parameter, binary] = GetParam();
+    // Odd feature count keeps |H0| >= 1 everywhere, matching the analysis in
+    // lock_attack.hpp; 2 layers as in the paper's validation.
+    const auto deployment = locked_deployment(17, 2048, 16, 2, 97);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto& key = deployment.secure->key();
+    const auto& mapping = deployment.secure->value_mapping();
+
+    LockSweepConfig config;
+    config.feature = 0;
+    config.layer = layer;
+    config.parameter = parameter;
+    config.binary_oracle = binary;
+    const auto result =
+        sweep_lock_parameter(*deployment.store, oracle, key, mapping, config);
+
+    const std::size_t truth = parameter == LockParameter::rotation
+                                  ? key.entry(0, layer).rotation
+                                  : key.entry(0, layer).base_index;
+    EXPECT_EQ(result.best_guess, truth);
+    // The correct guess scores 0 (see the flip-position analysis; the
+    // non-binary 1 - cosine may carry rounding residue); every wrong guess
+    // stays near the chance level.
+    EXPECT_NEAR(result.best_score, 0.0, 1e-12);
+    EXPECT_GT(result.runner_up_score, 0.15);
+    if (binary) {
+        EXPECT_GT(result.deciding_positions, 10u);
+    } else {
+        EXPECT_EQ(result.deciding_positions, 0u);  // criterion uses the full difference vector
+    }
+    EXPECT_EQ(result.oracle_queries, 2u);
+    EXPECT_EQ(result.scores.size(),
+              parameter == LockParameter::rotation ? deployment.store->dim()
+                                                   : deployment.store->pool_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5And6Panels, LockSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1),
+                       ::testing::Values(LockParameter::rotation, LockParameter::base_index),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<LockSweepTest::ParamType>& info) {
+        const std::size_t layer = std::get<0>(info.param);
+        const LockParameter parameter = std::get<1>(info.param);
+        const bool binary = std::get<2>(info.param);
+        return "layer" + std::to_string(layer) +
+               (parameter == LockParameter::rotation ? "_rotation" : "_base") +
+               (binary ? "_binary" : "_nonbinary");
+    });
+
+TEST(LockSweep, WrongGuessesClusterAtChanceLevel) {
+    const auto deployment = locked_deployment(17, 2048, 16, 2, 101);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = sweep_lock_parameter(*deployment.store, oracle,
+                                             deployment.secure->key(),
+                                             deployment.secure->value_mapping(),
+                                             LockSweepConfig{});
+    double wrong_sum = 0.0;
+    std::size_t wrong_count = 0;
+    for (std::size_t v = 0; v < result.scores.size(); ++v) {
+        if (v == result.best_guess) continue;
+        wrong_sum += result.scores[v];
+        ++wrong_count;
+    }
+    EXPECT_NEAR(wrong_sum / static_cast<double>(wrong_count), 0.5, 0.1);
+}
+
+TEST(LockSweep, SingleLayerKeysAreAlsoValidatable) {
+    const auto deployment = locked_deployment(9, 1024, 8, 1, 103);
+    const EncodingOracle oracle(deployment.encoder);
+    LockSweepConfig config;
+    config.parameter = LockParameter::rotation;
+    const auto result = sweep_lock_parameter(*deployment.store, oracle,
+                                             deployment.secure->key(),
+                                             deployment.secure->value_mapping(), config);
+    EXPECT_EQ(result.best_guess, deployment.secure->key().entry(0, 0).rotation);
+    EXPECT_DOUBLE_EQ(result.best_score, 0.0);
+}
+
+TEST(LockSweep, ProbingNonZeroFeatureWorks) {
+    const auto deployment = locked_deployment(11, 1024, 8, 2, 107);
+    const EncodingOracle oracle(deployment.encoder);
+    LockSweepConfig config;
+    config.feature = 6;
+    config.parameter = LockParameter::base_index;
+    const auto result = sweep_lock_parameter(*deployment.store, oracle,
+                                             deployment.secure->key(),
+                                             deployment.secure->value_mapping(), config);
+    EXPECT_EQ(result.best_guess, deployment.secure->key().entry(6, 0).base_index);
+}
+
+TEST(LockSweep, LayerBoundsChecked) {
+    const auto deployment = locked_deployment(9, 512, 8, 2, 109);
+    const EncodingOracle oracle(deployment.encoder);
+    LockSweepConfig config;
+    config.layer = 2;
+    EXPECT_THROW(sweep_lock_parameter(*deployment.store, oracle, deployment.secure->key(),
+                                      deployment.secure->value_mapping(), config),
+                 ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive joint search (toy configurations only).
+// ---------------------------------------------------------------------------
+
+TEST(ExhaustiveAttack, RecoversSingleLayerKeyOnToyConfig) {
+    const auto deployment = locked_deployment(5, 64, 4, 1, 113);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = exhaustive_feature_attack(*deployment.store, oracle,
+                                                  deployment.secure->value_mapping(),
+                                                  /*feature=*/0, /*n_layers=*/1, true);
+    EXPECT_EQ(result.guesses, 4u * 64u);
+    EXPECT_DOUBLE_EQ(result.best_score, 0.0);
+    // Success criterion: the materialized hypervector matches the device's.
+    EXPECT_EQ(result.recovered_feature_hv, deployment.encoder->feature_hv(0));
+}
+
+TEST(ExhaustiveAttack, RecoversTwoLayerKeyUpToLayerOrder) {
+    const auto deployment = locked_deployment(5, 64, 4, 2, 127);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = exhaustive_feature_attack(*deployment.store, oracle,
+                                                  deployment.secure->value_mapping(),
+                                                  /*feature=*/0, /*n_layers=*/2, true);
+    EXPECT_EQ(result.guesses, 4ull * 64 * 4 * 64);
+    EXPECT_EQ(result.recovered_feature_hv, deployment.encoder->feature_hv(0));
+    // Layer order is commutative in Eq. 9, so the optimum cannot be unique.
+    EXPECT_GE(result.ties_at_best, 2u);
+}
+
+TEST(ExhaustiveAttack, CostScalesAsJointSpace) {
+    // The point of the defense: moving from L=1 to L=2 multiplies the
+    // attacker's work by P*D — measured here in actual guess counts.
+    const auto d1 = locked_deployment(5, 64, 4, 1, 131);
+    const auto d2 = locked_deployment(5, 64, 4, 2, 131);
+    const EncodingOracle o1(d1.encoder);
+    const EncodingOracle o2(d2.encoder);
+    const auto r1 = exhaustive_feature_attack(*d1.store, o1, d1.secure->value_mapping(), 0, 1, true);
+    const auto r2 = exhaustive_feature_attack(*d2.store, o2, d2.secure->value_mapping(), 0, 2, true);
+    EXPECT_EQ(r2.guesses, r1.guesses * 4 * 64);
+}
+
+TEST(ExhaustiveAttack, NonBinaryCriterionAlsoRecovers) {
+    const auto deployment = locked_deployment(5, 64, 4, 1, 137);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = exhaustive_feature_attack(*deployment.store, oracle,
+                                                  deployment.secure->value_mapping(), 0, 1,
+                                                  /*binary_oracle=*/false);
+    EXPECT_NEAR(result.best_score, 0.0, 1e-12);  // 1 - cosine, up to rounding
+    EXPECT_EQ(result.recovered_feature_hv, deployment.encoder->feature_hv(0));
+}
+
+TEST(ExhaustiveAttack, RefusesInfeasibleSpaces) {
+    const auto deployment = locked_deployment(9, 10000, 784, 2, 139);
+    const EncodingOracle oracle(deployment.encoder);
+    EXPECT_THROW(exhaustive_feature_attack(*deployment.store, oracle,
+                                           deployment.secure->value_mapping(), 0, 2, true),
+                 ContractViolation);
+}

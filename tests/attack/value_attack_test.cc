@@ -1,0 +1,114 @@
+// Tests for value hypervector extraction (src/attack/value_attack.*):
+// Sec. 3.2 step 1 must recover the level->slot mapping exactly.
+
+#include "attack/value_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/locked_encoder.hpp"
+
+using hdlock::ContractViolation;
+using hdlock::Deployment;
+using hdlock::DeploymentConfig;
+using hdlock::provision;
+using hdlock::attack::EncodingOracle;
+using hdlock::attack::extract_value_mapping;
+
+namespace {
+
+Deployment plain_deployment(std::size_t n_features, std::size_t dim, std::size_t n_levels,
+                            std::uint64_t seed) {
+    DeploymentConfig config;
+    config.dim = dim;
+    config.n_features = n_features;
+    config.n_levels = n_levels;
+    config.n_layers = 0;  // the vulnerable baseline
+    config.seed = seed;
+    return provision(config);
+}
+
+}  // namespace
+
+class ValueAttackTest : public ::testing::TestWithParam<bool> {};  // binary oracle?
+
+TEST_P(ValueAttackTest, RecoversFullMapping) {
+    const bool binary = GetParam();
+    const auto deployment = plain_deployment(32, 4096, 8, 11);
+    const EncodingOracle oracle(deployment.encoder);
+
+    const auto result = extract_value_mapping(*deployment.store, oracle, binary);
+
+    const auto& truth = deployment.secure->value_mapping();
+    ASSERT_EQ(result.level_to_slot.size(), truth.size());
+    for (std::size_t level = 0; level < truth.size(); ++level) {
+        EXPECT_EQ(result.level_to_slot[level], truth[level]) << "level " << level;
+    }
+    EXPECT_NEAR(result.endpoint_distance, 0.5, 0.05);
+    EXPECT_GT(result.orientation_margin, 0.5);
+    EXPECT_EQ(result.oracle_queries, 1u);
+}
+
+TEST_P(ValueAttackTest, RecoversTwoLevelMapping) {
+    const bool binary = GetParam();
+    const auto deployment = plain_deployment(17, 2048, 2, 13);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = extract_value_mapping(*deployment.store, oracle, binary);
+    EXPECT_EQ(result.level_to_slot[0], deployment.secure->value_mapping()[0]);
+    EXPECT_EQ(result.level_to_slot[1], deployment.secure->value_mapping()[1]);
+}
+
+TEST_P(ValueAttackTest, RecoversManyLevels) {
+    const bool binary = GetParam();
+    const auto deployment = plain_deployment(24, 10000, 16, 17);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto result = extract_value_mapping(*deployment.store, oracle, binary);
+    const auto& truth = deployment.secure->value_mapping();
+    for (std::size_t level = 0; level < truth.size(); ++level) {
+        EXPECT_EQ(result.level_to_slot[level], truth[level]) << "level " << level;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinaryAndNonBinary, ValueAttackTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "binary" : "nonbinary";
+                         });
+
+TEST(ValueAttack, DeterministicAcrossRuns) {
+    const auto deployment = plain_deployment(16, 2048, 8, 19);
+    const EncodingOracle oracle(deployment.encoder);
+    const auto a = extract_value_mapping(*deployment.store, oracle, true);
+    const auto b = extract_value_mapping(*deployment.store, oracle, true);
+    EXPECT_EQ(a.level_to_slot, b.level_to_slot);
+}
+
+TEST(ValueAttack, WorksAcrossSeeds) {
+    // Sweep several deployments: recovery must be exact every time.
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        const auto deployment = plain_deployment(16, 2048, 4, seed);
+        const EncodingOracle oracle(deployment.encoder);
+        const auto result = extract_value_mapping(*deployment.store, oracle, true);
+        const auto& truth = deployment.secure->value_mapping();
+        for (std::size_t level = 0; level < truth.size(); ++level) {
+            ASSERT_EQ(result.level_to_slot[level], truth[level])
+                << "seed " << seed << " level " << level;
+        }
+    }
+}
+
+TEST(ValueAttack, OracleQueryCounting) {
+    const auto deployment = plain_deployment(8, 1024, 4, 23);
+    const EncodingOracle oracle(deployment.encoder);
+    EXPECT_EQ(oracle.query_count(), 0u);
+    extract_value_mapping(*deployment.store, oracle, true);
+    EXPECT_EQ(oracle.query_count(), 1u);
+    extract_value_mapping(*deployment.store, oracle, false);
+    EXPECT_EQ(oracle.query_count(), 2u);
+}
+
+TEST(ValueAttack, RejectsMismatchedOracle) {
+    const auto deployment_a = plain_deployment(8, 1024, 4, 29);
+    const auto deployment_b = plain_deployment(8, 1024, 8, 31);
+    const EncodingOracle oracle_b(deployment_b.encoder);
+    EXPECT_THROW(extract_value_mapping(*deployment_a.store, oracle_b, true),
+                 ContractViolation);
+}

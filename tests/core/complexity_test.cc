@@ -1,0 +1,122 @@
+// Tests for the closed-form reasoning complexity (src/core/complexity.*)
+// against every headline number the paper quotes.
+
+#include "core/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace complexity = hdlock::complexity;
+using hdlock::ContractViolation;
+
+namespace {
+
+// The paper's MNIST validation configuration (Sec. 4.2): N = P = 784,
+// D = 10000.
+constexpr std::size_t kN = 784;
+constexpr std::size_t kD = 10000;
+constexpr std::size_t kP = 784;
+
+}  // namespace
+
+TEST(Complexity, BaselineIsNSquared) {
+    // "6.15 x 10^5 in normal HDC models" (Sec. 5.2): 784^2 = 614656.
+    const long double baseline = complexity::guesses(kN, kD, kP, 0);
+    EXPECT_NEAR(static_cast<double>(baseline), 614656.0, 1.0);
+    EXPECT_NEAR(complexity::log10_guesses(kN, kD, kP, 0), std::log10(614656.0), 1e-12);
+}
+
+TEST(Complexity, OneLayerMatchesPaper) {
+    // "the one-layer key can provide 6.15 x 10^9 attacking complexity":
+    // N * D * P = 784 * 10^4 * 784 = 6.1466e9.
+    const long double one_layer = complexity::guesses(kN, kD, kP, 1);
+    EXPECT_NEAR(static_cast<double>(one_layer), 6.1466e9, 0.01e9);
+}
+
+TEST(Complexity, TwoLayerMatchesPaperHeadline) {
+    // "The attacker has to apply 4.81 x 10^16 tries" (Sec. 4.2):
+    // N * (D*P)^2 = 784 * (7.84e6)^2 = 4.818e16.
+    const long double two_layer = complexity::guesses(kN, kD, kP, 2);
+    EXPECT_NEAR(static_cast<double>(two_layer), 4.818e16, 0.01e16);
+}
+
+TEST(Complexity, SecurityGainMatchesPaper) {
+    // "7.82 x 10^10 times improvement" over the baseline for L = 2.
+    const double gain_log10 = complexity::security_gain_log10(kN, kD, kP, 2);
+    EXPECT_NEAR(std::pow(10.0, gain_log10), 7.84e10, 0.05e10);
+}
+
+TEST(Complexity, PerFeatureCounts) {
+    // Reasoning a single feature: (D*P)^L guesses (Sec. 4.2), N for baseline.
+    EXPECT_NEAR(complexity::log10_guesses_per_feature(kN, kD, kP, 0), std::log10(784.0), 1e-12);
+    EXPECT_NEAR(complexity::log10_guesses_per_feature(kN, kD, kP, 1), std::log10(7.84e6), 1e-9);
+    EXPECT_NEAR(complexity::log10_guesses_per_feature(kN, kD, kP, 2), 2 * std::log10(7.84e6),
+                1e-9);
+}
+
+TEST(Complexity, GuessesGrowExponentiallyWithLayers) {
+    // Fig. 7b: each extra layer multiplies the count by D*P (a constant
+    // log10 increment).
+    const double increment = std::log10(static_cast<double>(kD) * static_cast<double>(kP));
+    for (std::size_t layers = 1; layers < 6; ++layers) {
+        const double lo = complexity::log10_guesses(kN, kD, kP, layers);
+        const double hi = complexity::log10_guesses(kN, kD, kP, layers + 1);
+        ASSERT_NEAR(hi - lo, increment, 1e-9);
+    }
+}
+
+TEST(Complexity, MonotoneInDimAndPool) {
+    // Fig. 7a: the count increases monomially with D and P.
+    EXPECT_LT(complexity::log10_guesses(kN, 2000, 300, 2),
+              complexity::log10_guesses(kN, 4000, 300, 2));
+    EXPECT_LT(complexity::log10_guesses(kN, 2000, 300, 2),
+              complexity::log10_guesses(kN, 2000, 600, 2));
+}
+
+TEST(Complexity, PoolAndLayersMutuallyEnhance) {
+    // The paper's observation that increasing P buys more when L is larger.
+    const double small_gain = complexity::log10_guesses(kN, kD, 700, 1) -
+                              complexity::log10_guesses(kN, kD, 100, 1);
+    const double large_gain = complexity::log10_guesses(kN, kD, 700, 3) -
+                              complexity::log10_guesses(kN, kD, 100, 3);
+    EXPECT_NEAR(large_gain, 3 * small_gain, 1e-9);
+}
+
+TEST(Complexity, HugeCountsStayFiniteInLogSpace) {
+    const double log_value = complexity::log10_guesses(kN, kD, kP, 6);
+    EXPECT_GT(log_value, 40.0);
+    EXPECT_TRUE(std::isfinite(log_value));
+}
+
+TEST(Complexity, FormatterRendersScientific) {
+    EXPECT_EQ(complexity::format_log10(std::log10(4.818e16)), "4.82e+16");
+    EXPECT_EQ(complexity::format_log10(std::log10(614656.0)), "6.15e+05");
+}
+
+TEST(Complexity, RejectsZeroSizes) {
+    EXPECT_THROW(complexity::log10_guesses(0, kD, kP, 2), ContractViolation);
+    EXPECT_THROW(complexity::log10_guesses(kN, 0, kP, 2), ContractViolation);
+    EXPECT_THROW(complexity::log10_guesses(kN, kD, 0, 2), ContractViolation);
+}
+
+TEST(Footprint, MnistShapeAccounting) {
+    const auto report = complexity::footprint(kN, kD, kP, 2, 16, 10);
+    EXPECT_EQ(report.secure_key_bits, 784ull * 2 * (10 + 14));
+    EXPECT_EQ(report.secure_mapping_bits, 16ull * 4);
+    EXPECT_EQ(report.public_pool_bits, 784ull * 10000);
+    EXPECT_EQ(report.public_value_bits, 16ull * 10000);
+    EXPECT_EQ(report.model_bits, 10ull * 10000);
+    // The threat-model premise: secrets are >100x smaller than the public
+    // hypervector memory.
+    EXPECT_LT(report.secure_total_bits() * 100, report.public_total_bits());
+}
+
+TEST(Footprint, PlainKeyStoresNoRotations) {
+    const auto locked = complexity::footprint(100, 1024, 128, 1, 4, 2);
+    const auto plain = complexity::footprint(100, 1024, 128, 0, 4, 2);
+    EXPECT_EQ(locked.secure_key_bits, 100ull * (7 + 10));
+    EXPECT_EQ(plain.secure_key_bits, 100ull * 7);
+}

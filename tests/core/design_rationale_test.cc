@@ -1,0 +1,148 @@
+// Executable version of the paper's §4.1 design argument — "Why Not
+// Represent the Value Hypervectors?" — the ablation called out in
+// DESIGN.md §4.  Two facts make locking ValHVs a bad trade:
+//
+//  1. Eq. 9 products of orthogonal bases are themselves quasi-orthogonal, so
+//     a locked construction *cannot* produce the linearly correlated ValHV
+//     chain of Eq. 1b — it would break the encoder's value semantics.
+//  2. If the pool were made of correlated bases instead (to preserve the
+//     chain), the correlation itself leaks: an attacker orders the pool by
+//     pairwise distance from public memory alone, no oracle needed — the
+//     same scan that powers value extraction in the Sec. 3.2 attack.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/locked_encoder.hpp"
+#include "core/stores.hpp"
+#include "hdc/item_memory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+constexpr std::size_t kDim = 4096;
+
+}  // namespace
+
+TEST(DesignRationale, LockedProductsAreOrthogonalNotCorrelated) {
+    // Build "locked value hypervectors" the way FeaHVs are built (Eq. 9) and
+    // measure the pairwise distance profile: every pair sits at ~0.5 instead
+    // of Eq. 1b's proportional chain.
+    PublicStoreConfig config;
+    config.dim = kDim;
+    config.pool_size = 16;
+    config.n_levels = 2;
+    config.seed = 3;
+    ValueMapping unused;
+    const auto store = PublicStore::generate(config, unused);
+
+    constexpr std::size_t kLevels = 8;
+    std::vector<hdc::BinaryHV> locked_values;
+    for (std::size_t level = 0; level < kLevels; ++level) {
+        const std::vector<SubKeyEntry> sub_key{
+            {static_cast<std::uint32_t>(level % config.pool_size),
+             static_cast<std::uint32_t>(level * 131)},
+            {static_cast<std::uint32_t>((level + 5) % config.pool_size),
+             static_cast<std::uint32_t>(level * 17 + 3)}};
+        locked_values.push_back(LockedEncoder::materialize_feature(store, sub_key));
+    }
+
+    for (std::size_t a = 0; a < kLevels; ++a) {
+        for (std::size_t b = a + 1; b < kLevels; ++b) {
+            EXPECT_NEAR(locked_values[a].normalized_hamming(locked_values[b]), 0.5, 0.05)
+                << "pair (" << a << "," << b << ")";
+        }
+    }
+}
+
+TEST(DesignRationale, GenuineValueChainFollowsEq1b) {
+    // Control for the test above: the real (unlocked) level construction
+    // does satisfy Eq. 1b — distance proportional to the level gap.
+    constexpr std::size_t kLevels = 8;
+    const auto values = hdc::ItemMemory::generate_level_hvs(kDim, kLevels, /*seed=*/5);
+    for (std::size_t a = 0; a < kLevels; ++a) {
+        for (std::size_t b = a + 1; b < kLevels; ++b) {
+            const double expected =
+                0.5 * static_cast<double>(b - a) / static_cast<double>(kLevels - 1);
+            EXPECT_NEAR(values[a].normalized_hamming(values[b]), expected, 0.04)
+                << "pair (" << a << "," << b << ")";
+        }
+    }
+}
+
+TEST(DesignRationale, CorrelatedPoolLeaksItsOrderWithoutAnyOracle) {
+    // The other horn of the dilemma: store correlated hypervectors in the
+    // public pool (shuffled), and a no-oracle attacker recovers the chain
+    // order by pairwise distances alone.
+    constexpr std::size_t kLevels = 9;
+    const auto chain = hdc::ItemMemory::generate_level_hvs(kDim, kLevels, /*seed=*/7);
+
+    // Secretly shuffle the chain into "pool slots".
+    std::vector<std::size_t> slot_of_level(kLevels);
+    std::iota(slot_of_level.begin(), slot_of_level.end(), 0u);
+    util::Xoshiro256ss rng(99);
+    for (std::size_t i = kLevels; i > 1; --i) {
+        std::swap(slot_of_level[i - 1], slot_of_level[rng.next_below(i)]);
+    }
+    std::vector<hdc::BinaryHV> pool(kLevels);
+    for (std::size_t level = 0; level < kLevels; ++level) {
+        pool[slot_of_level[level]] = chain[level];
+    }
+
+    // Attacker: find the farthest pair (the endpoints), then sort everything
+    // by distance from one endpoint.
+    double farthest = -1.0;
+    std::size_t end_a = 0;
+    for (std::size_t a = 0; a < kLevels; ++a) {
+        for (std::size_t b = a + 1; b < kLevels; ++b) {
+            const double distance = pool[a].normalized_hamming(pool[b]);
+            if (distance > farthest) {
+                farthest = distance;
+                end_a = a;
+            }
+        }
+    }
+    std::vector<std::size_t> order(kLevels);
+    std::iota(order.begin(), order.end(), 0u);
+    std::ranges::sort(order, [&](std::size_t x, std::size_t y) {
+        return pool[end_a].normalized_hamming(pool[x]) <
+               pool[end_a].normalized_hamming(pool[y]);
+    });
+
+    // The recovered order is the true chain or its mirror.
+    std::vector<std::size_t> truth(kLevels);
+    for (std::size_t level = 0; level < kLevels; ++level) truth[level] = slot_of_level[level];
+    const bool forward = std::ranges::equal(order, truth);
+    const bool backward = std::equal(order.begin(), order.end(), truth.rbegin());
+    EXPECT_TRUE(forward || backward)
+        << "correlated pool did not leak its order (farthest pair " << farthest << ")";
+}
+
+TEST(DesignRationale, OrthogonalPoolLeaksNothing) {
+    // And the reason FeaHV locking *works*: an orthogonal pool's pairwise
+    // distances are featureless (~0.5), so the same no-oracle scan learns
+    // nothing — all pairs look alike.
+    PublicStoreConfig config;
+    config.dim = kDim;
+    config.pool_size = 12;
+    config.n_levels = 2;
+    config.seed = 13;
+    ValueMapping unused;
+    const auto store = PublicStore::generate(config, unused);
+
+    double min_distance = 1.0;
+    double max_distance = 0.0;
+    for (std::size_t a = 0; a < store.pool_size(); ++a) {
+        for (std::size_t b = a + 1; b < store.pool_size(); ++b) {
+            const double distance = store.base(a).normalized_hamming(store.base(b));
+            min_distance = std::min(min_distance, distance);
+            max_distance = std::max(max_distance, distance);
+        }
+    }
+    EXPECT_GT(min_distance, 0.45);
+    EXPECT_LT(max_distance, 0.55);
+}

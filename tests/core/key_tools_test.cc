@@ -1,0 +1,161 @@
+// Tests for the key-hygiene utilities (src/core/key_tools.*): auditing,
+// canonicalization, semantic key equality and post-leak re-keying.
+
+#include "core/key_tools.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/locked_encoder.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+PublicStore make_store(std::size_t pool = 16, std::size_t dim = 1024, std::uint64_t seed = 3) {
+    PublicStoreConfig config;
+    config.dim = dim;
+    config.pool_size = pool;
+    config.n_levels = 4;
+    config.seed = seed;
+    ValueMapping unused;
+    return PublicStore::generate(config, unused);
+}
+
+}  // namespace
+
+TEST(KeyAudit, HealthyRandomKeyPasses) {
+    const auto store = make_store();
+    const auto key = LockKey::random(8, 2, 16, 1024, /*seed=*/7);
+    const auto report = audit_key(key, store);
+
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.in_bounds);
+    EXPECT_TRUE(report.injective);
+    EXPECT_TRUE(report.aliased_features.empty());
+    EXPECT_NEAR(report.sub_key_entropy_bits, 2.0 * std::log2(1024.0 * 16.0), 1e-9);
+    EXPECT_EQ(report.storage_bits, key.storage_bits(16, 1024));
+    EXPECT_NE(report.summary().find("OK"), std::string::npos);
+}
+
+TEST(KeyAudit, DetectsOutOfBoundsEntries) {
+    const auto store = make_store(16, 1024);
+    const auto key = LockKey::random(4, 2, 16, 1024, 7);
+    const auto bad_base = key.with_entry(1, 0, SubKeyEntry{999, 5});
+    const auto bad_rotation = key.with_entry(1, 1, SubKeyEntry{3, 4096});
+
+    EXPECT_FALSE(audit_key(bad_base, store).in_bounds);
+    EXPECT_FALSE(audit_key(bad_rotation, store).in_bounds);
+    EXPECT_NE(audit_key(bad_base, store).summary().find("FAIL"), std::string::npos);
+}
+
+TEST(KeyAudit, DetectsLayerOrderAliasing) {
+    // Feature 1's sub-key is feature 0's with the layers swapped: textually
+    // distinct, materializes identically — the audit must flag the pair.
+    const auto store = make_store();
+    auto key = LockKey::random(4, 2, 16, 1024, 11);
+    const auto a0 = key.entry(0, 0);
+    const auto a1 = key.entry(0, 1);
+    key = key.with_entry(1, 0, a1).with_entry(1, 1, a0);
+
+    const auto report = audit_key(key, store);
+    EXPECT_TRUE(report.in_bounds);
+    EXPECT_FALSE(report.injective);
+    ASSERT_EQ(report.aliased_features.size(), 1u);
+    EXPECT_EQ(report.aliased_features[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+}
+
+TEST(KeyAudit, PlainKeyEntropyIsLogPool) {
+    const auto store = make_store();
+    const auto key = LockKey::plain_random(8, 16, /*seed=*/3);
+    EXPECT_NEAR(audit_key(key, store).sub_key_entropy_bits, std::log2(16.0), 1e-9);
+}
+
+TEST(Canonicalize, SortsLayersWithoutChangingMaterialization) {
+    const auto store = make_store();
+    const auto key = LockKey::random(6, 3, 16, 1024, 13);
+    const auto canonical = canonicalize(key);
+
+    EXPECT_TRUE(materialize_equal(key, canonical, store));
+    for (std::size_t i = 0; i < canonical.n_features(); ++i) {
+        const auto sub_key = canonical.sub_key(i);
+        for (std::size_t l = 1; l < sub_key.size(); ++l) {
+            const auto prev = std::pair{sub_key[l - 1].base_index, sub_key[l - 1].rotation};
+            const auto curr = std::pair{sub_key[l].base_index, sub_key[l].rotation};
+            EXPECT_LE(prev, curr);
+        }
+    }
+}
+
+TEST(Canonicalize, LayerPermutedKeysShareCanonicalForm) {
+    auto key = LockKey::random(2, 2, 16, 1024, 17);
+    auto swapped = key.with_entry(0, 0, key.entry(0, 1)).with_entry(0, 1, key.entry(0, 0));
+    EXPECT_NE(key, swapped);
+    EXPECT_EQ(canonicalize(key), canonicalize(swapped));
+}
+
+TEST(Canonicalize, PlainKeyIsItsOwnCanonicalForm) {
+    const auto key = LockKey::plain_random(8, 16, 3);
+    EXPECT_EQ(canonicalize(key), key);
+}
+
+TEST(MaterializeEqual, DiscriminatesDifferentKeys) {
+    const auto store = make_store();
+    const auto key_a = LockKey::random(4, 2, 16, 1024, 19);
+    const auto key_b = LockKey::random(4, 2, 16, 1024, 23);
+    EXPECT_TRUE(materialize_equal(key_a, key_a, store));
+    EXPECT_FALSE(materialize_equal(key_a, key_b, store));
+    const auto fewer = LockKey::random(3, 2, 16, 1024, 19);
+    EXPECT_FALSE(materialize_equal(key_a, fewer, store));
+}
+
+TEST(Rekey, FreshKeyAvoidsEveryLeakedLayerPair) {
+    const auto store = make_store(32, 2048);
+    const auto leaked = LockKey::random(8, 2, 32, 2048, 29);
+    const auto fresh = rekey(leaked, store, /*seed=*/31);
+
+    EXPECT_EQ(fresh.n_features(), leaked.n_features());
+    EXPECT_EQ(fresh.n_layers(), leaked.n_layers());
+    EXPECT_FALSE(materialize_equal(fresh, leaked, store));
+
+    std::set<std::pair<std::uint32_t, std::uint32_t>> burned;
+    for (std::size_t i = 0; i < leaked.n_features(); ++i) {
+        for (const auto& entry : leaked.sub_key(i)) {
+            burned.emplace(entry.base_index, entry.rotation);
+        }
+    }
+    for (std::size_t i = 0; i < fresh.n_features(); ++i) {
+        for (const auto& entry : fresh.sub_key(i)) {
+            EXPECT_FALSE(burned.contains({entry.base_index, entry.rotation}))
+                << "feature " << i << " reuses a leaked layer pair";
+        }
+    }
+}
+
+TEST(Rekey, RekeyedDeploymentStillClassifies) {
+    // Re-provisioning end to end: materialize new FeaHVs from the fresh key
+    // and check the encoder still produces valid, different encodings.
+    const auto store = std::make_shared<const PublicStore>(make_store(32, 2048));
+    ValueMapping mapping(4);
+    for (std::uint32_t level = 0; level < 4; ++level) mapping[level] = level;
+
+    const auto old_key = LockKey::random(8, 2, 32, 2048, 37);
+    const auto new_key = rekey(old_key, *store, 41);
+
+    const LockedEncoder old_encoder(store, old_key, mapping, 1);
+    const LockedEncoder new_encoder(store, new_key, mapping, 1);
+    const std::vector<int> levels(8, 2);
+    const auto old_hv = old_encoder.encode_binary(levels);
+    const auto new_hv = new_encoder.encode_binary(levels);
+    EXPECT_EQ(new_hv.dim(), 2048u);
+    EXPECT_NEAR(old_hv.normalized_hamming(new_hv), 0.5, 0.1);
+}
+
+TEST(Rekey, RefusesPlainKeysAndTinySpaces) {
+    const auto store = make_store(2, 4);  // D*P = 8 < 2*N*L = 16: too small
+    EXPECT_THROW(rekey(LockKey::plain_random(2, 2, 3), store, 1), ContractViolation);
+    const auto key = LockKey::random(4, 2, 2, 4, 3);
+    EXPECT_THROW(rekey(key, store, 1), ConfigError);
+}

@@ -1,0 +1,238 @@
+// Tests for HDLock's privileged encoder (src/core/locked_encoder.*): Eq. 9
+// materialization, equivalence with the standard encoder for plain keys, and
+// the statistical properties behind the paper's "no accuracy loss" claim.
+
+#include "core/locked_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using hdlock::ContractViolation;
+using hdlock::Deployment;
+using hdlock::DeploymentConfig;
+using hdlock::LockedEncoder;
+using hdlock::LockKey;
+using hdlock::provision;
+using hdlock::PublicStore;
+using hdlock::PublicStoreConfig;
+using hdlock::SubKeyEntry;
+using hdlock::ValueMapping;
+using hdlock::hdc::BinaryHV;
+using hdlock::hdc::IntHV;
+
+namespace {
+
+struct StoreFixture {
+    std::shared_ptr<const PublicStore> store;
+    ValueMapping mapping;
+};
+
+StoreFixture make_store(std::size_t dim, std::size_t pool, std::size_t levels,
+                        std::uint64_t seed) {
+    PublicStoreConfig config;
+    config.dim = dim;
+    config.pool_size = pool;
+    config.n_levels = levels;
+    config.seed = seed;
+    ValueMapping mapping;
+    auto store = std::make_shared<const PublicStore>(PublicStore::generate(config, mapping));
+    return {std::move(store), std::move(mapping)};
+}
+
+std::vector<int> random_levels(std::size_t n, std::size_t m, std::uint64_t seed) {
+    hdlock::util::Xoshiro256ss rng(seed);
+    std::vector<int> levels(n);
+    for (auto& level : levels) level = static_cast<int>(rng.next_below(m));
+    return levels;
+}
+
+}  // namespace
+
+TEST(LockedEncoder, MaterializeSingleLayerIsRotatedBase) {
+    const auto fixture = make_store(1000, 6, 2, 1);
+    const SubKeyEntry entry{3, 217};
+    const BinaryHV fea =
+        LockedEncoder::materialize_feature(*fixture.store, std::span(&entry, 1));
+    EXPECT_EQ(fea, fixture.store->base(3).rotated(217));
+}
+
+TEST(LockedEncoder, MaterializeTwoLayerProduct) {
+    const auto fixture = make_store(512, 6, 2, 2);
+    const std::vector<SubKeyEntry> sub_key = {{1, 10}, {4, 500}};
+    const BinaryHV fea = LockedEncoder::materialize_feature(*fixture.store, sub_key);
+    EXPECT_EQ(fea, fixture.store->base(1).rotated(10) * fixture.store->base(4).rotated(500));
+}
+
+TEST(LockedEncoder, LockedFeatureHVsRemainQuasiOrthogonal) {
+    // The reason Fig. 8 shows no accuracy loss: Eq. 9 products of rotated
+    // orthogonal bases are statistically indistinguishable from fresh random
+    // hypervectors.
+    const auto fixture = make_store(10000, 16, 2, 3);
+    for (const std::size_t n_layers : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+        const auto key = LockKey::random(24, n_layers, 16, 10000, 7 + n_layers);
+        const LockedEncoder encoder(fixture.store, key, fixture.mapping, 1);
+        for (std::size_t i = 0; i < 24; ++i) {
+            for (std::size_t j = i + 1; j < 24; ++j) {
+                ASSERT_NEAR(encoder.feature_hv(i).normalized_hamming(encoder.feature_hv(j)), 0.5,
+                            0.03)
+                    << "L=" << n_layers << " pair (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(LockedEncoder, PlainKeyMatchesRecordEncoder) {
+    // With a plain key the locked module must be bit-identical to a standard
+    // record encoder whose item memory is the mapped pool/value contents
+    // (paper footnote 2).
+    const std::size_t n_features = 10, n_levels = 4;
+    const auto fixture = make_store(2048, n_features, n_levels, 5);
+    const auto key = LockKey::plain_random(n_features, n_features, 9);
+    const LockedEncoder locked(fixture.store, key, fixture.mapping, /*tie_seed=*/42);
+
+    std::vector<BinaryHV> feature_hvs;
+    for (std::size_t i = 0; i < n_features; ++i) {
+        feature_hvs.push_back(fixture.store->base(key.entry(i, 0).base_index));
+    }
+    std::vector<BinaryHV> value_hvs;
+    for (std::size_t level = 0; level < n_levels; ++level) {
+        value_hvs.push_back(fixture.store->value_slot(fixture.mapping[level]));
+    }
+    auto memory = std::make_shared<const hdlock::hdc::ItemMemory>(
+        hdlock::hdc::ItemMemory::from_hypervectors(feature_hvs, value_hvs));
+    const hdlock::hdc::RecordEncoder record(memory, /*tie_seed=*/42);
+
+    for (std::uint64_t trial = 0; trial < 5; ++trial) {
+        const auto levels = random_levels(n_features, n_levels, 100 + trial);
+        EXPECT_EQ(locked.encode(levels), record.encode(levels));
+        EXPECT_EQ(locked.encode_binary(levels), record.encode_binary(levels));
+    }
+}
+
+TEST(LockedEncoder, EncodeMatchesManualEq10) {
+    const std::size_t n_features = 7, n_levels = 3;
+    const auto fixture = make_store(1024, 9, n_levels, 11);
+    const auto key = LockKey::random(n_features, 2, 9, 1024, 13);
+    const LockedEncoder encoder(fixture.store, key, fixture.mapping, 1);
+
+    const auto levels = random_levels(n_features, n_levels, 17);
+    const IntHV h = encoder.encode(levels);
+
+    IntHV expected(1024);
+    for (std::size_t i = 0; i < n_features; ++i) {
+        const BinaryHV fea = LockedEncoder::materialize_feature(*fixture.store, key.sub_key(i));
+        const BinaryHV val =
+            fixture.store->value_slot(fixture.mapping[static_cast<std::size_t>(levels[i])]);
+        expected.add(fea * val);
+    }
+    EXPECT_EQ(h, expected);
+}
+
+TEST(LockedEncoder, DifferentKeysGiveDifferentEncodings) {
+    const auto fixture = make_store(2048, 8, 2, 19);
+    const auto key_a = LockKey::random(6, 2, 8, 2048, 1);
+    const auto key_b = LockKey::random(6, 2, 8, 2048, 2);
+    const LockedEncoder enc_a(fixture.store, key_a, fixture.mapping, 1);
+    const LockedEncoder enc_b(fixture.store, key_b, fixture.mapping, 1);
+    const auto levels = random_levels(6, 2, 23);
+    // A wrong key yields an essentially uncorrelated encoding.
+    EXPECT_NEAR(enc_a.encode_binary(levels).normalized_hamming(enc_b.encode_binary(levels)), 0.5,
+                0.1);
+}
+
+TEST(LockedEncoder, ValidatesKeyAgainstStore) {
+    const auto fixture = make_store(256, 4, 2, 29);
+    // base_index out of pool range
+    const auto bad_base = LockKey::plain({0, 5});
+    EXPECT_THROW(LockedEncoder(fixture.store, bad_base, fixture.mapping, 1), ContractViolation);
+    // rotation >= dim
+    auto key = LockKey::random(3, 1, 4, 256, 1);
+    const auto bad_rotation = key.with_entry(0, 0, SubKeyEntry{0, 256});
+    EXPECT_THROW(LockedEncoder(fixture.store, bad_rotation, fixture.mapping, 1),
+                 ContractViolation);
+    // value mapping of the wrong size
+    EXPECT_THROW(LockedEncoder(fixture.store, key, ValueMapping{0}, 1), ContractViolation);
+    EXPECT_THROW(LockedEncoder(nullptr, key, fixture.mapping, 1), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// provision(): the one-call deployment entry point.
+// ---------------------------------------------------------------------------
+
+TEST(Provision, CreatesConsistentDeployment) {
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = 12;
+    config.n_levels = 4;
+    config.n_layers = 2;
+    config.seed = 77;
+    const Deployment deployment = provision(config);
+
+    EXPECT_EQ(deployment.store->dim(), 1024u);
+    EXPECT_EQ(deployment.store->pool_size(), 12u);  // default P = N
+    EXPECT_EQ(deployment.encoder->n_features(), 12u);
+    EXPECT_EQ(deployment.encoder->n_levels(), 4u);
+    EXPECT_EQ(deployment.secure->key().n_layers(), 2u);
+
+    // The encoder must agree with a re-materialization from the secrets.
+    const auto& key = deployment.secure->key();
+    const auto& mapping = deployment.secure->value_mapping();
+    const LockedEncoder rebuilt(deployment.store, key, mapping, config.tie_seed);
+    const auto levels = random_levels(12, 4, 31);
+    EXPECT_EQ(deployment.encoder->encode(levels), rebuilt.encode(levels));
+}
+
+TEST(Provision, ZeroLayersDeploysPlainBaseline) {
+    DeploymentConfig config;
+    config.dim = 512;
+    config.n_features = 8;
+    config.n_levels = 2;
+    config.n_layers = 0;
+    const Deployment deployment = provision(config);
+    EXPECT_TRUE(deployment.secure->key().is_plain());
+    EXPECT_EQ(deployment.encoder->n_features(), 8u);
+}
+
+TEST(Provision, ExplicitPoolSizeHonored) {
+    DeploymentConfig config;
+    config.dim = 512;
+    config.n_features = 8;
+    config.n_levels = 2;
+    config.pool_size = 32;
+    config.n_layers = 1;
+    const Deployment deployment = provision(config);
+    EXPECT_EQ(deployment.store->pool_size(), 32u);
+}
+
+TEST(Provision, SealedSecureStoreStopsOwnerReads) {
+    DeploymentConfig config;
+    config.dim = 256;
+    config.n_features = 4;
+    config.n_levels = 2;
+    const Deployment deployment = provision(config);
+    deployment.secure->seal();
+    EXPECT_THROW(deployment.secure->key(), hdlock::AccessDenied);
+    // The already-constructed encoder keeps working: the device holds its
+    // materialized FeaHVs internally, like the hardware would.
+    const auto levels = random_levels(4, 2, 37);
+    EXPECT_NO_THROW(deployment.encoder->encode(levels));
+}
+
+TEST(Provision, DeterministicPerSeed) {
+    DeploymentConfig config;
+    config.dim = 256;
+    config.n_features = 4;
+    config.n_levels = 2;
+    config.seed = 5;
+    const auto a = provision(config);
+    const auto b = provision(config);
+    EXPECT_EQ(a.secure->key(), b.secure->key());
+    const auto levels = random_levels(4, 2, 41);
+    EXPECT_EQ(a.encoder->encode(levels), b.encoder->encode(levels));
+}
+
+TEST(Provision, RejectsEmptyFeatureCount) {
+    DeploymentConfig config;
+    EXPECT_THROW(provision(config), ContractViolation);
+}

@@ -1,0 +1,162 @@
+// Tests for the public/secure memory split (src/core/stores.*): the
+// simulated trust boundary of the paper's threat model (Sec. 3.1).
+
+#include "core/stores.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using hdlock::AccessDenied;
+using hdlock::ContractViolation;
+using hdlock::LockKey;
+using hdlock::PublicStore;
+using hdlock::PublicStoreConfig;
+using hdlock::SecureStore;
+using hdlock::ValueMapping;
+
+namespace {
+
+PublicStoreConfig small_config() {
+    PublicStoreConfig config;
+    config.dim = 2048;
+    config.pool_size = 12;
+    config.n_levels = 8;
+    config.seed = 31;
+    return config;
+}
+
+}  // namespace
+
+TEST(PublicStore, GenerateShapes) {
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(small_config(), mapping);
+    EXPECT_EQ(store.dim(), 2048u);
+    EXPECT_EQ(store.pool_size(), 12u);
+    EXPECT_EQ(store.n_levels(), 8u);
+    EXPECT_EQ(mapping.size(), 8u);
+}
+
+TEST(PublicStore, ValueMappingIsAPermutation) {
+    ValueMapping mapping;
+    PublicStore::generate(small_config(), mapping);
+    std::set<std::uint32_t> unique(mapping.begin(), mapping.end());
+    EXPECT_EQ(unique.size(), 8u);
+    EXPECT_EQ(*std::max_element(mapping.begin(), mapping.end()), 7u);
+}
+
+TEST(PublicStore, MappedSlotsRecoverLinearLevelProfile) {
+    // Reading the slots through the secret mapping must reproduce the
+    // ordered level chain (Eq. 1b); reading them in slot order must not
+    // (that's the whole point of shuffling the storage order).
+    auto config = small_config();
+    config.dim = 10000;
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(config, mapping);
+
+    const double step = 0.5 / 7.0;
+    for (std::size_t a = 0; a + 1 < 8; ++a) {
+        const auto& current = store.value_slot(mapping[a]);
+        const auto& next = store.value_slot(mapping[a + 1]);
+        EXPECT_NEAR(current.normalized_hamming(next), step, 0.02) << "level " << a;
+    }
+    const auto& first = store.value_slot(mapping[0]);
+    const auto& last = store.value_slot(mapping[7]);
+    EXPECT_NEAR(first.normalized_hamming(last), 0.5, 0.02);
+}
+
+TEST(PublicStore, BasesAreQuasiOrthogonal) {
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(small_config(), mapping);
+    for (std::size_t i = 0; i < store.pool_size(); ++i) {
+        for (std::size_t j = i + 1; j < store.pool_size(); ++j) {
+            ASSERT_NEAR(store.base(i).normalized_hamming(store.base(j)), 0.5, 0.06);
+        }
+    }
+}
+
+TEST(PublicStore, DeterministicPerSeed) {
+    ValueMapping mapping_a, mapping_b;
+    const auto a = PublicStore::generate(small_config(), mapping_a);
+    const auto b = PublicStore::generate(small_config(), mapping_b);
+    EXPECT_EQ(mapping_a, mapping_b);
+    EXPECT_EQ(a.base(3), b.base(3));
+    EXPECT_EQ(a.value_slot(5), b.value_slot(5));
+}
+
+TEST(PublicStore, AccessorsBoundsChecked) {
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(small_config(), mapping);
+    EXPECT_THROW(store.base(12), ContractViolation);
+    EXPECT_THROW(store.value_slot(8), ContractViolation);
+}
+
+TEST(PublicStore, RejectsBadConfigs) {
+    ValueMapping mapping;
+    PublicStoreConfig config = small_config();
+    config.dim = 0;
+    EXPECT_THROW(PublicStore::generate(config, mapping), ContractViolation);
+    config = small_config();
+    config.pool_size = 0;
+    EXPECT_THROW(PublicStore::generate(config, mapping), ContractViolation);
+    config = small_config();
+    config.n_levels = 1;
+    EXPECT_THROW(PublicStore::generate(config, mapping), ContractViolation);
+}
+
+TEST(PublicStore, SerializationRoundTrip) {
+    ValueMapping mapping;
+    const auto store = PublicStore::generate(small_config(), mapping);
+    std::stringstream stream;
+    hdlock::util::BinaryWriter writer(stream);
+    store.save(writer);
+    hdlock::util::BinaryReader reader(stream);
+    const auto loaded = PublicStore::load(reader);
+    EXPECT_EQ(loaded.dim(), store.dim());
+    EXPECT_EQ(loaded.pool_size(), store.pool_size());
+    EXPECT_EQ(loaded.base(7), store.base(7));
+    EXPECT_EQ(loaded.value_slot(2), store.value_slot(2));
+}
+
+// ---------------------------------------------------------------------------
+// SecureStore
+// ---------------------------------------------------------------------------
+
+TEST(SecureStore, ReadableUntilSealed) {
+    const auto key = LockKey::random(8, 2, 8, 64, 3);
+    SecureStore secure(key, ValueMapping{1, 0, 2});
+    EXPECT_FALSE(secure.sealed());
+    EXPECT_EQ(secure.key(), key);
+    EXPECT_EQ(secure.value_mapping(), (ValueMapping{1, 0, 2}));
+}
+
+TEST(SecureStore, SealBlocksAllReads) {
+    SecureStore secure(LockKey::random(8, 2, 8, 64, 3), ValueMapping{0, 1});
+    secure.seal();
+    EXPECT_TRUE(secure.sealed());
+    EXPECT_THROW(secure.key(), AccessDenied);
+    EXPECT_THROW(secure.value_mapping(), AccessDenied);
+}
+
+TEST(SecureStore, StorageBitsAccountsKeyAndMapping) {
+    // 8 features x 2 layers x (3 + 6) key bits, plus 4 levels x 2 bits.
+    SecureStore secure(LockKey::random(8, 2, 8, 64, 3), ValueMapping{0, 1, 2, 3});
+    EXPECT_EQ(secure.storage_bits(8, 64), 8ull * 2 * (3 + 6) + 4ull * 2);
+}
+
+TEST(SecureStore, SecureFootprintIsTinyComparedToModel) {
+    // The threat-model premise: the key fits in a small tamper-proof memory
+    // while the hypervectors do not.  MNIST shape: P = N = 784, D = 10000.
+    SecureStore secure(LockKey::random(784, 2, 784, 10000, 3),
+                       ValueMapping(16, 0));
+    const std::uint64_t secure_bits = secure.storage_bits(784, 10000);
+    const std::uint64_t public_bits = 784ull * 10000;  // pool alone
+    EXPECT_LT(secure_bits * 100, public_bits);
+}
+
+TEST(SecureStore, RejectsEmptySecrets) {
+    EXPECT_THROW(SecureStore(LockKey{}, ValueMapping{0}), ContractViolation);
+    EXPECT_THROW(SecureStore(LockKey::plain({0}), ValueMapping{}), ContractViolation);
+}

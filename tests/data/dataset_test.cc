@@ -1,0 +1,100 @@
+// Tests for the dataset container and splitting (src/data/dataset.*).
+
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+using hdlock::ContractViolation;
+using hdlock::data::Dataset;
+using hdlock::util::Matrix;
+
+namespace {
+
+Dataset tiny_dataset() {
+    Dataset d;
+    d.name = "tiny";
+    d.n_classes = 2;
+    d.X = Matrix<float>(6, 2);
+    for (std::size_t r = 0; r < 6; ++r) {
+        d.X(r, 0) = static_cast<float>(r);
+        d.X(r, 1) = static_cast<float>(10 * r);
+        d.y.push_back(static_cast<int>(r % 2));
+    }
+    return d;
+}
+
+}  // namespace
+
+TEST(Dataset, ValidateAcceptsConsistentData) {
+    const auto d = tiny_dataset();
+    EXPECT_NO_THROW(d.validate());
+    EXPECT_EQ(d.n_samples(), 6u);
+    EXPECT_EQ(d.n_features(), 2u);
+}
+
+TEST(Dataset, ValidateRejectsInconsistency) {
+    auto d = tiny_dataset();
+    d.y.pop_back();
+    EXPECT_THROW(d.validate(), ContractViolation);
+
+    auto e = tiny_dataset();
+    e.y[0] = 5;
+    EXPECT_THROW(e.validate(), ContractViolation);
+
+    auto f = tiny_dataset();
+    f.n_classes = 0;
+    EXPECT_THROW(f.validate(), ContractViolation);
+}
+
+TEST(Dataset, ClassCounts) {
+    const auto d = tiny_dataset();
+    const auto counts = d.class_counts();
+    EXPECT_EQ(counts, (std::vector<std::size_t>{3, 3}));
+}
+
+TEST(Dataset, TakeRowsSelectsAndChecksBounds) {
+    const auto d = tiny_dataset();
+    const std::vector<std::size_t> rows = {5, 0};
+    const auto subset = hdlock::data::take_rows(d, rows);
+    EXPECT_EQ(subset.n_samples(), 2u);
+    EXPECT_FLOAT_EQ(subset.X(0, 1), 50.0f);
+    EXPECT_FLOAT_EQ(subset.X(1, 1), 0.0f);
+    EXPECT_EQ(subset.y, (std::vector<int>{1, 0}));
+
+    const std::vector<std::size_t> bad = {6};
+    EXPECT_THROW(hdlock::data::take_rows(d, bad), ContractViolation);
+}
+
+TEST(Dataset, SplitPreservesAllSamples) {
+    const auto d = tiny_dataset();
+    const auto split = hdlock::data::split_train_test(d, 0.5, 3);
+    EXPECT_EQ(split.train.n_samples() + split.test.n_samples(), d.n_samples());
+    EXPECT_EQ(split.train.n_features(), d.n_features());
+    EXPECT_NO_THROW(split.train.validate());
+    EXPECT_NO_THROW(split.test.validate());
+
+    // Every original row appears exactly once across both sides (identify
+    // rows by the unique first feature value).
+    std::vector<int> seen(6, 0);
+    for (const auto* part : {&split.train, &split.test}) {
+        for (std::size_t r = 0; r < part->n_samples(); ++r) {
+            ++seen[static_cast<std::size_t>(part->X(r, 0))];
+        }
+    }
+    for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Dataset, SplitIsDeterministicPerSeed) {
+    const auto d = tiny_dataset();
+    const auto a = hdlock::data::split_train_test(d, 0.5, 9);
+    const auto b = hdlock::data::split_train_test(d, 0.5, 9);
+    EXPECT_EQ(a.train.y, b.train.y);
+    EXPECT_FLOAT_EQ(a.train.X(0, 0), b.train.X(0, 0));
+}
+
+TEST(Dataset, SplitRejectsBadFractions) {
+    const auto d = tiny_dataset();
+    EXPECT_THROW(hdlock::data::split_train_test(d, 0.0, 1), ContractViolation);
+    EXPECT_THROW(hdlock::data::split_train_test(d, 1.0, 1), ContractViolation);
+    EXPECT_THROW(hdlock::data::split_train_test(d, 0.01, 1), ContractViolation);
+}

@@ -1,0 +1,167 @@
+// Tests for the CSV and IDX dataset loaders (src/data/loaders.*).
+
+#include "data/loaders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+
+using hdlock::FormatError;
+using hdlock::IoError;
+using hdlock::data::CsvOptions;
+using hdlock::data::Dataset;
+
+namespace {
+
+class LoadersTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("hdlock_loaders_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path path(const std::string& name) const { return dir_ / name; }
+
+    void write_text(const std::string& name, const std::string& content) const {
+        std::ofstream out(path(name));
+        out << content;
+    }
+
+    std::filesystem::path dir_;
+};
+
+}  // namespace
+
+TEST_F(LoadersTest, CsvRoundTrip) {
+    hdlock::data::SyntheticSpec spec;
+    spec.n_features = 5;
+    spec.n_classes = 3;
+    const Dataset original = hdlock::data::make_blobs(spec, 30, 1);
+
+    hdlock::data::save_csv(original, path("data.csv"));
+    const Dataset loaded = hdlock::data::load_csv(path("data.csv"));
+
+    EXPECT_EQ(loaded.n_samples(), original.n_samples());
+    EXPECT_EQ(loaded.n_features(), original.n_features());
+    EXPECT_EQ(loaded.y, original.y);
+    EXPECT_EQ(loaded.n_classes, original.n_classes);
+    for (std::size_t r = 0; r < loaded.n_samples(); ++r) {
+        for (std::size_t f = 0; f < loaded.n_features(); ++f) {
+            ASSERT_NEAR(loaded.X(r, f), original.X(r, f), 1e-6f);
+        }
+    }
+}
+
+TEST_F(LoadersTest, CsvParsesLabelColumnPositions) {
+    write_text("first.csv", "1,0.5,0.25\n0,0.75,0.125\n");
+    CsvOptions options;
+    options.label_column = 0;
+    const Dataset d = hdlock::data::load_csv(path("first.csv"), options);
+    EXPECT_EQ(d.y, (std::vector<int>{1, 0}));
+    EXPECT_FLOAT_EQ(d.X(0, 0), 0.5f);
+    EXPECT_FLOAT_EQ(d.X(1, 1), 0.125f);
+}
+
+TEST_F(LoadersTest, CsvSkipsHeaderAndBlankLines) {
+    write_text("header.csv", "f0,f1,label\n\n0.1,0.2,0\n0.3,0.4,1\n\n");
+    CsvOptions options;
+    options.has_header = true;
+    const Dataset d = hdlock::data::load_csv(path("header.csv"), options);
+    EXPECT_EQ(d.n_samples(), 2u);
+    EXPECT_EQ(d.n_classes, 2);
+}
+
+TEST_F(LoadersTest, CsvRejectsMalformedInput) {
+    write_text("ragged.csv", "0.1,0.2,0\n0.3,1\n");
+    EXPECT_THROW(hdlock::data::load_csv(path("ragged.csv")), FormatError);
+
+    write_text("notnum.csv", "0.1,abc,0\n");
+    EXPECT_THROW(hdlock::data::load_csv(path("notnum.csv")), FormatError);
+
+    write_text("neglabel.csv", "0.1,0.2,-1\n");
+    EXPECT_THROW(hdlock::data::load_csv(path("neglabel.csv")), FormatError);
+
+    write_text("empty.csv", "\n\n");
+    EXPECT_THROW(hdlock::data::load_csv(path("empty.csv")), FormatError);
+
+    write_text("onecol.csv", "5\n");
+    EXPECT_THROW(hdlock::data::load_csv(path("onecol.csv")), FormatError);
+
+    EXPECT_THROW(hdlock::data::load_csv(path("missing.csv")), IoError);
+}
+
+TEST_F(LoadersTest, CsvSemicolonDelimiter) {
+    write_text("semi.csv", "0.5;0.25;1\n0.75;0.5;0\n");
+    CsvOptions options;
+    options.delimiter = ';';
+    const Dataset d = hdlock::data::load_csv(path("semi.csv"), options);
+    EXPECT_EQ(d.n_samples(), 2u);
+    EXPECT_FLOAT_EQ(d.X(1, 0), 0.75f);
+}
+
+TEST_F(LoadersTest, IdxRoundTrip) {
+    hdlock::data::SyntheticSpec spec;
+    spec.n_features = 16;
+    spec.n_classes = 4;
+    const Dataset original = hdlock::data::make_blobs(spec, 20, 2);
+
+    hdlock::data::save_idx(original, path("images.idx"), path("labels.idx"));
+    const Dataset loaded = hdlock::data::load_idx(path("images.idx"), path("labels.idx"), "redux");
+
+    EXPECT_EQ(loaded.name, "redux");
+    EXPECT_EQ(loaded.n_samples(), original.n_samples());
+    EXPECT_EQ(loaded.n_features(), original.n_features());
+    EXPECT_EQ(loaded.y, original.y);
+    // u8 quantization: values agree to within one of 255 scale steps.
+    for (std::size_t r = 0; r < loaded.n_samples(); ++r) {
+        for (std::size_t f = 0; f < loaded.n_features(); ++f) {
+            ASSERT_NEAR(loaded.X(r, f), original.X(r, f), 1.5f / 255.0f);
+        }
+    }
+}
+
+TEST_F(LoadersTest, IdxRejectsBadMagicAndTruncation) {
+    write_text("bad.idx", "not an idx file at all");
+    write_text("bad_labels.idx", "nope");
+    EXPECT_THROW(hdlock::data::load_idx(path("bad.idx"), path("bad_labels.idx")), FormatError);
+
+    // Valid magic but truncated payload.
+    {
+        std::ofstream images(path("trunc.idx"), std::ios::binary);
+        const unsigned char header[16] = {0, 0, 8, 3, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 4};
+        images.write(reinterpret_cast<const char*>(header), 16);
+        const unsigned char pixels[4] = {1, 2, 3, 4};  // only one of two samples
+        images.write(reinterpret_cast<const char*>(pixels), 4);
+    }
+    {
+        std::ofstream labels(path("trunc_labels.idx"), std::ios::binary);
+        const unsigned char header[8] = {0, 0, 8, 1, 0, 0, 0, 2};
+        labels.write(reinterpret_cast<const char*>(header), 8);
+        labels.put(0);
+        labels.put(1);
+    }
+    EXPECT_THROW(hdlock::data::load_idx(path("trunc.idx"), path("trunc_labels.idx")),
+                 FormatError);
+    EXPECT_THROW(hdlock::data::load_idx(path("nope.idx"), path("nope2.idx")), IoError);
+}
+
+TEST_F(LoadersTest, IdxRejectsCountMismatch) {
+    {
+        std::ofstream images(path("mism.idx"), std::ios::binary);
+        const unsigned char header[16] = {0, 0, 8, 3, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 2};
+        images.write(reinterpret_cast<const char*>(header), 16);
+        images.put(1);
+        images.put(2);
+    }
+    {
+        std::ofstream labels(path("mism_labels.idx"), std::ios::binary);
+        const unsigned char header[8] = {0, 0, 8, 1, 0, 0, 0, 3};
+        labels.write(reinterpret_cast<const char*>(header), 8);
+    }
+    EXPECT_THROW(hdlock::data::load_idx(path("mism.idx"), path("mism_labels.idx")), FormatError);
+}

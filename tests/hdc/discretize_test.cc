@@ -1,0 +1,129 @@
+// Tests for min-max discretization (src/hdc/discretize.*).
+
+#include "hdc/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using hdlock::ContractViolation;
+using hdlock::hdc::DiscretizerMode;
+using hdlock::hdc::MinMaxDiscretizer;
+using hdlock::util::Matrix;
+
+TEST(Discretizer, GlobalModeMapsRangeLinearly) {
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1.0f, 4);
+    EXPECT_EQ(d.level_of(0.0f), 0);
+    EXPECT_EQ(d.level_of(0.24f), 0);
+    EXPECT_EQ(d.level_of(0.25f), 1);
+    EXPECT_EQ(d.level_of(0.5f), 2);
+    EXPECT_EQ(d.level_of(0.75f), 3);
+    EXPECT_EQ(d.level_of(1.0f), 3);  // max clamps into the top level
+}
+
+TEST(Discretizer, OutOfRangeValuesClamp) {
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 10.0f, 8);
+    EXPECT_EQ(d.level_of(-100.0f), 0);
+    EXPECT_EQ(d.level_of(100.0f), 7);
+}
+
+TEST(Discretizer, DegenerateRangeMapsToZero) {
+    const auto d = MinMaxDiscretizer::with_range(5.0f, 5.0f, 16);
+    EXPECT_EQ(d.level_of(5.0f), 0);
+    EXPECT_EQ(d.level_of(123.0f), 0);
+}
+
+TEST(Discretizer, FitGlobalUsesDatasetWideRange) {
+    // The paper discretizes "based on the minimum and maximum values across
+    // the entire dataset" — one range shared by all features.
+    Matrix<float> X(2, 2);
+    X(0, 0) = 0.0f;
+    X(0, 1) = 2.0f;
+    X(1, 0) = 6.0f;
+    X(1, 1) = 8.0f;
+    const auto d = MinMaxDiscretizer::fit(X, 4, DiscretizerMode::global);
+    EXPECT_EQ(d.level_of(0.0f), 0);
+    EXPECT_EQ(d.level_of(8.0f), 3);
+    EXPECT_EQ(d.level_of(2.0f, /*feature=*/1), 1);  // feature ignored in global mode
+    EXPECT_EQ(d.level_of(4.1f), 2);
+}
+
+TEST(Discretizer, FitPerFeatureUsesColumnRanges) {
+    Matrix<float> X(2, 2);
+    X(0, 0) = 0.0f;
+    X(0, 1) = 100.0f;
+    X(1, 0) = 1.0f;
+    X(1, 1) = 200.0f;
+    const auto d = MinMaxDiscretizer::fit(X, 2, DiscretizerMode::per_feature);
+    EXPECT_EQ(d.level_of(0.4f, 0), 0);
+    EXPECT_EQ(d.level_of(0.6f, 0), 1);
+    EXPECT_EQ(d.level_of(140.0f, 1), 0);
+    EXPECT_EQ(d.level_of(160.0f, 1), 1);
+    EXPECT_THROW(d.level_of(0.0f, 2), ContractViolation);
+}
+
+TEST(Discretizer, TransformRowAndMatrix) {
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1.0f, 2);
+    const std::vector<float> row = {0.1f, 0.9f, 0.49f, 0.51f};
+    const auto levels = d.transform_row(row);
+    EXPECT_EQ(levels, (std::vector<int>{0, 1, 0, 1}));
+
+    Matrix<float> X(2, 2);
+    X(0, 0) = 0.1f;
+    X(0, 1) = 0.9f;
+    X(1, 0) = 0.6f;
+    X(1, 1) = 0.2f;
+    const auto L = d.transform(X);
+    EXPECT_EQ(L(0, 0), 0);
+    EXPECT_EQ(L(0, 1), 1);
+    EXPECT_EQ(L(1, 0), 1);
+    EXPECT_EQ(L(1, 1), 0);
+}
+
+TEST(Discretizer, AllLevelsReachableOnUniformGrid) {
+    const std::size_t n_levels = 16;
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1.0f, n_levels);
+    std::vector<bool> seen(n_levels, false);
+    for (int i = 0; i <= 1000; ++i) {
+        const int level = d.level_of(static_cast<float>(i) / 1000.0f);
+        ASSERT_GE(level, 0);
+        ASSERT_LT(level, static_cast<int>(n_levels));
+        seen[static_cast<std::size_t>(level)] = true;
+    }
+    for (std::size_t l = 0; l < n_levels; ++l) EXPECT_TRUE(seen[l]) << "level " << l;
+}
+
+TEST(Discretizer, InvalidConfigsThrow) {
+    EXPECT_THROW(MinMaxDiscretizer::with_range(0.0f, 1.0f, 1), ContractViolation);
+    EXPECT_THROW(MinMaxDiscretizer::with_range(2.0f, 1.0f, 4), ContractViolation);
+    Matrix<float> empty;
+    EXPECT_THROW(MinMaxDiscretizer::fit(empty, 4), ContractViolation);
+    MinMaxDiscretizer unfitted;
+    EXPECT_THROW(unfitted.level_of(0.0f), ContractViolation);
+}
+
+TEST(Discretizer, TransformRowSizeMismatchThrows) {
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1.0f, 4);
+    const std::vector<float> row = {0.1f, 0.2f};
+    std::vector<int> levels(3);
+    EXPECT_THROW(d.transform_row(row, levels), ContractViolation);
+}
+
+TEST(Discretizer, SerializationRoundTrip) {
+    Matrix<float> X(3, 2);
+    X(0, 0) = -1.0f;
+    X(0, 1) = 5.0f;
+    X(1, 0) = 2.0f;
+    X(1, 1) = 7.5f;
+    X(2, 0) = 0.0f;
+    X(2, 1) = 6.0f;
+    const auto d = MinMaxDiscretizer::fit(X, 8, DiscretizerMode::per_feature);
+
+    std::stringstream stream;
+    hdlock::util::BinaryWriter writer(stream);
+    d.save(writer);
+    hdlock::util::BinaryReader reader(stream);
+    const auto loaded = MinMaxDiscretizer::load(reader);
+    EXPECT_EQ(loaded, d);
+    EXPECT_EQ(loaded.level_of(2.0f, 0), d.level_of(2.0f, 0));
+}

@@ -1,0 +1,143 @@
+// Property suite for the MAP algebra across dimensions, including word
+// boundaries (63/64/65, 127/128/129) and the paper's D = 10,000.  These are
+// the invariants every layer above (encoders, attacks, HDLock) relies on:
+// bind is a self-inverse commutative group action, rotation is a distance-
+// preserving automorphism that distributes over bind, and the similarity
+// metrics satisfy their algebraic identities exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using hdlock::hdc::BinaryHV;
+using hdlock::hdc::IntHV;
+
+class MapAlgebraTest : public ::testing::TestWithParam<std::size_t> {
+protected:
+    std::size_t dim() const { return GetParam(); }
+
+    BinaryHV random_hv(std::uint64_t seed) const {
+        hdlock::util::Xoshiro256ss rng(seed);
+        return BinaryHV::random(dim(), rng);
+    }
+};
+
+TEST_P(MapAlgebraTest, BindIsSelfInverse) {
+    const auto a = random_hv(1);
+    const auto b = random_hv(2);
+    EXPECT_EQ((a * b) * b, a);
+    EXPECT_EQ(a * a, BinaryHV(dim()));  // identity = all +1
+}
+
+TEST_P(MapAlgebraTest, BindCommutesAndAssociates) {
+    const auto a = random_hv(3);
+    const auto b = random_hv(4);
+    const auto c = random_hv(5);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST_P(MapAlgebraTest, BindPreservesDistances) {
+    // Multiplying both operands by the same vector is an isometry — the
+    // algebraic fact behind Eq. 5's "move the ValHV out".
+    const auto a = random_hv(6);
+    const auto b = random_hv(7);
+    const auto mask = random_hv(8);
+    EXPECT_EQ((a * mask).hamming(b * mask), a.hamming(b));
+}
+
+TEST_P(MapAlgebraTest, RotationFormsACyclicGroup) {
+    const auto a = random_hv(9);
+    EXPECT_EQ(a.rotated(0), a);
+    EXPECT_EQ(a.rotated(dim()), a);  // rho_D = identity
+    const std::size_t j = dim() / 3;
+    const std::size_t k = dim() / 2 + 1;
+    EXPECT_EQ(a.rotated(j).rotated(k), a.rotated((j + k) % dim()));
+}
+
+TEST_P(MapAlgebraTest, RotationIsAnIsometry) {
+    const auto a = random_hv(10);
+    const auto b = random_hv(11);
+    const std::size_t k = dim() * 2 / 3 + 1;
+    EXPECT_EQ(a.rotated(k).hamming(b.rotated(k)), a.hamming(b));
+}
+
+TEST_P(MapAlgebraTest, RotationDistributesOverBind) {
+    // rho(a * b) = rho(a) * rho(b): why Eq. 9 layers can be evaluated in
+    // any rotate/bind order.
+    const auto a = random_hv(12);
+    const auto b = random_hv(13);
+    const std::size_t k = dim() / 4 + 1;
+    EXPECT_EQ((a * b).rotated(k), a.rotated(k) * b.rotated(k));
+}
+
+TEST_P(MapAlgebraTest, DotHammingIdentity) {
+    const auto a = random_hv(14);
+    const auto b = random_hv(15);
+    const auto hamming = static_cast<std::int64_t>(a.hamming(b));
+    EXPECT_EQ(a.dot(b), static_cast<std::int64_t>(dim()) - 2 * hamming);
+    EXPECT_DOUBLE_EQ(a.cosine(b),
+                     static_cast<double>(a.dot(b)) / static_cast<double>(dim()));
+    EXPECT_EQ(a.hamming(a), 0u);
+    EXPECT_DOUBLE_EQ(a.cosine(a), 1.0);
+}
+
+TEST_P(MapAlgebraTest, NormalizedHammingTriangleInequality) {
+    const auto a = random_hv(16);
+    const auto b = random_hv(17);
+    const auto c = random_hv(18);
+    EXPECT_LE(a.normalized_hamming(c),
+              a.normalized_hamming(b) + b.normalized_hamming(c) + 1e-12);
+}
+
+TEST_P(MapAlgebraTest, BipolarLiftRoundTrips) {
+    const auto a = random_hv(19);
+    hdlock::util::Xoshiro256ss tie_rng(20);
+    EXPECT_EQ(IntHV::from_binary(a).sign(tie_rng), a);
+    EXPECT_EQ(IntHV::from_binary(a).zero_count(), 0u);
+}
+
+TEST_P(MapAlgebraTest, ThreeWayMajorityBundling) {
+    // sign(a + a + b) = a: the majority rule that makes bundling a noisy
+    // union — no ties can occur, so the result is tie-seed independent.
+    const auto a = random_hv(21);
+    const auto b = random_hv(22);
+    IntHV sums(dim());
+    sums.add(a);
+    sums.add(a);
+    sums.add(b);
+    EXPECT_EQ(sums.zero_count(), 0u);
+    hdlock::util::Xoshiro256ss tie_rng(23);
+    EXPECT_EQ(sums.sign(tie_rng), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MapAlgebraTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{63},
+                                           std::size_t{64}, std::size_t{65}, std::size_t{127},
+                                           std::size_t{128}, std::size_t{129}, std::size_t{1000},
+                                           std::size_t{4096}, std::size_t{10000}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             return "D" + std::to_string(info.param);
+                         });
+
+TEST(MapAlgebraConcentration, RandomPairsConcentrateAtHalf) {
+    // Eq. 1a at scale: for D >= 4096 the normalized distance of independent
+    // draws concentrates within a few standard deviations of 0.5
+    // (sigma = 1 / (2 sqrt(D))).
+    for (const std::size_t dim : {std::size_t{4096}, std::size_t{10000}}) {
+        hdlock::util::Xoshiro256ss rng(31);
+        const double sigma = 0.5 / std::sqrt(static_cast<double>(dim));
+        for (int pair = 0; pair < 20; ++pair) {
+            const auto a = BinaryHV::random(dim, rng);
+            const auto b = BinaryHV::random(dim, rng);
+            EXPECT_NEAR(a.normalized_hamming(b), 0.5, 6.0 * sigma) << "D = " << dim;
+        }
+    }
+}
+
+}  // namespace

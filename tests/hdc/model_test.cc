@@ -1,0 +1,206 @@
+// Tests for HDC model training and inference (src/hdc/model.*).
+
+#include "hdc/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hdc/encoder.hpp"
+
+using hdlock::ContractViolation;
+using hdlock::hdc::BinaryHV;
+using hdlock::hdc::EncodedBatch;
+using hdlock::hdc::HdcModel;
+using hdlock::hdc::IntHV;
+using hdlock::hdc::ModelKind;
+using hdlock::hdc::TrainConfig;
+using hdlock::util::Xoshiro256ss;
+
+namespace {
+
+/// Builds an encoded batch around C random class "anchors": each sample is
+/// its class anchor with a fraction of elements re-randomized.  flip = 0.5
+/// makes classes indistinguishable; small flip makes them trivially
+/// separable.
+EncodedBatch make_batch(int n_classes, std::size_t per_class, std::size_t dim, double flip,
+                        std::uint64_t seed, bool with_binary) {
+    Xoshiro256ss rng(seed);
+    std::vector<BinaryHV> anchors;
+    for (int c = 0; c < n_classes; ++c) anchors.push_back(BinaryHV::random(dim, rng));
+
+    EncodedBatch batch;
+    for (int c = 0; c < n_classes; ++c) {
+        for (std::size_t s = 0; s < per_class; ++s) {
+            BinaryHV sample = anchors[static_cast<std::size_t>(c)];
+            for (std::size_t j = 0; j < dim; ++j) {
+                if (rng.next_bool(flip)) sample.set(j, rng.next_sign());
+            }
+            batch.non_binary.push_back(IntHV::from_binary(sample));
+            if (with_binary) batch.binary.push_back(sample);
+            batch.labels.push_back(c);
+        }
+    }
+    return batch;
+}
+
+}  // namespace
+
+TEST(HdcModel, NonBinarySeparableDataIsLearned) {
+    const auto batch = make_batch(4, 20, 2048, 0.2, 42, false);
+    TrainConfig config;
+    config.kind = ModelKind::non_binary;
+    config.retrain_epochs = 5;
+    const HdcModel model = HdcModel::train(batch, 4, config);
+    EXPECT_EQ(model.n_classes(), 4);
+    EXPECT_EQ(model.dim(), 2048u);
+    EXPECT_GT(model.evaluate(batch), 0.95);
+}
+
+TEST(HdcModel, BinarySeparableDataIsLearned) {
+    const auto batch = make_batch(4, 20, 2048, 0.2, 43, true);
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    config.retrain_epochs = 5;
+    const HdcModel model = HdcModel::train(batch, 4, config);
+    EXPECT_GT(model.evaluate(batch), 0.95);
+}
+
+TEST(HdcModel, RetrainingImprovesHardData) {
+    const auto batch = make_batch(6, 30, 1024, 0.42, 44, false);
+    TrainConfig no_retrain;
+    no_retrain.retrain_epochs = 0;
+    TrainConfig retrain;
+    retrain.retrain_epochs = 15;
+    const double before = HdcModel::train(batch, 6, no_retrain).evaluate(batch);
+    const double after = HdcModel::train(batch, 6, retrain).evaluate(batch);
+    EXPECT_GE(after, before);
+    EXPECT_GT(after, 0.7);
+}
+
+TEST(HdcModel, EarlyStopOnCleanEpoch) {
+    const auto batch = make_batch(3, 10, 1024, 0.05, 45, false);
+    TrainConfig config;
+    config.retrain_epochs = 50;
+    config.stop_when_clean = true;
+    const HdcModel model = HdcModel::train(batch, 3, config);
+    EXPECT_LT(model.epochs_run(), 50);
+    EXPECT_DOUBLE_EQ(model.evaluate(batch), 1.0);
+}
+
+TEST(HdcModel, LearningRateScalesUpdates) {
+    const auto batch = make_batch(3, 15, 512, 0.35, 46, false);
+    TrainConfig config;
+    config.retrain_epochs = 1;
+    config.stop_when_clean = false;
+    config.learning_rate = 3;
+    const HdcModel model = HdcModel::train(batch, 3, config);
+    EXPECT_GT(model.evaluate(batch), 0.5);
+}
+
+TEST(HdcModel, ClassSumsMatchBundling) {
+    // With zero retraining epochs the class HVs must be the exact Eq. 4 sums.
+    const auto batch = make_batch(2, 3, 256, 0.3, 47, false);
+    TrainConfig config;
+    config.retrain_epochs = 0;
+    const HdcModel model = HdcModel::train(batch, 2, config);
+    IntHV expected0(256);
+    IntHV expected1(256);
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        (batch.labels[s] == 0 ? expected0 : expected1).add(batch.non_binary[s]);
+    }
+    EXPECT_EQ(model.class_sum(0), expected0);
+    EXPECT_EQ(model.class_sum(1), expected1);
+}
+
+TEST(HdcModel, PredictsNearestAnchor) {
+    const std::size_t dim = 1024;
+    Xoshiro256ss rng(48);
+    const BinaryHV anchor_a = BinaryHV::random(dim, rng);
+    const BinaryHV anchor_b = BinaryHV::random(dim, rng);
+    EncodedBatch batch;
+    batch.non_binary = {IntHV::from_binary(anchor_a), IntHV::from_binary(anchor_b)};
+    batch.labels = {0, 1};
+    TrainConfig config;
+    config.retrain_epochs = 0;
+    const HdcModel model = HdcModel::train(batch, 2, config);
+    EXPECT_EQ(model.predict(IntHV::from_binary(anchor_a)), 0);
+    EXPECT_EQ(model.predict(IntHV::from_binary(anchor_b)), 1);
+}
+
+TEST(HdcModel, BinaryPredictUsesHamming) {
+    const std::size_t dim = 512;
+    Xoshiro256ss rng(49);
+    const BinaryHV anchor_a = BinaryHV::random(dim, rng);
+    const BinaryHV anchor_b = BinaryHV::random(dim, rng);
+    EncodedBatch batch;
+    batch.non_binary = {IntHV::from_binary(anchor_a), IntHV::from_binary(anchor_b)};
+    batch.binary = {anchor_a, anchor_b};
+    batch.labels = {0, 1};
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    config.retrain_epochs = 0;
+    const HdcModel model = HdcModel::train(batch, 2, config);
+    EXPECT_EQ(model.predict(anchor_a), 0);
+    EXPECT_EQ(model.predict(anchor_b), 1);
+    EXPECT_EQ(model.class_binary(0), anchor_a);  // sums have no ties here
+}
+
+TEST(HdcModel, KindMismatchesThrow) {
+    const auto batch = make_batch(2, 4, 128, 0.2, 50, true);
+    TrainConfig nb;
+    nb.kind = ModelKind::non_binary;
+    const HdcModel model = HdcModel::train(batch, 2, nb);
+    EXPECT_THROW(model.class_binary(0), ContractViolation);
+    EXPECT_THROW(model.predict(batch.binary[0]), ContractViolation);
+}
+
+TEST(HdcModel, BinaryModelRequiresBinaryEncodings) {
+    const auto batch = make_batch(2, 4, 128, 0.2, 51, false);  // no binary part
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    EXPECT_THROW(HdcModel::train(batch, 2, config), ContractViolation);
+}
+
+TEST(HdcModel, InvalidArgumentsThrow) {
+    const auto batch = make_batch(2, 4, 128, 0.2, 52, false);
+    TrainConfig config;
+    EXPECT_THROW(HdcModel::train(batch, 1, config), ContractViolation);
+    EXPECT_THROW(HdcModel::train(EncodedBatch{}, 2, config), ContractViolation);
+    config.retrain_epochs = -1;
+    EXPECT_THROW(HdcModel::train(batch, 2, config), ContractViolation);
+    config.retrain_epochs = 1;
+    config.learning_rate = 0;
+    EXPECT_THROW(HdcModel::train(batch, 2, config), ContractViolation);
+
+    auto bad_labels = batch;
+    bad_labels.labels[0] = 7;
+    EXPECT_THROW(HdcModel::train(bad_labels, 2, TrainConfig{}), ContractViolation);
+}
+
+TEST(HdcModel, UntrainedModelRejectsUse) {
+    const HdcModel model;
+    EXPECT_THROW(model.predict(IntHV(16)), ContractViolation);
+    EXPECT_THROW(model.class_sum(0), ContractViolation);
+}
+
+TEST(HdcModel, SerializationRoundTrip) {
+    const auto batch = make_batch(3, 8, 512, 0.25, 53, true);
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    config.retrain_epochs = 3;
+    const HdcModel model = HdcModel::train(batch, 3, config);
+
+    std::stringstream stream;
+    hdlock::util::BinaryWriter writer(stream);
+    model.save(writer);
+    hdlock::util::BinaryReader reader(stream);
+    const HdcModel loaded = HdcModel::load(reader);
+
+    EXPECT_EQ(loaded.kind(), model.kind());
+    EXPECT_EQ(loaded.n_classes(), model.n_classes());
+    EXPECT_EQ(loaded.epochs_run(), model.epochs_run());
+    EXPECT_EQ(loaded.class_sum(2), model.class_sum(2));
+    EXPECT_EQ(loaded.class_binary(1), model.class_binary(1));
+    EXPECT_EQ(loaded.predict_batch(batch), model.predict_batch(batch));
+}

@@ -1,0 +1,136 @@
+// Tests for the FPGA encoder cycle-cost model (src/hw/pipeline_model.*):
+// the three structural facts behind Fig. 9 must be emergent properties.
+
+#include "hw/pipeline_model.hpp"
+
+#include <gtest/gtest.h>
+
+using hdlock::ContractViolation;
+using hdlock::hw::EncoderPipelineModel;
+using hdlock::hw::HwConfig;
+using hdlock::hw::relative_time_curve;
+
+namespace {
+
+constexpr std::size_t kDim = 10000;
+constexpr std::size_t kMnistFeatures = 784;
+
+}  // namespace
+
+TEST(PipelineModel, SingleLayerCostsExactlyBaseline) {
+    // Fact 1: permutation is a shifted memory access, so an L = 1 key adds
+    // zero cycles over the unprotected module (paper: "for L = 1 ... the
+    // relative encoding time is 1").
+    const HwConfig config;
+    const EncoderPipelineModel baseline(config, kDim, kMnistFeatures, 0);
+    const EncoderPipelineModel one_layer(config, kDim, kMnistFeatures, 1);
+    EXPECT_EQ(baseline.cycles(), one_layer.cycles());
+    EXPECT_DOUBLE_EQ(one_layer.relative_to_baseline(), 1.0);
+}
+
+TEST(PipelineModel, TwoLayerOverheadMatchesPaperHeadline) {
+    // The paper's headline: L = 2 costs ~1.21x the baseline. The default
+    // device calibration gives 6/5 = 1.20.
+    const HwConfig config;
+    const EncoderPipelineModel two_layer(config, kDim, kMnistFeatures, 2);
+    EXPECT_NEAR(two_layer.relative_to_baseline(), 1.21, 0.02);
+}
+
+TEST(PipelineModel, CyclesGrowLinearlyFromLTwo) {
+    // Fact 2: every extra layer streams one more operand -> constant cycle
+    // increment per layer.
+    const HwConfig config;
+    std::uint64_t previous = EncoderPipelineModel(config, kDim, kMnistFeatures, 1).cycles();
+    std::uint64_t increment = 0;
+    for (std::size_t layers = 2; layers <= 6; ++layers) {
+        const std::uint64_t cycles =
+            EncoderPipelineModel(config, kDim, kMnistFeatures, layers).cycles();
+        ASSERT_GT(cycles, previous);
+        if (layers == 2) {
+            increment = cycles - previous;
+        } else {
+            ASSERT_EQ(cycles - previous, increment) << "layers=" << layers;
+        }
+        previous = cycles;
+    }
+}
+
+TEST(PipelineModel, RelativeCurveIsDatasetIndependent) {
+    // Fact 3 / the paper's observation that all five benchmark curves
+    // coincide: the ratio depends only on the device, not on N or D.
+    const HwConfig config;
+    const auto mnist = relative_time_curve(config, 10000, 784, 5);
+    const auto pamap = relative_time_curve(config, 10000, 75, 5);
+    const auto small_dim = relative_time_curve(config, 4096, 561, 5);
+    ASSERT_EQ(mnist.size(), 5u);
+    for (std::size_t l = 0; l < 5; ++l) {
+        EXPECT_NEAR(mnist[l], pamap[l], 0.01) << "L=" << l + 1;
+        EXPECT_NEAR(mnist[l], small_dim[l], 0.01) << "L=" << l + 1;
+    }
+}
+
+TEST(PipelineModel, AbsoluteCyclesScaleWithShape) {
+    const HwConfig config;
+    const auto cycles = [&](std::size_t dim, std::size_t n) {
+        return EncoderPipelineModel(config, dim, n, 2).cycles();
+    };
+    // Doubling N roughly doubles cycles (up to the constant fill/binarize).
+    EXPECT_NEAR(static_cast<double>(cycles(10000, 1568)) /
+                    static_cast<double>(cycles(10000, 784)),
+                2.0, 0.01);
+    // Doubling D doubles the segment count.
+    EXPECT_NEAR(static_cast<double>(cycles(20000, 784)) /
+                    static_cast<double>(cycles(10000, 784)),
+                2.0, 0.01);
+}
+
+TEST(PipelineModel, DualPortMemoryHalvesFetchCost) {
+    HwConfig dual;
+    dual.memory_ports = 2;
+    // L = 1: ceil(2/2) = 1 fetch beat; L = 3: ceil(4/2) = 2.
+    const EncoderPipelineModel one(dual, kDim, 100, 1);
+    const EncoderPipelineModel three(dual, kDim, 100, 3);
+    const auto segments = (kDim + dual.datapath_width - 1) / dual.datapath_width;
+    EXPECT_EQ(one.encode_cost().fetch_beats, 100 * segments * 1);
+    EXPECT_EQ(three.encode_cost().fetch_beats, 100 * segments * 2);
+}
+
+TEST(PipelineModel, CostBreakdownSumsToTotal) {
+    const HwConfig config;
+    const auto cost = EncoderPipelineModel(config, 4096, 64, 2).encode_cost();
+    EXPECT_EQ(cost.cycles,
+              cost.fetch_beats + cost.accumulate_beats + cost.binarize_beats + cost.fill_beats);
+    EXPECT_EQ(cost.fill_beats, config.pipeline_fill);
+    EXPECT_EQ(cost.binarize_beats, (4096 + config.datapath_width - 1) / config.datapath_width);
+}
+
+TEST(PipelineModel, MicrosecondsUsesClock) {
+    const HwConfig config;
+    const auto cost = EncoderPipelineModel(config, 4096, 64, 1).encode_cost();
+    EXPECT_DOUBLE_EQ(cost.microseconds(200.0), static_cast<double>(cost.cycles) / 200.0);
+    EXPECT_GT(cost.microseconds(100.0), cost.microseconds(200.0));
+    EXPECT_THROW(cost.microseconds(0.0), ContractViolation);
+}
+
+TEST(PipelineModel, NarrowDatapathRoundsSegmentsUp) {
+    HwConfig config;
+    config.datapath_width = 64;
+    const EncoderPipelineModel model(config, 65, 1, 1);  // 65 bits -> 2 segments
+    EXPECT_EQ(model.encode_cost().binarize_beats, 2u);
+}
+
+TEST(PipelineModel, RejectsInvalidConfigs) {
+    HwConfig config;
+    config.datapath_width = 0;
+    EXPECT_THROW(EncoderPipelineModel(config, 100, 10, 1), ContractViolation);
+    config = HwConfig{};
+    config.memory_ports = 0;
+    EXPECT_THROW(EncoderPipelineModel(config, 100, 10, 1), ContractViolation);
+    config = HwConfig{};
+    config.accumulate_beats = 0;
+    EXPECT_THROW(EncoderPipelineModel(config, 100, 10, 1), ContractViolation);
+    config = HwConfig{};
+    EXPECT_THROW(EncoderPipelineModel(config, 0, 10, 1), ContractViolation);
+    EXPECT_THROW(EncoderPipelineModel(config, 100, 0, 1), ContractViolation);
+    EXPECT_THROW(relative_time_curve(config, 100, 10, 0), ContractViolation);
+}

@@ -1,0 +1,152 @@
+// Integration: the full owner-side pipeline across module boundaries —
+// provisioning, training, serialization round-trips of every artifact, and
+// restored-state equivalence.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/locked_encoder.hpp"
+#include "data/loaders.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/classifier.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+data::SyntheticBenchmark benchmark() {
+    data::SyntheticSpec spec;
+    spec.name = "e2e";
+    spec.n_features = 40;
+    spec.n_classes = 3;
+    spec.n_train = 210;
+    spec.n_test = 90;
+    spec.n_levels = 8;
+    spec.noise = 0.12;
+    spec.seed = 77;
+    return data::make_benchmark(spec);
+}
+
+Deployment deploy(std::size_t n_layers, std::uint64_t seed = 9) {
+    DeploymentConfig config;
+    config.dim = 2048;
+    config.n_features = 40;
+    config.n_levels = 8;
+    config.n_layers = n_layers;
+    config.seed = seed;
+    return provision(config);
+}
+
+template <typename T>
+T round_trip(const T& object) {
+    std::stringstream stream;
+    util::BinaryWriter writer(stream);
+    object.save(writer);
+    util::BinaryReader reader(stream);
+    return T::load(reader);
+}
+
+}  // namespace
+
+class EndToEndTest : public ::testing::TestWithParam<std::tuple<hdc::ModelKind, std::size_t>> {};
+
+TEST_P(EndToEndTest, TrainedPipelinePredictsAboveChanceAndIsDeterministic) {
+    const auto [kind, n_layers] = GetParam();
+    const auto data = benchmark();
+    const auto deployment = deploy(n_layers);
+
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = kind;
+    pipeline.train.retrain_epochs = 5;
+    const auto first = hdc::HdcClassifier::fit(data.train, deployment.encoder, pipeline);
+    const auto second = hdc::HdcClassifier::fit(data.train, deployment.encoder, pipeline);
+
+    EXPECT_GT(first.evaluate(data.test), 0.8);
+    // Same encoder, same config, same data: training is fully deterministic.
+    EXPECT_EQ(first.predict(data.test), second.predict(data.test));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndLayers, EndToEndTest,
+    ::testing::Combine(::testing::Values(hdc::ModelKind::binary, hdc::ModelKind::non_binary),
+                       ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{3})),
+    [](const ::testing::TestParamInfo<std::tuple<hdc::ModelKind, std::size_t>>& info) {
+        const bool binary = std::get<0>(info.param) == hdc::ModelKind::binary;
+        return std::string(binary ? "binary" : "nonbinary") + "_L" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EndToEnd, EveryDeploymentArtifactSurvivesSerialization) {
+    const auto deployment = deploy(2);
+
+    const auto restored_store = round_trip(*deployment.store);
+    const auto restored_key = round_trip(deployment.secure->key());
+
+    EXPECT_EQ(restored_key, deployment.secure->key());
+    EXPECT_EQ(restored_store.pool_size(), deployment.store->pool_size());
+    for (std::size_t p = 0; p < restored_store.pool_size(); ++p) {
+        EXPECT_EQ(restored_store.base(p), deployment.store->base(p));
+    }
+    for (std::size_t s = 0; s < restored_store.n_levels(); ++s) {
+        EXPECT_EQ(restored_store.value_slot(s), deployment.store->value_slot(s));
+    }
+}
+
+TEST(EndToEnd, RestoredEncoderReproducesEncodingsBitExactly) {
+    const auto deployment = deploy(2);
+    const auto restored_store = std::make_shared<const PublicStore>(round_trip(*deployment.store));
+    const LockedEncoder restored(restored_store, round_trip(deployment.secure->key()),
+                                 deployment.secure->value_mapping(),
+                                 deployment.encoder->tie_seed());
+
+    util::Xoshiro256ss rng(123);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<int> levels(40);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(8));
+        EXPECT_EQ(restored.encode(levels), deployment.encoder->encode(levels));
+        EXPECT_EQ(restored.encode_binary(levels), deployment.encoder->encode_binary(levels));
+    }
+}
+
+TEST(EndToEnd, RestoredModelPredictsIdentically) {
+    const auto data = benchmark();
+    const auto deployment = deploy(1);
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = hdc::ModelKind::binary;
+    const auto classifier = hdc::HdcClassifier::fit(data.train, deployment.encoder, pipeline);
+
+    const auto restored_model = round_trip(classifier.model());
+    const auto batch = classifier.encode_dataset(data.test);
+    EXPECT_EQ(restored_model.predict_batch(batch), classifier.model().predict_batch(batch));
+}
+
+TEST(EndToEnd, LockedAndPlainPipelinesAgreeOnDifficulty) {
+    // Fig. 8's core claim at integration level: locking does not change what
+    // the model can learn.  Train the same data through L=0 and L=3 devices
+    // and compare accuracies.
+    const auto data = benchmark();
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = hdc::ModelKind::non_binary;
+
+    const auto plain = hdc::HdcClassifier::fit(data.train, deploy(0).encoder, pipeline);
+    const auto locked = hdc::HdcClassifier::fit(data.train, deploy(3).encoder, pipeline);
+    EXPECT_NEAR(plain.evaluate(data.test), locked.evaluate(data.test), 0.06);
+}
+
+TEST(EndToEnd, DatasetCsvRoundTripPreservesPredictions) {
+    const auto data = benchmark();
+    const auto deployment = deploy(2);
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = hdc::ModelKind::binary;
+    const auto classifier = hdc::HdcClassifier::fit(data.train, deployment.encoder, pipeline);
+
+    const auto tmp = std::filesystem::temp_directory_path() / "hdlock_e2e_test.csv";
+    data::save_csv(data.test, tmp);
+    const auto loaded = data::load_csv(tmp);
+    std::filesystem::remove(tmp);
+
+    EXPECT_EQ(classifier.predict(loaded), classifier.predict(data.test));
+}

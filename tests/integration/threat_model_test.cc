@@ -1,0 +1,147 @@
+// Integration: the Sec. 3.1 threat model as enforced by the library's
+// architecture — what the attacker can and cannot reach, and how the attack
+// degrades when its assumptions are violated.
+
+#include <gtest/gtest.h>
+
+#include "attack/feature_attack.hpp"
+#include "attack/oracle.hpp"
+#include "attack/value_attack.hpp"
+#include "core/locked_encoder.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+Deployment deploy(std::size_t n_layers, std::uint64_t seed = 3) {
+    DeploymentConfig config;
+    config.dim = 2048;
+    config.n_features = 48;
+    config.n_levels = 8;
+    config.n_layers = n_layers;
+    config.seed = seed;
+    return provision(config);
+}
+
+}  // namespace
+
+TEST(ThreatModel, SealedSecureStoreDeniesEveryRead) {
+    const auto deployment = deploy(2);
+    EXPECT_NO_THROW((void)deployment.secure->key());
+    EXPECT_NO_THROW((void)deployment.secure->value_mapping());
+
+    deployment.secure->seal();
+    EXPECT_TRUE(deployment.secure->sealed());
+    EXPECT_THROW((void)deployment.secure->key(), AccessDenied);
+    EXPECT_THROW((void)deployment.secure->value_mapping(), AccessDenied);
+    // Sealing is one-way and footprint accounting stays available (it leaks
+    // only sizes, which the threat model treats as public).
+    EXPECT_NO_THROW((void)deployment.secure->storage_bits(48, 2048));
+}
+
+TEST(ThreatModel, EncoderKeepsWorkingAfterSeal) {
+    const auto deployment = deploy(2);
+    const std::vector<int> levels(48, 1);
+    const auto before = deployment.encoder->encode(levels);
+    deployment.secure->seal();
+    EXPECT_EQ(deployment.encoder->encode(levels), before);
+}
+
+TEST(ThreatModel, OracleCountsEveryObservation) {
+    const auto deployment = deploy(0);
+    const attack::EncodingOracle oracle(deployment.encoder);
+    const std::vector<int> levels(48, 0);
+
+    EXPECT_EQ(oracle.query_count(), 0u);
+    (void)oracle.query(levels);
+    (void)oracle.query_binary(levels);
+    (void)oracle.query_binary(levels);
+    EXPECT_EQ(oracle.query_count(), 3u);
+}
+
+TEST(ThreatModel, ValueAttackNeedsOnlyPublicMemoryAndOracle) {
+    // The attack signature *is* the threat model: the value extraction runs
+    // to completion given nothing but (PublicStore, EncodingOracle), with
+    // the secure store sealed the whole time.
+    const auto deployment = deploy(0);
+    deployment.secure->seal();
+
+    const attack::EncodingOracle oracle(deployment.encoder);
+    const auto result = attack::extract_value_mapping(*deployment.store, oracle,
+                                                      /*binary_oracle=*/true);
+    EXPECT_EQ(result.level_to_slot.size(), 8u);
+    EXPECT_GT(result.oracle_queries, 0u);
+    EXPECT_NEAR(result.endpoint_distance, 0.5, 0.1);
+}
+
+TEST(ThreatModel, FeatureAttackFailsClosedOnShapeMismatch) {
+    // P != N breaks the baseline threat model's precondition (the pool
+    // entries are the feature hypervectors); the attack must refuse loudly
+    // rather than return garbage.
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = 16;
+    config.n_levels = 4;
+    config.pool_size = 24;  // P > N
+    config.n_layers = 1;
+    config.seed = 5;
+    const auto deployment = provision(config);
+
+    const attack::EncodingOracle oracle(deployment.encoder);
+    const std::vector<std::uint32_t> fake_mapping{0, 1, 2, 3};
+    EXPECT_THROW(attack::extract_feature_mapping(*deployment.store, oracle, fake_mapping,
+                                                 attack::FeatureAttackConfig{}),
+                 ContractViolation);
+}
+
+TEST(ThreatModel, WrongValueMappingPoisonsFeatureRecovery) {
+    // Sec. 3.2's step order matters: feature extraction consumes the value
+    // mapping.  Feed it a reversed (wrong-orientation) mapping and the
+    // recovered permutation must degrade measurably versus the true one.
+    const auto deployment = deploy(0);
+    const attack::EncodingOracle oracle(deployment.encoder);
+
+    const auto& truth = deployment.secure->value_mapping();
+    std::vector<std::uint32_t> reversed(truth.rbegin(), truth.rend());
+
+    attack::FeatureAttackConfig config;
+    const auto good =
+        attack::extract_feature_mapping(*deployment.store, oracle, truth, config);
+    const auto bad =
+        attack::extract_feature_mapping(*deployment.store, oracle, reversed, config);
+
+    const auto& key = deployment.secure->key();
+    const auto hits = [&](const attack::FeatureExtractionResult& result) {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < 48; ++i) {
+            count += result.feature_to_slot[i] == key.entry(i, 0).base_index ? 1u : 0u;
+        }
+        return count;
+    };
+    EXPECT_EQ(hits(good), 48u);
+    // With Val_1 and Val_M swapped the crafted probe's interpretation is
+    // inverted; the margin collapses and recovery is no better than chance.
+    EXPECT_LT(hits(bad), 8u);
+    EXPECT_LT(bad.mean_margin, good.mean_margin);
+}
+
+TEST(ThreatModel, QueryBudgetOfFullTheftIsLinearInFeatures) {
+    // The attack's practicality claim: O(N) crafted inputs suffice (1 for
+    // the value step with P == N, then one probe per feature).
+    for (const std::size_t n_features : {16u, 32u, 64u}) {
+        DeploymentConfig config;
+        config.dim = 1024;
+        config.n_features = n_features;
+        config.n_levels = 4;
+        config.n_layers = 0;
+        config.seed = 7;
+        const auto deployment = provision(config);
+        const attack::EncodingOracle oracle(deployment.encoder);
+
+        const auto values = attack::extract_value_mapping(*deployment.store, oracle, true);
+        (void)attack::extract_feature_mapping(*deployment.store, oracle, values.level_to_slot,
+                                              attack::FeatureAttackConfig{});
+        EXPECT_LE(oracle.query_count(), 2 * n_features + 8) << "N = " << n_features;
+    }
+}

@@ -1,0 +1,127 @@
+// Tests for the bit-sliced column accumulator (src/util/bitslice.*) against
+// the naive reference, including flush-boundary row counts.
+
+#include "util/bitslice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace bits = hdlock::util::bits;
+using hdlock::ContractViolation;
+using hdlock::util::ColumnCounter;
+using hdlock::util::Xoshiro256ss;
+using bits::Word;
+
+namespace {
+
+std::vector<Word> random_row(std::size_t n_bits, Xoshiro256ss& rng) {
+    std::vector<Word> row(bits::word_count(n_bits));
+    bits::fill_random(row, n_bits, rng);
+    return row;
+}
+
+}  // namespace
+
+// (n_bits, n_planes, n_rows)
+class ColumnCounterTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ColumnCounterTest, MatchesNaiveAccumulation) {
+    const auto [n_bits, n_planes, n_rows] = GetParam();
+    Xoshiro256ss rng(991);
+
+    ColumnCounter counter(n_bits, n_planes);
+    std::vector<std::int32_t> naive(n_bits, 0);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        const auto row = random_row(n_bits, rng);
+        counter.add(row);
+        hdlock::util::naive_accumulate(row, n_bits, naive);
+    }
+    EXPECT_EQ(counter.rows_added(), n_rows);
+
+    std::vector<std::int32_t> counts(n_bits, 0);
+    counter.counts_into(counts);
+    EXPECT_EQ(counts, naive);
+
+    std::vector<std::int32_t> sums(n_bits, 0);
+    counter.bipolar_sums_into(sums);
+    for (std::size_t j = 0; j < n_bits; ++j) {
+        EXPECT_EQ(sums[j], static_cast<std::int32_t>(n_rows) - 2 * naive[j]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColumnCounterTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 64, 65, 1000, 10000),
+                       ::testing::Values<std::size_t>(1, 3, 6),
+                       // Around flush boundaries for every plane count:
+                       ::testing::Values<std::size_t>(0, 1, 2, 7, 8, 62, 63, 64, 127, 200)));
+
+TEST(ColumnCounter, UsableAfterCountsInto) {
+    // counts_into() flushes but must not lose state: adding more rows after a
+    // read continues the same accumulation.
+    const std::size_t n_bits = 300;
+    Xoshiro256ss rng(5);
+    ColumnCounter counter(n_bits);
+    std::vector<std::int32_t> naive(n_bits, 0);
+
+    for (int r = 0; r < 10; ++r) {
+        const auto row = random_row(n_bits, rng);
+        counter.add(row);
+        hdlock::util::naive_accumulate(row, n_bits, naive);
+    }
+    std::vector<std::int32_t> counts(n_bits, 0);
+    counter.counts_into(counts);
+    EXPECT_EQ(counts, naive);
+
+    for (int r = 0; r < 75; ++r) {
+        const auto row = random_row(n_bits, rng);
+        counter.add(row);
+        hdlock::util::naive_accumulate(row, n_bits, naive);
+    }
+    counter.counts_into(counts);
+    EXPECT_EQ(counts, naive);
+    EXPECT_EQ(counter.rows_added(), 85u);
+}
+
+TEST(ColumnCounter, ResetClearsEverything) {
+    const std::size_t n_bits = 128;
+    Xoshiro256ss rng(6);
+    ColumnCounter counter(n_bits);
+    for (int r = 0; r < 20; ++r) counter.add(random_row(n_bits, rng));
+    counter.reset();
+    EXPECT_EQ(counter.rows_added(), 0u);
+
+    std::vector<std::int32_t> counts(n_bits, -1);
+    counter.counts_into(counts);
+    for (const auto c : counts) EXPECT_EQ(c, 0);
+}
+
+TEST(ColumnCounter, AllOnesAndAllZeros) {
+    const std::size_t n_bits = 100;
+    ColumnCounter counter(n_bits);
+    std::vector<Word> ones(bits::word_count(n_bits), ~Word{0});
+    ones.back() &= bits::tail_mask(n_bits);
+    std::vector<Word> zeros(bits::word_count(n_bits), 0);
+
+    for (int r = 0; r < 130; ++r) counter.add(ones);   // crosses a flush boundary
+    for (int r = 0; r < 5; ++r) counter.add(zeros);
+
+    std::vector<std::int32_t> counts(n_bits, 0);
+    counter.counts_into(counts);
+    for (const auto c : counts) EXPECT_EQ(c, 130);
+}
+
+TEST(ColumnCounter, ContractViolations) {
+    EXPECT_THROW(ColumnCounter(0), ContractViolation);
+    EXPECT_THROW(ColumnCounter(10, 0), ContractViolation);
+    EXPECT_THROW(ColumnCounter(10, 17), ContractViolation);
+
+    ColumnCounter counter(100);
+    std::vector<Word> wrong_width(5, 0);
+    EXPECT_THROW(counter.add(wrong_width), ContractViolation);
+    std::vector<std::int32_t> wrong_counts(50, 0);
+    EXPECT_THROW(counter.counts_into(wrong_counts), ContractViolation);
+}

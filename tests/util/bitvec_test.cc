@@ -1,0 +1,302 @@
+// Tests for the packed-bit kernels (src/util/bitvec.*).
+//
+// rotate() and copy_bits() are the foundation of the paper's permutation
+// operator rho_k (Sec. 2), so they are tested exhaustively against naive
+// per-bit reference implementations across word-boundary edge cases.
+
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bits = hdlock::util::bits;
+using hdlock::ContractViolation;
+using hdlock::util::Xoshiro256ss;
+using bits::Word;
+
+namespace {
+
+std::vector<Word> random_vec(std::size_t n_bits, std::uint64_t seed) {
+    std::vector<Word> v(bits::word_count(n_bits));
+    Xoshiro256ss rng(seed);
+    bits::fill_random(v, n_bits, rng);
+    return v;
+}
+
+std::vector<bool> unpack(std::span<const Word> words, std::size_t n_bits) {
+    std::vector<bool> out(n_bits);
+    for (std::size_t i = 0; i < n_bits; ++i) out[i] = bits::get_bit(words, i);
+    return out;
+}
+
+}  // namespace
+
+TEST(BitVec, WordCount) {
+    EXPECT_EQ(bits::word_count(0), 0u);
+    EXPECT_EQ(bits::word_count(1), 1u);
+    EXPECT_EQ(bits::word_count(64), 1u);
+    EXPECT_EQ(bits::word_count(65), 2u);
+    EXPECT_EQ(bits::word_count(10000), 157u);
+}
+
+TEST(BitVec, TailMask) {
+    EXPECT_EQ(bits::tail_mask(64), ~Word{0});
+    EXPECT_EQ(bits::tail_mask(128), ~Word{0});
+    EXPECT_EQ(bits::tail_mask(1), Word{1});
+    EXPECT_EQ(bits::tail_mask(65), Word{1});
+    EXPECT_EQ(bits::tail_mask(10), Word{0x3FF});
+}
+
+TEST(BitVec, GetSetBit) {
+    std::vector<Word> v(3, 0);
+    bits::set_bit(v, 0, true);
+    bits::set_bit(v, 63, true);
+    bits::set_bit(v, 64, true);
+    bits::set_bit(v, 191, true);
+    EXPECT_TRUE(bits::get_bit(v, 0));
+    EXPECT_TRUE(bits::get_bit(v, 63));
+    EXPECT_TRUE(bits::get_bit(v, 64));
+    EXPECT_TRUE(bits::get_bit(v, 191));
+    EXPECT_FALSE(bits::get_bit(v, 1));
+    EXPECT_FALSE(bits::get_bit(v, 100));
+    bits::set_bit(v, 63, false);
+    EXPECT_FALSE(bits::get_bit(v, 63));
+    EXPECT_EQ(bits::popcount(v), 3u);
+}
+
+TEST(BitVec, FillRandomMasksTail) {
+    for (const std::size_t n_bits : {1u, 7u, 63u, 64u, 65u, 100u, 10000u}) {
+        const auto v = random_vec(n_bits, 42);
+        EXPECT_EQ(v.back() & ~bits::tail_mask(n_bits), Word{0}) << "n_bits=" << n_bits;
+    }
+}
+
+TEST(BitVec, FillRandomIsBalanced) {
+    const std::size_t n_bits = 100000;
+    const auto v = random_vec(n_bits, 7);
+    const double density = static_cast<double>(bits::popcount(v)) / static_cast<double>(n_bits);
+    EXPECT_NEAR(density, 0.5, 0.01);
+}
+
+TEST(BitVec, XorMatchesPerBit) {
+    const std::size_t n_bits = 517;
+    const auto a = random_vec(n_bits, 1);
+    const auto b = random_vec(n_bits, 2);
+    std::vector<Word> c(a.size());
+    bits::xor_into(c, a, b);
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        EXPECT_EQ(bits::get_bit(c, i), bits::get_bit(a, i) != bits::get_bit(b, i));
+    }
+}
+
+TEST(BitVec, XorAliasingAllowed) {
+    const std::size_t n_bits = 130;
+    auto a = random_vec(n_bits, 3);
+    const auto b = random_vec(n_bits, 4);
+    const auto a_copy = a;
+    bits::xor_into(a, a, b);
+    std::vector<Word> expect(a.size());
+    bits::xor_into(expect, a_copy, b);
+    EXPECT_TRUE(bits::equal(a, expect));
+}
+
+TEST(BitVec, XorSelfIsZero) {
+    const auto a = random_vec(999, 5);
+    std::vector<Word> c(a.size());
+    bits::xor_into(c, a, a);
+    EXPECT_EQ(bits::popcount(c), 0u);
+}
+
+TEST(BitVec, NotMasksTail) {
+    const std::size_t n_bits = 70;
+    const auto a = random_vec(n_bits, 6);
+    std::vector<Word> c(a.size());
+    bits::not_into(c, a, n_bits);
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        EXPECT_EQ(bits::get_bit(c, i), !bits::get_bit(a, i));
+    }
+    EXPECT_EQ(c.back() & ~bits::tail_mask(n_bits), Word{0});
+    EXPECT_EQ(bits::popcount(a) + bits::popcount(c), n_bits);
+}
+
+TEST(BitVec, HammingMatchesNaive) {
+    const std::size_t n_bits = 1000;
+    const auto a = random_vec(n_bits, 8);
+    const auto b = random_vec(n_bits, 9);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < n_bits; ++i) {
+        naive += bits::get_bit(a, i) != bits::get_bit(b, i) ? 1u : 0u;
+    }
+    EXPECT_EQ(bits::hamming(a, b), naive);
+    EXPECT_EQ(bits::hamming(a, a), 0u);
+}
+
+TEST(BitVec, CollectSetBits) {
+    std::vector<Word> v(2, 0);
+    bits::set_bit(v, 3, true);
+    bits::set_bit(v, 64, true);
+    bits::set_bit(v, 99, true);
+    std::vector<std::uint32_t> out;
+    bits::collect_set_bits(v, 100, out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{3, 64, 99}));
+}
+
+TEST(BitVec, CollectSetBitsRespectsNBits) {
+    std::vector<Word> v(2, ~Word{0});  // deliberately dirty tail
+    std::vector<std::uint32_t> out;
+    bits::collect_set_bits(v, 70, out);
+    EXPECT_EQ(out.size(), 70u);
+    EXPECT_EQ(out.front(), 0u);
+    EXPECT_EQ(out.back(), 69u);
+}
+
+// ---------------------------------------------------------------------------
+// copy_bits: compare against a per-bit reference over randomized offsets.
+// ---------------------------------------------------------------------------
+
+struct CopyCase {
+    std::size_t dst_bits;
+    std::size_t src_bits;
+    std::size_t dst_off;
+    std::size_t src_off;
+    std::size_t len;
+};
+
+class CopyBitsTest : public ::testing::TestWithParam<CopyCase> {};
+
+TEST_P(CopyBitsTest, MatchesPerBitReference) {
+    const auto& c = GetParam();
+    const auto src = random_vec(c.src_bits, 11);
+    auto dst = random_vec(c.dst_bits, 12);
+    auto expect = unpack(dst, c.dst_bits);
+    const auto src_bits_v = unpack(src, c.src_bits);
+    for (std::size_t i = 0; i < c.len; ++i) expect[c.dst_off + i] = src_bits_v[c.src_off + i];
+
+    bits::copy_bits(dst, c.dst_off, src, c.src_off, c.len);
+    EXPECT_EQ(unpack(dst, c.dst_bits), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, CopyBitsTest,
+    ::testing::Values(CopyCase{128, 128, 0, 0, 128},    // full aligned copy
+                      CopyCase{128, 128, 1, 0, 127},    // dst shifted
+                      CopyCase{128, 128, 0, 1, 127},    // src shifted
+                      CopyCase{200, 200, 13, 57, 100},  // both misaligned
+                      CopyCase{200, 200, 63, 64, 65},   // word boundary straddles
+                      CopyCase{64, 64, 10, 20, 1},      // single bit
+                      CopyCase{64, 64, 0, 0, 64},       // exactly one word
+                      CopyCase{70, 70, 5, 0, 65},       // crosses into tail word
+                      CopyCase{300, 150, 150, 3, 140},  // different sizes
+                      CopyCase{100, 100, 99, 0, 1}));   // last bit
+
+TEST(CopyBits, RandomizedAgainstReference) {
+    Xoshiro256ss rng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.next_below(300);
+        const auto src = random_vec(n, 1000 + static_cast<std::uint64_t>(trial));
+        auto dst = random_vec(n, 2000 + static_cast<std::uint64_t>(trial));
+        const std::size_t len = rng.next_below(n + 1);
+        const std::size_t src_off = len == n ? 0 : rng.next_below(n - len + 1);
+        const std::size_t dst_off = len == n ? 0 : rng.next_below(n - len + 1);
+
+        auto expect = unpack(dst, n);
+        const auto src_v = unpack(src, n);
+        for (std::size_t i = 0; i < len; ++i) expect[dst_off + i] = src_v[src_off + i];
+
+        if (len > 0) bits::copy_bits(dst, dst_off, src, src_off, len);
+        EXPECT_EQ(unpack(dst, n), expect) << "trial=" << trial << " n=" << n;
+    }
+}
+
+TEST(CopyBits, ContractViolations) {
+    std::vector<Word> a(2), b(2);
+    EXPECT_THROW(bits::copy_bits(a, 100, b, 0, 64), ContractViolation);
+    EXPECT_THROW(bits::copy_bits(a, 0, b, 100, 64), ContractViolation);
+    EXPECT_THROW(bits::copy_bits(a, 0, a, 64, 64), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// rotate: the paper's rho_k permutation.
+// ---------------------------------------------------------------------------
+
+class RotateTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RotateTest, MatchesNaiveForManyShifts) {
+    const std::size_t n_bits = GetParam();
+    const auto src = random_vec(n_bits, 21);
+    const auto src_v = unpack(src, n_bits);
+    std::vector<Word> dst(src.size());
+
+    std::vector<std::size_t> shifts = {0, 1, n_bits / 2, n_bits - 1, n_bits, n_bits + 5, 3 * n_bits + 7};
+    if (n_bits > 64) {
+        shifts.push_back(63);
+        shifts.push_back(64);
+        shifts.push_back(65);
+    }
+    for (const std::size_t k : shifts) {
+        bits::rotate(dst, src, n_bits, k);
+        for (std::size_t i = 0; i < n_bits; ++i) {
+            ASSERT_EQ(bits::get_bit(dst, i), src_v[(i + k) % n_bits])
+                << "n_bits=" << n_bits << " k=" << k << " i=" << i;
+        }
+        EXPECT_EQ(dst.back() & ~bits::tail_mask(n_bits), Word{0});
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RotateTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 100, 128, 1000, 10000));
+
+TEST(Rotate, ComposesAdditively) {
+    const std::size_t n = 777;
+    const auto src = random_vec(n, 31);
+    std::vector<Word> once(src.size()), twice(src.size()), direct(src.size());
+    bits::rotate(once, src, n, 123);
+    bits::rotate(twice, once, n, 456);
+    bits::rotate(direct, src, n, 579);
+    EXPECT_TRUE(bits::equal(twice, direct));
+}
+
+TEST(Rotate, FullRotationIsIdentity) {
+    const std::size_t n = 10000;
+    const auto src = random_vec(n, 32);
+    std::vector<Word> dst(src.size());
+    bits::rotate(dst, src, n, n);
+    EXPECT_TRUE(bits::equal(dst, src));
+}
+
+TEST(Rotate, InverseRestoresOriginal) {
+    const std::size_t n = 999;
+    const auto src = random_vec(n, 33);
+    std::vector<Word> fwd(src.size()), back(src.size());
+    bits::rotate(fwd, src, n, 217);
+    bits::rotate(back, fwd, n, n - 217);
+    EXPECT_TRUE(bits::equal(back, src));
+}
+
+TEST(Rotate, PreservesPopcount) {
+    const std::size_t n = 4097;
+    const auto src = random_vec(n, 34);
+    std::vector<Word> dst(src.size());
+    bits::rotate(dst, src, n, 1234);
+    EXPECT_EQ(bits::popcount(dst), bits::popcount(src));
+}
+
+TEST(Rotate, PreservesPairwiseHamming) {
+    // rho_k applied to both vectors must preserve the Hamming distance: this
+    // is what makes permuted base hypervectors behave like fresh random HVs.
+    const std::size_t n = 2048;
+    const auto a = random_vec(n, 35);
+    const auto b = random_vec(n, 36);
+    std::vector<Word> ra(a.size()), rb(b.size());
+    bits::rotate(ra, a, n, 500);
+    bits::rotate(rb, b, n, 500);
+    EXPECT_EQ(bits::hamming(ra, rb), bits::hamming(a, b));
+}
+
+TEST(Rotate, ContractViolations) {
+    std::vector<Word> a(2), b(2);
+    EXPECT_THROW(bits::rotate(a, a, 100, 3), ContractViolation);
+    EXPECT_THROW(bits::rotate(a, b, 0, 3), ContractViolation);
+    EXPECT_THROW(bits::rotate(a, b, 1000, 3), ContractViolation);
+}

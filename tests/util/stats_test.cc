@@ -1,0 +1,78 @@
+// Tests for the statistics helpers (src/util/stats.*).
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using hdlock::ContractViolation;
+using hdlock::util::ConfusionMatrix;
+using hdlock::util::OnlineStats;
+
+TEST(OnlineStats, MatchesDirectComputation) {
+    OnlineStats stats;
+    const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (const double v : values) stats.add(v);
+    EXPECT_EQ(stats.count(), values.size());
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+    OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(ConfusionMatrix, AccuracyAndRecall) {
+    ConfusionMatrix cm(3);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 1);
+    cm.add(1, 1);
+    cm.add(2, 0);
+    EXPECT_EQ(cm.total(), 5);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+    EXPECT_EQ(cm.at(0, 1), 1);
+    EXPECT_EQ(cm.at(2, 0), 1);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+    ConfusionMatrix cm(2);
+    EXPECT_THROW(cm.add(-1, 0), ContractViolation);
+    EXPECT_THROW(cm.add(0, 2), ContractViolation);
+    EXPECT_THROW(cm.at(2, 0), ContractViolation);
+    EXPECT_THROW(ConfusionMatrix(0), ContractViolation);
+}
+
+TEST(Agreement, CountsMatchingPositions) {
+    const std::vector<int> a = {1, 2, 3, 4};
+    const std::vector<int> b = {1, 0, 3, 0};
+    EXPECT_DOUBLE_EQ(hdlock::util::agreement(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(hdlock::util::agreement(a, a), 1.0);
+    const std::vector<int> shorter = {1};
+    EXPECT_THROW(hdlock::util::agreement(a, shorter), ContractViolation);
+}
+
+TEST(Median, OddAndEven) {
+    EXPECT_DOUBLE_EQ(hdlock::util::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(hdlock::util::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(hdlock::util::median({}), 0.0);
+    EXPECT_DOUBLE_EQ(hdlock::util::median({7.0}), 7.0);
+}
+
+TEST(MeanStddev, SpanHelpers) {
+    const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(hdlock::util::mean(values), 2.5);
+    EXPECT_NEAR(hdlock::util::stddev(values), 1.2909944487, 1e-9);
+    EXPECT_DOUBLE_EQ(hdlock::util::mean({}), 0.0);
+}

@@ -1,0 +1,81 @@
+// Tests for the text-table renderer (src/util/table.*).
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+using hdlock::util::format_bits;
+using hdlock::util::format_fixed;
+using hdlock::util::format_pow10;
+using hdlock::util::format_sci;
+using hdlock::util::TextTable;
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable table({"name", "value"});
+    table.add_row({"a", "1"});
+    table.add_row({"longer", "22"});
+    const std::string text = table.to_string();
+
+    EXPECT_NE(text.find("name    value"), std::string::npos);
+    EXPECT_NE(text.find("a       1"), std::string::npos);
+    EXPECT_NE(text.find("longer  22"), std::string::npos);
+    EXPECT_NE(text.find("-------------"), std::string::npos);
+}
+
+TEST(TextTable, LastColumnIsNotPadded) {
+    TextTable table({"k", "v"});
+    table.add_row({"x", "1"});
+    for (const auto& line : {std::string("k  v\n"), std::string("x  1\n")}) {
+        EXPECT_NE(table.to_string().find(line), std::string::npos) << line;
+    }
+}
+
+TEST(TextTable, CsvEscapesDelimiterAndQuotes) {
+    TextTable table({"a", "b"});
+    table.add_row({"plain", "with,comma"});
+    table.add_row({"has\"quote", "line\nbreak"});
+    const std::string csv = table.to_csv();
+
+    EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+    EXPECT_NE(csv.find("plain,\"with,comma\"\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+    EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TextTable, CustomDelimiter) {
+    TextTable table({"a", "b"});
+    table.add_row({"1", "2"});
+    EXPECT_NE(table.to_csv(';').find("1;2"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), hdlock::ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+    EXPECT_THROW(TextTable({}), hdlock::ContractViolation);
+}
+
+TEST(TableFormat, Fixed) {
+    EXPECT_EQ(format_fixed(0.81764, 4), "0.8176");
+    EXPECT_EQ(format_fixed(2.0, 1), "2.0");
+    EXPECT_THROW(format_fixed(1.0, -1), hdlock::ContractViolation);
+}
+
+TEST(TableFormat, Scientific) { EXPECT_EQ(format_sci(48100000000000000.0), "4.81e+16"); }
+
+TEST(TableFormat, Pow10RendersWithoutOverflow) {
+    // log10(4.81e16) without ever materializing the count.
+    EXPECT_EQ(format_pow10(16.682145), "4.81e+16");
+    // Far beyond double range: Fig. 7b's top-left corner is ~1e40.
+    EXPECT_EQ(format_pow10(40.0), "1.00e+40");
+}
+
+TEST(TableFormat, Bits) {
+    EXPECT_EQ(format_bits(800), "100 B");
+    EXPECT_EQ(format_bits(16 * 1024 * 8), "16.0 KiB");
+    EXPECT_EQ(format_bits(std::uint64_t{10} * 1024 * 1024 * 8), "10.0 MiB");
+}

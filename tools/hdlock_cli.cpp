@@ -1,0 +1,311 @@
+/// \file hdlock_cli.cpp
+/// Command-line front end over the library's serialized artifacts, so a
+/// deployment can be provisioned, trained, evaluated and red-teamed without
+/// writing C++.
+///
+/// Artifacts on disk (all via util/serialize.hpp):
+///   store.bin    PublicStore        (public hypervector memory)
+///   key.bin      LockKey            (tamper-proof half of the deployment)
+///   mapping.bin  serialized ValueMapping (level -> slot)
+///   model.hdc    HdcModel           disc.bin  MinMaxDiscretizer
+///
+/// Subcommands:
+///   provision --dir D --features N [--dim D] [--levels M] [--layers L]
+///             [--pool P] [--seed S]          create a deployment + audit it
+///   audit     --dir D                        re-audit key vs. store
+///   train     --dir D --data train.csv [--kind binary|nonbinary]
+///             [--epochs E]                   fit model + discretizer
+///   eval      --dir D --data test.csv        accuracy of the stored model
+///   attack    --dir D --data train.csv --test test.csv
+///                                            replay the Sec. 3.2 theft
+///   complexity --features N [--dim D] [--pool P] [--layers L]
+///                                            closed-form guess counts
+///
+/// Exit code 0 on success, 2 on usage errors, 1 on runtime failure.
+
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "attack/ip_theft.hpp"
+#include "attack/locked_theft.hpp"
+#include "core/complexity.hpp"
+#include "core/key_tools.hpp"
+#include "core/locked_encoder.hpp"
+#include "data/loaders.hpp"
+#include "hdc/classifier.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hdlock;
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kCliTieSeed = 0x7E11;
+
+/// Minimal --flag=value / --flag value parser; flags are string-typed and
+/// validated by the subcommand.
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (!arg.starts_with("--")) throw ConfigError("unexpected argument: " + arg);
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            } else if (i + 1 < argc) {
+                values_[arg.substr(2)] = argv[++i];
+            } else {
+                throw ConfigError("flag needs a value: " + arg);
+            }
+        }
+    }
+
+    std::string require(const std::string& name) const {
+        const auto found = values_.find(name);
+        if (found == values_.end()) throw ConfigError("missing required flag --" + name);
+        return found->second;
+    }
+
+    std::string get(const std::string& name, const std::string& fallback) const {
+        const auto found = values_.find(name);
+        return found == values_.end() ? fallback : found->second;
+    }
+
+    std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+        const auto found = values_.find(name);
+        return found == values_.end() ? fallback : std::stoull(found->second);
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+/// ValueMapping is a plain vector; wrap it for the save/load helpers.
+struct MappingFile {
+    ValueMapping mapping;
+
+    void save(util::BinaryWriter& writer) const {
+        writer.write_tag("VMAP");
+        writer.write_u32(static_cast<std::uint32_t>(mapping.size()));
+        for (const auto slot : mapping) writer.write_u32(slot);
+    }
+    static MappingFile load(util::BinaryReader& reader) {
+        reader.expect_tag("VMAP");
+        MappingFile file;
+        file.mapping.resize(reader.read_u32());
+        for (auto& slot : file.mapping) slot = reader.read_u32();
+        return file;
+    }
+};
+
+struct Paths {
+    fs::path store, key, mapping, model, disc;
+
+    explicit Paths(const fs::path& dir)
+        : store(dir / "store.bin"),
+          key(dir / "key.bin"),
+          mapping(dir / "mapping.bin"),
+          model(dir / "model.hdc"),
+          disc(dir / "disc.bin") {}
+};
+
+std::shared_ptr<const LockedEncoder> load_encoder(const Paths& paths) {
+    auto store = std::make_shared<const PublicStore>(util::load_file<PublicStore>(paths.store));
+    auto key = util::load_file<LockKey>(paths.key);
+    auto mapping = util::load_file<MappingFile>(paths.mapping).mapping;
+    return std::make_shared<const LockedEncoder>(store, std::move(key), std::move(mapping),
+                                                 kCliTieSeed);
+}
+
+hdc::ModelKind parse_kind(const std::string& kind) {
+    if (kind == "binary") return hdc::ModelKind::binary;
+    if (kind == "nonbinary" || kind == "non-binary") return hdc::ModelKind::non_binary;
+    throw ConfigError("unknown --kind (use binary|nonbinary): " + kind);
+}
+
+int cmd_provision(const Args& args) {
+    const fs::path dir = args.require("dir");
+    fs::create_directories(dir);
+    const Paths paths(dir);
+
+    DeploymentConfig config;
+    config.n_features = args.get_u64("features", 0);
+    config.dim = args.get_u64("dim", 10000);
+    config.n_levels = args.get_u64("levels", 16);
+    config.n_layers = args.get_u64("layers", 2);
+    config.pool_size = args.get_u64("pool", 0);
+    config.seed = args.get_u64("seed", 1);
+    config.tie_seed = kCliTieSeed;
+    if (config.n_features == 0) throw ConfigError("--features is required and must be > 0");
+
+    const Deployment deployment = provision(config);
+    util::save_file(*deployment.store, paths.store);
+    util::save_file(deployment.secure->key(), paths.key);
+    util::save_file(MappingFile{deployment.secure->value_mapping()}, paths.mapping);
+
+    const auto audit = audit_key(deployment.secure->key(), *deployment.store);
+    std::cout << "provisioned " << dir.string() << " (N=" << config.n_features
+              << ", D=" << config.dim << ", M=" << config.n_levels << ", L=" << config.n_layers
+              << ", P=" << deployment.store->pool_size() << ")\n"
+              << "key audit: " << audit.summary() << "\n"
+              << "attack complexity: "
+              << util::format_pow10(complexity::log10_guesses(
+                     config.n_features, config.dim, deployment.store->pool_size(),
+                     config.n_layers))
+              << " guesses\n";
+    return audit.ok() ? 0 : 1;
+}
+
+int cmd_audit(const Args& args) {
+    const Paths paths{fs::path(args.require("dir"))};
+    const auto store = util::load_file<PublicStore>(paths.store);
+    const auto key = util::load_file<LockKey>(paths.key);
+    const auto report = audit_key(key, store);
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+}
+
+int cmd_train(const Args& args) {
+    const Paths paths{fs::path(args.require("dir"))};
+    const auto dataset = data::load_csv(args.require("data"));
+    const auto encoder = load_encoder(paths);
+
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = parse_kind(args.get("kind", "binary"));
+    pipeline.train.retrain_epochs = static_cast<int>(args.get_u64("epochs", 10));
+    const auto classifier = hdc::HdcClassifier::fit(dataset, encoder, pipeline);
+
+    util::save_file(classifier.model(), paths.model);
+    util::save_file(classifier.discretizer(), paths.disc);
+    std::cout << "trained on " << dataset.n_samples() << " samples ("
+              << classifier.model().epochs_run() << " retrain epochs); train accuracy "
+              << util::format_fixed(classifier.evaluate(dataset), 4) << "\n";
+    return 0;
+}
+
+int cmd_eval(const Args& args) {
+    const Paths paths{fs::path(args.require("dir"))};
+    const auto dataset = data::load_csv(args.require("data"));
+    const auto encoder = load_encoder(paths);
+    const auto model = util::load_file<hdc::HdcModel>(paths.model);
+    const auto discretizer = util::load_file<hdc::MinMaxDiscretizer>(paths.disc);
+
+    hdc::EncodedBatch batch;
+    batch.labels = dataset.y;
+    std::vector<int> levels(dataset.n_features());
+    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
+        discretizer.transform_row(dataset.X.row(s), levels);
+        batch.non_binary.push_back(encoder->encode(levels));
+        if (model.kind() == hdc::ModelKind::binary) {
+            batch.binary.push_back(encoder->encode_binary(levels));
+        }
+    }
+    std::cout << "accuracy on " << dataset.n_samples() << " samples: "
+              << util::format_fixed(model.evaluate(batch), 4) << "\n";
+    return 0;
+}
+
+/// Reassembles a Deployment (store + unsealed secure store + encoder) from
+/// the on-disk artifacts, so the attack runs against the *stored* device.
+Deployment load_deployment(const Paths& paths) {
+    Deployment deployment;
+    deployment.store =
+        std::make_shared<const PublicStore>(util::load_file<PublicStore>(paths.store));
+    auto key = util::load_file<LockKey>(paths.key);
+    auto mapping = util::load_file<MappingFile>(paths.mapping).mapping;
+    deployment.encoder = std::make_shared<const LockedEncoder>(deployment.store, key, mapping,
+                                                               kCliTieSeed);
+    deployment.secure = std::make_shared<SecureStore>(std::move(key), std::move(mapping));
+    return deployment;
+}
+
+int cmd_attack(const Args& args) {
+    const auto train = data::load_csv(args.require("data"));
+    const auto test = data::load_csv(args.require("test"));
+    const Paths paths{fs::path(args.require("dir"))};
+    const auto deployment = load_deployment(paths);
+
+    // The stored deployment tells us which experiment applies; both print
+    // the corresponding Table-1-style row.
+    if (deployment.secure->key().is_plain()) {
+        attack::IpTheftConfig config;
+        config.kind = parse_kind(args.get("kind", "binary"));
+        config.seed = args.get_u64("seed", 1);
+        const auto report = attack::steal_model(deployment, train, test, config);
+        std::cout << "UNPROTECTED deployment: attack succeeded\n"
+                  << "  original accuracy  " << util::format_fixed(report.original_accuracy, 4)
+                  << "\n  recovered accuracy " << util::format_fixed(report.recovered_accuracy, 4)
+                  << "\n  mapping recovered  "
+                  << util::format_fixed(report.feature_mapping_accuracy, 4) << " (features), "
+                  << util::format_fixed(report.value_mapping_accuracy, 4) << " (values)"
+                  << "\n  reasoning time     " << util::format_fixed(report.reasoning_seconds, 3)
+                  << " s, " << report.guesses << " guesses\n";
+        return 0;
+    }
+
+    attack::LockedTheftConfig config;
+    config.kind = parse_kind(args.get("kind", "binary"));
+    config.seed = args.get_u64("seed", 1);
+    const auto report = attack::steal_locked_model(deployment, train, test, config);
+    std::cout << "HDLock deployment (L=" << report.n_layers << "): attack failed\n"
+              << "  victim accuracy    " << util::format_fixed(report.original_accuracy, 4)
+              << "\n  transfer accuracy  " << util::format_fixed(report.transfer_accuracy, 4)
+              << " (chance " << util::format_fixed(report.chance_accuracy, 4) << ")"
+              << "\n  FeaHVs recovered   " << util::format_fixed(report.feature_hv_recovery, 4)
+              << "\n  required guesses   "
+              << util::format_pow10(report.log10_guesses_required) << "\n";
+    return 0;
+}
+
+int cmd_complexity(const Args& args) {
+    const std::size_t n_features = args.get_u64("features", 784);
+    const std::size_t dim = args.get_u64("dim", 10000);
+    const std::size_t pool = args.get_u64("pool", n_features);
+
+    util::TextTable table({"L", "guesses", "gain_over_plain", "secure_key_bits"});
+    for (std::size_t layers = 0; layers <= args.get_u64("layers", 5); ++layers) {
+        const auto footprint = complexity::footprint(n_features, dim, pool, layers, 16, 10);
+        table.add_row({std::to_string(layers),
+                       util::format_pow10(complexity::log10_guesses(n_features, dim, pool,
+                                                                    layers)),
+                       util::format_pow10(complexity::security_gain_log10(n_features, dim, pool,
+                                                                          layers)),
+                       util::format_bits(footprint.secure_key_bits)});
+    }
+    std::cout << table.to_string();
+    return 0;
+}
+
+int usage(std::ostream& out, int code) {
+    out << "hdlock_cli -- HDLock deployment toolkit\n"
+           "usage: hdlock_cli <provision|audit|train|eval|attack|complexity> [--flags]\n"
+           "see the header comment of tools/hdlock_cli.cpp for per-command flags\n";
+    return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage(std::cerr, 2);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") return usage(std::cout, 0);
+    try {
+        const Args args(argc, argv, 2);
+        if (command == "provision") return cmd_provision(args);
+        if (command == "audit") return cmd_audit(args);
+        if (command == "train") return cmd_train(args);
+        if (command == "eval") return cmd_eval(args);
+        if (command == "attack") return cmd_attack(args);
+        if (command == "complexity") return cmd_complexity(args);
+        std::cerr << "unknown command: " << command << "\n";
+        return usage(std::cerr, 2);
+    } catch (const Error& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}
