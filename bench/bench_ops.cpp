@@ -8,17 +8,23 @@
 ///  - Eq. 9 feature materialization cost vs. the number of key layers;
 ///  - the feature attack's full-distance vs. restricted-index criterion
 ///    (the attack-cost ablation);
-///  - the Sec. 4.2 single-parameter sweep, the unit of the (D*P)^L search.
+///  - the Sec. 4.2 single-parameter sweep, the unit of the (D*P)^L search;
+///  - batched serving: api::InferenceSession at 1/2/4 threads vs. the old
+///    per-row predict loop (real time, since the point is wall-clock
+///    throughput of the partitioned batch).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "api/api.hpp"
 #include "attack/feature_attack.hpp"
 #include "attack/lock_attack.hpp"
 #include "attack/oracle.hpp"
 #include "core/locked_encoder.hpp"
+#include "data/synthetic.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/item_memory.hpp"
 #include "util/rng.hpp"
@@ -208,6 +214,83 @@ void BM_LockRotationSweep(benchmark::State& state) {
                             static_cast<std::int64_t>(dim));  // guesses per sweep
 }
 BENCHMARK(BM_LockRotationSweep)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Batched serving: the api::InferenceSession hot path.
+// ---------------------------------------------------------------------------
+
+struct ServingFixture {
+    api::Owner owner;
+    util::Matrix<float> batch;
+};
+
+const ServingFixture& serving_fixture() {
+    static const ServingFixture fixture = [] {
+        data::SyntheticSpec spec;
+        spec.name = "serving";
+        spec.n_features = 128;
+        spec.n_classes = 4;
+        spec.n_train = 400;
+        spec.n_test = 256;
+        spec.n_levels = 8;
+        spec.noise = 0.12;
+        spec.seed = 21;
+        const auto benchmark_data = data::make_benchmark(spec);
+
+        DeploymentConfig config;
+        config.dim = 2048;
+        config.n_features = spec.n_features;
+        config.n_levels = spec.n_levels;
+        config.n_layers = 2;
+        config.seed = 9;
+        api::Owner owner = api::Owner::provision(config);
+        api::TrainOptions train;
+        train.kind = hdc::ModelKind::binary;
+        train.retrain_epochs = 3;
+        owner.train(benchmark_data.train, train);
+
+        // A 2048-row inference batch, tiled from the test partition.
+        util::Matrix<float> batch(2048, spec.n_features);
+        for (std::size_t r = 0; r < batch.rows(); ++r) {
+            const auto source = benchmark_data.test.X.row(r % benchmark_data.test.n_samples());
+            const auto destination = batch.row(r);
+            std::copy(source.begin(), source.end(), destination.begin());
+        }
+        return ServingFixture{std::move(owner), std::move(batch)};
+    }();
+    return fixture;
+}
+
+/// The pre-session idiom: one predict_row call per sample.
+void BM_ServePerRowLoop(benchmark::State& state) {
+    const ServingFixture& fixture = serving_fixture();
+    const auto session = fixture.owner.open_session({.n_threads = 1});
+    for (auto _ : state) {
+        int sink = 0;
+        for (std::size_t r = 0; r < fixture.batch.rows(); ++r) {
+            sink += session.predict_row(fixture.batch.row(r));
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fixture.batch.rows()));
+}
+BENCHMARK(BM_ServePerRowLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Batched serving across worker threads; items/s is rows classified per
+/// second — compare Arg(4) against BM_ServePerRowLoop for the speedup.
+void BM_ServeBatchSession(benchmark::State& state) {
+    const ServingFixture& fixture = serving_fixture();
+    const auto session = fixture.owner.open_session(
+        {.n_threads = static_cast<std::size_t>(state.range(0))});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.predict(fixture.batch));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fixture.batch.rows()));
+}
+BENCHMARK(BM_ServeBatchSession)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

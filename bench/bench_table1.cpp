@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "api/api.hpp"
 #include "attack/ip_theft.hpp"
 #include "common.hpp"
 #include "data/synthetic.hpp"
@@ -54,7 +55,19 @@ int main(int argc, char** argv) {
             config.retrain_epochs = args.quick ? 5 : 10;
             config.seed = args.seed;
 
-            const auto report = attack::steal_model(benchmark.train, benchmark.test, config);
+            // The victim deployment comes from the api facade (same
+            // provisioning steal_model used to do internally); the attack
+            // then runs against its Deployment bridge.
+            DeploymentConfig victim;
+            victim.dim = config.dim;
+            victim.n_features = benchmark.train.n_features();
+            victim.n_levels = config.n_levels;
+            victim.n_layers = 0;  // the vulnerable baseline of Sec. 3
+            victim.seed = config.seed;
+            const api::Owner owner = api::Owner::provision(victim);
+
+            const auto report =
+                attack::steal_model(owner.deployment(), benchmark.train, benchmark.test, config);
             table.add_row({spec.name, util::format_fixed(report.original_accuracy, 4),
                            util::format_fixed(report.recovered_accuracy, 4),
                            util::format_fixed(report.value_mapping_accuracy, 4),

@@ -1,21 +1,22 @@
 /// \file custom_dataset.cpp
 /// Bringing your own data: CSV round-trip, training on a loaded dataset, and
-/// persisting / restoring the trained artifacts with the binary serializers.
+/// persisting / restoring the deployment as single-file `.hdlk` bundles.
 ///
 ///   $ ./custom_dataset [workdir]             (default: ./custom_dataset_out)
 ///
 /// The synthetic generator stands in for "your" data here so the example is
 /// self-contained; point data::load_csv at any numeric CSV with an integer
-/// label column to use real data.
+/// label column to use real data.  Where this example used to juggle five
+/// loose artifacts (store.bin, key.bin, mapping.bin, model.hdc, disc.bin),
+/// the bundle format packs everything into owner.hdlk — and device.hdlk is
+/// the same deployment with the key physically stripped.
 
 #include <filesystem>
 #include <iostream>
 
-#include "core/locked_encoder.hpp"
+#include "api/api.hpp"
 #include "data/loaders.hpp"
 #include "data/synthetic.hpp"
-#include "hdc/classifier.hpp"
-#include "util/serialize.hpp"
 
 int main(int argc, char** argv) {
     using namespace hdlock;
@@ -46,41 +47,46 @@ int main(int argc, char** argv) {
               << " test samples, " << train.n_features() << " features, " << train.n_classes
               << " classes\n";
 
-    // --- Provision, train, evaluate.
-    DeploymentConfig device;
-    device.dim = 4096;
-    device.n_features = train.n_features();
-    device.n_levels = spec.n_levels;
-    device.n_layers = 2;
-    device.seed = 11;
-    const Deployment deployment = provision(device);
+    // --- Provision and train through the api facade.
+    DeploymentConfig config;
+    config.dim = 4096;
+    config.n_features = train.n_features();
+    config.n_levels = spec.n_levels;
+    config.n_layers = 2;
+    config.seed = 11;
+    api::Owner owner = api::Owner::provision(config);
 
-    hdc::PipelineConfig pipeline;
-    pipeline.train.kind = hdc::ModelKind::non_binary;
-    const auto classifier = hdc::HdcClassifier::fit(train, deployment.encoder, pipeline);
-    std::cout << "trained; test accuracy " << classifier.evaluate(test) << "\n";
+    api::TrainOptions options;
+    options.kind = hdc::ModelKind::non_binary;
+    owner.train(train, options);
+    std::cout << "trained; test accuracy " << owner.evaluate(test) << "\n";
 
-    // --- Persist the owner's artifacts: model, key, public store.
-    util::save_file(classifier.model(), workdir / "model.hdc");
-    util::save_file(deployment.secure->key(), workdir / "key.bin");
-    util::save_file(*deployment.store, workdir / "public_store.bin");
-    std::cout << "saved model.hdc (" << fs::file_size(workdir / "model.hdc") << " B), key.bin ("
-              << fs::file_size(workdir / "key.bin") << " B), public_store.bin ("
-              << fs::file_size(workdir / "public_store.bin") << " B)\n";
+    // --- Persist: one owner artifact, one key-free device artifact.
+    owner.save(workdir / "owner.hdlk");
+    owner.export_device(workdir / "device.hdlk");
+    std::cout << "saved owner.hdlk (" << fs::file_size(workdir / "owner.hdlk")
+              << " B, key inside) and device.hdlk (" << fs::file_size(workdir / "device.hdlk")
+              << " B, key stripped)\n";
 
-    // --- Restore and check the round trip end to end.
-    const auto restored_model = util::load_file<hdc::HdcModel>(workdir / "model.hdc");
-    const auto restored_key = util::load_file<LockKey>(workdir / "key.bin");
-    const auto restored_store =
-        std::make_shared<const PublicStore>(util::load_file<PublicStore>(workdir / "public_store.bin"));
+    // --- Restore both sides and check the round trip end to end.
+    const api::Owner restored_owner = api::Owner::load(workdir / "owner.hdlk");
+    const api::Device restored_device = api::Device::load(workdir / "device.hdlk");
 
-    const LockedEncoder restored_encoder(restored_store, restored_key,
-                                         deployment.secure->value_mapping(),
-                                         deployment.encoder->tie_seed());
     const std::vector<int> probe(train.n_features(), 1);
-    const bool identical = restored_encoder.encode(probe) == deployment.encoder->encode(probe);
-    std::cout << "restored encoder reproduces the original encoding: "
+    const bool identical =
+        restored_owner.encoder()->encode(probe) == owner.encoder()->encode(probe) &&
+        restored_device.encoder().encode(probe) == owner.encoder()->encode(probe);
+    std::cout << "restored owner and device reproduce the original encoding: "
               << (identical ? "yes" : "NO -- round-trip bug") << "\n";
-    std::cout << "restored model classes: " << restored_model.n_classes() << "\n";
-    return identical ? 0 : 1;
+
+    // --- Batched serving from the restored device bundle.
+    const auto session = restored_device.open_session({.n_threads = 2});
+    const auto predictions = session.predict(test.X);
+    std::size_t agree = 0;
+    for (std::size_t s = 0; s < test.n_samples(); ++s) {
+        agree += predictions[s] == restored_owner.predict_row(test.X.row(s)) ? 1u : 0u;
+    }
+    std::cout << "device batch predictions match owner per-row predictions: " << agree << "/"
+              << test.n_samples() << "\n";
+    return identical && agree == test.n_samples() ? 0 : 1;
 }

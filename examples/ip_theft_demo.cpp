@@ -12,9 +12,13 @@
 ///   3. per feature, craft the Eq. 7 probe and score every pool candidate
 ///      (Eq. 8) — the divide-and-conquer mapping recovery;
 ///   4. assemble a cloned encoder and train a duplicate model.
+///
+/// The owner side runs through api::Owner; the attacker sees only what a
+/// deployed device exposes — the public store and an encoding oracle.
 
 #include <iostream>
 
+#include "api/api.hpp"
 #include "attack/ip_theft.hpp"
 #include "data/synthetic.hpp"
 
@@ -34,26 +38,26 @@ int main() {
 
     // The owner deploys WITHOUT HDLock: index mapping hidden, raw
     // hypervectors public (the paper's baseline threat model).
-    DeploymentConfig device;
-    device.dim = 4096;
-    device.n_features = spec.n_features;
-    device.n_levels = spec.n_levels;
-    device.n_layers = 0;
-    device.seed = 5;
-    const Deployment deployment = provision(device);
+    DeploymentConfig config;
+    config.dim = 4096;
+    config.n_features = spec.n_features;
+    config.n_levels = spec.n_levels;
+    config.n_layers = 0;
+    config.seed = 5;
+    api::Owner owner = api::Owner::provision(config);
 
-    hdc::PipelineConfig pipeline;
-    pipeline.train.kind = hdc::ModelKind::binary;
-    const auto victim = hdc::HdcClassifier::fit(benchmark.train, deployment.encoder, pipeline);
-    std::cout << "[owner]    victim deployed, test accuracy "
-              << victim.evaluate(benchmark.test) << "\n";
+    api::TrainOptions train;
+    train.kind = hdc::ModelKind::binary;
+    owner.train(benchmark.train, train);
+    const double victim_accuracy = owner.evaluate(benchmark.test);
+    std::cout << "[owner]    victim deployed, test accuracy " << victim_accuracy << "\n";
 
     // ---- Attacker: sees only (PublicStore, EncodingOracle). ----
-    const attack::EncodingOracle oracle(deployment.encoder);
+    const attack::EncodingOracle oracle(owner.encoder());
 
     std::cout << "[attacker] step 1+2: reasoning the value mapping from the "
-              << deployment.store->n_levels() << " public value slots...\n";
-    const auto values = attack::extract_value_mapping(*deployment.store, oracle,
+              << owner.store().n_levels() << " public value slots...\n";
+    const auto values = attack::extract_value_mapping(owner.store(), oracle,
                                                       /*binary_oracle=*/true);
     std::cout << "           endpoints at slots " << values.endpoint_low << " and "
               << values.endpoint_high << " (normalized distance "
@@ -61,22 +65,24 @@ int main() {
               << values.orientation_margin << "\n";
 
     std::cout << "[attacker] step 3: divide-and-conquer over " << spec.n_features
-              << " features x " << deployment.store->pool_size() << " candidates...\n";
+              << " features x " << owner.store().pool_size() << " candidates...\n";
     attack::FeatureAttackConfig feature_config;
-    const auto features = attack::extract_feature_mapping(*deployment.store, oracle,
+    const auto features = attack::extract_feature_mapping(owner.store(), oracle,
                                                           values.level_to_slot, feature_config);
     std::cout << "           " << features.guesses << " guesses, " << oracle.query_count()
               << " oracle queries, mean decision margin " << features.mean_margin << "\n";
 
     std::cout << "[attacker] step 4: cloning the encoder and training a duplicate...\n";
     const auto clone_encoder = attack::build_cloned_encoder(
-        *deployment.store, features.feature_to_slot, values.level_to_slot, /*tie_seed=*/4242);
+        owner.store(), features.feature_to_slot, values.level_to_slot, /*tie_seed=*/4242);
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = hdc::ModelKind::binary;
     const auto clone = hdc::HdcClassifier::fit(benchmark.train, clone_encoder, pipeline);
     std::cout << "           clone test accuracy " << clone.evaluate(benchmark.test)
-              << " (victim: " << victim.evaluate(benchmark.test) << ")\n";
+              << " (victim: " << victim_accuracy << ")\n";
 
     // ---- Experimenter: score the recovery against the ground truth. ----
-    const auto& key = deployment.secure->key();
+    const auto& key = owner.key();
     std::size_t hits = 0;
     for (std::size_t i = 0; i < spec.n_features; ++i) {
         hits += features.feature_to_slot[i] == key.entry(i, 0).base_index ? 1u : 0u;

@@ -1,16 +1,19 @@
 /// \file locked_deployment.cpp
 /// The same theft attempt as ip_theft_demo, replayed against an
-/// HDLock-protected device (Sec. 4) — and the trust boundary in action.
+/// HDLock-protected device (Sec. 4) — and the trust boundary in action,
+/// expressed at the type level by the api:: facades.
 ///
 ///   $ ./locked_deployment
 ///
-/// Shows: (i) accuracy is unaffected by the lock; (ii) the sealed
+/// Shows: (i) the owner/device privilege split as types — api::Device has no
+/// key accessor and its bundle contains no key bytes; (ii) the sealed
 /// SecureStore refuses key reads; (iii) the naive divide-and-conquer attack
 /// collapses; (iv) the joint search the attacker is left with is
 /// astronomically large (Eq. 9's (D*P)^L per feature).
 
 #include <iostream>
 
+#include "api/api.hpp"
 #include "attack/locked_theft.hpp"
 #include "core/complexity.hpp"
 #include "data/synthetic.hpp"
@@ -30,18 +33,31 @@ int main() {
     spec.seed = 99;
     const auto benchmark = data::make_benchmark(spec);
 
-    // The trust boundary: after seal(), key reads throw.
+    // The trust boundary, twice over.  First at the type level: what ships
+    // to the field is an api::Device — provision an owner, train, export.
     {
-        DeploymentConfig device;
-        device.dim = 4096;
-        device.n_features = spec.n_features;
-        device.n_levels = spec.n_levels;
-        device.n_layers = 2;
-        device.seed = 5;
-        const Deployment deployment = provision(device);
-        deployment.secure->seal();
+        DeploymentConfig config;
+        config.dim = 4096;
+        config.n_features = spec.n_features;
+        config.n_levels = spec.n_levels;
+        config.n_layers = 2;
+        config.seed = 5;
+        api::Owner owner = api::Owner::provision(config);
+        owner.train(benchmark.train);
+        const api::Device device = owner.make_device();
+
+        // api::Device has no key() method and its encoder is the sealed
+        // base interface — this is not a convention, it does not compile:
+        //   device.key();                     // no such member
+        //   device.encoder().key();           // hdc::Encoder has no key()
+        std::cout << "[device]   serving accuracy without any key material: "
+                  << device.evaluate(benchmark.test) << "\n";
+
+        // Second, the runtime boundary of the simulated tamper-proof memory:
+        // after seal(), key reads throw.
+        owner.deployment().secure->seal();
         try {
-            (void)deployment.secure->key();
+            (void)owner.key();
             std::cout << "BUG: sealed key was readable\n";
         } catch (const AccessDenied& denied) {
             std::cout << "[device]   sealed secure store refuses key reads: " << denied.what()

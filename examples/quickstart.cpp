@@ -1,21 +1,24 @@
 /// \file quickstart.cpp
 /// Smallest end-to-end use of the library: deploy an HDLock-protected HDC
-/// classifier, train it, and run inference — the model owner's view.
+/// classifier through the api:: layer, train it, and serve a batch — the
+/// model owner's view.
 ///
 ///   $ ./quickstart
 ///
 /// Walkthrough:
 ///   1. generate a dataset (swap in data::load_csv for your own);
-///   2. provision() a protected device: a public hypervector store, a
-///      tamper-proof SecureStore holding the key, and the locked encoder;
-///   3. fit the classification pipeline (discretize -> encode -> train);
-///   4. classify queries; 5. seal the key memory for deployment.
+///   2. api::Owner::provision a protected device: public hypervector store,
+///      tamper-proof key, locked encoder — one call;
+///   3. owner.train() the classification pipeline (discretize -> encode ->
+///      train);
+///   4. hand the field a key-free api::Device and serve a whole batch
+///      through an InferenceSession;
+///   5. seal the key memory for deployment.
 
 #include <iostream>
 
-#include "core/locked_encoder.hpp"
+#include "api/api.hpp"
 #include "data/synthetic.hpp"
-#include "hdc/classifier.hpp"
 
 int main() {
     using namespace hdlock;
@@ -34,33 +37,38 @@ int main() {
 
     // 2. Provision a protected device: D = 4096, a two-layer key over a
     //    64-entry public base pool.
-    DeploymentConfig device;
-    device.dim = 4096;
-    device.n_features = spec.n_features;
-    device.n_levels = spec.n_levels;
-    device.n_layers = 2;
-    device.seed = 7;
-    const Deployment deployment = provision(device);
+    DeploymentConfig config;
+    config.dim = 4096;
+    config.n_features = spec.n_features;
+    config.n_levels = spec.n_levels;
+    config.n_layers = 2;
+    config.seed = 7;
+    api::Owner owner = api::Owner::provision(config);
 
-    std::cout << "provisioned: D=" << device.dim << ", P=" << deployment.store->pool_size()
-              << " public bases, L=" << device.n_layers << " key layers\n";
+    std::cout << "provisioned: D=" << config.dim << ", P=" << owner.store().pool_size()
+              << " public bases, L=" << config.n_layers << " key layers\n";
 
     // 3. Train a binary HDC model through the locked encoder.
-    hdc::PipelineConfig pipeline;
-    pipeline.train.kind = hdc::ModelKind::binary;
-    pipeline.train.retrain_epochs = 10;
-    const auto classifier = hdc::HdcClassifier::fit(benchmark.train, deployment.encoder, pipeline);
+    api::TrainOptions train;
+    train.kind = hdc::ModelKind::binary;
+    train.retrain_epochs = 10;
+    owner.train(benchmark.train, train);
+    std::cout << "test accuracy (owner side): " << owner.evaluate(benchmark.test) << "\n";
 
-    // 4. Inference.
-    std::cout << "test accuracy: " << classifier.evaluate(benchmark.test) << "\n";
-    const int predicted = classifier.predict_row(benchmark.test.X.row(0));
-    std::cout << "first test sample: predicted class " << predicted << ", true class "
-              << benchmark.test.y[0] << "\n";
+    // 4. What ships: a Device built from the key-free bundle.  Its type has
+    //    no key accessor — attack code handed this object cannot reach the
+    //    secrets.  Serving is batched: one predict() call classifies the
+    //    whole test matrix across worker threads.
+    const api::Device device = owner.make_device();
+    const auto session = device.open_session({.n_threads = 4});
+    const std::vector<int> predicted = session.predict(benchmark.test.X);
+    std::cout << "device served " << session.rows_served() << " rows; first sample: predicted "
+              << predicted.front() << ", true class " << benchmark.test.y.front() << "\n";
 
-    // 5. Deployed state: the key becomes unreadable, the encoder keeps
-    //    working (it materialized its feature hypervectors at provisioning).
-    deployment.secure->seal();
-    std::cout << "secure store sealed; encoding still works: H has dim "
-              << deployment.encoder->encode(std::vector<int>(spec.n_features, 0)).dim() << "\n";
+    // 5. Deployed state: the key becomes unreadable, the device keeps
+    //    working (it holds only materialized feature hypervectors).
+    owner.deployment().secure->seal();
+    std::cout << "secure store sealed; device still serves: H has dim "
+              << device.encoder().encode(std::vector<int>(spec.n_features, 0)).dim() << "\n";
     return 0;
 }

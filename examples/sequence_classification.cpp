@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/api.hpp"
 #include "core/complexity.hpp"
 #include "core/locked_encoder.hpp"
 #include "hdc/model.hpp"
@@ -83,16 +84,19 @@ int main() {
     // memory exactly like record-encoder FeaHVs — same vulnerability.
     const hdc::NGramEncoder plain(hdc::generate_symbol_hvs(kDim, kAlphabet, 5), kGram, 77);
 
-    // HDLock-protected: symbols are Eq. 9 products over a public pool.
-    PublicStoreConfig store_config;
-    store_config.dim = kDim;
-    store_config.pool_size = kAlphabet;
-    store_config.n_levels = 2;
-    store_config.seed = 33;
-    ValueMapping unused;
-    const auto store = PublicStore::generate(store_config, unused);
-    const auto key = LockKey::random(kAlphabet, /*n_layers=*/2, kAlphabet, kDim, /*seed=*/4);
-    const hdc::NGramEncoder locked(materialize_locked_symbols(store, key), kGram, 77);
+    // HDLock-protected: symbols are Eq. 9 products over a public pool.  The
+    // alphabet plays the role of the feature set, so the owner facade
+    // provisions the pool + key exactly as for a record encoder, and the
+    // locked symbol memory is materialized from its privileged view.
+    DeploymentConfig lock_config;
+    lock_config.dim = kDim;
+    lock_config.n_features = kAlphabet;
+    lock_config.n_levels = 2;
+    lock_config.n_layers = 2;
+    lock_config.seed = 33;
+    const api::Owner owner = api::Owner::provision(lock_config);
+    const hdc::NGramEncoder locked(materialize_locked_symbols(owner.store(), owner.key()),
+                                   kGram, 77);
 
     util::TextTable table({"symbol memory", "test accuracy", "mapping search space"});
     table.add_row({"plain (unprotected)", util::format_fixed(run(plain), 3),

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file api.hpp
+/// Umbrella header for the deployment & serving layer.
+///
+/// The canonical way to use this library:
+///
+///     auto owner = api::Owner::provision(config);   // privileged side
+///     owner.train(train_set);
+///     owner.save("deployment.hdlk");                // owner artifact
+///     owner.export_device("device.hdlk");           // key-free artifact
+///
+///     auto device = api::Device::load("device.hdlk");
+///     auto session = device.open_session({.n_threads = 8});
+///     std::vector<int> labels = session.predict(batch);
+///
+/// See facades.hpp for the privilege model, bundle.hpp for the `.hdlk`
+/// format, inference_session.hpp for the serving contract.
+
+#include "api/bundle.hpp"            // IWYU pragma: export
+#include "api/facades.hpp"           // IWYU pragma: export
+#include "api/inference_session.hpp" // IWYU pragma: export
+#include "api/sealed_encoder.hpp"    // IWYU pragma: export

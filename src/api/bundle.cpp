@@ -1,0 +1,212 @@
+#include "api/bundle.hpp"
+
+#include <sstream>
+
+#include "api/sealed_encoder.hpp"
+
+namespace hdlock::api {
+
+namespace {
+
+constexpr std::uint8_t kFlagDiscretizer = 1u << 0;
+constexpr std::uint8_t kFlagModel = 1u << 1;
+
+void save_value_mapping(util::BinaryWriter& writer, const ValueMapping& mapping) {
+    writer.write_tag("VMAP");
+    writer.write_u32(static_cast<std::uint32_t>(mapping.size()));
+    for (const auto slot : mapping) writer.write_u32(slot);
+}
+
+ValueMapping load_value_mapping(util::BinaryReader& reader) {
+    reader.expect_tag("VMAP");
+    const std::uint32_t count = reader.read_u32();
+    if (count > (1u << 24)) {
+        throw FormatError("DeploymentBundle: unreasonable value mapping size");
+    }
+    ValueMapping mapping(count);
+    for (auto& slot : mapping) slot = reader.read_u32();
+    return mapping;
+}
+
+void save_hv_array(util::BinaryWriter& writer, const std::vector<hdc::BinaryHV>& hvs) {
+    writer.write_u64(hvs.size());
+    for (const auto& hv : hvs) hv.save(writer);
+}
+
+std::vector<hdc::BinaryHV> load_hv_array(util::BinaryReader& reader) {
+    const std::uint64_t n = reader.read_u64();
+    if (n > (1ULL << 24)) throw FormatError("DeploymentBundle: unreasonable hypervector count");
+    std::vector<hdc::BinaryHV> hvs;
+    hvs.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) hvs.push_back(hdc::BinaryHV::load(reader));
+    return hvs;
+}
+
+}  // namespace
+
+DeploymentBundle DeploymentBundle::from_deployment(const Deployment& deployment) {
+    HDLOCK_EXPECTS(deployment.store != nullptr, "DeploymentBundle: deployment has no store");
+    HDLOCK_EXPECTS(deployment.secure != nullptr && deployment.encoder != nullptr,
+                   "DeploymentBundle: incomplete deployment");
+    DeploymentBundle bundle;
+    bundle.kind = BundleKind::owner;
+    bundle.tie_seed = deployment.encoder->tie_seed();
+    bundle.store = deployment.store;
+    bundle.key = deployment.secure->key();
+    bundle.value_mapping = deployment.secure->value_mapping();
+    return bundle;
+}
+
+void DeploymentBundle::save(util::BinaryWriter& writer) const {
+    HDLOCK_EXPECTS(store != nullptr, "DeploymentBundle::save: no public store");
+    if (kind == BundleKind::owner) {
+        HDLOCK_EXPECTS(key.has_value() && value_mapping.has_value(),
+                       "DeploymentBundle::save: owner bundle without secrets");
+    } else {
+        HDLOCK_EXPECTS(!key.has_value() && !value_mapping.has_value(),
+                       "DeploymentBundle::save: device bundle must not carry the key");
+        HDLOCK_EXPECTS(!feature_hvs.empty() && !value_hvs.empty(),
+                       "DeploymentBundle::save: device bundle without materialized state");
+    }
+
+    writer.write_tag("HDLK");
+    writer.write_u32(kFormatVersion);
+    writer.write_u8(static_cast<std::uint8_t>(kind));
+    writer.write_u64(tie_seed);
+    std::uint8_t flags = 0;
+    if (discretizer) flags |= kFlagDiscretizer;
+    if (model) flags |= kFlagModel;
+    writer.write_u8(flags);
+
+    store->save(writer);
+    if (kind == BundleKind::owner) {
+        writer.write_tag("SECR");
+        key->save(writer);
+        save_value_mapping(writer, *value_mapping);
+    } else {
+        writer.write_tag("SENC");
+        save_hv_array(writer, feature_hvs);
+        save_hv_array(writer, value_hvs);
+    }
+    if (discretizer) discretizer->save(writer);
+    if (model) model->save(writer);
+    writer.write_tag("HEND");
+}
+
+DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
+    reader.expect_tag("HDLK");
+    const std::uint32_t version = reader.read_u32();
+    if (version == 0 || version > kFormatVersion) {
+        throw FormatError("DeploymentBundle: unsupported format version " +
+                          std::to_string(version));
+    }
+    DeploymentBundle bundle;
+    const std::uint8_t kind = reader.read_u8();
+    if (kind > 1) throw FormatError("DeploymentBundle: bad bundle kind");
+    bundle.kind = static_cast<BundleKind>(kind);
+    bundle.tie_seed = reader.read_u64();
+    const std::uint8_t flags = reader.read_u8();
+    if (flags & ~(kFlagDiscretizer | kFlagModel)) {
+        throw FormatError("DeploymentBundle: unknown section flags");
+    }
+
+    bundle.store = std::make_shared<const PublicStore>(PublicStore::load(reader));
+    if (bundle.kind == BundleKind::owner) {
+        reader.expect_tag("SECR");
+        bundle.key = LockKey::load(reader);
+        bundle.value_mapping = load_value_mapping(reader);
+        if (bundle.value_mapping->size() != bundle.store->n_levels()) {
+            throw FormatError("DeploymentBundle: value mapping does not match store levels");
+        }
+    } else {
+        reader.expect_tag("SENC");
+        bundle.feature_hvs = load_hv_array(reader);
+        bundle.value_hvs = load_hv_array(reader);
+        if (bundle.feature_hvs.empty() || bundle.value_hvs.empty()) {
+            throw FormatError("DeploymentBundle: device bundle without encoder state");
+        }
+    }
+    if (flags & kFlagDiscretizer) bundle.discretizer = hdc::MinMaxDiscretizer::load(reader);
+    if (flags & kFlagModel) bundle.model = hdc::HdcModel::load(reader);
+    reader.expect_tag("HEND");
+    return bundle;
+}
+
+void DeploymentBundle::save_owner(const std::filesystem::path& path) const {
+    HDLOCK_EXPECTS(kind == BundleKind::owner && has_key(),
+                   "DeploymentBundle::save_owner: not an owner bundle");
+    util::save_file(*this, path);
+}
+
+DeploymentBundle DeploymentBundle::load_owner(const std::filesystem::path& path) {
+    DeploymentBundle bundle = util::load_file<DeploymentBundle>(path);
+    if (bundle.kind != BundleKind::owner) {
+        throw FormatError("DeploymentBundle: " + path.string() +
+                          " is a device bundle (its key was stripped at export); "
+                          "owner operations need the owner artifact");
+    }
+    return bundle;
+}
+
+DeploymentBundle DeploymentBundle::load_device(const std::filesystem::path& path) {
+    DeploymentBundle bundle = util::load_file<DeploymentBundle>(path);
+    if (bundle.kind != BundleKind::device) {
+        throw FormatError("DeploymentBundle: " + path.string() +
+                          " is an owner bundle and carries the key; refuse to load it on the "
+                          "device side (run export_device() first)");
+    }
+    return bundle;
+}
+
+DeploymentBundle DeploymentBundle::load_any(const std::filesystem::path& path) {
+    return util::load_file<DeploymentBundle>(path);
+}
+
+DeploymentBundle DeploymentBundle::device_from_materialized(
+    const LockedEncoder& encoder, std::shared_ptr<const PublicStore> store,
+    std::optional<hdc::MinMaxDiscretizer> discretizer, std::optional<hdc::HdcModel> model) {
+    DeploymentBundle device;
+    device.kind = BundleKind::device;
+    device.tie_seed = encoder.tie_seed();
+    device.store = std::move(store);
+    device.discretizer = std::move(discretizer);
+    device.model = std::move(model);
+    device.feature_hvs.reserve(encoder.n_features());
+    for (std::size_t i = 0; i < encoder.n_features(); ++i) {
+        device.feature_hvs.push_back(encoder.feature_hv(i));
+    }
+    device.value_hvs.reserve(encoder.n_levels());
+    for (std::size_t level = 0; level < encoder.n_levels(); ++level) {
+        device.value_hvs.push_back(encoder.value_hv(level));
+    }
+    return device;
+}
+
+DeploymentBundle DeploymentBundle::export_device() const {
+    HDLOCK_EXPECTS(store != nullptr, "DeploymentBundle::export_device: no public store");
+    if (kind == BundleKind::device) return *this;
+    HDLOCK_EXPECTS(has_key(), "DeploymentBundle::export_device: owner bundle without key");
+    return device_from_materialized(LockedEncoder(store, *key, *value_mapping, tie_seed), store,
+                                    discretizer, model);
+}
+
+void DeploymentBundle::export_device(const std::filesystem::path& path) const {
+    util::save_file(export_device(), path);
+}
+
+std::shared_ptr<const hdc::Encoder> DeploymentBundle::make_encoder() const {
+    if (kind == BundleKind::owner) {
+        HDLOCK_EXPECTS(has_key(), "DeploymentBundle::make_encoder: owner bundle without key");
+        return std::make_shared<const LockedEncoder>(store, *key, *value_mapping, tie_seed);
+    }
+    return std::make_shared<const SealedEncoder>(feature_hvs, value_hvs, tie_seed);
+}
+
+std::uint64_t DeploymentBundle::serialized_bytes() const {
+    std::ostringstream out(std::ios::binary);
+    util::BinaryWriter writer(out);
+    save(writer);
+    return static_cast<std::uint64_t>(out.tellp());
+}
+
+}  // namespace hdlock::api

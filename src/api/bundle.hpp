@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file bundle.hpp
+/// The `.hdlk` deployment artifact: one versioned file per deployment.
+///
+/// Replaces the five loose files (store.bin, key.bin, mapping.bin,
+/// model.hdc, disc.bin) the tooling used to hand-wire.  A bundle comes in
+/// two variants mirroring the paper's trust boundary (Sec. 3.1):
+///
+///   owner   public store + SECRET section (LockKey + ValueMapping)
+///           [+ discretizer] [+ model]           -- stays with the owner
+///   device  public store + MATERIALIZED encoder state (FeaHVs + level-
+///           ordered ValHVs) [+ discretizer] [+ model] -- ships to the field
+///
+/// export_device() strips the SECRET section and replaces it with the
+/// materialized Eq. 9 products, so a device artifact is *physically*
+/// incapable of leaking the key: the bytes are simply not in the file.
+///
+/// On-disk layout (util/serialize.hpp primitives, little-endian):
+///
+///   "HDLK"  u32 version  u8 kind(0=owner,1=device)  u64 tie_seed  u8 flags
+///   "PUBS"  PublicStore
+///   owner:  "SECR" LockKey  "VMAP" u32 count, u32 slots...
+///   device: "SENC" u64 n_features {BinaryHV...} u64 n_levels {BinaryHV...}
+///   flags bit0: "DSC1" MinMaxDiscretizer        (fitted discretizer)
+///   flags bit1: "MDL1" HdcModel                 (trained model)
+///   "HEND"
+///
+/// The trailing HEND tag makes truncation detectable even when the optional
+/// sections happen to parse.
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/locked_encoder.hpp"
+#include "core/stores.hpp"
+#include "hdc/discretize.hpp"
+#include "hdc/model.hpp"
+
+namespace hdlock::api {
+
+enum class BundleKind : std::uint8_t {
+    owner = 0,  ///< carries the key; never leaves the owner's infrastructure
+    device = 1  ///< key stripped; holds materialized encoder state instead
+};
+
+struct DeploymentBundle {
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    BundleKind kind = BundleKind::owner;
+    std::uint64_t tie_seed = 0;
+    std::shared_ptr<const PublicStore> store;
+
+    /// Owner-only secret section; never populated for device bundles.
+    std::optional<LockKey> key;
+    std::optional<ValueMapping> value_mapping;
+
+    /// Device-only materialized encoder state (Eq. 9 products and the
+    /// level-ordered ValHVs); empty for owner bundles.
+    std::vector<hdc::BinaryHV> feature_hvs;
+    std::vector<hdc::BinaryHV> value_hvs;
+
+    std::optional<hdc::MinMaxDiscretizer> discretizer;
+    std::optional<hdc::HdcModel> model;
+
+    bool has_key() const noexcept { return key.has_value(); }
+    bool has_discretizer() const noexcept { return discretizer.has_value(); }
+    bool has_model() const noexcept { return model.has_value(); }
+
+    /// Assembles an owner bundle from a provisioned deployment (reads the
+    /// SecureStore, which must be unsealed).
+    static DeploymentBundle from_deployment(const Deployment& deployment);
+
+    void save(util::BinaryWriter& writer) const;
+    static DeploymentBundle load(util::BinaryReader& reader);
+
+    /// Owner-side persistence; throws ContractViolation when called on a
+    /// bundle without a key (a device bundle cannot be promoted to owner).
+    void save_owner(const std::filesystem::path& path) const;
+    static DeploymentBundle load_owner(const std::filesystem::path& path);
+
+    /// Device bundle, as produced by export_device(). Throws FormatError
+    /// when the file is an owner bundle: device-side code must never even
+    /// transit key bytes through its address space.
+    static DeploymentBundle load_device(const std::filesystem::path& path);
+
+    /// Loads either variant (owner tooling that inspects artifacts).
+    static DeploymentBundle load_any(const std::filesystem::path& path);
+
+    /// The key-free field artifact: public store + materialized encoder
+    /// state + whatever discretizer/model this bundle carries.
+    DeploymentBundle export_device() const;
+    void export_device(const std::filesystem::path& path) const;
+
+    /// Builds a device bundle from an already-materialized encoder (no
+    /// Eq. 9 re-computation); the single source of the device-bundle shape,
+    /// shared by export_device() and api::Owner.
+    static DeploymentBundle device_from_materialized(
+        const LockedEncoder& encoder, std::shared_ptr<const PublicStore> store,
+        std::optional<hdc::MinMaxDiscretizer> discretizer, std::optional<hdc::HdcModel> model);
+
+    /// Reconstructs the encoder this bundle describes: a LockedEncoder for
+    /// owner bundles (rebuilt from the key), a SealedEncoder for device
+    /// bundles (from the materialized state).
+    std::shared_ptr<const hdc::Encoder> make_encoder() const;
+
+    /// Size of the serialized artifact in bytes (serializes to memory; used
+    /// for deployment-cost reporting).
+    std::uint64_t serialized_bytes() const;
+};
+
+}  // namespace hdlock::api

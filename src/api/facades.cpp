@@ -1,0 +1,167 @@
+#include "api/facades.hpp"
+
+namespace hdlock::api {
+
+namespace {
+
+/// Session-free single-row inference for the facades' predict_row paths: a
+/// per-call InferenceSession would deep-copy the model and discretizer on
+/// every row.
+int predict_one(const hdc::Encoder& encoder, const hdc::MinMaxDiscretizer& discretizer,
+                const hdc::HdcModel& model, std::span<const float> row) {
+    HDLOCK_EXPECTS(row.size() == encoder.n_features(), "predict_row: wrong feature count");
+    const std::vector<int> levels = discretizer.transform_row(row);
+    return model.kind() == hdc::ModelKind::binary ? model.predict(encoder.encode_binary(levels))
+                                                  : model.predict(encoder.encode(levels));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Owner
+// ---------------------------------------------------------------------------
+
+Owner Owner::provision(const DeploymentConfig& config) {
+    Owner owner;
+    owner.deployment_ = hdlock::provision(config);
+    return owner;
+}
+
+Owner Owner::load(const std::filesystem::path& path) {
+    DeploymentBundle bundle = DeploymentBundle::load_owner(path);
+    Owner owner;
+    owner.deployment_.store = bundle.store;
+    owner.deployment_.encoder = std::make_shared<const LockedEncoder>(
+        bundle.store, *bundle.key, *bundle.value_mapping, bundle.tie_seed);
+    owner.deployment_.secure =
+        std::make_shared<SecureStore>(std::move(*bundle.key), std::move(*bundle.value_mapping));
+    owner.discretizer_ = std::move(bundle.discretizer);
+    owner.model_ = std::move(bundle.model);
+    return owner;
+}
+
+DeploymentBundle Owner::to_bundle() const {
+    DeploymentBundle bundle = DeploymentBundle::from_deployment(deployment_);
+    bundle.discretizer = discretizer_;
+    bundle.model = model_;
+    return bundle;
+}
+
+void Owner::save(const std::filesystem::path& path) const {
+    to_bundle().save_owner(path);
+}
+
+double Owner::train(const data::Dataset& train_set, const TrainOptions& options) {
+    hdc::PipelineConfig pipeline;
+    pipeline.discretizer_mode = options.discretizer_mode;
+    pipeline.train.kind = options.kind;
+    pipeline.train.retrain_epochs = options.retrain_epochs;
+    pipeline.train.seed = options.seed;
+    const auto classifier = hdc::HdcClassifier::fit(train_set, deployment_.encoder, pipeline);
+    discretizer_ = classifier.discretizer();
+    model_ = classifier.model();
+    return classifier.evaluate(train_set);
+}
+
+const hdc::HdcModel& Owner::model() const {
+    HDLOCK_EXPECTS(model_.has_value(), "Owner::model: not trained");
+    return *model_;
+}
+
+const hdc::MinMaxDiscretizer& Owner::discretizer() const {
+    HDLOCK_EXPECTS(discretizer_.has_value(), "Owner::discretizer: not trained");
+    return *discretizer_;
+}
+
+InferenceSession Owner::open_session(SessionOptions options) const {
+    HDLOCK_EXPECTS(trained(), "Owner::open_session: train (or load a trained bundle) first");
+    return InferenceSession(deployment_.encoder, *discretizer_, *model_, options);
+}
+
+double Owner::evaluate(const data::Dataset& dataset) const {
+    return open_session().evaluate(dataset);
+}
+
+int Owner::predict_row(std::span<const float> row) const {
+    HDLOCK_EXPECTS(trained(), "Owner::predict_row: train first");
+    return predict_one(*deployment_.encoder, *discretizer_, *model_, row);
+}
+
+KeyAuditReport Owner::audit() const {
+    return audit_key(deployment_.secure->key(), *deployment_.store);
+}
+
+void Owner::rotate_key(std::uint64_t seed) {
+    const LockKey fresh = rekey(deployment_.secure->key(), *deployment_.store, seed);
+    ValueMapping mapping = deployment_.secure->value_mapping();
+    deployment_.encoder = std::make_shared<const LockedEncoder>(
+        deployment_.store, fresh, mapping, deployment_.encoder->tie_seed());
+    deployment_.secure = std::make_shared<SecureStore>(fresh, std::move(mapping));
+    model_.reset();  // fitted against the old feature hypervectors
+}
+
+DeploymentBundle Owner::to_device_bundle() const {
+    return DeploymentBundle::device_from_materialized(*deployment_.encoder, deployment_.store,
+                                                      discretizer_, model_);
+}
+
+void Owner::export_device(const std::filesystem::path& path) const {
+    util::save_file(to_device_bundle(), path);
+}
+
+Device Owner::make_device() const {
+    return Device(to_device_bundle());
+}
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+
+Device::Device(DeploymentBundle bundle) {
+    HDLOCK_EXPECTS(bundle.kind == BundleKind::device,
+                   "Device: owner bundle refused; call export_device() first");
+    HDLOCK_EXPECTS(!bundle.has_key(), "Device: bundle unexpectedly carries a key");
+    store_ = std::move(bundle.store);
+    encoder_ = std::make_shared<const SealedEncoder>(std::move(bundle.feature_hvs),
+                                                     std::move(bundle.value_hvs),
+                                                     bundle.tie_seed);
+    discretizer_ = std::move(bundle.discretizer);
+    model_ = std::move(bundle.model);
+    if (can_serve()) session_.emplace(encoder_, *discretizer_, *model_, SessionOptions{});
+}
+
+Device Device::load(const std::filesystem::path& path) {
+    return Device(DeploymentBundle::load_device(path));
+}
+
+const hdc::HdcModel& Device::model() const {
+    HDLOCK_EXPECTS(model_.has_value(), "Device::model: bundle carries no model");
+    return *model_;
+}
+
+const hdc::MinMaxDiscretizer& Device::discretizer() const {
+    HDLOCK_EXPECTS(discretizer_.has_value(), "Device::discretizer: bundle carries none");
+    return *discretizer_;
+}
+
+InferenceSession Device::open_session(SessionOptions options) const {
+    HDLOCK_EXPECTS(can_serve(), "Device::open_session: bundle has no discretizer/model");
+    return InferenceSession(encoder_, *discretizer_, *model_, options);
+}
+
+int Device::predict_row(std::span<const float> row) const {
+    HDLOCK_EXPECTS(can_serve(), "Device::predict_row: bundle has no discretizer/model");
+    return session_->predict_row(row);
+}
+
+std::vector<int> Device::predict(const util::Matrix<float>& rows) const {
+    HDLOCK_EXPECTS(can_serve(), "Device::predict: bundle has no discretizer/model");
+    return session_->predict(rows);
+}
+
+double Device::evaluate(const data::Dataset& dataset) const {
+    HDLOCK_EXPECTS(can_serve(), "Device::evaluate: bundle has no discretizer/model");
+    return session_->evaluate(dataset);
+}
+
+}  // namespace hdlock::api

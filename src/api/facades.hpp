@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file facades.hpp
+/// The paper's two roles as types: api::Owner and api::Device.
+///
+/// HDLock's entire argument (Sec. 3-4) is a privilege split — the owner
+/// holds the key in tamper-proof memory, the device/attacker sees only the
+/// public store and encoding outputs.  These facades make that split a
+/// *type-level* boundary instead of a calling convention:
+///
+///   Owner   provision / train / audit / rotate the key / export bundles.
+///           Privileged accessors (key(), value_mapping()) exist here and
+///           only here.
+///   Device  what ships to the field: a SealedEncoder (materialized
+///           hypervectors, no key member), the public store, and optionally
+///           a discretizer + model for serving.  There is no method on
+///           Device that can return key material — red-team code handed a
+///           Device cannot reach the key by construction.
+///
+/// Both sides serve batches through api::InferenceSession.  The older free
+/// functions (provision(), HdcClassifier::fit, ...) remain as the layer
+/// underneath and keep working for one more release; new code should start
+/// here.
+
+#include <filesystem>
+#include <optional>
+
+#include "api/bundle.hpp"
+#include "api/inference_session.hpp"
+#include "api/sealed_encoder.hpp"
+#include "core/key_tools.hpp"
+#include "core/locked_encoder.hpp"
+#include "data/dataset.hpp"
+#include "hdc/classifier.hpp"
+
+namespace hdlock::api {
+
+struct TrainOptions {
+    hdc::ModelKind kind = hdc::ModelKind::binary;
+    int retrain_epochs = 10;
+    hdc::DiscretizerMode discretizer_mode = hdc::DiscretizerMode::global;
+    std::uint64_t seed = 1;
+};
+
+class Device;
+
+/// The privileged side of a deployment.
+class Owner {
+public:
+    /// Provisions a fresh deployment (public store, key, locked encoder).
+    static Owner provision(const DeploymentConfig& config);
+
+    /// Restores an owner from an owner `.hdlk` bundle; throws FormatError
+    /// on device bundles (their key was stripped — nothing to own).
+    static Owner load(const std::filesystem::path& path);
+    void save(const std::filesystem::path& path) const;
+
+    /// Fits discretizer + HDC model through the locked encoder; returns the
+    /// training-set accuracy. Replaces any previously trained model.
+    double train(const data::Dataset& train_set, const TrainOptions& options = {});
+    bool trained() const noexcept { return model_.has_value(); }
+
+    /// Accuracy on a labeled dataset (requires a trained model).
+    double evaluate(const data::Dataset& dataset) const;
+    int predict_row(std::span<const float> row) const;
+
+    /// Pre-seal key hygiene: bounds + feature-aliasing + entropy report.
+    KeyAuditReport audit() const;
+
+    /// Replaces the key after a suspected leak (core/key_tools.hpp rekey):
+    /// fresh sub-keys sharing no layer pair with the old key, encoder
+    /// re-materialized.  The trained model is discarded — it was fitted
+    /// against the old feature hypervectors; retrain before serving.
+    void rotate_key(std::uint64_t seed);
+
+    /// The key-free field artifact / in-memory device.
+    void export_device(const std::filesystem::path& path) const;
+    Device make_device() const;
+
+    /// Owner-side batched serving (e.g. scoring a validation set).
+    InferenceSession open_session(SessionOptions options = {}) const;
+
+    // Privileged accessors — these exist only on the Owner facade.
+    const LockKey& key() const { return deployment_.secure->key(); }
+    const ValueMapping& value_mapping() const { return deployment_.secure->value_mapping(); }
+    const PublicStore& store() const noexcept { return *deployment_.store; }
+    std::shared_ptr<const LockedEncoder> encoder() const noexcept { return deployment_.encoder; }
+    const hdc::HdcModel& model() const;
+    const hdc::MinMaxDiscretizer& discretizer() const;
+
+    /// Bridge to the pre-api surface (attack replays and legacy tooling
+    /// take a Deployment). The SecureStore is the owner's — still unsealed.
+    const Deployment& deployment() const noexcept { return deployment_; }
+
+    /// Snapshot as a bundle value (mostly for size reporting / tests).
+    DeploymentBundle to_bundle() const;
+
+    /// The device bundle built from the encoder's already-materialized
+    /// hypervectors (no Eq. 9 re-computation); what export_device() writes.
+    DeploymentBundle to_device_bundle() const;
+
+private:
+    Owner() = default;
+
+    Deployment deployment_;
+    std::optional<hdc::MinMaxDiscretizer> discretizer_;
+    std::optional<hdc::HdcModel> model_;
+};
+
+/// The untrusted side: what actually ships. Holds no key, in memory or on
+/// disk, and exposes no API that could derive one.
+class Device {
+public:
+    /// Loads a device `.hdlk`; refuses owner bundles so key bytes never
+    /// transit device-side code.
+    static Device load(const std::filesystem::path& path);
+
+    /// Builds a device directly from a device bundle (e.g. Owner::make_device).
+    explicit Device(DeploymentBundle bundle);
+
+    int predict_row(std::span<const float> row) const;
+    std::vector<int> predict(const util::Matrix<float>& rows) const;
+    double evaluate(const data::Dataset& dataset) const;
+    InferenceSession open_session(SessionOptions options = {}) const;
+    bool can_serve() const noexcept { return discretizer_.has_value() && model_.has_value(); }
+
+    /// The sealed encoder, as the base interface: no key, no store handle.
+    const hdc::Encoder& encoder() const noexcept { return *encoder_; }
+    std::shared_ptr<const hdc::Encoder> encoder_ptr() const noexcept { return encoder_; }
+
+    /// The attacker-visible public memory (it ships with the device).
+    const PublicStore& store() const noexcept { return *store_; }
+    const hdc::HdcModel& model() const;
+    const hdc::MinMaxDiscretizer& discretizer() const;
+
+private:
+    std::shared_ptr<const PublicStore> store_;
+    std::shared_ptr<const SealedEncoder> encoder_;
+    std::optional<hdc::MinMaxDiscretizer> discretizer_;
+    std::optional<hdc::HdcModel> model_;
+    /// Built once at construction when the bundle can serve, so the predict
+    /// conveniences don't copy the model per call (rows_served() accumulates
+    /// across them); open_session() still mints fresh sessions on demand.
+    std::optional<InferenceSession> session_;
+};
+
+}  // namespace hdlock::api

@@ -1,0 +1,97 @@
+#include "api/inference_session.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace hdlock::api {
+
+InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
+                                   hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
+                                   SessionOptions options)
+    : encoder_(std::move(encoder)),
+      discretizer_(std::move(discretizer)),
+      model_(std::move(model)),
+      min_rows_per_thread_(std::max<std::size_t>(options.min_rows_per_thread, 1)) {
+    HDLOCK_EXPECTS(encoder_ != nullptr, "InferenceSession: null encoder");
+    HDLOCK_EXPECTS(model_.n_classes() > 0, "InferenceSession: untrained model");
+    HDLOCK_EXPECTS(model_.dim() == encoder_->dim(),
+                   "InferenceSession: model dimensionality does not match encoder");
+    HDLOCK_EXPECTS(discretizer_.n_levels() == encoder_->n_levels(),
+                   "InferenceSession: discretizer levels do not match encoder");
+    n_threads_ = options.n_threads != 0
+                     ? options.n_threads
+                     : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void InferenceSession::predict_range(const util::Matrix<float>& rows, std::size_t begin,
+                                     std::size_t end, std::span<int> out) const {
+    const bool binary = model_.kind() == hdc::ModelKind::binary;
+    std::vector<int> levels(encoder_->n_features());  // per-worker scratch
+    for (std::size_t r = begin; r < end; ++r) {
+        discretizer_.transform_row(rows.row(r), levels);
+        out[r] = binary ? model_.predict(encoder_->encode_binary(levels))
+                        : model_.predict(encoder_->encode(levels));
+    }
+}
+
+std::vector<int> InferenceSession::predict(const util::Matrix<float>& rows) const {
+    if (rows.rows() == 0) return {};
+    HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
+                   "InferenceSession::predict: batch has wrong feature count");
+
+    const std::size_t n = rows.rows();
+    std::vector<int> out(n);
+    const std::size_t workers =
+        std::min(n_threads_, std::max<std::size_t>(n / min_rows_per_thread_, 1));
+
+    if (workers <= 1) {
+        predict_range(rows, 0, n, out);
+    } else {
+        std::vector<std::thread> threads;
+        std::vector<std::exception_ptr> failures(workers);
+        threads.reserve(workers);
+        const std::size_t chunk = (n + workers - 1) / workers;
+        for (std::size_t w = 0; w < workers; ++w) {
+            const std::size_t begin = w * chunk;
+            const std::size_t end = std::min(begin + chunk, n);
+            threads.emplace_back([this, &rows, &out, &failures, w, begin, end] {
+                try {
+                    predict_range(rows, begin, end, out);
+                } catch (...) {
+                    failures[w] = std::current_exception();
+                }
+            });
+        }
+        for (auto& thread : threads) thread.join();
+        for (const auto& failure : failures) {
+            if (failure) std::rethrow_exception(failure);
+        }
+    }
+
+    rows_served_.fetch_add(n, std::memory_order_relaxed);
+    return out;
+}
+
+double InferenceSession::evaluate(const data::Dataset& dataset) const {
+    dataset.validate();
+    if (dataset.n_samples() == 0) return 0.0;
+    const auto predictions = predict(dataset.X);
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
+        correct += predictions[s] == dataset.y[s] ? 1u : 0u;
+    }
+    return static_cast<double>(correct) / static_cast<double>(dataset.n_samples());
+}
+
+int InferenceSession::predict_row(std::span<const float> row) const {
+    HDLOCK_EXPECTS(row.size() == encoder_->n_features(),
+                   "InferenceSession::predict_row: wrong feature count");
+    const bool binary = model_.kind() == hdc::ModelKind::binary;
+    const std::vector<int> levels = discretizer_.transform_row(row);
+    rows_served_.fetch_add(1, std::memory_order_relaxed);
+    return binary ? model_.predict(encoder_->encode_binary(levels))
+                  : model_.predict(encoder_->encode(levels));
+}
+
+}  // namespace hdlock::api

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file inference_session.hpp
+/// Thread-safe batched serving over any encoder + trained model.
+///
+/// The repo-wide pattern used to be row-at-a-time predict_row() loops; this
+/// session owns the whole discretize -> encode -> classify chain for a batch
+/// and partitions it across worker threads.  Each worker keeps its own
+/// discretization scratch buffer, so no allocation happens per row and no
+/// state is shared between rows — the per-row results are bit-identical to a
+/// sequential predict_row() loop regardless of the thread count (every row's
+/// encoding is a pure function of its input; see hdc::Encoder on tie
+/// breaking).
+///
+/// The session is immutable after construction and safe to share across
+/// caller threads; concurrent predict() calls only touch local scratch and
+/// an atomic served-rows counter.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hdc/discretize.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/model.hpp"
+#include "util/matrix.hpp"
+
+namespace hdlock::api {
+
+struct SessionOptions {
+    /// Worker threads for batch predict(); 0 picks the hardware concurrency.
+    std::size_t n_threads = 1;
+    /// Lower bound on rows per spawned worker: a batch of R rows fans out
+    /// to at most R / this workers (capped by n_threads), and when that
+    /// yields a single worker the batch stays on the calling thread —
+    /// spawning threads for a handful of rows costs more than it saves.
+    std::size_t min_rows_per_thread = 16;
+};
+
+class InferenceSession {
+public:
+    /// The encoder is shared (it is immutable); discretizer and model are
+    /// copied so the session's lifetime is independent of its maker.
+    InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
+                     hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
+                     SessionOptions options = {});
+
+    /// Movable (the atomic counter's value carries over) so factories can
+    /// return sessions by value; not copyable.
+    InferenceSession(InferenceSession&& other) noexcept
+        : encoder_(std::move(other.encoder_)),
+          discretizer_(std::move(other.discretizer_)),
+          model_(std::move(other.model_)),
+          n_threads_(other.n_threads_),
+          min_rows_per_thread_(other.min_rows_per_thread_),
+          rows_served_(other.rows_served_.load()) {}
+    InferenceSession(const InferenceSession&) = delete;
+    InferenceSession& operator=(const InferenceSession&) = delete;
+    InferenceSession& operator=(InferenceSession&&) = delete;
+
+    /// Predicts every row of the batch. Rows are raw feature values with
+    /// exactly n_features() columns; the result is one class label per row,
+    /// in row order.
+    std::vector<int> predict(const util::Matrix<float>& rows) const;
+
+    /// Single-row inference (the classic predict_row path, same output).
+    int predict_row(std::span<const float> row) const;
+
+    /// Fraction of the labeled dataset classified correctly (batched
+    /// through predict()); 0 for an empty dataset.
+    double evaluate(const data::Dataset& dataset) const;
+
+    std::size_t n_features() const noexcept { return encoder_->n_features(); }
+    std::size_t n_threads() const noexcept { return n_threads_; }
+    const hdc::HdcModel& model() const noexcept { return model_; }
+    const hdc::MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
+
+    /// Total rows served by this session across all predict calls (atomic;
+    /// approximate ordering under concurrency).
+    std::uint64_t rows_served() const noexcept { return rows_served_.load(); }
+
+private:
+    void predict_range(const util::Matrix<float>& rows, std::size_t begin, std::size_t end,
+                       std::span<int> out) const;
+
+    std::shared_ptr<const hdc::Encoder> encoder_;
+    hdc::MinMaxDiscretizer discretizer_;
+    hdc::HdcModel model_;
+    std::size_t n_threads_ = 1;
+    std::size_t min_rows_per_thread_ = 16;
+    mutable std::atomic<std::uint64_t> rows_served_{0};
+};
+
+}  // namespace hdlock::api

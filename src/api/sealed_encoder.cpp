@@ -1,0 +1,25 @@
+#include "api/sealed_encoder.hpp"
+
+namespace hdlock::api {
+
+SealedEncoder::SealedEncoder(std::vector<hdc::BinaryHV> feature_hvs,
+                             std::vector<hdc::BinaryHV> value_hvs, std::uint64_t tie_seed)
+    : Encoder(tie_seed), feature_hvs_(std::move(feature_hvs)), value_hvs_(std::move(value_hvs)) {
+    HDLOCK_EXPECTS(!feature_hvs_.empty(), "SealedEncoder: no feature hypervectors");
+    HDLOCK_EXPECTS(value_hvs_.size() >= 2, "SealedEncoder: need at least two value levels");
+    dim_ = feature_hvs_.front().dim();
+    HDLOCK_EXPECTS(dim_ > 0, "SealedEncoder: zero-dimensional hypervectors");
+    for (const auto& hv : feature_hvs_) {
+        HDLOCK_EXPECTS(hv.dim() == dim_, "SealedEncoder: feature HV dimension mismatch");
+    }
+    for (const auto& hv : value_hvs_) {
+        HDLOCK_EXPECTS(hv.dim() == dim_, "SealedEncoder: value HV dimension mismatch");
+    }
+}
+
+hdc::IntHV SealedEncoder::encode(std::span<const int> levels) const {
+    check_levels(levels);
+    return hdc::encode_with_hvs(feature_hvs_, value_hvs_, levels);
+}
+
+}  // namespace hdlock::api

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file sealed_encoder.hpp
+/// The device-side encoder: materialized hypervectors, no key.
+///
+/// A deployed HDLock device never stores the key outside tamper-proof
+/// memory; what its datapath actually holds are the *materialized* feature
+/// hypervectors (the Eq. 9 products) and the level-ordered value
+/// hypervectors.  SealedEncoder is exactly that state and nothing more — it
+/// has no key member, no store pointer and no accessor that could reproduce
+/// either, so code handed a SealedEncoder (see api::Device) cannot reach the
+/// secrets by construction.  Contrast LockedEncoder, the owner-side view,
+/// which keeps the key for auditing and re-export.
+
+#include <vector>
+
+#include "hdc/encoder.hpp"
+
+namespace hdlock::api {
+
+class SealedEncoder final : public hdc::Encoder {
+public:
+    /// \param feature_hvs  materialized FeaHV_i, one per feature
+    /// \param value_hvs    ValHVs in *semantic level order* (secret mapping
+    ///                     already applied)
+    /// \param tie_seed     sign(0) tie-break seed (see hdc::Encoder)
+    SealedEncoder(std::vector<hdc::BinaryHV> feature_hvs, std::vector<hdc::BinaryHV> value_hvs,
+                  std::uint64_t tie_seed);
+
+    std::size_t dim() const override { return dim_; }
+    std::size_t n_features() const override { return feature_hvs_.size(); }
+    std::size_t n_levels() const override { return value_hvs_.size(); }
+
+    hdc::IntHV encode(std::span<const int> levels) const override;
+
+private:
+    std::size_t dim_ = 0;
+    std::vector<hdc::BinaryHV> feature_hvs_;
+    std::vector<hdc::BinaryHV> value_hvs_;
+};
+
+}  // namespace hdlock::api

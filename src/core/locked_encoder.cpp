@@ -55,8 +55,32 @@ const hdc::BinaryHV& LockedEncoder::value_hv(std::size_t level) const {
 }
 
 Deployment provision(const DeploymentConfig& config) {
-    HDLOCK_EXPECTS(config.n_features > 0, "provision: n_features must be positive");
+    // Reject degenerate configurations up front with a ConfigError naming the
+    // offending field, instead of failing deep inside store/key generation
+    // with a generic contract violation.
+    if (config.n_features == 0) {
+        throw ConfigError("provision: n_features must be > 0");
+    }
+    if (config.dim == 0) {
+        throw ConfigError("provision: dim must be > 0");
+    }
+    if (config.n_levels < 2) {
+        throw ConfigError("provision: n_levels must be >= 2 (got " +
+                          std::to_string(config.n_levels) + ")");
+    }
     const std::size_t pool_size = config.pool_size == 0 ? config.n_features : config.pool_size;
+    if (config.n_layers == 0 && pool_size < config.n_features) {
+        throw ConfigError("provision: the unprotected baseline (n_layers = 0) maps each feature "
+                          "to a distinct pool entry; pool_size " + std::to_string(pool_size) +
+                          " < n_features " + std::to_string(config.n_features));
+    }
+    if (config.n_layers > 0 && static_cast<double>(pool_size) * static_cast<double>(config.dim) <
+                                   2.0 * static_cast<double>(config.n_features)) {
+        throw ConfigError("provision: sub-key space pool_size * dim = " +
+                          std::to_string(pool_size * config.dim) +
+                          " is too small to draw distinct sub-keys for " +
+                          std::to_string(config.n_features) + " features");
+    }
 
     PublicStoreConfig store_config;
     store_config.dim = config.dim;

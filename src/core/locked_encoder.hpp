@@ -81,6 +81,11 @@ struct Deployment {
 /// Provisions public memory, key and encoder in one step. The SecureStore is
 /// returned unsealed so owner-side tooling (key export, re-provisioning) can
 /// still read it; call secure->seal() to enter the deployed state.
+///
+/// Degenerate configurations (n_features == 0, dim == 0, n_levels < 2, a
+/// pool too small for the requested key shape) throw ConfigError naming the
+/// offending field.  New code should prefer api::Owner::provision, which
+/// wraps this call.
 Deployment provision(const DeploymentConfig& config);
 
 /// Materializes a full locked *symbol* memory: entry i is the Eq. 9 product

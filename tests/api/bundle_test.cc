@@ -1,0 +1,177 @@
+// Tests for the `.hdlk` deployment bundle (src/api/bundle.*): round-trips of
+// both variants, corrupt/short-file rejection, and the key-stripping
+// guarantee of export_device().
+
+#include "api/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "api/facades.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+DeploymentConfig small_config() {
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = 16;
+    config.n_levels = 4;
+    config.n_layers = 2;
+    config.seed = 31;
+    return config;
+}
+
+/// A trained owner bundle (discretizer + model populated).
+api::DeploymentBundle trained_owner_bundle() {
+    data::SyntheticSpec spec;
+    spec.name = "bundle";
+    spec.n_features = 16;
+    spec.n_classes = 3;
+    spec.n_train = 120;
+    spec.n_test = 60;
+    spec.n_levels = 4;
+    spec.seed = 8;
+    const auto benchmark = data::make_benchmark(spec);
+    api::Owner owner = api::Owner::provision(small_config());
+    owner.train(benchmark.train);
+    return owner.to_bundle();
+}
+
+std::string serialize(const api::DeploymentBundle& bundle) {
+    std::ostringstream out(std::ios::binary);
+    util::BinaryWriter writer(out);
+    bundle.save(writer);
+    return out.str();
+}
+
+api::DeploymentBundle deserialize(const std::string& bytes) {
+    std::istringstream in(bytes, std::ios::binary);
+    util::BinaryReader reader(in);
+    return api::DeploymentBundle::load(reader);
+}
+
+std::filesystem::path temp_path(const std::string& name) {
+    return std::filesystem::temp_directory_path() / name;
+}
+
+}  // namespace
+
+TEST(DeploymentBundle, OwnerRoundTripPreservesEverySection) {
+    const auto bundle = trained_owner_bundle();
+    const auto restored = deserialize(serialize(bundle));
+
+    EXPECT_EQ(restored.kind, api::BundleKind::owner);
+    EXPECT_EQ(restored.tie_seed, bundle.tie_seed);
+    EXPECT_TRUE(restored.has_key());
+    EXPECT_EQ(*restored.key, *bundle.key);
+    EXPECT_EQ(*restored.value_mapping, *bundle.value_mapping);
+    EXPECT_EQ(restored.store->pool_size(), bundle.store->pool_size());
+    for (std::size_t p = 0; p < bundle.store->pool_size(); ++p) {
+        EXPECT_EQ(restored.store->base(p), bundle.store->base(p));
+    }
+    ASSERT_TRUE(restored.has_discretizer());
+    EXPECT_EQ(*restored.discretizer, *bundle.discretizer);
+    ASSERT_TRUE(restored.has_model());
+    EXPECT_EQ(restored.model->n_classes(), bundle.model->n_classes());
+}
+
+TEST(DeploymentBundle, UntrainedOwnerRoundTripsWithoutOptionalSections) {
+    const auto bundle =
+        api::DeploymentBundle::from_deployment(provision(small_config()));
+    const auto restored = deserialize(serialize(bundle));
+    EXPECT_TRUE(restored.has_key());
+    EXPECT_FALSE(restored.has_discretizer());
+    EXPECT_FALSE(restored.has_model());
+}
+
+TEST(DeploymentBundle, DeviceRoundTripReproducesEncodings) {
+    const auto owner = trained_owner_bundle();
+    const auto device = deserialize(serialize(owner.export_device()));
+
+    EXPECT_EQ(device.kind, api::BundleKind::device);
+    EXPECT_FALSE(device.has_key());
+    const auto owner_encoder = owner.make_encoder();
+    const auto device_encoder = device.make_encoder();
+    util::Xoshiro256ss rng(55);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int> levels(16);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(4));
+        EXPECT_EQ(device_encoder->encode(levels), owner_encoder->encode(levels));
+        EXPECT_EQ(device_encoder->encode_binary(levels), owner_encoder->encode_binary(levels));
+    }
+}
+
+TEST(DeploymentBundle, ExportedDeviceFileContainsNoKeyBytes) {
+    const auto owner = trained_owner_bundle();
+    const std::string owner_bytes = serialize(owner);
+    const std::string device_bytes = serialize(owner.export_device());
+
+    // The owner artifact carries the tagged secret section; the device
+    // artifact must not contain those section tags anywhere in the file.
+    EXPECT_NE(owner_bytes.find("SECR"), std::string::npos);
+    EXPECT_NE(owner_bytes.find("LKEY"), std::string::npos);
+    EXPECT_EQ(device_bytes.find("SECR"), std::string::npos);
+    EXPECT_EQ(device_bytes.find("LKEY"), std::string::npos);
+    EXPECT_EQ(device_bytes.find("VMAP"), std::string::npos);
+}
+
+TEST(DeploymentBundle, LoadOwnerRefusesDeviceFileAndViceVersa) {
+    const auto owner = trained_owner_bundle();
+    const auto owner_path = temp_path("hdlock_bundle_owner_test.hdlk");
+    const auto device_path = temp_path("hdlock_bundle_device_test.hdlk");
+    owner.save_owner(owner_path);
+    owner.export_device(device_path);
+
+    EXPECT_NO_THROW(api::DeploymentBundle::load_owner(owner_path));
+    EXPECT_NO_THROW(api::DeploymentBundle::load_device(device_path));
+    EXPECT_THROW(api::DeploymentBundle::load_owner(device_path), FormatError);
+    EXPECT_THROW(api::DeploymentBundle::load_device(owner_path), FormatError);
+
+    std::filesystem::remove(owner_path);
+    std::filesystem::remove(device_path);
+}
+
+TEST(DeploymentBundle, RejectsWrongMagicAndVersion) {
+    std::string bytes = serialize(trained_owner_bundle());
+    {
+        std::string bad = bytes;
+        bad[0] = 'X';  // corrupt the magic
+        EXPECT_THROW(deserialize(bad), FormatError);
+    }
+    {
+        std::string bad = bytes;
+        bad[4] = char(0xFF);  // absurd version
+        EXPECT_THROW(deserialize(bad), FormatError);
+    }
+}
+
+TEST(DeploymentBundle, RejectsTruncatedFiles) {
+    const std::string bytes = serialize(trained_owner_bundle());
+    // Cutting the file anywhere — from the header through one byte short of
+    // the HEND trailer — must throw FormatError, never return a bundle.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{10}, bytes.size() / 2, bytes.size() - 1}) {
+        EXPECT_THROW(deserialize(bytes.substr(0, keep)), FormatError) << "kept " << keep;
+    }
+}
+
+TEST(DeploymentBundle, RejectsUnknownSectionFlags) {
+    std::string bytes = serialize(trained_owner_bundle());
+    // Flags byte sits after "HDLK" + u32 version + u8 kind + u64 tie_seed.
+    bytes[4 + 4 + 1 + 8] = char(0x80);
+    EXPECT_THROW(deserialize(bytes), FormatError);
+}
+
+TEST(DeploymentBundle, SerializedBytesMatchesFileSize) {
+    const auto bundle = trained_owner_bundle();
+    const auto path = temp_path("hdlock_bundle_size_test.hdlk");
+    bundle.save_owner(path);
+    EXPECT_EQ(bundle.serialized_bytes(), std::filesystem::file_size(path));
+    std::filesystem::remove(path);
+}

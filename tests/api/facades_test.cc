@@ -1,0 +1,159 @@
+// Tests for the privilege-separated facades (src/api/facades.*): Owner
+// lifecycle (provision/train/save/load/audit/rotate/export) and the Device's
+// key-free surface.
+
+#include "api/facades.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <type_traits>
+
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+data::SyntheticBenchmark benchmark() {
+    data::SyntheticSpec spec;
+    spec.name = "facades";
+    spec.n_features = 20;
+    spec.n_classes = 3;
+    spec.n_train = 150;
+    spec.n_test = 60;
+    spec.n_levels = 4;
+    spec.noise = 0.12;
+    spec.seed = 19;
+    return data::make_benchmark(spec);
+}
+
+api::Owner trained_owner() {
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = 20;
+    config.n_levels = 4;
+    config.n_layers = 2;
+    config.seed = 23;
+    api::Owner owner = api::Owner::provision(config);
+    owner.train(benchmark().train);
+    return owner;
+}
+
+}  // namespace
+
+// The type-level boundary: a SealedEncoder handed out by a Device exposes
+// only the hdc::Encoder interface — no key(), store() or feature_hv()
+// members exist on it (LockedEncoder has all three).
+static_assert(!std::is_base_of_v<LockedEncoder, api::SealedEncoder>,
+              "the device encoder must not inherit the privileged accessors");
+
+TEST(OwnerFacade, ProvisionTrainEvaluate) {
+    const auto data = benchmark();
+    api::Owner owner = api::Owner::provision([] {
+        DeploymentConfig config;
+        config.dim = 1024;
+        config.n_features = 20;
+        config.n_levels = 4;
+        config.n_layers = 2;
+        config.seed = 23;
+        return config;
+    }());
+    EXPECT_FALSE(owner.trained());
+    EXPECT_THROW(owner.model(), ContractViolation);
+
+    const double train_accuracy = owner.train(data.train);
+    EXPECT_TRUE(owner.trained());
+    EXPECT_GT(train_accuracy, 0.8);
+    EXPECT_GT(owner.evaluate(data.test), 0.8);
+    EXPECT_TRUE(owner.audit().ok());
+}
+
+TEST(OwnerFacade, SaveLoadRoundTripPreservesBehaviour) {
+    const auto data = benchmark();
+    const api::Owner owner = trained_owner();
+    const auto path = std::filesystem::temp_directory_path() / "hdlock_facade_owner.hdlk";
+    owner.save(path);
+    const api::Owner restored = api::Owner::load(path);
+    std::filesystem::remove(path);
+
+    EXPECT_EQ(restored.key(), owner.key());
+    EXPECT_EQ(restored.value_mapping(), owner.value_mapping());
+    EXPECT_TRUE(restored.trained());
+    for (std::size_t s = 0; s < data.test.n_samples(); ++s) {
+        EXPECT_EQ(restored.predict_row(data.test.X.row(s)), owner.predict_row(data.test.X.row(s)));
+    }
+}
+
+TEST(OwnerFacade, DeviceMatchesOwnerPredictions) {
+    const auto data = benchmark();
+    const api::Owner owner = trained_owner();
+    const api::Device device = owner.make_device();
+
+    ASSERT_TRUE(device.can_serve());
+    const auto batch = device.predict(data.test.X);
+    for (std::size_t s = 0; s < data.test.n_samples(); ++s) {
+        EXPECT_EQ(batch[s], owner.predict_row(data.test.X.row(s)));
+    }
+    EXPECT_DOUBLE_EQ(device.evaluate(data.test), owner.evaluate(data.test));
+}
+
+TEST(OwnerFacade, ExportedDeviceFileRoundTrips) {
+    const auto data = benchmark();
+    const api::Owner owner = trained_owner();
+    const auto path = std::filesystem::temp_directory_path() / "hdlock_facade_device.hdlk";
+    owner.export_device(path);
+    const api::Device device = api::Device::load(path);
+
+    // The same path must refuse to masquerade as an owner.
+    EXPECT_THROW(api::Owner::load(path), FormatError);
+    std::filesystem::remove(path);
+
+    EXPECT_DOUBLE_EQ(device.evaluate(data.test), owner.evaluate(data.test));
+}
+
+TEST(OwnerFacade, RotateKeyChangesEncodingsAndDropsModel) {
+    api::Owner owner = trained_owner();
+    const LockKey before = owner.key();
+    const std::vector<int> probe(20, 1);
+    const auto encoding_before = owner.encoder()->encode(probe);
+
+    owner.rotate_key(/*seed=*/777);
+    EXPECT_NE(owner.key(), before);
+    EXPECT_TRUE(owner.audit().ok());
+    EXPECT_NE(owner.encoder()->encode(probe), encoding_before);
+    // The old model was fitted against the old feature hypervectors.
+    EXPECT_FALSE(owner.trained());
+
+    // Retraining restores a servable deployment.
+    const auto data = benchmark();
+    owner.train(data.train);
+    EXPECT_GT(owner.evaluate(data.test), 0.8);
+}
+
+TEST(DeviceFacade, UntrainedExportCannotServeButStillEncodes) {
+    DeploymentConfig config;
+    config.dim = 512;
+    config.n_features = 10;
+    config.n_levels = 4;
+    config.n_layers = 1;
+    const api::Owner owner = api::Owner::provision(config);
+    const api::Device device = owner.make_device();
+
+    EXPECT_FALSE(device.can_serve());
+    EXPECT_THROW(device.open_session(), ContractViolation);
+    // Encoding (the attack surface) still works without a model.
+    const std::vector<int> levels(10, 0);
+    EXPECT_EQ(device.encoder().encode(levels), owner.encoder()->encode(levels));
+}
+
+TEST(DeviceFacade, EncoderIsTheSealedBaseInterface) {
+    const api::Owner owner = trained_owner();
+    const api::Device device = owner.make_device();
+    // The exposed encoder is an hdc::Encoder; dynamic_cast back to the
+    // privileged owner-side type must fail — there is no LockedEncoder (and
+    // hence no key) anywhere behind the device facade.
+    const hdc::Encoder* encoder = &device.encoder();
+    EXPECT_EQ(dynamic_cast<const LockedEncoder*>(encoder), nullptr);
+    EXPECT_NE(dynamic_cast<const api::SealedEncoder*>(encoder), nullptr);
+}

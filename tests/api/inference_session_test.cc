@@ -1,0 +1,147 @@
+// Tests for batched serving (src/api/inference_session.*): bit-identity with
+// the sequential per-row path at several thread counts, input validation,
+// and the served-rows counter.
+
+#include "api/inference_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/facades.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/classifier.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+struct Pipeline {
+    data::SyntheticBenchmark data;
+    api::Owner owner;
+    hdc::HdcClassifier classifier;  // the legacy per-row reference path
+};
+
+Pipeline make_pipeline(hdc::ModelKind kind) {
+    data::SyntheticSpec spec;
+    spec.name = "session";
+    spec.n_features = 32;
+    spec.n_classes = 4;
+    spec.n_train = 200;
+    spec.n_test = 140;
+    spec.n_levels = 8;
+    spec.noise = 0.15;
+    spec.seed = 3;
+    auto data = data::make_benchmark(spec);
+
+    DeploymentConfig config;
+    config.dim = 1024;
+    config.n_features = spec.n_features;
+    config.n_levels = spec.n_levels;
+    config.n_layers = 2;
+    config.seed = 41;
+    api::Owner owner = api::Owner::provision(config);
+    api::TrainOptions options;
+    options.kind = kind;
+    owner.train(data.train, options);
+
+    // The pre-api reference pipeline over the *same* encoder and data: its
+    // predict_row is the ground truth the batched path must reproduce.
+    hdc::PipelineConfig pipeline;
+    pipeline.train.kind = kind;
+    auto classifier = hdc::HdcClassifier::fit(data.train, owner.encoder(), pipeline);
+    return Pipeline{std::move(data), std::move(owner), std::move(classifier)};
+}
+
+}  // namespace
+
+class InferenceSessionThreads
+    : public ::testing::TestWithParam<std::tuple<hdc::ModelKind, std::size_t>> {};
+
+TEST_P(InferenceSessionThreads, BatchMatchesPerRowPredictRowBitExactly) {
+    const auto [kind, n_threads] = GetParam();
+    const Pipeline pipeline = make_pipeline(kind);
+
+    api::SessionOptions options;
+    options.n_threads = n_threads;
+    options.min_rows_per_thread = 1;  // force the full worker fan-out
+    const auto session = pipeline.owner.open_session(options);
+    EXPECT_EQ(session.n_threads(), n_threads);
+
+    const auto batch = session.predict(pipeline.data.test.X);
+    ASSERT_EQ(batch.size(), pipeline.data.test.n_samples());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        EXPECT_EQ(batch[s], pipeline.classifier.predict_row(pipeline.data.test.X.row(s)))
+            << "row " << s << " at " << n_threads << " thread(s)";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndThreads, InferenceSessionThreads,
+    ::testing::Combine(::testing::Values(hdc::ModelKind::binary, hdc::ModelKind::non_binary),
+                       ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{8})),
+    [](const ::testing::TestParamInfo<std::tuple<hdc::ModelKind, std::size_t>>& info) {
+        const bool binary = std::get<0>(info.param) == hdc::ModelKind::binary;
+        return std::string(binary ? "binary" : "nonbinary") + "_T" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(InferenceSession, ThreadCountsAgreeWithEachOther) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    std::vector<int> reference;
+    for (const std::size_t n_threads : {1u, 2u, 8u}) {
+        api::SessionOptions options;
+        options.n_threads = n_threads;
+        options.min_rows_per_thread = 1;
+        const auto predictions =
+            pipeline.owner.open_session(options).predict(pipeline.data.test.X);
+        if (reference.empty()) {
+            reference = predictions;
+        } else {
+            EXPECT_EQ(predictions, reference) << n_threads << " threads";
+        }
+    }
+}
+
+TEST(InferenceSession, EmptyBatchAndShapeValidation) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    const auto session = pipeline.owner.open_session();
+
+    EXPECT_TRUE(session.predict(util::Matrix<float>()).empty());
+    // Wrong column count is a contract violation, not silent garbage.
+    EXPECT_THROW(session.predict(util::Matrix<float>(3, 7)), ContractViolation);
+    EXPECT_THROW(session.predict_row(std::vector<float>(7)), ContractViolation);
+}
+
+TEST(InferenceSession, CountsServedRows) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    const auto session = pipeline.owner.open_session(options);
+
+    EXPECT_EQ(session.rows_served(), 0u);
+    session.predict(pipeline.data.test.X);
+    EXPECT_EQ(session.rows_served(), pipeline.data.test.n_samples());
+    session.predict_row(pipeline.data.test.X.row(0));
+    EXPECT_EQ(session.rows_served(), pipeline.data.test.n_samples() + 1);
+}
+
+TEST(InferenceSession, SmallBatchStaysSequentialButIdentical) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.n_threads = 8;
+    options.min_rows_per_thread = 1000;  // batches below 8000 rows stay inline
+    const auto session = pipeline.owner.open_session(options);
+    const auto predictions = session.predict(pipeline.data.test.X);
+    for (std::size_t s = 0; s < predictions.size(); ++s) {
+        EXPECT_EQ(predictions[s], pipeline.classifier.predict_row(pipeline.data.test.X.row(s)));
+    }
+}
+
+TEST(InferenceSession, RejectsMismatchedComponents) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    // Discretizer with the wrong level count for the encoder.
+    const auto bad_disc = hdc::MinMaxDiscretizer::with_range(0.0f, 1.0f, 3);
+    EXPECT_THROW(api::InferenceSession(pipeline.owner.encoder(), bad_disc,
+                                       pipeline.owner.model()),
+                 ContractViolation);
+}

@@ -234,5 +234,40 @@ TEST(Provision, DeterministicPerSeed) {
 
 TEST(Provision, RejectsEmptyFeatureCount) {
     DeploymentConfig config;
-    EXPECT_THROW(provision(config), ContractViolation);
+    EXPECT_THROW(provision(config), hdlock::ConfigError);
+}
+
+TEST(Provision, RejectsDegenerateConfigsWithConfigError) {
+    DeploymentConfig good;
+    good.dim = 256;
+    good.n_features = 4;
+    good.n_levels = 2;
+    EXPECT_NO_THROW(provision(good));
+
+    // Each degenerate field fails up front with ConfigError, not deep inside
+    // store/key generation with a generic contract violation.
+    DeploymentConfig zero_dim = good;
+    zero_dim.dim = 0;
+    EXPECT_THROW(provision(zero_dim), hdlock::ConfigError);
+
+    DeploymentConfig one_level = good;
+    one_level.n_levels = 1;
+    EXPECT_THROW(provision(one_level), hdlock::ConfigError);
+
+    DeploymentConfig zero_levels = good;
+    zero_levels.n_levels = 0;
+    EXPECT_THROW(provision(zero_levels), hdlock::ConfigError);
+
+    // Plain baseline needs one distinct pool entry per feature.
+    DeploymentConfig tiny_pool = good;
+    tiny_pool.n_layers = 0;
+    tiny_pool.pool_size = 2;
+    EXPECT_THROW(provision(tiny_pool), hdlock::ConfigError);
+
+    // Locked keys need a sub-key space able to keep features distinct.
+    DeploymentConfig tiny_space = good;
+    tiny_space.dim = 1;
+    tiny_space.pool_size = 1;
+    tiny_space.n_layers = 2;
+    EXPECT_THROW(provision(tiny_space), hdlock::ConfigError);
 }

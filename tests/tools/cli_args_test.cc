@@ -1,0 +1,94 @@
+// Tests for the CLI flag parser (tools/cli_args.hpp): the trailing-flag and
+// unknown-flag usage errors, plus the value accessors.
+
+#include "cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using hdlock::cli::Args;
+using hdlock::cli::UsageError;
+
+/// argv helper: builds a mutable char* array from string literals.
+struct Argv {
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+        for (auto& arg : storage) pointers.push_back(arg.data());
+    }
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char** argv() { return pointers.data(); }
+
+    std::vector<std::string> storage;
+    std::vector<char*> pointers;
+};
+
+Args parse(std::vector<std::string> args) {
+    Argv argv(std::move(args));
+    return Args(argv.argc(), argv.argv(), 0);
+}
+
+}  // namespace
+
+TEST(CliArgs, ParsesBothFlagForms) {
+    const Args args = parse({"--dir=out", "--features", "24"});
+    EXPECT_EQ(args.require("dir"), "out");
+    EXPECT_EQ(args.get_u64("features", 0), 24u);
+}
+
+TEST(CliArgs, TrailingFlagWithoutValueIsUsageError) {
+    // The historical bug: `hdlock_cli provision --dir out --features` must
+    // be rejected, not silently parsed past the end of argv.
+    EXPECT_THROW(parse({"--dir", "out", "--features"}), UsageError);
+    EXPECT_THROW(parse({"--features"}), UsageError);
+}
+
+TEST(CliArgs, BareArgumentsAreUsageErrors) {
+    EXPECT_THROW(parse({"out"}), UsageError);
+    EXPECT_THROW(parse({"--"}), UsageError);
+    EXPECT_THROW(parse({"-dir", "out"}), UsageError);
+}
+
+TEST(CliArgs, UnknownFlagsAreReportedPerSubcommand) {
+    const Args args = parse({"--dir", "out", "--featurs", "24"});  // typo
+    EXPECT_NO_THROW(args.check_known("provision", {"dir", "featurs"}));
+    try {
+        args.check_known("provision", {"dir", "features", "dim"});
+        FAIL() << "expected UsageError";
+    } catch (const UsageError& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("provision"), std::string::npos);
+        EXPECT_NE(message.find("--featurs"), std::string::npos);
+        EXPECT_EQ(message.find("--dir"), std::string::npos) << "known flag reported as unknown";
+    }
+}
+
+TEST(CliArgs, RequireAndFallbacks) {
+    const Args args = parse({"--dir", "out"});
+    EXPECT_EQ(args.require("dir"), "out");
+    EXPECT_THROW(args.require("data"), UsageError);
+    EXPECT_EQ(args.get("kind", "binary"), "binary");
+    EXPECT_EQ(args.get_u64("epochs", 10), 10u);
+    EXPECT_TRUE(args.has("dir"));
+    EXPECT_FALSE(args.has("data"));
+}
+
+TEST(CliArgs, NonNumericValueForNumericFlagIsUsageError) {
+    const Args args = parse({"--features", "many", "--dim", "12x", "--seed", "7"});
+    EXPECT_THROW(args.get_u64("features", 0), UsageError);
+    EXPECT_THROW(args.get_u64("dim", 0), UsageError);
+    EXPECT_EQ(args.get_u64("seed", 0), 7u);
+}
+
+TEST(CliArgs, NegativeAndOverflowingNumbersAreUsageErrors) {
+    // std::stoull would wrap "-1" to 2^64 - 1; the parser must reject it.
+    const Args args = parse({"--dim", "-1", "--seed", "99999999999999999999999"});
+    EXPECT_THROW(args.get_u64("dim", 0), UsageError);
+    EXPECT_THROW(args.get_u64("seed", 0), UsageError);
+}
+
+TEST(CliArgs, EmptyFlagValueViaEqualsIsAllowed) {
+    const Args args = parse({"--name="});
+    EXPECT_EQ(args.require("name"), "");
+}

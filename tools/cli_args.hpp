@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file cli_args.hpp
+/// Flag parsing for hdlock_cli, split out so it is unit-testable.
+///
+/// Grammar: `--flag=value` or `--flag value`.  Two historical parser holes
+/// are closed here and covered by tests/tools/cli_args_test.cc:
+///
+///  - a trailing `--flag` with no value is a UsageError (the old parser's
+///    bounds handling made it easy to silently consume past the end of the
+///    argument list);
+///  - each subcommand declares its known flags via check_known(), so a typo
+///    like `--featurs` is reported by name instead of being ignored.
+///
+/// UsageError is the "exit code 2" class: the caller printed something the
+/// tool cannot interpret, as opposed to a runtime failure (exit 1).
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hdlock::cli {
+
+/// Malformed command line: unknown flag, missing value, non-numeric number.
+class UsageError : public Error {
+public:
+    using Error::Error;
+};
+
+class Args {
+public:
+    /// Parses argv[first..argc). Throws UsageError on a bare non-flag
+    /// argument or a trailing flag with no value.
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (!arg.starts_with("--") || arg.size() == 2) {
+                throw UsageError("unexpected argument: " + arg);
+            }
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            } else if (i + 1 < argc) {
+                values_[arg.substr(2)] = argv[++i];
+            } else {
+                throw UsageError("flag needs a value: " + arg);
+            }
+        }
+    }
+
+    /// Throws UsageError naming every flag not in `known` — call once per
+    /// subcommand with its full flag list.
+    void check_known(std::string_view subcommand,
+                     std::initializer_list<std::string_view> known) const {
+        std::vector<std::string> unknown;
+        for (const auto& [name, value] : values_) {
+            bool found = false;
+            for (const auto candidate : known) found = found || candidate == name;
+            if (!found) unknown.push_back("--" + name);
+        }
+        if (!unknown.empty()) {
+            std::string message = "unknown flag(s) for '" + std::string(subcommand) + "':";
+            for (const auto& flag : unknown) message += " " + flag;
+            throw UsageError(message);
+        }
+    }
+
+    std::string require(const std::string& name) const {
+        const auto found = values_.find(name);
+        if (found == values_.end()) throw UsageError("missing required flag --" + name);
+        return found->second;
+    }
+
+    std::string get(const std::string& name, const std::string& fallback) const {
+        const auto found = values_.find(name);
+        return found == values_.end() ? fallback : found->second;
+    }
+
+    std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+        const auto found = values_.find(name);
+        if (found == values_.end()) return fallback;
+        const std::string& raw = found->second;
+        // Digits only: std::stoull would happily wrap "-1" to 2^64 - 1.
+        if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
+            throw UsageError("flag --" + name + " expects a non-negative number, got '" + raw +
+                             "'");
+        }
+        try {
+            return std::stoull(raw);
+        } catch (const std::exception&) {  // out_of_range
+            throw UsageError("flag --" + name + " value is out of range: '" + raw + "'");
+        }
+    }
+
+    bool has(const std::string& name) const { return values_.contains(name); }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace hdlock::cli

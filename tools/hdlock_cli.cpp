@@ -1,22 +1,27 @@
 /// \file hdlock_cli.cpp
-/// Command-line front end over the library's serialized artifacts, so a
-/// deployment can be provisioned, trained, evaluated and red-teamed without
+/// Command-line front end over the api:: deployment layer, so a deployment
+/// can be provisioned, trained, evaluated, exported and red-teamed without
 /// writing C++.
 ///
-/// Artifacts on disk (all via util/serialize.hpp):
-///   store.bin    PublicStore        (public hypervector memory)
-///   key.bin      LockKey            (tamper-proof half of the deployment)
-///   mapping.bin  serialized ValueMapping (level -> slot)
-///   model.hdc    HdcModel           disc.bin  MinMaxDiscretizer
+/// Artifacts on disk (the `.hdlk` bundle format of api/bundle.hpp):
+///   owner.hdlk   owner bundle: PublicStore + SECRET section (LockKey +
+///                ValueMapping) + fitted MinMaxDiscretizer + trained
+///                HdcModel.  Never leaves the owner's infrastructure.
+///   device.hdlk  device bundle: PublicStore + materialized encoder state
+///                (no key bytes anywhere in the file) + discretizer + model.
+///                This is what ships.
 ///
 /// Subcommands:
 ///   provision --dir D --features N [--dim D] [--levels M] [--layers L]
-///             [--pool P] [--seed S]          create a deployment + audit it
+///             [--pool P] [--seed S]          create owner.hdlk + audit it
 ///   audit     --dir D                        re-audit key vs. store
 ///   train     --dir D --data train.csv [--kind binary|nonbinary]
-///             [--epochs E]                   fit model + discretizer
-///   eval      --dir D --data test.csv        accuracy of the stored model
-///   attack    --dir D --data train.csv --test test.csv
+///             [--epochs E]                   fit model; refresh device.hdlk
+///   export    --dir D                        (re)write device.hdlk
+///   eval      --dir D --data test.csv [--side auto|owner|device]
+///             [--threads T]                  batched accuracy via
+///                                            api::InferenceSession
+///   attack    --dir D --data train.csv --test test.csv [--kind K] [--seed S]
 ///                                            replay the Sec. 3.2 theft
 ///   complexity --features N [--dim D] [--pool P] [--layers L]
 ///                                            closed-form guess counts
@@ -25,113 +30,42 @@
 
 #include <filesystem>
 #include <iostream>
-#include <map>
-#include <optional>
 #include <string>
 
+#include "api/api.hpp"
 #include "attack/ip_theft.hpp"
 #include "attack/locked_theft.hpp"
+#include "cli_args.hpp"
 #include "core/complexity.hpp"
-#include "core/key_tools.hpp"
-#include "core/locked_encoder.hpp"
 #include "data/loaders.hpp"
-#include "hdc/classifier.hpp"
-#include "util/serialize.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace hdlock;
+using cli::Args;
+using cli::UsageError;
 namespace fs = std::filesystem;
 
 constexpr std::uint64_t kCliTieSeed = 0x7E11;
 
-/// Minimal --flag=value / --flag value parser; flags are string-typed and
-/// validated by the subcommand.
-class Args {
-public:
-    Args(int argc, char** argv, int first) {
-        for (int i = first; i < argc; ++i) {
-            std::string arg = argv[i];
-            if (!arg.starts_with("--")) throw ConfigError("unexpected argument: " + arg);
-            const auto eq = arg.find('=');
-            if (eq != std::string::npos) {
-                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-            } else if (i + 1 < argc) {
-                values_[arg.substr(2)] = argv[++i];
-            } else {
-                throw ConfigError("flag needs a value: " + arg);
-            }
-        }
-    }
-
-    std::string require(const std::string& name) const {
-        const auto found = values_.find(name);
-        if (found == values_.end()) throw ConfigError("missing required flag --" + name);
-        return found->second;
-    }
-
-    std::string get(const std::string& name, const std::string& fallback) const {
-        const auto found = values_.find(name);
-        return found == values_.end() ? fallback : found->second;
-    }
-
-    std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
-        const auto found = values_.find(name);
-        return found == values_.end() ? fallback : std::stoull(found->second);
-    }
-
-private:
-    std::map<std::string, std::string> values_;
-};
-
-/// ValueMapping is a plain vector; wrap it for the save/load helpers.
-struct MappingFile {
-    ValueMapping mapping;
-
-    void save(util::BinaryWriter& writer) const {
-        writer.write_tag("VMAP");
-        writer.write_u32(static_cast<std::uint32_t>(mapping.size()));
-        for (const auto slot : mapping) writer.write_u32(slot);
-    }
-    static MappingFile load(util::BinaryReader& reader) {
-        reader.expect_tag("VMAP");
-        MappingFile file;
-        file.mapping.resize(reader.read_u32());
-        for (auto& slot : file.mapping) slot = reader.read_u32();
-        return file;
-    }
-};
-
 struct Paths {
-    fs::path store, key, mapping, model, disc;
+    fs::path owner, device;
 
     explicit Paths(const fs::path& dir)
-        : store(dir / "store.bin"),
-          key(dir / "key.bin"),
-          mapping(dir / "mapping.bin"),
-          model(dir / "model.hdc"),
-          disc(dir / "disc.bin") {}
+        : owner(dir / "owner.hdlk"), device(dir / "device.hdlk") {}
 };
-
-std::shared_ptr<const LockedEncoder> load_encoder(const Paths& paths) {
-    auto store = std::make_shared<const PublicStore>(util::load_file<PublicStore>(paths.store));
-    auto key = util::load_file<LockKey>(paths.key);
-    auto mapping = util::load_file<MappingFile>(paths.mapping).mapping;
-    return std::make_shared<const LockedEncoder>(store, std::move(key), std::move(mapping),
-                                                 kCliTieSeed);
-}
 
 hdc::ModelKind parse_kind(const std::string& kind) {
     if (kind == "binary") return hdc::ModelKind::binary;
     if (kind == "nonbinary" || kind == "non-binary") return hdc::ModelKind::non_binary;
-    throw ConfigError("unknown --kind (use binary|nonbinary): " + kind);
+    throw UsageError("unknown --kind (use binary|nonbinary): " + kind);
 }
 
 int cmd_provision(const Args& args) {
+    args.check_known("provision", {"dir", "features", "dim", "levels", "layers", "pool", "seed"});
     const fs::path dir = args.require("dir");
     fs::create_directories(dir);
-    const Paths paths(dir);
 
     DeploymentConfig config;
     config.n_features = args.get_u64("features", 0);
@@ -141,98 +75,103 @@ int cmd_provision(const Args& args) {
     config.pool_size = args.get_u64("pool", 0);
     config.seed = args.get_u64("seed", 1);
     config.tie_seed = kCliTieSeed;
-    if (config.n_features == 0) throw ConfigError("--features is required and must be > 0");
+    if (config.n_features == 0) throw UsageError("--features is required and must be > 0");
 
-    const Deployment deployment = provision(config);
-    util::save_file(*deployment.store, paths.store);
-    util::save_file(deployment.secure->key(), paths.key);
-    util::save_file(MappingFile{deployment.secure->value_mapping()}, paths.mapping);
+    const api::Owner owner = api::Owner::provision(config);
+    const Paths paths(dir);
+    owner.save(paths.owner);
 
-    const auto audit = audit_key(deployment.secure->key(), *deployment.store);
-    std::cout << "provisioned " << dir.string() << " (N=" << config.n_features
+    const auto audit = owner.audit();
+    std::cout << "provisioned " << paths.owner.string() << " (N=" << config.n_features
               << ", D=" << config.dim << ", M=" << config.n_levels << ", L=" << config.n_layers
-              << ", P=" << deployment.store->pool_size() << ")\n"
+              << ", P=" << owner.store().pool_size() << ")\n"
               << "key audit: " << audit.summary() << "\n"
               << "attack complexity: "
               << util::format_pow10(complexity::log10_guesses(
-                     config.n_features, config.dim, deployment.store->pool_size(),
-                     config.n_layers))
+                     config.n_features, config.dim, owner.store().pool_size(), config.n_layers))
               << " guesses\n";
     return audit.ok() ? 0 : 1;
 }
 
 int cmd_audit(const Args& args) {
+    args.check_known("audit", {"dir"});
     const Paths paths{fs::path(args.require("dir"))};
-    const auto store = util::load_file<PublicStore>(paths.store);
-    const auto key = util::load_file<LockKey>(paths.key);
-    const auto report = audit_key(key, store);
+    const auto report = api::Owner::load(paths.owner).audit();
     std::cout << report.summary() << "\n";
     return report.ok() ? 0 : 1;
 }
 
 int cmd_train(const Args& args) {
+    args.check_known("train", {"dir", "data", "kind", "epochs"});
     const Paths paths{fs::path(args.require("dir"))};
     const auto dataset = data::load_csv(args.require("data"));
-    const auto encoder = load_encoder(paths);
 
-    hdc::PipelineConfig pipeline;
-    pipeline.train.kind = parse_kind(args.get("kind", "binary"));
-    pipeline.train.retrain_epochs = static_cast<int>(args.get_u64("epochs", 10));
-    const auto classifier = hdc::HdcClassifier::fit(dataset, encoder, pipeline);
+    api::Owner owner = api::Owner::load(paths.owner);
+    api::TrainOptions options;
+    options.kind = parse_kind(args.get("kind", "binary"));
+    options.retrain_epochs = static_cast<int>(args.get_u64("epochs", 10));
+    const double train_accuracy = owner.train(dataset, options);
 
-    util::save_file(classifier.model(), paths.model);
-    util::save_file(classifier.discretizer(), paths.disc);
+    owner.save(paths.owner);
+    owner.export_device(paths.device);
     std::cout << "trained on " << dataset.n_samples() << " samples ("
-              << classifier.model().epochs_run() << " retrain epochs); train accuracy "
-              << util::format_fixed(classifier.evaluate(dataset), 4) << "\n";
+              << owner.model().epochs_run() << " retrain epochs); train accuracy "
+              << util::format_fixed(train_accuracy, 4) << "\n"
+              << "wrote " << paths.owner.string() << " and key-free " << paths.device.string()
+              << "\n";
+    return 0;
+}
+
+int cmd_export(const Args& args) {
+    args.check_known("export", {"dir"});
+    const Paths paths{fs::path(args.require("dir"))};
+    const api::Owner owner = api::Owner::load(paths.owner);
+    owner.export_device(paths.device);
+    std::cout << "exported " << paths.device.string() << " ("
+              << fs::file_size(paths.device) << " B, no key section)\n";
     return 0;
 }
 
 int cmd_eval(const Args& args) {
+    args.check_known("eval", {"dir", "data", "side", "threads"});
     const Paths paths{fs::path(args.require("dir"))};
     const auto dataset = data::load_csv(args.require("data"));
-    const auto encoder = load_encoder(paths);
-    const auto model = util::load_file<hdc::HdcModel>(paths.model);
-    const auto discretizer = util::load_file<hdc::MinMaxDiscretizer>(paths.disc);
 
-    hdc::EncodedBatch batch;
-    batch.labels = dataset.y;
-    std::vector<int> levels(dataset.n_features());
-    for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
-        discretizer.transform_row(dataset.X.row(s), levels);
-        batch.non_binary.push_back(encoder->encode(levels));
-        if (model.kind() == hdc::ModelKind::binary) {
-            batch.binary.push_back(encoder->encode_binary(levels));
-        }
+    api::SessionOptions session_options;
+    session_options.n_threads = args.get_u64("threads", 1);
+
+    const std::string side = args.get("side", "auto");
+    const bool use_device =
+        side == "device" || (side == "auto" && fs::exists(paths.device));
+    if (side != "auto" && side != "owner" && side != "device") {
+        throw UsageError("unknown --side (use auto|owner|device): " + side);
     }
-    std::cout << "accuracy on " << dataset.n_samples() << " samples: "
-              << util::format_fixed(model.evaluate(batch), 4) << "\n";
+
+    // The session outlives the facade it came from: it shares the encoder
+    // and copies the discretizer + model.
+    const api::InferenceSession session =
+        use_device ? api::Device::load(paths.device).open_session(session_options)
+                   : api::Owner::load(paths.owner).open_session(session_options);
+    const double accuracy = session.evaluate(dataset);
+    std::cout << "accuracy on " << dataset.n_samples() << " samples ("
+              << (use_device ? "device" : "owner") << " bundle, "
+              << session.n_threads() << " thread(s)): "
+              << util::format_fixed(accuracy, 4) << "\n";
     return 0;
 }
 
-/// Reassembles a Deployment (store + unsealed secure store + encoder) from
-/// the on-disk artifacts, so the attack runs against the *stored* device.
-Deployment load_deployment(const Paths& paths) {
-    Deployment deployment;
-    deployment.store =
-        std::make_shared<const PublicStore>(util::load_file<PublicStore>(paths.store));
-    auto key = util::load_file<LockKey>(paths.key);
-    auto mapping = util::load_file<MappingFile>(paths.mapping).mapping;
-    deployment.encoder = std::make_shared<const LockedEncoder>(deployment.store, key, mapping,
-                                                               kCliTieSeed);
-    deployment.secure = std::make_shared<SecureStore>(std::move(key), std::move(mapping));
-    return deployment;
-}
-
 int cmd_attack(const Args& args) {
+    args.check_known("attack", {"dir", "data", "test", "kind", "seed"});
     const auto train = data::load_csv(args.require("data"));
     const auto test = data::load_csv(args.require("test"));
     const Paths paths{fs::path(args.require("dir"))};
-    const auto deployment = load_deployment(paths);
 
-    // The stored deployment tells us which experiment applies; both print
-    // the corresponding Table-1-style row.
-    if (deployment.secure->key().is_plain()) {
+    // The attack replay needs the ground truth for scoring, so it runs off
+    // the owner bundle's Deployment bridge (unsealed SecureStore).
+    const api::Owner owner = api::Owner::load(paths.owner);
+    const Deployment& deployment = owner.deployment();
+
+    if (owner.key().is_plain()) {
         attack::IpTheftConfig config;
         config.kind = parse_kind(args.get("kind", "binary"));
         config.seed = args.get_u64("seed", 1);
@@ -263,6 +202,7 @@ int cmd_attack(const Args& args) {
 }
 
 int cmd_complexity(const Args& args) {
+    args.check_known("complexity", {"features", "dim", "pool", "layers"});
     const std::size_t n_features = args.get_u64("features", 784);
     const std::size_t dim = args.get_u64("dim", 10000);
     const std::size_t pool = args.get_u64("pool", n_features);
@@ -282,8 +222,8 @@ int cmd_complexity(const Args& args) {
 }
 
 int usage(std::ostream& out, int code) {
-    out << "hdlock_cli -- HDLock deployment toolkit\n"
-           "usage: hdlock_cli <provision|audit|train|eval|attack|complexity> [--flags]\n"
+    out << "hdlock_cli -- HDLock deployment toolkit (.hdlk bundles)\n"
+           "usage: hdlock_cli <provision|audit|train|export|eval|attack|complexity> [--flags]\n"
            "see the header comment of tools/hdlock_cli.cpp for per-command flags\n";
     return code;
 }
@@ -299,13 +239,20 @@ int main(int argc, char** argv) {
         if (command == "provision") return cmd_provision(args);
         if (command == "audit") return cmd_audit(args);
         if (command == "train") return cmd_train(args);
+        if (command == "export") return cmd_export(args);
         if (command == "eval") return cmd_eval(args);
         if (command == "attack") return cmd_attack(args);
         if (command == "complexity") return cmd_complexity(args);
         std::cerr << "unknown command: " << command << "\n";
         return usage(std::cerr, 2);
+    } catch (const UsageError& error) {
+        std::cerr << "usage error: " << error.what() << "\n";
+        return usage(std::cerr, 2);
     } catch (const Error& error) {
         std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    } catch (const std::exception& error) {
+        std::cerr << "internal error: " << error.what() << "\n";
         return 1;
     }
 }
