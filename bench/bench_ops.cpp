@@ -4,19 +4,30 @@
 ///
 ///  - MAP operator kernels (bind, rotate, Hamming) across dimensions;
 ///  - record encoding: bit-sliced column accumulation vs. the naive
-///    per-element reference (the encoder hot-loop ablation);
+///    per-element reference (the encoder hot-loop ablation), and the
+///    batch-first pipeline: scratch-reusing encode_batch with the fused
+///    add_xor kernel, with and without the N x M BoundProductCache;
 ///  - Eq. 9 feature materialization cost vs. the number of key layers;
 ///  - the feature attack's full-distance vs. restricted-index criterion
 ///    (the attack-cost ablation);
 ///  - the Sec. 4.2 single-parameter sweep, the unit of the (D*P)^L search;
 ///  - batched serving: api::InferenceSession at 1/2/4 threads vs. the old
 ///    per-row predict loop (real time, since the point is wall-clock
-///    throughput of the partitioned batch).
+///    throughput of the partitioned batch), cache off and on.
+///
+/// Beyond google-benchmark's own flags, main() accepts:
+///   --smoke       one tiny timing window per benchmark — CI's sanitizer job
+///                 uses it to drive every kernel through ASan/UBSan
+///   --json[=P]    machine-readable results (benchmark's JSON reporter) to P
+///                 (default BENCH_ops.json); commit one BENCH_*.json per perf
+///                 PR so the throughput trajectory is recorded in-repo
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/api.hpp"
@@ -102,8 +113,11 @@ void BM_EncodeBitsliced(benchmark::State& state) {
     const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
     const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
 
+    // Random levels: the same workload as the batch benchmarks below, so
+    // per-row vs. batch vs. cached items/s compare directly.
     std::vector<int> levels(n_features);
-    for (std::size_t i = 0; i < n_features; ++i) levels[i] = static_cast<int>(i % 16);
+    util::Xoshiro256ss rng(23);
+    for (auto& level : levels) level = static_cast<int>(rng.next_below(16));
     for (auto _ : state) {
         benchmark::DoNotOptimize(encoder.encode(levels));
     }
@@ -124,7 +138,8 @@ void BM_EncodeReference(benchmark::State& state) {
     const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
 
     std::vector<int> levels(n_features);
-    for (std::size_t i = 0; i < n_features; ++i) levels[i] = static_cast<int>(i % 16);
+    util::Xoshiro256ss rng(23);
+    for (auto& level : levels) level = static_cast<int>(rng.next_below(16));
     for (auto _ : state) {
         benchmark::DoNotOptimize(encoder.encode_reference(levels));
     }
@@ -132,6 +147,66 @@ void BM_EncodeReference(benchmark::State& state) {
                             static_cast<std::int64_t>(n_features) * 4096);
 }
 BENCHMARK(BM_EncodeReference)->Arg(64)->Arg(256)->Arg(784);
+
+/// Batch-first encoding: scratch reused across rows, XOR fused into the
+/// counter (ColumnCounter::add_xor), zero per-row allocations.  Compare
+/// items/s against BM_EncodeBitsliced (the per-row API) for the pipeline
+/// win, and against BM_EncodeBatchCached for the product-cache win.
+void BM_EncodeBatch(benchmark::State& state) {
+    const auto n_features = static_cast<std::size_t>(state.range(0));
+    hdc::ItemMemoryConfig config;
+    config.dim = 4096;
+    config.n_features = n_features;
+    config.n_levels = 16;
+    config.seed = 11;
+    const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+    const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
+
+    util::Matrix<int> levels(64, n_features);
+    util::Xoshiro256ss rng(23);
+    for (auto& level : levels.data()) level = static_cast<int>(rng.next_below(16));
+
+    hdc::EncoderScratch scratch;
+    std::vector<hdc::IntHV> out;
+    for (auto _ : state) {
+        encoder.encode_batch(levels, scratch, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(levels.rows()) *
+                            static_cast<std::int64_t>(n_features) * 4096);
+}
+BENCHMARK(BM_EncodeBatch)->Arg(64)->Arg(256)->Arg(784);
+
+/// The same batch through the N x M BoundProductCache: each row is pure
+/// counter adds (no XORs).  The ablation behind SessionOptions::
+/// use_product_cache.
+void BM_EncodeBatchCached(benchmark::State& state) {
+    const auto n_features = static_cast<std::size_t>(state.range(0));
+    hdc::ItemMemoryConfig config;
+    config.dim = 4096;
+    config.n_features = n_features;
+    config.n_levels = 16;
+    config.seed = 11;
+    const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+    const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
+    const auto cache = encoder.make_product_cache(std::size_t{1} << 30);
+
+    util::Matrix<int> levels(64, n_features);
+    util::Xoshiro256ss rng(23);
+    for (auto& level : levels.data()) level = static_cast<int>(rng.next_below(16));
+
+    hdc::EncoderScratch scratch;
+    std::vector<hdc::IntHV> out;
+    for (auto _ : state) {
+        encoder.encode_batch(levels, scratch, out, cache.get());
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(levels.rows()) *
+                            static_cast<std::int64_t>(n_features) * 4096);
+}
+BENCHMARK(BM_EncodeBatchCached)->Arg(64)->Arg(256)->Arg(784);
 
 /// Eq. 9 product cost per feature as the key deepens (bench_fig9's software
 /// cross-check, isolated).
@@ -292,6 +367,53 @@ void BM_ServeBatchSession(benchmark::State& state) {
 BENCHMARK(BM_ServeBatchSession)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Batched serving with the bound-product cache active (bit-identical
+/// output; the memory/throughput trade-off documented in the README).
+void BM_ServeBatchSessionCached(benchmark::State& state) {
+    const ServingFixture& fixture = serving_fixture();
+    const auto session = fixture.owner.open_session(
+        {.n_threads = static_cast<std::size_t>(state.range(0)), .use_product_cache = true});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.predict(fixture.batch));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fixture.batch.rows()));
+}
+BENCHMARK(BM_ServeBatchSessionCached)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN plus two repo-specific flags (see file comment): --smoke
+/// and --json[=PATH], both rewritten into google-benchmark's own flags.
+int main(int argc, char** argv) {
+    std::vector<std::string> storage;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json") {
+            storage.emplace_back("--benchmark_out=BENCH_ops.json");
+        } else if (arg.starts_with("--json=")) {
+            storage.emplace_back("--benchmark_out=" + std::string(arg.substr(7)));
+        } else {
+            storage.emplace_back(arg);
+        }
+    }
+    if (smoke) storage.emplace_back("--benchmark_min_time=0.001");
+    const bool writes_file = std::any_of(storage.begin(), storage.end(), [](const auto& entry) {
+        return std::string_view(entry).starts_with("--benchmark_out=");
+    });
+    if (writes_file) storage.emplace_back("--benchmark_out_format=json");
+
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (auto& entry : storage) args.push_back(entry.data());
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,8 @@
 /// Every bench accepts:
 ///   --csv        emit machine-readable CSV instead of aligned text tables
 ///   --quick      reduced dimensionality/dataset sizes (CI-friendly)
+///   --smoke      alias of --quick under the name CI's sanitizer job uses
+///                (bench_ops additionally shrinks its timing windows for it)
 ///   --full       paper-scale parameters where the default is reduced
 ///   --seed=S     override the experiment seed
 /// Unknown flags print usage and exit non-zero, so typos never silently run
@@ -34,18 +36,20 @@ inline BenchArgs parse_args(int argc, char** argv, std::string_view description)
             args.csv = true;
         } else if (arg == "--quick") {
             args.quick = true;
+        } else if (arg == "--smoke") {
+            args.quick = true;
         } else if (arg == "--full") {
             args.full = true;
         } else if (arg.starts_with("--seed=")) {
             args.seed = std::strtoull(std::string(arg.substr(7)).c_str(), nullptr, 10);
         } else {
             std::cerr << description << "\n\nusage: " << argv[0]
-                      << " [--csv] [--quick] [--full] [--seed=S]\n";
+                      << " [--csv] [--quick] [--smoke] [--full] [--seed=S]\n";
             std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
         }
     }
     if (args.quick && args.full) {
-        std::cerr << "--quick and --full are mutually exclusive\n";
+        std::cerr << "--quick/--smoke and --full are mutually exclusive\n";
         std::exit(2);
     }
     return args;

@@ -125,10 +125,49 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
         if (bundle.feature_hvs.empty() || bundle.value_hvs.empty()) {
             throw FormatError("DeploymentBundle: device bundle without encoder state");
         }
+        // A corrupt or hand-edited artifact must fail here with the mismatch
+        // named, not deep inside encode (or worse, serve garbage): the
+        // materialized state has to agree with the embedded store's shape.
+        if (bundle.value_hvs.size() != bundle.store->n_levels()) {
+            throw FormatError("DeploymentBundle: device bundle has " +
+                              std::to_string(bundle.value_hvs.size()) +
+                              " value hypervectors but the store holds " +
+                              std::to_string(bundle.store->n_levels()) + " levels");
+        }
+        for (std::size_t i = 0; i < bundle.feature_hvs.size(); ++i) {
+            if (bundle.feature_hvs[i].dim() != bundle.store->dim()) {
+                throw FormatError("DeploymentBundle: feature hypervector " + std::to_string(i) +
+                                  " has dim " + std::to_string(bundle.feature_hvs[i].dim()) +
+                                  " but the store dim is " + std::to_string(bundle.store->dim()));
+            }
+        }
+        for (std::size_t i = 0; i < bundle.value_hvs.size(); ++i) {
+            if (bundle.value_hvs[i].dim() != bundle.store->dim()) {
+                throw FormatError("DeploymentBundle: value hypervector " + std::to_string(i) +
+                                  " has dim " + std::to_string(bundle.value_hvs[i].dim()) +
+                                  " but the store dim is " + std::to_string(bundle.store->dim()));
+            }
+        }
     }
     if (flags & kFlagDiscretizer) bundle.discretizer = hdc::MinMaxDiscretizer::load(reader);
     if (flags & kFlagModel) bundle.model = hdc::HdcModel::load(reader);
     reader.expect_tag("HEND");
+
+    // The store carries no feature count, but a per-feature discretizer
+    // does: its range count must match the encoder's feature count (the key
+    // for owner bundles, the materialized FeaHV array for device bundles) —
+    // a truncated feature section must not load and then serve garbage.
+    if (bundle.discretizer.has_value() &&
+        bundle.discretizer->mode() == hdc::DiscretizerMode::per_feature) {
+        const std::size_t n_features = bundle.kind == BundleKind::owner
+                                           ? bundle.key->n_features()
+                                           : bundle.feature_hvs.size();
+        if (bundle.discretizer->n_ranges() != n_features) {
+            throw FormatError("DeploymentBundle: per-feature discretizer tracks " +
+                              std::to_string(bundle.discretizer->n_ranges()) +
+                              " features but the encoder has " + std::to_string(n_features));
+        }
+    }
     return bundle;
 }
 

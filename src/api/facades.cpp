@@ -60,7 +60,7 @@ double Owner::train(const data::Dataset& train_set, const TrainOptions& options)
     const auto classifier = hdc::HdcClassifier::fit(train_set, deployment_.encoder, pipeline);
     discretizer_ = classifier.discretizer();
     model_ = classifier.model();
-    return classifier.evaluate(train_set);
+    return classifier.train_accuracy();
 }
 
 const hdc::HdcModel& Owner::model() const {

@@ -22,16 +22,43 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
     n_threads_ = options.n_threads != 0
                      ? options.n_threads
                      : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    if (options.use_product_cache) {
+        product_cache_ = encoder_->make_product_cache(options.product_cache_max_bytes);
+    }
+}
+
+std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
+                            std::size_t min_rows_per_thread) noexcept {
+    min_rows_per_thread = std::max<std::size_t>(min_rows_per_thread, 1);
+    const std::size_t workers =
+        std::min(n_threads, std::max<std::size_t>(n_rows / min_rows_per_thread, 1));
+    if (workers <= 1) return 1;
+    // Re-derive the spawn count from the chunk size: with chunk =
+    // ceil(n/workers), only ceil(n/chunk) workers receive a non-empty
+    // [begin, end) range — the remainder would start past the last row.
+    const std::size_t chunk = (n_rows + workers - 1) / workers;
+    return (n_rows + chunk - 1) / chunk;
 }
 
 void InferenceSession::predict_range(const util::Matrix<float>& rows, std::size_t begin,
                                      std::size_t end, std::span<int> out) const {
     const bool binary = model_.kind() == hdc::ModelKind::binary;
-    std::vector<int> levels(encoder_->n_features());  // per-worker scratch
+    const hdc::BoundProductCache* cache = product_cache_.get();
+    // Per-worker scratch: everything below is reused across the whole range,
+    // so the steady-state row does zero heap allocations.
+    hdc::EncoderScratch scratch;
+    std::vector<int>& levels = scratch.levels(encoder_->n_features());
+    hdc::IntHV sums;
+    hdc::BinaryHV query;
     for (std::size_t r = begin; r < end; ++r) {
         discretizer_.transform_row(rows.row(r), levels);
-        out[r] = binary ? model_.predict(encoder_->encode_binary(levels))
-                        : model_.predict(encoder_->encode(levels));
+        if (binary) {
+            encoder_->encode_binary_into(levels, scratch, query, cache);
+            out[r] = model_.predict(query);
+        } else {
+            encoder_->encode_into(levels, scratch, sums, cache);
+            out[r] = model_.predict(sums);
+        }
     }
 }
 
@@ -42,8 +69,7 @@ std::vector<int> InferenceSession::predict(const util::Matrix<float>& rows) cons
 
     const std::size_t n = rows.rows();
     std::vector<int> out(n);
-    const std::size_t workers =
-        std::min(n_threads_, std::max<std::size_t>(n / min_rows_per_thread_, 1));
+    const std::size_t workers = planned_workers(n, n_threads_, min_rows_per_thread_);
 
     if (workers <= 1) {
         predict_range(rows, 0, n, out);

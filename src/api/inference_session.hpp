@@ -6,11 +6,12 @@
 /// The repo-wide pattern used to be row-at-a-time predict_row() loops; this
 /// session owns the whole discretize -> encode -> classify chain for a batch
 /// and partitions it across worker threads.  Each worker keeps its own
-/// discretization scratch buffer, so no allocation happens per row and no
+/// hdc::EncoderScratch (levels buffer, bit-sliced counter, sums buffer) plus
+/// reused output hypervectors, so no heap allocation happens per row and no
 /// state is shared between rows — the per-row results are bit-identical to a
-/// sequential predict_row() loop regardless of the thread count (every row's
-/// encoding is a pure function of its input; see hdc::Encoder on tie
-/// breaking).
+/// sequential predict_row() loop regardless of the thread count or of
+/// whether the optional bound-product cache is active (every row's encoding
+/// is a pure function of its input; see hdc::Encoder on tie breaking).
 ///
 /// The session is immutable after construction and safe to share across
 /// caller threads; concurrent predict() calls only touch local scratch and
@@ -37,7 +38,24 @@ struct SessionOptions {
     /// yields a single worker the batch stays on the calling thread —
     /// spawning threads for a handful of rows costs more than it saves.
     std::size_t min_rows_per_thread = 16;
+    /// Opt-in hdc::BoundProductCache: precompute all N x M bound products at
+    /// session construction so every served row is pure counter adds (no
+    /// XORs).  Trades N * M * D bits of memory for encode throughput;
+    /// silently skipped when the table would exceed the cap below (the
+    /// session falls back to the fused-XOR path).  Results are bit-identical
+    /// either way.
+    bool use_product_cache = false;
+    /// Byte cap on the product cache (default 256 MiB).
+    std::size_t product_cache_max_bytes = std::size_t{256} << 20;
 };
+
+/// Number of worker threads predict() fans a batch of `n_rows` out to —
+/// clamped so no spawned worker ever receives an empty range (a fixed
+/// ceil(n/workers) chunking can strand trailing workers past the end, e.g.
+/// 13 rows over 6 workers -> chunk 3 -> worker 5 would start at row 15).
+/// Exposed for testability.
+std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
+                            std::size_t min_rows_per_thread) noexcept;
 
 class InferenceSession {
 public:
@@ -53,6 +71,7 @@ public:
         : encoder_(std::move(other.encoder_)),
           discretizer_(std::move(other.discretizer_)),
           model_(std::move(other.model_)),
+          product_cache_(std::move(other.product_cache_)),
           n_threads_(other.n_threads_),
           min_rows_per_thread_(other.min_rows_per_thread_),
           rows_served_(other.rows_served_.load()) {}
@@ -74,6 +93,9 @@ public:
 
     std::size_t n_features() const noexcept { return encoder_->n_features(); }
     std::size_t n_threads() const noexcept { return n_threads_; }
+    /// True when the session holds a materialized bound-product cache (the
+    /// opt-in was taken and the table fit under the byte cap).
+    bool product_cache_active() const noexcept { return product_cache_ != nullptr; }
     const hdc::HdcModel& model() const noexcept { return model_; }
     const hdc::MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
 
@@ -88,6 +110,7 @@ private:
     std::shared_ptr<const hdc::Encoder> encoder_;
     hdc::MinMaxDiscretizer discretizer_;
     hdc::HdcModel model_;
+    std::shared_ptr<const hdc::BoundProductCache> product_cache_;
     std::size_t n_threads_ = 1;
     std::size_t min_rows_per_thread_ = 16;
     mutable std::atomic<std::uint64_t> rows_served_{0};

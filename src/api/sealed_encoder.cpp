@@ -17,9 +17,4 @@ SealedEncoder::SealedEncoder(std::vector<hdc::BinaryHV> feature_hvs,
     }
 }
 
-hdc::IntHV SealedEncoder::encode(std::span<const int> levels) const {
-    check_levels(levels);
-    return hdc::encode_with_hvs(feature_hvs_, value_hvs_, levels);
-}
-
 }  // namespace hdlock::api

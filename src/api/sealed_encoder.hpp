@@ -31,7 +31,9 @@ public:
     std::size_t n_features() const override { return feature_hvs_.size(); }
     std::size_t n_levels() const override { return value_hvs_.size(); }
 
-    hdc::IntHV encode(std::span<const int> levels) const override;
+protected:
+    std::span<const hdc::BinaryHV> feature_hv_array() const override { return feature_hvs_; }
+    std::span<const hdc::BinaryHV> value_hv_array() const override { return value_hvs_; }
 
 private:
     std::size_t dim_ = 0;

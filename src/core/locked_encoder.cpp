@@ -39,11 +39,6 @@ hdc::BinaryHV LockedEncoder::materialize_feature(const PublicStore& store,
     return product;
 }
 
-hdc::IntHV LockedEncoder::encode(std::span<const int> levels) const {
-    check_levels(levels);
-    return hdc::encode_with_hvs(feature_hvs_, value_hvs_, levels);
-}
-
 const hdc::BinaryHV& LockedEncoder::feature_hv(std::size_t feature) const {
     HDLOCK_EXPECTS(feature < feature_hvs_.size(), "LockedEncoder::feature_hv: out of range");
     return feature_hvs_[feature];

@@ -36,8 +36,6 @@ public:
     std::size_t n_features() const override { return key_.n_features(); }
     std::size_t n_levels() const override { return value_hvs_.size(); }
 
-    hdc::IntHV encode(std::span<const int> levels) const override;
-
     /// The materialized FeaHV_i (owner-side view; an attacker only ever sees
     /// encoding outputs through attack::EncodingOracle).
     const hdc::BinaryHV& feature_hv(std::size_t feature) const;
@@ -53,6 +51,10 @@ public:
     /// the attack code, which evaluates it for *guessed* sub-keys.
     static hdc::BinaryHV materialize_feature(const PublicStore& store,
                                              std::span<const SubKeyEntry> sub_key);
+
+protected:
+    std::span<const hdc::BinaryHV> feature_hv_array() const override { return feature_hvs_; }
+    std::span<const hdc::BinaryHV> value_hv_array() const override { return value_hvs_; }
 
 private:
     std::shared_ptr<const PublicStore> store_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -26,13 +27,17 @@ std::vector<std::string_view> split_line(std::string_view line, char delimiter,
     return fields;
 }
 
-float parse_float(std::string_view text, std::size_t line_no) {
+float parse_float(std::string_view text, std::size_t line_no, bool reject_non_finite) {
     float value = 0.0f;
     const char* begin = text.data();
     const char* end = begin + text.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr != end) {
         throw FormatError("CSV line " + std::to_string(line_no) + ": cannot parse number '" +
+                          std::string(text) + "'");
+    }
+    if (reject_non_finite && !std::isfinite(value)) {
+        throw FormatError("CSV line " + std::to_string(line_no) + ": non-finite feature value '" +
                           std::string(text) + "'");
     }
     return value;
@@ -121,7 +126,7 @@ Dataset load_csv(const std::filesystem::path& path, const CsvOptions& options) {
             if (c == label_col) {
                 labels.push_back(parse_label(field, line_no));
             } else {
-                row.push_back(parse_float(field, line_no));
+                row.push_back(parse_float(field, line_no, options.reject_non_finite));
             }
         }
         feature_rows.push_back(std::move(row));

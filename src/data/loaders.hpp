@@ -20,6 +20,12 @@ struct CsvOptions {
     int label_column = -1;
     /// Skip the first line (header).
     bool has_header = false;
+    /// Reject non-finite feature values ("nan", "inf", ... — std::from_chars
+    /// parses them all) with a FormatError naming the offending line.  Off
+    /// by default: the discretizer clamps non-finite values deterministically
+    /// (NaN -> level 0, +/-inf -> boundary levels), so loading them is safe;
+    /// turn this on when such values indicate upstream data corruption.
+    bool reject_non_finite = false;
 };
 
 /// Reads a CSV file into a Dataset. Labels must be non-negative integers;

@@ -17,6 +17,7 @@ HdcClassifier HdcClassifier::fit(const data::Dataset& train_set,
     const EncodedBatch batch =
         classifier.encode_dataset(train_set, config.train.kind == ModelKind::binary);
     classifier.model_ = HdcModel::train(batch, train_set.n_classes, config.train);
+    classifier.train_accuracy_ = classifier.model_.evaluate(batch);
     return classifier;
 }
 
@@ -30,16 +31,20 @@ EncodedBatch HdcClassifier::encode_dataset(const data::Dataset& dataset, bool wi
     HDLOCK_EXPECTS(dataset.n_features() == encoder_->n_features(),
                    "HdcClassifier: dataset feature count does not match encoder");
 
-    const bool need_binary = with_binary;
     EncodedBatch batch;
-    batch.non_binary.reserve(dataset.n_samples());
     batch.labels = dataset.y;
+    batch.non_binary.resize(dataset.n_samples());
+    if (with_binary) batch.binary.resize(dataset.n_samples());
 
-    std::vector<int> levels(dataset.n_features());
+    // Row-at-a-time through one reused scratch (the same kernel as
+    // Encoder::encode_batch) rather than materializing a full level matrix:
+    // the extra memory stays O(n_features) however large the dataset is.
+    EncoderScratch scratch;
+    std::vector<int>& levels = scratch.levels(dataset.n_features());
     for (std::size_t s = 0; s < dataset.n_samples(); ++s) {
         discretizer_.transform_row(dataset.X.row(s), levels);
-        batch.non_binary.push_back(encoder_->encode(levels));
-        if (need_binary) batch.binary.push_back(encoder_->encode_binary(levels));
+        encoder_->encode_into(levels, scratch, batch.non_binary[s]);
+        if (with_binary) encoder_->encode_binary_into(levels, scratch, batch.binary[s]);
     }
     return batch;
 }

@@ -44,6 +44,11 @@ public:
     std::vector<int> predict(const data::Dataset& dataset) const;
     double evaluate(const data::Dataset& dataset) const;
 
+    /// Accuracy of the trained model on its training set, scored against
+    /// the encodings produced during fit() — no second encode pass.  Equals
+    /// evaluate(train_set) exactly (encoding is deterministic).
+    double train_accuracy() const noexcept { return train_accuracy_; }
+
     const HdcModel& model() const noexcept { return model_; }
     const Encoder& encoder() const noexcept { return *encoder_; }
     const MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
@@ -52,6 +57,7 @@ private:
     std::shared_ptr<const Encoder> encoder_;
     MinMaxDiscretizer discretizer_;
     HdcModel model_;
+    double train_accuracy_ = 0.0;
 };
 
 }  // namespace hdlock::hdc

@@ -57,11 +57,16 @@ int MinMaxDiscretizer::level_of(float value, std::size_t feature) const {
     const float lo = mins_[slot];
     const float hi = maxs_[slot];
     if (!(hi > lo)) return 0;
+    // Non-finite inputs reach this path in practice (std::from_chars parses
+    // "nan"/"inf" from CSV fields); a float-to-int cast of the resulting
+    // NaN/out-of-range value is undefined behavior, so clamp in the double
+    // domain first: NaN maps to level 0, +/-inf clamp to the boundary levels.
+    if (std::isnan(value)) return 0;
     const double scaled = (static_cast<double>(value) - lo) / (static_cast<double>(hi) - lo) *
                           static_cast<double>(n_levels_);
-    const auto level = static_cast<std::int64_t>(std::floor(scaled));
-    const auto top = static_cast<std::int64_t>(n_levels_) - 1;
-    return static_cast<int>(std::clamp<std::int64_t>(level, 0, top));
+    if (std::isnan(scaled)) return 0;  // e.g. a range fitted on infinities
+    const double top = static_cast<double>(n_levels_ - 1);
+    return static_cast<int>(std::clamp(std::floor(scaled), 0.0, top));
 }
 
 void MinMaxDiscretizer::transform_row(std::span<const float> row, std::span<int> levels) const {

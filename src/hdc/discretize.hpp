@@ -36,6 +36,10 @@ public:
     std::size_t n_levels() const noexcept { return n_levels_; }
     DiscretizerMode mode() const noexcept { return mode_; }
 
+    /// Number of [min, max] ranges tracked: the feature count in
+    /// per_feature mode, 1 in global mode (0 when not fitted).
+    std::size_t n_ranges() const noexcept { return mins_.size(); }
+
     /// Maps one raw value of the given feature to a level in [0, n_levels).
     /// Out-of-range values clamp to the boundary levels; a degenerate range
     /// (min == max) maps everything to level 0.

@@ -4,6 +4,58 @@ namespace hdlock::hdc {
 
 namespace bits = util::bits;
 
+// ---------------------------------------------------------------------------
+// BoundProductCache
+// ---------------------------------------------------------------------------
+
+std::size_t BoundProductCache::bytes_required(std::size_t n_features, std::size_t n_levels,
+                                              std::size_t dim) {
+    return n_features * n_levels * bits::word_count(dim) * sizeof(bits::Word);
+}
+
+BoundProductCache::BoundProductCache(std::span<const BinaryHV> feature_hvs,
+                                     std::span<const BinaryHV> value_hvs) {
+    HDLOCK_EXPECTS(!feature_hvs.empty(), "BoundProductCache: no feature hypervectors");
+    HDLOCK_EXPECTS(!value_hvs.empty(), "BoundProductCache: no value hypervectors");
+    n_features_ = feature_hvs.size();
+    n_levels_ = value_hvs.size();
+    dim_ = feature_hvs.front().dim();
+    words_per_product_ = bits::word_count(dim_);
+    for (const auto& hv : feature_hvs) {
+        HDLOCK_EXPECTS(hv.dim() == dim_, "BoundProductCache: feature HV dimension mismatch");
+    }
+    for (const auto& hv : value_hvs) {
+        HDLOCK_EXPECTS(hv.dim() == dim_, "BoundProductCache: value HV dimension mismatch");
+    }
+
+    words_.resize(n_features_ * n_levels_ * words_per_product_);
+    std::span<bits::Word> all(words_);
+    for (std::size_t i = 0; i < n_features_; ++i) {
+        for (std::size_t m = 0; m < n_levels_; ++m) {
+            bits::xor_into(all.subspan((i * n_levels_ + m) * words_per_product_,
+                                       words_per_product_),
+                           feature_hvs[i].words(), value_hvs[m].words());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EncoderScratch
+// ---------------------------------------------------------------------------
+
+util::ColumnCounter& EncoderScratch::counter(std::size_t dim, std::size_t n_planes) {
+    if (!counter_.has_value() || counter_->n_bits() != dim || counter_->n_planes() != n_planes) {
+        counter_.emplace(dim, n_planes);
+    } else {
+        counter_->reset();
+    }
+    return *counter_;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
 void Encoder::check_levels(std::span<const int> levels) const {
     HDLOCK_EXPECTS(levels.size() == n_features(), "Encoder: level vector has wrong length");
     const auto top = static_cast<int>(n_levels());
@@ -12,11 +64,85 @@ void Encoder::check_levels(std::span<const int> levels) const {
     }
 }
 
-BinaryHV Encoder::encode_binary(std::span<const int> levels) const {
-    const IntHV sums = encode(levels);
-    util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, util::fnv1a_of(levels)));
-    return sums.sign(tie_rng);
+IntHV Encoder::encode(std::span<const int> levels) const {
+    EncoderScratch scratch;
+    IntHV out;
+    encode_into(levels, scratch, out);
+    return out;
 }
+
+BinaryHV Encoder::encode_binary(std::span<const int> levels) const {
+    EncoderScratch scratch;
+    BinaryHV out;
+    encode_binary_into(levels, scratch, out);
+    return out;
+}
+
+void Encoder::encode_into(std::span<const int> levels, EncoderScratch& scratch, IntHV& out,
+                          const BoundProductCache* cache) const {
+    check_levels(levels);
+    const std::size_t d = dim();
+    // Plane count sized to the feature count: the whole row accumulates
+    // without an intermediate flush, and the result is read straight out of
+    // the planes (see ColumnCounter::bipolar_sums_into).
+    util::ColumnCounter& counter =
+        scratch.counter(d, util::ColumnCounter::planes_for_rows(levels.size()));
+    if (cache != nullptr) {
+        HDLOCK_EXPECTS(cache->matches(n_features(), n_levels(), d),
+                       "Encoder::encode_into: product cache built for a different encoder shape");
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            counter.add(cache->product(i, static_cast<std::size_t>(levels[i])));
+        }
+    } else {
+        const std::span<const BinaryHV> feature_hvs = feature_hv_array();
+        const std::span<const BinaryHV> value_hvs = value_hv_array();
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            counter.add_xor(feature_hvs[i].words(),
+                            value_hvs[static_cast<std::size_t>(levels[i])].words());
+        }
+    }
+    out.resize(d);
+    counter.bipolar_sums_into(out.values());
+}
+
+void Encoder::encode_binary_into(std::span<const int> levels, EncoderScratch& scratch,
+                                 BinaryHV& out, const BoundProductCache* cache) const {
+    encode_into(levels, scratch, scratch.sums_, cache);
+    util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, util::fnv1a_of(levels)));
+    scratch.sums_.sign_into(tie_rng, out);
+}
+
+void Encoder::encode_batch(const util::Matrix<int>& levels_matrix, EncoderScratch& scratch,
+                           std::vector<IntHV>& out, const BoundProductCache* cache) const {
+    HDLOCK_EXPECTS(levels_matrix.rows() == 0 || levels_matrix.cols() == n_features(),
+                   "Encoder::encode_batch: level matrix has wrong feature count");
+    out.resize(levels_matrix.rows());
+    for (std::size_t r = 0; r < levels_matrix.rows(); ++r) {
+        encode_into(levels_matrix.row(r), scratch, out[r], cache);
+    }
+}
+
+void Encoder::encode_binary_batch(const util::Matrix<int>& levels_matrix, EncoderScratch& scratch,
+                                  std::vector<BinaryHV>& out,
+                                  const BoundProductCache* cache) const {
+    HDLOCK_EXPECTS(levels_matrix.rows() == 0 || levels_matrix.cols() == n_features(),
+                   "Encoder::encode_binary_batch: level matrix has wrong feature count");
+    out.resize(levels_matrix.rows());
+    for (std::size_t r = 0; r < levels_matrix.rows(); ++r) {
+        encode_binary_into(levels_matrix.row(r), scratch, out[r], cache);
+    }
+}
+
+std::shared_ptr<const BoundProductCache> Encoder::make_product_cache(std::size_t max_bytes) const {
+    if (BoundProductCache::bytes_required(n_features(), n_levels(), dim()) > max_bytes) {
+        return nullptr;
+    }
+    return std::make_shared<const BoundProductCache>(feature_hv_array(), value_hv_array());
+}
+
+// ---------------------------------------------------------------------------
+// RecordEncoder
+// ---------------------------------------------------------------------------
 
 RecordEncoder::RecordEncoder(std::shared_ptr<const ItemMemory> memory, std::uint64_t tie_seed)
     : Encoder(tie_seed), memory_(std::move(memory)) {
@@ -30,22 +156,15 @@ IntHV encode_with_hvs(std::span<const BinaryHV> feature_hvs, std::span<const Bin
     HDLOCK_EXPECTS(levels.size() == feature_hvs.size(), "encode_with_hvs: shape mismatch");
     const std::size_t dim = feature_hvs.front().dim();
 
-    util::ColumnCounter counter(dim);
-    std::vector<bits::Word> product(bits::word_count(dim));
+    util::ColumnCounter counter(dim, util::ColumnCounter::planes_for_rows(levels.size()));
     for (std::size_t i = 0; i < levels.size(); ++i) {
-        const BinaryHV& value_hv = value_hvs[static_cast<std::size_t>(levels[i])];
-        bits::xor_into(product, feature_hvs[i].words(), value_hv.words());
-        counter.add(product);
+        counter.add_xor(feature_hvs[i].words(),
+                        value_hvs[static_cast<std::size_t>(levels[i])].words());
     }
 
     IntHV sums(dim);
     counter.bipolar_sums_into(sums.values());
     return sums;
-}
-
-IntHV RecordEncoder::encode(std::span<const int> levels) const {
-    check_levels(levels);
-    return encode_with_hvs(memory_->feature_hvs(), memory_->value_hvs(), levels);
 }
 
 IntHV RecordEncoder::encode_reference(std::span<const int> levels) const {

@@ -9,22 +9,104 @@
 /// shares this interface, which is what lets models, oracles, attacks and
 /// benchmarks treat protected and unprotected modules uniformly.
 ///
+/// The encode kernel itself lives once in the base class, written against
+/// the subclasses' materialized hypervector arrays (feature_hv_array /
+/// value_hv_array): every row bundles the N bound products FeaHV_i ^
+/// ValHV_{levels[i]} through a bit-sliced ColumnCounter, with the XOR fused
+/// into the counter (ColumnCounter::add_xor) so no per-row product vector is
+/// ever materialized.  The batch entry points (encode_batch /
+/// encode_binary_batch) additionally reuse an EncoderScratch across rows, so
+/// a served batch performs no per-row heap allocation at all, and can run
+/// against a BoundProductCache that precomputes all N x M bound products —
+/// turning each row into pure counter adds.
+///
 /// Binarization ties: Eq. 3 assigns sign(0) randomly.  To keep an encoder a
 /// *function* (the same input always yields the same output, as a hardware
 /// module would), ties are broken by a PRNG seeded from the encoder's tie
 /// seed mixed with a hash of the input.  Two encoders with different tie
 /// seeds agree on every non-tied element and disagree on about half of the
 /// ties — exactly the residual Hamming floor visible in the paper's Fig. 3.
+/// Every path below (per-row, batch, cached) derives the identical per-input
+/// seed, so all of them are bit-identical to each other.
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "hdc/hypervector.hpp"
 #include "hdc/item_memory.hpp"
 #include "util/bitslice.hpp"
+#include "util/matrix.hpp"
 
 namespace hdlock::hdc {
+
+/// Opt-in precomputation of all N x M bound products FeaHV_i ^ ValHV_m
+/// (the tiny product set behind Eq. 2/10).  With the cache in place a row
+/// encode performs no XORs at all — one ColumnCounter::add per feature.
+/// The trade-off is memory: N * M * D bits (bytes_required()), which is why
+/// construction goes through Encoder::make_product_cache with an explicit
+/// byte cap.
+class BoundProductCache {
+public:
+    /// Table footprint in bytes for a given encoder shape.
+    static std::size_t bytes_required(std::size_t n_features, std::size_t n_levels,
+                                      std::size_t dim);
+
+    /// Materializes the full table. Spans must be non-empty and uniform in
+    /// dimension; prefer Encoder::make_product_cache, which also enforces a
+    /// memory cap.
+    BoundProductCache(std::span<const BinaryHV> feature_hvs, std::span<const BinaryHV> value_hvs);
+
+    std::size_t n_features() const noexcept { return n_features_; }
+    std::size_t n_levels() const noexcept { return n_levels_; }
+    std::size_t dim() const noexcept { return dim_; }
+    std::size_t bytes() const noexcept { return words_.size() * sizeof(util::bits::Word); }
+
+    bool matches(std::size_t n_features, std::size_t n_levels, std::size_t dim) const noexcept {
+        return n_features == n_features_ && n_levels == n_levels_ && dim == dim_;
+    }
+
+    /// The packed product FeaHV_{feature} ^ ValHV_{level}.
+    std::span<const util::bits::Word> product(std::size_t feature, std::size_t level) const {
+        return std::span<const util::bits::Word>(words_)
+            .subspan((feature * n_levels_ + level) * words_per_product_, words_per_product_);
+    }
+
+private:
+    std::size_t n_features_ = 0;
+    std::size_t n_levels_ = 0;
+    std::size_t dim_ = 0;
+    std::size_t words_per_product_ = 0;
+    std::vector<util::bits::Word> words_;  // (feature, level)-major product rows
+};
+
+/// Reusable per-worker state for the allocation-free encode paths: the
+/// bit-sliced counter, the non-binary sums buffer feeding binarization, and
+/// a levels buffer callers may use for discretization.  One scratch per
+/// thread; a scratch adapts automatically when used with encoders of
+/// different shapes.
+class EncoderScratch {
+public:
+    EncoderScratch() = default;
+
+    /// Caller-side discretization buffer, sized to n entries.
+    std::vector<int>& levels(std::size_t n) {
+        levels_.resize(n);
+        return levels_;
+    }
+
+private:
+    friend class Encoder;
+
+    /// The counter, reset and re-shaped to `dim` columns with `n_planes`
+    /// carry-save planes (sized so a whole row's features fit flush-free).
+    util::ColumnCounter& counter(std::size_t dim, std::size_t n_planes);
+
+    std::optional<util::ColumnCounter> counter_;
+    IntHV sums_;            // non-binary encoding en route to sign()
+    std::vector<int> levels_;
+};
 
 class Encoder {
 public:
@@ -40,17 +122,50 @@ public:
 
     /// Non-binary encoding H_nb (Eq. 2): the bundling sum of ValHV_{f_i} x
     /// FeaHV_i over all features.  `levels[i]` must lie in [0, n_levels).
-    virtual IntHV encode(std::span<const int> levels) const = 0;
+    virtual IntHV encode(std::span<const int> levels) const;
 
     /// Binary encoding H_b = sign(H_nb) (Eq. 3) with deterministic-per-input
     /// randomized tie-breaking (see file comment).
     BinaryHV encode_binary(std::span<const int> levels) const;
+
+    /// Allocation-free single-row encode: writes H_nb into `out` (re-shaped
+    /// to dim()), reusing the scratch's counter.  With a cache (built by
+    /// make_product_cache) the row is pure counter adds.  Bit-identical to
+    /// encode() on every input.
+    void encode_into(std::span<const int> levels, EncoderScratch& scratch, IntHV& out,
+                     const BoundProductCache* cache = nullptr) const;
+
+    /// Allocation-free binary encode; bit-identical to encode_binary().
+    void encode_binary_into(std::span<const int> levels, EncoderScratch& scratch, BinaryHV& out,
+                            const BoundProductCache* cache = nullptr) const;
+
+    /// Batch encode: one IntHV per row of `levels_matrix` (rows x
+    /// n_features()), scratch reused across rows.  `out` is resized.
+    void encode_batch(const util::Matrix<int>& levels_matrix, EncoderScratch& scratch,
+                      std::vector<IntHV>& out, const BoundProductCache* cache = nullptr) const;
+
+    /// Batch binary encode with the same per-row tie-breaking as
+    /// encode_binary (row hashed independently).
+    void encode_binary_batch(const util::Matrix<int>& levels_matrix, EncoderScratch& scratch,
+                             std::vector<BinaryHV>& out,
+                             const BoundProductCache* cache = nullptr) const;
+
+    /// Builds the N x M bound-product table when it fits in `max_bytes`;
+    /// returns nullptr when it would not (callers fall back to the fused
+    /// XOR path).
+    std::shared_ptr<const BoundProductCache> make_product_cache(std::size_t max_bytes) const;
 
     std::uint64_t tie_seed() const noexcept { return tie_seed_; }
 
 protected:
     /// Validates a level vector against this encoder's shape.
     void check_levels(std::span<const int> levels) const;
+
+    /// The materialized hypervector arrays the shared kernel runs against.
+    /// RecordEncoder serves them from its ItemMemory, LockedEncoder and
+    /// api::SealedEncoder from their materialized Eq. 9 state.
+    virtual std::span<const BinaryHV> feature_hv_array() const = 0;
+    virtual std::span<const BinaryHV> value_hv_array() const = 0;
 
 private:
     std::uint64_t tie_seed_;
@@ -66,8 +181,6 @@ public:
     std::size_t n_features() const override { return memory_->n_features(); }
     std::size_t n_levels() const override { return memory_->n_levels(); }
 
-    IntHV encode(std::span<const int> levels) const override;
-
     /// Naive per-element reference implementation of Eq. 2, kept for the
     /// bit-slicing equivalence tests and as executable documentation.
     IntHV encode_reference(std::span<const int> levels) const;
@@ -75,12 +188,17 @@ public:
     const ItemMemory& memory() const noexcept { return *memory_; }
     std::shared_ptr<const ItemMemory> memory_ptr() const noexcept { return memory_; }
 
+protected:
+    std::span<const BinaryHV> feature_hv_array() const override { return memory_->feature_hvs(); }
+    std::span<const BinaryHV> value_hv_array() const override { return memory_->value_hvs(); }
+
 private:
     std::shared_ptr<const ItemMemory> memory_;
 };
 
 /// Bundles the bound (ValHV x FeaHV) products for a level vector given
-/// explicit hypervector arrays; shared by RecordEncoder and LockedEncoder.
+/// explicit hypervector arrays; the free-function form of the shared kernel
+/// (kept for callers that hold raw arrays rather than an Encoder).
 IntHV encode_with_hvs(std::span<const BinaryHV> feature_hvs, std::span<const BinaryHV> value_hvs,
                       std::span<const int> levels);
 

@@ -15,6 +15,11 @@ BinaryHV BinaryHV::random(std::size_t dim, util::Xoshiro256ss& rng) {
     return hv;
 }
 
+void BinaryHV::reset(std::size_t dim) {
+    dim_ = dim;
+    words_.assign(bits::word_count(dim), 0);
+}
+
 int BinaryHV::get(std::size_t i) const {
     HDLOCK_EXPECTS(i < dim_, "BinaryHV::get: index out of range");
     return bits::get_bit(words_, i) ? -1 : +1;
@@ -144,15 +149,20 @@ IntHV IntHV::operator-(const IntHV& other) const {
 }
 
 BinaryHV IntHV::sign(util::Xoshiro256ss& tie_rng) const {
+    BinaryHV out;
+    sign_into(tie_rng, out);
+    return out;
+}
+
+void IntHV::sign_into(util::Xoshiro256ss& tie_rng, BinaryHV& out) const {
     HDLOCK_EXPECTS(!empty(), "IntHV::sign: empty hypervector");
-    BinaryHV out(dim());
+    out.reset(dim());
     auto words = out.words();
     for (std::size_t i = 0; i < values_.size(); ++i) {
         const std::int32_t v = values_[i];
         const bool negative = v < 0 || (v == 0 && tie_rng.next_sign() < 0);
         if (negative) bits::set_bit(words, i, true);
     }
-    return out;
 }
 
 std::size_t IntHV::zero_count() const noexcept {

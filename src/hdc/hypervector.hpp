@@ -45,6 +45,10 @@ public:
     int get(std::size_t i) const;
     void set(std::size_t i, int value);
 
+    /// Re-shapes to `dim` all-(+1) elements (words zeroed), reusing storage
+    /// when possible; the scratch-buffer primitive behind sign_into().
+    void reset(std::size_t dim);
+
     std::span<const Word> words() const noexcept { return words_; }
     std::span<Word> words() noexcept { return words_; }
 
@@ -108,9 +112,16 @@ public:
     IntHV operator+(const IntHV& other) const;
     IntHV operator-(const IntHV& other) const;
 
+    /// Re-shapes to `dim` without zeroing (the values are about to be
+    /// overwritten wholesale, e.g. by ColumnCounter::bipolar_sums_into).
+    void resize(std::size_t dim) { values_.resize(dim); }
+
     /// Binarization sign(H) of Eq. 3. Zeros are broken to +1/-1 by the
     /// supplied generator, matching the paper's randomized sign(0).
     BinaryHV sign(util::Xoshiro256ss& tie_rng) const;
+
+    /// Allocation-free sign(): writes into `out` (re-shaped to dim()).
+    void sign_into(util::Xoshiro256ss& tie_rng, BinaryHV& out) const;
 
     /// Number of exactly-zero elements (the sign() ties).
     std::size_t zero_count() const noexcept;

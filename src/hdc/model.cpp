@@ -23,12 +23,15 @@ HdcModel HdcModel::train(const EncodedBatch& batch, int n_classes, const TrainCo
         HDLOCK_EXPECTS(label >= 0 && label < n_classes, "HdcModel::train: label out of range");
         model.class_sums_[static_cast<std::size_t>(label)].add(batch.non_binary[s]);
     }
+    model.recompute_norms_();
 
     util::Xoshiro256ss tie_rng(util::hash_mix(config.seed, 0xB1AA));
     if (binary) model.rebinarize_(tie_rng);
 
     // QuantHD-style retraining: predict with the deployed representation and
-    // repair mistakes in the full-precision sums.
+    // repair mistakes in the full-precision sums.  The norm cache tracks the
+    // two classes each repair touches, so mid-epoch non-binary predictions
+    // see exactly the norms a fresh computation would.
     for (int epoch = 0; epoch < config.retrain_epochs; ++epoch) {
         std::size_t mistakes = 0;
         for (std::size_t s = 0; s < batch.size(); ++s) {
@@ -41,12 +44,23 @@ HdcModel HdcModel::train(const EncodedBatch& batch, int n_classes, const TrainCo
                 model.class_sums_[static_cast<std::size_t>(truth)].add(batch.non_binary[s]);
                 model.class_sums_[static_cast<std::size_t>(predicted)].sub(batch.non_binary[s]);
             }
+            model.recompute_norm_(static_cast<std::size_t>(truth));
+            model.recompute_norm_(static_cast<std::size_t>(predicted));
         }
         if (binary) model.rebinarize_(tie_rng);
         model.epochs_run_ = epoch + 1;
         if (config.stop_when_clean && mistakes == 0) break;
     }
     return model;
+}
+
+void HdcModel::recompute_norm_(std::size_t cls) {
+    class_norms_[cls] = class_sums_[cls].norm();
+}
+
+void HdcModel::recompute_norms_() {
+    class_norms_.resize(class_sums_.size());
+    for (std::size_t cls = 0; cls < class_sums_.size(); ++cls) recompute_norm_(cls);
 }
 
 void HdcModel::rebinarize_(util::Xoshiro256ss& rng) {
@@ -68,10 +82,14 @@ const BinaryHV& HdcModel::class_binary(int cls) const {
 
 int HdcModel::predict(const IntHV& query) const {
     HDLOCK_EXPECTS(!class_sums_.empty(), "HdcModel::predict: untrained model");
+    const double query_norm = query.norm();
     int best = 0;
     double best_similarity = -2.0;
     for (int cls = 0; cls < n_classes(); ++cls) {
-        const double similarity = class_sums_[static_cast<std::size_t>(cls)].cosine(query);
+        const auto c = static_cast<std::size_t>(cls);
+        const double denom = class_norms_[c] * query_norm;
+        const double similarity =
+            denom == 0.0 ? 0.0 : static_cast<double>(class_sums_[c].dot(query)) / denom;
         if (similarity > best_similarity) {
             best_similarity = similarity;
             best = cls;
@@ -95,14 +113,25 @@ int HdcModel::predict(const BinaryHV& query) const {
     return best;
 }
 
+void HdcModel::predict_into(std::span<const IntHV> queries, std::span<int> out) const {
+    HDLOCK_EXPECTS(out.size() == queries.size(), "HdcModel::predict_into: size mismatch");
+    for (std::size_t s = 0; s < queries.size(); ++s) out[s] = predict(queries[s]);
+}
+
+void HdcModel::predict_into(std::span<const BinaryHV> queries, std::span<int> out) const {
+    HDLOCK_EXPECTS(out.size() == queries.size(), "HdcModel::predict_into: size mismatch");
+    for (std::size_t s = 0; s < queries.size(); ++s) out[s] = predict(queries[s]);
+}
+
 std::vector<int> HdcModel::predict_batch(const EncodedBatch& batch) const {
     const bool binary = kind_ == ModelKind::binary;
     HDLOCK_EXPECTS(!binary || batch.binary.size() == batch.size(),
                    "HdcModel::predict_batch: binary model needs binarized encodings");
-    std::vector<int> predictions;
-    predictions.reserve(batch.size());
-    for (std::size_t s = 0; s < batch.size(); ++s) {
-        predictions.push_back(binary ? predict(batch.binary[s]) : predict(batch.non_binary[s]));
+    std::vector<int> predictions(batch.size());
+    if (binary) {
+        predict_into(batch.binary, predictions);
+    } else {
+        predict_into(batch.non_binary, predictions);
     }
     return predictions;
 }
@@ -141,6 +170,7 @@ HdcModel HdcModel::load(util::BinaryReader& reader) {
     if (model.kind_ == ModelKind::binary && model.class_binary_.size() != model.class_sums_.size()) {
         throw FormatError("HdcModel::load: binary model missing binarized class HVs");
     }
+    model.recompute_norms_();
     return model;
 }
 

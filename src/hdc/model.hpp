@@ -63,10 +63,19 @@ public:
     /// Binarized class hypervector; only valid for binary models.
     const BinaryHV& class_binary(int cls) const;
 
-    /// Non-binary inference: argmax cosine(query, ClassHV_j).
+    /// Non-binary inference: argmax cosine(query, ClassHV_j).  Class-HV
+    /// norms are precomputed (and kept in sync through training updates), so
+    /// a call costs one query norm plus one dot product per class.
     int predict(const IntHV& query) const;
     /// Binary inference: argmin Hamming(query, sign(ClassHV_j)).
     int predict(const BinaryHV& query) const;
+
+    /// Batch inference over already-encoded queries (one label per query,
+    /// in order).  The serving path: pairs with Encoder::encode_batch /
+    /// encode_binary_batch so a whole batch reuses one scratch and the
+    /// precomputed class norms.
+    void predict_into(std::span<const IntHV> queries, std::span<int> out) const;
+    void predict_into(std::span<const BinaryHV> queries, std::span<int> out) const;
 
     /// Predicts every sample in the batch using the representation matching
     /// the model kind.
@@ -83,10 +92,16 @@ public:
 
 private:
     void rebinarize_(util::Xoshiro256ss& rng);
+    void recompute_norm_(std::size_t cls);
+    void recompute_norms_();
 
     ModelKind kind_ = ModelKind::non_binary;
     std::vector<IntHV> class_sums_;
     std::vector<BinaryHV> class_binary_;
+    /// ||ClassHV_j|| for every class, maintained alongside class_sums_ so
+    /// non-binary predict never re-derives them (they are invariant across a
+    /// whole served batch).
+    std::vector<double> class_norms_;
     int epochs_run_ = 0;
 };
 

@@ -5,65 +5,247 @@
 
 namespace hdlock::util {
 
+namespace {
+constexpr std::size_t kMinPlanes = 1;
+constexpr std::size_t kMaxPlanes = 16;
+// The 8-row reduction needs the planes to absorb weight-8 carries plus the
+// settle-time residues; below this it falls back to row-at-a-time rippling.
+constexpr std::size_t kGroupPlanes = 4;
+// Upper bound on the row-weight the group registers can hold outside the
+// planes when a group is settled: pending (1) + twos_a (2) + fours_a (4) +
+// ones (1) + twos (2) + fours (4).
+constexpr std::size_t kGroupSlack = 14;
+}  // namespace
+
 ColumnCounter::ColumnCounter(std::size_t n_bits, std::size_t n_planes)
-    : n_bits_(n_bits), n_words_(bits::word_count(n_bits)), n_planes_(n_planes) {
+    : n_bits_(n_bits),
+      n_words_(bits::word_count(n_bits)),
+      n_planes_(n_planes),
+      grouped_(n_planes >= kGroupPlanes) {
     HDLOCK_EXPECTS(n_bits > 0, "ColumnCounter: n_bits must be positive");
-    HDLOCK_EXPECTS(n_planes >= 1 && n_planes <= 16, "ColumnCounter: n_planes out of range");
+    HDLOCK_EXPECTS(n_planes >= kMinPlanes && n_planes <= kMaxPlanes,
+                   "ColumnCounter: n_planes out of range");
     planes_.assign(n_planes_ * n_words_, 0);
     flushed_.assign(n_bits_, 0);
+    if (grouped_) {
+        pending_.assign(n_words_, 0);
+        ones_.assign(n_words_, 0);
+        twos_a_.assign(n_words_, 0);
+        twos_.assign(n_words_, 0);
+        fours_a_.assign(n_words_, 0);
+        fours_.assign(n_words_, 0);
+    }
+}
+
+std::size_t ColumnCounter::planes_for_rows(std::size_t rows) noexcept {
+    std::size_t planes = kGroupPlanes;
+    while (planes < kMaxPlanes && ((std::size_t{1} << planes) - 1) < rows + kGroupSlack) {
+        ++planes;
+    }
+    return planes;
+}
+
+template <typename LoadWord>
+void ColumnCounter::accumulate_row_(LoadWord load) {
+    const std::size_t capacity = (std::size_t{1} << n_planes_) - 1;
+    if (!grouped_) {
+        if (planes_rows_ == capacity) flush_planes_();
+        for (std::size_t w = 0; w < n_words_; ++w) {
+            bits::Word carry = load(w);
+            bits::Word* plane = planes_.data() + w * n_planes_;
+            for (std::size_t p = 0; p < n_planes_ && carry != 0; ++p) {
+                const bits::Word sum = plane[p] ^ carry;
+                carry &= plane[p];
+                plane[p] = sum;
+            }
+        }
+        ++planes_rows_;
+        ++rows_added_;
+        return;
+    }
+
+    // Harley–Seal 8-row pipeline.  A carry-save adder step
+    //   CSA(carry, sum, x, y):  u = sum^x; carry = (sum&x)|(u&y); sum = u^y
+    // folds two unit-weight inputs into `sum` and one double-weight carry.
+    // Rows pair through ones_, pairs through twos_, quads through fours_;
+    // only one weight-8 carry per 8 rows ever touches the planes.
+    group_dirty_ = true;
+    switch (phase_) {
+        case 0:
+        case 2:
+        case 4:
+        case 6:  // buffer the odd row until its pair arrives
+            for (std::size_t w = 0; w < n_words_; ++w) pending_[w] = load(w);
+            ++phase_;
+            break;
+        case 1:
+        case 5: {  // first pair of a quad: carries park in twos_a_
+            for (std::size_t w = 0; w < n_words_; ++w) {
+                const bits::Word x = pending_[w];
+                const bits::Word y = load(w);
+                const bits::Word u = ones_[w] ^ x;
+                twos_a_[w] = (ones_[w] & x) | (u & y);
+                ones_[w] = u ^ y;
+            }
+            ++phase_;
+            break;
+        }
+        case 3: {  // second pair: fold both twos into fours_a_
+            for (std::size_t w = 0; w < n_words_; ++w) {
+                const bits::Word x = pending_[w];
+                const bits::Word y = load(w);
+                const bits::Word u = ones_[w] ^ x;
+                const bits::Word twos_b = (ones_[w] & x) | (u & y);
+                ones_[w] = u ^ y;
+                const bits::Word u2 = twos_[w] ^ twos_a_[w];
+                fours_a_[w] = (twos_[w] & twos_a_[w]) | (u2 & twos_b);
+                twos_[w] = u2 ^ twos_b;
+            }
+            ++phase_;
+            break;
+        }
+        case 7: {  // fourth pair: fold all the way to one weight-8 carry
+            if (planes_rows_ + 8 > capacity) flush_planes_();
+            for (std::size_t w = 0; w < n_words_; ++w) {
+                const bits::Word x = pending_[w];
+                const bits::Word y = load(w);
+                const bits::Word u = ones_[w] ^ x;
+                const bits::Word twos_b = (ones_[w] & x) | (u & y);
+                ones_[w] = u ^ y;
+                const bits::Word u2 = twos_[w] ^ twos_a_[w];
+                const bits::Word fours_b = (twos_[w] & twos_a_[w]) | (u2 & twos_b);
+                twos_[w] = u2 ^ twos_b;
+                const bits::Word u3 = fours_[w] ^ fours_a_[w];
+                bits::Word carry = (fours_[w] & fours_a_[w]) | (u3 & fours_b);
+                fours_[w] = u3 ^ fours_b;
+                bits::Word* plane = planes_.data() + w * n_planes_;
+                for (std::size_t p = 3; p < n_planes_ && carry != 0; ++p) {
+                    const bits::Word sum = plane[p] ^ carry;
+                    carry &= plane[p];
+                    plane[p] = sum;
+                }
+            }
+            planes_rows_ += 8;
+            phase_ = 0;
+            break;
+        }
+        default:
+            break;
+    }
+    ++rows_added_;
 }
 
 void ColumnCounter::add(std::span<const bits::Word> row) {
     HDLOCK_EXPECTS(row.size() == n_words_, "ColumnCounter::add: row width mismatch");
-    if (rows_in_planes_ == (std::size_t{1} << n_planes_) - 1) flush_planes_();
-    // Carry-save addition of a 1-bit row across the planes: plane p holds bit
-    // p of every column's running count.
-    for (std::size_t w = 0; w < n_words_; ++w) {
-        bits::Word carry = row[w];
-        for (std::size_t p = 0; p < n_planes_ && carry != 0; ++p) {
-            bits::Word& plane = planes_[p * n_words_ + w];
-            const bits::Word sum = plane ^ carry;
-            carry &= plane;
-            plane = sum;
-        }
-    }
-    ++rows_in_planes_;
-    ++rows_added_;
+    accumulate_row_([row](std::size_t w) { return row[w]; });
 }
 
-void ColumnCounter::flush_planes_() {
-    for (std::size_t p = 0; p < n_planes_; ++p) {
-        const auto weight = static_cast<std::int32_t>(1u << p);
-        for (std::size_t w = 0; w < n_words_; ++w) {
-            bits::Word word = planes_[p * n_words_ + w];
+void ColumnCounter::add_xor(std::span<const bits::Word> a, std::span<const bits::Word> b) {
+    HDLOCK_EXPECTS(a.size() == n_words_ && b.size() == n_words_,
+                   "ColumnCounter::add_xor: row width mismatch");
+    accumulate_row_([a, b](std::size_t w) { return a[w] ^ b[w]; });
+}
+
+void ColumnCounter::push_carry_(std::span<const bits::Word> carry_words,
+                                std::size_t start_plane) {
+    const std::size_t weight = std::size_t{1} << start_plane;
+    const std::size_t capacity = (std::size_t{1} << n_planes_) - 1;
+    if (planes_rows_ + weight > capacity) flush_planes_();
+    for (std::size_t w = 0; w < n_words_; ++w) {
+        bits::Word carry = carry_words[w];
+        bits::Word* plane = planes_.data() + w * n_planes_;
+        for (std::size_t p = start_plane; p < n_planes_ && carry != 0; ++p) {
+            const bits::Word sum = plane[p] ^ carry;
+            carry &= plane[p];
+            plane[p] = sum;
+        }
+    }
+    planes_rows_ += weight;
+}
+
+void ColumnCounter::settle_group_() {
+    if (!grouped_ || !group_dirty_) return;
+    if ((phase_ & 1) != 0) push_carry_(pending_, 0);
+    if (phase_ == 2 || phase_ == 3 || phase_ == 6 || phase_ == 7) push_carry_(twos_a_, 1);
+    if (phase_ >= 4) push_carry_(fours_a_, 2);
+    push_carry_(ones_, 0);
+    push_carry_(twos_, 1);
+    push_carry_(fours_, 2);
+    std::ranges::fill(pending_, bits::Word{0});
+    std::ranges::fill(ones_, bits::Word{0});
+    std::ranges::fill(twos_a_, bits::Word{0});
+    std::ranges::fill(twos_, bits::Word{0});
+    std::ranges::fill(fours_a_, bits::Word{0});
+    std::ranges::fill(fours_, bits::Word{0});
+    phase_ = 0;
+    group_dirty_ = false;
+}
+
+void ColumnCounter::unpack_planes_into_(std::span<std::int32_t> accumulator) const {
+    for (std::size_t w = 0; w < n_words_; ++w) {
+        const bits::Word* plane = planes_.data() + w * n_planes_;
+        const std::size_t base = w * bits::kWordBits;
+        for (std::size_t p = 0; p < n_planes_; ++p) {
+            const auto weight = static_cast<std::int32_t>(1u << p);
+            bits::Word word = plane[p];
             while (word != 0) {
                 const auto bit = static_cast<std::size_t>(std::countr_zero(word));
-                flushed_[w * bits::kWordBits + bit] += weight;
+                accumulator[base + bit] += weight;
                 word &= word - 1;
             }
         }
     }
+}
+
+void ColumnCounter::flush_planes_() {
+    unpack_planes_into_(flushed_);
+    flushed_dirty_ = true;
     std::ranges::fill(planes_, bits::Word{0});
-    rows_in_planes_ = 0;
+    planes_rows_ = 0;
 }
 
 void ColumnCounter::counts_into(std::span<std::int32_t> counts) {
     HDLOCK_EXPECTS(counts.size() == n_bits_, "ColumnCounter::counts_into: size mismatch");
+    settle_group_();
     flush_planes_();
     std::copy(flushed_.begin(), flushed_.end(), counts.begin());
 }
 
 void ColumnCounter::bipolar_sums_into(std::span<std::int32_t> sums) {
     HDLOCK_EXPECTS(sums.size() == n_bits_, "ColumnCounter::bipolar_sums_into: size mismatch");
-    flush_planes_();
+    settle_group_();
     const auto n = static_cast<std::int32_t>(rows_added_);
+    if (!flushed_dirty_) {
+        // Nothing was ever folded out of the planes (the common batch-encode
+        // case: the row count fits the planes): unpack straight into the
+        // output, leaving the planes intact — the counter stays usable and
+        // flushed_ is never touched, so the next reset() skips re-zeroing it.
+        std::fill(sums.begin(), sums.end(), 0);
+        unpack_planes_into_(sums);
+        for (std::size_t j = 0; j < n_bits_; ++j) sums[j] = n - 2 * sums[j];
+        return;
+    }
+    flush_planes_();
     for (std::size_t j = 0; j < n_bits_; ++j) sums[j] = n - 2 * flushed_[j];
 }
 
 void ColumnCounter::reset() noexcept {
-    std::ranges::fill(planes_, bits::Word{0});
-    std::ranges::fill(flushed_, 0);
-    rows_in_planes_ = 0;
+    if (planes_rows_ != 0) std::ranges::fill(planes_, bits::Word{0});
+    if (flushed_dirty_) {
+        std::ranges::fill(flushed_, 0);
+        flushed_dirty_ = false;
+    }
+    if (group_dirty_) {
+        std::ranges::fill(pending_, bits::Word{0});
+        std::ranges::fill(ones_, bits::Word{0});
+        std::ranges::fill(twos_a_, bits::Word{0});
+        std::ranges::fill(twos_, bits::Word{0});
+        std::ranges::fill(fours_a_, bits::Word{0});
+        std::ranges::fill(fours_, bits::Word{0});
+        group_dirty_ = false;
+    }
+    phase_ = 0;
+    planes_rows_ = 0;
     rows_added_ = 0;
 }
 

@@ -168,6 +168,86 @@ TEST(DeploymentBundle, RejectsUnknownSectionFlags) {
     EXPECT_THROW(deserialize(bytes), FormatError);
 }
 
+TEST(DeploymentBundle, RejectsDeviceStateInconsistentWithStore) {
+    // Regression: a corrupt/hand-edited device artifact whose materialized
+    // hypervectors disagree with the embedded store used to load fine and
+    // fail only deep inside encode (or not at all).  Each mismatch must be
+    // named at load time.
+    const auto owner = trained_owner_bundle();
+
+    {
+        // One value hypervector dropped: count no longer matches the store.
+        auto device = owner.export_device();
+        device.value_hvs.pop_back();
+        try {
+            deserialize(serialize(device));
+            FAIL() << "expected FormatError";
+        } catch (const FormatError& error) {
+            EXPECT_NE(std::string(error.what()).find("value hypervectors"), std::string::npos)
+                << error.what();
+        }
+    }
+    {
+        // A feature hypervector of the wrong dimensionality.
+        auto device = owner.export_device();
+        hdlock::util::Xoshiro256ss rng(99);
+        device.feature_hvs[1] = hdc::BinaryHV::random(64, rng);
+        try {
+            deserialize(serialize(device));
+            FAIL() << "expected FormatError";
+        } catch (const FormatError& error) {
+            EXPECT_NE(std::string(error.what()).find("feature hypervector 1"), std::string::npos)
+                << error.what();
+        }
+    }
+    {
+        // A value hypervector of the wrong dimensionality.
+        auto device = owner.export_device();
+        hdlock::util::Xoshiro256ss rng(100);
+        device.value_hvs[0] = hdc::BinaryHV::random(128, rng);
+        try {
+            deserialize(serialize(device));
+            FAIL() << "expected FormatError";
+        } catch (const FormatError& error) {
+            EXPECT_NE(std::string(error.what()).find("value hypervector 0"), std::string::npos)
+                << error.what();
+        }
+    }
+
+    // The untampered device bundle still round-trips.
+    EXPECT_NO_THROW(deserialize(serialize(owner.export_device())));
+}
+
+TEST(DeploymentBundle, RejectsFeatureCountInconsistentWithPerFeatureDiscretizer) {
+    // The store carries no feature count, but a per-feature discretizer
+    // pins it: a device bundle whose materialized FeaHV array was truncated
+    // must fail at load, not serve a model trained on more features.
+    data::SyntheticSpec spec;
+    spec.name = "bundle_pf";
+    spec.n_features = 16;
+    spec.n_classes = 3;
+    spec.n_train = 90;
+    spec.n_test = 30;
+    spec.n_levels = 4;
+    spec.seed = 9;
+    const auto benchmark = data::make_benchmark(spec);
+    api::Owner owner = api::Owner::provision(small_config());
+    api::TrainOptions options;
+    options.discretizer_mode = hdc::DiscretizerMode::per_feature;
+    owner.train(benchmark.train, options);
+
+    auto device = owner.to_device_bundle();
+    EXPECT_NO_THROW(deserialize(serialize(device)));
+    device.feature_hvs.pop_back();
+    try {
+        deserialize(serialize(device));
+        FAIL() << "expected FormatError";
+    } catch (const FormatError& error) {
+        EXPECT_NE(std::string(error.what()).find("per-feature discretizer"), std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(DeploymentBundle, SerializedBytesMatchesFileSize) {
     const auto bundle = trained_owner_bundle();
     const auto path = temp_path("hdlock_bundle_size_test.hdlk");

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "api/facades.hpp"
 #include "data/synthetic.hpp"
 #include "hdc/classifier.hpp"
@@ -131,6 +133,99 @@ TEST(InferenceSession, SmallBatchStaysSequentialButIdentical) {
     options.n_threads = 8;
     options.min_rows_per_thread = 1000;  // batches below 8000 rows stay inline
     const auto session = pipeline.owner.open_session(options);
+    const auto predictions = session.predict(pipeline.data.test.X);
+    for (std::size_t s = 0; s < predictions.size(); ++s) {
+        EXPECT_EQ(predictions[s], pipeline.classifier.predict_row(pipeline.data.test.X.row(s)));
+    }
+}
+
+TEST(InferenceSession, PlannedWorkersNeverReceiveEmptyRanges) {
+    // Regression: chunk = ceil(n/workers) can strand trailing workers past
+    // the end of the batch (n=13, 6 threads -> chunk 3 -> worker 5 would
+    // start at row 15).  The spawn count is clamped to ceil(n/chunk).
+    EXPECT_EQ(api::planned_workers(13, 6, 1), 5u);
+    EXPECT_EQ(api::planned_workers(10, 4, 1), 4u);   // 10/4 -> chunk 3 -> 4 workers
+    EXPECT_EQ(api::planned_workers(9, 4, 1), 3u);    // chunk 3 -> exactly 3
+    EXPECT_EQ(api::planned_workers(1, 8, 1), 1u);
+    EXPECT_EQ(api::planned_workers(0, 8, 1), 1u);
+    EXPECT_EQ(api::planned_workers(1000, 4, 16), 4u);
+    EXPECT_EQ(api::planned_workers(32, 8, 16), 2u);  // min-rows cap first
+
+    // Every (n, threads) combination must cover [0, n) exactly once with no
+    // empty ranges.
+    for (std::size_t n = 1; n <= 40; ++n) {
+        for (std::size_t threads = 1; threads <= 9; ++threads) {
+            const std::size_t workers = api::planned_workers(n, threads, 1);
+            const std::size_t chunk = (n + workers - 1) / workers;
+            std::size_t covered = 0;
+            for (std::size_t w = 0; w < workers; ++w) {
+                const std::size_t begin = w * chunk;
+                const std::size_t end = std::min(begin + chunk, n);
+                ASSERT_LT(begin, end) << "empty range: n=" << n << " threads=" << threads
+                                      << " worker=" << w;
+                covered += end - begin;
+            }
+            ASSERT_EQ(covered, n) << "n=" << n << " threads=" << threads;
+        }
+    }
+}
+
+TEST(InferenceSession, AwkwardBatchSizesStayBitIdentical) {
+    // The shapes from the empty-range regression, end to end.
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    for (const std::size_t rows : {std::size_t{10}, std::size_t{13}}) {
+        util::Matrix<float> batch(rows, pipeline.data.test.n_features());
+        for (std::size_t r = 0; r < rows; ++r) {
+            const auto source = pipeline.data.test.X.row(r);
+            std::copy(source.begin(), source.end(), batch.row(r).begin());
+        }
+        api::SessionOptions options;
+        options.n_threads = rows == 10 ? 4 : 6;
+        options.min_rows_per_thread = 1;
+        const auto predictions = pipeline.owner.open_session(options).predict(batch);
+        ASSERT_EQ(predictions.size(), rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            EXPECT_EQ(predictions[r], pipeline.classifier.predict_row(batch.row(r)));
+        }
+    }
+}
+
+class InferenceSessionCache : public ::testing::TestWithParam<hdc::ModelKind> {};
+
+TEST_P(InferenceSessionCache, ProductCacheIsBitIdenticalToFusedPath) {
+    const Pipeline pipeline = make_pipeline(GetParam());
+
+    api::SessionOptions plain;
+    const auto baseline = pipeline.owner.open_session(plain);
+    EXPECT_FALSE(baseline.product_cache_active());
+
+    api::SessionOptions cached = plain;
+    cached.use_product_cache = true;
+    const auto session = pipeline.owner.open_session(cached);
+    ASSERT_TRUE(session.product_cache_active());
+
+    EXPECT_EQ(session.predict(pipeline.data.test.X), baseline.predict(pipeline.data.test.X));
+    for (std::size_t s = 0; s < 5; ++s) {
+        EXPECT_EQ(session.predict_row(pipeline.data.test.X.row(s)),
+                  pipeline.classifier.predict_row(pipeline.data.test.X.row(s)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, InferenceSessionCache,
+                         ::testing::Values(hdc::ModelKind::binary, hdc::ModelKind::non_binary),
+                         [](const ::testing::TestParamInfo<hdc::ModelKind>& info) {
+                             return info.param == hdc::ModelKind::binary ? "binary" : "nonbinary";
+                         });
+
+TEST(InferenceSession, ProductCacheFallsBackWhenOverBudget) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.use_product_cache = true;
+    options.product_cache_max_bytes = 1;  // nothing fits
+    const auto session = pipeline.owner.open_session(options);
+    EXPECT_FALSE(session.product_cache_active());
+
+    // Still serves, still bit-identical.
     const auto predictions = session.predict(pipeline.data.test.X);
     for (std::size_t s = 0; s < predictions.size(); ++s) {
         EXPECT_EQ(predictions[s], pipeline.classifier.predict_row(pipeline.data.test.X.row(s)));

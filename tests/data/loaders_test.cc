@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 
@@ -55,6 +56,35 @@ TEST_F(LoadersTest, CsvRoundTrip) {
             ASSERT_NEAR(loaded.X(r, f), original.X(r, f), 1e-6f);
         }
     }
+}
+
+TEST_F(LoadersTest, CsvAcceptsNonFiniteValuesByDefault) {
+    // std::from_chars parses "nan"/"inf" — by default they load (the
+    // discretizer clamps them deterministically downstream).
+    write_text("nonfinite.csv", "nan,1.0,0\ninf,-inf,1\n");
+    const Dataset dataset = hdlock::data::load_csv(path("nonfinite.csv"));
+    ASSERT_EQ(dataset.n_samples(), 2u);
+    EXPECT_TRUE(std::isnan(dataset.X(0, 0)));
+    EXPECT_TRUE(std::isinf(dataset.X(1, 0)));
+    EXPECT_TRUE(std::isinf(dataset.X(1, 1)));
+}
+
+TEST_F(LoadersTest, CsvRejectsNonFiniteValuesOnRequestNamingTheLine) {
+    write_text("nonfinite.csv", "0.5,1.0,0\n0.25,nan,1\n");
+    CsvOptions options;
+    options.reject_non_finite = true;
+    try {
+        hdlock::data::load_csv(path("nonfinite.csv"), options);
+        FAIL() << "expected FormatError";
+    } catch (const FormatError& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+        EXPECT_NE(message.find("non-finite"), std::string::npos) << message;
+        EXPECT_NE(message.find("nan"), std::string::npos) << message;
+    }
+    // Finite data still loads with the option on.
+    write_text("finite.csv", "0.5,1.0,0\n");
+    EXPECT_NO_THROW(hdlock::data::load_csv(path("finite.csv"), options));
 }
 
 TEST_F(LoadersTest, CsvParsesLabelColumnPositions) {

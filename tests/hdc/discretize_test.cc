@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <vector>
 
 using hdlock::ContractViolation;
 using hdlock::hdc::DiscretizerMode;
@@ -25,6 +27,41 @@ TEST(Discretizer, OutOfRangeValuesClamp) {
     const auto d = MinMaxDiscretizer::with_range(0.0f, 10.0f, 8);
     EXPECT_EQ(d.level_of(-100.0f), 0);
     EXPECT_EQ(d.level_of(100.0f), 7);
+}
+
+TEST(Discretizer, NonFiniteValuesClampDeterministically) {
+    // Regression: NaN reached std::floor + an integer cast, which is
+    // undefined behavior ("nan" parses fine from a CSV field).  The contract
+    // is now: NaN -> level 0, +inf -> top level, -inf -> level 0.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1.0f, 8);
+
+    EXPECT_EQ(d.level_of(nan), 0);
+    EXPECT_EQ(d.level_of(inf), 7);
+    EXPECT_EQ(d.level_of(-inf), 0);
+
+    // Same clamping through the row path, mixed with finite values.
+    const std::vector<float> row = {nan, inf, -inf, 0.5f};
+    Matrix<float> X(1, 4);
+    for (std::size_t c = 0; c < row.size(); ++c) X(0, c) = row[c];
+    const auto per_feature = MinMaxDiscretizer::fit(
+        Matrix<float>(2, 4, 1.0f), 8, DiscretizerMode::per_feature);
+    // fit on constant columns -> degenerate ranges -> all level 0, finite or not.
+    for (std::size_t c = 0; c < row.size(); ++c) {
+        EXPECT_EQ(per_feature.level_of(row[c], c), 0) << "col " << c;
+    }
+    const auto levels = d.transform_row(row);
+    EXPECT_EQ(levels, (std::vector<int>{0, 7, 0, 4}));
+}
+
+TEST(Discretizer, HugeFiniteValuesClampWithoutOverflow) {
+    // Values whose scaled position exceeds the int64 range used to overflow
+    // in the float -> integer cast; they must clamp like any out-of-range
+    // value.
+    const auto d = MinMaxDiscretizer::with_range(0.0f, 1e-30f, 4);
+    EXPECT_EQ(d.level_of(3e38f), 3);
+    EXPECT_EQ(d.level_of(-3e38f), 0);
 }
 
 TEST(Discretizer, DegenerateRangeMapsToZero) {

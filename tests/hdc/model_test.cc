@@ -146,6 +146,47 @@ TEST(HdcModel, BinaryPredictUsesHamming) {
     EXPECT_EQ(model.class_binary(0), anchor_a);  // sums have no ties here
 }
 
+TEST(HdcModel, PredictIntoMatchesPerQueryPredict) {
+    const auto batch = make_batch(4, 10, 1024, 0.25, 53, true);
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    config.retrain_epochs = 2;
+    const HdcModel model = HdcModel::train(batch, 4, config);
+
+    std::vector<int> via_span(batch.size());
+    model.predict_into(std::span<const BinaryHV>(batch.binary), via_span);
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        EXPECT_EQ(via_span[s], model.predict(batch.binary[s]));
+    }
+
+    TrainConfig nb_config;
+    nb_config.kind = ModelKind::non_binary;
+    nb_config.retrain_epochs = 2;
+    const HdcModel nb_model = HdcModel::train(batch, 4, nb_config);
+    nb_model.predict_into(std::span<const IntHV>(batch.non_binary), via_span);
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        EXPECT_EQ(via_span[s], nb_model.predict(batch.non_binary[s]));
+    }
+}
+
+TEST(HdcModel, PredictionsSurviveSaveLoadRoundTrip) {
+    // The class-norm cache is rebuilt on load: a round-tripped model must
+    // predict identically (non-binary cosine inference included).
+    const auto batch = make_batch(3, 12, 512, 0.3, 54, false);
+    TrainConfig config;
+    config.kind = ModelKind::non_binary;
+    config.retrain_epochs = 3;
+    const HdcModel model = HdcModel::train(batch, 3, config);
+
+    std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+    hdlock::util::BinaryWriter writer(stream);
+    model.save(writer);
+    hdlock::util::BinaryReader reader(stream);
+    const HdcModel restored = HdcModel::load(reader);
+
+    EXPECT_EQ(restored.predict_batch(batch), model.predict_batch(batch));
+}
+
 TEST(HdcModel, KindMismatchesThrow) {
     const auto batch = make_batch(2, 4, 128, 0.2, 50, true);
     TrainConfig nb;

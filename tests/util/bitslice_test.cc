@@ -55,9 +55,70 @@ TEST_P(ColumnCounterTest, MatchesNaiveAccumulation) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, ColumnCounterTest,
     ::testing::Combine(::testing::Values<std::size_t>(1, 64, 65, 1000, 10000),
-                       ::testing::Values<std::size_t>(1, 3, 6),
-                       // Around flush boundaries for every plane count:
-                       ::testing::Values<std::size_t>(0, 1, 2, 7, 8, 62, 63, 64, 127, 200)));
+                       // 1/3: classic row-at-a-time rippling; 4/6/8: the
+                       // Harley-Seal 8-row pipeline at several capacities.
+                       ::testing::Values<std::size_t>(1, 3, 4, 6, 8),
+                       // Around flush and 8-row group boundaries for every
+                       // plane count:
+                       ::testing::Values<std::size_t>(0, 1, 2, 7, 8, 9, 15, 16, 17, 62, 63, 64,
+                                                      127, 200)));
+
+TEST(ColumnCounter, AddXorMatchesMaterializedXor) {
+    // The fused encoder kernel: add_xor(a, b) must be exactly add(a ^ b),
+    // across flush boundaries and for widths with a partial tail word.
+    for (const std::size_t n_bits : {std::size_t{1}, std::size_t{64}, std::size_t{65},
+                                     std::size_t{1000}, std::size_t{4096}}) {
+        Xoshiro256ss rng(1234 + n_bits);
+        ColumnCounter fused(n_bits);
+        ColumnCounter materialized(n_bits);
+        std::vector<Word> product(bits::word_count(n_bits));
+        for (std::size_t r = 0; r < 130; ++r) {  // crosses the 63-row flush
+            const auto a = random_row(n_bits, rng);
+            const auto b = random_row(n_bits, rng);
+            fused.add_xor(a, b);
+            bits::xor_into(product, a, b);
+            materialized.add(product);
+        }
+        EXPECT_EQ(fused.rows_added(), 130u);
+
+        std::vector<std::int32_t> fused_counts(n_bits, 0);
+        std::vector<std::int32_t> materialized_counts(n_bits, 0);
+        fused.counts_into(fused_counts);
+        materialized.counts_into(materialized_counts);
+        EXPECT_EQ(fused_counts, materialized_counts) << "n_bits=" << n_bits;
+    }
+}
+
+TEST(ColumnCounter, AddXorInterleavesWithAdd) {
+    const std::size_t n_bits = 200;
+    Xoshiro256ss rng(77);
+    ColumnCounter counter(n_bits);
+    std::vector<std::int32_t> naive(n_bits, 0);
+    std::vector<Word> product(bits::word_count(n_bits));
+    for (std::size_t r = 0; r < 70; ++r) {
+        const auto a = random_row(n_bits, rng);
+        if (r % 3 == 0) {
+            const auto b = random_row(n_bits, rng);
+            counter.add_xor(a, b);
+            bits::xor_into(product, a, b);
+            hdlock::util::naive_accumulate(product, n_bits, naive);
+        } else {
+            counter.add(a);
+            hdlock::util::naive_accumulate(a, n_bits, naive);
+        }
+    }
+    std::vector<std::int32_t> counts(n_bits, 0);
+    counter.counts_into(counts);
+    EXPECT_EQ(counts, naive);
+}
+
+TEST(ColumnCounter, AddXorRejectsWidthMismatch) {
+    ColumnCounter counter(100);
+    const std::vector<Word> good(bits::word_count(100), 0);
+    const std::vector<Word> bad(5, 0);
+    EXPECT_THROW(counter.add_xor(bad, good), ContractViolation);
+    EXPECT_THROW(counter.add_xor(good, bad), ContractViolation);
+}
 
 TEST(ColumnCounter, UsableAfterCountsInto) {
     // counts_into() flushes but must not lose state: adding more rows after a
