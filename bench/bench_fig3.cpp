@@ -1,113 +1,14 @@
 /// \file bench_fig3.cpp
-/// Reproduces Fig. 3: the Hamming distances between the 784 feature-mapping
-/// guesses and the ground truth when attacking one pixel of an unprotected
-/// MNIST-scale binary HDC encoder (Sec. 3.2, Eq. 7/8).
-///
-/// The paper plants the correct mapping at candidate index 400 and observes
-/// that its H'_b,1 lands far below every wrong guess (~0.005 vs. the
-/// 0.01-0.025 band: a wrong candidate perturbs only 2 of 784 bundling terms,
-/// so most output bits still agree).  This bench probes the first feature,
-/// reports the full guess curve, and extends the experiment with the
-/// non-binary oracle, where the correct guess is exact (distance 0 /
-/// "cosine exactly 1" per Sec. 3.2).
-///
-/// Default scale is the paper's: N = P = 784, D = 10,000, M = 16.
+/// Compatibility wrapper over eval scenario "fig3" (Sec. 3.2, Eq. 7/8): the
+/// Hamming distances between the feature-mapping guesses and the ground
+/// truth when attacking one pixel of an unprotected MNIST-scale encoder.
+/// The experiment itself lives in src/eval/scenarios/scenario_fig3.cpp;
+/// `hdlock_eval --scenario fig3` is the richer front end.
 
-#include <algorithm>
-#include <iostream>
-#include <vector>
-
-#include "attack/feature_attack.hpp"
-#include "attack/value_attack.hpp"
 #include "common.hpp"
-#include "core/locked_encoder.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace hdlock;
-
-struct CurveSummary {
-    double correct_distance = 0.0;
-    double wrong_min = 0.0;
-    double wrong_mean = 0.0;
-    double wrong_max = 0.0;
-    bool attack_succeeds = false;
-};
-
-CurveSummary summarize(const attack::GuessCurve& curve, std::size_t correct_slot) {
-    CurveSummary summary;
-    summary.correct_distance = curve.distances[correct_slot];
-    std::vector<double> wrong;
-    wrong.reserve(curve.distances.size() - 1);
-    for (std::size_t n = 0; n < curve.distances.size(); ++n) {
-        if (n != correct_slot) wrong.push_back(curve.distances[n]);
-    }
-    summary.wrong_min = *std::ranges::min_element(wrong);
-    summary.wrong_max = *std::ranges::max_element(wrong);
-    summary.wrong_mean = util::mean(wrong);
-    summary.attack_succeeds = curve.best_candidate == correct_slot;
-    return summary;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-    const auto args = hdlock::bench::parse_args(
-        argc, argv, "Fig. 3: guess-vs-ground-truth Hamming distances, unprotected encoder");
-
-    DeploymentConfig config;
-    config.dim = args.quick ? 2048 : 10000;
-    config.n_features = args.quick ? 128 : 784;
-    config.n_levels = 16;
-    config.n_layers = 0;  // the vulnerable baseline of Sec. 3
-    config.seed = args.seed;
-    const Deployment deployment = provision(config);
-
-    // Strong-attacker shortcut for the curve: the value mapping is reasoned
-    // first (it succeeds; see bench_table1), here we read it for brevity.
-    const auto& level_to_slot = deployment.secure->value_mapping();
-    const std::size_t probe_feature = 0;
-    const std::size_t correct_slot = deployment.secure->key().entry(probe_feature, 0).base_index;
-
-    util::TextTable table({"oracle", "correct_guess", "wrong_min", "wrong_mean", "wrong_max",
-                           "separation", "attack_succeeds"});
-    attack::GuessCurve curves[2];
-    const char* names[2] = {"binary", "non-binary"};
-    for (const bool binary : {true, false}) {
-        const attack::EncodingOracle oracle(deployment.encoder);
-        const auto curve = attack::feature_guess_curve(*deployment.store, oracle, level_to_slot,
-                                                       probe_feature, binary);
-        curves[binary ? 0 : 1] = curve;
-        const auto summary = summarize(curve, correct_slot);
-        const double separation =
-            summary.correct_distance > 0.0 ? summary.wrong_min / summary.correct_distance : 1e9;
-        table.add_row({names[binary ? 0 : 1], util::format_fixed(summary.correct_distance, 5),
-                       util::format_fixed(summary.wrong_min, 5),
-                       util::format_fixed(summary.wrong_mean, 5),
-                       util::format_fixed(summary.wrong_max, 5),
-                       summary.correct_distance > 0.0 ? util::format_fixed(separation, 1) + "x"
-                                                      : "exact",
-                       summary.attack_succeeds ? "yes" : "no"});
-    }
-
-    std::cout << "Fig. 3 reproduction -- divide-and-conquer guesses on feature " << probe_feature
-              << " (N=" << config.n_features << ", D=" << config.dim
-              << ", correct mapping at pool slot " << correct_slot << ")\n\n";
-    hdlock::bench::emit(args, "guess-curve summary (paper: correct ~0.005, wrong 0.01-0.025)",
-                        table);
-
-    // The raw per-candidate series behind the plot.
-    util::TextTable curve_table({"candidate", "binary_distance", "nonbinary_distance"});
-    const std::size_t step = args.csv ? 1 : std::max<std::size_t>(1, config.n_features / 16);
-    for (std::size_t n = 0; n < curves[0].distances.size(); n += step) {
-        curve_table.add_row({std::to_string(n), util::format_fixed(curves[0].distances[n], 5),
-                             util::format_fixed(curves[1].distances[n], 5)});
-    }
-    if (!args.csv) {
-        std::cout << "(guess curve subsampled every " << step << " candidates; --csv for all)\n";
-    }
-    hdlock::bench::emit(args, "guess curve", curve_table);
-    return 0;
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig3",
+        "Fig. 3: guess-vs-ground-truth Hamming distances, unprotected encoder");
 }

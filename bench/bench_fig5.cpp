@@ -1,18 +1,15 @@
 /// \file bench_fig5.cpp
-/// Reproduces Fig. 5: HDLock security validation on the *binary* HDC model.
-///
-/// Worst case for the defender: the attacker knows the value mapping and
-/// three of the four sub-key parameters of the probed feature (MNIST scale,
-/// N = P = 784, D = 10,000, L = 2) and sweeps the last parameter, scoring
-/// each guess by the Hamming mismatch on the differing-index set I
-/// (Eq. 11-13).  The paper's finding, reproduced here: the correct guess
-/// scores ~0 and every wrong guess sits at the ~0.5 noise floor, so the
-/// attacker cannot shortcut the joint (D*P)^L search.
+/// Compatibility wrapper over eval scenario "fig5": HDLock security
+/// validation on the binary HDC model (Sec. 4.2, Eq. 11-13) — sweep one
+/// sub-key parameter with the other three known; the correct guess scores
+/// ~0 and every wrong guess sits at the ~0.5 noise floor, so the joint
+/// (D*P)^L search stands.  The experiment lives in
+/// src/eval/scenarios/scenario_lock_sweep.cpp.
 
-#include "lock_sweep_common.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
-    return hdlock::bench::run_lock_sweep_bench(
-        argc, argv, /*binary_oracle=*/true, /*cosine_view=*/false,
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig5",
         "Fig. 5: single-parameter sweeps against HDLock, binary HDC (Hamming criterion)");
 }

@@ -1,17 +1,13 @@
 /// \file bench_fig6.cpp
-/// Reproduces Fig. 6: HDLock security validation on the *non-binary* HDC
-/// model — the Fig. 5 experiment with the cosine criterion.
-///
-/// Without binarization the observed difference H^1 - H^M equals the probed
-/// feature's term exactly, so the correct guess reaches cosine = 1 while any
-/// single wrong parameter collapses the similarity to ~0.  The conclusion is
-/// the same as Fig. 5: one wrong parameter ruins the mapping, the joint
-/// (D*P)^L search stands.
+/// Compatibility wrapper over eval scenario "fig6": the Fig. 5 experiment
+/// with the non-binary oracle and the cosine criterion — the correct guess
+/// reaches cosine = 1, any single wrong parameter collapses it to ~0.  The
+/// experiment lives in src/eval/scenarios/scenario_lock_sweep.cpp.
 
-#include "lock_sweep_common.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
-    return hdlock::bench::run_lock_sweep_bench(
-        argc, argv, /*binary_oracle=*/false, /*cosine_view=*/true,
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig6",
         "Fig. 6: single-parameter sweeps against HDLock, non-binary HDC (cosine criterion)");
 }

@@ -1,145 +1,13 @@
 /// \file bench_fig7.cpp
-/// Reproduces Fig. 7: the closed-form adversarial guess counts (Sec. 5.2).
-///
-///  (a) guesses vs. dimension D and pool size P at L = 2 (the paper's
-///      surface plot, rendered as a D x P grid);
-///  (b) guesses vs. the number of key layers L for P in {100,300,500,700}
-///      at D = 10,000 (log-scale y-axis in the paper; log10 values here);
-///  plus the Sec. 4.2 / 5.2 headline numbers for MNIST.
-///
-/// Counts overflow doubles well inside the plotted range, so everything is
-/// computed in log10 space (core/complexity.hpp).
+/// Compatibility wrapper over eval scenario "fig7" (Sec. 5.2): closed-form
+/// adversarial guess counts vs. D, P and L, the headline MNIST numbers, and
+/// the empirical toy-scale joint searches validating the (D*P)^L formula.
+/// The experiment lives in src/eval/scenarios/scenario_fig7.cpp.
 
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "attack/lock_attack.hpp"
 #include "common.hpp"
-#include "core/complexity.hpp"
-#include "core/locked_encoder.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
-    using namespace hdlock;
-    const auto args = bench::parse_args(
-        argc, argv, "Fig. 7: number of reasoning guesses vs. D, P and L (closed form)");
-
-    const std::size_t n_features = 784;  // MNIST, as in Sec. 4.2
-
-    std::cout << "Fig. 7 reproduction -- reasoning complexity N*(D*P)^L, N=" << n_features
-              << "\n\n";
-
-    // --- (a): D x P grid at L = 2.  Cells are log10(guesses).
-    {
-        const std::vector<std::size_t> pools{100, 300, 500, 700, 900, 1100, 1300, 1500};
-        std::vector<std::string> headers{"D \\ P"};
-        for (const auto pool : pools) headers.push_back(std::to_string(pool));
-        util::TextTable table(headers);
-        for (std::size_t dim = 2000; dim <= 14000; dim += 2000) {
-            std::vector<std::string> row{std::to_string(dim)};
-            for (const auto pool : pools) {
-                row.push_back(util::format_fixed(
-                    complexity::log10_guesses(n_features, dim, pool, /*n_layers=*/2), 2));
-            }
-            table.add_row(std::move(row));
-        }
-        bench::emit(args, "(a) log10 guesses vs. D and P at L = 2", table);
-    }
-
-    // --- (b): L curves for the paper's four pool sizes at D = 10,000.
-    {
-        const std::vector<std::size_t> pools{100, 300, 500, 700};
-        std::vector<std::string> headers{"L"};
-        for (const auto pool : pools) headers.push_back("P = " + std::to_string(pool));
-        util::TextTable table(headers);
-        for (std::size_t layers = 1; layers <= 5; ++layers) {
-            std::vector<std::string> row{std::to_string(layers)};
-            for (const auto pool : pools) {
-                row.push_back(util::format_fixed(
-                    complexity::log10_guesses(n_features, 10000, pool, layers), 2));
-            }
-            table.add_row(std::move(row));
-        }
-        bench::emit(args, "(b) log10 guesses vs. key layers L at D = 10,000", table);
-    }
-
-    // --- Headline numbers (Sec. 4.2, Sec. 5.2, MNIST with P = N = 784).
-    {
-        util::TextTable table({"configuration", "guesses", "paper"});
-        const auto row = [&](const char* name, std::size_t layers, const char* paper) {
-            table.add_row({name,
-                           util::format_pow10(
-                               complexity::log10_guesses(n_features, 10000, 784, layers)),
-                           paper});
-        };
-        row("unprotected baseline (N^2)", 0, "6.15e+05");
-        row("one-layer key (N*D*P)", 1, "6.15e+09");
-        row("two-layer key (N*(D*P)^2)", 2, "4.81e+16");
-        table.add_row({"two-layer gain over baseline",
-                       util::format_pow10(
-                           complexity::security_gain_log10(n_features, 10000, 784, 2)),
-                       "7.82e+10"});
-        bench::emit(args, "headline complexity numbers (MNIST, P = N = 784, D = 10,000)", table);
-    }
-
-    // --- Empirical validation: the joint search is actually run on toy
-    // configurations; the measured per-feature guess count must equal
-    // (D*P)^L exactly, and the per-guess cost extrapolates the closed form
-    // into wall-clock at paper scale.
-    {
-        struct ToyCase {
-            std::size_t dim, pool, layers;
-        };
-        // L = 2 needs a few hundred dimensions: below that the flipped-index
-        // set I is so small that thousands of wrong sub-keys match it by
-        // chance and the toy search under-determines the key.
-        const std::vector<ToyCase> cases = args.quick
-                                               ? std::vector<ToyCase>{{128, 3, 1}, {320, 4, 2}}
-                                               : std::vector<ToyCase>{{128, 3, 1},
-                                                                      {256, 4, 1},
-                                                                      {384, 3, 2},
-                                                                      {320, 4, 2}};
-        util::TextTable table({"D", "P", "L", "guesses", "(D*P)^L", "recovered", "seconds",
-                               "extrapolated@MNIST"});
-        for (const auto& toy : cases) {
-            DeploymentConfig config;
-            config.dim = toy.dim;
-            config.n_features = 4;
-            config.pool_size = toy.pool;
-            config.n_levels = 4;
-            config.n_layers = toy.layers;
-            config.seed = args.seed;
-            const Deployment deployment = provision(config);
-            const attack::EncodingOracle oracle(deployment.encoder);
-
-            util::WallTimer timer;
-            const auto result = attack::exhaustive_feature_attack(
-                *deployment.store, oracle, deployment.secure->value_mapping(), /*feature=*/0,
-                toy.layers, /*binary_oracle=*/true);
-            const double seconds = timer.elapsed_seconds();
-
-            const double expected = std::pow(static_cast<double>(toy.dim * toy.pool),
-                                             static_cast<double>(toy.layers));
-            const bool recovered =
-                result.recovered_feature_hv == deployment.encoder->feature_hv(0);
-            // Wall-clock at paper scale = measured per-guess cost scaled to
-            // N * (D*P)^L guesses with D-proportional per-guess work.
-            const double per_guess = seconds / static_cast<double>(result.guesses);
-            const double paper_log10_seconds =
-                std::log10(per_guess * 10000.0 / static_cast<double>(toy.dim)) +
-                complexity::log10_guesses(784, 10000, 784, toy.layers);
-            table.add_row({std::to_string(toy.dim), std::to_string(toy.pool),
-                           std::to_string(toy.layers), std::to_string(result.guesses),
-                           util::format_fixed(expected, 0), recovered ? "yes" : "no",
-                           util::format_fixed(seconds, 3),
-                           util::format_pow10(paper_log10_seconds) + " s"});
-        }
-        bench::emit(args,
-                    "empirical joint search on toy configs (guess counts match the closed "
-                    "form; extrapolation shows why the full attack is infeasible)",
-                    table);
-    }
-    return 0;
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig7",
+        "Fig. 7: number of reasoning guesses vs. D, P and L (closed form + toy searches)");
 }

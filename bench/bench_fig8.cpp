@@ -1,96 +1,15 @@
 /// \file bench_fig8.cpp
-/// Reproduces Fig. 8: inference accuracy vs. the number of key layers L for
-/// the five benchmarks, (a) non-binary and (b) binary record-based encoding.
-/// L = 0 is the unprotected baseline.
-///
-/// The paper's claim: HDLock costs no accuracy at any L, because Eq. 9
-/// products of orthogonal bases are themselves orthogonal — the encoder's
-/// statistics are unchanged.  Expect every row to be flat up to seed noise.
-///
+/// Compatibility wrapper over eval scenario "fig8": inference accuracy vs.
+/// the number of key layers L for the five benchmarks, non-binary and
+/// binary record encoding — the paper's "no accuracy cost at any L" claim.
 /// Training at D = 10,000 across 5 datasets x 2 kinds x 6 layer counts is
-/// the most expensive bench in the suite; the default uses D = 4,096 (the
-/// flatness claim is dimension-independent), --full runs the paper's
-/// D = 10,000.
-
-#include <iostream>
+/// the most expensive experiment in the suite; the default uses D = 4,096
+/// (the flatness claim is dimension-independent), --full runs the paper's
+/// scale.  The experiment lives in src/eval/scenarios/scenario_fig8.cpp.
 
 #include "common.hpp"
-#include "core/locked_encoder.hpp"
-#include "data/synthetic.hpp"
-#include "hdc/classifier.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace hdlock;
-
-double locked_accuracy(const data::SyntheticBenchmark& benchmark, hdc::ModelKind kind,
-                       std::size_t dim, std::size_t n_layers, std::uint64_t seed) {
-    DeploymentConfig config;
-    config.dim = dim;
-    config.n_features = benchmark.train.n_features();
-    config.n_levels = benchmark.spec.n_levels;
-    config.n_layers = n_layers;
-    config.seed = seed;
-    const Deployment deployment = provision(config);
-
-    hdc::PipelineConfig pipeline;
-    pipeline.train.kind = kind;
-    pipeline.train.retrain_epochs = 10;
-    pipeline.train.seed = util::hash_mix(seed, n_layers);
-    const auto classifier = hdc::HdcClassifier::fit(benchmark.train, deployment.encoder, pipeline);
-    return classifier.evaluate(benchmark.test);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-    const auto args = hdlock::bench::parse_args(
-        argc, argv, "Fig. 8: accuracy vs. number of key layers L, five benchmarks");
-
-    const std::size_t dim = args.full ? 10000 : (args.quick ? 1024 : 4096);
-    const std::size_t max_layers = args.quick ? 3 : 5;
-
-    std::cout << "Fig. 8 reproduction -- accuracy under HDLock (D=" << dim
-              << ", L=0 is the unprotected baseline)\n\n";
-
-    for (const auto kind : {hdc::ModelKind::non_binary, hdc::ModelKind::binary}) {
-        std::vector<std::string> headers{"benchmark"};
-        for (std::size_t layers = 0; layers <= max_layers; ++layers) {
-            headers.push_back("L=" + std::to_string(layers));
-        }
-        headers.push_back("max_drift");
-        util::TextTable table(headers);
-
-        for (const auto& spec : data::paper_benchmarks()) {
-            auto scaled = spec;
-            if (args.quick) {
-                scaled.n_train = std::min<std::size_t>(scaled.n_train, 400);
-                scaled.n_test = std::min<std::size_t>(scaled.n_test, 150);
-            }
-            const auto benchmark = data::make_benchmark(scaled);
-
-            std::vector<std::string> row{spec.name};
-            double baseline = 0.0;
-            double max_drift = 0.0;
-            for (std::size_t layers = 0; layers <= max_layers; ++layers) {
-                const double accuracy =
-                    locked_accuracy(benchmark, kind, dim, layers, args.seed);
-                if (layers == 0) baseline = accuracy;
-                max_drift = std::max(max_drift, std::abs(accuracy - baseline));
-                row.push_back(util::format_fixed(accuracy, 4));
-            }
-            row.push_back(util::format_fixed(max_drift, 4));
-            table.add_row(std::move(row));
-        }
-        hdlock::bench::emit(args,
-                            kind == hdc::ModelKind::non_binary
-                                ? "(a) non-binary record-based encoding"
-                                : "(b) binary record-based encoding",
-                            table);
-    }
-
-    std::cout << "paper: all curves flat in [0.80, 0.95] -- \"no observable negative impact on "
-                 "the accuracy\"\n";
-    return 0;
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig8", "Fig. 8: accuracy vs. number of key layers L, five benchmarks");
 }

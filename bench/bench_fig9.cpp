@@ -1,124 +1,13 @@
 /// \file bench_fig9.cpp
-/// Reproduces Fig. 9: encoding time of HDLock relative to the baseline HDC
-/// model, measured in clock cycles on the parametric datapath model that
-/// stands in for the paper's Zynq UltraScale+ deployment (DESIGN.md §2).
-///
-/// Reproduced structural facts: L = 1 costs 1.0x (a permutation is a shifted
-/// memory access), the curve grows linearly from L = 2 with the headline
-/// 1.21x two-layer overhead, and the relative curves of all five benchmarks
-/// coincide (the ratio is independent of N and D).
-///
-/// A software cross-check table is appended: wall-clock time to materialize
-/// the Eq. 9 feature hypervectors (the work the FPGA streams per encode,
-/// done once at construction in this library) also grows linearly in L,
-/// while the per-sample software encode time is L-independent by design.
-
-#include <iostream>
+/// Compatibility wrapper over eval scenario "fig9": encoding time of HDLock
+/// relative to the baseline on the parametric datapath model (L = 1 costs
+/// 1.0x, the headline 1.21x two-layer overhead, linear growth,
+/// dataset-independent curves), plus the software wall-clock cross-check.
+/// The experiment lives in src/eval/scenarios/scenario_fig9.cpp.
 
 #include "common.hpp"
-#include "core/locked_encoder.hpp"
-#include "data/synthetic.hpp"
-#include "hw/pipeline_model.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-using namespace hdlock;
-
-struct SoftwareCost {
-    double materialize_ms = 0.0;  ///< LockedEncoder construction (Eq. 9 products)
-    double encode_us = 0.0;       ///< per-sample encode, averaged
-};
-
-SoftwareCost software_cost(std::size_t dim, std::size_t n_features, std::size_t n_layers,
-                           std::uint64_t seed) {
-    DeploymentConfig config;
-    config.dim = dim;
-    config.n_features = n_features;
-    config.n_levels = 16;
-    config.n_layers = n_layers;
-    config.seed = seed;
-
-    util::WallTimer timer;
-    const Deployment deployment = provision(config);
-    SoftwareCost cost;
-    cost.materialize_ms = timer.elapsed_ms();
-
-    const std::vector<int> levels(n_features, 1);
-    constexpr int kRepeats = 20;
-    timer.reset();
-    for (int r = 0; r < kRepeats; ++r) {
-        const auto encoded = deployment.encoder->encode(levels);
-        if (encoded.dim() != dim) return cost;  // keep the optimizer honest
-    }
-    cost.encode_us = timer.elapsed_ms() * 1000.0 / kRepeats;
-    return cost;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-    const auto args = hdlock::bench::parse_args(
-        argc, argv, "Fig. 9: relative encoding time vs. number of key layers L");
-
-    const hw::HwConfig hw_config;  // calibrated: II(2)/II(1) = 1.20 (~paper's 1.21)
-    const std::size_t max_layers = 5;
-
-    std::cout << "Fig. 9 reproduction -- encoding clock cycles relative to the unprotected "
-                 "baseline (datapath model: width=" << hw_config.datapath_width
-              << "b, ports=" << hw_config.memory_ports << ")\n\n";
-
-    // --- The figure: one relative-time curve per benchmark.
-    {
-        std::vector<std::string> headers{"benchmark"};
-        for (std::size_t layers = 1; layers <= max_layers; ++layers) {
-            headers.push_back("L=" + std::to_string(layers));
-        }
-        util::TextTable table(headers);
-        for (const auto& spec : data::paper_benchmarks()) {
-            const auto curve = hw::relative_time_curve(hw_config, 10000, spec.n_features,
-                                                       max_layers);
-            std::vector<std::string> row{spec.name};
-            for (const double value : curve) row.push_back(util::format_fixed(value, 3));
-            table.add_row(std::move(row));
-        }
-        hdlock::bench::emit(args, "relative encoding time (paper: 1.0 at L=1, 1.21 at L=2, "
-                                  "linear, dataset-independent)",
-                            table);
-    }
-
-    // --- Cycle breakdown for MNIST at each L (where the ratio comes from).
-    {
-        util::TextTable table({"L", "cycles", "fetch", "accumulate", "binarize", "fill",
-                               "relative", "us@200MHz"});
-        for (std::size_t layers = 0; layers <= max_layers; ++layers) {
-            const hw::EncoderPipelineModel model(hw_config, 10000, 784, layers);
-            const auto cost = model.encode_cost();
-            table.add_row({layers == 0 ? "base" : std::to_string(layers),
-                           std::to_string(cost.cycles), std::to_string(cost.fetch_beats),
-                           std::to_string(cost.accumulate_beats),
-                           std::to_string(cost.binarize_beats), std::to_string(cost.fill_beats),
-                           util::format_fixed(model.relative_to_baseline(), 3),
-                           util::format_fixed(cost.microseconds(hw_config.clock_mhz), 1)});
-        }
-        hdlock::bench::emit(args, "cycle breakdown, MNIST (N=784, D=10,000)", table);
-    }
-
-    // --- Software cross-check (wall clock, this machine).
-    {
-        const std::size_t dim = args.quick ? 2048 : 10000;
-        const std::size_t n_features = args.quick ? 128 : 784;
-        util::TextTable table({"L", "materialize_ms", "encode_us_per_sample"});
-        for (std::size_t layers = 1; layers <= max_layers; ++layers) {
-            const auto cost = software_cost(dim, n_features, layers, args.seed);
-            table.add_row({std::to_string(layers), util::format_fixed(cost.materialize_ms, 2),
-                           util::format_fixed(cost.encode_us, 1)});
-        }
-        hdlock::bench::emit(args,
-                            "software cross-check: Eq. 9 materialization scales with L, "
-                            "per-sample encode does not",
-                            table);
-    }
-    return 0;
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "fig9", "Fig. 9: relative encoding time vs. number of key layers L");
 }

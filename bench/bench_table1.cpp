@@ -1,89 +1,19 @@
 /// \file bench_table1.cpp
-/// Reproduces Table 1: the reasoning attack on unprotected HDC models across
-/// the five benchmarks — original vs. reconstructed (stolen) accuracy plus
-/// the reasoning time, for non-binary and binary models.
+/// Compatibility wrapper over eval scenario "table1": the reasoning attack
+/// on unprotected HDC models across the five benchmarks — original vs.
+/// reconstructed accuracy plus reasoning cost (the IP leaks completely;
+/// cost is ordered by the N^2 guess count).  The experiment lives in
+/// src/eval/scenarios/scenario_table1.cpp.
 ///
-/// The datasets are the synthetic stand-ins of data/synthetic.hpp (same N,
-/// C, M as the real corpora; see DESIGN.md §2).  Absolute times differ from
-/// the paper's Python-on-i7 numbers by construction; the claims that carry
-/// over are: (i) the recovered accuracy matches the original (the IP leaks
-/// completely), and (ii) reasoning cost is ordered by the N^2 guess count,
-/// with PAMAP (N = 75) orders of magnitude cheaper than the rest.
-///
-/// Default D = 10,000 as in the paper; --quick drops to 2,048 and subsamples
-/// the training sets.
+/// Paper rows (Python, i7-3.60GHz): non-binary acc 0.8176/0.8385/0.9390/
+/// 0.8839/0.8426 recovered within +-0.005; reasoning 4057.59/1404.33/
+/// 7388.32/1649.81/0.85 s; binary similar with times 4284.27/1674.99/
+/// 9100.14/2750.30/5.89 s.
 
-#include <iostream>
-
-#include "api/api.hpp"
-#include "attack/ip_theft.hpp"
 #include "common.hpp"
-#include "data/synthetic.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace hdlock;
-
-data::SyntheticBenchmark scaled_benchmark(data::SyntheticSpec spec, bool quick) {
-    if (quick) {
-        spec.n_train = std::min<std::size_t>(spec.n_train, 400);
-        spec.n_test = std::min<std::size_t>(spec.n_test, 150);
-    }
-    return data::make_benchmark(spec);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-    const auto args = hdlock::bench::parse_args(
-        argc, argv, "Table 1: reasoning time and reconstructed-model accuracy, five benchmarks");
-
-    std::cout << "Table 1 reproduction -- IP theft on unprotected HDC models (D="
-              << (args.quick ? 2048 : 10000) << ")\n\n";
-
-    for (const auto kind : {hdc::ModelKind::non_binary, hdc::ModelKind::binary}) {
-        util::TextTable table({"benchmark", "original_acc", "recovered_acc", "value_map_acc",
-                               "feature_map_acc", "reasoning_s", "guesses", "oracle_queries"});
-        for (const auto& spec : data::paper_benchmarks()) {
-            const auto benchmark = scaled_benchmark(spec, args.quick);
-
-            attack::IpTheftConfig config;
-            config.kind = kind;
-            config.dim = args.quick ? 2048 : 10000;
-            config.n_levels = spec.n_levels;
-            config.retrain_epochs = args.quick ? 5 : 10;
-            config.seed = args.seed;
-
-            // The victim deployment comes from the api facade (same
-            // provisioning steal_model used to do internally); the attack
-            // then runs against its Deployment bridge.
-            DeploymentConfig victim;
-            victim.dim = config.dim;
-            victim.n_features = benchmark.train.n_features();
-            victim.n_levels = config.n_levels;
-            victim.n_layers = 0;  // the vulnerable baseline of Sec. 3
-            victim.seed = config.seed;
-            const api::Owner owner = api::Owner::provision(victim);
-
-            const auto report =
-                attack::steal_model(owner.deployment(), benchmark.train, benchmark.test, config);
-            table.add_row({spec.name, util::format_fixed(report.original_accuracy, 4),
-                           util::format_fixed(report.recovered_accuracy, 4),
-                           util::format_fixed(report.value_mapping_accuracy, 4),
-                           util::format_fixed(report.feature_mapping_accuracy, 4),
-                           util::format_fixed(report.reasoning_seconds, 3),
-                           std::to_string(report.guesses),
-                           std::to_string(report.oracle_queries)});
-        }
-        hdlock::bench::emit(args,
-                            kind == hdc::ModelKind::non_binary ? "non-binary HDC model"
-                                                               : "binary HDC model",
-                            table);
-    }
-
-    std::cout << "paper rows (Python, i7-3.60GHz): non-binary acc 0.8176/0.8385/0.9390/0.8839/"
-                 "0.8426 recovered within +-0.005; reasoning 4057.59/1404.33/7388.32/1649.81/"
-                 "0.85 s; binary similar with times 4284.27/1674.99/9100.14/2750.30/5.89 s\n";
-    return 0;
+    return hdlock::bench::scenario_bench_main(
+        argc, argv, "table1",
+        "Table 1: reasoning time and reconstructed-model accuracy, five benchmarks");
 }

@@ -3,13 +3,25 @@
 /// \file common.hpp
 /// Shared command-line handling for the table/figure reproduction binaries.
 ///
+/// Since the eval:: harness landed, each bench_figN binary is a thin
+/// compatibility wrapper over one registered eval scenario (kept because
+/// scripts and CI invoke them by name); run_scenario_main() is the whole
+/// body.  `hdlock_eval` is the richer front end (--threads, --json,
+/// scenario selection).
+///
 /// Every bench accepts:
 ///   --csv        emit machine-readable CSV instead of aligned text tables
-///   --quick      reduced dimensionality/dataset sizes (CI-friendly)
+///   --quick      reduced scale (CI-friendly)
 ///   --smoke      alias of --quick under the name CI's sanitizer job uses
 ///                (bench_ops additionally shrinks its timing windows for it)
 ///   --full       paper-scale parameters where the default is reduced
 ///   --seed=S     override the experiment seed
+///
+/// --quick/--smoke semantics are uniform across every bench and scenario:
+/// BOTH the trial axes (toy-case lists, layer counts, grid points) AND the
+/// per-trial problem sizes (dimensions, dataset sizes) are bounded — see
+/// eval/scenario.hpp, which owns the definition.
+///
 /// Unknown flags print usage and exit non-zero, so typos never silently run
 /// the wrong experiment.
 
@@ -18,6 +30,10 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+
+#include "eval/registry.hpp"
+#include "eval/render.hpp"
+#include "eval/sweep_runner.hpp"
 
 namespace hdlock::bench {
 
@@ -55,14 +71,28 @@ inline BenchArgs parse_args(int argc, char** argv, std::string_view description)
     return args;
 }
 
-/// Prints a table as text or CSV per the parsed flags, preceded in text mode
-/// by a "== title ==" heading.
-template <typename Table>
-void emit(const BenchArgs& args, const std::string& title, const Table& table) {
-    if (args.csv) {
-        std::cout << table.to_csv();
-    } else {
-        std::cout << "== " << title << " ==\n" << table.to_string() << '\n';
+/// Runs one registered eval scenario with the bench-compatible flags and
+/// prints its text/CSV rendering.  Returns 0 when the scenario ran green,
+/// 1 on any trial error (the old binaries' contract).
+inline int run_scenario_main(std::string_view scenario_name, const BenchArgs& args) {
+    eval::RunOptions options;
+    options.smoke = args.quick;
+    options.full = args.full;
+    options.seed = args.seed;
+    options.n_threads = 0;  // hardware concurrency; output is thread-count invariant
+    const eval::SweepRunner runner(options);
+    const auto report = runner.run(eval::builtin_registry().at(scenario_name));
+    std::cout << (args.csv ? eval::render_csv(report) : eval::render_text(report));
+    return report.ok() ? 0 : 1;
+}
+
+inline int scenario_bench_main(int argc, char** argv, std::string_view scenario_name,
+                               std::string_view description) {
+    try {
+        return run_scenario_main(scenario_name, parse_args(argc, argv, description));
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
     }
 }
 

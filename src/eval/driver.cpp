@@ -1,0 +1,123 @@
+#include "eval/driver.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "eval/render.hpp"
+#include "eval/report.hpp"
+#include "eval/sweep_runner.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hdlock::eval {
+
+namespace {
+
+int list_scenarios(const ScenarioRegistry& registry, std::ostream& out) {
+    util::TextTable table({"scenario", "paper", "trials", "trials(smoke)", "description"});
+    RunOptions default_options;
+    RunOptions smoke_options;
+    smoke_options.smoke = true;
+    for (const Scenario* scenario : registry.scenarios()) {
+        table.add_row({scenario->info().name, scenario->info().paper_ref,
+                       std::to_string(scenario->plan(default_options).size()),
+                       std::to_string(scenario->plan(smoke_options).size()),
+                       scenario->info().description});
+    }
+    out << table.to_string();
+    return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> split_scenario_list(const std::string& value) {
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin <= value.size()) {
+        const std::size_t comma = value.find(',', begin);
+        const std::size_t end = comma == std::string::npos ? value.size() : comma;
+        if (end > begin) names.push_back(value.substr(begin, end - begin));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
+    return names;
+}
+
+int run_eval_cli(const EvalCliOptions& options, const ScenarioRegistry& registry,
+                 std::ostream& out, std::ostream& err) {
+    if (options.list) return list_scenarios(registry, out);
+
+    if (!options.all && options.scenarios.empty()) {
+        err << "nothing to do: pass --list, --all, or --scenario NAME\n";
+        return 2;
+    }
+    if (options.run.smoke && options.run.full) {
+        err << "--smoke and --full are mutually exclusive\n";
+        return 2;
+    }
+
+    std::vector<const Scenario*> selected;
+    if (options.all) {
+        selected = registry.scenarios();
+    } else {
+        for (const auto& name : options.scenarios) {
+            try {
+                selected.push_back(&registry.at(name));
+            } catch (const Error& error) {
+                err << error.what() << "\n";
+                return 2;
+            }
+        }
+    }
+
+    const bool json_to_stdout = options.json && options.json_path.empty();
+    const SweepRunner runner(options.run);
+    std::vector<ScenarioRunReport> reports;
+    reports.reserve(selected.size());
+    for (const Scenario* scenario : selected) {
+        ScenarioRunReport report = runner.run(*scenario);
+        if (!json_to_stdout) {
+            out << (options.csv ? render_csv(report) : render_text(report));
+        }
+        reports.push_back(std::move(report));
+    }
+
+    if (options.json) {
+        ReportJsonOptions json_options;
+        json_options.include_timing = options.timing;
+        json_options.include_context = options.timing;
+        json_options.executable = options.executable;
+        const std::string payload = full_report_json(reports, json_options).dump(2) + "\n";
+        if (json_to_stdout) {
+            out << payload;
+        } else {
+            std::ofstream file(options.json_path, std::ios::binary);
+            file << payload;
+            file.flush();  // surface ENOSPC-style errors before the check
+            if (!file) {
+                err << "failed to write JSON report to " << options.json_path << "\n";
+                return 1;
+            }
+            out << "wrote " << options.json_path << "\n";
+        }
+    }
+
+    int exit_code = 0;
+    for (const auto& report : reports) {
+        if (report.ok()) continue;
+        exit_code = 1;
+        if (report.trials.empty()) {
+            err << "scenario '" << report.info.name << "': empty report (no trials planned)\n";
+        } else {
+            for (const auto& trial : report.trials) {
+                if (!trial.ok()) {
+                    err << "scenario '" << report.info.name << "' trial '" << trial.spec.name
+                        << "' failed: " << trial.error << "\n";
+                }
+            }
+        }
+    }
+    return exit_code;
+}
+
+}  // namespace hdlock::eval

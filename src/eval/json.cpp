@@ -1,0 +1,239 @@
+#include "eval/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hdlock::eval {
+
+namespace {
+
+void dump_value(const Json& value, std::string& out, int indent, int depth);
+
+void append_indent(std::string& out, int indent, int depth) {
+    if (indent >= 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+    }
+}
+
+void dump_array(const Json::Array& array, std::string& out, int indent, int depth) {
+    if (array.empty()) {
+        out += "[]";
+        return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) out += ',';
+        append_indent(out, indent, depth + 1);
+        dump_value(array[i], out, indent, depth + 1);
+    }
+    append_indent(out, indent, depth);
+    out += ']';
+}
+
+void dump_object(const Json::Object& object, std::string& out, int indent, int depth) {
+    if (object.empty()) {
+        out += "{}";
+        return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i != 0) out += ',';
+        append_indent(out, indent, depth + 1);
+        out += json_quote(object[i].first);
+        out += indent >= 0 ? ": " : ":";
+        dump_value(object[i].second, out, indent, depth + 1);
+    }
+    append_indent(out, indent, depth);
+    out += '}';
+}
+
+void dump_value(const Json& value, std::string& out, int indent, int depth) {
+    switch (value.kind()) {
+        case Json::Kind::null:
+            out += "null";
+            return;
+        case Json::Kind::boolean:
+            out += value.as_bool() ? "true" : "false";
+            return;
+        case Json::Kind::integer:
+            out += value.integer_to_string();
+            return;
+        case Json::Kind::number:
+            out += json_number(value.as_double());
+            return;
+        case Json::Kind::string:
+            out += json_quote(value.as_string());
+            return;
+        case Json::Kind::array:
+            dump_array(value.as_array(), out, indent, depth);
+            return;
+        case Json::Kind::object:
+            dump_object(value.as_object(), out, indent, depth);
+            return;
+    }
+}
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+    if (is_null()) value_ = Object{};
+    HDLOCK_EXPECTS(is_object(), "Json::operator[]: not an object");
+    auto& object = std::get<Object>(value_);
+    for (auto& [name, value] : object) {
+        if (name == key) return value;
+    }
+    object.emplace_back(std::string(key), Json());
+    return object.back().second;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+    if (!is_object()) return nullptr;
+    for (const auto& [name, value] : std::get<Object>(value_)) {
+        if (name == key) return &value;
+    }
+    return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+    const Json* found = find(key);
+    HDLOCK_EXPECTS(found != nullptr, "Json::at: missing key '" + std::string(key) + "'");
+    return *found;
+}
+
+const Json& Json::at(std::size_t index) const {
+    const auto& array = as_array();
+    HDLOCK_EXPECTS(index < array.size(), "Json::at: array index out of range");
+    return array[index];
+}
+
+void Json::push_back(Json element) {
+    if (is_null()) value_ = Array{};
+    HDLOCK_EXPECTS(is_array(), "Json::push_back: not an array");
+    std::get<Array>(value_).push_back(std::move(element));
+}
+
+bool Json::erase(std::string_view key) {
+    if (!is_object()) return false;
+    auto& object = std::get<Object>(value_);
+    for (auto it = object.begin(); it != object.end(); ++it) {
+        if (it->first == key) {
+            object.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t Json::size() const noexcept {
+    if (is_array()) return std::get<Array>(value_).size();
+    if (is_object()) return std::get<Object>(value_).size();
+    return 0;
+}
+
+Json::Kind Json::kind() const noexcept {
+    // Both integral alternatives present as Kind::integer; later indices
+    // shift down by one.
+    const std::size_t index = value_.index();
+    if (index <= 2) return static_cast<Kind>(index);
+    return static_cast<Kind>(index - 1);
+}
+
+bool Json::as_bool() const {
+    HDLOCK_EXPECTS(kind() == Kind::boolean, "Json::as_bool: not a boolean");
+    return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+    HDLOCK_EXPECTS(std::holds_alternative<std::int64_t>(value_),
+                   "Json::as_int: not an int64-representable integer");
+    return std::get<std::int64_t>(value_);
+}
+
+std::uint64_t Json::as_uint() const {
+    if (std::holds_alternative<std::uint64_t>(value_)) return std::get<std::uint64_t>(value_);
+    HDLOCK_EXPECTS(std::holds_alternative<std::int64_t>(value_) &&
+                       std::get<std::int64_t>(value_) >= 0,
+                   "Json::as_uint: not a non-negative integer");
+    return static_cast<std::uint64_t>(std::get<std::int64_t>(value_));
+}
+
+std::string Json::integer_to_string() const {
+    char buffer[24];
+    const auto result =
+        std::holds_alternative<std::uint64_t>(value_)
+            ? std::to_chars(buffer, buffer + sizeof buffer, std::get<std::uint64_t>(value_))
+            : std::to_chars(buffer, buffer + sizeof buffer, as_int());
+    return std::string(buffer, result.ptr);
+}
+
+double Json::as_double() const {
+    if (std::holds_alternative<std::int64_t>(value_)) {
+        return static_cast<double>(std::get<std::int64_t>(value_));
+    }
+    if (std::holds_alternative<std::uint64_t>(value_)) {
+        return static_cast<double>(std::get<std::uint64_t>(value_));
+    }
+    HDLOCK_EXPECTS(kind() == Kind::number, "Json::as_double: not a number");
+    return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+    HDLOCK_EXPECTS(kind() == Kind::string, "Json::as_string: not a string");
+    return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+    HDLOCK_EXPECTS(is_array(), "Json::as_array: not an array");
+    return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+    HDLOCK_EXPECTS(is_object(), "Json::as_object: not an object");
+    return std::get<Object>(value_);
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_value(*this, out, indent, 0);
+    return out;
+}
+
+std::string json_quote(std::string_view text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char hex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xF];
+                    out += hex[c & 0xF];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[32];
+    const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+    return std::string(buffer, result.ptr);
+}
+
+}  // namespace hdlock::eval

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value model + writer for the eval:: reproduction reports.
+///
+/// Deliberately tiny — the harness only ever *writes* JSON — but strict
+/// about determinism, which third-party writers tend not to be:
+///
+///  - objects preserve insertion order (no re-sorting, no hash order), so a
+///    report serializes byte-identically across runs and thread counts;
+///  - numbers are rendered with std::to_chars shortest round-trip form, the
+///    same bytes on every standard library;
+///  - non-finite doubles serialize as null (JSON has no NaN/inf) instead of
+///    producing an unparseable file.
+///
+/// The output schema convention lives in report.hpp; this file is plain
+/// value plumbing.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace hdlock::eval {
+
+class Json {
+public:
+    using Array = std::vector<Json>;
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    enum class Kind { null, boolean, integer, number, string, array, object };
+
+    Json() noexcept : value_(nullptr) {}
+    Json(std::nullptr_t) noexcept : value_(nullptr) {}
+    Json(bool value) noexcept : value_(value) {}
+    Json(double value) noexcept : value_(value) {}
+    Json(const char* value) : value_(std::string(value)) {}
+    Json(std::string value) : value_(std::move(value)) {}
+    Json(std::string_view value) : value_(std::string(value)) {}
+    Json(Array value) : value_(std::move(value)) {}
+    Json(Object value) : value_(std::move(value)) {}
+
+    /// Every integral value stores and serializes exactly: signed and small
+    /// unsigned as int64, unsigned values above int64 max as uint64.  This
+    /// matters for the per-trial seeds in reports — hash_mix output is
+    /// uniform over uint64, and a seed rounded through double would not
+    /// reproduce the trial it claims to describe.
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+    Json(T value) noexcept {
+        if constexpr (std::is_unsigned_v<T>) {
+            if (static_cast<std::uint64_t>(value) >
+                static_cast<std::uint64_t>(INT64_MAX)) {
+                value_ = static_cast<std::uint64_t>(value);
+                return;
+            }
+        }
+        value_ = static_cast<std::int64_t>(value);
+    }
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(Object{}); }
+
+    Kind kind() const noexcept;
+    bool is_null() const noexcept { return kind() == Kind::null; }
+    bool is_object() const noexcept { return kind() == Kind::object; }
+    bool is_array() const noexcept { return kind() == Kind::array; }
+
+    /// Object upsert: returns the value for `key`, inserting null first if
+    /// absent.  A null Json silently becomes an object (builder style).
+    Json& operator[](std::string_view key);
+
+    /// Object lookup; nullptr when absent or when this is not an object.
+    const Json* find(std::string_view key) const noexcept;
+
+    /// Object lookup that must succeed (ContractViolation otherwise) — the
+    /// test-friendly accessor.
+    const Json& at(std::string_view key) const;
+    /// Array element access (bounds-checked).
+    const Json& at(std::size_t index) const;
+
+    /// Array append: a null Json silently becomes an array.
+    void push_back(Json element);
+
+    /// Removes an object key if present; returns whether it was there.
+    bool erase(std::string_view key);
+
+    std::size_t size() const noexcept;
+
+    bool as_bool() const;
+    /// Integer value; throws for uint64 payloads above int64 max (use
+    /// as_uint for those).
+    std::int64_t as_int() const;
+    /// Any stored integer as uint64; throws for negatives.
+    std::uint64_t as_uint() const;
+    /// Exact decimal rendering of an integer payload (the writer's path —
+    /// signed or unsigned, never through double).
+    std::string integer_to_string() const;
+    double as_double() const;  ///< integer or number
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Serializes the value.  indent < 0: compact one-line form; indent >= 0:
+    /// pretty-printed with that many spaces per level (the bench/results/
+    /// files use 2).
+    std::string dump(int indent = -1) const;
+
+    bool operator==(const Json& other) const noexcept = default;
+
+private:
+    // std::uint64_t holds only values above int64 max (see the integral
+    // constructor); both integral alternatives present as Kind::integer.
+    std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double, std::string, Array,
+                 Object>
+        value_;
+};
+
+/// Escapes and quotes a string per RFC 8259 (control characters as \u00XX).
+std::string json_quote(std::string_view text);
+
+/// Shortest round-trip decimal rendering of a double ("0.005", "1e+30");
+/// "null" for non-finite values.
+std::string json_number(double value);
+
+}  // namespace hdlock::eval

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file registry.hpp
+/// Name -> Scenario lookup for the reproduction harness.
+///
+/// Every paper figure/table and every beyond-paper sweep registers exactly
+/// once, by name, in registration order (the paper's order, then the
+/// extensions).  builtin_registry() is the process-wide read-only instance
+/// the CLIs use; make_builtin_registry() builds a fresh one for tests.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/scenario.hpp"
+
+namespace hdlock::eval {
+
+class ScenarioRegistry {
+public:
+    /// Registers a scenario; throws ConfigError on an empty or duplicate
+    /// name.
+    void add(std::shared_ptr<const Scenario> scenario);
+
+    bool contains(std::string_view name) const noexcept;
+
+    /// Lookup that throws Error naming the unknown scenario AND listing
+    /// every available name — a typo in --scenario must never fail mutely.
+    const Scenario& at(std::string_view name) const;
+
+    /// All scenarios in registration order.
+    std::vector<const Scenario*> scenarios() const;
+
+    /// All names in registration order.
+    std::vector<std::string> names() const;
+
+    std::size_t size() const noexcept { return scenarios_.size(); }
+
+private:
+    std::vector<std::shared_ptr<const Scenario>> scenarios_;
+};
+
+/// Builds a registry holding every built-in scenario: the six figures,
+/// Table 1, and the beyond-paper sweeps.
+ScenarioRegistry make_builtin_registry();
+
+/// Lazily-constructed shared instance of make_builtin_registry().
+const ScenarioRegistry& builtin_registry();
+
+}  // namespace hdlock::eval

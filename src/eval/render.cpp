@@ -1,0 +1,170 @@
+#include "eval/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace hdlock::eval {
+
+namespace {
+
+/// Collects `key` into `keys` if not already present (insertion order).
+void collect_key(std::vector<std::string>& keys, const std::string& key) {
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) keys.push_back(key);
+}
+
+bool is_scalar(const Json& value) {
+    return !value.is_array() && !value.is_object();
+}
+
+/// Union of scalar keys over a range of objects, first-appearance order.
+/// The nested "timing" object contributes its scalars as "timing.<key>".
+std::vector<std::string> scalar_columns(const std::vector<TrialResult>& trials,
+                                        bool from_params) {
+    std::vector<std::string> keys;
+    for (const auto& trial : trials) {
+        const Json& source = from_params ? trial.spec.params : trial.metrics;
+        if (!source.is_object()) continue;
+        for (const auto& [key, value] : source.as_object()) {
+            if (is_scalar(value)) {
+                collect_key(keys, key);
+            } else if (!from_params && key == "timing" && value.is_object()) {
+                for (const auto& [timing_key, timing_value] : value.as_object()) {
+                    if (is_scalar(timing_value)) collect_key(keys, "timing." + timing_key);
+                }
+            }
+        }
+    }
+    return keys;
+}
+
+std::string lookup_cell(const Json& object, const std::string& column) {
+    if (!object.is_object()) return "";
+    if (column.starts_with("timing.")) {
+        const Json* timing = object.find("timing");
+        if (timing == nullptr) return "";
+        const Json* value = timing->find(column.substr(7));
+        return value == nullptr ? "" : render_scalar(*value);
+    }
+    const Json* value = object.find(column);
+    return value == nullptr ? "" : render_scalar(*value);
+}
+
+util::TextTable summary_table(const ScenarioRunReport& report) {
+    const auto param_columns = scalar_columns(report.trials, /*from_params=*/true);
+    const auto metric_columns = scalar_columns(report.trials, /*from_params=*/false);
+
+    std::vector<std::string> headers{"trial"};
+    headers.insert(headers.end(), param_columns.begin(), param_columns.end());
+    headers.insert(headers.end(), metric_columns.begin(), metric_columns.end());
+    headers.push_back("status");
+
+    util::TextTable table(headers);
+    for (const auto& trial : report.trials) {
+        std::vector<std::string> row{trial.spec.name};
+        for (const auto& column : param_columns) {
+            row.push_back(lookup_cell(trial.spec.params, column));
+        }
+        for (const auto& column : metric_columns) {
+            row.push_back(trial.ok() ? lookup_cell(trial.metrics, column) : "");
+        }
+        row.push_back(trial.ok() ? "ok" : "ERROR: " + trial.error);
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+/// Series rows are objects; columns are their scalar-key union.
+util::TextTable series_table(const Json::Array& rows, std::size_t step) {
+    std::vector<std::string> columns;
+    for (const auto& row : rows) {
+        if (!row.is_object()) continue;
+        for (const auto& [key, value] : row.as_object()) {
+            if (is_scalar(value)) collect_key(columns, key);
+        }
+    }
+    util::TextTable table(columns);
+    for (std::size_t i = 0; i < rows.size(); i += step) {
+        std::vector<std::string> cells;
+        cells.reserve(columns.size());
+        for (const auto& column : columns) cells.push_back(lookup_cell(rows[i], column));
+        table.add_row(std::move(cells));
+    }
+    return table;
+}
+
+constexpr std::size_t kTextSeriesRows = 16;
+
+std::string render(const ScenarioRunReport& report, bool csv) {
+    std::string out;
+    if (!csv) {
+        out += report.info.paper_ref + " [" + report.info.name + "] -- " +
+               report.info.description + "\n";
+        out += "mode=" + std::string(report.options.smoke ? "smoke"
+                                     : report.options.full ? "full"
+                                                           : "default") +
+               " seed=" + std::to_string(report.options.seed) + " trials=" +
+               std::to_string(report.trials.size()) + "/" + std::to_string(report.n_planned) +
+               " errors=" + std::to_string(report.n_errors()) + "\n\n";
+    }
+
+    const auto emit = [&](const std::string& title, const util::TextTable& table) {
+        if (csv) {
+            out += "# " + report.info.name + ": " + title + "\n" + table.to_csv() + "\n";
+        } else {
+            out += "== " + title + " ==\n" + table.to_string() + "\n";
+        }
+    };
+
+    emit("summary", summary_table(report));
+
+    for (const auto& trial : report.trials) {
+        const Json* series = trial.ok() ? trial.metrics.find("series") : nullptr;
+        if (series == nullptr || !series->is_object()) continue;
+        for (const auto& [name, rows] : series->as_object()) {
+            if (!rows.is_array() || rows.size() == 0) continue;
+            const auto& array = rows.as_array();
+            const std::size_t step =
+                csv ? 1 : std::max<std::size_t>(1, array.size() / kTextSeriesRows);
+            if (!csv && step > 1) {
+                out += "(" + trial.spec.name + "/" + name + " subsampled every " +
+                       std::to_string(step) + " rows; --csv or --json for all)\n";
+            }
+            emit(trial.spec.name + "/" + name, series_table(array, step));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string render_scalar(const Json& value) {
+    switch (value.kind()) {
+        case Json::Kind::null:
+            return "";
+        case Json::Kind::boolean:
+            return value.as_bool() ? "yes" : "no";
+        case Json::Kind::integer:
+            // Exact path: as_int() would throw for uint64 payloads above
+            // int64 max (e.g. echoed trial seeds).
+            return value.integer_to_string();
+        case Json::Kind::number: {
+            char buffer[32];
+            std::snprintf(buffer, sizeof buffer, "%.6g", value.as_double());
+            return buffer;
+        }
+        case Json::Kind::string:
+            return value.as_string();
+        case Json::Kind::array:
+        case Json::Kind::object:
+            return "<nested>";
+    }
+    return "";
+}
+
+std::string render_text(const ScenarioRunReport& report) { return render(report, false); }
+
+std::string render_csv(const ScenarioRunReport& report) { return render(report, true); }
+
+}  // namespace hdlock::eval

@@ -1,0 +1,118 @@
+#include "eval/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace hdlock::eval {
+
+namespace {
+
+std::string iso8601_now() {
+    const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    std::tm utc{};
+#ifdef _WIN32
+    gmtime_s(&utc, &now);
+#else
+    gmtime_r(&now, &utc);
+#endif
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02dT%02d:%02d:%02d+00:00",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                  utc.tm_sec);
+    return buffer;
+}
+
+std::string host_name() {
+#ifdef __unix__
+    char buffer[256] = {};
+    if (gethostname(buffer, sizeof buffer - 1) == 0 && buffer[0] != '\0') return buffer;
+#endif
+    return "unknown";
+}
+
+const char* run_mode(const RunOptions& options) {
+    if (options.smoke) return "smoke";
+    if (options.full) return "full";
+    return "default";
+}
+
+}  // namespace
+
+Json run_context_json(const RunOptions& options, const std::string& executable) {
+    Json context = Json::object();
+    context["date"] = iso8601_now();
+    context["host_name"] = host_name();
+    if (!executable.empty()) context["executable"] = executable;
+    context["num_cpus"] = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
+    context["n_threads"] = options.n_threads;
+#ifdef NDEBUG
+    context["library_build_type"] = "release";
+#else
+    context["library_build_type"] = "debug";
+#endif
+    return context;
+}
+
+Json scenario_report_json(const ScenarioRunReport& report, const ReportJsonOptions& options) {
+    Json scenario = Json::object();
+    scenario["name"] = report.info.name;
+    scenario["paper_ref"] = report.info.paper_ref;
+    scenario["description"] = report.info.description;
+    scenario["run_mode"] = run_mode(report.options);
+    scenario["seed"] = report.options.seed;
+    scenario["n_planned"] = report.n_planned;
+    scenario["n_trials"] = report.trials.size();
+    scenario["n_errors"] = report.n_errors();
+
+    Json trials = Json::array();
+    for (const auto& trial : report.trials) {
+        Json entry = Json::object();
+        entry["name"] = trial.spec.name;
+        entry["seed"] = trial.seed;
+        entry["params"] = trial.spec.params;
+        if (trial.ok()) {
+            Json metrics = trial.metrics;
+            if (!options.include_timing && metrics.is_object()) metrics.erase("timing");
+            entry["metrics"] = std::move(metrics);
+        } else {
+            entry["error"] = trial.error;
+        }
+        if (options.include_timing) entry["seconds"] = trial.seconds;
+        trials.push_back(std::move(entry));
+    }
+    scenario["trials"] = std::move(trials);
+    if (options.include_timing) scenario["total_seconds"] = report.total_seconds;
+    return scenario;
+}
+
+Json full_report_json(std::span<const ScenarioRunReport> reports,
+                      const ReportJsonOptions& options) {
+    Json root = Json::object();
+    if (options.include_context) {
+        // All runs in one file share the thread/seed options of the first;
+        // the driver only batches scenarios from a single invocation.
+        const RunOptions run_options = reports.empty() ? RunOptions{} : reports.front().options;
+        root["context"] = run_context_json(run_options, options.executable);
+    }
+    Json scenarios = Json::array();
+    for (const auto& report : reports) {
+        scenarios.push_back(scenario_report_json(report, options));
+    }
+    root["scenarios"] = std::move(scenarios);
+    return root;
+}
+
+std::string deterministic_dump(const ScenarioRunReport& report) {
+    ReportJsonOptions options;
+    options.include_timing = false;
+    options.include_context = false;
+    return scenario_report_json(report, options).dump(2);
+}
+
+}  // namespace hdlock::eval

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file report.hpp
+/// JSON serialization of scenario run reports.
+///
+/// The file schema follows the bench/results/ convention (google-benchmark
+/// style): a top-level "context" object carrying everything about the
+/// machine and execution (date, host, executable, cpu count, thread count,
+/// build type) and a top-level payload array — here "scenarios" instead of
+/// "benchmarks".
+///
+/// Determinism contract: with include_context = false and include_timing =
+/// false the serialized report is a pure function of (scenario, smoke/full,
+/// seed) — identical bytes at any thread count.  Everything legitimately
+/// non-deterministic lives either in "context" or under a "timing" key
+/// ("seconds", "total_seconds", and each trial's metrics.timing object), so
+/// "excluding timing metadata" is a mechanical strip, not a fuzzy diff.
+
+#include <span>
+#include <string>
+
+#include "eval/json.hpp"
+#include "eval/sweep_runner.hpp"
+
+namespace hdlock::eval {
+
+struct ReportJsonOptions {
+    bool include_timing = true;   ///< per-trial seconds, totals, metrics.timing
+    bool include_context = true;  ///< the host/date/threads context block
+    std::string executable;       ///< recorded in context when non-empty
+};
+
+/// The context block: date, host_name, executable, num_cpus, n_threads,
+/// library_build_type — the non-deterministic environment of the run.
+Json run_context_json(const RunOptions& options, const std::string& executable);
+
+/// One scenario's report: info, mode, seed, trial list (params, metrics,
+/// per-trial seed), error strings, counts.
+Json scenario_report_json(const ScenarioRunReport& report, const ReportJsonOptions& options);
+
+/// The full file: {"context": ..., "scenarios": [...]}; context omitted
+/// when include_context is false.
+Json full_report_json(std::span<const ScenarioRunReport> reports,
+                      const ReportJsonOptions& options);
+
+/// Canonical deterministic serialization of one report (no context, no
+/// timing, 2-space indent) — what the determinism tests and the CI
+/// reproduce gate byte-compare across thread counts.
+std::string deterministic_dump(const ScenarioRunReport& report);
+
+}  // namespace hdlock::eval

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The eval:: scenario model — one named, parameterized paper reproduction.
+///
+/// A Scenario is a figure/table of the paper (or a beyond-paper sweep)
+/// expressed as data: plan() declares the independent trials (the points of
+/// the parameter axes) for a given run mode, and run_trial() computes one of
+/// them.  The SweepRunner fans the trials out across worker threads; because
+/// every trial's seed is derived deterministically from (run seed, scenario
+/// name, trial index) — never from thread identity or execution order — the
+/// same options produce bit-identical reports at any thread count.
+///
+/// Metric conventions (enforced by convention, relied on by report.hpp and
+/// render.hpp):
+///
+///  - the Json returned by run_trial() is an object of scalar metrics;
+///  - curves/tables behind a figure go under the reserved key "series": an
+///    object mapping series name -> array of row objects;
+///  - wall-clock measurements (the only legitimately non-deterministic
+///    values) go under the reserved key "timing": an object of scalars.
+///    report.hpp strips "timing" when writing the canonical deterministic
+///    form used for cross-thread-count comparison.
+///
+/// Run modes mirror the bench/ flags: smoke bounds BOTH the trial axes and
+/// the per-trial problem sizes (dimensions, dataset sizes, layer counts) so
+/// every scenario finishes CI-fast; full selects paper-scale parameters
+/// where the default is reduced.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/json.hpp"
+#include "util/rng.hpp"
+
+namespace hdlock::eval {
+
+struct RunOptions {
+    /// CI mode: bounded trial axes and bounded dims everywhere.
+    bool smoke = false;
+    /// Paper-scale parameters where the default is reduced (e.g. Fig. 8's
+    /// D = 10,000).  Mutually exclusive with smoke.
+    bool full = false;
+    /// Experiment seed every trial seed is derived from.
+    std::uint64_t seed = 1;
+    /// Worker threads for the sweep; 0 picks the hardware concurrency.
+    std::size_t n_threads = 1;
+    /// Upper bound on trials actually run (0 = all planned).  A test/CI
+    /// budget knob; the report records the planned count separately.
+    std::size_t max_trials = 0;
+};
+
+/// Registry-facing identity of a scenario.
+struct ScenarioInfo {
+    std::string name;         ///< registry key, e.g. "fig3"
+    std::string paper_ref;    ///< "Fig. 3", "Table 1", or "beyond-paper"
+    std::string description;  ///< one-line summary for --list
+};
+
+/// One planned trial: a point on the scenario's parameter axes.
+struct TrialSpec {
+    std::string name;  ///< unique within the scenario, stable across runs
+    Json params = Json::object();
+};
+
+/// Execution context handed to run_trial().
+struct TrialContext {
+    std::size_t index = 0;           ///< position in the plan
+    std::uint64_t seed = 0;          ///< per-trial derived seed
+    std::uint64_t scenario_seed = 0; ///< shared by all trials of the scenario
+                                     ///< (for experiments that attack one
+                                     ///< common deployment, Fig. 5/6 style)
+    bool smoke = false;
+    bool full = false;
+};
+
+class Scenario {
+public:
+    virtual ~Scenario() = default;
+
+    virtual const ScenarioInfo& info() const = 0;
+
+    /// Declares the trials for the given run mode.  Must be deterministic
+    /// (a pure function of the options) and must not truncate for
+    /// max_trials — the runner does that, recording the planned count.
+    virtual std::vector<TrialSpec> plan(const RunOptions& options) const = 0;
+
+    /// Computes one trial.  Runs concurrently with other trials of the same
+    /// scenario, so implementations must not share mutable state.
+    virtual Json run_trial(const TrialSpec& spec, const TrialContext& context) const = 0;
+};
+
+/// Function-backed Scenario, the idiom scenario registrations use.
+class SimpleScenario final : public Scenario {
+public:
+    using PlanFn = std::function<std::vector<TrialSpec>(const RunOptions&)>;
+    using TrialFn = std::function<Json(const TrialSpec&, const TrialContext&)>;
+
+    SimpleScenario(ScenarioInfo info, PlanFn plan, TrialFn run_trial)
+        : info_(std::move(info)), plan_(std::move(plan)), run_trial_(std::move(run_trial)) {}
+
+    const ScenarioInfo& info() const override { return info_; }
+    std::vector<TrialSpec> plan(const RunOptions& options) const override {
+        return plan_(options);
+    }
+    Json run_trial(const TrialSpec& spec, const TrialContext& context) const override {
+        return run_trial_(spec, context);
+    }
+
+private:
+    ScenarioInfo info_;
+    PlanFn plan_;
+    TrialFn run_trial_;
+};
+
+/// Seed shared by every trial of `scenario_name` under `options`.
+inline std::uint64_t derive_scenario_seed(const RunOptions& options,
+                                          std::string_view scenario_name) {
+    const std::span<const char> bytes(scenario_name.data(), scenario_name.size());
+    return util::hash_mix(options.seed, util::fnv1a_of(bytes));
+}
+
+/// Per-trial seed: a pure function of (run seed, scenario name, trial
+/// index), independent of thread count and execution order.
+inline std::uint64_t derive_trial_seed(const RunOptions& options,
+                                       std::string_view scenario_name,
+                                       std::size_t trial_index) {
+    return util::hash_mix(derive_scenario_seed(options, scenario_name), trial_index);
+}
+
+}  // namespace hdlock::eval

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file paper_presets.hpp
+/// Helpers shared by the scenarios that sweep the paper's five synthetic
+/// benchmark stand-ins x {non-binary, binary} model kinds (Fig. 8,
+/// Table 1): preset lookup, the common smoke-mode dataset bound, and the
+/// benchmark-x-kind trial grid.  One definition so the preset list and the
+/// smoke budget cannot drift between scenarios.
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "eval/scenario.hpp"
+#include "hdc/model.hpp"
+#include "util/error.hpp"
+
+namespace hdlock::eval::scenarios {
+
+/// Preset lookup by Table 1 name; throws Error naming the unknown preset.
+inline data::SyntheticSpec paper_spec_by_name(const std::string& name) {
+    for (const auto& spec : data::paper_benchmarks()) {
+        if (spec.name == name) return spec;
+    }
+    throw Error("unknown benchmark preset '" + name + "'");
+}
+
+/// The shared smoke-mode dataset bound (part of the uniform --smoke
+/// semantics: bounded dims AND bounded sizes everywhere).
+inline data::SyntheticSpec smoke_scaled(data::SyntheticSpec spec, bool smoke) {
+    if (smoke) {
+        spec.n_train = std::min<std::size_t>(spec.n_train, 400);
+        spec.n_test = std::min<std::size_t>(spec.n_test, 150);
+    }
+    return spec;
+}
+
+/// The ten-trial grid of Fig. 8 / Table 1: five benchmarks x
+/// {nonbinary, binary}, params {"benchmark", "kind"}.
+inline std::vector<TrialSpec> plan_benchmark_kind_trials() {
+    std::vector<TrialSpec> plan;
+    for (const char* kind : {"nonbinary", "binary"}) {
+        for (const auto& spec : data::paper_benchmarks()) {
+            TrialSpec trial;
+            trial.name = spec.name + "/" + kind;
+            trial.params["benchmark"] = spec.name;
+            trial.params["kind"] = kind;
+            plan.push_back(std::move(trial));
+        }
+    }
+    return plan;
+}
+
+/// Decodes the "kind" param of a plan_benchmark_kind_trials() trial.
+inline hdc::ModelKind kind_from_params(const TrialSpec& spec) {
+    return spec.params.at("kind").as_string() == "binary" ? hdc::ModelKind::binary
+                                                          : hdc::ModelKind::non_binary;
+}
+
+}  // namespace hdlock::eval::scenarios

@@ -1,0 +1,140 @@
+/// \file scenario_fig9.cpp
+/// Scenario "fig9" — Fig. 9: encoding time of HDLock relative to the
+/// baseline, on the parametric datapath model standing in for the paper's
+/// Zynq UltraScale+ deployment.  Deterministic trials cover the relative
+/// curves (all five benchmarks coincide; 1.0x at L = 1, the headline 1.21x
+/// at L = 2, linear growth) and the MNIST cycle breakdown; the software
+/// cross-check trials measure wall-clock (timing metadata) showing Eq. 9
+/// materialization scales with L while per-sample encode does not.
+
+#include <memory>
+
+#include "core/locked_encoder.hpp"
+#include "data/synthetic.hpp"
+#include "eval/registry.hpp"
+#include "eval/scenarios/scenarios.hpp"
+#include "hw/pipeline_model.hpp"
+#include "util/timer.hpp"
+
+namespace hdlock::eval::scenarios {
+
+namespace {
+
+constexpr std::size_t kMaxLayers = 5;
+
+Json relative_curves() {
+    const hw::HwConfig hw_config;  // calibrated: II(2)/II(1) = 1.20 (~paper's 1.21)
+    Json metrics = Json::object();
+    metrics["datapath_width"] = hw_config.datapath_width;
+    metrics["memory_ports"] = hw_config.memory_ports;
+    Json rows = Json::array();
+    for (const auto& spec : data::paper_benchmarks()) {
+        const auto curve =
+            hw::relative_time_curve(hw_config, 10000, spec.n_features, kMaxLayers);
+        for (std::size_t layers = 1; layers <= curve.size(); ++layers) {
+            Json row = Json::object();
+            row["benchmark"] = spec.name;
+            row["layers"] = layers;
+            row["relative_time"] = curve[layers - 1];
+            rows.push_back(std::move(row));
+        }
+    }
+    metrics["series"]["relative_time"] = std::move(rows);
+    return metrics;
+}
+
+Json cycle_breakdown() {
+    const hw::HwConfig hw_config;
+    Json metrics = Json::object();
+    Json rows = Json::array();
+    for (std::size_t layers = 0; layers <= kMaxLayers; ++layers) {
+        const hw::EncoderPipelineModel model(hw_config, 10000, 784, layers);
+        const auto cost = model.encode_cost();
+        Json row = Json::object();
+        row["layers"] = layers;
+        row["cycles"] = cost.cycles;
+        row["fetch_beats"] = cost.fetch_beats;
+        row["accumulate_beats"] = cost.accumulate_beats;
+        row["binarize_beats"] = cost.binarize_beats;
+        row["fill_beats"] = cost.fill_beats;
+        row["relative"] = model.relative_to_baseline();
+        row["us_at_200mhz"] = cost.microseconds(hw_config.clock_mhz);
+        rows.push_back(std::move(row));
+    }
+    // The paper's headline: two-layer overhead ~1.21x.
+    metrics["two_layer_relative"] =
+        hw::EncoderPipelineModel(hw_config, 10000, 784, 2).relative_to_baseline();
+    metrics["series"]["cycle_breakdown"] = std::move(rows);
+    return metrics;
+}
+
+Json software_cost(const TrialSpec& spec, const TrialContext& context) {
+    const auto layers = static_cast<std::size_t>(spec.params.at("layers").as_int());
+    DeploymentConfig config;
+    config.dim = context.smoke ? 1024 : 10000;
+    config.n_features = context.smoke ? 128 : 784;
+    config.n_levels = 16;
+    config.n_layers = layers;
+    config.seed = context.seed;
+
+    util::WallTimer timer;
+    const Deployment deployment = provision(config);
+    const double materialize_ms = timer.elapsed_ms();
+
+    const std::vector<int> levels(config.n_features, 1);
+    constexpr int kRepeats = 20;
+    bool dims_ok = true;
+    timer.reset();
+    for (int r = 0; r < kRepeats; ++r) {
+        const auto encoded = deployment.encoder->encode(levels);
+        dims_ok = dims_ok && encoded.dim() == config.dim;
+    }
+    const double encode_us = timer.elapsed_ms() * 1000.0 / kRepeats;
+
+    Json metrics = Json::object();
+    metrics["dim"] = config.dim;
+    metrics["n_features"] = config.n_features;
+    metrics["encode_dims_ok"] = dims_ok;
+    metrics["timing"]["materialize_ms"] = materialize_ms;
+    metrics["timing"]["encode_us_per_sample"] = encode_us;
+    return metrics;
+}
+
+Json run_fig9_trial(const TrialSpec& spec, const TrialContext& context) {
+    const std::string& kind = spec.params.at("kind").as_string();
+    if (kind == "relative-curves") return relative_curves();
+    if (kind == "cycle-breakdown") return cycle_breakdown();
+    return software_cost(spec, context);
+}
+
+std::vector<TrialSpec> plan_fig9(const RunOptions& options) {
+    std::vector<TrialSpec> plan;
+    for (const char* kind : {"relative-curves", "cycle-breakdown"}) {
+        TrialSpec trial;
+        trial.name = kind;
+        trial.params["kind"] = kind;
+        plan.push_back(std::move(trial));
+    }
+    const std::size_t max_layers = options.smoke ? 3 : kMaxLayers;
+    for (std::size_t layers = 1; layers <= max_layers; ++layers) {
+        TrialSpec trial;
+        trial.name = "software-cost-L" + std::to_string(layers);
+        trial.params["kind"] = "software-cost";
+        trial.params["layers"] = layers;
+        plan.push_back(std::move(trial));
+    }
+    return plan;
+}
+
+}  // namespace
+
+void register_fig9(ScenarioRegistry& registry) {
+    ScenarioInfo info;
+    info.name = "fig9";
+    info.paper_ref = "Fig. 9";
+    info.description =
+        "relative encoding time vs. key layers on the datapath cycle model + software cross-check";
+    registry.add(std::make_shared<SimpleScenario>(std::move(info), plan_fig9, run_fig9_trial));
+}
+
+}  // namespace hdlock::eval::scenarios

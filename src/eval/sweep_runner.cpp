@@ -1,0 +1,88 @@
+#include "eval/sweep_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace hdlock::eval {
+
+std::size_t ScenarioRunReport::n_errors() const noexcept {
+    std::size_t count = 0;
+    for (const auto& trial : trials) {
+        if (!trial.ok()) ++count;
+    }
+    return count;
+}
+
+std::size_t SweepRunner::resolved_threads(std::size_t n_trials) const noexcept {
+    std::size_t requested = options_.n_threads != 0
+                                ? options_.n_threads
+                                : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    return std::max<std::size_t>(1, std::min(requested, n_trials));
+}
+
+ScenarioRunReport SweepRunner::run(const Scenario& scenario) const {
+    if (options_.smoke && options_.full) {
+        throw ConfigError("SweepRunner: smoke and full are mutually exclusive");
+    }
+    ScenarioRunReport report;
+    report.info = scenario.info();
+    report.options = options_;
+
+    util::WallTimer total_timer;
+    std::vector<TrialSpec> plan = scenario.plan(options_);
+    report.n_planned = plan.size();
+    if (options_.max_trials != 0 && plan.size() > options_.max_trials) {
+        plan.resize(options_.max_trials);
+    }
+    report.trials.resize(plan.size());
+
+    const std::uint64_t scenario_seed = derive_scenario_seed(options_, report.info.name);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        report.trials[i].spec = plan[i];
+        report.trials[i].seed = derive_trial_seed(options_, report.info.name, i);
+    }
+
+    const auto run_one = [&](std::size_t index) {
+        TrialResult& result = report.trials[index];
+        TrialContext context;
+        context.index = index;
+        context.seed = result.seed;
+        context.scenario_seed = scenario_seed;
+        context.smoke = options_.smoke;
+        context.full = options_.full;
+        util::WallTimer timer;
+        try {
+            result.metrics = scenario.run_trial(result.spec, context);
+        } catch (const std::exception& error) {
+            result.error = error.what();
+            if (result.error.empty()) result.error = "unknown error";
+        }
+        result.seconds = timer.elapsed_seconds();
+    };
+
+    const std::size_t n_workers = resolved_threads(plan.size());
+    if (n_workers <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i) run_one(i);
+    } else {
+        std::atomic<std::size_t> cursor{0};
+        std::vector<std::thread> workers;
+        workers.reserve(n_workers);
+        for (std::size_t w = 0; w < n_workers; ++w) {
+            workers.emplace_back([&] {
+                for (std::size_t index = cursor.fetch_add(1); index < report.trials.size();
+                     index = cursor.fetch_add(1)) {
+                    run_one(index);
+                }
+            });
+        }
+        for (auto& worker : workers) worker.join();
+    }
+
+    report.total_seconds = total_timer.elapsed_seconds();
+    return report;
+}
+
+}  // namespace hdlock::eval

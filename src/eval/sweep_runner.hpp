@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file sweep_runner.hpp
+/// Thread-pooled execution of a scenario's trial plan.
+///
+/// Trials are independent by contract (scenario.hpp), so the runner hands
+/// them to a pool of workers via an atomic cursor.  Three properties make
+/// the output reproducible at any thread count:
+///
+///  - every trial's seed is derived from (run seed, scenario name, trial
+///    index) before any thread starts — never from scheduling;
+///  - results land in a pre-sized vector at their plan index, so report
+///    order equals plan order regardless of completion order;
+///  - a trial that throws is captured as that trial's error string (the
+///    sweep keeps going and the report turns non-ok) instead of tearing
+///    down the run.
+///
+/// Wall-clock per trial and per scenario is recorded separately from the
+/// metrics so report.hpp can strip it for bit-identical comparisons.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/scenario.hpp"
+
+namespace hdlock::eval {
+
+struct TrialResult {
+    TrialSpec spec;
+    std::uint64_t seed = 0;
+    Json metrics;        ///< null when the trial errored
+    std::string error;   ///< empty on success
+    double seconds = 0.0;
+
+    bool ok() const noexcept { return error.empty(); }
+};
+
+struct ScenarioRunReport {
+    ScenarioInfo info;
+    RunOptions options;
+    std::size_t n_planned = 0;  ///< plan size before the max_trials bound
+    std::vector<TrialResult> trials;
+    double total_seconds = 0.0;
+
+    std::size_t n_errors() const noexcept;
+    /// Green run: at least one trial executed and none errored — the CI
+    /// reproduce gate ("fails on any scenario error or empty report").
+    bool ok() const noexcept { return !trials.empty() && n_errors() == 0; }
+};
+
+class SweepRunner {
+public:
+    explicit SweepRunner(RunOptions options) : options_(options) {}
+
+    const RunOptions& options() const noexcept { return options_; }
+
+    /// Worker threads a sweep of `n_trials` fans out to: the requested
+    /// count (0 = hardware concurrency), capped by the trial count.
+    std::size_t resolved_threads(std::size_t n_trials) const noexcept;
+
+    ScenarioRunReport run(const Scenario& scenario) const;
+
+private:
+    RunOptions options_;
+};
+
+}  // namespace hdlock::eval

@@ -1,0 +1,108 @@
+// Tests for the eval:: JSON value model and writer (src/eval/json.hpp):
+// deterministic serialization (insertion order, shortest round-trip
+// numbers), escaping, builder ergonomics, and the accessors.
+
+#include "eval/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace {
+
+using hdlock::ContractViolation;
+using hdlock::eval::Json;
+
+TEST(Json, ScalarsSerialize) {
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, FullUint64RangeSerializesExactly) {
+    // Trial seeds are uniform uint64; a seed rounded through double would
+    // not reproduce the trial its report claims to describe.
+    const std::uint64_t seed = 16226763063302060328ULL;  // > 2^63, not double-exact
+    EXPECT_EQ(Json(seed).kind(), Json::Kind::integer);
+    EXPECT_EQ(Json(seed).dump(), "16226763063302060328");
+    EXPECT_EQ(Json(seed).as_uint(), seed);
+    EXPECT_THROW(Json(seed).as_int(), ContractViolation) << "does not fit int64";
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(), "18446744073709551615");
+    EXPECT_EQ(Json(5).as_uint(), 5u);
+    EXPECT_THROW(Json(-5).as_uint(), ContractViolation);
+}
+
+TEST(Json, NumbersUseShortestRoundTripForm) {
+    EXPECT_EQ(Json(0.005).dump(), "0.005");
+    EXPECT_EQ(Json(1.0).dump(), "1");
+    EXPECT_EQ(Json(0.1 + 0.2).dump(), "0.30000000000000004");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringsAreEscaped) {
+    EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    Json object = Json::object();
+    object["zulu"] = 1;
+    object["alpha"] = 2;
+    object["mike"] = 3;
+    EXPECT_EQ(object.dump(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(Json, BuilderUpsertsThroughNull) {
+    Json value;  // starts null
+    value["metrics"]["accuracy"] = 0.9;
+    value["series"]["curve"].push_back(Json(1));
+    value["series"]["curve"].push_back(Json(2));
+    EXPECT_EQ(value.dump(),
+              "{\"metrics\":{\"accuracy\":0.9},\"series\":{\"curve\":[1,2]}}");
+    value["metrics"]["accuracy"] = 0.5;  // upsert overwrites in place
+    EXPECT_EQ(value.at("metrics").at("accuracy").as_double(), 0.5);
+}
+
+TEST(Json, PrettyPrintIndents) {
+    Json object = Json::object();
+    object["a"] = Json::array();
+    object["b"] = 1;
+    EXPECT_EQ(object.dump(2), "{\n  \"a\": [],\n  \"b\": 1\n}");
+}
+
+TEST(Json, FindEraseAndAccessors) {
+    Json object = Json::object();
+    object["keep"] = 1;
+    object["drop"] = 2;
+    EXPECT_NE(object.find("drop"), nullptr);
+    EXPECT_TRUE(object.erase("drop"));
+    EXPECT_FALSE(object.erase("drop"));
+    EXPECT_EQ(object.find("drop"), nullptr);
+    EXPECT_EQ(object.size(), 1u);
+    EXPECT_THROW(object.at("drop"), ContractViolation);
+    EXPECT_THROW(object.at(std::size_t{0}), ContractViolation) << "object is not an array";
+    EXPECT_THROW(Json(1).as_string(), ContractViolation);
+}
+
+TEST(Json, EqualityIsStructural) {
+    Json a = Json::object();
+    a["x"] = 1;
+    Json b = Json::object();
+    b["x"] = 1;
+    EXPECT_EQ(a, b);
+    b["x"] = 2;
+    EXPECT_NE(a, b);
+}
+
+}  // namespace

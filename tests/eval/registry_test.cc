@@ -1,0 +1,116 @@
+// Tests for the scenario registry (src/eval/registry.hpp): the built-in
+// catalogue (every paper figure + Table 1 + the beyond-paper sweeps), the
+// unknown-name error contract (names the typo AND the available scenarios),
+// duplicate rejection, and plan determinism.
+
+#include "eval/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hdlock;
+using eval::RunOptions;
+using eval::ScenarioInfo;
+using eval::ScenarioRegistry;
+using eval::SimpleScenario;
+using eval::TrialSpec;
+
+std::shared_ptr<SimpleScenario> stub_scenario(const std::string& name) {
+    ScenarioInfo info;
+    info.name = name;
+    info.paper_ref = "test";
+    info.description = "stub";
+    return std::make_shared<SimpleScenario>(
+        std::move(info), [](const RunOptions&) { return std::vector<TrialSpec>{}; },
+        [](const TrialSpec&, const eval::TrialContext&) { return eval::Json::object(); });
+}
+
+TEST(ScenarioRegistry, BuiltinsCoverThePaperAndBeyond) {
+    const auto& registry = eval::builtin_registry();
+    EXPECT_GE(registry.size(), 8u);
+    for (const char* name :
+         {"fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "lock-grid",
+          "noise-robustness", "ngram-lock"}) {
+        EXPECT_TRUE(registry.contains(name)) << "missing scenario " << name;
+        EXPECT_EQ(registry.at(name).info().name, name);
+    }
+}
+
+TEST(ScenarioRegistry, BuiltinNamesAreUniqueAndDescribed) {
+    const auto& registry = eval::builtin_registry();
+    const auto names = registry.names();
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), names.size());
+    for (const auto* scenario : registry.scenarios()) {
+        EXPECT_FALSE(scenario->info().description.empty()) << scenario->info().name;
+        EXPECT_FALSE(scenario->info().paper_ref.empty()) << scenario->info().name;
+    }
+}
+
+TEST(ScenarioRegistry, UnknownNameErrorListsTypoAndAvailable) {
+    const auto& registry = eval::builtin_registry();
+    try {
+        registry.at("fig42");
+        FAIL() << "expected Error";
+    } catch (const Error& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("fig42"), std::string::npos) << message;
+        // Every available name must be listed so the fix is one glance away.
+        for (const auto& name : registry.names()) {
+            EXPECT_NE(message.find(name), std::string::npos) << "missing " << name;
+        }
+    }
+}
+
+TEST(ScenarioRegistry, EmptyRegistryErrorSaysSo) {
+    const ScenarioRegistry registry;
+    try {
+        registry.at("anything");
+        FAIL() << "expected Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("none registered"), std::string::npos);
+    }
+}
+
+TEST(ScenarioRegistry, DuplicateAndEmptyNamesAreRejected) {
+    ScenarioRegistry registry;
+    registry.add(stub_scenario("one"));
+    EXPECT_THROW(registry.add(stub_scenario("one")), ConfigError);
+    EXPECT_THROW(registry.add(stub_scenario("")), ConfigError);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ScenarioRegistry, BuiltinPlansAreDeterministicAndBounded) {
+    const auto& registry = eval::builtin_registry();
+    for (const auto* scenario : registry.scenarios()) {
+        for (const bool smoke : {false, true}) {
+            RunOptions options;
+            options.smoke = smoke;
+            const auto first = scenario->plan(options);
+            const auto second = scenario->plan(options);
+            ASSERT_FALSE(first.empty())
+                << scenario->info().name << " plans no trials (smoke=" << smoke << ")";
+            ASSERT_EQ(first.size(), second.size()) << scenario->info().name;
+            std::set<std::string> names;
+            for (std::size_t i = 0; i < first.size(); ++i) {
+                EXPECT_EQ(first[i].name, second[i].name) << scenario->info().name;
+                EXPECT_EQ(first[i].params, second[i].params) << scenario->info().name;
+                names.insert(first[i].name);
+            }
+            EXPECT_EQ(names.size(), first.size())
+                << scenario->info().name << ": trial names must be unique";
+            // Smoke bounds the axes: never more trials than the default run.
+            if (smoke) {
+                RunOptions default_options;
+                EXPECT_LE(first.size(), scenario->plan(default_options).size())
+                    << scenario->info().name;
+            }
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests running real built-in scenarios end to end in smoke mode: the
+// cross-thread-count determinism contract on a genuine attack workload
+// (fig3, fig7), spot checks of the reproduced claims (Fig. 7's closed-form
+// and toy-search agreement, the lock-grid's flat-accuracy/rising-complexity
+// shape), and the text/CSV renderers over real reports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/complexity.hpp"
+#include "eval/registry.hpp"
+#include "eval/render.hpp"
+#include "eval/report.hpp"
+#include "eval/sweep_runner.hpp"
+
+namespace {
+
+using namespace hdlock;
+using eval::Json;
+using eval::RunOptions;
+using eval::SweepRunner;
+
+RunOptions smoke_options(std::size_t threads, std::size_t max_trials = 0) {
+    RunOptions options;
+    options.smoke = true;
+    options.n_threads = threads;
+    options.seed = 3;
+    options.max_trials = max_trials;
+    return options;
+}
+
+TEST(Scenarios, Fig3SmokeIsThreadCountInvariantAndSucceeds) {
+    const auto& scenario = eval::builtin_registry().at("fig3");
+    const auto serial = SweepRunner(smoke_options(1)).run(scenario);
+    const auto pooled = SweepRunner(smoke_options(4)).run(scenario);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(eval::deterministic_dump(serial), eval::deterministic_dump(pooled));
+
+    // Both oracle trials must find the planted mapping (the Sec. 3.2 claim).
+    for (const auto& trial : serial.trials) {
+        EXPECT_TRUE(trial.metrics.at("attack_succeeds").as_bool()) << trial.spec.name;
+    }
+    // The non-binary oracle recovers the mapping exactly.
+    EXPECT_TRUE(serial.trials[1].metrics.at("exact_recovery").as_bool());
+    EXPECT_EQ(serial.trials[0].metrics.at("series").at("guess_curve").size(),
+              static_cast<std::size_t>(serial.trials[0].metrics.at("n_features").as_int()));
+}
+
+TEST(Scenarios, Fig7SmokeClosedFormAndToySearchAgree) {
+    const auto& scenario = eval::builtin_registry().at("fig7");
+    const auto serial = SweepRunner(smoke_options(1)).run(scenario);
+    const auto pooled = SweepRunner(smoke_options(4)).run(scenario);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(eval::deterministic_dump(serial), eval::deterministic_dump(pooled));
+
+    for (const auto& trial : serial.trials) {
+        if (trial.spec.params.at("kind").as_string() == "headline") {
+            // Sec. 4.2 / 5.2 headline numbers: 6.15e+05 / 4.81e+16 guesses.
+            EXPECT_NEAR(trial.metrics.at("log10_baseline").as_double(),
+                        complexity::log10_guesses(784, 10000, 784, 0), 1e-12);
+            EXPECT_NEAR(trial.metrics.at("log10_two_layer").as_double(), 16.68, 0.02);
+        }
+        if (trial.spec.params.at("kind").as_string() == "toy") {
+            EXPECT_TRUE(trial.metrics.at("guesses_match_closed_form").as_bool())
+                << trial.spec.name;
+            EXPECT_TRUE(trial.metrics.at("recovered").as_bool()) << trial.spec.name;
+            // Wall-clock must be in timing, never in the deterministic part.
+            EXPECT_NE(trial.metrics.at("timing").find("seconds"), nullptr);
+        }
+    }
+}
+
+TEST(Scenarios, LockGridAccuracyFlatWhileComplexityClimbs) {
+    // First trials of the smoke plan: D=512 with L=0,1,2 (layers vary
+    // fastest), enough to check the joint claim cheaply.
+    const auto& scenario = eval::builtin_registry().at("lock-grid");
+    const auto report = SweepRunner(smoke_options(2, /*max_trials=*/3)).run(scenario);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report.trials.size(), 3u);
+
+    double previous_log10 = -1.0;
+    for (const auto& trial : report.trials) {
+        EXPECT_GT(trial.metrics.at("accuracy").as_double(), 0.5) << trial.spec.name;
+        const double log10_guesses = trial.metrics.at("log10_guesses").as_double();
+        EXPECT_GT(log10_guesses, previous_log10) << trial.spec.name;
+        previous_log10 = log10_guesses;
+    }
+    const double baseline = report.trials[0].metrics.at("accuracy").as_double();
+    for (const auto& trial : report.trials) {
+        EXPECT_NEAR(trial.metrics.at("accuracy").as_double(), baseline, 0.12)
+            << trial.spec.name << ": locking must not cost accuracy";
+    }
+}
+
+TEST(Scenarios, RenderScalarHandlesEveryMetricShape) {
+    EXPECT_EQ(eval::render_scalar(Json(true)), "yes");
+    EXPECT_EQ(eval::render_scalar(Json(-3)), "-3");
+    // Uniform uint64 seeds land above int64 max about half the time; the
+    // table cell must render them exactly, not throw.
+    EXPECT_EQ(eval::render_scalar(Json(std::uint64_t{16226763063302060328ULL})),
+              "16226763063302060328");
+    EXPECT_EQ(eval::render_scalar(Json(0.25)), "0.25");
+    EXPECT_EQ(eval::render_scalar(Json("text")), "text");
+    EXPECT_EQ(eval::render_scalar(Json()), "");
+}
+
+TEST(Scenarios, RenderersProduceSummaryAndSeries) {
+    const auto& scenario = eval::builtin_registry().at("fig3");
+    const auto report = SweepRunner(smoke_options(2)).run(scenario);
+    ASSERT_TRUE(report.ok());
+
+    const std::string text = eval::render_text(report);
+    EXPECT_NE(text.find("Fig. 3"), std::string::npos);
+    EXPECT_NE(text.find("== summary =="), std::string::npos);
+    EXPECT_NE(text.find("guess_curve"), std::string::npos);
+    EXPECT_NE(text.find("oracle=binary"), std::string::npos);
+
+    const std::string csv = eval::render_csv(report);
+    EXPECT_NE(csv.find("# fig3: summary"), std::string::npos);
+    // CSV emits the full curve: one line per candidate plus header/comment.
+    const auto lines = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_GT(lines, static_cast<long>(report.trials[0].metrics.at("n_features").as_int()));
+}
+
+}  // namespace

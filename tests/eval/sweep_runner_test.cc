@@ -1,0 +1,197 @@
+// Tests for the thread-pooled sweep runner (src/eval/sweep_runner.hpp) and
+// the report writer (src/eval/report.hpp), on synthetic scenarios: the
+// thread-count-invariance contract (same seed -> byte-identical
+// deterministic JSON at any worker count), per-trial seed derivation, error
+// capture, the max_trials budget, and the timing/context strip.
+
+#include "eval/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/report.hpp"
+#include "eval/scenario.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hdlock;
+using eval::Json;
+using eval::RunOptions;
+using eval::ScenarioInfo;
+using eval::SimpleScenario;
+using eval::SweepRunner;
+using eval::TrialContext;
+using eval::TrialSpec;
+
+/// A scenario of `n` trials whose metrics are pure functions of the trial
+/// context — any scheduling nondeterminism would show up in the report.
+SimpleScenario counting_scenario(std::size_t n) {
+    ScenarioInfo info;
+    info.name = "counting";
+    info.paper_ref = "test";
+    info.description = "seed-echo scenario";
+    return SimpleScenario(
+        std::move(info),
+        [n](const RunOptions&) {
+            std::vector<TrialSpec> plan;
+            for (std::size_t i = 0; i < n; ++i) {
+                TrialSpec trial;
+                // Append form: GCC 12's -Wrestrict false-positives on
+                // operator+ chains ending in a string&&.
+                trial.name = "t";
+                trial.name += std::to_string(i);
+                trial.params["i"] = i;
+                plan.push_back(std::move(trial));
+            }
+            return plan;
+        },
+        [](const TrialSpec& spec, const TrialContext& context) {
+            Json metrics = Json::object();
+            metrics["index"] = context.index;
+            metrics["seed"] = context.seed;
+            metrics["scenario_seed"] = context.scenario_seed;
+            metrics["i_squared"] = spec.params.at("i").as_int() * spec.params.at("i").as_int();
+            metrics["timing"]["noise"] = static_cast<double>(context.seed % 97);
+            return metrics;
+        });
+}
+
+RunOptions options_with(std::size_t threads, std::uint64_t seed = 7) {
+    RunOptions options;
+    options.n_threads = threads;
+    options.seed = seed;
+    return options;
+}
+
+TEST(SweepRunner, SameSeedAnyThreadCountIsByteIdentical) {
+    const auto scenario = counting_scenario(16);
+    const auto serial = SweepRunner(options_with(1)).run(scenario);
+    const auto pooled = SweepRunner(options_with(4)).run(scenario);
+    const auto oversubscribed = SweepRunner(options_with(64)).run(scenario);
+    const std::string reference = eval::deterministic_dump(serial);
+    EXPECT_EQ(reference, eval::deterministic_dump(pooled));
+    EXPECT_EQ(reference, eval::deterministic_dump(oversubscribed));
+}
+
+TEST(SweepRunner, TrialSeedsAreDistinctStableAndSeedDependent) {
+    const auto scenario = counting_scenario(8);
+    const auto report = SweepRunner(options_with(2)).run(scenario);
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < report.trials.size(); ++i) {
+        const auto& trial = report.trials[i];
+        seeds.insert(trial.seed);
+        EXPECT_EQ(trial.seed, eval::derive_trial_seed(report.options, "counting", i));
+        EXPECT_EQ(trial.metrics.at("seed"), Json(trial.seed));
+        EXPECT_EQ(trial.metrics.at("seed").as_uint(), trial.seed)
+            << "seeds must round-trip exactly, never through double";
+    }
+    EXPECT_EQ(seeds.size(), report.trials.size()) << "per-trial seeds must be distinct";
+
+    const auto reseeded = SweepRunner(options_with(2, /*seed=*/8)).run(scenario);
+    EXPECT_NE(report.trials[0].seed, reseeded.trials[0].seed);
+    EXPECT_NE(eval::deterministic_dump(report), eval::deterministic_dump(reseeded));
+}
+
+TEST(SweepRunner, ThrowingTrialIsCapturedNotFatal) {
+    ScenarioInfo info;
+    info.name = "flaky";
+    info.paper_ref = "test";
+    info.description = "one trial throws";
+    const SimpleScenario scenario(
+        std::move(info),
+        [](const RunOptions&) {
+            std::vector<TrialSpec> plan;
+            for (const char* name : {"ok-a", "boom", "ok-b"}) {
+                plan.push_back({.name = name, .params = eval::Json::object()});
+            }
+            return plan;
+        },
+        [](const TrialSpec& spec, const TrialContext&) -> Json {
+            if (spec.name == "boom") throw Error("synthetic failure in boom");
+            Json metrics = Json::object();
+            metrics["fine"] = true;
+            return metrics;
+        });
+
+    const auto report = SweepRunner(options_with(2)).run(scenario);
+    EXPECT_EQ(report.trials.size(), 3u);
+    EXPECT_EQ(report.n_errors(), 1u);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.trials[0].ok());
+    EXPECT_FALSE(report.trials[1].ok());
+    EXPECT_NE(report.trials[1].error.find("synthetic failure"), std::string::npos);
+    EXPECT_TRUE(report.trials[2].ok());
+
+    // The error string lands in the JSON in place of metrics.
+    const Json json = eval::scenario_report_json(report, {});
+    EXPECT_EQ(json.at("n_errors").as_int(), 1);
+    EXPECT_NE(json.at("trials").at(1).find("error"), nullptr);
+    EXPECT_EQ(json.at("trials").at(1).find("metrics"), nullptr);
+}
+
+TEST(SweepRunner, EmptyPlanIsNotOk) {
+    ScenarioInfo info;
+    info.name = "empty";
+    info.paper_ref = "test";
+    info.description = "plans nothing";
+    const SimpleScenario scenario(
+        std::move(info), [](const RunOptions&) { return std::vector<TrialSpec>{}; },
+        [](const TrialSpec&, const TrialContext&) { return Json::object(); });
+    const auto report = SweepRunner(options_with(4)).run(scenario);
+    EXPECT_TRUE(report.trials.empty());
+    EXPECT_FALSE(report.ok()) << "an empty report must fail the CI gate";
+}
+
+TEST(SweepRunner, MaxTrialsBoundsExecutionAndRecordsThePlan) {
+    auto options = options_with(2);
+    options.max_trials = 3;
+    const auto report = SweepRunner(options).run(counting_scenario(10));
+    EXPECT_EQ(report.n_planned, 10u);
+    EXPECT_EQ(report.trials.size(), 3u);
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(SweepRunner, SmokeAndFullAreMutuallyExclusive) {
+    RunOptions options;
+    options.smoke = true;
+    options.full = true;
+    EXPECT_THROW(SweepRunner(options).run(counting_scenario(1)), ConfigError);
+}
+
+TEST(SweepRunner, ResolvedThreadsClampsToTrialCount) {
+    EXPECT_EQ(SweepRunner(options_with(8)).resolved_threads(3), 3u);
+    EXPECT_EQ(SweepRunner(options_with(2)).resolved_threads(100), 2u);
+    EXPECT_GE(SweepRunner(options_with(0)).resolved_threads(100), 1u);
+    EXPECT_EQ(SweepRunner(options_with(4)).resolved_threads(0), 1u);
+}
+
+TEST(ReportJson, TimingAndContextAreStrippable) {
+    const auto report = SweepRunner(options_with(1)).run(counting_scenario(2));
+
+    eval::ReportJsonOptions with_everything;
+    with_everything.executable = "unit-test";
+    const Json full = eval::full_report_json({&report, 1}, with_everything);
+    EXPECT_NE(full.find("context"), nullptr);
+    EXPECT_EQ(full.at("context").at("executable").as_string(), "unit-test");
+    const Json& full_trial = full.at("scenarios").at(std::size_t{0}).at("trials").at(
+        std::size_t{0});
+    EXPECT_NE(full_trial.find("seconds"), nullptr);
+    EXPECT_NE(full_trial.at("metrics").find("timing"), nullptr);
+
+    eval::ReportJsonOptions stripped;
+    stripped.include_timing = false;
+    stripped.include_context = false;
+    const Json bare = eval::full_report_json({&report, 1}, stripped);
+    EXPECT_EQ(bare.find("context"), nullptr);
+    const Json& bare_trial = bare.at("scenarios").at(std::size_t{0}).at("trials").at(
+        std::size_t{0});
+    EXPECT_EQ(bare_trial.find("seconds"), nullptr);
+    EXPECT_EQ(bare_trial.at("metrics").find("timing"), nullptr)
+        << "metrics.timing must be stripped from the deterministic form";
+    EXPECT_NE(bare_trial.at("metrics").find("i_squared"), nullptr)
+        << "real metrics must survive the strip";
+}
+
+}  // namespace

@@ -122,7 +122,11 @@ INSTANTIATE_TEST_SUITE_P(Dims, MapAlgebraTest,
                                            std::size_t{128}, std::size_t{129}, std::size_t{1000},
                                            std::size_t{4096}, std::size_t{10000}),
                          [](const ::testing::TestParamInfo<std::size_t>& info) {
-                             return "D" + std::to_string(info.param);
+                             // Append form: GCC 12's -Wrestrict false-positives
+                             // on operator+ chains ending in a string&&.
+                             std::string name = "D";
+                             name += std::to_string(info.param);
+                             return name;
                          });
 
 TEST(MapAlgebraConcentration, RandomPairsConcentrateAtHalf) {

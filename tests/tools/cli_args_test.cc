@@ -92,3 +92,33 @@ TEST(CliArgs, EmptyFlagValueViaEqualsIsAllowed) {
     const Args args = parse({"--name="});
     EXPECT_EQ(args.require("name"), "");
 }
+
+TEST(CliArgs, BooleanFlagsStandAloneAndNeverSwallowTheNextArgument) {
+    Argv argv({"--smoke", "--scenario", "fig3", "--json"});
+    const Args args(argv.argc(), argv.argv(), 0, {"smoke", "json"});
+    EXPECT_TRUE(args.has("smoke"));
+    EXPECT_EQ(args.get("smoke", "missing"), "");
+    EXPECT_EQ(args.require("scenario"), "fig3") << "--smoke must not consume --scenario";
+    EXPECT_TRUE(args.has("json"));
+    EXPECT_EQ(args.get("json", ""), "") << "trailing boolean flag needs no value";
+}
+
+TEST(CliArgs, BooleanFlagStillAcceptsEqualsValue) {
+    Argv argv({"--json=out.json", "--smoke"});
+    const Args args(argv.argc(), argv.argv(), 0, {"smoke", "json"});
+    EXPECT_EQ(args.get("json", ""), "out.json");
+    EXPECT_TRUE(args.has("smoke"));
+}
+
+TEST(CliArgs, TrailingNonBooleanFlagStillErrorsWithBooleanSetPresent) {
+    Argv argv({"--smoke", "--seed"});
+    EXPECT_THROW(Args(argv.argc(), argv.argv(), 0, {"smoke"}), UsageError);
+}
+
+TEST(CliArgs, RepeatedFlagsAccumulateAndScalarAccessorsReadTheLast) {
+    Argv argv({"--scenario", "fig3", "--scenario=fig5,fig6", "--seed", "1", "--seed", "9"});
+    const Args args(argv.argc(), argv.argv(), 0);
+    EXPECT_EQ(args.get_all("scenario"), (std::vector<std::string>{"fig3", "fig5,fig6"}));
+    EXPECT_EQ(args.get_u64("seed", 0), 9u);
+    EXPECT_TRUE(args.get_all("missing").empty());
+}

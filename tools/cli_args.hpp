@@ -1,20 +1,27 @@
 #pragma once
 
 /// \file cli_args.hpp
-/// Flag parsing for hdlock_cli, split out so it is unit-testable.
+/// Flag parsing for hdlock_cli / hdlock_eval, split out so it is
+/// unit-testable.
 ///
-/// Grammar: `--flag=value` or `--flag value`.  Two historical parser holes
-/// are closed here and covered by tests/tools/cli_args_test.cc:
+/// Grammar: `--flag=value` or `--flag value`; flags declared boolean at
+/// construction stand alone (`--smoke`) and never consume the next
+/// argument, while `--flag=value` still works for them (`--json=out.json`).
+/// Repeated flags accumulate (get_all); the scalar accessors read the last
+/// occurrence.  Two historical parser holes are closed here and covered by
+/// tests/tools/cli_args_test.cc:
 ///
-///  - a trailing `--flag` with no value is a UsageError (the old parser's
-///    bounds handling made it easy to silently consume past the end of the
-///    argument list);
+///  - a trailing non-boolean `--flag` with no value is a UsageError (the
+///    old parser's bounds handling made it easy to silently consume past
+///    the end of the argument list);
 ///  - each subcommand declares its known flags via check_known(), so a typo
 ///    like `--featurs` is reported by name instead of being ignored.
 ///
 /// UsageError is the "exit code 2" class: the caller printed something the
 /// tool cannot interpret, as opposed to a runtime failure (exit 1).
 
+#include <algorithm>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
@@ -33,8 +40,12 @@ public:
 class Args {
 public:
     /// Parses argv[first..argc). Throws UsageError on a bare non-flag
-    /// argument or a trailing flag with no value.
-    Args(int argc, char** argv, int first) {
+    /// argument or a trailing non-boolean flag with no value.  Flags named
+    /// in `boolean_flags` stand alone: `--smoke` parses as the empty value
+    /// and never swallows the following argument; `--flag=value` remains
+    /// available for them.
+    Args(int argc, char** argv, int first,
+         std::initializer_list<std::string_view> boolean_flags = {}) {
         for (int i = first; i < argc; ++i) {
             const std::string arg = argv[i];
             if (!arg.starts_with("--") || arg.size() == 2) {
@@ -42,9 +53,17 @@ public:
             }
             const auto eq = arg.find('=');
             if (eq != std::string::npos) {
-                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+                values_[arg.substr(2, eq - 2)].push_back(arg.substr(eq + 1));
+                continue;
+            }
+            const std::string name = arg.substr(2);
+            const bool is_boolean =
+                std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+                boolean_flags.end();
+            if (is_boolean) {
+                values_[name].push_back("");
             } else if (i + 1 < argc) {
-                values_[arg.substr(2)] = argv[++i];
+                values_[name].push_back(argv[++i]);
             } else {
                 throw UsageError("flag needs a value: " + arg);
             }
@@ -71,18 +90,24 @@ public:
     std::string require(const std::string& name) const {
         const auto found = values_.find(name);
         if (found == values_.end()) throw UsageError("missing required flag --" + name);
-        return found->second;
+        return found->second.back();
     }
 
     std::string get(const std::string& name, const std::string& fallback) const {
         const auto found = values_.find(name);
-        return found == values_.end() ? fallback : found->second;
+        return found == values_.end() ? fallback : found->second.back();
+    }
+
+    /// Every occurrence of a repeated flag, in command-line order.
+    std::vector<std::string> get_all(const std::string& name) const {
+        const auto found = values_.find(name);
+        return found == values_.end() ? std::vector<std::string>{} : found->second;
     }
 
     std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
         const auto found = values_.find(name);
         if (found == values_.end()) return fallback;
-        const std::string& raw = found->second;
+        const std::string& raw = found->second.back();
         // Digits only: std::stoull would happily wrap "-1" to 2^64 - 1.
         if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
             throw UsageError("flag --" + name + " expects a non-negative number, got '" + raw +
@@ -98,7 +123,7 @@ public:
     bool has(const std::string& name) const { return values_.contains(name); }
 
 private:
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> values_;
 };
 
 }  // namespace hdlock::cli
