@@ -13,7 +13,11 @@
 ///  - the Sec. 4.2 single-parameter sweep, the unit of the (D*P)^L search;
 ///  - batched serving: api::InferenceSession at 1/2/4 threads vs. the old
 ///    per-row predict loop (real time, since the point is wall-clock
-///    throughput of the partitioned batch), cache off and on.
+///    throughput of the partitioned batch), cache off and on;
+///  - the kernel-backend comparison: xor/popcount/hamming word kernels and
+///    the full batch encode, once per backend available on this host
+///    (BM_Backend*/portable vs /avx2 vs /avx512), registered dynamically so
+///    the same binary reports whatever the hardware offers.
 ///
 /// Beyond google-benchmark's own flags, main() accepts:
 ///   --smoke       one tiny timing window per benchmark — CI's sanitizer job
@@ -38,6 +42,7 @@
 #include "data/synthetic.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/item_memory.hpp"
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -382,6 +387,116 @@ void BM_ServeBatchSessionCached(benchmark::State& state) {
 BENCHMARK(BM_ServeBatchSessionCached)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Kernel-backend comparison: the same word kernels and the same batch encode
+// once per backend the host can run.  Registered dynamically from main() so
+// bench_ops --json reports exactly what this machine offers; compare
+// BM_BackendEncodeBatch/avx2 against /portable for the SIMD speedup (the
+// acceptance bar is >= 1.5x on AVX2 hardware).
+// ---------------------------------------------------------------------------
+
+namespace kernels = hdlock::util::kernels;
+
+/// Word arrays sized like a D = 10000 hypervector (157 words, odd tail).
+struct WordFixture {
+    std::vector<hdlock::util::bits::Word> a;
+    std::vector<hdlock::util::bits::Word> b;
+    std::vector<hdlock::util::bits::Word> dst;
+
+    explicit WordFixture(std::size_t n_words) : a(n_words), b(n_words), dst(n_words) {
+        util::Xoshiro256ss rng(71);
+        for (auto& word : a) word = rng();
+        for (auto& word : b) word = rng();
+    }
+};
+
+void BM_BackendXor(benchmark::State& state, kernels::Backend kind) {
+    const kernels::ScopedBackend pin(kind);
+    WordFixture fixture(157);
+    for (auto _ : state) {
+        hdlock::util::bits::xor_into(fixture.dst, fixture.a, fixture.b);
+        benchmark::DoNotOptimize(fixture.dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 157 * 8);
+}
+
+void BM_BackendPopcount(benchmark::State& state, kernels::Backend kind) {
+    const kernels::ScopedBackend pin(kind);
+    WordFixture fixture(157);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hdlock::util::bits::popcount(fixture.a));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 157 * 8);
+}
+
+void BM_BackendHamming(benchmark::State& state, kernels::Backend kind) {
+    const kernels::ScopedBackend pin(kind);
+    WordFixture fixture(157);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hdlock::util::bits::hamming(fixture.a, fixture.b));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 157 * 8);
+}
+
+/// The BM_EncodeBatch workload (64 rows, N = 256, D = 4096) pinned to one
+/// backend: the end-to-end encode number the acceptance criterion reads.
+void BM_BackendEncodeBatch(benchmark::State& state, kernels::Backend kind) {
+    const kernels::ScopedBackend pin(kind);
+    constexpr std::size_t n_features = 256;
+    hdc::ItemMemoryConfig config;
+    config.dim = 4096;
+    config.n_features = n_features;
+    config.n_levels = 16;
+    config.seed = 11;
+    const auto memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+    const hdc::RecordEncoder encoder(memory, /*tie_seed=*/1);
+
+    util::Matrix<int> levels(64, n_features);
+    util::Xoshiro256ss rng(23);
+    for (auto& level : levels.data()) level = static_cast<int>(rng.next_below(16));
+
+    hdc::EncoderScratch scratch;
+    std::vector<hdc::IntHV> out;
+    for (auto _ : state) {
+        encoder.encode_batch(levels, scratch, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(levels.rows()) *
+                            static_cast<std::int64_t>(n_features) * 4096);
+}
+
+/// Binary serving distance scoring pinned to one backend: 10k-dim Hamming
+/// argmin across 16 class HVs (the HdcModel::predict inner loop).
+void BM_BackendPredictBinary(benchmark::State& state, kernels::Backend kind) {
+    const kernels::ScopedBackend pin(kind);
+    util::Xoshiro256ss rng(301);
+    std::vector<hdc::BinaryHV> classes;
+    for (int c = 0; c < 16; ++c) classes.push_back(hdc::BinaryHV::random(10000, rng));
+    const auto query = hdc::BinaryHV::random(10000, rng);
+    for (auto _ : state) {
+        std::size_t best = query.dim() + 1;
+        for (const auto& cls : classes) best = std::min(best, cls.hamming(query));
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 * 10000);
+}
+
+void register_backend_benchmarks() {
+    for (const kernels::Backend kind : kernels::available_backends()) {
+        const std::string suffix = std::string("/") + kernels::backend_name(kind);
+        benchmark::RegisterBenchmark(("BM_BackendXor" + suffix).c_str(), BM_BackendXor, kind);
+        benchmark::RegisterBenchmark(("BM_BackendPopcount" + suffix).c_str(), BM_BackendPopcount,
+                                     kind);
+        benchmark::RegisterBenchmark(("BM_BackendHamming" + suffix).c_str(), BM_BackendHamming,
+                                     kind);
+        benchmark::RegisterBenchmark(("BM_BackendEncodeBatch" + suffix).c_str(),
+                                     BM_BackendEncodeBatch, kind);
+        benchmark::RegisterBenchmark(("BM_BackendPredictBinary" + suffix).c_str(),
+                                     BM_BackendPredictBinary, kind);
+    }
+}
+
 }  // namespace
 
 /// BENCHMARK_MAIN plus two repo-specific flags (see file comment): --smoke
@@ -411,7 +526,11 @@ int main(int argc, char** argv) {
     args.push_back(argv[0]);
     for (auto& entry : storage) args.push_back(entry.data());
     int n = static_cast<int>(args.size());
+    register_backend_benchmarks();
     benchmark::Initialize(&n, args.data());
+    benchmark::AddCustomContext("kernel_backend_default",
+                                hdlock::util::kernels::active_name());
+    benchmark::AddCustomContext("cpu_simd_features", hdlock::util::kernels::cpu_feature_string());
     if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

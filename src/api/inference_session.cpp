@@ -19,6 +19,7 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
                    "InferenceSession: model dimensionality does not match encoder");
     HDLOCK_EXPECTS(discretizer_.n_levels() == encoder_->n_levels(),
                    "InferenceSession: discretizer levels do not match encoder");
+    if (options.kernel_backend) util::kernels::set_backend(*options.kernel_backend);
     n_threads_ = options.n_threads != 0
                      ? options.n_threads
                      : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);

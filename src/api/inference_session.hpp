@@ -20,12 +20,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "hdc/discretize.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/model.hpp"
+#include "util/kernels.hpp"
 #include "util/matrix.hpp"
 
 namespace hdlock::api {
@@ -47,6 +49,15 @@ struct SessionOptions {
     bool use_product_cache = false;
     /// Byte cap on the product cache (default 256 MiB).
     std::size_t product_cache_max_bytes = std::size_t{256} << 20;
+    /// Pins the SIMD kernel backend before the session serves anything.
+    /// Dispatch lives at the word-kernel layer and is process-global, so the
+    /// pin configures the whole process, not just this session — intended
+    /// for reproducibility pins ("this deployment serves on portable") and
+    /// A/B measurement, where one process serves one configuration anyway.
+    /// Unset keeps whatever is active (auto-detection or a previous pin).
+    /// Construction throws ConfigError when the backend is not available on
+    /// this host; results are bit-identical across backends either way.
+    std::optional<util::kernels::Backend> kernel_backend = std::nullopt;
 };
 
 /// Number of worker threads predict() fans a batch of `n_rows` out to —

@@ -7,6 +7,7 @@
 #include "eval/report.hpp"
 #include "eval/sweep_runner.hpp"
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 #include "util/table.hpp"
 
 namespace hdlock::eval {
@@ -54,6 +55,21 @@ int run_eval_cli(const EvalCliOptions& options, const ScenarioRegistry& registry
     if (options.run.smoke && options.run.full) {
         err << "--smoke and --full are mutually exclusive\n";
         return 2;
+    }
+
+    if (!options.backend.empty()) {
+        const auto kind = util::kernels::parse_backend(options.backend);
+        if (!kind) {
+            err << "unknown kernel backend '" << options.backend
+                << "' (expected portable, avx2, or avx512)\n";
+            return 2;
+        }
+        try {
+            util::kernels::set_backend(*kind);
+        } catch (const Error& error) {
+            err << error.what() << "\n";
+            return 2;
+        }
     }
 
     std::vector<const Scenario*> selected;

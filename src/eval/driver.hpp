@@ -17,7 +17,11 @@
 ///                       (text rendering is suppressed on stdout-JSON)
 ///   --no-timing         strip the context block and all timing fields —
 ///                       output is then bit-identical across thread counts
+///                       and kernel backends
 ///   --csv               CSV tables instead of aligned text
+///   --backend B         pin the SIMD kernel backend (portable|avx2|avx512)
+///                       before running; unknown or unavailable values are
+///                       usage errors.  Recorded in the JSON context.
 ///
 /// Exit codes: 0 all scenarios green; 1 any scenario error or empty report
 /// (the CI reproduce gate); 2 usage errors (unknown scenario, bad flags).
@@ -40,6 +44,7 @@ struct EvalCliOptions {
     std::string json_path;  ///< empty = stdout
     bool timing = true;     ///< false = deterministic form (--no-timing)
     bool csv = false;
+    std::string backend;    ///< kernel backend to pin; empty = keep active
     std::string executable = "hdlock_eval";  ///< recorded in the JSON context
 };
 

@@ -5,6 +5,8 @@
 #include <ctime>
 #include <thread>
 
+#include "util/kernels.hpp"
+
 #ifdef __unix__
 #include <unistd.h>
 #endif
@@ -51,6 +53,12 @@ Json run_context_json(const RunOptions& options, const std::string& executable) 
     if (!executable.empty()) context["executable"] = executable;
     context["num_cpus"] = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
     context["n_threads"] = options.n_threads;
+    // Hardware attribution: detected SIMD features and the kernel backend
+    // the run actually used.  Context lives behind --no-timing stripping, so
+    // byte-compare CI stays backend-agnostic (the payload is bit-identical
+    // across backends by the kernels:: contract anyway).
+    context["cpu"] = util::kernels::cpu_feature_string();
+    context["backend"] = util::kernels::active_name();
 #ifdef NDEBUG
     context["library_build_type"] = "release";
 #else

@@ -31,7 +31,11 @@ struct ReportJsonOptions {
 };
 
 /// The context block: date, host_name, executable, num_cpus, n_threads,
-/// library_build_type — the non-deterministic environment of the run.
+/// cpu (detected SIMD features), backend (active kernel backend),
+/// library_build_type — the environment of the run.  Everything here is
+/// machine-dependent, which is why --no-timing strips the whole block: the
+/// remaining payload is a pure function of (scenario, mode, seed) on any
+/// host and any kernel backend.
 Json run_context_json(const RunOptions& options, const std::string& executable);
 
 /// One scenario's report: info, mode, seed, trial list (params, metrics,

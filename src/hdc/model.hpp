@@ -67,7 +67,10 @@ public:
     /// norms are precomputed (and kept in sync through training updates), so
     /// a call costs one query norm plus one dot product per class.
     int predict(const IntHV& query) const;
-    /// Binary inference: argmin Hamming(query, sign(ClassHV_j)).
+    /// Binary inference: argmin Hamming(query, sign(ClassHV_j)).  The
+    /// distance scoring runs on the dispatched SIMD word kernels
+    /// (util/kernels.hpp via BinaryHV::hamming) — backend choice never
+    /// changes a prediction, only how fast the argmin is found.
     int predict(const BinaryHV& query) const;
 
     /// Batch inference over already-encoded queries (one label per query,

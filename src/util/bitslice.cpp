@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
+
+#include "util/kernels.hpp"
 
 namespace hdlock::util {
 
@@ -23,8 +26,14 @@ ColumnCounter::ColumnCounter(std::size_t n_bits, std::size_t n_planes)
       n_planes_(n_planes),
       grouped_(n_planes >= kGroupPlanes) {
     HDLOCK_EXPECTS(n_bits > 0, "ColumnCounter: n_bits must be positive");
-    HDLOCK_EXPECTS(n_planes >= kMinPlanes && n_planes <= kMaxPlanes,
-                   "ColumnCounter: n_planes out of range");
+    if (n_planes < kMinPlanes || n_planes > kMaxPlanes) {
+        // A named configuration error rather than a contract macro: plane
+        // counts reach here from user-facing knobs (scratch sizing, tests),
+        // and n_planes == 0 in particular would otherwise underflow the
+        // capacity math into silent nonsense.
+        throw ConfigError("ColumnCounter: n_planes must be in [1, 16], got " +
+                          std::to_string(n_planes));
+    }
     planes_.assign(n_planes_ * n_words_, 0);
     flushed_.assign(n_bits_, 0);
     if (grouped_) {
@@ -34,6 +43,7 @@ ColumnCounter::ColumnCounter(std::size_t n_bits, std::size_t n_planes)
         twos_.assign(n_words_, 0);
         fours_a_.assign(n_words_, 0);
         fours_.assign(n_words_, 0);
+        carry_.assign(n_words_, 0);
     }
 }
 
@@ -45,13 +55,12 @@ std::size_t ColumnCounter::planes_for_rows(std::size_t rows) noexcept {
     return planes;
 }
 
-template <typename LoadWord>
-void ColumnCounter::accumulate_row_(LoadWord load) {
+void ColumnCounter::accumulate_row_(const bits::Word* ya, const bits::Word* yb) {
     const std::size_t capacity = (std::size_t{1} << n_planes_) - 1;
     if (!grouped_) {
         if (planes_rows_ == capacity) flush_planes_();
         for (std::size_t w = 0; w < n_words_; ++w) {
-            bits::Word carry = load(w);
+            bits::Word carry = yb == nullptr ? ya[w] : ya[w] ^ yb[w];
             bits::Word* plane = planes_.data() + w * n_planes_;
             for (std::size_t p = 0; p < n_planes_ && carry != 0; ++p) {
                 const bits::Word sum = plane[p] ^ carry;
@@ -68,67 +77,39 @@ void ColumnCounter::accumulate_row_(LoadWord load) {
     //   CSA(carry, sum, x, y):  u = sum^x; carry = (sum&x)|(u&y); sum = u^y
     // folds two unit-weight inputs into `sum` and one double-weight carry.
     // Rows pair through ones_, pairs through twos_, quads through fours_;
-    // only one weight-8 carry per 8 rows ever touches the planes.
+    // only one weight-8 carry per 8 rows ever touches the planes.  Each
+    // phase is one whole-array kernel call on the active SIMD backend; the
+    // fused add_xor bind (yb != nullptr) happens inside the kernels.
+    const kernels::KernelBackend& kernel = kernels::active();
     group_dirty_ = true;
     switch (phase_) {
         case 0:
         case 2:
         case 4:
         case 6:  // buffer the odd row until its pair arrives
-            for (std::size_t w = 0; w < n_words_; ++w) pending_[w] = load(w);
+            if (yb == nullptr) {
+                std::copy(ya, ya + n_words_, pending_.begin());
+            } else {
+                kernel.xor_into(pending_.data(), ya, yb, n_words_);
+            }
             ++phase_;
             break;
         case 1:
-        case 5: {  // first pair of a quad: carries park in twos_a_
-            for (std::size_t w = 0; w < n_words_; ++w) {
-                const bits::Word x = pending_[w];
-                const bits::Word y = load(w);
-                const bits::Word u = ones_[w] ^ x;
-                twos_a_[w] = (ones_[w] & x) | (u & y);
-                ones_[w] = u ^ y;
-            }
+        case 5:  // first pair of a quad: carries park in twos_a_
+            kernel.csa_pair(ones_.data(), twos_a_.data(), pending_.data(), ya, yb, n_words_);
             ++phase_;
             break;
-        }
-        case 3: {  // second pair: fold both twos into fours_a_
-            for (std::size_t w = 0; w < n_words_; ++w) {
-                const bits::Word x = pending_[w];
-                const bits::Word y = load(w);
-                const bits::Word u = ones_[w] ^ x;
-                const bits::Word twos_b = (ones_[w] & x) | (u & y);
-                ones_[w] = u ^ y;
-                const bits::Word u2 = twos_[w] ^ twos_a_[w];
-                fours_a_[w] = (twos_[w] & twos_a_[w]) | (u2 & twos_b);
-                twos_[w] = u2 ^ twos_b;
-            }
+        case 3:  // second pair: fold both twos into fours_a_
+            kernel.csa_quad(ones_.data(), twos_.data(), twos_a_.data(), fours_a_.data(),
+                            pending_.data(), ya, yb, n_words_);
             ++phase_;
             break;
-        }
-        case 7: {  // fourth pair: fold all the way to one weight-8 carry
-            if (planes_rows_ + 8 > capacity) flush_planes_();
-            for (std::size_t w = 0; w < n_words_; ++w) {
-                const bits::Word x = pending_[w];
-                const bits::Word y = load(w);
-                const bits::Word u = ones_[w] ^ x;
-                const bits::Word twos_b = (ones_[w] & x) | (u & y);
-                ones_[w] = u ^ y;
-                const bits::Word u2 = twos_[w] ^ twos_a_[w];
-                const bits::Word fours_b = (twos_[w] & twos_a_[w]) | (u2 & twos_b);
-                twos_[w] = u2 ^ twos_b;
-                const bits::Word u3 = fours_[w] ^ fours_a_[w];
-                bits::Word carry = (fours_[w] & fours_a_[w]) | (u3 & fours_b);
-                fours_[w] = u3 ^ fours_b;
-                bits::Word* plane = planes_.data() + w * n_planes_;
-                for (std::size_t p = 3; p < n_planes_ && carry != 0; ++p) {
-                    const bits::Word sum = plane[p] ^ carry;
-                    carry &= plane[p];
-                    plane[p] = sum;
-                }
-            }
-            planes_rows_ += 8;
+        case 7:  // fourth pair: fold all the way to one weight-8 carry
+            kernel.csa_oct(ones_.data(), twos_.data(), twos_a_.data(), fours_.data(),
+                           fours_a_.data(), carry_.data(), pending_.data(), ya, yb, n_words_);
+            push_carry_(carry_, 3);
             phase_ = 0;
             break;
-        }
         default:
             break;
     }
@@ -137,13 +118,13 @@ void ColumnCounter::accumulate_row_(LoadWord load) {
 
 void ColumnCounter::add(std::span<const bits::Word> row) {
     HDLOCK_EXPECTS(row.size() == n_words_, "ColumnCounter::add: row width mismatch");
-    accumulate_row_([row](std::size_t w) { return row[w]; });
+    accumulate_row_(row.data(), nullptr);
 }
 
 void ColumnCounter::add_xor(std::span<const bits::Word> a, std::span<const bits::Word> b) {
     HDLOCK_EXPECTS(a.size() == n_words_ && b.size() == n_words_,
                    "ColumnCounter::add_xor: row width mismatch");
-    accumulate_row_([a, b](std::size_t w) { return a[w] ^ b[w]; });
+    accumulate_row_(a.data(), b.data());
 }
 
 void ColumnCounter::push_carry_(std::span<const bits::Word> carry_words,
@@ -182,7 +163,14 @@ void ColumnCounter::settle_group_() {
 }
 
 void ColumnCounter::unpack_planes_into_(std::span<std::int32_t> accumulator) const {
-    for (std::size_t w = 0; w < n_words_; ++w) {
+    // Complete 64-column words go through the backend kernel (vector code
+    // touches all 64 output slots of a word unconditionally); the partial
+    // tail word — whose columns past n_bits_ have no accumulator slot —
+    // keeps the scalar set-bit walk.  Plane tails are clean by the row-tail
+    // invariant, so no set bit ever lands past n_bits_.
+    const std::size_t full_words = n_bits_ / bits::kWordBits;
+    kernels::active().unpack_planes(planes_.data(), full_words, n_planes_, accumulator.data());
+    for (std::size_t w = full_words; w < n_words_; ++w) {
         const bits::Word* plane = planes_.data() + w * n_planes_;
         const std::size_t base = w * bits::kWordBits;
         for (std::size_t p = 0; p < n_planes_; ++p) {

@@ -30,9 +30,15 @@
 ///  - add_xor() fuses the encoder's bind step (XOR) into the accumulation so
 ///    no product row is ever written to memory.
 ///
+/// The per-word CSA steps and the plane unpack execute through the
+/// runtime-dispatched SIMD backend layer (util/kernels.hpp): whole word
+/// arrays per call, portable/AVX2/AVX-512 implementations, all bit-identical
+/// — the counter's exact-arithmetic contract is backend-independent.
+///
 /// tests/util/bitslice_test.cc asserts exact equality with the naive
-/// accumulation; bench/bench_ops.cpp measures the speedup (the ablation
-/// called out in DESIGN.md §4).
+/// accumulation (and tests/util/kernels_test.cc across backends);
+/// bench/bench_ops.cpp measures the speedup (the ablation called out in
+/// DESIGN.md §4).
 
 #include <cstdint>
 #include <span>
@@ -50,6 +56,8 @@ public:
     /// \param n_planes number of carry-save planes; per-column counts up to
     ///                 2^n_planes - 1 live in the planes before being folded
     ///                 into a plain integer buffer
+    /// \throws ConfigError when n_planes is outside the supported [1, 16]
+    ///         range (0 in particular — the silent-UB footgun this guards)
     explicit ColumnCounter(std::size_t n_bits, std::size_t n_planes = 6);
 
     /// The plane count that lets `rows` accumulate without any intermediate
@@ -86,8 +94,11 @@ public:
     std::size_t n_planes() const noexcept { return n_planes_; }
 
 private:
-    template <typename LoadWord>
-    void accumulate_row_(LoadWord load);
+    /// Accumulates the row ya (or the fused bind ya ^ yb when yb != nullptr)
+    /// through the carry-save pipeline.  The whole-array CSA steps run on
+    /// the active util::kernels backend; only the strided plane ripple (one
+    /// weight-8 carry per 8 rows) stays scalar.
+    void accumulate_row_(const bits::Word* ya, const bits::Word* yb);
     /// Folds the group registers (pending rows, ones/twos/fours residues)
     /// into the planes; afterwards planes + flushed_ hold every added row.
     void settle_group_();
@@ -114,6 +125,7 @@ private:
     std::vector<bits::Word> twos_;          // weight-2 residue
     std::vector<bits::Word> fours_a_;       // first quad's weight-4 carries
     std::vector<bits::Word> fours_;         // weight-4 residue
+    std::vector<bits::Word> carry_;         // phase-7 weight-8 carry (pure scratch)
     std::vector<std::int32_t> flushed_;     // counts already folded out of the planes
 };
 

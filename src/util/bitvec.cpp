@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/kernels.hpp"
+
 namespace hdlock::util::bits {
 
 void clear(std::span<Word> words) noexcept {
@@ -15,8 +17,7 @@ void fill_random(std::span<Word> words, std::size_t n_bits, Xoshiro256ss& rng) n
 }
 
 void xor_into(std::span<Word> dst, std::span<const Word> a, std::span<const Word> b) noexcept {
-    const std::size_t n = dst.size();
-    for (std::size_t w = 0; w < n; ++w) dst[w] = a[w] ^ b[w];
+    kernels::active().xor_into(dst.data(), a.data(), b.data(), dst.size());
 }
 
 void not_into(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits) noexcept {
@@ -26,18 +27,11 @@ void not_into(std::span<Word> dst, std::span<const Word> src, std::size_t n_bits
 }
 
 std::size_t popcount(std::span<const Word> words) noexcept {
-    std::size_t total = 0;
-    for (const Word w : words) total += static_cast<std::size_t>(std::popcount(w));
-    return total;
+    return kernels::active().popcount(words.data(), words.size());
 }
 
 std::size_t hamming(std::span<const Word> a, std::span<const Word> b) noexcept {
-    std::size_t total = 0;
-    const std::size_t n = a.size();
-    for (std::size_t w = 0; w < n; ++w) {
-        total += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
-    }
-    return total;
+    return kernels::active().hamming(a.data(), b.data(), a.size());
 }
 
 void collect_set_bits(std::span<const Word> words, std::size_t n_bits,

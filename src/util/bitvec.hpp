@@ -11,6 +11,11 @@
 /// The bipolar mapping used by the HDC layer is: stored bit 1 represents the
 /// value -1 and stored bit 0 represents +1, so that element-wise bipolar
 /// multiplication is exactly word-wise XOR.
+///
+/// The word-loop kernels here (xor_into, popcount, hamming) execute through
+/// the runtime-dispatched SIMD backend layer of util/kernels.hpp; every
+/// backend is bit-identical to the portable reference, so callers never
+/// observe which ISA ran.
 
 #include <cstdint>
 #include <span>

@@ -1,0 +1,253 @@
+#include "util/kernels.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace hdlock::util::kernels {
+
+// ---------------------------------------------------------------------------
+// Portable backend: the original bitvec/bitslice loops, moved here verbatim.
+// GCC/Clang auto-vectorize these at the build's baseline ISA; the explicit
+// backends exist because the baseline is usually SSE2-era.
+// ---------------------------------------------------------------------------
+
+namespace portable {
+
+void xor_into(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept {
+    for (std::size_t w = 0; w < n; ++w) dst[w] = a[w] ^ b[w];
+}
+
+std::size_t popcount(const Word* words, std::size_t n) noexcept {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < n; ++w) total += static_cast<std::size_t>(std::popcount(words[w]));
+    return total;
+}
+
+std::size_t hamming(const Word* a, const Word* b, std::size_t n) noexcept {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+        total += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+    }
+    return total;
+}
+
+void csa_pair(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+              std::size_t n) noexcept {
+    if (yb == nullptr) {
+        for (std::size_t w = 0; w < n; ++w) {
+            const Word u = ones[w] ^ x[w];
+            carry[w] = (ones[w] & x[w]) | (u & ya[w]);
+            ones[w] = u ^ ya[w];
+        }
+        return;
+    }
+    for (std::size_t w = 0; w < n; ++w) {
+        const Word y = ya[w] ^ yb[w];
+        const Word u = ones[w] ^ x[w];
+        carry[w] = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+    }
+}
+
+void csa_quad(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+              const Word* ya, const Word* yb, std::size_t n) noexcept {
+    for (std::size_t w = 0; w < n; ++w) {
+        const Word y = yb == nullptr ? ya[w] : ya[w] ^ yb[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        fours_a[w] = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+    }
+}
+
+void csa_oct(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+             Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+             std::size_t n) noexcept {
+    for (std::size_t w = 0; w < n; ++w) {
+        const Word y = yb == nullptr ? ya[w] : ya[w] ^ yb[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        const Word fours_b = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+        const Word u3 = fours[w] ^ fours_a[w];
+        carry_out[w] = (fours[w] & fours_a[w]) | (u3 & fours_b);
+        fours[w] = u3 ^ fours_b;
+    }
+}
+
+void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes,
+                   std::int32_t* accumulator) noexcept {
+    for (std::size_t w = 0; w < n_words; ++w) {
+        const Word* plane = planes + w * n_planes;
+        const std::size_t base = w * 64;
+        for (std::size_t p = 0; p < n_planes; ++p) {
+            const auto weight = static_cast<std::int32_t>(1u << p);
+            Word word = plane[p];
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+                accumulator[base + bit] += weight;
+                word &= word - 1;  // clear lowest set bit
+            }
+        }
+    }
+}
+
+}  // namespace portable
+
+const KernelBackend& portable_backend() noexcept {
+    static constexpr KernelBackend backend{
+        Backend::portable,     "portable",         &portable::xor_into,
+        &portable::popcount,   &portable::hamming, &portable::csa_pair,
+        &portable::csa_quad,   &portable::csa_oct, &portable::unpack_planes,
+    };
+    return backend;
+}
+
+// ---------------------------------------------------------------------------
+// Detection and dispatch.
+// ---------------------------------------------------------------------------
+
+bool cpu_supports(Backend kind) noexcept {
+    switch (kind) {
+        case Backend::portable:
+            return true;
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+        case Backend::avx2:
+            return __builtin_cpu_supports("avx2") != 0;
+        case Backend::avx512:
+            // Exactly the features kernels_avx512.cpp is compiled with.
+            return __builtin_cpu_supports("avx512f") != 0 &&
+                   __builtin_cpu_supports("avx512bw") != 0 &&
+                   __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+        case Backend::avx2:
+        case Backend::avx512:
+            return false;
+#endif
+    }
+    return false;
+}
+
+namespace {
+
+const KernelBackend* compiled_backend(Backend kind) noexcept {
+    switch (kind) {
+        case Backend::portable:
+            return &portable_backend();
+        case Backend::avx2:
+            return avx2_backend();
+        case Backend::avx512:
+            return avx512_backend();
+    }
+    return nullptr;
+}
+
+const KernelBackend* resolve(Backend kind) noexcept {
+    return available(kind) ? compiled_backend(kind) : nullptr;
+}
+
+const KernelBackend* best_available() noexcept {
+    for (const Backend kind : {Backend::avx512, Backend::avx2}) {
+        if (const KernelBackend* backend = resolve(kind)) return backend;
+    }
+    return &portable_backend();
+}
+
+std::atomic<const KernelBackend*>& active_slot() noexcept {
+    static std::atomic<const KernelBackend*> slot{nullptr};
+    return slot;
+}
+
+}  // namespace
+
+bool available(Backend kind) noexcept {
+    return compiled_backend(kind) != nullptr && cpu_supports(kind);
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+    if (name == "portable") return Backend::portable;
+    if (name == "avx2") return Backend::avx2;
+    if (name == "avx512") return Backend::avx512;
+    return std::nullopt;
+}
+
+const char* backend_name(Backend kind) noexcept {
+    switch (kind) {
+        case Backend::portable:
+            return "portable";
+        case Backend::avx2:
+            return "avx2";
+        case Backend::avx512:
+            return "avx512";
+    }
+    return "unknown";
+}
+
+std::vector<Backend> available_backends() {
+    std::vector<Backend> kinds;
+    for (const Backend kind : {Backend::portable, Backend::avx2, Backend::avx512}) {
+        if (available(kind)) kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+Backend choose_backend(std::string_view env_value) noexcept {
+    if (const auto requested = parse_backend(env_value)) {
+        if (const KernelBackend* backend = resolve(*requested)) return backend->kind;
+    }
+    // Unset, unknown, or unavailable on this host: degrade to the best the
+    // hardware offers rather than failing startup.
+    return best_available()->kind;
+}
+
+const KernelBackend& active() noexcept {
+    const KernelBackend* backend = active_slot().load(std::memory_order_acquire);
+    if (backend == nullptr) {
+        const char* env = std::getenv("HDLOCK_KERNEL_BACKEND");
+        backend = compiled_backend(choose_backend(env == nullptr ? "" : env));
+        // First resolution wins on a race; both racers compute the same value.
+        active_slot().store(backend, std::memory_order_release);
+    }
+    return *backend;
+}
+
+Backend active_kind() noexcept { return active().kind; }
+
+Backend set_backend(Backend kind) {
+    const KernelBackend* backend = compiled_backend(kind);
+    if (backend == nullptr) {
+        throw ConfigError(std::string("kernel backend '") + backend_name(kind) +
+                          "' is not compiled into this build");
+    }
+    if (!cpu_supports(kind)) {
+        throw ConfigError(std::string("kernel backend '") + backend_name(kind) +
+                          "' is not supported by this CPU");
+    }
+    const Backend previous = active().kind;
+    active_slot().store(backend, std::memory_order_release);
+    return previous;
+}
+
+std::string cpu_feature_string() {
+    std::string features;
+    const auto append = [&features](const char* name) {
+        if (!features.empty()) features += ' ';
+        features += name;
+    };
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2")) append("avx2");
+    if (__builtin_cpu_supports("avx512f")) append("avx512f");
+    if (__builtin_cpu_supports("avx512bw")) append("avx512bw");
+    if (__builtin_cpu_supports("avx512vpopcntdq")) append("avx512vpopcntdq");
+#endif
+    return features;
+}
+
+}  // namespace hdlock::util::kernels

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Runtime-dispatched SIMD backends for the bit-packed word kernels.
+///
+/// Everything hot in this codebase bottoms out in a handful of loops over
+/// packed uint64 words: XOR binds, population counts, Hamming distances, the
+/// Harley–Seal carry-save steps inside util::ColumnCounter, and the
+/// plane-unpack that turns carry-save planes back into per-column counts.
+/// This header gives those loops a vtable (KernelBackend) with three
+/// implementations:
+///
+///   portable  the plain C++ loops (always available, the reference);
+///   avx2      256-bit AVX2 intrinsics (compiled only into kernels_avx2.cpp
+///             with -mavx2; selected only when CPUID reports AVX2);
+///   avx512    512-bit AVX-512 intrinsics (compiled with -mavx512f/-bw/
+///             -vpopcntdq; selected only when CPUID reports all three).
+///
+/// Dispatch is process-global and resolved once at first use: the best
+/// compiled-in backend the CPU supports, overridable by the environment
+/// variable HDLOCK_KERNEL_BACKEND=portable|avx2|avx512 (an unavailable or
+/// unknown value falls back to auto-detection — a deployment artifact must
+/// degrade, not crash) and by set_backend() for tests and serving code that
+/// must pin a specific implementation (api::SessionOptions::kernel_backend).
+///
+/// Contract: every backend is bit-identical to portable on every input.
+/// All kernels are exact integer arithmetic with order-independent
+/// reductions, so vector width never changes a result — the byte-identical
+/// JSON determinism contract of the eval:: harness holds across backends,
+/// and tests/util/kernels_test.cc asserts agreement on randomized inputs
+/// including odd tail lengths.
+///
+/// Why dispatch sits at the word-kernel layer (and not per-encoder): see
+/// DESIGN.md §5.  In short, every encoder variant (record, locked, sealed),
+/// the model distance scoring and the attack sweeps share these same five
+/// loops; one dispatch point under util:: accelerates all of them at once
+/// and keeps the ISA-specific surface small enough to exhaustively test for
+/// bit-equality.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdlock::util::kernels {
+
+using Word = std::uint64_t;
+
+/// Backend identity, in ascending preference order (auto-detection picks the
+/// highest available value).
+enum class Backend : std::uint8_t { portable = 0, avx2 = 1, avx512 = 2 };
+
+/// The word-kernel vtable.  Raw pointers + lengths on purpose: the ISA
+/// translation units must not instantiate inline std templates under
+/// -mavx2/-mavx512 (an inline function compiled twice with different ISAs is
+/// an ODR hazard — the linker keeps one copy, which may then execute illegal
+/// instructions on a lesser host).
+struct KernelBackend {
+    Backend kind = Backend::portable;
+    const char* name = "portable";
+
+    /// dst[i] = a[i] ^ b[i]; dst may alias a or b.
+    void (*xor_into)(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept;
+
+    /// Total set bits over words[0..n).
+    std::size_t (*popcount)(const Word* words, std::size_t n) noexcept;
+
+    /// Total set bits of a[i] ^ b[i] over [0..n) (unnormalized Hamming).
+    std::size_t (*hamming)(const Word* a, const Word* b, std::size_t n) noexcept;
+
+    /// One fused carry-save adder step over whole word arrays — the
+    /// ColumnCounter phase-1/5 kernel.  Per word, with y = yb ? ya^yb : ya
+    /// (the fused XOR bind of add_xor):
+    ///   u = ones ^ x; carry = (ones & x) | (u & y); ones = u ^ y
+    /// `carry` must not alias any input.
+    void (*csa_pair)(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+                     std::size_t n) noexcept;
+
+    /// The phase-3 kernel: the csa_pair fold of (x, y) into `ones` whose
+    /// weight-2 carry combines with twos_a into `twos`, spilling the
+    /// weight-4 carry into `fours_a`.
+    void (*csa_quad)(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+                     const Word* ya, const Word* yb, std::size_t n) noexcept;
+
+    /// The phase-7 kernel: folds the eighth row all the way down, leaving
+    /// the group's single weight-8 carry in `carry_out` (the caller ripples
+    /// it into the planes, which are strided and stay scalar).
+    void (*csa_oct)(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+                    Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+                    std::size_t n) noexcept;
+
+    /// Adds the word-major carry-save planes onto `accumulator`: for full
+    /// word w in [0, n_words) and plane p in [0, n_planes),
+    ///   accumulator[w * 64 + j] += bit j of planes[w * n_planes + p] << p.
+    /// Only complete words: the caller handles a partial tail word itself
+    /// (vector code writes all 64 columns of a word unconditionally).
+    void (*unpack_planes)(const Word* planes, std::size_t n_words, std::size_t n_planes,
+                          std::int32_t* accumulator) noexcept;
+};
+
+/// The reference backend (always available).
+const KernelBackend& portable_backend() noexcept;
+
+/// Compiled-in ISA backends; nullptr when the toolchain could not build them
+/// (missing -m flags support or a non-x86 target).  Availability at *run*
+/// time additionally requires cpu_supports(kind).
+const KernelBackend* avx2_backend() noexcept;
+const KernelBackend* avx512_backend() noexcept;
+
+/// True when the running CPU can execute the given backend (portable: always).
+bool cpu_supports(Backend kind) noexcept;
+
+/// True when the backend is compiled in AND the CPU supports it.
+bool available(Backend kind) noexcept;
+
+/// Parses "portable" / "avx2" / "avx512"; nullopt for anything else.
+std::optional<Backend> parse_backend(std::string_view name) noexcept;
+
+/// The backend's canonical name ("portable", "avx2", "avx512").
+const char* backend_name(Backend kind) noexcept;
+
+/// Every backend available on this host, ascending (portable first).
+std::vector<Backend> available_backends();
+
+/// The backend auto-detection would pick for `env_value` (the content of
+/// HDLOCK_KERNEL_BACKEND, empty/unknown/unavailable = best available) —
+/// split out pure so the env contract is unit-testable without setenv.
+Backend choose_backend(std::string_view env_value) noexcept;
+
+/// The active backend.  First call resolves it: HDLOCK_KERNEL_BACKEND if set
+/// and available, otherwise the best available.  Hot paths cache the pointer
+/// per call site, so set_backend() mid-computation affects the *next*
+/// operation, not one in flight.
+const KernelBackend& active() noexcept;
+
+/// The active backend's identity/name (for reports and logs).
+Backend active_kind() noexcept;
+inline const char* active_name() noexcept { return backend_name(active_kind()); }
+
+/// Pins the process-global backend.  Throws hdlock::ConfigError when the
+/// backend is not compiled in or the CPU lacks the ISA.  Returns the
+/// previously active backend so tests can restore it.
+Backend set_backend(Backend kind);
+
+/// Space-separated SIMD feature list of the running CPU relevant to the
+/// compiled backends (e.g. "avx2 avx512f avx512bw avx512vpopcntdq"); empty
+/// on hosts with none.  Recorded in the eval:: JSON context.
+std::string cpu_feature_string();
+
+/// RAII pin for tests: set_backend(kind) now, restore the previous backend
+/// on destruction.
+class ScopedBackend {
+public:
+    explicit ScopedBackend(Backend kind) : previous_(set_backend(kind)) {}
+    ~ScopedBackend() { set_backend(previous_); }
+    ScopedBackend(const ScopedBackend&) = delete;
+    ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+private:
+    Backend previous_;
+};
+
+}  // namespace hdlock::util::kernels

@@ -1,0 +1,261 @@
+/// \file kernels_avx2.cpp
+/// The AVX2 kernel backend.  This translation unit is the only code in the
+/// library compiled with -mavx2 (set per-file by CMakeLists.txt), so every
+/// definition with external linkage below must be AVX2-clean to call — which
+/// is just avx2_backend(), whose body never executes a vector instruction.
+/// All actual kernels live behind function pointers that dispatch only after
+/// runtime CPUID confirmation (kernels.cpp), and everything else is kept in
+/// an anonymous namespace so no inline/template instantiation built with
+/// AVX2 codegen can be merged into other translation units by the linker.
+///
+/// When the toolchain cannot target AVX2 (no -mavx2 support, non-x86) the
+/// file degrades to `return nullptr` and dispatch skips the backend.
+
+#include "util/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace hdlock::util::kernels {
+
+namespace {
+
+void xor_into(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), _mm256_xor_si256(va, vb));
+    }
+    for (; w < n; ++w) dst[w] = a[w] ^ b[w];
+}
+
+/// Per-byte popcount via the nibble-lookup (Muła) scheme, folded to four
+/// 64-bit partial sums by SAD against zero.
+__m256i popcount_bytes_sad(__m256i v) noexcept {
+    const __m256i lookup =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i counts =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo), _mm256_shuffle_epi8(lookup, hi));
+    return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+std::size_t reduce_epi64(__m256i acc) noexcept {
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    const __m128i sum = _mm_add_epi64(lo, hi);
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+                                    static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1)));
+}
+
+std::size_t popcount(const Word* words, std::size_t n) noexcept {
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+        acc = _mm256_add_epi64(acc, popcount_bytes_sad(v));
+    }
+    std::size_t total = reduce_epi64(acc);
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(words[w]));
+    return total;
+}
+
+std::size_t hamming(const Word* a, const Word* b, std::size_t n) noexcept {
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+        acc = _mm256_add_epi64(acc, popcount_bytes_sad(_mm256_xor_si256(va, vb)));
+    }
+    std::size_t total = reduce_epi64(acc);
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(a[w] ^ b[w]));
+    return total;
+}
+
+/// Loads the row operand: ya[w..w+4) or the fused bind ya ^ yb.
+template <bool Fused>
+__m256i load_y(const Word* ya, const Word* yb, std::size_t w) noexcept {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ya + w));
+    if constexpr (!Fused) return a;
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(yb + w));
+    return _mm256_xor_si256(a, b);
+}
+
+template <bool Fused>
+void csa_pair_impl(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+                   std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ones + w));
+        const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + w));
+        const __m256i y = load_y<Fused>(ya, yb, w);
+        const __m256i u = _mm256_xor_si256(o, vx);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(carry + w),
+                            _mm256_or_si256(_mm256_and_si256(o, vx), _mm256_and_si256(u, y)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ones + w), _mm256_xor_si256(u, y));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        carry[w] = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+    }
+}
+
+void csa_pair(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+              std::size_t n) noexcept {
+    yb == nullptr ? csa_pair_impl<false>(ones, carry, x, ya, yb, n)
+                  : csa_pair_impl<true>(ones, carry, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_quad_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+                   const Word* ya, const Word* yb, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ones + w));
+        const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + w));
+        const __m256i y = load_y<Fused>(ya, yb, w);
+        const __m256i u = _mm256_xor_si256(o, vx);
+        const __m256i twos_b =
+            _mm256_or_si256(_mm256_and_si256(o, vx), _mm256_and_si256(u, y));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ones + w), _mm256_xor_si256(u, y));
+        const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twos + w));
+        const __m256i ta = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twos_a + w));
+        const __m256i u2 = _mm256_xor_si256(t, ta);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(fours_a + w),
+                            _mm256_or_si256(_mm256_and_si256(t, ta), _mm256_and_si256(u2, twos_b)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(twos + w), _mm256_xor_si256(u2, twos_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        fours_a[w] = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+    }
+}
+
+void csa_quad(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+              const Word* ya, const Word* yb, std::size_t n) noexcept {
+    yb == nullptr ? csa_quad_impl<false>(ones, twos, twos_a, fours_a, x, ya, yb, n)
+                  : csa_quad_impl<true>(ones, twos, twos_a, fours_a, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_oct_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+                  Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+                  std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ones + w));
+        const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + w));
+        const __m256i y = load_y<Fused>(ya, yb, w);
+        const __m256i u = _mm256_xor_si256(o, vx);
+        const __m256i twos_b =
+            _mm256_or_si256(_mm256_and_si256(o, vx), _mm256_and_si256(u, y));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ones + w), _mm256_xor_si256(u, y));
+        const __m256i t = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twos + w));
+        const __m256i ta = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(twos_a + w));
+        const __m256i u2 = _mm256_xor_si256(t, ta);
+        const __m256i fours_b =
+            _mm256_or_si256(_mm256_and_si256(t, ta), _mm256_and_si256(u2, twos_b));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(twos + w), _mm256_xor_si256(u2, twos_b));
+        const __m256i f = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fours + w));
+        const __m256i fa = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fours_a + w));
+        const __m256i u3 = _mm256_xor_si256(f, fa);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(carry_out + w),
+            _mm256_or_si256(_mm256_and_si256(f, fa), _mm256_and_si256(u3, fours_b)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(fours + w), _mm256_xor_si256(u3, fours_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        const Word fours_b = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+        const Word u3 = fours[w] ^ fours_a[w];
+        carry_out[w] = (fours[w] & fours_a[w]) | (u3 & fours_b);
+        fours[w] = u3 ^ fours_b;
+    }
+}
+
+void csa_oct(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+             Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+             std::size_t n) noexcept {
+    yb == nullptr
+        ? csa_oct_impl<false>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n)
+        : csa_oct_impl<true>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n);
+}
+
+/// Dense plane unpack: per 64-column word, spread each plane word's bits
+/// across eight 8-lane int32 vectors with a variable right shift, mask to
+/// the bit, weight by the plane, and accumulate.  Unlike the portable
+/// set-bit iteration this is branch-free and independent of plane density —
+/// which is what makes it faster on the ~half-dense low planes the encoder
+/// produces.
+void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes,
+                   std::int32_t* accumulator) noexcept {
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i lane_shift = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    for (std::size_t w = 0; w < n_words; ++w) {
+        const Word* plane = planes + w * n_planes;
+        __m256i counts[8];
+        for (int v = 0; v < 8; ++v) counts[v] = _mm256_setzero_si256();
+        for (std::size_t p = 0; p < n_planes; ++p) {
+            const Word word = plane[p];
+            if (word == 0) continue;
+            const __m256i lo = _mm256_set1_epi32(static_cast<std::int32_t>(word));
+            const __m256i hi = _mm256_set1_epi32(static_cast<std::int32_t>(word >> 32));
+            const int weight_shift = static_cast<int>(p);
+            for (int v = 0; v < 4; ++v) {
+                const __m256i shift =
+                    _mm256_add_epi32(lane_shift, _mm256_set1_epi32(v * 8));
+                const __m256i bits_lo =
+                    _mm256_and_si256(_mm256_srlv_epi32(lo, shift), one);
+                const __m256i bits_hi =
+                    _mm256_and_si256(_mm256_srlv_epi32(hi, shift), one);
+                counts[v] = _mm256_add_epi32(counts[v], _mm256_slli_epi32(bits_lo, weight_shift));
+                counts[v + 4] =
+                    _mm256_add_epi32(counts[v + 4], _mm256_slli_epi32(bits_hi, weight_shift));
+            }
+        }
+        std::int32_t* out = accumulator + w * 64;
+        for (int v = 0; v < 8; ++v) {
+            __m256i* slot = reinterpret_cast<__m256i*>(out + v * 8);
+            _mm256_storeu_si256(slot, _mm256_add_epi32(_mm256_loadu_si256(slot), counts[v]));
+        }
+    }
+}
+
+constexpr KernelBackend kBackend{
+    Backend::avx2, "avx2",   &xor_into, &popcount,      &hamming,
+    &csa_pair,     &csa_quad, &csa_oct,  &unpack_planes,
+};
+
+}  // namespace
+
+const KernelBackend* avx2_backend() noexcept { return &kBackend; }
+
+}  // namespace hdlock::util::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace hdlock::util::kernels {
+
+const KernelBackend* avx2_backend() noexcept { return nullptr; }
+
+}  // namespace hdlock::util::kernels
+
+#endif

@@ -1,0 +1,244 @@
+/// \file kernels_avx512.cpp
+/// The AVX-512 kernel backend: 512-bit words, vpternlogq for the carry-save
+/// sum (A^B^C, imm 0x96) and majority (carry, imm 0xE8) in one instruction
+/// each, and the native vpopcntq for population counts.
+///
+/// Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq (per-file, see
+/// CMakeLists.txt); selected at runtime only when CPUID reports all three
+/// features.  Same ODR discipline as kernels_avx2.cpp: everything except the
+/// vector-free avx512_backend() accessor has internal linkage.
+
+#include "util/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+// GCC's avx512fintrin.h implements unmasked intrinsics (srlv & friends) by
+// passing _mm512_undefined_epi32() as the masked-out source operand, which
+// trips -Wuninitialized/-Wmaybe-uninitialized under -Wall (GCC PR105593).
+// The warning is about the header's deliberate "undefined" value, not code
+// in this file; suppress it file-wide so the -Werror CI gate stays usable.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace hdlock::util::kernels {
+
+namespace {
+
+void xor_into(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i va = _mm512_loadu_si512(a + w);
+        const __m512i vb = _mm512_loadu_si512(b + w);
+        _mm512_storeu_si512(dst + w, _mm512_xor_si512(va, vb));
+    }
+    for (; w < n; ++w) dst[w] = a[w] ^ b[w];
+}
+
+std::size_t popcount(const Word* words, std::size_t n) noexcept {
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(words + w)));
+    }
+    std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(words[w]));
+    return total;
+}
+
+std::size_t hamming(const Word* a, const Word* b, std::size_t n) noexcept {
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + w), _mm512_loadu_si512(b + w));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+    }
+    std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(a[w] ^ b[w]));
+    return total;
+}
+
+/// sum = a ^ b ^ c.
+__m512i csa_sum(__m512i a, __m512i b, __m512i c) noexcept {
+    return _mm512_ternarylogic_epi64(a, b, c, 0x96);
+}
+
+/// carry = majority(a, b, c) = (a&b) | (a&c) | (b&c) — exactly the CSA
+/// carry (s&x) | ((s^x)&y) of the portable kernels.
+__m512i csa_carry(__m512i a, __m512i b, __m512i c) noexcept {
+    return _mm512_ternarylogic_epi64(a, b, c, 0xE8);
+}
+
+template <bool Fused>
+__m512i load_y(const Word* ya, const Word* yb, std::size_t w) noexcept {
+    const __m512i a = _mm512_loadu_si512(ya + w);
+    if constexpr (!Fused) return a;
+    return _mm512_xor_si512(a, _mm512_loadu_si512(yb + w));
+}
+
+template <bool Fused>
+void csa_pair_impl(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+                   std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i o = _mm512_loadu_si512(ones + w);
+        const __m512i vx = _mm512_loadu_si512(x + w);
+        const __m512i y = load_y<Fused>(ya, yb, w);
+        _mm512_storeu_si512(carry + w, csa_carry(o, vx, y));
+        _mm512_storeu_si512(ones + w, csa_sum(o, vx, y));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        carry[w] = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+    }
+}
+
+void csa_pair(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+              std::size_t n) noexcept {
+    yb == nullptr ? csa_pair_impl<false>(ones, carry, x, ya, yb, n)
+                  : csa_pair_impl<true>(ones, carry, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_quad_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+                   const Word* ya, const Word* yb, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i o = _mm512_loadu_si512(ones + w);
+        const __m512i vx = _mm512_loadu_si512(x + w);
+        const __m512i y = load_y<Fused>(ya, yb, w);
+        const __m512i twos_b = csa_carry(o, vx, y);
+        _mm512_storeu_si512(ones + w, csa_sum(o, vx, y));
+        const __m512i t = _mm512_loadu_si512(twos + w);
+        const __m512i ta = _mm512_loadu_si512(twos_a + w);
+        _mm512_storeu_si512(fours_a + w, csa_carry(t, ta, twos_b));
+        _mm512_storeu_si512(twos + w, csa_sum(t, ta, twos_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        fours_a[w] = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+    }
+}
+
+void csa_quad(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+              const Word* ya, const Word* yb, std::size_t n) noexcept {
+    yb == nullptr ? csa_quad_impl<false>(ones, twos, twos_a, fours_a, x, ya, yb, n)
+                  : csa_quad_impl<true>(ones, twos, twos_a, fours_a, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_oct_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+                  Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+                  std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i o = _mm512_loadu_si512(ones + w);
+        const __m512i vx = _mm512_loadu_si512(x + w);
+        const __m512i y = load_y<Fused>(ya, yb, w);
+        const __m512i twos_b = csa_carry(o, vx, y);
+        _mm512_storeu_si512(ones + w, csa_sum(o, vx, y));
+        const __m512i t = _mm512_loadu_si512(twos + w);
+        const __m512i ta = _mm512_loadu_si512(twos_a + w);
+        const __m512i fours_b = csa_carry(t, ta, twos_b);
+        _mm512_storeu_si512(twos + w, csa_sum(t, ta, twos_b));
+        const __m512i f = _mm512_loadu_si512(fours + w);
+        const __m512i fa = _mm512_loadu_si512(fours_a + w);
+        _mm512_storeu_si512(carry_out + w, csa_carry(f, fa, fours_b));
+        _mm512_storeu_si512(fours + w, csa_sum(f, fa, fours_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        const Word fours_b = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+        const Word u3 = fours[w] ^ fours_a[w];
+        carry_out[w] = (fours[w] & fours_a[w]) | (u3 & fours_b);
+        fours[w] = u3 ^ fours_b;
+    }
+}
+
+void csa_oct(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+             Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+             std::size_t n) noexcept {
+    yb == nullptr
+        ? csa_oct_impl<false>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n)
+        : csa_oct_impl<true>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n);
+}
+
+/// 16-lane variant of the AVX2 dense unpack: four int32 vectors cover the
+/// 64 columns of a word.
+void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes,
+                   std::int32_t* accumulator) noexcept {
+    const __m512i one = _mm512_set1_epi32(1);
+    const __m512i lane_shift =
+        _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    const __m512i lane_shift_hi = _mm512_add_epi32(lane_shift, _mm512_set1_epi32(16));
+    for (std::size_t w = 0; w < n_words; ++w) {
+        const Word* plane = planes + w * n_planes;
+        __m512i counts[4];
+        for (int v = 0; v < 4; ++v) counts[v] = _mm512_setzero_si512();
+        for (std::size_t p = 0; p < n_planes; ++p) {
+            const Word word = plane[p];
+            if (word == 0) continue;
+            const __m512i lo = _mm512_set1_epi32(static_cast<std::int32_t>(word));
+            const __m512i hi = _mm512_set1_epi32(static_cast<std::int32_t>(word >> 32));
+            const unsigned weight_shift = static_cast<unsigned>(p);
+            counts[0] = _mm512_add_epi32(
+                counts[0], _mm512_slli_epi32(
+                               _mm512_and_si512(_mm512_srlv_epi32(lo, lane_shift), one),
+                               weight_shift));
+            counts[1] = _mm512_add_epi32(
+                counts[1], _mm512_slli_epi32(
+                               _mm512_and_si512(_mm512_srlv_epi32(lo, lane_shift_hi), one),
+                               weight_shift));
+            counts[2] = _mm512_add_epi32(
+                counts[2], _mm512_slli_epi32(
+                               _mm512_and_si512(_mm512_srlv_epi32(hi, lane_shift), one),
+                               weight_shift));
+            counts[3] = _mm512_add_epi32(
+                counts[3], _mm512_slli_epi32(
+                               _mm512_and_si512(_mm512_srlv_epi32(hi, lane_shift_hi), one),
+                               weight_shift));
+        }
+        std::int32_t* out = accumulator + w * 64;
+        for (int v = 0; v < 4; ++v) {
+            std::int32_t* slot = out + v * 16;
+            _mm512_storeu_si512(slot,
+                                _mm512_add_epi32(_mm512_loadu_si512(slot), counts[v]));
+        }
+    }
+}
+
+constexpr KernelBackend kBackend{
+    Backend::avx512, "avx512",  &xor_into, &popcount,      &hamming,
+    &csa_pair,       &csa_quad, &csa_oct,  &unpack_planes,
+};
+
+}  // namespace
+
+const KernelBackend* avx512_backend() noexcept { return &kBackend; }
+
+}  // namespace hdlock::util::kernels
+
+#else  // missing AVX-512 feature set
+
+namespace hdlock::util::kernels {
+
+const KernelBackend* avx512_backend() noexcept { return nullptr; }
+
+}  // namespace hdlock::util::kernels
+
+#endif

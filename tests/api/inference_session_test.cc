@@ -86,6 +86,38 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(std::get<1>(info.param));
     });
 
+TEST(InferenceSession, KernelBackendPinIsBitIdentical) {
+    // Pinning any available SIMD kernel backend through SessionOptions must
+    // not change a single prediction; an unavailable backend is a named
+    // ConfigError at construction.  The pin is process-global, so restore
+    // the original backend when done.
+    namespace kernels = util::kernels;
+    const kernels::ScopedBackend restore(kernels::active_kind());
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+
+    std::vector<int> reference;
+    for (const kernels::Backend kind : kernels::available_backends()) {
+        api::SessionOptions options;
+        options.kernel_backend = kind;
+        const auto session = pipeline.owner.open_session(options);
+        EXPECT_EQ(kernels::active_kind(), kind);
+        const auto predictions = session.predict(pipeline.data.test.X);
+        if (reference.empty()) {
+            reference = predictions;
+        } else {
+            EXPECT_EQ(predictions, reference) << kernels::backend_name(kind);
+        }
+    }
+
+    for (const kernels::Backend kind : {kernels::Backend::avx2, kernels::Backend::avx512}) {
+        if (kernels::available(kind)) continue;
+        api::SessionOptions options;
+        options.kernel_backend = kind;
+        EXPECT_THROW(pipeline.owner.open_session(options), ConfigError)
+            << kernels::backend_name(kind);
+    }
+}
+
 TEST(InferenceSession, ThreadCountsAgreeWithEachOther) {
     const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
     std::vector<int> reference;

@@ -14,6 +14,7 @@
 
 #include "eval/registry.hpp"
 #include "util/error.hpp"
+#include "util/kernels.hpp"
 
 namespace {
 
@@ -159,6 +160,29 @@ TEST(EvalDriver, JsonToFileWritesReportAndKeepsText) {
     EXPECT_NE(payload.str().find("\"context\""), std::string::npos);
     EXPECT_NE(payload.str().find("\"driver-test\""), std::string::npos);
     std::filesystem::remove(path);
+}
+
+TEST(EvalDriver, UnknownBackendIsUsageError) {
+    std::ostringstream out, err;
+    auto options = base_options();
+    options.scenarios = {"quick"};
+    options.backend = "neon";
+    EXPECT_EQ(eval::run_eval_cli(options, test_registry(), out, err), 2);
+    EXPECT_NE(err.str().find("neon"), std::string::npos);
+    EXPECT_NE(err.str().find("portable"), std::string::npos);
+}
+
+TEST(EvalDriver, BackendPinRunsAndIsRecordedInContext) {
+    namespace kernels = hdlock::util::kernels;
+    const kernels::ScopedBackend restore(kernels::active_kind());
+    std::ostringstream out, err;
+    auto options = base_options();
+    options.scenarios = {"quick"};
+    options.json = true;
+    options.backend = "portable";
+    EXPECT_EQ(eval::run_eval_cli(options, test_registry(), out, err), 0);
+    EXPECT_NE(out.str().find("\"backend\": \"portable\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"cpu\""), std::string::npos);
 }
 
 TEST(EvalDriver, SplitScenarioListHandlesCommasAndEmptySegments) {

@@ -1,11 +1,14 @@
 // Tests for the CLI flag parser (tools/cli_args.hpp): the trailing-flag and
-// unknown-flag usage errors, plus the value accessors.
+// unknown-flag usage errors, plus the value accessors — and the shared
+// eval-flag translation of tools/eval_cli.hpp.
 
 #include "cli_args.hpp"
 
 #include <gtest/gtest.h>
 
 #include <vector>
+
+#include "eval_cli.hpp"
 
 namespace {
 
@@ -121,4 +124,17 @@ TEST(CliArgs, RepeatedFlagsAccumulateAndScalarAccessorsReadTheLast) {
     EXPECT_EQ(args.get_all("scenario"), (std::vector<std::string>{"fig3", "fig5,fig6"}));
     EXPECT_EQ(args.get_u64("seed", 0), 9u);
     EXPECT_TRUE(args.get_all("missing").empty());
+}
+
+TEST(CliArgs, EvalOptionsCarryBackendFlag) {
+    Argv argv({"--scenario", "fig3", "--backend", "portable", "--json"});
+    const Args args(argv.argc(), argv.argv(), 0, hdlock::cli::kEvalBooleanFlags);
+    args.check_known("test", hdlock::cli::kEvalKnownFlags);
+    const auto options = hdlock::cli::parse_eval_options(args, "test");
+    EXPECT_EQ(options.backend, "portable");
+    EXPECT_TRUE(options.json);
+
+    Argv bare(std::vector<std::string>{"--all"});
+    const Args no_backend(bare.argc(), bare.argv(), 0, hdlock::cli::kEvalBooleanFlags);
+    EXPECT_TRUE(hdlock::cli::parse_eval_options(no_backend, "test").backend.empty());
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 namespace bits = hdlock::util::bits;
+using hdlock::ConfigError;
 using hdlock::ContractViolation;
 using hdlock::util::ColumnCounter;
 using hdlock::util::Xoshiro256ss;
@@ -177,8 +178,10 @@ TEST(ColumnCounter, AllOnesAndAllZeros) {
 
 TEST(ColumnCounter, ContractViolations) {
     EXPECT_THROW(ColumnCounter(0), ContractViolation);
-    EXPECT_THROW(ColumnCounter(10, 0), ContractViolation);
-    EXPECT_THROW(ColumnCounter(10, 17), ContractViolation);
+    // Plane counts are a user-facing configuration knob, so an out-of-range
+    // value (0 especially) is a named ConfigError, not a contract macro.
+    EXPECT_THROW(ColumnCounter(10, 0), ConfigError);
+    EXPECT_THROW(ColumnCounter(10, 17), ConfigError);
 
     ColumnCounter counter(100);
     std::vector<Word> wrong_width(5, 0);

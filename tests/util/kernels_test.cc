@@ -1,0 +1,301 @@
+// Cross-backend bit-equality tests for the runtime-dispatched SIMD kernel
+// layer (src/util/kernels.*).  Every ISA backend must agree with portable on
+// every input — including odd tail lengths (word counts that are not a
+// multiple of the vector width) and every supported plane count — and the
+// selection machinery (parse / choose / set / scoped restore) must behave.
+// Backends the host cannot run are skipped cleanly, so the suite is green on
+// any machine.
+
+#include "util/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bitslice.hpp"
+#include "util/bitvec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace kernels = hdlock::util::kernels;
+namespace bits = hdlock::util::bits;
+using hdlock::ConfigError;
+using hdlock::util::ColumnCounter;
+using hdlock::util::Xoshiro256ss;
+using kernels::Backend;
+using kernels::KernelBackend;
+using Word = kernels::Word;
+
+namespace {
+
+/// The ISA backends runnable on this host (excludes portable).
+std::vector<const KernelBackend*> simd_backends() {
+    std::vector<const KernelBackend*> backends;
+    if (kernels::available(Backend::avx2)) backends.push_back(kernels::avx2_backend());
+    if (kernels::available(Backend::avx512)) backends.push_back(kernels::avx512_backend());
+    return backends;
+}
+
+std::vector<Word> random_words(std::size_t n, Xoshiro256ss& rng) {
+    std::vector<Word> words(n);
+    for (auto& word : words) word = rng();
+    return words;
+}
+
+// Word counts around every vector-width boundary: scalar-only, exactly one
+// AVX2 vector (4), one AVX-512 vector (8), multiples, and odd tails.
+const std::size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 15, 16, 17, 31, 157};
+
+}  // namespace
+
+TEST(Kernels, ParseAndNames) {
+    EXPECT_EQ(kernels::parse_backend("portable"), Backend::portable);
+    EXPECT_EQ(kernels::parse_backend("avx2"), Backend::avx2);
+    EXPECT_EQ(kernels::parse_backend("avx512"), Backend::avx512);
+    EXPECT_EQ(kernels::parse_backend("AVX2"), std::nullopt);
+    EXPECT_EQ(kernels::parse_backend(""), std::nullopt);
+    for (const Backend kind : {Backend::portable, Backend::avx2, Backend::avx512}) {
+        EXPECT_EQ(kernels::parse_backend(kernels::backend_name(kind)), kind);
+    }
+}
+
+TEST(Kernels, PortableAlwaysAvailable) {
+    EXPECT_TRUE(kernels::available(Backend::portable));
+    ASSERT_FALSE(kernels::available_backends().empty());
+    EXPECT_EQ(kernels::available_backends().front(), Backend::portable);
+}
+
+TEST(Kernels, ChooseBackendHonorsRequestAndDegrades) {
+    const Backend best = kernels::available_backends().back();
+    // Unset / unknown values degrade to the best available, never throw.
+    EXPECT_EQ(kernels::choose_backend(""), best);
+    EXPECT_EQ(kernels::choose_backend("bogus"), best);
+    // An available explicit request is honored.
+    EXPECT_EQ(kernels::choose_backend("portable"), Backend::portable);
+    for (const Backend kind : kernels::available_backends()) {
+        EXPECT_EQ(kernels::choose_backend(kernels::backend_name(kind)), kind);
+    }
+    // An unavailable explicit request degrades instead of failing startup.
+    if (!kernels::available(Backend::avx512)) {
+        EXPECT_EQ(kernels::choose_backend("avx512"), best);
+    }
+}
+
+TEST(Kernels, SetBackendPinsAndRestores) {
+    const Backend original = kernels::active_kind();
+    {
+        kernels::ScopedBackend pin(Backend::portable);
+        EXPECT_EQ(kernels::active_kind(), Backend::portable);
+        EXPECT_STREQ(kernels::active_name(), "portable");
+    }
+    EXPECT_EQ(kernels::active_kind(), original);
+}
+
+TEST(Kernels, SetBackendRejectsUnavailable) {
+    for (const Backend kind : {Backend::avx2, Backend::avx512}) {
+        if (kernels::available(kind)) continue;
+        EXPECT_THROW(kernels::set_backend(kind), ConfigError) << kernels::backend_name(kind);
+    }
+    if (kernels::available(Backend::avx2) && kernels::available(Backend::avx512)) {
+        GTEST_SKIP() << "every backend available on this host; rejection untestable";
+    }
+}
+
+TEST(Kernels, XorPopcountHammingAgreeAcrossBackends) {
+    const auto backends = simd_backends();
+    if (backends.empty()) GTEST_SKIP() << "no SIMD backend available on this host";
+    const KernelBackend& portable = kernels::portable_backend();
+    Xoshiro256ss rng(42);
+    for (const std::size_t n : kWordCounts) {
+        const auto a = random_words(n, rng);
+        const auto b = random_words(n, rng);
+        std::vector<Word> expected(n, 0);
+        portable.xor_into(expected.data(), a.data(), b.data(), n);
+        const std::size_t expected_pop = portable.popcount(a.data(), n);
+        const std::size_t expected_ham = portable.hamming(a.data(), b.data(), n);
+        for (const KernelBackend* backend : backends) {
+            std::vector<Word> actual(n, 0);
+            backend->xor_into(actual.data(), a.data(), b.data(), n);
+            EXPECT_EQ(actual, expected) << backend->name << " n=" << n;
+            EXPECT_EQ(backend->popcount(a.data(), n), expected_pop)
+                << backend->name << " n=" << n;
+            EXPECT_EQ(backend->hamming(a.data(), b.data(), n), expected_ham)
+                << backend->name << " n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, CsaStepsAgreeAcrossBackends) {
+    const auto backends = simd_backends();
+    if (backends.empty()) GTEST_SKIP() << "no SIMD backend available on this host";
+    const KernelBackend& portable = kernels::portable_backend();
+    Xoshiro256ss rng(7);
+    for (const std::size_t n : kWordCounts) {
+        const auto x = random_words(n, rng);
+        const auto ya = random_words(n, rng);
+        const auto yb = random_words(n, rng);
+        const auto ones0 = random_words(n, rng);
+        const auto twos0 = random_words(n, rng);
+        const auto twos_a = random_words(n, rng);
+        const auto fours0 = random_words(n, rng);
+        const auto fours_a = random_words(n, rng);
+        for (const Word* yb_ptr : {static_cast<const Word*>(nullptr), yb.data()}) {
+            // csa_pair
+            auto ones_p = ones0;
+            std::vector<Word> carry_p(n, 0);
+            portable.csa_pair(ones_p.data(), carry_p.data(), x.data(), ya.data(), yb_ptr, n);
+            // csa_quad
+            auto ones_q = ones0;
+            auto twos_q = twos0;
+            std::vector<Word> fours_a_q(n, 0);
+            portable.csa_quad(ones_q.data(), twos_q.data(), twos_a.data(), fours_a_q.data(),
+                              x.data(), ya.data(), yb_ptr, n);
+            // csa_oct
+            auto ones_o = ones0;
+            auto twos_o = twos0;
+            auto fours_o = fours0;
+            std::vector<Word> carry_o(n, 0);
+            portable.csa_oct(ones_o.data(), twos_o.data(), twos_a.data(), fours_o.data(),
+                             fours_a.data(), carry_o.data(), x.data(), ya.data(), yb_ptr, n);
+            for (const KernelBackend* backend : backends) {
+                auto b_ones = ones0;
+                std::vector<Word> b_carry(n, 0);
+                backend->csa_pair(b_ones.data(), b_carry.data(), x.data(), ya.data(), yb_ptr, n);
+                EXPECT_EQ(b_ones, ones_p) << backend->name << " n=" << n;
+                EXPECT_EQ(b_carry, carry_p) << backend->name << " n=" << n;
+
+                b_ones = ones0;
+                auto b_twos = twos0;
+                std::vector<Word> b_fours_a(n, 0);
+                backend->csa_quad(b_ones.data(), b_twos.data(), twos_a.data(), b_fours_a.data(),
+                                  x.data(), ya.data(), yb_ptr, n);
+                EXPECT_EQ(b_ones, ones_q) << backend->name << " n=" << n;
+                EXPECT_EQ(b_twos, twos_q) << backend->name << " n=" << n;
+                EXPECT_EQ(b_fours_a, fours_a_q) << backend->name << " n=" << n;
+
+                b_ones = ones0;
+                b_twos = twos0;
+                auto b_fours = fours0;
+                std::vector<Word> b_carry_o(n, 0);
+                backend->csa_oct(b_ones.data(), b_twos.data(), twos_a.data(), b_fours.data(),
+                                 fours_a.data(), b_carry_o.data(), x.data(), ya.data(), yb_ptr,
+                                 n);
+                EXPECT_EQ(b_ones, ones_o) << backend->name << " n=" << n;
+                EXPECT_EQ(b_twos, twos_o) << backend->name << " n=" << n;
+                EXPECT_EQ(b_fours, fours_o) << backend->name << " n=" << n;
+                EXPECT_EQ(b_carry_o, carry_o) << backend->name << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Kernels, UnpackPlanesAgreesAcrossBackends) {
+    const auto backends = simd_backends();
+    if (backends.empty()) GTEST_SKIP() << "no SIMD backend available on this host";
+    const KernelBackend& portable = kernels::portable_backend();
+    Xoshiro256ss rng(19);
+    for (const std::size_t n_words : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+        for (std::size_t n_planes = 1; n_planes <= 16; ++n_planes) {
+            const auto planes = random_words(n_words * n_planes, rng);
+            // Non-zero initial accumulator: the kernel must *add*.
+            std::vector<std::int32_t> expected(n_words * 64);
+            for (std::size_t j = 0; j < expected.size(); ++j) {
+                expected[j] = static_cast<std::int32_t>(j % 37);
+            }
+            auto seed = expected;
+            portable.unpack_planes(planes.data(), n_words, n_planes, expected.data());
+            for (const KernelBackend* backend : backends) {
+                auto actual = seed;
+                backend->unpack_planes(planes.data(), n_words, n_planes, actual.data());
+                EXPECT_EQ(actual, expected)
+                    << backend->name << " words=" << n_words << " planes=" << n_planes;
+            }
+        }
+    }
+}
+
+// End-to-end: a ColumnCounter driven through set_backend must produce
+// identical counts and bipolar sums on every backend, over odd tail lengths
+// (D not a multiple of 256/512) and all plane regimes (ripple and grouped).
+TEST(Kernels, ColumnCounterBitIdenticalAcrossBackends) {
+    const auto available = kernels::available_backends();
+    if (available.size() < 2) GTEST_SKIP() << "only portable available on this host";
+
+    for (const std::size_t n_bits : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                                     std::size_t{65}, std::size_t{200}, std::size_t{257},
+                                     std::size_t{300}, std::size_t{511}, std::size_t{513},
+                                     std::size_t{1000}}) {
+        for (const std::size_t n_planes :
+             {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{6}, std::size_t{8},
+              std::size_t{16}}) {
+            // Same row stream for every backend: mixed add / add_xor, enough
+            // rows to cross group and flush boundaries.
+            std::vector<std::vector<Word>> rows;
+            Xoshiro256ss rng(1000 + n_bits * 31 + n_planes);
+            const std::size_t n_words = bits::word_count(n_bits);
+            for (std::size_t r = 0; r < 37; ++r) {
+                auto row = random_words(n_words, rng);
+                if (!row.empty()) row.back() &= bits::tail_mask(n_bits);
+                rows.push_back(std::move(row));
+            }
+
+            std::vector<std::int32_t> reference_counts;
+            std::vector<std::int32_t> reference_sums;
+            for (const Backend kind : available) {
+                kernels::ScopedBackend pin(kind);
+                ColumnCounter counter(n_bits, n_planes);
+                for (std::size_t r = 0; r < rows.size(); ++r) {
+                    if (r % 3 == 1) {
+                        counter.add_xor(rows[r], rows[(r + 1) % rows.size()]);
+                    } else {
+                        counter.add(rows[r]);
+                    }
+                }
+                std::vector<std::int32_t> counts(n_bits, 0);
+                counter.counts_into(counts);
+                std::vector<std::int32_t> sums(n_bits, 0);
+                counter.bipolar_sums_into(sums);
+                if (kind == Backend::portable) {
+                    reference_counts = counts;
+                    reference_sums = sums;
+                } else {
+                    EXPECT_EQ(counts, reference_counts)
+                        << kernels::backend_name(kind) << " D=" << n_bits
+                        << " planes=" << n_planes;
+                    EXPECT_EQ(sums, reference_sums)
+                        << kernels::backend_name(kind) << " D=" << n_bits
+                        << " planes=" << n_planes;
+                }
+            }
+        }
+    }
+}
+
+// The bitvec span wrappers dispatch to whatever backend is pinned.
+TEST(Kernels, BitvecRoutesThroughActiveBackend) {
+    Xoshiro256ss rng(5);
+    const std::size_t n_bits = 777;  // odd tail
+    std::vector<Word> a(bits::word_count(n_bits));
+    std::vector<Word> b(bits::word_count(n_bits));
+    bits::fill_random(a, n_bits, rng);
+    bits::fill_random(b, n_bits, rng);
+
+    std::size_t expected_pop = 0;
+    std::size_t expected_ham = 0;
+    std::vector<Word> expected_xor(a.size());
+    {
+        kernels::ScopedBackend pin(Backend::portable);
+        expected_pop = bits::popcount(a);
+        expected_ham = bits::hamming(a, b);
+        bits::xor_into(expected_xor, a, b);
+    }
+    for (const Backend kind : kernels::available_backends()) {
+        kernels::ScopedBackend pin(kind);
+        EXPECT_EQ(bits::popcount(a), expected_pop) << kernels::backend_name(kind);
+        EXPECT_EQ(bits::hamming(a, b), expected_ham) << kernels::backend_name(kind);
+        std::vector<Word> actual(a.size());
+        bits::xor_into(actual, a, b);
+        EXPECT_EQ(actual, expected_xor) << kernels::backend_name(kind);
+    }
+}

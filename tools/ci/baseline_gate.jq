@@ -1,0 +1,66 @@
+# Regression gate for the reproduce-smoke CI job: compares the current
+# `hdlock_eval --all --smoke --no-timing` report against the committed
+# baseline (bench/results/baseline-smoke.json).
+#
+#   jq -n --slurpfile base bench/results/baseline-smoke.json \
+#         --slurpfile cur  reports/current-smoke.json \
+#         -f tools/ci/baseline_gate.jq
+#
+# Rules (ROADMAP "regression tracking" item):
+#   - every baseline trial must exist in the current report, and vice versa;
+#   - numeric metrics whose path mentions "accuracy" may drift by at most
+#     0.02 in absolute value (HDC training is seed-deterministic here, but a
+#     legitimate code change may shift decision boundaries slightly);
+#   - complexity metrics (paths mentioning "guesses", "log10", "key_bits")
+#     must match exactly — the closed-form Sec. 4 attack-cost math has no
+#     business drifting;
+#   - all other metrics are attribution/diagnostics and are not gated.
+#
+# On any violation the script prints one JSON line per violation and exits
+# non-zero (halt_error).  To accept a deliberate metric change, regenerate
+# the baseline:  hdlock_eval --all --smoke --threads 1 --no-timing \
+#                  --json=bench/results/baseline-smoke.json
+
+def abs: if . < 0 then -. else . end;
+
+def trial_map(report):
+  [ report.scenarios[]
+    | .name as $scenario
+    | .trials[]
+    | { key: ($scenario + "/" + .name), value: (.metrics // {}) } ]
+  | from_entries;
+
+(trial_map($base[0])) as $b
+| (trial_map($cur[0])) as $c
+| (
+    [ ($b | keys_unsorted[]) | select(in($c) | not)
+      | {trial: ., problem: "trial missing from current report"} ]
+  + [ ($c | keys_unsorted[]) | select(in($b) | not)
+      | {trial: ., problem: "trial not in baseline (regenerate baseline-smoke.json)"} ]
+  + [ ($b | to_entries[])
+      | .key as $trial
+      | .value as $bm
+      | select($trial | in($c))
+      | ($c[$trial]) as $cm
+      | ($bm | paths(type == "number")) as $p
+      | ($p | map(tostring) | join(".")) as $pathstr
+      | ($bm | getpath($p)) as $want
+      | ($cm | getpath($p)) as $got
+      | if $got == null then
+          {trial: $trial, metric: $pathstr, problem: "metric missing", baseline: $want}
+        elif ($got | type) != "number" then
+          {trial: $trial, metric: $pathstr, problem: "metric changed type",
+           baseline: $want, current: $got}
+        elif ($pathstr | test("accuracy")) and ((($got - $want) | abs) > 0.02) then
+          {trial: $trial, metric: $pathstr, problem: "accuracy drift exceeds 0.02",
+           baseline: $want, current: $got}
+        elif ($pathstr | test("guesses|log10|key_bits")) and ($got != $want) then
+          {trial: $trial, metric: $pathstr, problem: "complexity drift (must be exact)",
+           baseline: $want, current: $got}
+        else empty end ]
+  ) as $violations
+| if ($violations | length) == 0 then
+    "baseline gate: OK (\($b | length) trials compared)"
+  else
+    ($violations | map(tojson) | join("\n")) | halt_error(1)
+  end

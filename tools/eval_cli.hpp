@@ -19,7 +19,7 @@ inline const std::initializer_list<std::string_view> kEvalBooleanFlags = {
 /// Flag names the eval front ends accept (for Args::check_known).
 inline const std::initializer_list<std::string_view> kEvalKnownFlags = {
     "list", "all",     "scenario",   "smoke", "full", "seed",
-    "threads", "max-trials", "json", "no-timing", "csv"};
+    "threads", "max-trials", "json", "no-timing", "csv", "backend"};
 
 /// Builds driver options from parsed flags.  `executable` is recorded in
 /// the JSON context block.
@@ -42,6 +42,7 @@ inline eval::EvalCliOptions parse_eval_options(const Args& args, std::string exe
     options.json_path = args.get("json", "");
     options.timing = !args.has("no-timing");
     options.csv = args.has("csv");
+    options.backend = args.get("backend", "");
     return options;
 }
 

@@ -26,6 +26,7 @@ int usage(std::ostream& out, int code) {
            "       hdlock_eval (--all | --scenario NAME[,NAME...]) [--smoke|--full]\n"
            "                   [--seed S] [--threads N] [--max-trials K]\n"
            "                   [--json[=PATH]] [--no-timing] [--csv]\n"
+           "                   [--backend portable|avx2|avx512]\n"
            "see src/eval/driver.hpp for semantics and exit codes\n";
     return code;
 }
