@@ -29,9 +29,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <future>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -386,6 +390,215 @@ void BM_ServeBatchSessionCached(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeBatchSessionCached)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Serving core (persistent pool + async micro-batching + mmap startup): the
+// numbers behind bench/results/BENCH_*_serving_core.json.
+//
+//  - BM_ServeSmallBatch/{pooled,spawn}/{1,8,64}: small-batch dispatch cost.
+//    `pooled` is the shipping configuration (persistent pool, single-row /
+//    small-batch inline fast path); `spawn` is the legacy thread-per-batch
+//    dispatch forced to fan out (min_rows_per_thread = 1), i.e. what every
+//    predict() used to pay before the pool.  The acceptance bar is >= 2x
+//    rows/s at 8 rows and no regression at large batches.
+//  - BM_ServeConcurrentCallers: p50/p99 single-row latency with 4 caller
+//    threads hammering one shared session, pool vs. spawn.
+//  - BM_ServeAsyncMicroBatch: 64 independent 1-row predict_async() calls
+//    per iteration, coalesced by the SubmitQueue dispatcher.
+//  - BM_BundleLoad{Copy,Mapped}: device `.hdlk` startup at D=10k, P=784 —
+//    full-copy load_device() vs. zero-copy open_mapped().
+// ---------------------------------------------------------------------------
+
+/// Low-latency serving fixture (D=1024, N=32, binary, product cache on):
+/// the dispatch-bound regime where per-row encode is ~1-2 us and the cost
+/// of *getting a batch onto threads* is what the benchmark resolves.  The
+/// compute-bound regime (D=2048, N=128, 2048-row batches) stays covered by
+/// BM_ServeBatchSession above.
+const ServingFixture& latency_fixture() {
+    static const ServingFixture fixture = [] {
+        data::SyntheticSpec spec;
+        spec.name = "latency";
+        spec.n_features = 32;
+        spec.n_classes = 4;
+        spec.n_train = 300;
+        spec.n_test = 128;
+        spec.n_levels = 8;
+        spec.noise = 0.1;
+        spec.seed = 33;
+        const auto benchmark_data = data::make_benchmark(spec);
+
+        DeploymentConfig config;
+        config.dim = 1024;
+        config.n_features = spec.n_features;
+        config.n_levels = spec.n_levels;
+        config.n_layers = 1;
+        config.seed = 19;
+        api::Owner owner = api::Owner::provision(config);
+        api::TrainOptions train;
+        train.kind = hdc::ModelKind::binary;
+        train.retrain_epochs = 3;
+        owner.train(benchmark_data.train, train);
+
+        util::Matrix<float> batch(256, spec.n_features);
+        for (std::size_t r = 0; r < batch.rows(); ++r) {
+            const auto source = benchmark_data.test.X.row(r % benchmark_data.test.n_samples());
+            std::copy(source.begin(), source.end(), batch.row(r).begin());
+        }
+        return ServingFixture{std::move(owner), std::move(batch)};
+    }();
+    return fixture;
+}
+
+util::Matrix<float> tile_rows(const util::Matrix<float>& source, std::size_t rows) {
+    util::Matrix<float> batch(rows, source.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto from = source.row(r % source.rows());
+        std::copy(from.begin(), from.end(), batch.row(r).begin());
+    }
+    return batch;
+}
+
+api::SessionOptions serving_mode_options(api::DispatchMode mode) {
+    api::SessionOptions options;
+    options.n_threads = 4;  // the server config BM_ServeBatchSession/4 uses
+    options.dispatch = mode;
+    // The shipping serving configuration keeps the product cache on (it is
+    // bit-identical and makes the per-row encode cheap enough that dispatch
+    // cost is what these benchmarks actually resolve).
+    options.use_product_cache = true;
+    // The legacy dispatch fanned small batches out greedily; the pooled
+    // core keeps its production default (inline below 16 rows/worker).
+    if (mode == api::DispatchMode::spawn) options.min_rows_per_thread = 1;
+    return options;
+}
+
+void BM_ServeSmallBatch(benchmark::State& state, api::DispatchMode mode) {
+    const ServingFixture& fixture = latency_fixture();
+    const auto session = fixture.owner.open_session(serving_mode_options(mode));
+    const auto batch = tile_rows(fixture.batch, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.predict(batch));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(batch.rows()));
+}
+BENCHMARK_CAPTURE(BM_ServeSmallBatch, pooled, api::DispatchMode::pooled)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(1024)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeSmallBatch, spawn, api::DispatchMode::spawn)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(1024)->UseRealTime();
+
+/// Concurrent single-row callers on one shared session: each iteration runs
+/// 4 threads x 64 predict() calls of one row and reports the merged p50/p99
+/// call latency alongside rows/s.
+void BM_ServeConcurrentCallers(benchmark::State& state, api::DispatchMode mode) {
+    const ServingFixture& fixture = latency_fixture();
+    const auto session = fixture.owner.open_session(serving_mode_options(mode));
+    constexpr std::size_t kCallers = 4;
+    constexpr std::size_t kCallsPerCaller = 64;
+    std::vector<util::Matrix<float>> rows;
+    for (std::size_t r = 0; r < kCallsPerCaller; ++r) rows.push_back(tile_rows(fixture.batch, 1));
+
+    std::vector<double> latencies;
+    for (auto _ : state) {
+        std::vector<std::thread> callers;
+        std::vector<std::vector<double>> per_caller(kCallers);
+        for (std::size_t t = 0; t < kCallers; ++t) {
+            callers.emplace_back([&, t] {
+                for (std::size_t c = 0; c < kCallsPerCaller; ++c) {
+                    const auto start = std::chrono::steady_clock::now();
+                    benchmark::DoNotOptimize(session.predict(rows[c]));
+                    per_caller[t].push_back(
+                        std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+                }
+            });
+        }
+        for (auto& caller : callers) caller.join();
+        for (auto& caller_latencies : per_caller) {
+            latencies.insert(latencies.end(), caller_latencies.begin(), caller_latencies.end());
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+        state.counters["p50_us"] = latencies[latencies.size() / 2];
+        state.counters["p99_us"] = latencies[latencies.size() * 99 / 100];
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCallers *
+                            kCallsPerCaller);
+}
+BENCHMARK_CAPTURE(BM_ServeConcurrentCallers, pooled, api::DispatchMode::pooled)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServeConcurrentCallers, spawn, api::DispatchMode::spawn)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// 64 independent 1-row requests per iteration through predict_async(): the
+/// SubmitQueue coalesces them into micro-batches that ride the pool.
+void BM_ServeAsyncMicroBatch(benchmark::State& state) {
+    const ServingFixture& fixture = latency_fixture();
+    api::SessionOptions options;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    options.max_batch = 64;
+    options.max_queue_delay = std::chrono::microseconds(100);
+    const auto session = fixture.owner.open_session(options);
+    constexpr std::size_t kRequests = 64;
+    for (auto _ : state) {
+        std::vector<std::future<std::vector<int>>> futures;
+        futures.reserve(kRequests);
+        for (std::size_t r = 0; r < kRequests; ++r) {
+            futures.push_back(session.predict_async(tile_rows(fixture.batch, 1)));
+        }
+        for (auto& future : futures) benchmark::DoNotOptimize(future.get());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRequests);
+}
+BENCHMARK(BM_ServeAsyncMicroBatch)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Device `.hdlk` startup at the paper's deployment scale (D=10k, P=784):
+/// the full-copy loader vs. the zero-copy mapped open.  The file is written
+/// once; each iteration performs a complete load and drops it.
+struct BundleLoadFixture {
+    std::filesystem::path path;
+    std::uintmax_t file_bytes = 0;
+
+    BundleLoadFixture() {
+        DeploymentConfig config;
+        config.dim = 10000;
+        config.n_features = 784;
+        config.pool_size = 784;
+        config.n_levels = 16;
+        config.n_layers = 2;
+        config.seed = 27;
+        const api::Owner owner = api::Owner::provision(config);
+        path = std::filesystem::temp_directory_path() / "hdlock_bench_serving_core.hdlk";
+        owner.export_device(path);
+        file_bytes = std::filesystem::file_size(path);
+    }
+};
+
+const BundleLoadFixture& bundle_load_fixture() {
+    static const BundleLoadFixture fixture;
+    return fixture;
+}
+
+void BM_BundleLoadCopy(benchmark::State& state) {
+    const auto& fixture = bundle_load_fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(api::DeploymentBundle::load_device(fixture.path));
+    }
+    state.counters["file_bytes"] = static_cast<double>(fixture.file_bytes);
+}
+BENCHMARK(BM_BundleLoadCopy)->Unit(benchmark::kMillisecond);
+
+void BM_BundleOpenMapped(benchmark::State& state) {
+    const auto& fixture = bundle_load_fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(api::DeploymentBundle::open_mapped(fixture.path));
+    }
+    state.counters["file_bytes"] = static_cast<double>(fixture.file_bytes);
+}
+BENCHMARK(BM_BundleOpenMapped)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Kernel-backend comparison: the same word kernels and the same batch encode

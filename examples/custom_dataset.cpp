@@ -68,9 +68,11 @@ int main(int argc, char** argv) {
               << " B, key inside) and device.hdlk (" << fs::file_size(workdir / "device.hdlk")
               << " B, key stripped)\n";
 
-    // --- Restore both sides and check the round trip end to end.
+    // --- Restore both sides and check the round trip end to end.  The
+    // device side uses the zero-copy mapped open: hypervectors are served
+    // straight out of the file mapping instead of being copied at startup.
     const api::Owner restored_owner = api::Owner::load(workdir / "owner.hdlk");
-    const api::Device restored_device = api::Device::load(workdir / "device.hdlk");
+    const api::Device restored_device = api::Device::open_mapped(workdir / "device.hdlk");
 
     const std::vector<int> probe(train.n_features(), 1);
     const bool identical =

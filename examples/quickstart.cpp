@@ -15,6 +15,7 @@
 ///      through an InferenceSession;
 ///   5. seal the key memory for deployment.
 
+#include <algorithm>
 #include <iostream>
 
 #include "api/api.hpp"
@@ -64,6 +65,16 @@ int main() {
     const std::vector<int> predicted = session.predict(benchmark.test.X);
     std::cout << "device served " << session.rows_served() << " rows; first sample: predicted "
               << predicted.front() << ", true class " << benchmark.test.y.front() << "\n";
+
+    //    Independent small callers go through predict_async(): the session
+    //    coalesces concurrent requests into micro-batches on its worker
+    //    pool, and the future resolves to exactly what predict() returns.
+    util::Matrix<float> one_row(1, benchmark.test.n_features());
+    const auto first = benchmark.test.X.row(0);
+    std::copy(first.begin(), first.end(), one_row.row(0).begin());
+    auto future = session.predict_async(std::move(one_row));
+    std::cout << "async single-row predict agrees with the batch: "
+              << (future.get().front() == predicted.front() ? "yes" : "NO") << "\n";
 
     // 5. Deployed state: the key becomes unreadable, the device keeps
     //    working (it holds only materialized feature hypervectors).

@@ -10,9 +10,10 @@
 ///     owner.save("deployment.hdlk");                // owner artifact
 ///     owner.export_device("device.hdlk");           // key-free artifact
 ///
-///     auto device = api::Device::load("device.hdlk");
+///     auto device = api::Device::open_mapped("device.hdlk");  // zero-copy
 ///     auto session = device.open_session({.n_threads = 8});
-///     std::vector<int> labels = session.predict(batch);
+///     std::vector<int> labels = session.predict(batch);       // pooled
+///     auto future = session.predict_async(more_rows);         // micro-batched
 ///
 /// See facades.hpp for the privilege model, bundle.hpp for the `.hdlk`
 /// format, inference_session.hpp for the serving contract.

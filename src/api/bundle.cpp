@@ -57,26 +57,64 @@ DeploymentBundle DeploymentBundle::from_deployment(const Deployment& deployment)
     return bundle;
 }
 
-void DeploymentBundle::save(util::BinaryWriter& writer) const {
-    HDLOCK_EXPECTS(store != nullptr, "DeploymentBundle::save: no public store");
-    if (kind == BundleKind::owner) {
-        HDLOCK_EXPECTS(key.has_value() && value_mapping.has_value(),
+namespace {
+
+/// Shared save() preamble and validation for both format versions.
+std::uint8_t header_flags(const DeploymentBundle& bundle) {
+    std::uint8_t flags = 0;
+    if (bundle.discretizer) flags |= kFlagDiscretizer;
+    if (bundle.model) flags |= kFlagModel;
+    return flags;
+}
+
+void check_saveable(const DeploymentBundle& bundle) {
+    HDLOCK_EXPECTS(bundle.store != nullptr, "DeploymentBundle::save: no public store");
+    if (bundle.kind == BundleKind::owner) {
+        HDLOCK_EXPECTS(bundle.key.has_value() && bundle.value_mapping.has_value(),
                        "DeploymentBundle::save: owner bundle without secrets");
     } else {
-        HDLOCK_EXPECTS(!key.has_value() && !value_mapping.has_value(),
+        HDLOCK_EXPECTS(!bundle.key.has_value() && !bundle.value_mapping.has_value(),
                        "DeploymentBundle::save: device bundle must not carry the key");
-        HDLOCK_EXPECTS(!feature_hvs.empty() && !value_hvs.empty(),
+        HDLOCK_EXPECTS(!bundle.feature_hvs.empty() && !bundle.value_hvs.empty(),
                        "DeploymentBundle::save: device bundle without materialized state");
     }
+}
 
+}  // namespace
+
+void DeploymentBundle::save(util::BinaryWriter& writer) const {
+    check_saveable(*this);
     writer.write_tag("HDLK");
     writer.write_u32(kFormatVersion);
     writer.write_u8(static_cast<std::uint8_t>(kind));
     writer.write_u64(tie_seed);
-    std::uint8_t flags = 0;
-    if (discretizer) flags |= kFlagDiscretizer;
-    if (model) flags |= kFlagModel;
-    writer.write_u8(flags);
+    writer.write_u8(header_flags(*this));
+
+    store->save_v2(writer);
+    if (kind == BundleKind::owner) {
+        writer.write_tag("SECR");
+        key->save(writer);
+        save_value_mapping(writer, *value_mapping);
+    } else {
+        writer.write_tag("SEN2");
+        writer.write_u64(feature_hvs.size());
+        writer.write_u64(value_hvs.size());
+        writer.write_u64(store->dim());
+        hdc::save_hv_block(writer, feature_hvs, store->dim());
+        hdc::save_hv_block(writer, value_hvs, store->dim());
+    }
+    if (discretizer) discretizer->save(writer);
+    if (model) model->save_v2(writer);
+    writer.write_tag("HEND");
+}
+
+void DeploymentBundle::save_v1(util::BinaryWriter& writer) const {
+    check_saveable(*this);
+    writer.write_tag("HDLK");
+    writer.write_u32(1);
+    writer.write_u8(static_cast<std::uint8_t>(kind));
+    writer.write_u64(tie_seed);
+    writer.write_u8(header_flags(*this));
 
     store->save(writer);
     if (kind == BundleKind::owner) {
@@ -110,7 +148,8 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
         throw FormatError("DeploymentBundle: unknown section flags");
     }
 
-    bundle.store = std::make_shared<const PublicStore>(PublicStore::load(reader));
+    bundle.store = std::make_shared<const PublicStore>(
+        version >= 2 ? PublicStore::load_v2(reader) : PublicStore::load(reader));
     if (bundle.kind == BundleKind::owner) {
         reader.expect_tag("SECR");
         bundle.key = LockKey::load(reader);
@@ -118,6 +157,33 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
         if (bundle.value_mapping->size() != bundle.store->n_levels()) {
             throw FormatError("DeploymentBundle: value mapping does not match store levels");
         }
+    } else if (version >= 2) {
+        reader.expect_tag("SEN2");
+        const std::uint64_t n_features = reader.read_u64();
+        const std::uint64_t n_levels = reader.read_u64();
+        const std::uint64_t dim = reader.read_u64();
+        if (n_features == 0 || n_levels == 0) {
+            throw FormatError("DeploymentBundle: device bundle without encoder state");
+        }
+        if (n_features > (1ULL << 24) || n_levels > (1ULL << 24)) {
+            throw FormatError("DeploymentBundle: unreasonable hypervector count");
+        }
+        // The materialized state must agree with the embedded store's shape
+        // — a corrupt or hand-edited artifact fails here with the mismatch
+        // named, not deep inside encode (or worse, serving garbage).
+        if (dim != bundle.store->dim()) {
+            throw FormatError("DeploymentBundle: encoder state has dim " + std::to_string(dim) +
+                              " but the store dim is " + std::to_string(bundle.store->dim()));
+        }
+        if (n_levels != bundle.store->n_levels()) {
+            throw FormatError("DeploymentBundle: device bundle has " + std::to_string(n_levels) +
+                              " value hypervectors but the store holds " +
+                              std::to_string(bundle.store->n_levels()) + " levels");
+        }
+        bundle.feature_hvs = hdc::load_hv_block(reader, static_cast<std::size_t>(dim),
+                                                static_cast<std::size_t>(n_features));
+        bundle.value_hvs = hdc::load_hv_block(reader, static_cast<std::size_t>(dim),
+                                              static_cast<std::size_t>(n_levels));
     } else {
         reader.expect_tag("SENC");
         bundle.feature_hvs = load_hv_array(reader);
@@ -150,7 +216,9 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
         }
     }
     if (flags & kFlagDiscretizer) bundle.discretizer = hdc::MinMaxDiscretizer::load(reader);
-    if (flags & kFlagModel) bundle.model = hdc::HdcModel::load(reader);
+    if (flags & kFlagModel) {
+        bundle.model = version >= 2 ? hdc::HdcModel::load_v2(reader) : hdc::HdcModel::load(reader);
+    }
     reader.expect_tag("HEND");
 
     // The store carries no feature count, but a per-feature discretizer
@@ -201,6 +269,28 @@ DeploymentBundle DeploymentBundle::load_any(const std::filesystem::path& path) {
     return util::load_file<DeploymentBundle>(path);
 }
 
+DeploymentBundle DeploymentBundle::open_mapped(const std::filesystem::path& path) {
+    auto mapping = std::make_shared<const util::MappedFile>(util::MappedFile::open(path));
+    util::BinaryReader reader(mapping->bytes());
+    DeploymentBundle bundle = load(reader);
+    bundle.backing = mapping;
+    // Components whose shared handles can escape the bundle must pin the
+    // mapping themselves, or a session/encoder outliving the bundle would
+    // serve from unmapped memory: the store gets an aliasing shared_ptr
+    // whose control block co-owns the mapping, the model an explicit
+    // anchor (copies share it).  The raw feature_hvs/value_hvs vectors stay
+    // covered by `backing` until they are moved into a SealedEncoder, which
+    // takes its own anchor (make_encoder / api::Device).
+    if (bundle.store != nullptr) {
+        auto anchored = std::make_shared<
+            std::pair<std::shared_ptr<const PublicStore>, std::shared_ptr<const util::MappedFile>>>(
+            bundle.store, mapping);
+        bundle.store = std::shared_ptr<const PublicStore>(anchored, anchored->first.get());
+    }
+    if (bundle.model) bundle.model->set_storage_anchor(mapping);
+    return bundle;
+}
+
 DeploymentBundle DeploymentBundle::device_from_materialized(
     const LockedEncoder& encoder, std::shared_ptr<const PublicStore> store,
     std::optional<hdc::MinMaxDiscretizer> discretizer, std::optional<hdc::HdcModel> model) {
@@ -238,7 +328,7 @@ std::shared_ptr<const hdc::Encoder> DeploymentBundle::make_encoder() const {
         HDLOCK_EXPECTS(has_key(), "DeploymentBundle::make_encoder: owner bundle without key");
         return std::make_shared<const LockedEncoder>(store, *key, *value_mapping, tie_seed);
     }
-    return std::make_shared<const SealedEncoder>(feature_hvs, value_hvs, tie_seed);
+    return std::make_shared<const SealedEncoder>(feature_hvs, value_hvs, tie_seed, backing);
 }
 
 std::uint64_t DeploymentBundle::serialized_bytes() const {

@@ -16,18 +16,31 @@
 /// materialized Eq. 9 products, so a device artifact is *physically*
 /// incapable of leaking the key: the bytes are simply not in the file.
 ///
-/// On-disk layout (util/serialize.hpp primitives, little-endian):
+/// On-disk layout (util/serialize.hpp primitives, little-endian).  Version 2
+/// is the current write format; version 1 files still load.
 ///
 ///   "HDLK"  u32 version  u8 kind(0=owner,1=device)  u64 tie_seed  u8 flags
-///   "PUBS"  PublicStore
+///   v2: "PUB2" store shape + 64-byte-aligned word blocks
+///   v1: "PUBS" PublicStore (per-HV tagged)
 ///   owner:  "SECR" LockKey  "VMAP" u32 count, u32 slots...
-///   device: "SENC" u64 n_features {BinaryHV...} u64 n_levels {BinaryHV...}
+///   device v2: "SEN2" u64 n_features, u64 n_levels, u64 dim
+///              + aligned FeaHV word block + aligned ValHV word block
+///   device v1: "SENC" u64 n_features {BinaryHV...} u64 n_levels {BinaryHV...}
 ///   flags bit0: "DSC1" MinMaxDiscretizer        (fitted discretizer)
-///   flags bit1: "MDL1" HdcModel                 (trained model)
+///   flags bit1: "MDL2" (v2) / "MDL1" (v1)       (trained model)
 ///   "HEND"
 ///
 /// The trailing HEND tag makes truncation detectable even when the optional
 /// sections happen to parse.
+///
+/// The v2 alignment rule: every bulk array (store bases/values, materialized
+/// FeaHVs/ValHVs, model class HVs) starts at a 64-byte file offset, padded
+/// with zero bytes that the reader verifies.  That is what lets
+/// open_mapped() hand the stores and the model *views into the mapping*
+/// (util::MappedFile) instead of copied vectors: device startup touches the
+/// header and shape metadata, and the megabytes of hypervector words fault
+/// in lazily as they are served.  A bundle loaded this way keeps the
+/// mapping alive through `backing`.
 
 #include <filesystem>
 #include <memory>
@@ -38,6 +51,7 @@
 #include "core/stores.hpp"
 #include "hdc/discretize.hpp"
 #include "hdc/model.hpp"
+#include "util/mapped_file.hpp"
 
 namespace hdlock::api {
 
@@ -47,7 +61,7 @@ enum class BundleKind : std::uint8_t {
 };
 
 struct DeploymentBundle {
-    static constexpr std::uint32_t kFormatVersion = 1;
+    static constexpr std::uint32_t kFormatVersion = 2;
 
     BundleKind kind = BundleKind::owner;
     std::uint64_t tie_seed = 0;
@@ -65,7 +79,13 @@ struct DeploymentBundle {
     std::optional<hdc::MinMaxDiscretizer> discretizer;
     std::optional<hdc::HdcModel> model;
 
+    /// Keeps the mmap alive when this bundle was produced by open_mapped():
+    /// store/model/encoder-state hypervectors are then *views* into these
+    /// bytes.  Null for stream-loaded bundles (everything owned).
+    std::shared_ptr<const util::MappedFile> backing;
+
     bool has_key() const noexcept { return key.has_value(); }
+    bool is_mapped() const noexcept { return backing != nullptr; }
     bool has_discretizer() const noexcept { return discretizer.has_value(); }
     bool has_model() const noexcept { return model.has_value(); }
 
@@ -75,6 +95,17 @@ struct DeploymentBundle {
 
     void save(util::BinaryWriter& writer) const;
     static DeploymentBundle load(util::BinaryReader& reader);
+
+    /// Writes the legacy v1 layout (per-HV tagged sections, no alignment).
+    /// Kept so the v1 backward-compat load path stays covered by tests and
+    /// old tooling can be fed on demand; new artifacts should use save().
+    void save_v1(util::BinaryWriter& writer) const;
+
+    /// Zero-copy startup: maps `path` (util::MappedFile, with its portable
+    /// read fallback) and loads from the mapping, aliasing every v2 bulk
+    /// section instead of copying it.  The returned bundle keeps the
+    /// mapping alive through `backing`; v1 files load correctly but copy.
+    static DeploymentBundle open_mapped(const std::filesystem::path& path);
 
     /// Owner-side persistence; throws ContractViolation when called on a
     /// bundle without a key (a device bundle cannot be promoted to owner).

@@ -122,9 +122,10 @@ Device::Device(DeploymentBundle bundle) {
                    "Device: owner bundle refused; call export_device() first");
     HDLOCK_EXPECTS(!bundle.has_key(), "Device: bundle unexpectedly carries a key");
     store_ = std::move(bundle.store);
+    backing_ = std::move(bundle.backing);
     encoder_ = std::make_shared<const SealedEncoder>(std::move(bundle.feature_hvs),
                                                      std::move(bundle.value_hvs),
-                                                     bundle.tie_seed);
+                                                     bundle.tie_seed, backing_);
     discretizer_ = std::move(bundle.discretizer);
     model_ = std::move(bundle.model);
     if (can_serve()) session_.emplace(encoder_, *discretizer_, *model_, SessionOptions{});
@@ -132,6 +133,16 @@ Device::Device(DeploymentBundle bundle) {
 
 Device Device::load(const std::filesystem::path& path) {
     return Device(DeploymentBundle::load_device(path));
+}
+
+Device Device::open_mapped(const std::filesystem::path& path) {
+    DeploymentBundle bundle = DeploymentBundle::open_mapped(path);
+    if (bundle.kind != BundleKind::device) {
+        throw FormatError("DeploymentBundle: " + path.string() +
+                          " is an owner bundle and carries the key; refuse to load it on the "
+                          "device side (run export_device() first)");
+    }
+    return Device(std::move(bundle));
 }
 
 const hdc::HdcModel& Device::model() const {

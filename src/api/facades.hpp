@@ -115,6 +115,12 @@ public:
     /// transit device-side code.
     static Device load(const std::filesystem::path& path);
 
+    /// Zero-copy startup: memory-maps a v2 device `.hdlk` and serves
+    /// straight out of the mapping (the store, materialized encoder state
+    /// and model class HVs are views; see DeploymentBundle::open_mapped).
+    /// Same owner-bundle refusal as load(); v1 files work but copy.
+    static Device open_mapped(const std::filesystem::path& path);
+
     /// Builds a device directly from a device bundle (e.g. Owner::make_device).
     explicit Device(DeploymentBundle bundle);
 
@@ -136,6 +142,9 @@ public:
 private:
     std::shared_ptr<const PublicStore> store_;
     std::shared_ptr<const SealedEncoder> encoder_;
+    /// Keeps the mmap alive for devices built from a mapped bundle (their
+    /// hypervectors are views into these bytes); null otherwise.
+    std::shared_ptr<const util::MappedFile> backing_;
     std::optional<hdc::MinMaxDiscretizer> discretizer_;
     std::optional<hdc::HdcModel> model_;
     /// Built once at construction when the bundle can serve, so the predict

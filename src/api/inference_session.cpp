@@ -3,8 +3,209 @@
 #include <algorithm>
 #include <exception>
 #include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace hdlock::api {
+
+// ---------------------------------------------------------------------------
+// SubmitQueue
+// ---------------------------------------------------------------------------
+
+SubmitQueue::SubmitQueue(std::size_t max_rows) : max_rows_(std::max<std::size_t>(max_rows, 1)) {}
+
+void SubmitQueue::push(AsyncRequest request) {
+    const std::size_t rows = request.rows.rows();
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+        // An oversized request is admitted once the queue is empty — it
+        // could never satisfy the cap, and the dispatcher takes whole
+        // requests, so admitting it alone keeps FIFO order and bounds.
+        return closed_ || queued_rows_ + rows <= max_rows_ || requests_.empty();
+    });
+    if (closed_) throw Error("SubmitQueue: session is shutting down");
+    queued_rows_ += rows;
+    requests_.push_back(std::move(request));
+    not_empty_.notify_one();
+}
+
+std::vector<AsyncRequest> SubmitQueue::pop_batch(std::size_t max_batch,
+                                                 std::chrono::microseconds delay) {
+    max_batch = std::max<std::size_t>(max_batch, 1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !requests_.empty(); });
+    if (requests_.empty()) return {};  // closed and drained
+
+    // Coalescing window: give concurrent small callers `delay` to pile on,
+    // cut short as soon as a full micro-batch is queued.
+    if (delay.count() > 0 && queued_rows_ < max_batch && !closed_) {
+        const auto deadline = std::chrono::steady_clock::now() + delay;
+        not_empty_.wait_until(lock, deadline,
+                              [&] { return closed_ || queued_rows_ >= max_batch; });
+    }
+
+    std::vector<AsyncRequest> batch;
+    std::size_t rows = 0;
+    while (!requests_.empty()) {
+        const std::size_t next = requests_.front().rows.rows();
+        if (!batch.empty() && rows + next > max_batch) break;
+        rows += next;
+        queued_rows_ -= next;
+        batch.push_back(std::move(requests_.front()));
+        requests_.pop_front();
+        if (rows >= max_batch) break;
+    }
+    not_full_.notify_all();
+    return batch;
+}
+
+void SubmitQueue::close() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+}
+
+std::size_t SubmitQueue::queued_rows() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queued_rows_;
+}
+
+// ---------------------------------------------------------------------------
+// Internal serving state
+// ---------------------------------------------------------------------------
+
+/// Per-worker pinned buffers: reused across every batch the session serves,
+/// so the steady-state row performs zero heap allocations.
+struct InferenceSession::WorkerState {
+    hdc::EncoderScratch scratch;
+    hdc::IntHV sums;
+    hdc::BinaryHV query;
+};
+
+/// Everything mutable behind the serving fast path, kept behind one stable
+/// pointer: the persistent pool with its slot-pinned scratch, the caller
+/// free-list, and the lazily-started async core.
+struct InferenceSession::ServingState {
+    /// Free-list of WorkerStates for the inline paths (predict_row, small
+    /// batches) where the caller thread does the work itself: concurrent
+    /// callers each lease their own scratch for one mutex handoff — far
+    /// cheaper than the per-call allocations the old cold path made.
+    class ScratchFreeList {
+    public:
+        std::unique_ptr<WorkerState> acquire() {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                if (!free_.empty()) {
+                    auto state = std::move(free_.back());
+                    free_.pop_back();
+                    return state;
+                }
+            }
+            return std::make_unique<WorkerState>();
+        }
+
+        void release(std::unique_ptr<WorkerState> state) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            free_.push_back(std::move(state));
+        }
+
+    private:
+        std::mutex mutex_;
+        std::vector<std::unique_ptr<WorkerState>> free_;
+    };
+
+    class ScratchLease {
+    public:
+        explicit ScratchLease(ScratchFreeList& list) : list_(list), state_(list.acquire()) {}
+        ~ScratchLease() { list_.release(std::move(state_)); }
+        ScratchLease(const ScratchLease&) = delete;
+        ScratchLease& operator=(const ScratchLease&) = delete;
+
+        WorkerState& operator*() noexcept { return *state_; }
+
+    private:
+        ScratchFreeList& list_;
+        std::unique_ptr<WorkerState> state_;
+    };
+
+    // Pool first / async last: the async dispatcher drives batches through
+    // the pool, so reverse destruction order shuts the dispatcher down
+    // before the workers go away.
+    std::unique_ptr<util::ThreadPool> pool;
+    std::vector<std::unique_ptr<WorkerState>> slots;  // indexed by pool slot ID
+    ScratchFreeList caller_scratch;
+
+    struct AsyncCore {
+        const InferenceSession* session;
+        SubmitQueue queue;
+        std::thread dispatcher;
+
+        AsyncCore(const InferenceSession* owner, std::size_t max_rows)
+            : session(owner), queue(max_rows) {
+            dispatcher = std::thread([this] { run(); });
+        }
+
+        ~AsyncCore() {
+            queue.close();
+            dispatcher.join();
+        }
+
+        void run() {
+            for (;;) {
+                std::vector<AsyncRequest> batch =
+                    queue.pop_batch(session->max_batch_, session->max_queue_delay_);
+                if (batch.empty()) return;  // closed and drained
+                serve(batch);
+            }
+        }
+
+        void serve(std::vector<AsyncRequest>& batch) {
+            try {
+                if (batch.size() == 1) {
+                    batch.front().promise.set_value(session->predict(batch.front().rows));
+                    return;
+                }
+                // Fuse the micro-batch into one matrix so dispatch, scratch
+                // reuse and worker fan-out amortise across every caller.
+                std::size_t total = 0;
+                for (const auto& request : batch) total += request.rows.rows();
+                util::Matrix<float> fused(total, session->n_features());
+                const std::span<float> fused_values = fused.data();
+                std::size_t at = 0;
+                for (const auto& request : batch) {
+                    const auto source = request.rows.data();
+                    std::copy(source.begin(), source.end(),
+                              fused_values.begin() +
+                                  static_cast<std::ptrdiff_t>(at * fused.cols()));
+                    at += request.rows.rows();
+                }
+                const std::vector<int> labels = session->predict(fused);
+                at = 0;
+                for (auto& request : batch) {
+                    const std::size_t rows = request.rows.rows();
+                    request.promise.set_value(
+                        std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(at),
+                                         labels.begin() + static_cast<std::ptrdiff_t>(at + rows)));
+                    at += rows;
+                }
+            } catch (...) {
+                const std::exception_ptr error = std::current_exception();
+                for (auto& request : batch) request.promise.set_exception(error);
+            }
+        }
+    };
+
+    std::mutex async_init;
+    std::unique_ptr<AsyncCore> async;
+};
+
+// ---------------------------------------------------------------------------
+// InferenceSession
+// ---------------------------------------------------------------------------
 
 InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
                                    hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
@@ -12,7 +213,12 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
     : encoder_(std::move(encoder)),
       discretizer_(std::move(discretizer)),
       model_(std::move(model)),
-      min_rows_per_thread_(std::max<std::size_t>(options.min_rows_per_thread, 1)) {
+      min_rows_per_thread_(std::max<std::size_t>(options.min_rows_per_thread, 1)),
+      dispatch_(options.dispatch),
+      max_batch_(std::max<std::size_t>(options.max_batch, 1)),
+      max_queue_delay_(options.max_queue_delay),
+      max_queue_rows_(std::max<std::size_t>(options.max_queue_rows, 1)),
+      state_(std::make_unique<ServingState>()) {
     HDLOCK_EXPECTS(encoder_ != nullptr, "InferenceSession: null encoder");
     HDLOCK_EXPECTS(model_.n_classes() > 0, "InferenceSession: untrained model");
     HDLOCK_EXPECTS(model_.dim() == encoder_->dim(),
@@ -26,7 +232,34 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
     if (options.use_product_cache) {
         product_cache_ = encoder_->make_product_cache(options.product_cache_max_bytes);
     }
+    if (dispatch_ == DispatchMode::pooled && n_threads_ > 1) {
+        state_->pool = std::make_unique<util::ThreadPool>(n_threads_);
+        state_->slots.reserve(n_threads_);
+        for (std::size_t slot = 0; slot < n_threads_; ++slot) {
+            state_->slots.push_back(std::make_unique<WorkerState>());
+        }
+    }
 }
+
+InferenceSession::InferenceSession(InferenceSession&& other) noexcept
+    : encoder_(std::move(other.encoder_)),
+      discretizer_(std::move(other.discretizer_)),
+      model_(std::move(other.model_)),
+      product_cache_(std::move(other.product_cache_)),
+      n_threads_(other.n_threads_),
+      min_rows_per_thread_(other.min_rows_per_thread_),
+      dispatch_(other.dispatch_),
+      max_batch_(other.max_batch_),
+      max_queue_delay_(other.max_queue_delay_),
+      max_queue_rows_(other.max_queue_rows_),
+      state_(std::move(other.state_)),
+      rows_served_(other.rows_served_.load()) {
+    // Re-point a (contract-violating but easy to be robust about) live
+    // dispatcher at the new address; legal moves happen before serving.
+    if (state_ != nullptr && state_->async != nullptr) state_->async->session = this;
+}
+
+InferenceSession::~InferenceSession() = default;
 
 std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
                             std::size_t min_rows_per_thread) noexcept {
@@ -34,32 +267,73 @@ std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
     const std::size_t workers =
         std::min(n_threads, std::max<std::size_t>(n_rows / min_rows_per_thread, 1));
     if (workers <= 1) return 1;
-    // Re-derive the spawn count from the chunk size: with chunk =
+    // Re-derive the fan-out from the chunk size: with chunk =
     // ceil(n/workers), only ceil(n/chunk) workers receive a non-empty
     // [begin, end) range — the remainder would start past the last row.
     const std::size_t chunk = (n_rows + workers - 1) / workers;
     return (n_rows + chunk - 1) / chunk;
 }
 
-void InferenceSession::predict_range(const util::Matrix<float>& rows, std::size_t begin,
-                                     std::size_t end, std::span<int> out) const {
+int InferenceSession::predict_one_(std::span<const float> row, WorkerState& state) const {
     const bool binary = model_.kind() == hdc::ModelKind::binary;
     const hdc::BoundProductCache* cache = product_cache_.get();
-    // Per-worker scratch: everything below is reused across the whole range,
-    // so the steady-state row does zero heap allocations.
-    hdc::EncoderScratch scratch;
-    std::vector<int>& levels = scratch.levels(encoder_->n_features());
-    hdc::IntHV sums;
-    hdc::BinaryHV query;
-    for (std::size_t r = begin; r < end; ++r) {
-        discretizer_.transform_row(rows.row(r), levels);
-        if (binary) {
-            encoder_->encode_binary_into(levels, scratch, query, cache);
-            out[r] = model_.predict(query);
-        } else {
-            encoder_->encode_into(levels, scratch, sums, cache);
-            out[r] = model_.predict(sums);
-        }
+    std::vector<int>& levels = state.scratch.levels(encoder_->n_features());
+    discretizer_.transform_row(row, levels);
+    if (binary) {
+        encoder_->encode_binary_into(levels, state.scratch, state.query, cache);
+        return model_.predict(state.query);
+    }
+    encoder_->encode_into(levels, state.scratch, state.sums, cache);
+    return model_.predict(state.sums);
+}
+
+void InferenceSession::predict_range_(const util::Matrix<float>& rows, std::size_t begin,
+                                      std::size_t end, std::span<int> out,
+                                      WorkerState& state) const {
+    for (std::size_t r = begin; r < end; ++r) out[r] = predict_one_(rows.row(r), state);
+}
+
+void InferenceSession::predict_into_(const util::Matrix<float>& rows, std::span<int> out) const {
+    const std::size_t n = rows.rows();
+    const std::size_t workers = planned_workers(n, n_threads_, min_rows_per_thread_);
+
+    if (workers <= 1) {
+        // Single-worker fast path: no dispatch at all, just a leased scratch
+        // on the calling thread (concurrent callers each lease their own).
+        ServingState::ScratchLease lease(state_->caller_scratch);
+        predict_range_(rows, 0, n, out, *lease);
+        return;
+    }
+
+    if (dispatch_ == DispatchMode::pooled && state_->pool != nullptr) {
+        util::parallel_for(*state_->pool, n, workers,
+                           [&](std::size_t begin, std::size_t end, std::size_t slot) {
+                               predict_range_(rows, begin, end, out, *state_->slots[slot]);
+                           });
+        return;
+    }
+
+    // Legacy spawn dispatch: fresh threads and fresh scratch per batch (the
+    // measured baseline the pooled path is benchmarked against).
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> failures(workers);
+    threads.reserve(workers);
+    const std::size_t chunk = (n + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        threads.emplace_back([this, &rows, &out, &failures, w, begin, end] {
+            try {
+                WorkerState state;
+                predict_range_(rows, begin, end, out, state);
+            } catch (...) {
+                failures[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& failure : failures) {
+        if (failure) std::rethrow_exception(failure);
     }
 }
 
@@ -67,37 +341,30 @@ std::vector<int> InferenceSession::predict(const util::Matrix<float>& rows) cons
     if (rows.rows() == 0) return {};
     HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
                    "InferenceSession::predict: batch has wrong feature count");
+    std::vector<int> out(rows.rows());
+    predict_into_(rows, out);
+    rows_served_.fetch_add(rows.rows(), std::memory_order_relaxed);
+    return out;
+}
 
-    const std::size_t n = rows.rows();
-    std::vector<int> out(n);
-    const std::size_t workers = planned_workers(n, n_threads_, min_rows_per_thread_);
-
-    if (workers <= 1) {
-        predict_range(rows, 0, n, out);
-    } else {
-        std::vector<std::thread> threads;
-        std::vector<std::exception_ptr> failures(workers);
-        threads.reserve(workers);
-        const std::size_t chunk = (n + workers - 1) / workers;
-        for (std::size_t w = 0; w < workers; ++w) {
-            const std::size_t begin = w * chunk;
-            const std::size_t end = std::min(begin + chunk, n);
-            threads.emplace_back([this, &rows, &out, &failures, w, begin, end] {
-                try {
-                    predict_range(rows, begin, end, out);
-                } catch (...) {
-                    failures[w] = std::current_exception();
-                }
-            });
-        }
-        for (auto& thread : threads) thread.join();
-        for (const auto& failure : failures) {
-            if (failure) std::rethrow_exception(failure);
+std::future<std::vector<int>> InferenceSession::predict_async(util::Matrix<float> rows) const {
+    std::promise<std::vector<int>> ready;
+    if (rows.rows() == 0) {
+        ready.set_value({});
+        return ready.get_future();
+    }
+    HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
+                   "InferenceSession::predict_async: batch has wrong feature count");
+    {
+        const std::lock_guard<std::mutex> lock(state_->async_init);
+        if (state_->async == nullptr) {
+            state_->async = std::make_unique<ServingState::AsyncCore>(this, max_queue_rows_);
         }
     }
-
-    rows_served_.fetch_add(n, std::memory_order_relaxed);
-    return out;
+    AsyncRequest request{.rows = std::move(rows), .promise = {}};
+    std::future<std::vector<int>> future = request.promise.get_future();
+    state_->async->queue.push(std::move(request));
+    return future;
 }
 
 double InferenceSession::evaluate(const data::Dataset& dataset) const {
@@ -114,11 +381,10 @@ double InferenceSession::evaluate(const data::Dataset& dataset) const {
 int InferenceSession::predict_row(std::span<const float> row) const {
     HDLOCK_EXPECTS(row.size() == encoder_->n_features(),
                    "InferenceSession::predict_row: wrong feature count");
-    const bool binary = model_.kind() == hdc::ModelKind::binary;
-    const std::vector<int> levels = discretizer_.transform_row(row);
+    ServingState::ScratchLease lease(state_->caller_scratch);
+    const int label = predict_one_(row, *lease);
     rows_served_.fetch_add(1, std::memory_order_relaxed);
-    return binary ? model_.predict(encoder_->encode_binary(levels))
-                  : model_.predict(encoder_->encode(levels));
+    return label;
 }
 
 }  // namespace hdlock::api

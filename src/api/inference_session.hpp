@@ -5,21 +5,42 @@
 ///
 /// The repo-wide pattern used to be row-at-a-time predict_row() loops; this
 /// session owns the whole discretize -> encode -> classify chain for a batch
-/// and partitions it across worker threads.  Each worker keeps its own
+/// and partitions it across a *persistent* util::ThreadPool it owns for its
+/// lifetime.  Dispatching a batch is one lock + notify — no thread is ever
+/// created on the hot path (DispatchMode::spawn keeps the legacy
+/// thread-per-batch dispatch alive purely as the A/B baseline).
+///
+/// Scratch is pinned per pool slot: each worker keeps its own
 /// hdc::EncoderScratch (levels buffer, bit-sliced counter, sums buffer) plus
-/// reused output hypervectors, so no heap allocation happens per row and no
-/// state is shared between rows — the per-row results are bit-identical to a
-/// sequential predict_row() loop regardless of the thread count or of
-/// whether the optional bound-product cache is active (every row's encoding
-/// is a pure function of its input; see hdc::Encoder on tie breaking).
+/// reused output hypervectors across every batch the session ever serves,
+/// so the steady-state row does no heap allocation and no state is shared
+/// between rows.  Single-row and small-batch calls skip pool dispatch
+/// entirely and run on the calling thread against a pooled caller scratch —
+/// predict_row() costs one mutex handoff, not an allocation.
+///
+/// predict_async() is the micro-batching front door: requests enter a
+/// bounded SubmitQueue and a dispatcher thread coalesces whatever arrives
+/// within `max_queue_delay` (up to `max_batch` rows) into one fused batch,
+/// so many independent small callers amortise dispatch the way one big
+/// batch does.  Results come back through std::future and are bit-identical
+/// to predict() — per-row results are a pure function of the input
+/// regardless of thread count, dispatch mode, coalescing, or whether the
+/// optional bound-product cache is active (see hdc::Encoder on tie
+/// breaking).
 ///
 /// The session is immutable after construction and safe to share across
-/// caller threads; concurrent predict() calls only touch local scratch and
-/// an atomic served-rows counter.
+/// caller threads; concurrent predict()/predict_async() calls only touch
+/// slot-pinned or leased scratch and an atomic served-rows counter.  Moving
+/// a session is only legal before it starts serving.
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -32,13 +53,22 @@
 
 namespace hdlock::api {
 
+enum class DispatchMode : std::uint8_t {
+    /// Persistent worker pool owned by the session (the default).
+    pooled = 0,
+    /// Legacy fresh-std::thread-per-batch dispatch.  Kept as the measured
+    /// baseline for the serving-core benchmarks and the cross-mode
+    /// bit-identity tests; not intended for production serving.
+    spawn = 1
+};
+
 struct SessionOptions {
     /// Worker threads for batch predict(); 0 picks the hardware concurrency.
     std::size_t n_threads = 1;
-    /// Lower bound on rows per spawned worker: a batch of R rows fans out
-    /// to at most R / this workers (capped by n_threads), and when that
-    /// yields a single worker the batch stays on the calling thread —
-    /// spawning threads for a handful of rows costs more than it saves.
+    /// Lower bound on rows per worker: a batch of R rows fans out to at
+    /// most R / this workers (capped by n_threads), and when that yields a
+    /// single worker the batch stays on the calling thread — dispatching a
+    /// handful of rows costs more than it saves.
     std::size_t min_rows_per_thread = 16;
     /// Opt-in hdc::BoundProductCache: precompute all N x M bound products at
     /// session construction so every served row is pure counter adds (no
@@ -58,15 +88,67 @@ struct SessionOptions {
     /// Construction throws ConfigError when the backend is not available on
     /// this host; results are bit-identical across backends either way.
     std::optional<util::kernels::Backend> kernel_backend = std::nullopt;
+    /// How batches reach the workers (see DispatchMode).
+    DispatchMode dispatch = DispatchMode::pooled;
+    /// predict_async() micro-batching: the dispatcher fuses queued requests
+    /// into batches of at most this many rows.
+    std::size_t max_batch = 256;
+    /// How long the dispatcher waits for more requests to coalesce after
+    /// the first one arrives.  0 serves every request immediately.
+    std::chrono::microseconds max_queue_delay{200};
+    /// Row capacity of the bounded submit queue; predict_async() blocks
+    /// (backpressure) while the queue is full.
+    std::size_t max_queue_rows = 8192;
 };
 
 /// Number of worker threads predict() fans a batch of `n_rows` out to —
-/// clamped so no spawned worker ever receives an empty range (a fixed
+/// clamped so no worker ever receives an empty range (a fixed
 /// ceil(n/workers) chunking can strand trailing workers past the end, e.g.
 /// 13 rows over 6 workers -> chunk 3 -> worker 5 would start at row 15).
 /// Exposed for testability.
 std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
                             std::size_t min_rows_per_thread) noexcept;
+
+/// One queued predict_async() request: the rows to classify and the promise
+/// their labels resolve.
+struct AsyncRequest {
+    util::Matrix<float> rows;
+    std::promise<std::vector<int>> promise;
+};
+
+/// Bounded MPSC hand-off between predict_async() callers and the session's
+/// dispatcher thread.  push() applies backpressure (blocks while `max_rows`
+/// are queued); pop_batch() coalesces concurrent small requests into one
+/// micro-batch.  close() wakes everyone: producers get an error, the
+/// consumer drains what is left and then sees "done".
+class SubmitQueue {
+public:
+    explicit SubmitQueue(std::size_t max_rows);
+
+    /// Blocks while the queue is full.  A request larger than the whole
+    /// queue is admitted alone (it could never fit otherwise).  Throws
+    /// Error when the queue is closed.
+    void push(AsyncRequest request);
+
+    /// Blocks until a request arrives, then keeps collecting whole requests
+    /// for up to `delay` or until `max_batch` rows are gathered.  Returns
+    /// an empty vector once closed and drained.
+    std::vector<AsyncRequest> pop_batch(std::size_t max_batch, std::chrono::microseconds delay);
+
+    void close();
+
+    /// Rows currently queued (for tests / introspection).
+    std::size_t queued_rows() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<AsyncRequest> requests_;
+    std::size_t queued_rows_ = 0;
+    std::size_t max_rows_;
+    bool closed_ = false;
+};
 
 class InferenceSession {
 public:
@@ -76,16 +158,11 @@ public:
                      hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
                      SessionOptions options = {});
 
-    /// Movable (the atomic counter's value carries over) so factories can
-    /// return sessions by value; not copyable.
-    InferenceSession(InferenceSession&& other) noexcept
-        : encoder_(std::move(other.encoder_)),
-          discretizer_(std::move(other.discretizer_)),
-          model_(std::move(other.model_)),
-          product_cache_(std::move(other.product_cache_)),
-          n_threads_(other.n_threads_),
-          min_rows_per_thread_(other.min_rows_per_thread_),
-          rows_served_(other.rows_served_.load()) {}
+    /// Movable so factories can return sessions by value; moving is only
+    /// legal before the session starts serving (a live dispatcher or an
+    /// in-flight predict() call holds internal pointers).  Not copyable.
+    InferenceSession(InferenceSession&& other) noexcept;
+    ~InferenceSession();
     InferenceSession(const InferenceSession&) = delete;
     InferenceSession& operator=(const InferenceSession&) = delete;
     InferenceSession& operator=(InferenceSession&&) = delete;
@@ -95,7 +172,16 @@ public:
     /// in row order.
     std::vector<int> predict(const util::Matrix<float>& rows) const;
 
-    /// Single-row inference (the classic predict_row path, same output).
+    /// Queues the batch for the micro-batching dispatcher and returns a
+    /// future resolving to the same labels predict() would produce.  Small
+    /// concurrent requests are fused into one pooled batch; backpressure
+    /// blocks the caller while `max_queue_rows` are already queued.  The
+    /// first call lazily starts the dispatcher thread.
+    std::future<std::vector<int>> predict_async(util::Matrix<float> rows) const;
+
+    /// Single-row inference: same output as predict() on a 1-row batch, but
+    /// skips dispatch entirely — it runs on the calling thread against a
+    /// leased scratch and consults the bound-product cache when active.
     int predict_row(std::span<const float> row) const;
 
     /// Fraction of the labeled dataset classified correctly (batched
@@ -104,6 +190,7 @@ public:
 
     std::size_t n_features() const noexcept { return encoder_->n_features(); }
     std::size_t n_threads() const noexcept { return n_threads_; }
+    DispatchMode dispatch_mode() const noexcept { return dispatch_; }
     /// True when the session holds a materialized bound-product cache (the
     /// opt-in was taken and the table fit under the byte cap).
     bool product_cache_active() const noexcept { return product_cache_ != nullptr; }
@@ -115,8 +202,16 @@ public:
     std::uint64_t rows_served() const noexcept { return rows_served_.load(); }
 
 private:
-    void predict_range(const util::Matrix<float>& rows, std::size_t begin, std::size_t end,
-                       std::span<int> out) const;
+    struct WorkerState;
+    struct ServingState;
+
+    void predict_into_(const util::Matrix<float>& rows, std::span<int> out) const;
+    /// The one serving inner body (discretize -> encode -> classify) every
+    /// path funnels through — predict_range_ per batch row, predict_row via
+    /// a leased scratch — so they cannot diverge.
+    int predict_one_(std::span<const float> row, WorkerState& state) const;
+    void predict_range_(const util::Matrix<float>& rows, std::size_t begin, std::size_t end,
+                        std::span<int> out, WorkerState& state) const;
 
     std::shared_ptr<const hdc::Encoder> encoder_;
     hdc::MinMaxDiscretizer discretizer_;
@@ -124,6 +219,13 @@ private:
     std::shared_ptr<const hdc::BoundProductCache> product_cache_;
     std::size_t n_threads_ = 1;
     std::size_t min_rows_per_thread_ = 16;
+    DispatchMode dispatch_ = DispatchMode::pooled;
+    std::size_t max_batch_ = 256;
+    std::chrono::microseconds max_queue_delay_{200};
+    std::size_t max_queue_rows_ = 8192;
+    /// Pool, slot-pinned worker scratch, leased caller scratch and the lazy
+    /// async core live behind one stable pointer so moves stay cheap.
+    mutable std::unique_ptr<ServingState> state_;
     mutable std::atomic<std::uint64_t> rows_served_{0};
 };
 

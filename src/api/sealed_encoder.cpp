@@ -3,8 +3,12 @@
 namespace hdlock::api {
 
 SealedEncoder::SealedEncoder(std::vector<hdc::BinaryHV> feature_hvs,
-                             std::vector<hdc::BinaryHV> value_hvs, std::uint64_t tie_seed)
-    : Encoder(tie_seed), feature_hvs_(std::move(feature_hvs)), value_hvs_(std::move(value_hvs)) {
+                             std::vector<hdc::BinaryHV> value_hvs, std::uint64_t tie_seed,
+                             std::shared_ptr<const void> storage_anchor)
+    : Encoder(tie_seed),
+      feature_hvs_(std::move(feature_hvs)),
+      value_hvs_(std::move(value_hvs)),
+      storage_anchor_(std::move(storage_anchor)) {
     HDLOCK_EXPECTS(!feature_hvs_.empty(), "SealedEncoder: no feature hypervectors");
     HDLOCK_EXPECTS(value_hvs_.size() >= 2, "SealedEncoder: need at least two value levels");
     dim_ = feature_hvs_.front().dim();

@@ -12,6 +12,7 @@
 /// secrets by construction.  Contrast LockedEncoder, the owner-side view,
 /// which keeps the key for auditing and re-export.
 
+#include <memory>
 #include <vector>
 
 #include "hdc/encoder.hpp"
@@ -24,8 +25,11 @@ public:
     /// \param value_hvs    ValHVs in *semantic level order* (secret mapping
     ///                     already applied)
     /// \param tie_seed     sign(0) tie-break seed (see hdc::Encoder)
+    /// \param storage_anchor  shared pin on external storage the
+    ///                     hypervectors may alias (a mapped `.hdlk`'s
+    ///                     bytes); null when they own their words
     SealedEncoder(std::vector<hdc::BinaryHV> feature_hvs, std::vector<hdc::BinaryHV> value_hvs,
-                  std::uint64_t tie_seed);
+                  std::uint64_t tie_seed, std::shared_ptr<const void> storage_anchor = nullptr);
 
     std::size_t dim() const override { return dim_; }
     std::size_t n_features() const override { return feature_hvs_.size(); }
@@ -39,6 +43,7 @@ private:
     std::size_t dim_ = 0;
     std::vector<hdc::BinaryHV> feature_hvs_;
     std::vector<hdc::BinaryHV> value_hvs_;
+    std::shared_ptr<const void> storage_anchor_;
 };
 
 }  // namespace hdlock::api

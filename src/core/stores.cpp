@@ -77,6 +77,32 @@ PublicStore PublicStore::load(util::BinaryReader& reader) {
     return store;
 }
 
+void PublicStore::save_v2(util::BinaryWriter& writer) const {
+    writer.write_tag("PUB2");
+    writer.write_u64(dim_);
+    writer.write_u64(bases_.size());
+    writer.write_u64(value_hvs_.size());
+    hdc::save_hv_block(writer, bases_, dim_);
+    hdc::save_hv_block(writer, value_hvs_, dim_);
+}
+
+PublicStore PublicStore::load_v2(util::BinaryReader& reader) {
+    reader.expect_tag("PUB2");
+    PublicStore store;
+    store.dim_ = static_cast<std::size_t>(reader.read_u64());
+    const std::uint64_t n_bases = reader.read_u64();
+    const std::uint64_t n_values = reader.read_u64();
+    if (store.dim_ == 0 || store.dim_ > (1ULL << 28)) {
+        throw FormatError("PublicStore: unreasonable dimension");
+    }
+    if (n_bases > (1ULL << 24) || n_values > (1ULL << 24)) {
+        throw FormatError("PublicStore: unreasonable hypervector count");
+    }
+    store.bases_ = hdc::load_hv_block(reader, store.dim_, static_cast<std::size_t>(n_bases));
+    store.value_hvs_ = hdc::load_hv_block(reader, store.dim_, static_cast<std::size_t>(n_values));
+    return store;
+}
+
 SecureStore::SecureStore(LockKey key, ValueMapping value_mapping)
     : key_(std::move(key)), value_mapping_(std::move(value_mapping)) {
     HDLOCK_EXPECTS(key_.n_features() > 0, "SecureStore: empty key");

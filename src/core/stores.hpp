@@ -65,6 +65,13 @@ public:
     void save(util::BinaryWriter& writer) const;
     static PublicStore load(util::BinaryReader& reader);
 
+    /// `.hdlk` v2 section ("PUB2"): shape header + two 64-byte-aligned
+    /// contiguous word blocks.  A mapped load aliases every hypervector into
+    /// the backing buffer (no copy); stream loads copy and are byte-wise
+    /// interchangeable.
+    void save_v2(util::BinaryWriter& writer) const;
+    static PublicStore load_v2(util::BinaryReader& reader);
+
 private:
     std::size_t dim_ = 0;
     std::vector<hdc::BinaryHV> bases_;

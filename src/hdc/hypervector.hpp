@@ -25,6 +25,15 @@ namespace hdlock::hdc {
 using Word = util::bits::Word;
 
 /// Packed bipolar hypervector in {+1,-1}^D.
+///
+/// Storage comes in two modes.  The default owns its words in a vector; the
+/// *view* mode (BinaryHV::view) aliases externally-owned words — e.g. a
+/// 64-byte-aligned section of a memory-mapped `.hdlk` bundle — and copies
+/// nothing.  Views behave identically through every const operation; any
+/// mutating call first detaches into owned storage (copy-on-write), so
+/// owner-side edit paths keep working on loaded views.  The aliased storage
+/// must outlive the view and every copy made of it (api::DeploymentBundle
+/// keeps the mapping alive for exactly this reason).
 class BinaryHV {
 public:
     /// Empty (dimension zero) hypervector.
@@ -32,6 +41,21 @@ public:
 
     /// All-(+1) hypervector of the given dimension.
     explicit BinaryHV(std::size_t dim);
+
+    /// Non-owning view over `word_count(dim)` packed words (tail bits past
+    /// `dim` must be zero, as everywhere else).
+    static BinaryHV view(std::size_t dim, const Word* words);
+
+    /// Adopts `word_count(dim)` packed words as owned storage; throws
+    /// FormatError on a count mismatch or dirty tail bits (the raw-block
+    /// deserialization primitive).
+    static BinaryHV from_words(std::size_t dim, std::vector<Word> words);
+
+    /// True when this hypervector aliases external storage.
+    bool is_view() const noexcept { return view_data_ != nullptr; }
+
+    /// Copies aliased words into owned storage; no-op when already owning.
+    void detach();
 
     /// I.i.d. uniform random bipolar hypervector. Two independent draws are
     /// quasi-orthogonal: their normalized Hamming distance concentrates
@@ -49,8 +73,15 @@ public:
     /// when possible; the scratch-buffer primitive behind sign_into().
     void reset(std::size_t dim);
 
-    std::span<const Word> words() const noexcept { return words_; }
-    std::span<Word> words() noexcept { return words_; }
+    std::span<const Word> words() const noexcept {
+        return view_data_ != nullptr ? std::span<const Word>(view_data_, view_words_)
+                                     : std::span<const Word>(words_);
+    }
+    /// Mutable word access detaches views first (copy-on-write).
+    std::span<Word> words() {
+        detach();
+        return words_;
+    }
 
     /// Element-wise bipolar multiplication (the MAP "bind" operator).
     BinaryHV operator*(const BinaryHV& other) const;
@@ -72,7 +103,8 @@ public:
     /// Cosine similarity; for bipolar vectors this is dot / D in [-1, 1].
     double cosine(const BinaryHV& other) const;
 
-    bool operator==(const BinaryHV& other) const = default;
+    /// Content equality: a view compares equal to an owning copy.
+    bool operator==(const BinaryHV& other) const;
 
     void save(util::BinaryWriter& writer) const;
     static BinaryHV load(util::BinaryReader& reader);
@@ -80,9 +112,13 @@ public:
 private:
     std::size_t dim_ = 0;
     std::vector<Word> words_;
+    const Word* view_data_ = nullptr;
+    std::size_t view_words_ = 0;
 };
 
-/// Integer hypervector in Z^D holding bundling sums.
+/// Integer hypervector in Z^D holding bundling sums.  Supports the same
+/// non-owning view mode as BinaryHV (see above): mapped model class sums
+/// alias the bundle bytes, and any mutation detaches into owned storage.
 class IntHV {
 public:
     IntHV() = default;
@@ -92,16 +128,36 @@ public:
 
     explicit IntHV(std::vector<std::int32_t> values) : values_(std::move(values)) {}
 
+    /// Non-owning view over `dim` externally-owned values.
+    static IntHV view(std::size_t dim, const std::int32_t* values);
+
     /// Lifts a bipolar hypervector into Z^D.
     static IntHV from_binary(const BinaryHV& hv);
 
-    std::size_t dim() const noexcept { return values_.size(); }
-    bool empty() const noexcept { return values_.empty(); }
+    bool is_view() const noexcept { return view_data_ != nullptr; }
 
-    std::int32_t operator[](std::size_t i) const { return values_[i]; }
-    std::int32_t& operator[](std::size_t i) { return values_[i]; }
-    std::span<const std::int32_t> values() const noexcept { return values_; }
-    std::span<std::int32_t> values() noexcept { return values_; }
+    /// Copies aliased values into owned storage; no-op when already owning.
+    void detach();
+
+    std::size_t dim() const noexcept {
+        return view_data_ != nullptr ? view_size_ : values_.size();
+    }
+    bool empty() const noexcept { return dim() == 0; }
+
+    std::int32_t operator[](std::size_t i) const { return values()[i]; }
+    std::int32_t& operator[](std::size_t i) {
+        detach();
+        return values_[i];
+    }
+    std::span<const std::int32_t> values() const noexcept {
+        return view_data_ != nullptr ? std::span<const std::int32_t>(view_data_, view_size_)
+                                     : std::span<const std::int32_t>(values_);
+    }
+    /// Mutable value access detaches views first (copy-on-write).
+    std::span<std::int32_t> values() {
+        detach();
+        return values_;
+    }
 
     /// Element-wise accumulation of a bipolar hypervector (bundling).
     void add(const BinaryHV& hv);
@@ -114,7 +170,12 @@ public:
 
     /// Re-shapes to `dim` without zeroing (the values are about to be
     /// overwritten wholesale, e.g. by ColumnCounter::bipolar_sums_into).
-    void resize(std::size_t dim) { values_.resize(dim); }
+    /// A view drops its alias without copying — the contents are doomed.
+    void resize(std::size_t dim) {
+        view_data_ = nullptr;
+        view_size_ = 0;
+        values_.resize(dim);
+    }
 
     /// Binarization sign(H) of Eq. 3. Zeros are broken to +1/-1 by the
     /// supplied generator, matching the paper's randomized sign(0).
@@ -135,13 +196,44 @@ public:
     double cosine(const IntHV& other) const;
     double cosine(const BinaryHV& other) const;
 
-    bool operator==(const IntHV& other) const = default;
+    /// Content equality: a view compares equal to an owning copy.
+    bool operator==(const IntHV& other) const;
 
     void save(util::BinaryWriter& writer) const;
     static IntHV load(util::BinaryReader& reader);
 
 private:
     std::vector<std::int32_t> values_;
+    const std::int32_t* view_data_ = nullptr;
+    std::size_t view_size_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Aligned bulk-block serialization (the `.hdlk` v2 primitives)
+// ---------------------------------------------------------------------------
+//
+// A block is 64-byte alignment padding followed by the hypervectors' raw
+// payloads back to back, with no per-vector tags or length prefixes — the
+// shape (dim, count) lives in the surrounding section header.  On a
+// span-backed (mapped) reader whose buffer is suitably aligned, loading a
+// block costs no copy at all: each hypervector comes back as a view aliasing
+// the mapping.  Stream readers and unaligned buffers degrade to owned
+// copies; the bytes and the results are identical either way.
+
+/// Writes `hvs` (uniform dimension `dim`) as one aligned word block.
+void save_hv_block(util::BinaryWriter& writer, std::span<const BinaryHV> hvs, std::size_t dim);
+
+/// Reads `count` packed hypervectors of dimension `dim` from an aligned
+/// word block.
+std::vector<BinaryHV> load_hv_block(util::BinaryReader& reader, std::size_t dim,
+                                    std::size_t count);
+
+/// Writes `hvs` (uniform dimension `dim`) as one aligned int32 block.
+void save_int_hv_block(util::BinaryWriter& writer, std::span<const IntHV> hvs, std::size_t dim);
+
+/// Reads `count` integer hypervectors of dimension `dim` from an aligned
+/// int32 block.
+std::vector<IntHV> load_int_hv_block(util::BinaryReader& reader, std::size_t dim,
+                                     std::size_t count);
 
 }  // namespace hdlock::hdc

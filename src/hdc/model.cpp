@@ -174,4 +174,43 @@ HdcModel HdcModel::load(util::BinaryReader& reader) {
     return model;
 }
 
+void HdcModel::save_v2(util::BinaryWriter& writer) const {
+    writer.write_tag("MDL2");
+    writer.write_u8(static_cast<std::uint8_t>(kind_));
+    writer.write_i32(epochs_run_);
+    writer.write_u64(class_sums_.size());
+    writer.write_u64(dim());
+    writer.write_u8(class_binary_.empty() ? 0 : 1);
+    save_int_hv_block(writer, class_sums_, dim());
+    if (!class_binary_.empty()) save_hv_block(writer, class_binary_, dim());
+}
+
+HdcModel HdcModel::load_v2(util::BinaryReader& reader) {
+    reader.expect_tag("MDL2");
+    HdcModel model;
+    const auto kind = reader.read_u8();
+    if (kind > 1) throw FormatError("HdcModel: bad model kind");
+    model.kind_ = static_cast<ModelKind>(kind);
+    model.epochs_run_ = reader.read_i32();
+    const std::uint64_t n_classes = reader.read_u64();
+    const std::uint64_t dim = reader.read_u64();
+    const std::uint8_t has_binary = reader.read_u8();
+    if (n_classes == 0 || n_classes > (1ULL << 20)) {
+        throw FormatError("HdcModel: unreasonable class count");
+    }
+    if (dim == 0 || dim > (1ULL << 28)) throw FormatError("HdcModel: unreasonable dimension");
+    if (has_binary > 1) throw FormatError("HdcModel: bad binary flag");
+    if (model.kind_ == ModelKind::binary && has_binary == 0) {
+        throw FormatError("HdcModel: binary model missing binarized class HVs");
+    }
+    model.class_sums_ = load_int_hv_block(reader, static_cast<std::size_t>(dim),
+                                          static_cast<std::size_t>(n_classes));
+    if (has_binary != 0) {
+        model.class_binary_ = load_hv_block(reader, static_cast<std::size_t>(dim),
+                                            static_cast<std::size_t>(n_classes));
+    }
+    model.recompute_norms_();
+    return model;
+}
+
 }  // namespace hdlock::hdc

@@ -11,6 +11,7 @@
 /// similarity (non-binary model) or Hamming distance (binary model).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -93,6 +94,22 @@ public:
     void save(util::BinaryWriter& writer) const;
     static HdcModel load(util::BinaryReader& reader);
 
+    /// `.hdlk` v2 section ("MDL2"): shape header + 64-byte-aligned raw
+    /// class-HV blocks.  A mapped load aliases the class sums (and the
+    /// binarized class HVs) into the backing buffer; only the per-class
+    /// norms are recomputed (one read pass, no copy).  Mutating a mapped
+    /// model (e.g. retraining) detaches copy-on-write per class HV.
+    void save_v2(util::BinaryWriter& writer) const;
+    static HdcModel load_v2(util::BinaryReader& reader);
+
+    /// Pins external storage the class HVs may alias (a mapped `.hdlk`'s
+    /// bytes).  Copies of the model share the pin, so a serving session
+    /// that copied a mapped model stays valid after the bundle is gone.
+    /// Harmless on fully-owning models.
+    void set_storage_anchor(std::shared_ptr<const void> anchor) {
+        storage_anchor_ = std::move(anchor);
+    }
+
 private:
     void rebinarize_(util::Xoshiro256ss& rng);
     void recompute_norm_(std::size_t cls);
@@ -105,6 +122,7 @@ private:
     /// non-binary predict never re-derives them (they are invariant across a
     /// whole served batch).
     std::vector<double> class_norms_;
+    std::shared_ptr<const void> storage_anchor_;
     int epochs_run_ = 0;
 };
 

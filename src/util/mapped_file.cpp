@@ -1,0 +1,121 @@
+#include "util/mapped_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <new>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HDLOCK_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HDLOCK_HAVE_MMAP 0
+#endif
+
+namespace hdlock::util {
+
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+
+/// Reads the whole file into a 64-byte-aligned heap buffer (the portable
+/// fallback and the empty-file case — mmap rejects zero-length mappings).
+const std::byte* read_whole_file(const std::filesystem::path& path, std::size_t& size_out) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw IoError("MappedFile: cannot open for reading: " + path.string());
+    const std::streamoff size = in.tellg();
+    if (size < 0) throw IoError("MappedFile: cannot size: " + path.string());
+    in.seekg(0);
+    auto* buffer = static_cast<std::byte*>(
+        ::operator new(std::max<std::size_t>(static_cast<std::size_t>(size), 1),
+                       std::align_val_t{kAlignment}));
+    in.read(reinterpret_cast<char*>(buffer), size);
+    if (in.gcount() != size) {
+        ::operator delete(buffer, std::align_val_t{kAlignment});
+        throw IoError("MappedFile: short read: " + path.string());
+    }
+    size_out = static_cast<std::size_t>(size);
+    return buffer;
+}
+
+}  // namespace
+
+MappedFile MappedFile::open_buffered(const std::filesystem::path& path) {
+    MappedFile file;
+    file.data_ = read_whole_file(path, file.size_);
+    file.mapped_ = false;
+    return file;
+}
+
+MappedFile MappedFile::open(const std::filesystem::path& path) {
+#if HDLOCK_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw IoError("MappedFile: cannot open for reading: " + path.string());
+    struct stat status {};
+    if (::fstat(fd, &status) != 0 || status.st_size < 0) {
+        ::close(fd);
+        throw IoError("MappedFile: cannot stat: " + path.string());
+    }
+    const auto size = static_cast<std::size_t>(status.st_size);
+    if (size == 0) {
+        ::close(fd);
+        return open_buffered(path);  // mmap rejects zero-length mappings
+    }
+    void* address = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (address == MAP_FAILED) return open_buffered(path);
+    MappedFile file;
+    file.data_ = static_cast<const std::byte*>(address);
+    file.size_ = size;
+    file.mapped_ = true;
+    return file;
+#else
+    return open_buffered(path);
+#endif
+}
+
+void MappedFile::release_() noexcept {
+    if (data_ == nullptr) return;
+#if HDLOCK_HAVE_MMAP
+    if (mapped_) {
+        ::munmap(const_cast<std::byte*>(data_), size_);
+        data_ = nullptr;
+        size_ = 0;
+        mapped_ = false;
+        return;
+    }
+#endif
+    ::operator delete(const_cast<std::byte*>(data_), std::align_val_t{kAlignment});
+    data_ = nullptr;
+    size_ = 0;
+}
+
+MappedFile::~MappedFile() {
+    release_();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), mapped_(other.mapped_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        release_();
+        data_ = other.data_;
+        size_ = other.size_;
+        mapped_ = other.mapped_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.mapped_ = false;
+    }
+    return *this;
+}
+
+}  // namespace hdlock::util

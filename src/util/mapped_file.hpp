@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file mapped_file.hpp
+/// Read-only memory-mapped file with a portable read fallback.
+///
+/// The zero-copy `.hdlk` startup path (DeploymentBundle::open_mapped) wants
+/// the file bytes addressable without buffering the whole artifact through
+/// copies: mmap gives exactly that on POSIX hosts — pages fault in lazily
+/// and stay shared with the page cache.  On platforms without mmap (or when
+/// mapping fails), the fallback reads the file into one 64-byte-aligned heap
+/// buffer, so callers see the identical span-of-bytes interface either way
+/// and alignment guarantees hold in both modes.
+///
+/// Alignment contract: bytes().data() is at least 64-byte aligned (mmap
+/// returns page-aligned addresses; the fallback allocates aligned).  The
+/// `.hdlk` v2 format aligns its bulk word sections to 64-byte file offsets,
+/// so a section's absolute address is aligned too — safe to reinterpret as
+/// std::uint64_t words and friendly to cache lines / AVX-512 loads.
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+
+namespace hdlock::util {
+
+class MappedFile {
+public:
+    /// Maps `path` read-only; falls back to a buffered read when mapping is
+    /// unavailable.  Throws IoError when the file cannot be opened or read.
+    static MappedFile open(const std::filesystem::path& path);
+
+    /// The fallback path, forced (for tests and for callers that will touch
+    /// every byte exactly once anyway).
+    static MappedFile open_buffered(const std::filesystem::path& path);
+
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    std::span<const std::byte> bytes() const noexcept {
+        return std::span<const std::byte>(data_, size_);
+    }
+    std::size_t size() const noexcept { return size_; }
+
+    /// True when the bytes come from a live mmap (false: heap fallback).
+    bool is_mapped() const noexcept { return mapped_; }
+
+private:
+    const std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+
+    void release_() noexcept;
+};
+
+}  // namespace hdlock::util

@@ -1,5 +1,6 @@
 #include "util/serialize.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <istream>
@@ -15,6 +16,18 @@ void BinaryWriter::write_bytes(std::span<const std::byte> bytes) {
     out_.write(reinterpret_cast<const char*>(bytes.data()),
                static_cast<std::streamsize>(bytes.size()));
     if (!out_) throw IoError("BinaryWriter: stream write failed");
+    offset_ += bytes.size();
+}
+
+void BinaryWriter::align_to(std::size_t alignment) {
+    HDLOCK_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                   "BinaryWriter::align_to: alignment must be a power of two");
+    static constexpr std::array<std::byte, 64> kZeros{};
+    while (offset_ % alignment != 0) {
+        const std::size_t pad = std::min<std::size_t>(
+            alignment - static_cast<std::size_t>(offset_ % alignment), kZeros.size());
+        write_bytes(std::span<const std::byte>(kZeros.data(), pad));
+    }
 }
 
 void BinaryWriter::write_tag(std::string_view tag) {
@@ -52,9 +65,39 @@ void BinaryWriter::write_string(std::string_view s) {
 }
 
 void BinaryReader::read_bytes(std::span<std::byte> bytes) {
-    in_.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-    if (in_.gcount() != static_cast<std::streamsize>(bytes.size())) {
-        throw FormatError("BinaryReader: unexpected end of stream");
+    if (in_ != nullptr) {
+        in_->read(reinterpret_cast<char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (in_->gcount() != static_cast<std::streamsize>(bytes.size())) {
+            throw FormatError("BinaryReader: unexpected end of stream");
+        }
+    } else {
+        if (bytes.size() > data_.size() - offset_) {
+            throw FormatError("BinaryReader: unexpected end of buffer");
+        }
+        std::memcpy(bytes.data(), data_.data() + offset_, bytes.size());
+    }
+    offset_ += bytes.size();
+}
+
+const std::byte* BinaryReader::view_bytes(std::size_t n) {
+    HDLOCK_EXPECTS(mapped(), "BinaryReader::view_bytes: stream backend cannot hand out views");
+    if (n > data_.size() - offset_) {
+        throw FormatError("BinaryReader: unexpected end of buffer");
+    }
+    const std::byte* view = data_.data() + offset_;
+    offset_ += n;
+    return view;
+}
+
+void BinaryReader::align_to(std::size_t alignment) {
+    HDLOCK_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                   "BinaryReader::align_to: alignment must be a power of two");
+    while (offset_ % alignment != 0) {
+        if (read_u8() != 0) {
+            throw FormatError("BinaryReader: non-zero section padding (misaligned or corrupt "
+                              "section)");
+        }
     }
 }
 

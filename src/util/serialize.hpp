@@ -26,6 +26,15 @@ class BinaryWriter {
 public:
     explicit BinaryWriter(std::ostream& out) : out_(out) {}
 
+    /// Bytes written through this writer so far.  The `.hdlk` v2 format
+    /// aligns its bulk word sections on this count, so writers must start at
+    /// the beginning of the artifact (they always do).
+    std::uint64_t offset() const noexcept { return offset_; }
+
+    /// Pads with zero bytes until offset() is a multiple of `alignment`
+    /// (a power of two).  Pairs with BinaryReader::align_to.
+    void align_to(std::size_t alignment);
+
     void write_tag(std::string_view tag);
     void write_u8(std::uint8_t v);
     void write_u32(std::uint32_t v);
@@ -46,11 +55,34 @@ public:
 
 private:
     std::ostream& out_;
+    std::uint64_t offset_ = 0;
 };
 
+/// Reads the tagged format back from either an istream or an in-memory byte
+/// span (a util::MappedFile's contents).  The span backend additionally
+/// supports *views*: view_bytes() hands back a pointer into the backing
+/// buffer instead of copying, which is what lets `.hdlk` v2 loads alias
+/// hypervector words straight out of the mapping.
 class BinaryReader {
 public:
-    explicit BinaryReader(std::istream& in) : in_(in) {}
+    explicit BinaryReader(std::istream& in) : in_(&in) {}
+    explicit BinaryReader(std::span<const std::byte> data) : data_(data) {}
+
+    /// True when backed by a byte span (view_bytes() is available).
+    bool mapped() const noexcept { return in_ == nullptr; }
+
+    /// Bytes consumed so far.
+    std::uint64_t offset() const noexcept { return offset_; }
+
+    /// Consumes padding until offset() is a multiple of `alignment`; every
+    /// padding byte must be zero (corrupt or misaligned sections are a
+    /// FormatError here, before any word data is interpreted).
+    void align_to(std::size_t alignment);
+
+    /// Span backend only: returns a pointer to the next `n` bytes inside the
+    /// backing buffer and consumes them.  Throws ContractViolation on the
+    /// stream backend and FormatError past the end of the buffer.
+    const std::byte* view_bytes(std::size_t n);
 
     /// Throws FormatError when the next four bytes differ from `tag`.
     void expect_tag(std::string_view tag);
@@ -78,7 +110,9 @@ public:
     void read_bytes(std::span<std::byte> bytes);
 
 private:
-    std::istream& in_;
+    std::istream* in_ = nullptr;
+    std::span<const std::byte> data_{};
+    std::uint64_t offset_ = 0;
 };
 
 /// Serializes `object` to `path`, throwing IoError on filesystem failure.

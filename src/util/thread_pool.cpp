@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+    n_workers = std::max<std::size_t>(n_workers, 1);
+    workers_.reserve(n_workers);
+    for (std::size_t slot = 0; slot < n_workers; ++slot) {
+        workers_.emplace_back([this, slot] { worker_loop_(slot); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+    HDLOCK_EXPECTS(task != nullptr, "ThreadPool::submit: empty task");
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        HDLOCK_EXPECTS(!stop_, "ThreadPool::submit: pool is shutting down");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::worker_loop_(std::size_t slot) {
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(slot);
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t n_chunks,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    n_chunks = std::clamp<std::size_t>(n_chunks, 1, n);
+    const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+    n_chunks = (n + chunk - 1) / chunk;  // drop chunks stranded past the end
+
+    if (n_chunks == 1) {
+        body(0, n, 0);  // no dispatch cost for the degenerate fan-out
+        return;
+    }
+
+    // Per-call completion state lives on the caller's stack: the caller
+    // blocks until remaining hits zero, so the workers' references stay
+    // valid for exactly as long as they are used.
+    struct Sync {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr error;
+    } sync{.mutex = {}, .done = {}, .remaining = n_chunks, .error = nullptr};
+
+    std::size_t submitted = 0;
+    std::exception_ptr submit_error;
+    try {
+        for (std::size_t c = 0; c < n_chunks; ++c) {
+            const std::size_t begin = c * chunk;
+            const std::size_t end = std::min(begin + chunk, n);
+            pool.submit([&sync, &body, begin, end](std::size_t slot) {
+                std::exception_ptr error;
+                try {
+                    body(begin, end, slot);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                const std::lock_guard<std::mutex> lock(sync.mutex);
+                if (error && !sync.error) sync.error = error;
+                if (--sync.remaining == 0) sync.done.notify_one();
+            });
+            ++submitted;
+        }
+    } catch (...) {
+        // submit() itself failed (e.g. bad_alloc).  Chunks already in the
+        // pool still hold references to sync/body on this stack frame, so
+        // unwinding now would be use-after-scope: strike the never-submitted
+        // chunks from the count, drain the in-flight ones, then rethrow.
+        submit_error = std::current_exception();
+        const std::lock_guard<std::mutex> lock(sync.mutex);
+        sync.remaining -= n_chunks - submitted;
+    }
+
+    std::unique_lock<std::mutex> lock(sync.mutex);
+    sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+    if (submit_error) std::rethrow_exception(submit_error);
+    if (sync.error) std::rethrow_exception(sync.error);
+}
+
+}  // namespace hdlock::util

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Reusable worker pool behind the serving hot path.
+///
+/// api::InferenceSession used to spawn and join fresh std::threads on every
+/// predict() call; at small batch sizes the clone/join syscalls dominated the
+/// actual encode work.  ThreadPool keeps a fixed worker set parked on a
+/// condition variable, so batch dispatch is one lock + notify instead of N
+/// thread creations.
+///
+/// Each worker owns a stable *slot ID* in [0, size()), passed to every task
+/// it runs.  That is the contract callers key per-worker pinned state on
+/// (e.g. the session's per-slot EncoderScratch): a slot's state is only ever
+/// touched by the one thread owning the slot, so no locking is needed around
+/// it even when several caller threads share the pool.
+///
+/// parallel_for() is the blocking fan-out helper: it partitions an index
+/// range into contiguous chunks, runs them across the pool, waits for
+/// completion on the caller thread, and rethrows the first exception a
+/// worker captured.  Identical chunking to the old spawn path, so results
+/// and coverage semantics are unchanged — only the dispatch cost moved.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdlock::util {
+
+class ThreadPool {
+public:
+    /// A task receives the slot ID of the worker running it.
+    using Task = std::function<void(std::size_t slot)>;
+
+    /// Spawns `n_workers` parked workers (at least one).
+    explicit ThreadPool(std::size_t n_workers);
+
+    /// Drains nothing: pending tasks are still executed before the workers
+    /// exit (parallel_for callers are blocked until their tasks finish, so a
+    /// destructor overtaking live work cannot happen in that idiom).
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueues a task; some parked worker picks it up.  Fire-and-forget:
+    /// completion and exception transport are the caller's protocol
+    /// (parallel_for implements the blocking variant).
+    void submit(Task task);
+
+private:
+    void worker_loop_(std::size_t slot);
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+/// Runs `body(begin, end, slot)` over [0, n) split into `n_chunks` contiguous
+/// ranges of ceil(n / n_chunks) (trailing chunks clamped; callers pass a
+/// chunk count derived so no range is empty, e.g. api::planned_workers).
+/// Blocks until every chunk completed; rethrows the first captured worker
+/// exception.  The calling thread only waits — total concurrency is
+/// pool.size(), matching the old one-thread-per-chunk spawn dispatch.
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t n_chunks,
+                  const std::function<void(std::size_t begin, std::size_t end,
+                                           std::size_t slot)>& body);
+
+}  // namespace hdlock::util

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 
 #include "api/facades.hpp"
@@ -171,8 +174,9 @@ TEST(DeploymentBundle, RejectsUnknownSectionFlags) {
 TEST(DeploymentBundle, RejectsDeviceStateInconsistentWithStore) {
     // Regression: a corrupt/hand-edited device artifact whose materialized
     // hypervectors disagree with the embedded store used to load fine and
-    // fail only deep inside encode (or not at all).  Each mismatch must be
-    // named at load time.
+    // fail only deep inside encode (or not at all).  In the v2 format the
+    // count mismatch is named at load time; dimension mismatches cannot even
+    // be *written* (the aligned block writer enforces a uniform dimension).
     const auto owner = trained_owner_bundle();
 
     {
@@ -188,25 +192,24 @@ TEST(DeploymentBundle, RejectsDeviceStateInconsistentWithStore) {
         }
     }
     {
-        // A feature hypervector of the wrong dimensionality.
+        // A hypervector of the wrong dimensionality is a save-side contract
+        // violation: the v2 block layout has one dim for the whole section.
         auto device = owner.export_device();
         hdlock::util::Xoshiro256ss rng(99);
         device.feature_hvs[1] = hdc::BinaryHV::random(64, rng);
-        try {
-            deserialize(serialize(device));
-            FAIL() << "expected FormatError";
-        } catch (const FormatError& error) {
-            EXPECT_NE(std::string(error.what()).find("feature hypervector 1"), std::string::npos)
-                << error.what();
-        }
+        EXPECT_THROW(serialize(device), ContractViolation);
     }
     {
-        // A value hypervector of the wrong dimensionality.
+        // Same mismatch through the legacy v1 writer: v1 can serialize it,
+        // so the v1 *load* path must keep naming the bad hypervector.
         auto device = owner.export_device();
         hdlock::util::Xoshiro256ss rng(100);
         device.value_hvs[0] = hdc::BinaryHV::random(128, rng);
+        std::ostringstream out(std::ios::binary);
+        util::BinaryWriter writer(out);
+        device.save_v1(writer);
         try {
-            deserialize(serialize(device));
+            deserialize(out.str());
             FAIL() << "expected FormatError";
         } catch (const FormatError& error) {
             EXPECT_NE(std::string(error.what()).find("value hypervector 0"), std::string::npos)
@@ -254,4 +257,182 @@ TEST(DeploymentBundle, SerializedBytesMatchesFileSize) {
     bundle.save_owner(path);
     EXPECT_EQ(bundle.serialized_bytes(), std::filesystem::file_size(path));
     std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// `.hdlk` v2: alignment, the mapped zero-copy load, and v1 compatibility.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Byte offset of the first occurrence of `tag`, or npos.
+std::size_t find_tag(const std::string& bytes, std::string_view tag) {
+    return bytes.find(tag);
+}
+
+}  // namespace
+
+TEST(DeploymentBundleV2, WritesVersion2WithAlignedSections) {
+    const std::string bytes = serialize(trained_owner_bundle().export_device());
+    ASSERT_GE(bytes.size(), 8u);
+    EXPECT_EQ(bytes.substr(0, 4), "HDLK");
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, sizeof(version));
+    EXPECT_EQ(version, 2u);
+    // The bulk sections live behind "PUB2"/"SEN2"/"MDL2" headers.
+    EXPECT_NE(find_tag(bytes, "PUB2"), std::string::npos);
+    EXPECT_NE(find_tag(bytes, "SEN2"), std::string::npos);
+    EXPECT_NE(find_tag(bytes, "MDL2"), std::string::npos);
+    EXPECT_EQ(find_tag(bytes, "PUBS"), std::string::npos);
+}
+
+TEST(DeploymentBundleV2, LegacyV1ArtifactStillLoads) {
+    const auto owner = trained_owner_bundle();
+    const auto device = owner.export_device();
+
+    for (const auto* bundle : {&owner, &device}) {
+        std::ostringstream out(std::ios::binary);
+        util::BinaryWriter writer(out);
+        bundle->save_v1(writer);
+        const auto restored = deserialize(out.str());
+        EXPECT_EQ(restored.kind, bundle->kind);
+        EXPECT_EQ(restored.tie_seed, bundle->tie_seed);
+        ASSERT_TRUE(restored.has_model());
+        // v1 and v2 restores describe the same encoder bit for bit.
+        const auto v1_encoder = restored.make_encoder();
+        const auto v2_encoder = deserialize(serialize(*bundle)).make_encoder();
+        util::Xoshiro256ss rng(77);
+        for (int trial = 0; trial < 4; ++trial) {
+            std::vector<int> levels(16);
+            for (auto& level : levels) level = static_cast<int>(rng.next_below(4));
+            EXPECT_EQ(v1_encoder->encode(levels), v2_encoder->encode(levels));
+        }
+    }
+}
+
+TEST(DeploymentBundleV2, OpenMappedAliasesTheMappingInsteadOfCopying) {
+    const auto owner = trained_owner_bundle();
+    const auto path = temp_path("hdlock_bundle_mmap_test.hdlk");
+    owner.export_device(path);
+
+    const auto mapped = api::DeploymentBundle::open_mapped(path);
+    ASSERT_TRUE(mapped.is_mapped());
+    ASSERT_NE(mapped.backing, nullptr);
+
+    // The zero-copy claim, checked directly: every bulk hypervector is a
+    // view whose words point inside the mapping.
+    const auto bytes = mapped.backing->bytes();
+    const auto* begin = bytes.data();
+    const auto* end = begin + bytes.size();
+    auto inside = [&](const void* p) {
+        return p >= static_cast<const void*>(begin) && p < static_cast<const void*>(end);
+    };
+    for (const auto& hv : mapped.feature_hvs) {
+        EXPECT_TRUE(hv.is_view());
+        EXPECT_TRUE(inside(hv.words().data()));
+    }
+    for (const auto& hv : mapped.store->bases()) {
+        EXPECT_TRUE(hv.is_view());
+        EXPECT_TRUE(inside(hv.words().data()));
+    }
+    ASSERT_TRUE(mapped.has_model());
+    for (int cls = 0; cls < mapped.model->n_classes(); ++cls) {
+        EXPECT_TRUE(mapped.model->class_sum(cls).is_view());
+        EXPECT_TRUE(inside(mapped.model->class_sum(cls).values().data()));
+    }
+
+    // And it serves the same encodings as the copying load.
+    const auto copied = api::DeploymentBundle::load_device(path);
+    const auto mapped_encoder = mapped.make_encoder();
+    const auto copied_encoder = copied.make_encoder();
+    util::Xoshiro256ss rng(91);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<int> levels(16);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(4));
+        EXPECT_EQ(mapped_encoder->encode_binary(levels), copied_encoder->encode_binary(levels));
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(DeploymentBundleV2, MappedDeviceServesAfterBundleAndDeviceAreGone) {
+    // The lifetime contract: sessions and encoders anchor the mapping, so a
+    // temporary Device (the CLI idiom) cannot leave them dangling.
+    data::SyntheticSpec spec;
+    spec.name = "bundle_mmap_serve";
+    spec.n_features = 16;
+    spec.n_classes = 3;
+    spec.n_train = 120;
+    spec.n_test = 40;
+    spec.n_levels = 4;
+    spec.seed = 8;
+    const auto benchmark = data::make_benchmark(spec);
+    api::Owner owner = api::Owner::provision(small_config());
+    owner.train(benchmark.train);
+    const auto path = temp_path("hdlock_bundle_mmap_serve_test.hdlk");
+    owner.export_device(path);
+
+    const auto reference = owner.make_device().predict(benchmark.test.X);
+    // Session minted from a *temporary* mapped Device.
+    const auto session = api::Device::open_mapped(path).open_session({.n_threads = 2});
+    EXPECT_EQ(session.predict(benchmark.test.X), reference);
+
+    // Owner bundles refuse the device-side mapped entry point.
+    const auto owner_path = temp_path("hdlock_bundle_mmap_owner_test.hdlk");
+    owner.save(owner_path);
+    EXPECT_THROW(api::Device::open_mapped(owner_path), FormatError);
+
+    std::filesystem::remove(path);
+    std::filesystem::remove(owner_path);
+}
+
+TEST(DeploymentBundleV2, MutatingAMappedModelDetachesCopyOnWrite) {
+    const auto owner = trained_owner_bundle();
+    const auto path = temp_path("hdlock_bundle_mmap_cow_test.hdlk");
+    owner.export_device(path);
+
+    auto mapped = api::DeploymentBundle::open_mapped(path);
+    ASSERT_TRUE(mapped.has_model());
+    hdc::HdcModel model = *mapped.model;
+    hdc::IntHV sum = model.class_sum(0);
+    ASSERT_TRUE(sum.is_view());
+    const std::int32_t before = sum[0];
+    sum.values()[0] = before + 7;  // mutation detaches...
+    EXPECT_FALSE(sum.is_view());
+    EXPECT_EQ(sum[0], before + 7);
+    // ...and the mapping (and every other view) is untouched.
+    EXPECT_EQ(mapped.model->class_sum(0)[0], before);
+    std::filesystem::remove(path);
+}
+
+TEST(DeploymentBundleV2, RejectsTruncatedAndCorruptPadding) {
+    const auto device = trained_owner_bundle().export_device();
+    const std::string bytes = serialize(device);
+
+    // Truncation anywhere must throw, on the stream and the mapped reader.
+    for (const std::size_t keep :
+         {std::size_t{16}, bytes.size() / 3, bytes.size() / 2, bytes.size() - 1}) {
+        const std::string cut = bytes.substr(0, keep);
+        EXPECT_THROW(deserialize(cut), FormatError) << "stream, kept " << keep;
+        util::BinaryReader reader(
+            std::as_bytes(std::span<const char>(cut.data(), cut.size())));
+        EXPECT_THROW(api::DeploymentBundle::load(reader), FormatError)
+            << "mapped, kept " << keep;
+    }
+
+    // Non-zero bytes inside a section's alignment padding mean the section
+    // offsets are off (a corrupt or hand-spliced artifact): named rejection
+    // instead of interpreting misaligned words.
+    const std::size_t pub2 = bytes.find("PUB2");
+    ASSERT_NE(pub2, std::string::npos);
+    const std::size_t header_end = pub2 + 4 + 3 * 8;  // tag + dim/pool/levels
+    const std::size_t padded_to = (header_end + 63) / 64 * 64;
+    ASSERT_GT(padded_to, header_end) << "fixture layout: header must need padding";
+    std::string corrupt = bytes;
+    corrupt[header_end] = 'X';
+    try {
+        deserialize(corrupt);
+        FAIL() << "expected FormatError";
+    } catch (const FormatError& error) {
+        EXPECT_NE(std::string(error.what()).find("padding"), std::string::npos) << error.what();
+    }
 }

@@ -7,6 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "api/facades.hpp"
 #include "data/synthetic.hpp"
@@ -271,4 +277,195 @@ TEST(InferenceSession, RejectsMismatchedComponents) {
     EXPECT_THROW(api::InferenceSession(pipeline.owner.encoder(), bad_disc,
                                        pipeline.owner.model()),
                  ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// The persistent serving core: pooled dispatch, the async micro-batching
+// front door, and the SubmitQueue underneath it.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceSession, PooledAndSpawnDispatchAreBitIdentical) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    std::vector<int> reference;
+    for (const api::DispatchMode mode : {api::DispatchMode::pooled, api::DispatchMode::spawn}) {
+        for (const std::size_t n_threads : {1u, 2u, 4u}) {
+            api::SessionOptions options;
+            options.dispatch = mode;
+            options.n_threads = n_threads;
+            options.min_rows_per_thread = 1;
+            const auto session = pipeline.owner.open_session(options);
+            EXPECT_EQ(session.dispatch_mode(), mode);
+            const auto predictions = session.predict(pipeline.data.test.X);
+            if (reference.empty()) {
+                reference = predictions;
+            } else {
+                EXPECT_EQ(predictions, reference)
+                    << (mode == api::DispatchMode::pooled ? "pooled" : "spawn") << " T"
+                    << n_threads;
+            }
+        }
+    }
+}
+
+TEST(InferenceSession, PoolIsReusedAcrossManyBatches) {
+    // The tentpole claim: many dispatches, one persistent pool, results
+    // identical every round (slot-pinned scratch carries no row state over).
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::non_binary);
+    api::SessionOptions options;
+    options.n_threads = 4;
+    options.min_rows_per_thread = 1;
+    const auto session = pipeline.owner.open_session(options);
+    const auto reference = session.predict(pipeline.data.test.X);
+    for (int round = 0; round < 50; ++round) {
+        ASSERT_EQ(session.predict(pipeline.data.test.X), reference) << "round " << round;
+    }
+    EXPECT_EQ(session.rows_served(), 51 * pipeline.data.test.n_samples());
+}
+
+TEST(InferenceSession, PredictAsyncMatchesPredictBitExactly) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    const auto session = pipeline.owner.open_session(options);
+    const auto reference = session.predict(pipeline.data.test.X);
+
+    // Zero-row: a ready, empty future without touching the queue.
+    auto empty = session.predict_async(util::Matrix<float>());
+    EXPECT_TRUE(empty.get().empty());
+
+    // Whole batch through the async path.
+    auto whole = session.predict_async(pipeline.data.test.X);
+    EXPECT_EQ(whole.get(), reference);
+
+    // Row-at-a-time through the async path: micro-batching must not change
+    // a single label.
+    std::vector<std::future<std::vector<int>>> futures;
+    for (std::size_t r = 0; r < pipeline.data.test.n_samples(); ++r) {
+        util::Matrix<float> row(1, pipeline.data.test.n_features());
+        const auto source = pipeline.data.test.X.row(r);
+        std::copy(source.begin(), source.end(), row.row(0).begin());
+        futures.push_back(session.predict_async(std::move(row)));
+    }
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+        const auto labels = futures[r].get();
+        ASSERT_EQ(labels.size(), 1u);
+        EXPECT_EQ(labels[0], reference[r]) << "row " << r;
+    }
+
+    // Shape violations surface in the caller, not in the dispatcher.
+    EXPECT_THROW(session.predict_async(util::Matrix<float>(2, 5)), ContractViolation);
+
+    // And the async path agrees at every thread count (1 worker, many, and
+    // the spawn dispatch), not just the one above.
+    for (const std::size_t n_threads : {1u, 4u}) {
+        api::SessionOptions other;
+        other.n_threads = n_threads;
+        other.min_rows_per_thread = 1;
+        const auto other_session = pipeline.owner.open_session(other);
+        EXPECT_EQ(other_session.predict_async(pipeline.data.test.X).get(), reference)
+            << n_threads << " threads";
+    }
+}
+
+TEST(InferenceSession, ConcurrentSubmittersUnderStress) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    options.max_batch = 32;
+    options.max_queue_rows = 64;  // small queue: exercises backpressure
+    const auto session = pipeline.owner.open_session(options);
+    const auto reference = session.predict(pipeline.data.test.X);
+    const std::size_t n_rows = pipeline.data.test.n_samples();
+
+    constexpr std::size_t kSubmitters = 6;
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<int>> results(kSubmitters);
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            std::vector<std::future<std::vector<int>>> futures;
+            for (std::size_t r = 0; r < n_rows; ++r) {
+                util::Matrix<float> row(1, pipeline.data.test.n_features());
+                const auto source = pipeline.data.test.X.row(r);
+                std::copy(source.begin(), source.end(), row.row(0).begin());
+                futures.push_back(session.predict_async(std::move(row)));
+            }
+            for (auto& future : futures) {
+                const auto labels = future.get();
+                results[t].push_back(labels.at(0));
+            }
+        });
+    }
+    for (auto& submitter : submitters) submitter.join();
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+        EXPECT_EQ(results[t], reference) << "submitter " << t;
+    }
+    EXPECT_EQ(session.rows_served(), (kSubmitters + 1) * n_rows);
+}
+
+TEST(InferenceSession, ConcurrentPredictCallersShareThePoolSafely) {
+    // Plain predict() from many caller threads on one shared session — the
+    // TSan job drives this test to prove slot-pinned scratch stays private.
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::non_binary);
+    api::SessionOptions options;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    const auto session = pipeline.owner.open_session(options);
+    const auto reference = session.predict(pipeline.data.test.X);
+
+    std::vector<std::thread> callers;
+    // Not vector<bool>: adjacent packed bits written from different threads
+    // would be a (test-side) data race.
+    std::array<std::atomic<bool>, 4> agree{};
+    for (std::size_t t = 0; t < agree.size(); ++t) {
+        callers.emplace_back([&, t] {
+            bool all = true;
+            for (int round = 0; round < 5; ++round) {
+                all = all && session.predict(pipeline.data.test.X) == reference;
+            }
+            agree[t].store(all);
+        });
+    }
+    for (auto& caller : callers) caller.join();
+    for (std::size_t t = 0; t < agree.size(); ++t) {
+        EXPECT_TRUE(agree[t].load()) << "caller " << t;
+    }
+}
+
+TEST(SubmitQueue, CoalescesQueuedRequestsIntoOneMicroBatch) {
+    api::SubmitQueue queue(/*max_rows=*/1024);
+    for (int i = 0; i < 3; ++i) {
+        queue.push(api::AsyncRequest{.rows = util::Matrix<float>(2, 4), .promise = {}});
+    }
+    EXPECT_EQ(queue.queued_rows(), 6u);
+    const auto batch = queue.pop_batch(/*max_batch=*/256, std::chrono::microseconds(0));
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(queue.queued_rows(), 0u);
+}
+
+TEST(SubmitQueue, RespectsMaxBatchAndTakesWholeRequests) {
+    api::SubmitQueue queue(/*max_rows=*/1024);
+    for (int i = 0; i < 4; ++i) {
+        queue.push(api::AsyncRequest{.rows = util::Matrix<float>(3, 4), .promise = {}});
+    }
+    // 3 + 3 = 6 <= 7, adding the third request would exceed max_batch.
+    const auto batch = queue.pop_batch(/*max_batch=*/7, std::chrono::microseconds(0));
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_EQ(queue.queued_rows(), 6u);
+}
+
+TEST(SubmitQueue, OversizedRequestIsAdmittedAloneAndCloseWakesProducers) {
+    api::SubmitQueue queue(/*max_rows=*/4);
+    // Larger than the whole queue: admitted when the queue is empty.
+    queue.push(api::AsyncRequest{.rows = util::Matrix<float>(9, 2), .promise = {}});
+    EXPECT_EQ(queue.queued_rows(), 9u);
+    const auto batch = queue.pop_batch(/*max_batch=*/4, std::chrono::microseconds(0));
+    ASSERT_EQ(batch.size(), 1u);  // whole requests are never split
+    EXPECT_EQ(batch.front().rows.rows(), 9u);
+
+    queue.close();
+    EXPECT_THROW(queue.push(api::AsyncRequest{.rows = util::Matrix<float>(1, 2), .promise = {}}),
+                 Error);
+    EXPECT_TRUE(queue.pop_batch(4, std::chrono::microseconds(0)).empty());
 }

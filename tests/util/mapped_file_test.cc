@@ -1,0 +1,135 @@
+// Tests for util::MappedFile (src/util/mapped_file.*) and the span-backed
+// BinaryReader it feeds: byte-for-byte agreement between the mmap and the
+// buffered-read fallback, the 64-byte alignment contract, and the
+// view/align primitives of the serialization layer.
+
+#include "util/mapped_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+std::filesystem::path temp_path(const std::string& name) {
+    return std::filesystem::temp_directory_path() / name;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+TEST(MappedFile, MappedAndBufferedAgreeByteForByte) {
+    const auto path = temp_path("hdlock_mapped_file_test.bin");
+    std::string contents(100000, '\0');
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+        contents[i] = static_cast<char>((i * 31 + 7) & 0xFF);
+    }
+    write_file(path, contents);
+
+    const auto mapped = util::MappedFile::open(path);
+    const auto buffered = util::MappedFile::open_buffered(path);
+    EXPECT_FALSE(buffered.is_mapped());
+    ASSERT_EQ(mapped.size(), contents.size());
+    ASSERT_EQ(buffered.size(), contents.size());
+    EXPECT_EQ(std::memcmp(mapped.bytes().data(), contents.data(), contents.size()), 0);
+    EXPECT_EQ(std::memcmp(buffered.bytes().data(), contents.data(), contents.size()), 0);
+
+    // The alignment contract both modes promise (the v2 word sections
+    // reinterpret offsets inside this buffer as 64-bit words).
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mapped.bytes().data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffered.bytes().data()) % 64, 0u);
+
+    std::filesystem::remove(path);
+}
+
+TEST(MappedFile, EmptyFileAndMissingFile) {
+    const auto path = temp_path("hdlock_mapped_file_empty_test.bin");
+    write_file(path, "");
+    const auto empty = util::MappedFile::open(path);
+    EXPECT_EQ(empty.size(), 0u);
+    std::filesystem::remove(path);
+
+    EXPECT_THROW(util::MappedFile::open(temp_path("hdlock_no_such_file.bin")), IoError);
+    EXPECT_THROW(util::MappedFile::open_buffered(temp_path("hdlock_no_such_file.bin")), IoError);
+}
+
+TEST(MappedFile, MoveTransfersOwnership) {
+    const auto path = temp_path("hdlock_mapped_file_move_test.bin");
+    write_file(path, "hello, mapping");
+    auto first = util::MappedFile::open(path);
+    const auto* data = first.bytes().data();
+    util::MappedFile second(std::move(first));
+    EXPECT_EQ(second.bytes().data(), data);
+    EXPECT_EQ(first.size(), 0u);  // NOLINT(bugprone-use-after-move): moved-from is empty
+    util::MappedFile third;
+    third = std::move(second);
+    EXPECT_EQ(third.size(), 14u);
+    std::filesystem::remove(path);
+}
+
+TEST(SpanReader, ReadsTheSameValuesAsTheStreamReader) {
+    std::ostringstream out(std::ios::binary);
+    util::BinaryWriter writer(out);
+    writer.write_tag("TST1");
+    writer.write_u32(42);
+    writer.align_to(64);
+    writer.write_u64(0xDEADBEEFCAFEBABEULL);
+    const std::string bytes = out.str();
+    EXPECT_EQ(bytes.size(), 64u + 8u);  // header padded to one alignment unit
+
+    std::istringstream in(bytes, std::ios::binary);
+    util::BinaryReader stream_reader(in);
+    util::BinaryReader span_reader(
+        std::as_bytes(std::span<const char>(bytes.data(), bytes.size())));
+    EXPECT_FALSE(stream_reader.mapped());
+    EXPECT_TRUE(span_reader.mapped());
+
+    for (util::BinaryReader* reader : {&stream_reader, &span_reader}) {
+        reader->expect_tag("TST1");
+        EXPECT_EQ(reader->read_u32(), 42u);
+        reader->align_to(64);
+        EXPECT_EQ(reader->offset(), 64u);
+        EXPECT_EQ(reader->read_u64(), 0xDEADBEEFCAFEBABEULL);
+    }
+}
+
+TEST(SpanReader, ViewBytesAliasesTheBufferAndChecksBounds) {
+    const std::string bytes = "0123456789";
+    util::BinaryReader reader(std::as_bytes(std::span<const char>(bytes.data(), bytes.size())));
+    const std::byte* view = reader.view_bytes(4);
+    EXPECT_EQ(static_cast<const void*>(view), static_cast<const void*>(bytes.data()));
+    EXPECT_EQ(reader.offset(), 4u);
+    EXPECT_THROW(reader.view_bytes(100), FormatError);
+
+    std::istringstream in(bytes, std::ios::binary);
+    util::BinaryReader stream_reader(in);
+    EXPECT_THROW(stream_reader.view_bytes(2), ContractViolation);
+}
+
+TEST(SpanReader, RejectsNonZeroPaddingAndShortBuffers) {
+    std::string padded(64, '\0');
+    padded[0] = 'A';  // one payload byte, 63 pad bytes
+    padded[10] = 'X';  // corrupt pad
+    util::BinaryReader reader(
+        std::as_bytes(std::span<const char>(padded.data(), padded.size())));
+    reader.view_bytes(1);
+    EXPECT_THROW(reader.align_to(64), FormatError);
+
+    util::BinaryReader short_reader(std::as_bytes(std::span<const char>(padded.data(), 3)));
+    short_reader.view_bytes(1);
+    EXPECT_THROW(short_reader.align_to(64), FormatError);
+}
+
+}  // namespace

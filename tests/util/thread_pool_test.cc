@@ -1,0 +1,149 @@
+// Tests for the persistent worker pool (src/util/thread_pool.*): slot ID
+// contracts, full coverage of parallel_for ranges, exception transport out
+// of workers, reuse across many dispatches, and concurrent callers sharing
+// one pool.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+using namespace hdlock;
+
+TEST(ThreadPool, RunsSubmittedTasksWithValidSlotIds) {
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::mutex mutex;
+    std::set<std::size_t> slots;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&](std::size_t slot) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                slots.insert(slot);
+            }
+            done.fetch_add(1);
+        });
+    }
+    while (done.load() < 64) std::this_thread::yield();
+    for (const auto slot : slots) EXPECT_LT(slot, pool.size());
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne) {
+    util::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&](std::size_t) { ran.store(true); });
+    while (!ran.load()) std::this_thread::yield();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    util::ThreadPool pool(3);
+    for (std::size_t n = 1; n <= 40; ++n) {
+        for (std::size_t chunks = 1; chunks <= 9; ++chunks) {
+            std::vector<std::atomic<int>> hits(n);
+            util::parallel_for(pool, n, chunks,
+                               [&](std::size_t begin, std::size_t end, std::size_t slot) {
+                                   ASSERT_LT(begin, end);
+                                   ASSERT_LT(slot, pool.size());
+                                   for (std::size_t i = begin; i < end; ++i) {
+                                       hits[i].fetch_add(1);
+                                   }
+                               });
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " chunks=" << chunks;
+            }
+        }
+    }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+    util::ThreadPool pool(2);
+    bool ran = false;
+    util::parallel_for(pool, 0, 4, [&](std::size_t, std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleChunkRunsInline) {
+    // The degenerate fan-out must not pay dispatch: it runs on the calling
+    // thread (observable through thread identity).
+    util::ThreadPool pool(2);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id executed;
+    util::parallel_for(pool, 5, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 5u);
+        executed = std::this_thread::get_id();
+    });
+    EXPECT_EQ(executed, caller);
+}
+
+TEST(ParallelFor, PropagatesTheFirstWorkerException) {
+    util::ThreadPool pool(4);
+    EXPECT_THROW(util::parallel_for(pool, 32, 4,
+                                    [](std::size_t begin, std::size_t, std::size_t) {
+                                        if (begin >= 8) throw std::runtime_error("worker boom");
+                                    }),
+                 std::runtime_error);
+
+    // The pool survives the exception and keeps serving.
+    std::atomic<int> sum{0};
+    util::parallel_for(pool, 10, 4, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, ConcurrentCallersShareOnePool) {
+    util::ThreadPool pool(4);
+    constexpr std::size_t kCallers = 6;
+    constexpr std::size_t kN = 512;
+    std::vector<std::thread> callers;
+    std::vector<std::uint64_t> totals(kCallers);
+    for (std::size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&pool, &totals, c] {
+            std::vector<std::atomic<std::uint32_t>> hits(kN);
+            for (int round = 0; round < 10; ++round) {
+                util::parallel_for(pool, kN, 4,
+                                   [&](std::size_t begin, std::size_t end, std::size_t) {
+                                       for (std::size_t i = begin; i < end; ++i) {
+                                           hits[i].fetch_add(1);
+                                       }
+                                   });
+            }
+            std::uint64_t total = 0;
+            for (auto& hit : hits) total += hit.load();
+            totals[c] = total;
+        });
+    }
+    for (auto& caller : callers) caller.join();
+    for (const auto total : totals) EXPECT_EQ(total, kN * 10);
+}
+
+TEST(ThreadPool, SubmitAfterUseKeepsWorkingAcrossManyDispatches) {
+    // Pool reuse is the whole point: thousands of dispatches, zero spawns.
+    util::ThreadPool pool(2);
+    std::uint64_t total = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        util::parallel_for(pool, 8, 2, [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i);
+        });
+        total += sum.load();
+    }
+    EXPECT_EQ(total, 2000u * 28u);
+}
+
+}  // namespace

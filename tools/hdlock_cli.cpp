@@ -147,7 +147,7 @@ int cmd_eval(const Args& args) {
         const auto options = cli::parse_eval_options(args, "hdlock_cli eval");
         return eval::run_eval_cli(options, eval::builtin_registry(), std::cout, std::cerr);
     }
-    args.check_known("eval", {"dir", "data", "side", "threads"});
+    args.check_known("eval", {"dir", "data", "side", "threads", "mmap"});
     const Paths paths{fs::path(args.require("dir"))};
     const auto dataset = data::load_csv(args.require("data"));
 
@@ -160,11 +160,16 @@ int cmd_eval(const Args& args) {
     if (side != "auto" && side != "owner" && side != "device") {
         throw UsageError("unknown --side (use auto|owner|device): " + side);
     }
+    const std::string mmap = args.get("mmap", "on");
+    if (mmap != "on" && mmap != "off") throw UsageError("unknown --mmap (use on|off): " + mmap);
 
     // The session outlives the facade it came from: it shares the encoder
-    // and copies the discretizer + model.
+    // (and, under --mmap on, the bundle mapping) and copies the discretizer
+    // + model; device startup defaults to the zero-copy mapped path.
     const api::InferenceSession session =
-        use_device ? api::Device::load(paths.device).open_session(session_options)
+        use_device ? (mmap == "on" ? api::Device::open_mapped(paths.device)
+                                   : api::Device::load(paths.device))
+                         .open_session(session_options)
                    : api::Owner::load(paths.owner).open_session(session_options);
     const double accuracy = session.evaluate(dataset);
     std::cout << "accuracy on " << dataset.n_samples() << " samples ("
