@@ -52,7 +52,7 @@ DeploymentBundle DeploymentBundle::from_deployment(const Deployment& deployment)
     bundle.kind = BundleKind::owner;
     bundle.tie_seed = deployment.encoder->tie_seed();
     bundle.store = deployment.store;
-    bundle.key = deployment.secure->key();
+    bundle.key = deployment.secure->key().clone();
     bundle.value_mapping = deployment.secure->value_mapping();
     return bundle;
 }
@@ -96,12 +96,15 @@ void DeploymentBundle::save(util::BinaryWriter& writer) const {
         key->save(writer);
         save_value_mapping(writer, *value_mapping);
     } else {
+        // hdlock-lint: device-begin (SEN2 writer: the bytes that ship; the
+        // confinement taint scan proves no secret identifier is in reach)
         writer.write_tag("SEN2");
         writer.write_u64(feature_hvs.size());
         writer.write_u64(value_hvs.size());
         writer.write_u64(store->dim());
         hdc::save_hv_block(writer, feature_hvs, store->dim());
         hdc::save_hv_block(writer, value_hvs, store->dim());
+        // hdlock-lint: device-end
     }
     if (discretizer) discretizer->save(writer);
     if (model) model->save_v2(writer);
@@ -158,6 +161,7 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
             throw FormatError("DeploymentBundle: value mapping does not match store levels");
         }
     } else if (version >= 2) {
+        // hdlock-lint: device-begin (SEN2/SENC load: runs on the device)
         reader.expect_tag("SEN2");
         const std::uint64_t n_features = reader.read_u64();
         const std::uint64_t n_levels = reader.read_u64();
@@ -214,6 +218,7 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
                                   " but the store dim is " + std::to_string(bundle.store->dim()));
             }
         }
+        // hdlock-lint: device-end
     }
     if (flags & kFlagDiscretizer) bundle.discretizer = hdc::MinMaxDiscretizer::load(reader);
     if (flags & kFlagModel) {
@@ -255,6 +260,7 @@ DeploymentBundle DeploymentBundle::load_owner(const std::filesystem::path& path)
     return bundle;
 }
 
+// hdlock-lint: device-begin (the device-side entry point)
 DeploymentBundle DeploymentBundle::load_device(const std::filesystem::path& path) {
     DeploymentBundle bundle = util::load_file<DeploymentBundle>(path);
     if (bundle.kind != BundleKind::device) {
@@ -264,6 +270,7 @@ DeploymentBundle DeploymentBundle::load_device(const std::filesystem::path& path
     }
     return bundle;
 }
+// hdlock-lint: device-end
 
 DeploymentBundle DeploymentBundle::load_any(const std::filesystem::path& path) {
     return util::load_file<DeploymentBundle>(path);
@@ -311,12 +318,25 @@ DeploymentBundle DeploymentBundle::device_from_materialized(
     return device;
 }
 
+DeploymentBundle DeploymentBundle::copy_without_secrets() const {
+    DeploymentBundle copy;
+    copy.kind = kind;
+    copy.tie_seed = tie_seed;
+    copy.store = store;
+    copy.feature_hvs = feature_hvs;
+    copy.value_hvs = value_hvs;
+    copy.discretizer = discretizer;
+    copy.model = model;
+    copy.backing = backing;
+    return copy;
+}
+
 DeploymentBundle DeploymentBundle::export_device() const {
     HDLOCK_EXPECTS(store != nullptr, "DeploymentBundle::export_device: no public store");
-    if (kind == BundleKind::device) return *this;
+    if (kind == BundleKind::device) return copy_without_secrets();
     HDLOCK_EXPECTS(has_key(), "DeploymentBundle::export_device: owner bundle without key");
-    return device_from_materialized(LockedEncoder(store, *key, *value_mapping, tie_seed), store,
-                                    discretizer, model);
+    return device_from_materialized(LockedEncoder(store, key->clone(), *value_mapping, tie_seed),
+                                    store, discretizer, model);
 }
 
 void DeploymentBundle::export_device(const std::filesystem::path& path) const {
@@ -326,9 +346,11 @@ void DeploymentBundle::export_device(const std::filesystem::path& path) const {
 std::shared_ptr<const hdc::Encoder> DeploymentBundle::make_encoder() const {
     if (kind == BundleKind::owner) {
         HDLOCK_EXPECTS(has_key(), "DeploymentBundle::make_encoder: owner bundle without key");
-        return std::make_shared<const LockedEncoder>(store, *key, *value_mapping, tie_seed);
+        return std::make_shared<const LockedEncoder>(store, key->clone(), *value_mapping, tie_seed);
     }
+    // hdlock-lint: device-begin (the sealed, key-free construction path)
     return std::make_shared<const SealedEncoder>(feature_hvs, value_hvs, tie_seed, backing);
+    // hdlock-lint: device-end
 }
 
 std::uint64_t DeploymentBundle::serialized_bytes() const {

@@ -51,6 +51,7 @@
 #include "core/stores.hpp"
 #include "hdc/discretize.hpp"
 #include "hdc/model.hpp"
+#include "util/confinement.hpp"
 #include "util/mapped_file.hpp"
 
 namespace hdlock::api {
@@ -68,8 +69,10 @@ struct DeploymentBundle {
     std::shared_ptr<const PublicStore> store;
 
     /// Owner-only secret section; never populated for device bundles.
-    std::optional<LockKey> key;
-    std::optional<ValueMapping> value_mapping;
+    /// A bundle holding one is move-only (LockKey forbids copies) — the
+    /// copy_without_secrets() helper below is the deliberate escape hatch.
+    HDLOCK_SECRET std::optional<LockKey> key;
+    HDLOCK_SECRET std::optional<ValueMapping> value_mapping;
 
     /// Device-only materialized encoder state (Eq. 9 products and the
     /// level-ordered ValHVs); empty for owner bundles.
@@ -124,6 +127,11 @@ struct DeploymentBundle {
     /// state + whatever discretizer/model this bundle carries.
     DeploymentBundle export_device() const;
     void export_device(const std::filesystem::path& path) const;
+
+    /// Duplicates everything except the secret section (key/value mapping
+    /// stay empty).  The only sanctioned way to copy a bundle — bundles are
+    /// move-only because the secret section is.
+    DeploymentBundle copy_without_secrets() const;
 
     /// Builds a device bundle from an already-materialized encoder (no
     /// Eq. 9 re-computation); the single source of the device-bundle shape,

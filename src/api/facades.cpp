@@ -32,7 +32,7 @@ Owner Owner::load(const std::filesystem::path& path) {
     Owner owner;
     owner.deployment_.store = bundle.store;
     owner.deployment_.encoder = std::make_shared<const LockedEncoder>(
-        bundle.store, *bundle.key, *bundle.value_mapping, bundle.tie_seed);
+        bundle.store, bundle.key->clone(), *bundle.value_mapping, bundle.tie_seed);
     owner.deployment_.secure =
         std::make_shared<SecureStore>(std::move(*bundle.key), std::move(*bundle.value_mapping));
     owner.discretizer_ = std::move(bundle.discretizer);
@@ -92,11 +92,13 @@ KeyAuditReport Owner::audit() const {
 }
 
 void Owner::rotate_key(std::uint64_t seed) {
-    const LockKey fresh = rekey(deployment_.secure->key(), *deployment_.store, seed);
+    LockKey fresh = rekey(deployment_.secure->key(), *deployment_.store, seed);
     ValueMapping mapping = deployment_.secure->value_mapping();
     deployment_.encoder = std::make_shared<const LockedEncoder>(
-        deployment_.store, fresh, mapping, deployment_.encoder->tie_seed());
-    deployment_.secure = std::make_shared<SecureStore>(fresh, std::move(mapping));
+        deployment_.store, fresh.clone(), mapping, deployment_.encoder->tie_seed());
+    // The old SecureStore (and the compromised key inside it) is dropped
+    // here; LockKey scrubs its storage on destruction.
+    deployment_.secure = std::make_shared<SecureStore>(std::move(fresh), std::move(mapping));
     model_.reset();  // fitted against the old feature hypervectors
 }
 

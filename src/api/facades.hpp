@@ -32,6 +32,7 @@
 #include "core/locked_encoder.hpp"
 #include "data/dataset.hpp"
 #include "hdc/classifier.hpp"
+#include "util/confinement.hpp"
 
 namespace hdlock::api {
 
@@ -45,7 +46,7 @@ struct TrainOptions {
 class Device;
 
 /// The privileged side of a deployment.
-class Owner {
+class HDLOCK_OWNER_ONLY Owner {
 public:
     /// Provisions a fresh deployment (public store, key, locked encoder).
     static Owner provision(const DeploymentConfig& config);
@@ -81,8 +82,10 @@ public:
     InferenceSession open_session(SessionOptions options = {}) const;
 
     // Privileged accessors — these exist only on the Owner facade.
-    const LockKey& key() const { return deployment_.secure->key(); }
-    const ValueMapping& value_mapping() const { return deployment_.secure->value_mapping(); }
+    HDLOCK_SECRET const LockKey& key() const { return deployment_.secure->key(); }
+    HDLOCK_SECRET const ValueMapping& value_mapping() const {
+        return deployment_.secure->value_mapping();
+    }
     const PublicStore& store() const noexcept { return *deployment_.store; }
     std::shared_ptr<const LockedEncoder> encoder() const noexcept { return deployment_.encoder; }
     const hdc::HdcModel& model() const;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 #include <set>
+#include <utility>
 
 namespace hdlock {
 
@@ -15,6 +16,34 @@ std::uint64_t ceil_log2(std::uint64_t value) {
 }
 
 }  // namespace
+
+LockKey::LockKey(LockKey&& other) noexcept
+    : n_features_(std::exchange(other.n_features_, 0)),
+      n_layers_(std::exchange(other.n_layers_, 0)),
+      entries_(std::move(other.entries_)) {}
+
+LockKey& LockKey::operator=(LockKey&& other) noexcept {
+    if (this != &other) {
+        entries_ = std::move(other.entries_);  // scrubs the overwritten entries
+        n_features_ = std::exchange(other.n_features_, 0);
+        n_layers_ = std::exchange(other.n_layers_, 0);
+    }
+    return *this;
+}
+
+LockKey LockKey::clone() const {
+    LockKey copy;
+    copy.n_features_ = n_features_;
+    copy.n_layers_ = n_layers_;
+    copy.entries_ = entries_;
+    return copy;
+}
+
+void LockKey::scrub() noexcept {
+    entries_.clear();  // secure_zero over every live entry
+    n_features_ = 0;
+    n_layers_ = 0;
+}
 
 LockKey LockKey::random(std::size_t n_features, std::size_t n_layers, std::size_t pool_size,
                         std::size_t dim, std::uint64_t seed) {
@@ -87,7 +116,7 @@ const SubKeyEntry& LockKey::entry(std::size_t feature, std::size_t layer) const 
 
 std::span<const SubKeyEntry> LockKey::sub_key(std::size_t feature) const {
     HDLOCK_EXPECTS(feature < n_features_, "LockKey::sub_key: feature out of range");
-    return std::span<const SubKeyEntry>(entries_)
+    return std::span<const SubKeyEntry>(entries_.data(), entries_.size())
         .subspan(feature * entries_per_feature(), entries_per_feature());
 }
 
@@ -96,7 +125,7 @@ LockKey LockKey::with_entry(std::size_t feature, std::size_t layer, SubKeyEntry 
     HDLOCK_EXPECTS(layer < entries_per_feature(), "LockKey::with_entry: layer out of range");
     HDLOCK_EXPECTS(!is_plain() || entry.rotation == 0,
                    "LockKey::with_entry: plain keys cannot carry rotations");
-    LockKey copy = *this;
+    LockKey copy = clone();
     copy.entries_[feature * entries_per_feature() + layer] = entry;
     return copy;
 }

@@ -12,13 +12,21 @@
 /// 0 (the paper's footnote 2: with P = N the pool entries double as the
 /// feature hypervectors of a normal HDC model).  This unifies Fig. 8's
 /// L = 0 baseline with the locked configurations.
+///
+/// Key material is confinement-checked: this header is a secret header
+/// (hdlock-lint: secret-header) — device-layer translation units must never
+/// reach it, directly or transitively (tools/lint/hdlock_lint enforces
+/// this).  LockKey itself is move-only with zero-on-destruction scrubbing;
+/// the only way to duplicate a key is the explicit, greppable clone().
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/confinement.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/secure_mem.hpp"
 #include "util/serialize.hpp"
 
 namespace hdlock {
@@ -31,9 +39,28 @@ struct SubKeyEntry {
     bool operator==(const SubKeyEntry& other) const = default;
 };
 
-class LockKey {
+class HDLOCK_SECRET LockKey {
 public:
     LockKey() = default;
+
+    /// Move-only: an accidental copy is exactly the kind of key-material
+    /// spread the confinement lint exists to flag.  Moves scrub the source
+    /// (it reports empty afterwards); destruction zeroes the entry storage
+    /// before releasing it (util::secure_zero via util::SecureVector).
+    LockKey(const LockKey&) = delete;
+    LockKey& operator=(const LockKey&) = delete;
+    LockKey(LockKey&& other) noexcept;
+    LockKey& operator=(LockKey&& other) noexcept;
+    ~LockKey() = default;
+
+    /// The one deliberate duplication path (owner-side tooling: audits,
+    /// canonical forms, bundle export).  Grep for clone() to enumerate every
+    /// place a key is copied.
+    LockKey clone() const;
+
+    /// Explicitly discards the key material now: zeroes the entry storage
+    /// and leaves the key empty (n_features() == 0).
+    void scrub() noexcept;
 
     /// Uniformly random key: every entry draws base_index from [0, pool_size)
     /// and rotation from [0, dim).  Feature sub-keys are kept pairwise
@@ -80,7 +107,7 @@ public:
 private:
     std::size_t n_features_ = 0;
     std::size_t n_layers_ = 0;  // 0 = plain
-    std::vector<SubKeyEntry> entries_;
+    util::SecureVector<SubKeyEntry> entries_;
 };
 
 }  // namespace hdlock

@@ -79,8 +79,8 @@ KeyAuditReport audit_key(const LockKey& key, const PublicStore& store) {
 }
 
 LockKey canonicalize(const LockKey& key) {
-    if (key.is_plain()) return key;
-    LockKey canonical = key;
+    if (key.is_plain()) return key.clone();
+    LockKey canonical = key.clone();
     for (std::size_t i = 0; i < key.n_features(); ++i) {
         const auto sorted = canonical_sub_key(key, i);
         for (std::size_t l = 0; l < sorted.size(); ++l) {

@@ -14,6 +14,10 @@
 /// Equality of keys is therefore defined on the canonical (sorted) form, and
 /// the audit detects materialization-level aliases rather than just textual
 /// duplicates.
+///
+/// Everything here manipulates raw key material and is owner-side only
+/// (hdlock-lint: secret-header — device translation units must never reach
+/// this header; tools/lint/hdlock_lint enforces it).
 
 #include <cstdint>
 #include <string>
@@ -21,6 +25,7 @@
 
 #include "core/key.hpp"
 #include "core/stores.hpp"
+#include "util/confinement.hpp"
 
 namespace hdlock {
 
@@ -42,22 +47,24 @@ struct KeyAuditReport {
 
 /// Audits `key` against the store it will index. Bounds violations are
 /// reported (not thrown) so the audit can run on untrusted key material.
-KeyAuditReport audit_key(const LockKey& key, const PublicStore& store);
+HDLOCK_OWNER_ONLY KeyAuditReport audit_key(const LockKey& key, const PublicStore& store);
 
 /// Canonical form: each sub-key's entries sorted by (base_index, rotation).
 /// Materializes identically to the input (Eq. 9 products commute); equal
 /// canonical forms <=> textually aliased keys.
-LockKey canonicalize(const LockKey& key);
+HDLOCK_OWNER_ONLY LockKey canonicalize(const LockKey& key);
 
 /// True when the two keys materialize the same feature hypervectors against
 /// `store` (the semantic equality that matters for encoder behaviour).
-bool materialize_equal(const LockKey& a, const LockKey& b, const PublicStore& store);
+HDLOCK_OWNER_ONLY bool materialize_equal(const LockKey& a, const LockKey& b,
+                                         const PublicStore& store);
 
 /// Replacement-key generation after a suspected leak: draws a fresh random
 /// key whose sub-keys avoid the compromised key's canonical sub-keys
 /// entirely (no feature keeps any old (base, rotation) layer pair).
 /// Requires n_layers >= 1 on both keys and throws ConfigError if the space
 /// is too small to avoid reuse.
-LockKey rekey(const LockKey& compromised, const PublicStore& store, std::uint64_t seed);
+HDLOCK_OWNER_ONLY LockKey rekey(const LockKey& compromised, const PublicStore& store,
+                                std::uint64_t seed);
 
 }  // namespace hdlock

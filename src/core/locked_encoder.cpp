@@ -96,7 +96,7 @@ Deployment provision(const DeploymentConfig& config) {
     Deployment deployment;
     deployment.store = store;
     deployment.encoder =
-        std::make_shared<const LockedEncoder>(store, key, value_mapping, config.tie_seed);
+        std::make_shared<const LockedEncoder>(store, key.clone(), value_mapping, config.tie_seed);
     deployment.secure = std::make_shared<SecureStore>(std::move(key), std::move(value_mapping));
     return deployment;
 }

@@ -15,15 +15,21 @@
 /// The device materializes its feature hypervectors once at construction
 /// (the hardware equivalent streams base HVs through the XOR datapath; the
 /// cycle model in src/hw/ accounts for that cost).
+///
+/// The encoder keeps the key for auditing and re-export, so this is a
+/// secret header (hdlock-lint: secret-header): the deployed datapath uses
+/// api::SealedEncoder instead, and device translation units must never
+/// reach this file (tools/lint/hdlock_lint enforces it).
 
 #include <memory>
 
 #include "core/stores.hpp"
 #include "hdc/encoder.hpp"
+#include "util/confinement.hpp"
 
 namespace hdlock {
 
-class LockedEncoder final : public hdc::Encoder {
+class HDLOCK_OWNER_ONLY LockedEncoder final : public hdc::Encoder {
 public:
     /// \param store          the public hypervector memory
     /// \param key            per-feature base selections and rotations
@@ -43,7 +49,7 @@ public:
     /// Value hypervector by semantic level (the secret order applied).
     const hdc::BinaryHV& value_hv(std::size_t level) const;
 
-    const LockKey& key() const noexcept { return key_; }
+    HDLOCK_SECRET const LockKey& key() const noexcept { return key_; }
     const PublicStore& store() const noexcept { return *store_; }
     std::shared_ptr<const PublicStore> store_ptr() const noexcept { return store_; }
 

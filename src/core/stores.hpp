@@ -13,6 +13,11 @@
 /// value hypervectors.  After seal(), reads throw AccessDenied — this is the
 /// software simulation of the trust boundary, chosen per DESIGN.md §2
 /// because the security argument only needs the boundary, not the silicon.
+///
+/// Because SecureStore carries the key, this is a secret header
+/// (hdlock-lint: secret-header): device translation units must never reach
+/// it — they receive the PublicStore through the bundle loader and the
+/// materialized encoder state instead (tools/lint/hdlock_lint enforces it).
 
 #include <cstdint>
 #include <memory>
@@ -20,6 +25,7 @@
 
 #include "core/key.hpp"
 #include "hdc/item_memory.hpp"
+#include "util/confinement.hpp"
 
 namespace hdlock {
 
@@ -81,12 +87,12 @@ private:
 /// Simulated tamper-proof key memory. Owner code reads the secrets while the
 /// store is unsealed (provisioning time); seal() flips the device into its
 /// deployed state where every read throws AccessDenied.
-class SecureStore {
+class HDLOCK_SECRET SecureStore {
 public:
     SecureStore(LockKey key, ValueMapping value_mapping);
 
-    const LockKey& key() const;
-    const ValueMapping& value_mapping() const;
+    HDLOCK_SECRET const LockKey& key() const;
+    HDLOCK_SECRET const ValueMapping& value_mapping() const;
 
     void seal() noexcept { sealed_ = true; }
     bool sealed() const noexcept { return sealed_; }

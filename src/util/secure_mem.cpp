@@ -1,0 +1,17 @@
+#include "util/secure_mem.hpp"
+
+namespace hdlock::util {
+
+void secure_zero(void* data, std::size_t bytes) noexcept {
+    if (data == nullptr || bytes == 0) return;
+    // Volatile qualification forces every store to happen; the barrier stops
+    // the optimizer from proving the buffer dead across the call boundary
+    // (this function is deliberately out of line for the same reason).
+    volatile unsigned char* p = static_cast<volatile unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) p[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+    __asm__ __volatile__("" : : "r"(data) : "memory");
+#endif
+}
+
+}  // namespace hdlock::util

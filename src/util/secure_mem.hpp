@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file secure_mem.hpp
+/// Scrubbed storage for key-bearing state.
+///
+/// The confinement analysis (tools/lint/, DESIGN.md §7) proves key bytes
+/// never reach device-side translation units; this header covers the
+/// complementary lifetime half of the story: when owner-side key state dies
+/// (rotation, re-provisioning, a failed rekey draw), its bytes must not
+/// linger on the heap for a later allocation — or a core dump — to pick up.
+///
+/// secure_zero() is the scrubbing primitive: an out-of-line volatile fill
+/// the optimizer cannot elide as a dead store.  SecureVector<T> is a minimal
+/// contiguous container for trivially-copyable records that scrubs on
+/// clear(), on move-out and on destruction.  Unlike std::vector, clear()
+/// keeps the allocation alive (capacity is retained), which is what makes
+/// the scrub *testable*: a test may hold the data() pointer across clear()
+/// and legally observe the zeroed bytes.
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hdlock::util {
+
+/// Overwrites `bytes` bytes at `data` with zeros through a volatile pointer;
+/// never elided by dead-store elimination (out-of-line + compiler barrier).
+void secure_zero(void* data, std::size_t bytes) noexcept;
+
+/// Contiguous storage that zeroes its memory before giving it back.
+///
+/// Deliberately minimal: exactly the surface LockKey and friends need
+/// (resize/reserve/push_back/index/iterate/compare).  T must be trivially
+/// copyable and trivially destructible so raw byte scrubbing is the whole
+/// destruction story.
+template <typename T>
+class SecureVector {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SecureVector scrubs raw bytes; T must be trivially copyable");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "SecureVector never runs destructors; T must be trivially destructible");
+
+public:
+    SecureVector() = default;
+
+    SecureVector(const SecureVector& other) { assign_from(other); }
+
+    SecureVector& operator=(const SecureVector& other) {
+        if (this != &other) {
+            scrub_and_release();
+            assign_from(other);
+        }
+        return *this;
+    }
+
+    SecureVector(SecureVector&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)),
+          capacity_(std::exchange(other.capacity_, 0)) {}
+
+    SecureVector& operator=(SecureVector&& other) noexcept {
+        if (this != &other) {
+            scrub_and_release();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+            capacity_ = std::exchange(other.capacity_, 0);
+        }
+        return *this;
+    }
+
+    ~SecureVector() { scrub_and_release(); }
+
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /// Valid (non-null) whenever capacity() > 0, even at size() == 0: after
+    /// clear() the allocation survives so scrubbing is observable.
+    T* data() noexcept { return data_; }
+    const T* data() const noexcept { return data_; }
+
+    T* begin() noexcept { return data_; }
+    T* end() noexcept { return data_ + size_; }
+    const T* begin() const noexcept { return data_; }
+    const T* end() const noexcept { return data_ + size_; }
+
+    T& operator[](std::size_t index) noexcept { return data_[index]; }
+    const T& operator[](std::size_t index) const noexcept { return data_[index]; }
+
+    void reserve(std::size_t n) {
+        if (n > capacity_) regrow(n);
+    }
+
+    /// New elements are value-initialized (all-zero for the record types
+    /// this container exists for).
+    void resize(std::size_t n) {
+        reserve(n);
+        if (n > size_) std::memset(static_cast<void*>(data_ + size_), 0, (n - size_) * sizeof(T));
+        if (n < size_) secure_zero(data_ + n, (size_ - n) * sizeof(T));
+        size_ = n;
+    }
+
+    void push_back(const T& value) {
+        if (size_ == capacity_) regrow(capacity_ == 0 ? 8 : capacity_ * 2);
+        data_[size_++] = value;
+    }
+
+    /// Zeroes every live element, then empties.  The allocation (and thus
+    /// the data() pointer) stays valid so callers/tests can verify the wipe.
+    void clear() noexcept {
+        if (data_ != nullptr) secure_zero(data_, size_ * sizeof(T));
+        size_ = 0;
+    }
+
+    bool operator==(const SecureVector& other) const {
+        if (size_ != other.size_) return false;
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (!(data_[i] == other.data_[i])) return false;
+        }
+        return true;
+    }
+
+private:
+    void assign_from(const SecureVector& other) {
+        if (other.size_ == 0) return;
+        regrow(other.size_);
+        std::memcpy(static_cast<void*>(data_), other.data_, other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    void regrow(std::size_t n) {
+        T* fresh = static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{alignof(T)}));
+        const std::size_t keep = size_;
+        if (keep > 0) std::memcpy(static_cast<void*>(fresh), data_, keep * sizeof(T));
+        scrub_and_release();
+        data_ = fresh;
+        size_ = keep;
+        capacity_ = n;
+    }
+
+    void scrub_and_release() noexcept {
+        if (data_ == nullptr) return;
+        secure_zero(data_, capacity_ * sizeof(T));
+        ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = nullptr;
+        size_ = 0;
+        capacity_ = 0;
+    }
+
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+}  // namespace hdlock::util

@@ -114,7 +114,7 @@ TEST(OwnerFacade, ExportedDeviceFileRoundTrips) {
 
 TEST(OwnerFacade, RotateKeyChangesEncodingsAndDropsModel) {
     api::Owner owner = trained_owner();
-    const LockKey before = owner.key();
+    const LockKey before = owner.key().clone();
     const std::vector<int> probe(20, 1);
     const auto encoding_before = owner.encoder()->encode(probe);
 

@@ -6,6 +6,8 @@
 
 #include <set>
 #include <sstream>
+#include <type_traits>
+#include <utility>
 
 using hdlock::ContractViolation;
 using hdlock::FormatError;
@@ -153,4 +155,61 @@ TEST(LockKey, LoadRejectsInconsistentShape) {
     }
     hdlock::util::BinaryReader reader(stream);
     EXPECT_THROW(LockKey::load(reader), FormatError);
+}
+
+// ---------------------------------------------------------------------------
+// Confinement surface: LockKey is move-only, duplication is the explicit
+// clone(), and dead keys scrub their entry storage (PR: key-confinement
+// static analysis; see DESIGN.md §7 and util/secure_mem.hpp).
+// ---------------------------------------------------------------------------
+
+static_assert(!std::is_copy_constructible_v<LockKey>,
+              "LockKey must not be copyable; use the explicit clone()");
+static_assert(!std::is_copy_assignable_v<LockKey>,
+              "LockKey must not be copy-assignable; use the explicit clone()");
+static_assert(std::is_nothrow_move_constructible_v<LockKey>);
+static_assert(std::is_nothrow_move_assignable_v<LockKey>);
+
+TEST(LockKeyConfinement, CloneIsEqualButIndependent) {
+    const auto key = LockKey::random(8, 2, 16, 256, /*seed=*/11);
+    LockKey copy = key.clone();
+    EXPECT_EQ(copy, key);
+    copy = copy.with_entry(0, 0, SubKeyEntry{1, 2});
+    EXPECT_EQ(key.n_features(), 8u);  // original untouched
+}
+
+TEST(LockKeyConfinement, MoveEmptiesTheSource) {
+    LockKey key = LockKey::random(8, 2, 16, 256, /*seed=*/12);
+    const LockKey moved = std::move(key);
+    EXPECT_EQ(moved.n_features(), 8u);
+    // NOLINTNEXTLINE(bugprone-use-after-move): the post-move state is the API
+    EXPECT_EQ(key.n_features(), 0u);
+    EXPECT_EQ(key, LockKey{});
+}
+
+TEST(LockKeyConfinement, ScrubEmptiesTheKey) {
+    LockKey key = LockKey::random(8, 2, 16, 256, /*seed=*/13);
+    key.scrub();
+    EXPECT_EQ(key.n_features(), 0u);
+    EXPECT_EQ(key.n_layers(), 0u);
+    EXPECT_EQ(key, LockKey{});
+}
+
+TEST(LockKeyConfinement, DestructionZeroesEntryStorage) {
+    // SecureVector::clear() retains the allocation, so scrubbing is legally
+    // observable: hold the entry storage across scrub() and read back zeros.
+    LockKey key = LockKey::random(16, 3, 32, 512, /*seed=*/14);
+    const SubKeyEntry* storage = key.sub_key(0).data();
+    ASSERT_NE(storage, nullptr);
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < 16 * 3; ++i) {
+        any_nonzero |= storage[i].base_index != 0 || storage[i].rotation != 0;
+    }
+    ASSERT_TRUE(any_nonzero) << "a random key with live entries";
+
+    key.scrub();  // same scrub path the destructor takes
+    for (std::size_t i = 0; i < 16 * 3; ++i) {
+        EXPECT_EQ(storage[i].base_index, 0u);
+        EXPECT_EQ(storage[i].rotation, 0u);
+    }
 }

@@ -144,8 +144,8 @@ TEST(Rekey, RekeyedDeploymentStillClassifies) {
     const auto old_key = LockKey::random(8, 2, 32, 2048, 37);
     const auto new_key = rekey(old_key, *store, 41);
 
-    const LockedEncoder old_encoder(store, old_key, mapping, 1);
-    const LockedEncoder new_encoder(store, new_key, mapping, 1);
+    const LockedEncoder old_encoder(store, old_key.clone(), mapping, 1);
+    const LockedEncoder new_encoder(store, new_key.clone(), mapping, 1);
     const std::vector<int> levels(8, 2);
     const auto old_hv = old_encoder.encode_binary(levels);
     const auto new_hv = new_encoder.encode_binary(levels);

@@ -71,7 +71,7 @@ TEST(LockedEncoder, LockedFeatureHVsRemainQuasiOrthogonal) {
     const auto fixture = make_store(10000, 16, 2, 3);
     for (const std::size_t n_layers : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
         const auto key = LockKey::random(24, n_layers, 16, 10000, 7 + n_layers);
-        const LockedEncoder encoder(fixture.store, key, fixture.mapping, 1);
+        const LockedEncoder encoder(fixture.store, key.clone(), fixture.mapping, 1);
         for (std::size_t i = 0; i < 24; ++i) {
             for (std::size_t j = i + 1; j < 24; ++j) {
                 ASSERT_NEAR(encoder.feature_hv(i).normalized_hamming(encoder.feature_hv(j)), 0.5,
@@ -89,7 +89,7 @@ TEST(LockedEncoder, PlainKeyMatchesRecordEncoder) {
     const std::size_t n_features = 10, n_levels = 4;
     const auto fixture = make_store(2048, n_features, n_levels, 5);
     const auto key = LockKey::plain_random(n_features, n_features, 9);
-    const LockedEncoder locked(fixture.store, key, fixture.mapping, /*tie_seed=*/42);
+    const LockedEncoder locked(fixture.store, key.clone(), fixture.mapping, /*tie_seed=*/42);
 
     std::vector<BinaryHV> feature_hvs;
     for (std::size_t i = 0; i < n_features; ++i) {
@@ -114,7 +114,7 @@ TEST(LockedEncoder, EncodeMatchesManualEq10) {
     const std::size_t n_features = 7, n_levels = 3;
     const auto fixture = make_store(1024, 9, n_levels, 11);
     const auto key = LockKey::random(n_features, 2, 9, 1024, 13);
-    const LockedEncoder encoder(fixture.store, key, fixture.mapping, 1);
+    const LockedEncoder encoder(fixture.store, key.clone(), fixture.mapping, 1);
 
     const auto levels = random_levels(n_features, n_levels, 17);
     const IntHV h = encoder.encode(levels);
@@ -133,8 +133,8 @@ TEST(LockedEncoder, DifferentKeysGiveDifferentEncodings) {
     const auto fixture = make_store(2048, 8, 2, 19);
     const auto key_a = LockKey::random(6, 2, 8, 2048, 1);
     const auto key_b = LockKey::random(6, 2, 8, 2048, 2);
-    const LockedEncoder enc_a(fixture.store, key_a, fixture.mapping, 1);
-    const LockedEncoder enc_b(fixture.store, key_b, fixture.mapping, 1);
+    const LockedEncoder enc_a(fixture.store, key_a.clone(), fixture.mapping, 1);
+    const LockedEncoder enc_b(fixture.store, key_b.clone(), fixture.mapping, 1);
     const auto levels = random_levels(6, 2, 23);
     // A wrong key yields an essentially uncorrelated encoding.
     EXPECT_NEAR(enc_a.encode_binary(levels).normalized_hamming(enc_b.encode_binary(levels)), 0.5,
@@ -145,15 +145,16 @@ TEST(LockedEncoder, ValidatesKeyAgainstStore) {
     const auto fixture = make_store(256, 4, 2, 29);
     // base_index out of pool range
     const auto bad_base = LockKey::plain({0, 5});
-    EXPECT_THROW(LockedEncoder(fixture.store, bad_base, fixture.mapping, 1), ContractViolation);
+    EXPECT_THROW(LockedEncoder(fixture.store, bad_base.clone(), fixture.mapping, 1),
+                 ContractViolation);
     // rotation >= dim
     auto key = LockKey::random(3, 1, 4, 256, 1);
     const auto bad_rotation = key.with_entry(0, 0, SubKeyEntry{0, 256});
-    EXPECT_THROW(LockedEncoder(fixture.store, bad_rotation, fixture.mapping, 1),
+    EXPECT_THROW(LockedEncoder(fixture.store, bad_rotation.clone(), fixture.mapping, 1),
                  ContractViolation);
     // value mapping of the wrong size
-    EXPECT_THROW(LockedEncoder(fixture.store, key, ValueMapping{0}, 1), ContractViolation);
-    EXPECT_THROW(LockedEncoder(nullptr, key, fixture.mapping, 1), ContractViolation);
+    EXPECT_THROW(LockedEncoder(fixture.store, key.clone(), ValueMapping{0}, 1), ContractViolation);
+    EXPECT_THROW(LockedEncoder(nullptr, key.clone(), fixture.mapping, 1), ContractViolation);
 }
 
 // ---------------------------------------------------------------------------
@@ -178,7 +179,7 @@ TEST(Provision, CreatesConsistentDeployment) {
     // The encoder must agree with a re-materialization from the secrets.
     const auto& key = deployment.secure->key();
     const auto& mapping = deployment.secure->value_mapping();
-    const LockedEncoder rebuilt(deployment.store, key, mapping, config.tie_seed);
+    const LockedEncoder rebuilt(deployment.store, key.clone(), mapping, config.tie_seed);
     const auto levels = random_levels(12, 4, 31);
     EXPECT_EQ(deployment.encoder->encode(levels), rebuilt.encode(levels));
 }

@@ -126,7 +126,7 @@ TEST(PublicStore, SerializationRoundTrip) {
 
 TEST(SecureStore, ReadableUntilSealed) {
     const auto key = LockKey::random(8, 2, 8, 64, 3);
-    SecureStore secure(key, ValueMapping{1, 0, 2});
+    SecureStore secure(key.clone(), ValueMapping{1, 0, 2});
     EXPECT_FALSE(secure.sealed());
     EXPECT_EQ(secure.key(), key);
     EXPECT_EQ(secure.value_mapping(), (ValueMapping{1, 0, 2}));

@@ -176,7 +176,7 @@ TEST(FailureInjection, RoundTrippedDeploymentAttacksIdentically) {
     auto key = util::load_file<LockKey>(scratch / "key.bin");
     auto mapping = deployment.secure->value_mapping();
     restored.encoder = std::make_shared<const LockedEncoder>(
-        restored.store, key, mapping, deployment.encoder->tie_seed());
+        restored.store, key.clone(), mapping, deployment.encoder->tie_seed());
     restored.secure = std::make_shared<SecureStore>(std::move(key), std::move(mapping));
 
     const attack::EncodingOracle original_oracle(deployment.encoder);

@@ -1,0 +1,6 @@
+#pragma once
+// hdlock-lint: secret-header
+#include "util/common.hpp"
+struct LockKey {
+    int seed = common_answer();
+};

@@ -1,0 +1,2 @@
+#include "device/encoder.hpp"
+int device_entry() { return device_encode(1); }

@@ -1,0 +1,4 @@
+#pragma once
+#include "util/common.hpp"
+// A comment naming LockKey is fine: taint matching ignores comments.
+inline int device_encode(int x) { return x + common_answer(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int common_answer() { return 42; }

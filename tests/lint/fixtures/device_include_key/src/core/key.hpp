@@ -1,0 +1,10 @@
+#pragma once
+// hdlock-lint: secret-header
+#include "util/rng.hpp"
+struct SubKeyEntry {
+    unsigned base_index = 0;
+    unsigned rotation = 0;
+};
+struct LockKey {
+    SubKeyEntry entry;
+};

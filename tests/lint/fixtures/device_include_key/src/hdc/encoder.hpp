@@ -1,0 +1,6 @@
+#pragma once
+#include "util/rng.hpp"
+struct Encoder {
+    virtual ~Encoder() = default;
+    virtual unsigned encode(unsigned x) const = 0;
+};

@@ -1,0 +1,2 @@
+#pragma once
+inline unsigned mix(unsigned x) { return x * 2654435761u; }

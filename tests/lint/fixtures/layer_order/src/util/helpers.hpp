@@ -1,0 +1,3 @@
+#pragma once
+#include "hdc/encoder.hpp"
+inline int helper(int x) { return encode(x); }

@@ -1,0 +1,15 @@
+#include "core/key.hpp"
+
+// Owner half: naming secrets here is legal.
+int owner_save(const LockKey& key) { return key.value_mapping; }
+
+// hdlock-lint: device-begin  (SEN2 device serialization)
+int device_save_sen2(int payload) {
+    int value_mapping = payload;                // must be flagged (line 8)
+    int vm2 = value_mapping;                    // hdlock-lint: allow(secret-taint)
+    return vm2 + payload;
+}
+// hdlock-lint: device-end
+
+// Owner half again: back out of the region, legal once more.
+int owner_restore(LockKey key) { return key.value_mapping; }

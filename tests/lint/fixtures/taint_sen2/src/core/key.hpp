@@ -1,0 +1,5 @@
+#pragma once
+// hdlock-lint: secret-header
+struct LockKey {
+    int value_mapping = 0;
+};

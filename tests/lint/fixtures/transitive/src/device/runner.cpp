@@ -1,0 +1,5 @@
+#include "util/common.hpp"
+
+#include "mid/helper.hpp"
+
+int device_run() { return ident(3); }

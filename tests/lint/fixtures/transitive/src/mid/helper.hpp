@@ -1,0 +1,4 @@
+#pragma once
+#include "core/key.hpp"
+#include "util/common.hpp"
+inline int helper_seed(const LockKey& key) { return ident(key.seed); }

@@ -1,0 +1,170 @@
+// Fixture-driven regression tests for hdlock_lint (tools/lint/).  Each
+// fixture under tests/lint/fixtures/ is a miniature repo with its own
+// layers.toml; the tests pin the exit-code contract (0 clean / 1 violations
+// / 2 manifest errors) and the exact file:line each rule anchors to.  The
+// final test runs the real manifest over the real tree: the repo itself
+// must stay confinement-clean.
+
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using hdlock::lint::Diagnostic;
+using hdlock::lint::Manifest;
+using hdlock::lint::ManifestError;
+using hdlock::lint::Report;
+
+namespace {
+
+fs::path fixture(const std::string& name) {
+    return fs::path(HDLOCK_LINT_FIXTURE_DIR) / name;
+}
+
+Report run_fixture(const std::string& name) {
+    const fs::path root = fixture(name);
+    const Manifest manifest = hdlock::lint::parse_manifest(root / "layers.toml");
+    return hdlock::lint::run(manifest, root);
+}
+
+std::vector<Diagnostic> with_rule(const Report& report, const std::string& rule) {
+    std::vector<Diagnostic> out;
+    std::copy_if(report.diagnostics.begin(), report.diagnostics.end(), std::back_inserter(out),
+                 [&](const Diagnostic& d) { return d.rule == rule; });
+    return out;
+}
+
+int run_cli(std::vector<std::string> args, std::string* out_text = nullptr) {
+    std::vector<const char*> argv{"hdlock_lint"};
+    for (const auto& arg : args) argv.push_back(arg.c_str());
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code =
+        hdlock::lint::run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (out_text != nullptr) *out_text = out.str() + err.str();
+    return code;
+}
+
+TEST(LintFixtures, CleanTreeReportsNothing) {
+    const Report report = run_fixture("clean");
+    EXPECT_TRUE(report.clean()) << report.diagnostics.size() << " unexpected diagnostics";
+    EXPECT_EQ(report.files_scanned, 4u);
+    EXPECT_EQ(report.edges_checked, 3u);
+}
+
+TEST(LintFixtures, DeviceIncludeOfKeyHeaderIsCaughtWithFileAndLine) {
+    // The acceptance scenario: a sealed-encoder header (device layer,
+    // mirroring the real tree) directly includes core/key.hpp.
+    const Report report = run_fixture("device_include_key");
+    ASSERT_FALSE(report.clean());
+
+    const auto order = with_rule(report, "layer-order");
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0].file, "src/api/sealed_encoder.hpp");
+    EXPECT_EQ(order[0].line, 3);
+
+    const auto reach = with_rule(report, "secret-reach");
+    ASSERT_EQ(reach.size(), 2u);  // one per device translation unit
+    EXPECT_EQ(reach[0].file, "src/api/sealed_encoder.cpp");
+    EXPECT_EQ(reach[0].line, 1);
+    EXPECT_NE(reach[0].message.find("src/api/sealed_encoder.hpp -> src/core/key.hpp"),
+              std::string::npos)
+        << reach[0].message;
+    EXPECT_EQ(reach[1].file, "src/api/sealed_encoder.hpp");
+    EXPECT_EQ(reach[1].line, 3);
+}
+
+TEST(LintFixtures, TransitiveReachThroughLegalEdgesIsCaught) {
+    // device -> mid -> core/key.hpp: every edge is layer-legal, so only
+    // secret-reach fires, anchored at the device file's own include.
+    const Report report = run_fixture("transitive");
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    const Diagnostic& d = report.diagnostics[0];
+    EXPECT_EQ(d.rule, "secret-reach");
+    EXPECT_EQ(d.file, "src/device/runner.cpp");
+    EXPECT_EQ(d.line, 3);
+    EXPECT_NE(d.message.find("src/mid/helper.hpp -> src/core/key.hpp"), std::string::npos)
+        << d.message;
+}
+
+TEST(LintFixtures, SecretIdentifierInSen2RegionIsFlaggedAndSuppressible) {
+    const Report report = run_fixture("taint_sen2");
+    ASSERT_EQ(report.diagnostics.size(), 1u)
+        << "owner-half mentions and the suppressed line must not be flagged";
+    const Diagnostic& d = report.diagnostics[0];
+    EXPECT_EQ(d.rule, "secret-taint");
+    EXPECT_EQ(d.file, "src/api/bundle.cpp");
+    EXPECT_EQ(d.line, 8);
+    EXPECT_NE(d.message.find("value_mapping"), std::string::npos) << d.message;
+}
+
+TEST(LintFixtures, PureLayerOrderViolationIsCaught) {
+    const Report report = run_fixture("layer_order");
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    const Diagnostic& d = report.diagnostics[0];
+    EXPECT_EQ(d.rule, "layer-order");
+    EXPECT_EQ(d.file, "src/util/helpers.hpp");
+    EXPECT_EQ(d.line, 2);
+}
+
+TEST(LintFixtures, ManifestSyntaxErrorIsRejectedWithLine) {
+    try {
+        (void)hdlock::lint::parse_manifest(fixture("bad_manifest") / "layers.toml");
+        FAIL() << "unterminated array must throw";
+    } catch (const ManifestError& error) {
+        EXPECT_EQ(error.line(), 4);
+        EXPECT_NE(std::string(error.what()).find("unterminated array"), std::string::npos);
+    }
+}
+
+TEST(LintFixtures, ManifestUnknownDepIsRejected) {
+    EXPECT_THROW((void)hdlock::lint::parse_manifest(fixture("bad_manifest") / "unknown_dep.toml"),
+                 ManifestError);
+}
+
+TEST(LintCli, ExitCodeContract) {
+    EXPECT_EQ(run_cli({"--root", fixture("clean").string()}), 0);
+    std::string text;
+    EXPECT_EQ(run_cli({"--root", fixture("device_include_key").string()}, &text), 1);
+    EXPECT_NE(text.find("src/api/sealed_encoder.hpp:3"), std::string::npos) << text;
+    EXPECT_EQ(run_cli({"--root", fixture("bad_manifest").string()}, &text), 2);
+    EXPECT_EQ(run_cli({"--frobnicate"}), 2);
+    EXPECT_EQ(run_cli({"--root"}), 2);  // missing operand
+    EXPECT_EQ(run_cli({"--help"}), 0);
+}
+
+TEST(LintRepo, RealTreeIsConfinementClean) {
+    // The gate CI enforces: the committed manifest over the committed tree.
+    const fs::path root(HDLOCK_LINT_REPO_ROOT);
+    const Manifest manifest =
+        hdlock::lint::parse_manifest(root / "tools" / "lint" / "layers.toml");
+    const Report report = hdlock::lint::run(manifest, root);
+    for (const auto& d : report.diagnostics) {
+        ADD_FAILURE() << d.file << ':' << d.line << ": [" << d.rule << "] " << d.message;
+    }
+    EXPECT_GT(report.files_scanned, 100u);  // sanity: the scan saw the tree
+    EXPECT_GT(report.edges_checked, 300u);
+}
+
+TEST(LintRepo, RealManifestListsTheKeyHeadersAsSecret) {
+    const fs::path root(HDLOCK_LINT_REPO_ROOT);
+    const Manifest manifest =
+        hdlock::lint::parse_manifest(root / "tools" / "lint" / "layers.toml");
+    const auto& headers = manifest.secret_headers;
+    for (const char* header : {"src/core/key.hpp", "src/core/key_tools.hpp",
+                               "src/core/locked_encoder.hpp", "src/core/stores.hpp"}) {
+        EXPECT_NE(std::find(headers.begin(), headers.end(), header), headers.end())
+            << header << " missing from [secret] headers";
+    }
+    bool has_device_layer = false;
+    for (const auto& layer : manifest.layers) has_device_layer |= layer.device;
+    EXPECT_TRUE(has_device_layer);
+}
+
+}  // namespace

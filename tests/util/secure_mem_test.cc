@@ -1,0 +1,118 @@
+// Tests for the scrubbing primitives behind the move-only LockKey:
+// secure_zero and SecureVector.  The central claim — bytes are gone after
+// clear()/move-out — is observable without UB because SecureVector::clear()
+// retains the allocation: data() stays valid at size() == 0.
+
+#include "util/secure_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace {
+
+using hdlock::util::secure_zero;
+using hdlock::util::SecureVector;
+
+struct Record {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+
+    bool operator==(const Record& other) const = default;
+};
+
+TEST(SecureZero, OverwritesEveryByte) {
+    std::array<unsigned char, 64> buffer;
+    buffer.fill(0xAB);
+    secure_zero(buffer.data(), buffer.size());
+    for (unsigned char byte : buffer) EXPECT_EQ(byte, 0);
+}
+
+TEST(SecureZero, ZeroBytesIsANoOp) {
+    unsigned char sentinel = 0x5C;
+    secure_zero(&sentinel, 0);
+    EXPECT_EQ(sentinel, 0x5C);
+}
+
+TEST(SecureVector, PushBackIndexIterate) {
+    SecureVector<Record> v;
+    EXPECT_TRUE(v.empty());
+    for (std::uint32_t i = 0; i < 20; ++i) v.push_back({i, i * 2});
+    ASSERT_EQ(v.size(), 20u);
+    EXPECT_EQ(v[7].b, 14u);
+    std::uint32_t sum = 0;
+    for (const Record& r : v) sum += r.a;
+    EXPECT_EQ(sum, 190u);
+}
+
+TEST(SecureVector, ResizeValueInitializesAndShrinkScrubs) {
+    SecureVector<Record> v;
+    v.resize(4);
+    for (const Record& r : v) EXPECT_EQ(r, Record{});
+    v[3] = {9, 9};
+    v.resize(2);
+    ASSERT_GE(v.capacity(), 4u);
+    // The shrunk-away slots were scrubbed in place.
+    EXPECT_EQ(v.data()[3], Record{});
+    v.resize(4);
+    EXPECT_EQ(v[3], Record{});
+}
+
+TEST(SecureVector, ClearScrubsButKeepsAllocationObservable) {
+    SecureVector<Record> v;
+    for (std::uint32_t i = 1; i <= 8; ++i) v.push_back({i, ~i});
+    const Record* storage = v.data();
+    ASSERT_NE(storage, nullptr);
+
+    v.clear();
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_GE(v.capacity(), 8u);
+    // Same allocation, now all-zero: the wipe is legally observable.
+    ASSERT_EQ(v.data(), storage);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(storage[i], Record{});
+}
+
+TEST(SecureVector, MoveTransfersStorageAndEmptiesSource) {
+    SecureVector<Record> source;
+    source.push_back({1, 2});
+    source.push_back({3, 4});
+    const Record* storage = source.data();
+
+    SecureVector<Record> target(std::move(source));
+    EXPECT_EQ(target.data(), storage);  // no copy: same allocation
+    ASSERT_EQ(target.size(), 2u);
+    EXPECT_EQ(target[1], (Record{3, 4}));
+    EXPECT_EQ(source.size(), 0u);       // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(source.data(), nullptr);  // nothing left behind to leak
+
+    SecureVector<Record> assigned;
+    assigned.push_back({9, 9});
+    assigned = std::move(target);
+    ASSERT_EQ(assigned.size(), 2u);
+    EXPECT_EQ(assigned[0], (Record{1, 2}));
+}
+
+TEST(SecureVector, CopyIsIndependent) {
+    SecureVector<Record> a;
+    a.push_back({5, 6});
+    SecureVector<Record> b(a);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_NE(b.data(), a.data());
+    b[0] = {7, 8};
+    EXPECT_EQ(a[0], (Record{5, 6}));
+    EXPECT_FALSE(a == b);
+    b = a;
+    EXPECT_TRUE(a == b);
+}
+
+TEST(SecureVector, RegrowPreservesContents) {
+    SecureVector<Record> v;
+    for (std::uint32_t i = 0; i < 100; ++i) v.push_back({i, i});
+    ASSERT_EQ(v.size(), 100u);
+    for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], (Record{i, i}));
+}
+
+}  // namespace

@@ -1,0 +1,12 @@
+/// \file hdlock_lint.cpp
+/// CLI entry point for the key-confinement / layering checker.  All logic
+/// lives in the lint library (lint.hpp) so the rules are unit-testable; see
+/// `hdlock_lint --help` for usage and tools/lint/layers.toml for the policy.
+
+#include <iostream>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+    return hdlock::lint::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,781 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace hdlock::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// The in-source markers the scanner keys on.  Spelled as adjacent string
+// literals so this translation unit never matches its own scan (the scanner
+// looks at raw source text).
+const std::string kSecretHeaderMarker = std::string("hdlock-lint: ") + "secret-header";
+const std::string kDeviceBeginMarker = std::string("hdlock-lint: ") + "device-begin";
+const std::string kDeviceEndMarker = std::string("hdlock-lint: ") + "device-end";
+const std::string kAllowTaintMarker = std::string("hdlock-lint: ") + "allow(secret-taint)";
+const std::string kAnnotationSecret = std::string("HDLOCK_") + "SECRET";
+const std::string kAnnotationOwnerOnly = std::string("HDLOCK_") + "OWNER_ONLY";
+
+std::string trim(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing (TOML subset: [sections], key = "string" | true | false |
+// [ "array", ... ] with arrays allowed to span lines; '#' comments).
+// ---------------------------------------------------------------------------
+
+class ManifestParser {
+public:
+    ManifestParser(fs::path path) : path_(std::move(path)) {}
+
+    Manifest parse() {
+        std::ifstream in(path_);
+        if (!in) throw ManifestError(path_.generic_string(), 0, "cannot open manifest");
+        std::string line;
+        while (std::getline(in, line)) {
+            ++line_no_;
+            consume_line(line);
+        }
+        if (in_array_) fail("unterminated array (missing ']')");
+        finish_layer();
+        validate();
+        return std::move(manifest_);
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ManifestError(path_.generic_string(), line_no_, what);
+    }
+
+    void consume_line(const std::string& raw) {
+        std::string line = strip_comment(raw);
+        if (in_array_) {
+            array_accum_ += line;
+            if (line.find(']') != std::string::npos) flush_array();
+            return;
+        }
+        line = trim(line);
+        if (line.empty()) return;
+        if (line.front() == '[') {
+            const auto close = line.find(']');
+            if (close == std::string::npos || trim(line.substr(close + 1)).size() != 0) {
+                fail("malformed section header");
+            }
+            enter_section(trim(line.substr(1, close - 1)));
+            return;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) fail("expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty()) fail("empty key");
+        if (value.empty()) fail("missing value for '" + key + "'");
+        if (value.front() == '[') {
+            if (value.find(']') != std::string::npos) {
+                assign(key, parse_array(value));
+            } else {
+                in_array_ = true;
+                array_key_ = key;
+                array_accum_ = value;
+                array_line_ = line_no_;
+            }
+            return;
+        }
+        assign_scalar(key, value);
+    }
+
+    static std::string strip_comment(const std::string& line) {
+        // '#' starts a comment unless inside a quoted string.
+        bool quoted = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '"') quoted = !quoted;
+            if (line[i] == '#' && !quoted) return line.substr(0, i);
+        }
+        return line;
+    }
+
+    void flush_array() {
+        in_array_ = false;
+        const int saved = line_no_;
+        line_no_ = array_line_;  // report array errors at the opening line
+        assign(array_key_, parse_array(array_accum_));
+        line_no_ = saved;
+        array_accum_.clear();
+    }
+
+    std::vector<std::string> parse_array(const std::string& text) {
+        const auto open = text.find('[');
+        const auto close = text.rfind(']');
+        if (open == std::string::npos || close == std::string::npos || close < open) {
+            fail("malformed array");
+        }
+        if (trim(text.substr(close + 1)).size() != 0) fail("trailing content after ']'");
+        std::vector<std::string> items;
+        std::string body = text.substr(open + 1, close - open - 1);
+        std::stringstream stream(body);
+        std::string item;
+        while (std::getline(stream, item, ',')) {
+            item = trim(item);
+            if (item.empty()) continue;  // tolerate trailing comma
+            items.push_back(parse_string(item));
+        }
+        return items;
+    }
+
+    std::string parse_string(const std::string& value) {
+        if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+            fail("expected a double-quoted string, got '" + value + "'");
+        }
+        return value.substr(1, value.size() - 2);
+    }
+
+    void enter_section(const std::string& name) {
+        finish_layer();
+        if (name.empty()) fail("empty section name");
+        if (starts_with(name, "layer.")) {
+            const std::string layer_name = name.substr(std::string("layer.").size());
+            if (layer_name.empty()) fail("layer section without a name");
+            for (const auto& layer : manifest_.layers) {
+                if (layer.name == layer_name) fail("duplicate layer '" + layer_name + "'");
+            }
+            current_layer_ = Layer{};
+            current_layer_->name = layer_name;
+            section_ = "layer";
+            return;
+        }
+        if (name != "lint" && name != "secret" && name != "taint" && name != "allow") {
+            fail("unknown section [" + name + "]");
+        }
+        section_ = name;
+    }
+
+    void finish_layer() {
+        if (current_layer_) {
+            manifest_.layers.push_back(std::move(*current_layer_));
+            current_layer_.reset();
+        }
+    }
+
+    void assign(const std::string& key, std::vector<std::string> items) {
+        if (section_ == "lint") {
+            if (key == "include_dirs") {
+                manifest_.include_dirs = std::move(items);
+            } else if (key == "exclude") {
+                manifest_.exclude = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [lint]");
+            }
+        } else if (section_ == "layer") {
+            if (key == "paths") {
+                current_layer_->paths = std::move(items);
+            } else if (key == "files") {
+                current_layer_->files = std::move(items);
+            } else if (key == "deps") {
+                current_layer_->deps = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [layer." + current_layer_->name + "]");
+            }
+        } else if (section_ == "secret") {
+            if (key == "headers") {
+                manifest_.secret_headers = std::move(items);
+            } else if (key == "identifiers") {
+                manifest_.secret_identifiers = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [secret]");
+            }
+        } else if (section_ == "taint") {
+            if (key == "files") {
+                manifest_.taint_files = std::move(items);
+            } else if (key == "region_files") {
+                manifest_.taint_region_files = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [taint]");
+            }
+        } else if (section_ == "allow") {
+            if (key == "edges") {
+                manifest_.allow_edges = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [allow]");
+            }
+        } else {
+            fail("key '" + key + "' outside any known section");
+        }
+    }
+
+    void assign_scalar(const std::string& key, const std::string& value) {
+        if (section_ == "layer" && key == "device") {
+            if (value == "true") {
+                current_layer_->device = true;
+            } else if (value == "false") {
+                current_layer_->device = false;
+            } else {
+                fail("'device' must be true or false");
+            }
+            return;
+        }
+        // Every other key takes a string or an array; a bare scalar that is
+        // not a quoted string is a syntax error worth naming.
+        assign(key, {parse_string(value)});
+    }
+
+    void validate() {
+        if (manifest_.layers.empty()) fail("manifest defines no layers");
+        std::set<std::string> names;
+        for (const auto& layer : manifest_.layers) names.insert(layer.name);
+        for (const auto& layer : manifest_.layers) {
+            for (const auto& dep : layer.deps) {
+                if (names.count(dep) == 0) {
+                    throw ManifestError(path_.generic_string(), 0,
+                                        "layer '" + layer.name + "' depends on unknown layer '" +
+                                            dep + "'");
+                }
+            }
+            if (layer.paths.empty() && layer.files.empty()) {
+                throw ManifestError(path_.generic_string(), 0,
+                                    "layer '" + layer.name + "' lists no paths or files");
+            }
+        }
+        for (const auto& edge : manifest_.allow_edges) {
+            if (edge.find(" -> ") == std::string::npos) {
+                throw ManifestError(path_.generic_string(), 0,
+                                    "allow edge '" + edge + "' is not of the form 'from -> to'");
+            }
+        }
+    }
+
+    fs::path path_;
+    int line_no_ = 0;
+    std::string section_;
+    std::optional<Layer> current_layer_;
+    bool in_array_ = false;
+    std::string array_key_;
+    std::string array_accum_;
+    int array_line_ = 0;
+    Manifest manifest_;
+};
+
+// ---------------------------------------------------------------------------
+// Source scanning
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+    std::string target;  // as written between the quotes
+    int line = 0;
+};
+
+struct ScannedFile {
+    std::string path;  // repo-relative, generic separators
+    std::vector<IncludeEdge> includes;
+    bool secret_marker = false;      // file-level secret-header comment
+    bool has_annotation = false;     // any HDLOCK_* confinement macro token
+    // Stripped source lines (comments and string/char literal contents
+    // blanked), kept only when the file is in some taint scope.
+    std::vector<std::string> stripped_lines;
+    std::vector<bool> line_allows_taint;  // per line: allow(secret-taint) marker
+    std::vector<bool> line_in_device_region;
+};
+
+bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comment bodies and string/char literal contents, preserving line
+/// structure, so taint matching never fires on prose or message text.
+/// Tracks block comments across lines via `in_block_comment`.
+std::string strip_code_line(const std::string& line, bool& in_block_comment) {
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (in_block_comment) {
+            if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+                in_block_comment = false;
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            in_block_comment = true;
+            ++i;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            out.push_back(quote);
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (line[i] == quote) break;
+                ++i;
+            }
+            out.push_back(quote);
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path, bool keep_lines) {
+    ScannedFile scanned;
+    scanned.path = rel_path;
+    std::ifstream in(full_path);
+    std::string line;
+    int line_no = 0;
+    bool in_block_comment = false;
+    bool in_device_region = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Markers live in comments: detect them on the raw line.
+        if (line.find(kSecretHeaderMarker) != std::string::npos) scanned.secret_marker = true;
+        if (line.find(kDeviceBeginMarker) != std::string::npos) in_device_region = true;
+        if (line.find(kAnnotationSecret) != std::string::npos ||
+            line.find(kAnnotationOwnerOnly) != std::string::npos) {
+            scanned.has_annotation = true;
+        }
+        const bool allows = line.find(kAllowTaintMarker) != std::string::npos;
+
+        // Quoted includes are parsed from the raw line (the stripped line
+        // blanks the path); comment state still has to advance, so strip
+        // afterwards regardless.
+        std::size_t i = 0;
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
+        if (!in_block_comment && i < line.size() && line[i] == '#') {
+            std::size_t j = i + 1;
+            while (j < line.size() && std::isspace(static_cast<unsigned char>(line[j])) != 0) ++j;
+            if (line.compare(j, 7, "include") == 0) {
+                const auto open = line.find('"', j + 7);
+                if (open != std::string::npos) {
+                    const auto close = line.find('"', open + 1);
+                    if (close != std::string::npos && close > open + 1) {
+                        scanned.includes.push_back(
+                            IncludeEdge{line.substr(open + 1, close - open - 1), line_no});
+                    }
+                }
+            }
+        }
+
+        std::string stripped = strip_code_line(line, in_block_comment);
+        if (keep_lines) {
+            scanned.stripped_lines.push_back(std::move(stripped));
+            scanned.line_allows_taint.push_back(allows);
+            scanned.line_in_device_region.push_back(in_device_region);
+        }
+        // device-end closes the region *after* its own line so the marker
+        // comment itself can sit on the closing line of the region.
+        if (line.find(kDeviceEndMarker) != std::string::npos) in_device_region = false;
+    }
+    return scanned;
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+class Checker {
+public:
+    Checker(const Manifest& manifest, fs::path repo_root)
+        : manifest_(manifest), root_(std::move(repo_root)) {}
+
+    Report check() {
+        discover_files();
+        assign_layers();
+        resolve_edges();
+        check_layer_order();
+        check_secret_reach();
+        check_secret_taint();
+        std::sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                      return std::tie(a.file, a.line, a.rule, a.message) <
+                             std::tie(b.file, b.line, b.rule, b.message);
+                  });
+        return std::move(report_);
+    }
+
+private:
+    static bool has_source_extension(const fs::path& p) {
+        const std::string ext = p.extension().string();
+        return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+    }
+
+    bool excluded(const std::string& rel) const {
+        for (const auto& prefix : manifest_.exclude) {
+            if (starts_with(rel, prefix)) return true;
+        }
+        return false;
+    }
+
+    void discover_files() {
+        std::vector<std::string> rel_paths;
+        for (fs::recursive_directory_iterator it(root_), end; it != end; ++it) {
+            const fs::path& p = it->path();
+            const std::string rel = fs::relative(p, root_).generic_string();
+            if (it->is_directory()) {
+                if (excluded(rel + "/") || p.filename().string().rfind("build", 0) == 0 ||
+                    p.filename() == ".git") {
+                    it.disable_recursion_pending();
+                }
+                continue;
+            }
+            if (!it->is_regular_file() || !has_source_extension(p) || excluded(rel)) continue;
+            rel_paths.push_back(rel);
+        }
+        std::sort(rel_paths.begin(), rel_paths.end());
+
+        // Taint scope is known before scanning, so only those files keep
+        // their stripped lines in memory.
+        const std::set<std::string> taint_whole(manifest_.taint_files.begin(),
+                                                manifest_.taint_files.end());
+        const std::set<std::string> taint_region(manifest_.taint_region_files.begin(),
+                                                 manifest_.taint_region_files.end());
+        for (const auto& rel : rel_paths) {
+            const bool keep = taint_whole.count(rel) != 0 || taint_region.count(rel) != 0 ||
+                              layer_is_device(rel);
+            files_.emplace(rel, scan_file(root_ / rel, rel, keep));
+        }
+        report_.files_scanned = files_.size();
+    }
+
+    /// Layer lookup used during discovery (before layer_of_ is built):
+    /// exact `files` entry first, then longest `paths` prefix.
+    const Layer* layer_for_path(const std::string& rel) const {
+        for (const auto& layer : manifest_.layers) {
+            if (std::find(layer.files.begin(), layer.files.end(), rel) != layer.files.end()) {
+                return &layer;
+            }
+        }
+        const Layer* best = nullptr;
+        std::size_t best_len = 0;
+        for (const auto& layer : manifest_.layers) {
+            for (const auto& prefix : layer.paths) {
+                if (starts_with(rel, prefix) && prefix.size() >= best_len) {
+                    best = &layer;
+                    best_len = prefix.size();
+                }
+            }
+        }
+        return best;
+    }
+
+    bool layer_is_device(const std::string& rel) const {
+        const Layer* layer = layer_for_path(rel);
+        return layer != nullptr && layer->device;
+    }
+
+    void assign_layers() {
+        for (const auto& [rel, scanned] : files_) {
+            const Layer* layer = layer_for_path(rel);
+            if (layer == nullptr) {
+                report_.diagnostics.push_back(
+                    {rel, 0, "unassigned-file",
+                     "file matches no layer in the manifest; add it to a layer's paths/files "
+                     "(or to [lint] exclude)"});
+                continue;
+            }
+            layer_of_[rel] = layer->name;
+        }
+        // Transitive closure of the allowed-deps relation.
+        for (const auto& layer : manifest_.layers) {
+            std::set<std::string>& closure = allowed_[layer.name];
+            closure.insert(layer.name);
+            std::deque<std::string> queue(layer.deps.begin(), layer.deps.end());
+            while (!queue.empty()) {
+                const std::string dep = queue.front();
+                queue.pop_front();
+                if (!closure.insert(dep).second) continue;
+                for (const auto& other : manifest_.layers) {
+                    if (other.name == dep) {
+                        queue.insert(queue.end(), other.deps.begin(), other.deps.end());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a quoted include against the includer's directory, then the
+    /// manifest include_dirs.  Unresolvable targets (system headers, gtest)
+    /// are simply not edges.
+    std::optional<std::string> resolve(const std::string& from, const std::string& target) const {
+        std::vector<std::string> candidates;
+        const fs::path from_dir = fs::path(from).parent_path();
+        candidates.push_back((from_dir / target).lexically_normal().generic_string());
+        for (const auto& dir : manifest_.include_dirs) {
+            candidates.push_back((fs::path(dir) / target).lexically_normal().generic_string());
+        }
+        for (auto& candidate : candidates) {
+            if (starts_with(candidate, "./")) candidate = candidate.substr(2);
+            if (files_.count(candidate) != 0) return candidate;
+        }
+        return std::nullopt;
+    }
+
+    void resolve_edges() {
+        for (const auto& [rel, scanned] : files_) {
+            for (const auto& include : scanned.includes) {
+                if (auto target = resolve(rel, include.target)) {
+                    edges_[rel].push_back({*target, include.line});
+                    ++report_.edges_checked;
+                }
+            }
+        }
+    }
+
+    bool edge_allowed(const std::string& from, const std::string& to) const {
+        return std::find(manifest_.allow_edges.begin(), manifest_.allow_edges.end(),
+                         from + " -> " + to) != manifest_.allow_edges.end();
+    }
+
+    void check_layer_order() {
+        for (const auto& [from, targets] : edges_) {
+            const auto from_layer = layer_of_.find(from);
+            if (from_layer == layer_of_.end()) continue;
+            const std::set<std::string>& allowed = allowed_.at(from_layer->second);
+            for (const auto& [to, line] : targets) {
+                const auto to_layer = layer_of_.find(to);
+                if (to_layer == layer_of_.end()) continue;
+                if (allowed.count(to_layer->second) != 0) continue;
+                if (edge_allowed(from, to)) continue;
+                report_.diagnostics.push_back(
+                    {from, line, "layer-order",
+                     "layer '" + from_layer->second + "' may not include '" + to + "' (layer '" +
+                         to_layer->second + "'); allowed dependencies: " +
+                         join(allowed) + " — grant an [allow] edge in the manifest if this is "
+                         "deliberate"});
+            }
+        }
+    }
+
+    bool is_secret(const std::string& rel) const {
+        if (std::find(manifest_.secret_headers.begin(), manifest_.secret_headers.end(), rel) !=
+            manifest_.secret_headers.end()) {
+            return true;
+        }
+        const auto it = files_.find(rel);
+        return it != files_.end() && it->second.secret_marker;
+    }
+
+    void check_secret_reach() {
+        // Manifest/annotation consistency first: a listed secret header
+        // must carry an in-source confinement marking, so grep and the
+        // manifest can never silently disagree.
+        for (const auto& header : manifest_.secret_headers) {
+            const auto it = files_.find(header);
+            if (it == files_.end()) {
+                report_.diagnostics.push_back(
+                    {header, 0, "unmarked-secret",
+                     "listed under [secret] headers but not found in the scan"});
+                continue;
+            }
+            if (!it->second.secret_marker && !it->second.has_annotation) {
+                report_.diagnostics.push_back(
+                    {header, 0, "unmarked-secret",
+                     "listed under [secret] headers but carries neither the secret-header "
+                     "marker comment nor a confinement annotation macro"});
+            }
+        }
+
+        for (const auto& [rel, layer_name] : layer_of_) {
+            const Layer* layer = layer_for_path(rel);
+            if (layer == nullptr || !layer->device) continue;
+            walk_from_device_file(rel);
+        }
+    }
+
+    void walk_from_device_file(const std::string& origin) {
+        // BFS with parent tracking so the diagnostic can print the chain.
+        std::map<std::string, std::string> parent;
+        std::map<std::string, int> via_line;
+        std::deque<std::string> queue{origin};
+        parent[origin] = "";
+        while (!queue.empty()) {
+            const std::string current = queue.front();
+            queue.pop_front();
+            const auto edges = edges_.find(current);
+            if (edges == edges_.end()) continue;
+            for (const auto& [next, line] : edges->second) {
+                if (parent.count(next) != 0) continue;
+                if (edge_allowed(current, next)) continue;
+                parent[next] = current;
+                via_line[next] = line;
+                if (is_secret(next)) {
+                    report_secret_reach(origin, next, parent, via_line);
+                    continue;  // keep walking: report every distinct header
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+
+    void report_secret_reach(const std::string& origin, const std::string& hit,
+                             const std::map<std::string, std::string>& parent,
+                             const std::map<std::string, int>& via_line) {
+        std::vector<std::string> chain{hit};
+        std::string cursor = hit;
+        while (parent.at(cursor) != "") {
+            cursor = parent.at(cursor);
+            chain.push_back(cursor);
+        }
+        std::reverse(chain.begin(), chain.end());  // origin ... hit
+        std::string rendered = chain.front();
+        for (std::size_t i = 1; i < chain.size(); ++i) rendered += " -> " + chain[i];
+        // Anchor the diagnostic at the origin's include that starts the
+        // chain: that is the edge the author can actually cut.
+        const int line = via_line.at(chain.at(1));
+        report_.diagnostics.push_back(
+            {origin, line, "secret-reach",
+             "device-layer translation unit reaches secret header '" + hit + "' via " + rendered});
+    }
+
+    void check_secret_taint() {
+        const std::set<std::string> region_files(manifest_.taint_region_files.begin(),
+                                                 manifest_.taint_region_files.end());
+        for (const auto& [rel, scanned] : files_) {
+            const bool whole_file =
+                layer_is_device(rel) ||
+                std::find(manifest_.taint_files.begin(), manifest_.taint_files.end(), rel) !=
+                    manifest_.taint_files.end();
+            const bool regions_only = !whole_file && region_files.count(rel) != 0;
+            if (!whole_file && !regions_only) continue;
+            for (std::size_t i = 0; i < scanned.stripped_lines.size(); ++i) {
+                if (regions_only && !scanned.line_in_device_region[i]) continue;
+                if (scanned.line_allows_taint[i]) continue;
+                for (const auto& identifier : manifest_.secret_identifiers) {
+                    if (!contains_word(scanned.stripped_lines[i], identifier)) continue;
+                    report_.diagnostics.push_back(
+                        {rel, static_cast<int>(i + 1), "secret-taint",
+                         "secret-marked identifier '" + identifier + "' in " +
+                             (regions_only ? "a device serialization region"
+                                           : "a device/report translation unit")});
+                }
+            }
+        }
+    }
+
+    static bool contains_word(const std::string& line, const std::string& word) {
+        std::size_t pos = 0;
+        while ((pos = line.find(word, pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+            const std::size_t end = pos + word.size();
+            const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+            if (left_ok && right_ok) return true;
+            pos = end;
+        }
+        return false;
+    }
+
+    static std::string join(const std::set<std::string>& items) {
+        std::string out;
+        for (const auto& item : items) {
+            if (!out.empty()) out += ", ";
+            out += item;
+        }
+        return out;
+    }
+
+    const Manifest& manifest_;
+    fs::path root_;
+    std::map<std::string, ScannedFile> files_;
+    std::map<std::string, std::string> layer_of_;
+    std::map<std::string, std::set<std::string>> allowed_;
+    std::map<std::string, std::vector<std::pair<std::string, int>>> edges_;
+    Report report_;
+};
+
+}  // namespace
+
+Manifest parse_manifest(const fs::path& path) { return ManifestParser(path).parse(); }
+
+Report run(const Manifest& manifest, const fs::path& repo_root) {
+    return Checker(manifest, repo_root).check();
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+    fs::path root = fs::current_path();
+    fs::path manifest_path;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (arg == "--help" || arg == "-h") {
+            out << "usage: hdlock_lint [--root DIR] [--manifest FILE] [--verbose]\n"
+                   "Checks layer ordering, key confinement (secret-reach) and secret-identifier\n"
+                   "taint against the layer manifest (default: <root>/tools/lint/layers.toml).\n"
+                   "Exit codes: 0 clean, 1 violations, 2 usage/manifest errors.\n";
+            return 0;
+        }
+        if (arg == "--root") {
+            const auto value = next();
+            if (!value) {
+                err << "hdlock_lint: --root needs a directory\n";
+                return 2;
+            }
+            root = *value;
+        } else if (arg == "--manifest") {
+            const auto value = next();
+            if (!value) {
+                err << "hdlock_lint: --manifest needs a file\n";
+                return 2;
+            }
+            manifest_path = *value;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            err << "hdlock_lint: unknown argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+    if (manifest_path.empty()) {
+        manifest_path = root / "tools" / "lint" / "layers.toml";
+        if (!fs::exists(manifest_path)) manifest_path = root / "layers.toml";
+    }
+
+    try {
+        const Manifest manifest = parse_manifest(manifest_path);
+        const Report report = run(manifest, root);
+        for (const auto& diagnostic : report.diagnostics) {
+            out << diagnostic.file << ':' << diagnostic.line << ": [" << diagnostic.rule << "] "
+                << diagnostic.message << '\n';
+        }
+        if (verbose || !report.clean()) {
+            out << "hdlock_lint: " << report.files_scanned << " files, " << report.edges_checked
+                << " include edges, " << report.diagnostics.size() << " violation"
+                << (report.diagnostics.size() == 1 ? "" : "s") << '\n';
+        }
+        return report.clean() ? 0 : 1;
+    } catch (const ManifestError& error) {
+        err << error.file() << ':' << error.line() << ": error: " << error.what() << '\n';
+        return 2;
+    } catch (const std::exception& error) {
+        err << "hdlock_lint: " << error.what() << '\n';
+        return 2;
+    }
+}
+
+}  // namespace hdlock::lint

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file lint.hpp
+/// hdlock_lint: the key-confinement and layering checker.
+///
+/// A deliberately small static analysis (plain C++17, no libclang): it
+/// parses the repo's quoted `#include` graph against a committed layer
+/// manifest (tools/lint/layers.toml) and proves three properties on every
+/// commit:
+///
+///   layer-order    every include edge respects the layer DAG
+///                  (util -> hdc -> core -> api-device -> api-owner ->
+///                  attack/eval/tools/...)
+///   secret-reach   no device-layer translation unit reaches a
+///                  secret-annotated header, directly or transitively
+///   secret-taint   no secret-marked identifier appears in device-side
+///                  code, device serialization regions, or eval JSON
+///                  output paths
+///
+/// The checker is a library (this header + lint.cpp) so its rules are
+/// themselves regression-tested against fixture trees in
+/// tests/lint/fixtures/; tools/lint/hdlock_lint.cpp is the thin CLI that CI
+/// runs as a hard gate.
+///
+/// Exit-code contract (run_cli): 0 clean, 1 violations found, 2 usage or
+/// manifest errors.
+
+#include <cstddef>
+#include <filesystem>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hdlock::lint {
+
+/// One finding, formatted by the CLI as `file:line: [rule] message`.
+struct Diagnostic {
+    std::string file;  ///< repo-root-relative path (generic '/' separators)
+    int line = 0;      ///< 1-based; 0 when the finding is file-level
+    std::string rule;  ///< layer-order | secret-reach | secret-taint | unmarked-secret | unassigned-file
+    std::string message;
+};
+
+/// Manifest (or usage) failure: maps to exit code 2.
+class ManifestError : public std::runtime_error {
+public:
+    ManifestError(std::string file, int line, const std::string& what)
+        : std::runtime_error(what), file_(std::move(file)), line_(line) {}
+
+    const std::string& file() const noexcept { return file_; }
+    int line() const noexcept { return line_; }
+
+private:
+    std::string file_;
+    int line_ = 0;
+};
+
+/// One layer of the manifest's DAG.  A file belongs to the first layer that
+/// lists it under `files`, else to the layer with the longest matching
+/// `paths` prefix.  `deps` name the layers this one may include from
+/// (transitively closed by the checker; self-edges are always allowed).
+struct Layer {
+    std::string name;
+    std::vector<std::string> paths;
+    std::vector<std::string> files;
+    std::vector<std::string> deps;
+    /// Device layers form the roots of the secret-reach walk and are
+    /// whole-file secret-taint scopes: this is the code that ships.
+    bool device = false;
+};
+
+struct Manifest {
+    /// Directories (repo-relative) against which quoted includes resolve,
+    /// in order; the includer's own directory is always tried first.
+    std::vector<std::string> include_dirs;
+    /// Path prefixes excluded from the scan (build trees, lint fixtures).
+    std::vector<std::string> exclude;
+    std::vector<Layer> layers;
+
+    /// Headers holding key material (in addition to files carrying the
+    /// in-source secret-header marker).  Every listed header must carry a
+    /// confinement marker, or the checker reports `unmarked-secret`.
+    std::vector<std::string> secret_headers;
+    /// Identifiers that taint a device/serialization/report context.
+    std::vector<std::string> secret_identifiers;
+
+    /// Extra whole-file taint scopes (e.g. eval JSON writers).
+    std::vector<std::string> taint_files;
+    /// Files scanned only between device-begin/device-end marker comments
+    /// (e.g. the device half of a mixed owner/device translation unit).
+    std::vector<std::string> taint_region_files;
+
+    /// Explicitly granted include edges, each "from -> to" (repo-relative).
+    std::vector<std::string> allow_edges;
+};
+
+/// Parses the TOML-subset manifest (sections, string/bool scalars, string
+/// arrays; see tools/lint/layers.toml for the grammar by example).
+/// Throws ManifestError on syntax or consistency problems.
+Manifest parse_manifest(const std::filesystem::path& path);
+
+struct Report {
+    std::vector<Diagnostic> diagnostics;  ///< sorted by (file, line, rule)
+    std::size_t files_scanned = 0;
+    std::size_t edges_checked = 0;
+
+    bool clean() const noexcept { return diagnostics.empty(); }
+};
+
+/// Scans `repo_root` and checks every rule.  Throws ManifestError only for
+/// manifest-level inconsistencies discovered late (e.g. a dep naming an
+/// unknown layer); everything else is a Diagnostic.
+Report run(const Manifest& manifest, const std::filesystem::path& repo_root);
+
+/// The CLI: `hdlock_lint [--root DIR] [--manifest FILE] [--verbose]`.
+/// Prints diagnostics to `out`, usage/manifest errors to `err`; returns the
+/// process exit code (0 clean / 1 violations / 2 errors).
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace hdlock::lint
