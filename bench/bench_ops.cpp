@@ -35,7 +35,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -48,6 +47,7 @@
 #include "hdc/item_memory.hpp"
 #include "util/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace {
 
@@ -500,10 +500,10 @@ void BM_ServeConcurrentCallers(benchmark::State& state, api::DispatchMode mode) 
 
     std::vector<double> latencies;
     for (auto _ : state) {
-        std::vector<std::thread> callers;
+        std::vector<util::Thread> callers;
         std::vector<std::vector<double>> per_caller(kCallers);
         for (std::size_t t = 0; t < kCallers; ++t) {
-            callers.emplace_back([&, t] {
+            callers.emplace_back(util::Thread([&, t] {
                 for (std::size_t c = 0; c < kCallsPerCaller; ++c) {
                     const auto start = std::chrono::steady_clock::now();
                     benchmark::DoNotOptimize(session.predict(rows[c]));
@@ -512,7 +512,7 @@ void BM_ServeConcurrentCallers(benchmark::State& state, api::DispatchMode mode) 
                             std::chrono::steady_clock::now() - start)
                             .count());
                 }
-            });
+            }));
         }
         for (auto& caller : callers) caller.join();
         for (auto& caller_latencies : per_caller) {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <exception>
-#include <thread>
 #include <utility>
 
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hdlock::api {
@@ -17,13 +17,13 @@ SubmitQueue::SubmitQueue(std::size_t max_rows) : max_rows_(std::max<std::size_t>
 
 void SubmitQueue::push(AsyncRequest request) {
     const std::size_t rows = request.rows.rows();
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] {
-        // An oversized request is admitted once the queue is empty — it
-        // could never satisfy the cap, and the dispatcher takes whole
-        // requests, so admitting it alone keeps FIFO order and bounds.
-        return closed_ || queued_rows_ + rows <= max_rows_ || requests_.empty();
-    });
+    const util::MutexLock lock(mutex_);
+    // An oversized request is admitted once the queue is empty — it could
+    // never satisfy the cap, and the dispatcher takes whole requests, so
+    // admitting it alone keeps FIFO order and bounds.
+    while (!closed_ && queued_rows_ + rows > max_rows_ && !requests_.empty()) {
+        not_full_.wait(mutex_);
+    }
     if (closed_) throw Error("SubmitQueue: session is shutting down");
     queued_rows_ += rows;
     requests_.push_back(std::move(request));
@@ -33,16 +33,19 @@ void SubmitQueue::push(AsyncRequest request) {
 std::vector<AsyncRequest> SubmitQueue::pop_batch(std::size_t max_batch,
                                                  std::chrono::microseconds delay) {
     max_batch = std::max<std::size_t>(max_batch, 1);
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !requests_.empty(); });
+    const util::MutexLock lock(mutex_);
+    while (!closed_ && requests_.empty()) not_empty_.wait(mutex_);
     if (requests_.empty()) return {};  // closed and drained
 
     // Coalescing window: give concurrent small callers `delay` to pile on,
     // cut short as soon as a full micro-batch is queued.
     if (delay.count() > 0 && queued_rows_ < max_batch && !closed_) {
+        // hdlock-lint: allow(nondeterminism) — the coalescing deadline is a
+        // wall-clock latency bound; it shapes batching, never per-row labels.
         const auto deadline = std::chrono::steady_clock::now() + delay;
-        not_empty_.wait_until(lock, deadline,
-                              [&] { return closed_ || queued_rows_ >= max_batch; });
+        while (!closed_ && queued_rows_ < max_batch) {
+            if (not_empty_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+        }
     }
 
     std::vector<AsyncRequest> batch;
@@ -62,7 +65,7 @@ std::vector<AsyncRequest> SubmitQueue::pop_batch(std::size_t max_batch,
 
 void SubmitQueue::close() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         closed_ = true;
     }
     not_empty_.notify_all();
@@ -70,7 +73,7 @@ void SubmitQueue::close() {
 }
 
 std::size_t SubmitQueue::queued_rows() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return queued_rows_;
 }
 
@@ -96,9 +99,9 @@ struct InferenceSession::ServingState {
     /// cheaper than the per-call allocations the old cold path made.
     class ScratchFreeList {
     public:
-        std::unique_ptr<WorkerState> acquire() {
+        std::unique_ptr<WorkerState> acquire() HDLOCK_EXCLUDES(mutex_) {
             {
-                const std::lock_guard<std::mutex> lock(mutex_);
+                const util::MutexLock lock(mutex_);
                 if (!free_.empty()) {
                     auto state = std::move(free_.back());
                     free_.pop_back();
@@ -108,14 +111,14 @@ struct InferenceSession::ServingState {
             return std::make_unique<WorkerState>();
         }
 
-        void release(std::unique_ptr<WorkerState> state) {
-            const std::lock_guard<std::mutex> lock(mutex_);
+        void release(std::unique_ptr<WorkerState> state) HDLOCK_EXCLUDES(mutex_) {
+            const util::MutexLock lock(mutex_);
             free_.push_back(std::move(state));
         }
 
     private:
-        std::mutex mutex_;
-        std::vector<std::unique_ptr<WorkerState>> free_;
+        util::Mutex mutex_;
+        std::vector<std::unique_ptr<WorkerState>> free_ HDLOCK_GUARDED_BY(mutex_);
     };
 
     class ScratchLease {
@@ -142,11 +145,11 @@ struct InferenceSession::ServingState {
     struct AsyncCore {
         const InferenceSession* session;
         SubmitQueue queue;
-        std::thread dispatcher;
+        util::Thread dispatcher;
 
         AsyncCore(const InferenceSession* owner, std::size_t max_rows)
             : session(owner), queue(max_rows) {
-            dispatcher = std::thread([this] { run(); });
+            dispatcher = util::Thread([this] { run(); });
         }
 
         ~AsyncCore() {
@@ -199,8 +202,11 @@ struct InferenceSession::ServingState {
         }
     };
 
-    std::mutex async_init;
-    std::unique_ptr<AsyncCore> async;
+    // `async` is set exactly once (first predict_async call) and never
+    // reset; the guard makes the lazy start race-free and lets the move
+    // constructor re-point a live dispatcher safely.
+    util::Mutex async_init;
+    std::unique_ptr<AsyncCore> async HDLOCK_GUARDED_BY(async_init);
 };
 
 // ---------------------------------------------------------------------------
@@ -226,9 +232,7 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
     HDLOCK_EXPECTS(discretizer_.n_levels() == encoder_->n_levels(),
                    "InferenceSession: discretizer levels do not match encoder");
     if (options.kernel_backend) util::kernels::set_backend(*options.kernel_backend);
-    n_threads_ = options.n_threads != 0
-                     ? options.n_threads
-                     : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    n_threads_ = options.n_threads != 0 ? options.n_threads : util::hardware_concurrency();
     if (options.use_product_cache) {
         product_cache_ = encoder_->make_product_cache(options.product_cache_max_bytes);
     }
@@ -256,7 +260,10 @@ InferenceSession::InferenceSession(InferenceSession&& other) noexcept
       rows_served_(other.rows_served_.load()) {
     // Re-point a (contract-violating but easy to be robust about) live
     // dispatcher at the new address; legal moves happen before serving.
-    if (state_ != nullptr && state_->async != nullptr) state_->async->session = this;
+    if (state_ != nullptr) {
+        const util::MutexLock lock(state_->async_init);
+        if (state_->async != nullptr) state_->async->session = this;
+    }
 }
 
 InferenceSession::~InferenceSession() = default;
@@ -315,21 +322,21 @@ void InferenceSession::predict_into_(const util::Matrix<float>& rows, std::span<
 
     // Legacy spawn dispatch: fresh threads and fresh scratch per batch (the
     // measured baseline the pooled path is benchmarked against).
-    std::vector<std::thread> threads;
+    std::vector<util::Thread> threads;
     std::vector<std::exception_ptr> failures(workers);
     threads.reserve(workers);
     const std::size_t chunk = (n + workers - 1) / workers;
     for (std::size_t w = 0; w < workers; ++w) {
         const std::size_t begin = w * chunk;
         const std::size_t end = std::min(begin + chunk, n);
-        threads.emplace_back([this, &rows, &out, &failures, w, begin, end] {
+        threads.emplace_back(util::Thread([this, &rows, &out, &failures, w, begin, end] {
             try {
                 WorkerState state;
                 predict_range_(rows, begin, end, out, state);
             } catch (...) {
                 failures[w] = std::current_exception();
             }
-        });
+        }));
     }
     for (auto& thread : threads) thread.join();
     for (const auto& failure : failures) {
@@ -355,15 +362,17 @@ std::future<std::vector<int>> InferenceSession::predict_async(util::Matrix<float
     }
     HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
                    "InferenceSession::predict_async: batch has wrong feature count");
+    ServingState::AsyncCore* core = nullptr;
     {
-        const std::lock_guard<std::mutex> lock(state_->async_init);
+        const util::MutexLock lock(state_->async_init);
         if (state_->async == nullptr) {
             state_->async = std::make_unique<ServingState::AsyncCore>(this, max_queue_rows_);
         }
+        core = state_->async.get();
     }
     AsyncRequest request{.rows = std::move(rows), .promise = {}};
     std::future<std::vector<int>> future = request.promise.get_future();
-    state_->async->queue.push(std::move(request));
+    core->queue.push(std::move(request));
     return future;
 }
 

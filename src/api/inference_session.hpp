@@ -35,12 +35,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -50,6 +48,8 @@
 #include "hdc/model.hpp"
 #include "util/kernels.hpp"
 #include "util/matrix.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hdlock::api {
 
@@ -121,6 +121,11 @@ struct AsyncRequest {
 /// are queued); pop_batch() coalesces concurrent small requests into one
 /// micro-batch.  close() wakes everyone: producers get an error, the
 /// consumer drains what is left and then sees "done".
+///
+/// Lock discipline (checked under -Wthread-safety): one mutex guards every
+/// mutable field; `not_empty_` wakes the dispatcher, `not_full_` wakes
+/// backpressured producers.  `max_rows_` is immutable after construction
+/// and deliberately unguarded.
 class SubmitQueue {
 public:
     explicit SubmitQueue(std::size_t max_rows);
@@ -128,26 +133,27 @@ public:
     /// Blocks while the queue is full.  A request larger than the whole
     /// queue is admitted alone (it could never fit otherwise).  Throws
     /// Error when the queue is closed.
-    void push(AsyncRequest request);
+    void push(AsyncRequest request) HDLOCK_EXCLUDES(mutex_);
 
     /// Blocks until a request arrives, then keeps collecting whole requests
     /// for up to `delay` or until `max_batch` rows are gathered.  Returns
     /// an empty vector once closed and drained.
-    std::vector<AsyncRequest> pop_batch(std::size_t max_batch, std::chrono::microseconds delay);
+    std::vector<AsyncRequest> pop_batch(std::size_t max_batch, std::chrono::microseconds delay)
+        HDLOCK_EXCLUDES(mutex_);
 
-    void close();
+    void close() HDLOCK_EXCLUDES(mutex_);
 
     /// Rows currently queued (for tests / introspection).
-    std::size_t queued_rows() const;
+    std::size_t queued_rows() const HDLOCK_EXCLUDES(mutex_);
 
 private:
-    mutable std::mutex mutex_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<AsyncRequest> requests_;
-    std::size_t queued_rows_ = 0;
+    mutable util::Mutex mutex_;
+    util::CondVar not_empty_;
+    util::CondVar not_full_;
+    std::deque<AsyncRequest> requests_ HDLOCK_GUARDED_BY(mutex_);
+    std::size_t queued_rows_ HDLOCK_GUARDED_BY(mutex_) = 0;
     std::size_t max_rows_;
-    bool closed_ = false;
+    bool closed_ HDLOCK_GUARDED_BY(mutex_) = false;
 };
 
 class InferenceSession {

@@ -3,9 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <thread>
 
 #include "util/kernels.hpp"
+#include "util/sync.hpp"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -16,6 +16,9 @@ namespace hdlock::eval {
 namespace {
 
 std::string iso8601_now() {
+    // hdlock-lint: allow(nondeterminism) — run-context timestamp only; it is
+    // stripped from deterministic dumps (include_context = false) before any
+    // byte comparison.
     const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
     std::tm utc{};
 #ifdef _WIN32
@@ -51,7 +54,7 @@ Json run_context_json(const RunOptions& options, const std::string& executable) 
     context["date"] = iso8601_now();
     context["host_name"] = host_name();
     if (!executable.empty()) context["executable"] = executable;
-    context["num_cpus"] = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
+    context["num_cpus"] = util::hardware_concurrency();
     context["n_threads"] = options.n_threads;
     // Hardware attribution: detected SIMD features and the kernel backend
     // the run actually used.  Context lives behind --no-timing stripping, so

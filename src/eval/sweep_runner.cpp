@@ -1,9 +1,9 @@
 #include "eval/sweep_runner.hpp"
 
 #include <atomic>
-#include <thread>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace hdlock::eval {
@@ -17,9 +17,8 @@ std::size_t ScenarioRunReport::n_errors() const noexcept {
 }
 
 std::size_t SweepRunner::resolved_threads(std::size_t n_trials) const noexcept {
-    std::size_t requested = options_.n_threads != 0
-                                ? options_.n_threads
-                                : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    std::size_t requested =
+        options_.n_threads != 0 ? options_.n_threads : util::hardware_concurrency();
     return std::max<std::size_t>(1, std::min(requested, n_trials));
 }
 
@@ -67,16 +66,20 @@ ScenarioRunReport SweepRunner::run(const Scenario& scenario) const {
     if (n_workers <= 1) {
         for (std::size_t i = 0; i < plan.size(); ++i) run_one(i);
     } else {
+        // Dynamic balancing over an atomic cursor: trial costs vary wildly
+        // (key sizes, attack budgets), so workers pull indices instead of
+        // taking fixed ranges.  util::Thread joins on destruction, so an
+        // exception past this point cannot leak a runaway worker.
         std::atomic<std::size_t> cursor{0};
-        std::vector<std::thread> workers;
+        std::vector<util::Thread> workers;
         workers.reserve(n_workers);
         for (std::size_t w = 0; w < n_workers; ++w) {
-            workers.emplace_back([&] {
+            workers.emplace_back(util::Thread([&] {
                 for (std::size_t index = cursor.fetch_add(1); index < report.trials.size();
                      index = cursor.fetch_add(1)) {
                     run_one(index);
                 }
-            });
+            }));
         }
         for (auto& worker : workers) worker.join();
     }

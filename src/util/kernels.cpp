@@ -165,6 +165,13 @@ std::atomic<const KernelBackend*>& active_slot() noexcept {
     return slot;
 }
 
+/// What active() resolves on first use: the HDLOCK_KERNEL_BACKEND override
+/// when set and available, otherwise the best backend this host offers.
+const KernelBackend* default_backend() noexcept {
+    const char* env = std::getenv("HDLOCK_KERNEL_BACKEND");
+    return compiled_backend(choose_backend(env == nullptr ? "" : env));
+}
+
 }  // namespace
 
 bool available(Backend kind) noexcept {
@@ -210,8 +217,7 @@ Backend choose_backend(std::string_view env_value) noexcept {
 const KernelBackend& active() noexcept {
     const KernelBackend* backend = active_slot().load(std::memory_order_acquire);
     if (backend == nullptr) {
-        const char* env = std::getenv("HDLOCK_KERNEL_BACKEND");
-        backend = compiled_backend(choose_backend(env == nullptr ? "" : env));
+        backend = default_backend();
         // First resolution wins on a race; both racers compute the same value.
         active_slot().store(backend, std::memory_order_release);
     }
@@ -230,9 +236,19 @@ Backend set_backend(Backend kind) {
         throw ConfigError(std::string("kernel backend '") + backend_name(kind) +
                           "' is not supported by this CPU");
     }
-    const Backend previous = active().kind;
-    active_slot().store(backend, std::memory_order_release);
-    return previous;
+    // Swap-and-read-previous must be one atomic step.  The old shape — read
+    // active().kind, then store — could interleave with a concurrent
+    // set_backend between the two, so a ScopedBackend pair racing on two
+    // threads could "restore" a snapshot the other pin had already replaced
+    // (and active() itself would publish a resolved default between the
+    // racers' reads).  exchange() leaves no such window.
+    const KernelBackend* previous = active_slot().exchange(backend, std::memory_order_acq_rel);
+    if (previous == nullptr) {
+        // The slot was never resolved: report what active() would have
+        // picked, so restoring the returned value reproduces the default.
+        previous = default_backend();
+    }
+    return previous->kind;
 }
 
 std::string cpu_feature_string() {

@@ -150,16 +150,27 @@ Backend set_backend(Backend kind);
 std::string cpu_feature_string();
 
 /// RAII pin for tests: set_backend(kind) now, restore the previous backend
-/// on destruction.
+/// on destruction (unless release()d).
 class ScopedBackend {
 public:
     explicit ScopedBackend(Backend kind) : previous_(set_backend(kind)) {}
-    ~ScopedBackend() { set_backend(previous_); }
+    ~ScopedBackend() {
+        if (armed_) set_backend(previous_);
+    }
     ScopedBackend(const ScopedBackend&) = delete;
     ScopedBackend& operator=(const ScopedBackend&) = delete;
 
+    /// Dismisses the pin: the pinned backend stays active past destruction.
+    /// Returns the backend the destructor would have restored, so a caller
+    /// taking over ownership of the restore can still perform it.
+    Backend release() noexcept {
+        armed_ = false;
+        return previous_;
+    }
+
 private:
     Backend previous_;
+    bool armed_ = true;
 };
 
 }  // namespace hdlock::util::kernels

@@ -11,13 +11,13 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
     n_workers = std::max<std::size_t>(n_workers, 1);
     workers_.reserve(n_workers);
     for (std::size_t slot = 0; slot < n_workers; ++slot) {
-        workers_.emplace_back([this, slot] { worker_loop_(slot); });
+        workers_.emplace_back(Thread([this, slot] { worker_loop_(slot); }));
     }
 }
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
     HDLOCK_EXPECTS(task != nullptr, "ThreadPool::submit: empty task");
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         HDLOCK_EXPECTS(!stop_, "ThreadPool::submit: pool is shutting down");
         queue_.push_back(std::move(task));
     }
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop_(std::size_t slot) {
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            const MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty()) wake_.wait(mutex_);
             if (queue_.empty()) return;  // stop_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
@@ -64,11 +64,15 @@ void parallel_for(ThreadPool& pool, std::size_t n, std::size_t n_chunks,
     // blocks until remaining hits zero, so the workers' references stay
     // valid for exactly as long as they are used.
     struct Sync {
-        std::mutex mutex;
-        std::condition_variable done;
-        std::size_t remaining;
-        std::exception_ptr error;
-    } sync{.mutex = {}, .done = {}, .remaining = n_chunks, .error = nullptr};
+        Mutex mutex;
+        CondVar done;
+        std::size_t remaining HDLOCK_GUARDED_BY(mutex) = 0;
+        std::exception_ptr error HDLOCK_GUARDED_BY(mutex);
+    } sync;
+    {
+        const MutexLock lock(sync.mutex);
+        sync.remaining = n_chunks;
+    }
 
     std::size_t submitted = 0;
     std::exception_ptr submit_error;
@@ -83,8 +87,11 @@ void parallel_for(ThreadPool& pool, std::size_t n, std::size_t n_chunks,
                 } catch (...) {
                     error = std::current_exception();
                 }
-                const std::lock_guard<std::mutex> lock(sync.mutex);
+                const MutexLock lock(sync.mutex);
                 if (error && !sync.error) sync.error = error;
+                // Notify while still holding the lock: the instant the
+                // caller can observe remaining == 0 it may destroy `sync`,
+                // so the cv access must happen-before the unlock.
                 if (--sync.remaining == 0) sync.done.notify_one();
             });
             ++submitted;
@@ -95,14 +102,18 @@ void parallel_for(ThreadPool& pool, std::size_t n, std::size_t n_chunks,
         // unwinding now would be use-after-scope: strike the never-submitted
         // chunks from the count, drain the in-flight ones, then rethrow.
         submit_error = std::current_exception();
-        const std::lock_guard<std::mutex> lock(sync.mutex);
+        const MutexLock lock(sync.mutex);
         sync.remaining -= n_chunks - submitted;
     }
 
-    std::unique_lock<std::mutex> lock(sync.mutex);
-    sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+    std::exception_ptr worker_error;
+    {
+        const MutexLock lock(sync.mutex);
+        while (sync.remaining != 0) sync.done.wait(sync.mutex);
+        worker_error = sync.error;
+    }
     if (submit_error) std::rethrow_exception(submit_error);
-    if (sync.error) std::rethrow_exception(sync.error);
+    if (worker_error) std::rethrow_exception(worker_error);
 }
 
 }  // namespace hdlock::util

@@ -20,14 +20,20 @@
 /// completion on the caller thread, and rethrows the first exception a
 /// worker captured.  Identical chunking to the old spawn path, so results
 /// and coverage semantics are unchanged — only the dispatch cost moved.
+///
+/// Lock discipline (checked under -Wthread-safety, see DESIGN.md §8):
+/// `mutex_` guards the task queue and the stop flag; `wake_` parks idle
+/// workers.  The worker vector itself is unguarded on purpose — it is
+/// written only by the constructor (before any worker can observe it) and
+/// the destructor (after every worker has been woken for shutdown).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hdlock::util {
 
@@ -52,16 +58,16 @@ public:
     /// Enqueues a task; some parked worker picks it up.  Fire-and-forget:
     /// completion and exception transport are the caller's protocol
     /// (parallel_for implements the blocking variant).
-    void submit(Task task);
+    void submit(Task task) HDLOCK_EXCLUDES(mutex_);
 
 private:
-    void worker_loop_(std::size_t slot);
+    void worker_loop_(std::size_t slot) HDLOCK_EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::deque<Task> queue_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false;
+    std::vector<Thread> workers_;
+    Mutex mutex_;
+    CondVar wake_;
+    std::deque<Task> queue_ HDLOCK_GUARDED_BY(mutex_);
+    bool stop_ HDLOCK_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `body(begin, end, slot)` over [0, n) split into `n_chunks` contiguous

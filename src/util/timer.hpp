@@ -20,6 +20,9 @@ public:
     double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
 private:
+    // hdlock-lint: allow(nondeterminism) — WallTimer IS the sanctioned timing
+    // context; every elapsed value feeds timing-only report fields that the
+    // deterministic dumps strip before byte comparison.
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <chrono>
 #include <future>
-#include <thread>
 #include <vector>
 
 #include "api/facades.hpp"
@@ -380,10 +379,10 @@ TEST(InferenceSession, ConcurrentSubmittersUnderStress) {
     const std::size_t n_rows = pipeline.data.test.n_samples();
 
     constexpr std::size_t kSubmitters = 6;
-    std::vector<std::thread> submitters;
+    std::vector<util::Thread> submitters;
     std::vector<std::vector<int>> results(kSubmitters);
     for (std::size_t t = 0; t < kSubmitters; ++t) {
-        submitters.emplace_back([&, t] {
+        submitters.emplace_back(util::Thread([&, t] {
             std::vector<std::future<std::vector<int>>> futures;
             for (std::size_t r = 0; r < n_rows; ++r) {
                 util::Matrix<float> row(1, pipeline.data.test.n_features());
@@ -395,7 +394,7 @@ TEST(InferenceSession, ConcurrentSubmittersUnderStress) {
                 const auto labels = future.get();
                 results[t].push_back(labels.at(0));
             }
-        });
+        }));
     }
     for (auto& submitter : submitters) submitter.join();
     for (std::size_t t = 0; t < kSubmitters; ++t) {
@@ -414,18 +413,18 @@ TEST(InferenceSession, ConcurrentPredictCallersShareThePoolSafely) {
     const auto session = pipeline.owner.open_session(options);
     const auto reference = session.predict(pipeline.data.test.X);
 
-    std::vector<std::thread> callers;
+    std::vector<util::Thread> callers;
     // Not vector<bool>: adjacent packed bits written from different threads
     // would be a (test-side) data race.
     std::array<std::atomic<bool>, 4> agree{};
     for (std::size_t t = 0; t < agree.size(); ++t) {
-        callers.emplace_back([&, t] {
+        callers.emplace_back(util::Thread([&, t] {
             bool all = true;
             for (int round = 0; round < 5; ++round) {
                 all = all && session.predict(pipeline.data.test.X) == reference;
             }
             agree[t].store(all);
-        });
+        }));
     }
     for (auto& caller : callers) caller.join();
     for (std::size_t t = 0; t < agree.size(); ++t) {

@@ -1,0 +1,18 @@
+struct M {
+    void lock();
+    void unlock();
+};
+
+void bad(M& m) {
+    m.lock();
+    m.unlock();
+}
+
+void ok(M& m) {
+    m.lock();  // hdlock-lint: allow(manual-lock) — fixture-sanctioned call
+    m.unlock();  // hdlock-lint: allow(manual-lock) — fixture-sanctioned call
+}
+
+void not_locking(M& m) {
+    (void)m;  // mentions unlockable in a comment: .unlock( must not fire here
+}

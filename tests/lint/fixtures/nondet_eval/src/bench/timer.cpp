@@ -1,0 +1,8 @@
+long bench_now() {
+    return time(0);  // bench is not deterministic: not flagged
+}
+
+// hdlock-lint: allow(nondeterminism)
+long bare() {
+    return time(0);
+}

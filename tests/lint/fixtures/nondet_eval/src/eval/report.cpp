@@ -1,0 +1,16 @@
+long to_time_t(long x);
+long now_ticks();
+
+long stamp() {
+    return time(0);
+}
+
+long not_flagged() {
+    return to_time_t(7);
+}
+
+long ok_timing() {
+    // hdlock-lint: allow(nondeterminism) — fixture-sanctioned timing context,
+    // justification continuing over a second comment line.
+    return now_ticks() + time(0);
+}

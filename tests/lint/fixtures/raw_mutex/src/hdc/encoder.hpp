@@ -1,0 +1,10 @@
+#pragma once
+#include <mutex>
+
+#include "util/sync.hpp"
+
+struct Encoder {
+    std::mutex guard;
+    // hdlock-lint: allow(raw-sync-primitive) — fixture-sanctioned legacy field
+    std::thread* legacy;
+};

@@ -1,0 +1,6 @@
+#pragma once
+#include <mutex>
+
+struct Wrapper {
+    std::mutex raw;  // fine: util is a raw layer
+};

@@ -6,7 +6,7 @@ int owner_save(const LockKey& key) { return key.value_mapping; }
 // hdlock-lint: device-begin  (SEN2 device serialization)
 int device_save_sen2(int payload) {
     int value_mapping = payload;                // must be flagged (line 8)
-    int vm2 = value_mapping;                    // hdlock-lint: allow(secret-taint)
+    int vm2 = value_mapping;                    // hdlock-lint: allow(secret-taint) — justified suppression
     return vm2 + payload;
 }
 // hdlock-lint: device-end

@@ -1,0 +1,12 @@
+struct T {
+    void detach();
+    void join();
+};
+
+void bad(T& t) {
+    t.detach();
+}
+
+void ok(T& t) {
+    t.join();
+}

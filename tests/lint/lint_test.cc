@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -104,6 +105,85 @@ TEST(LintFixtures, SecretIdentifierInSen2RegionIsFlaggedAndSuppressible) {
     EXPECT_NE(d.message.find("value_mapping"), std::string::npos) << d.message;
 }
 
+TEST(LintFixtures, RawSyncPrimitiveOutsideRawLayersIsCaught) {
+    // util is the [concurrency] raw layer: its std::mutex and <mutex> include
+    // pass.  The hdc file is flagged for both the angle include and the
+    // token; its std::thread member carries a justified allow on the
+    // preceding comment line, which must extend to the code line below.
+    const Report report = run_fixture("raw_mutex");
+    const auto raw = with_rule(report, "raw-sync-primitive");
+    ASSERT_EQ(raw.size(), report.diagnostics.size()) << "only raw-sync-primitive expected";
+    ASSERT_EQ(raw.size(), 2u);
+    EXPECT_EQ(raw[0].file, "src/hdc/encoder.hpp");
+    EXPECT_EQ(raw[0].line, 2);  // #include <mutex>
+    EXPECT_NE(raw[0].message.find("mutex"), std::string::npos) << raw[0].message;
+    EXPECT_EQ(raw[1].file, "src/hdc/encoder.hpp");
+    EXPECT_EQ(raw[1].line, 7);  // std::mutex member
+    EXPECT_NE(raw[1].message.find("std::mutex"), std::string::npos) << raw[1].message;
+}
+
+TEST(LintFixtures, ManualLockAndUnlockAreRaiiOnly) {
+    // Bare .lock()/.unlock() calls are flagged in every layer; the justified
+    // allow(manual-lock) markers suppress theirs, and a mention inside a
+    // comment must not fire (comments are stripped before matching).
+    const Report report = run_fixture("manual_lock");
+    const auto manual = with_rule(report, "manual-lock");
+    ASSERT_EQ(manual.size(), report.diagnostics.size()) << "only manual-lock expected";
+    ASSERT_EQ(manual.size(), 2u);
+    EXPECT_EQ(manual[0].file, "src/core/locking.cpp");
+    EXPECT_EQ(manual[0].line, 7);  // m.lock()
+    EXPECT_EQ(manual[1].file, "src/core/locking.cpp");
+    EXPECT_EQ(manual[1].line, 8);  // m.unlock()
+}
+
+TEST(LintFixtures, ThreadDetachIsBanned) {
+    // .detach() anywhere is a violation; a plain declaration of a detach()
+    // member (no '.'/'->' call syntax) is not.
+    const Report report = run_fixture("thread_detach");
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    const Diagnostic& d = report.diagnostics[0];
+    EXPECT_EQ(d.rule, "thread-detach");
+    EXPECT_EQ(d.file, "src/core/runner.cpp");
+    EXPECT_EQ(d.line, 7);
+}
+
+TEST(LintFixtures, NondeterminismInDeterministicLayerIsCaught) {
+    // eval is deterministic = true: its bare time(0) call is flagged, the
+    // to_time_t(...) call is not (call-form tokens respect the left word
+    // boundary), and the allow(nondeterminism) justification spanning two
+    // comment lines suppresses the code line that follows.  bench is not
+    // deterministic, so its time(0) passes — but its *bare* allow marker
+    // (no justification text) is itself reported.
+    const Report report = run_fixture("nondet_eval");
+
+    const auto nondet = with_rule(report, "nondeterminism");
+    ASSERT_EQ(nondet.size(), 1u);
+    EXPECT_EQ(nondet[0].file, "src/eval/report.cpp");
+    EXPECT_EQ(nondet[0].line, 5);
+    EXPECT_NE(nondet[0].message.find("time("), std::string::npos) << nondet[0].message;
+
+    const auto bare = with_rule(report, "unjustified-suppression");
+    ASSERT_EQ(bare.size(), 1u);
+    EXPECT_EQ(bare[0].file, "src/bench/timer.cpp");
+    EXPECT_EQ(bare[0].line, 5);
+
+    EXPECT_EQ(report.diagnostics.size(), 2u);
+}
+
+TEST(LintFixtures, ConcurrencyManifestSectionsAreParsed) {
+    const Manifest raw = hdlock::lint::parse_manifest(fixture("raw_mutex") / "layers.toml");
+    ASSERT_EQ(raw.concurrency_raw_layers.size(), 1u);
+    EXPECT_EQ(raw.concurrency_raw_layers[0], "util");
+    EXPECT_EQ(raw.concurrency_raw_tokens.size(), 4u);
+    EXPECT_EQ(raw.concurrency_raw_includes.size(), 2u);
+
+    const Manifest nondet = hdlock::lint::parse_manifest(fixture("nondet_eval") / "layers.toml");
+    ASSERT_EQ(nondet.layers.size(), 2u);
+    EXPECT_TRUE(nondet.layers[0].deterministic) << nondet.layers[0].name;
+    EXPECT_FALSE(nondet.layers[1].deterministic) << nondet.layers[1].name;
+    EXPECT_EQ(nondet.nondeterminism_banned.size(), 3u);
+}
+
 TEST(LintFixtures, PureLayerOrderViolationIsCaught) {
     const Report report = run_fixture("layer_order");
     ASSERT_EQ(report.diagnostics.size(), 1u);
@@ -139,6 +219,42 @@ TEST(LintCli, ExitCodeContract) {
     EXPECT_EQ(run_cli({"--help"}), 0);
 }
 
+TEST(LintCli, JsonReplacesTextOutput) {
+    std::string text;
+    EXPECT_EQ(run_cli({"--root", fixture("thread_detach").string(), "--json"}, &text), 1);
+    EXPECT_NE(text.find("\"tool\": \"hdlock_lint\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"clean\": false"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"rule\": \"thread-detach\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"line\": 7"), std::string::npos) << text;
+    // The human-readable `file:line: [rule]` form must be gone under --json.
+    EXPECT_EQ(text.find("[thread-detach]"), std::string::npos) << text;
+}
+
+TEST(LintCli, JsonPathKeepsTextAndWritesArtifact) {
+    const fs::path artifact = fs::temp_directory_path() / "hdlock_lint_test_artifact.json";
+    fs::remove(artifact);
+
+    std::string text;
+    EXPECT_EQ(run_cli({"--root", fixture("thread_detach").string(),
+                       "--json=" + artifact.string()},
+                      &text),
+              1);
+    // Text output retained (the CI log stays readable)...
+    EXPECT_NE(text.find("src/core/runner.cpp:7: [thread-detach]"), std::string::npos) << text;
+
+    // ...and the machine-readable report landed at PATH (the CI artifact).
+    std::ifstream in(artifact);
+    ASSERT_TRUE(in.good()) << artifact;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    EXPECT_NE(contents.str().find("\"clean\": false"), std::string::npos) << contents.str();
+    EXPECT_NE(contents.str().find("\"rule\": \"thread-detach\""), std::string::npos)
+        << contents.str();
+    fs::remove(artifact);
+
+    EXPECT_EQ(run_cli({"--root", fixture("clean").string(), "--json="}), 2);  // empty PATH
+}
+
 TEST(LintRepo, RealTreeIsConfinementClean) {
     // The gate CI enforces: the committed manifest over the committed tree.
     const fs::path root(HDLOCK_LINT_REPO_ROOT);
@@ -165,6 +281,44 @@ TEST(LintRepo, RealManifestListsTheKeyHeadersAsSecret) {
     bool has_device_layer = false;
     for (const auto& layer : manifest.layers) has_device_layer |= layer.device;
     EXPECT_TRUE(has_device_layer);
+}
+
+TEST(LintRepo, RealManifestEnforcesLockAndDeterminismDiscipline) {
+    // The committed policy: raw std sync primitives funnel through util (the
+    // annotated wrappers), and every result-producing layer is deterministic.
+    const fs::path root(HDLOCK_LINT_REPO_ROOT);
+    const Manifest manifest =
+        hdlock::lint::parse_manifest(root / "tools" / "lint" / "layers.toml");
+
+    ASSERT_EQ(manifest.concurrency_raw_layers.size(), 1u)
+        << "only util may touch raw std primitives";
+    EXPECT_EQ(manifest.concurrency_raw_layers[0], "util");
+    for (const char* token : {"std::mutex", "std::condition_variable", "std::thread"}) {
+        const auto& tokens = manifest.concurrency_raw_tokens;
+        EXPECT_NE(std::find(tokens.begin(), tokens.end(), token), tokens.end())
+            << token << " missing from [concurrency] raw_tokens";
+    }
+    for (const char* header : {"mutex", "condition_variable", "thread"}) {
+        const auto& includes = manifest.concurrency_raw_includes;
+        EXPECT_NE(std::find(includes.begin(), includes.end(), header), includes.end())
+            << '<' << header << "> missing from [concurrency] raw_includes";
+    }
+
+    for (const char* banned : {"steady_clock", "system_clock", "rand(", "std::random_device"}) {
+        const auto& tokens = manifest.nondeterminism_banned;
+        EXPECT_NE(std::find(tokens.begin(), tokens.end(), banned), tokens.end())
+            << banned << " missing from [nondeterminism] banned";
+    }
+
+    for (const auto& layer : manifest.layers) {
+        if (layer.name == "eval" || layer.name == "core" || layer.name == "hdc" ||
+            layer.name == "util") {
+            EXPECT_TRUE(layer.deterministic) << layer.name << " must be deterministic";
+        }
+        if (layer.name == "bench" || layer.name == "tools") {
+            EXPECT_FALSE(layer.deterministic) << layer.name << " is a timing layer";
+        }
+    }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "util/bitvec.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace kernels = hdlock::util::kernels;
 namespace bits = hdlock::util::bits;
@@ -88,6 +90,35 @@ TEST(Kernels, SetBackendPinsAndRestores) {
         kernels::ScopedBackend pin(Backend::portable);
         EXPECT_EQ(kernels::active_kind(), Backend::portable);
         EXPECT_STREQ(kernels::active_name(), "portable");
+    }
+    EXPECT_EQ(kernels::active_kind(), original);
+}
+
+TEST(Kernels, ScopedBackendReleaseDismissesRestore) {
+    const Backend original = kernels::active_kind();
+    Backend restore_to = original;
+    {
+        kernels::ScopedBackend pin(Backend::portable);
+        restore_to = pin.release();
+        EXPECT_EQ(restore_to, original);
+    }
+    // release() dismissed the destructor's restore: the pin outlives scope.
+    EXPECT_EQ(kernels::active_kind(), Backend::portable);
+    kernels::set_backend(restore_to);
+    EXPECT_EQ(kernels::active_kind(), original);
+}
+
+TEST(Kernels, SetBackendReturnsActualPreviousWhenNested) {
+    const Backend original = kernels::active_kind();
+    {
+        kernels::ScopedBackend outer(Backend::portable);
+        const Backend best = kernels::available_backends().back();
+        {
+            kernels::ScopedBackend inner(best);
+            EXPECT_EQ(kernels::active_kind(), best);
+        }
+        // The inner pin's exchange saw the *outer* pin, not a stale default.
+        EXPECT_EQ(kernels::active_kind(), Backend::portable);
     }
     EXPECT_EQ(kernels::active_kind(), original);
 }
@@ -270,6 +301,55 @@ TEST(Kernels, ColumnCounterBitIdenticalAcrossBackends) {
             }
         }
     }
+}
+
+// TSan coverage for the process-global dispatch slot: reader threads hammer
+// active() + a kernel call while writer threads churn ScopedBackend pins.
+// set_backend is a single atomic exchange, so the slot is never torn, every
+// reader always sees *some* fully-formed backend, and — because all backends
+// are bit-identical — every kernel result is the same no matter which pin
+// won.  (The old read-then-store set_backend let a racing pin restore a
+// stale snapshot; the per-thread nested-pin chain below plus this churn runs
+// under the tsan-serving-core CI job.)
+TEST(KernelsBackendConcurrency, SetBackendVsActiveIsRaceFree) {
+    const Backend original = kernels::active_kind();
+    const auto kinds = kernels::available_backends();
+
+    Xoshiro256ss rng(23);
+    const auto words = random_words(157, rng);
+    const std::size_t expected_pop = kernels::portable_backend().popcount(words.data(),
+                                                                          words.size());
+
+    std::atomic<bool> stop{false};
+    std::vector<hdlock::util::Thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back(hdlock::util::Thread([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const KernelBackend& backend = kernels::active();
+                ASSERT_NE(backend.name, nullptr);
+                ASSERT_EQ(backend.popcount(words.data(), words.size()), expected_pop)
+                    << backend.name;
+            }
+        }));
+    }
+
+    std::vector<hdlock::util::Thread> writers;
+    for (std::size_t w = 0; w < 2; ++w) {
+        writers.emplace_back(hdlock::util::Thread([&kinds, w] {
+            for (int i = 0; i < 500; ++i) {
+                kernels::ScopedBackend outer(kinds[(w + i) % kinds.size()]);
+                kernels::ScopedBackend inner(kinds[i % kinds.size()]);
+            }
+        }));
+    }
+    for (auto& writer : writers) writer.join();
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& reader : readers) reader.join();
+
+    // Concurrent pins unwind in an arbitrary global order, so re-pin
+    // explicitly rather than asserting which racer's restore landed last.
+    kernels::set_backend(original);
+    EXPECT_EQ(kernels::active_kind(), original);
 }
 
 // The bitvec span wrappers dispatch to whatever backend is pinned.

@@ -8,14 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/sync.hpp"
 
 namespace {
 
@@ -25,19 +24,19 @@ TEST(ThreadPool, RunsSubmittedTasksWithValidSlotIds) {
     util::ThreadPool pool(4);
     EXPECT_EQ(pool.size(), 4u);
 
-    std::mutex mutex;
+    util::Mutex mutex;
     std::set<std::size_t> slots;
     std::atomic<int> done{0};
     for (int i = 0; i < 64; ++i) {
         pool.submit([&](std::size_t slot) {
             {
-                const std::lock_guard<std::mutex> lock(mutex);
+                const util::MutexLock lock(mutex);
                 slots.insert(slot);
             }
             done.fetch_add(1);
         });
     }
-    while (done.load() < 64) std::this_thread::yield();
+    while (done.load() < 64) util::yield_now();
     for (const auto slot : slots) EXPECT_LT(slot, pool.size());
 }
 
@@ -46,7 +45,7 @@ TEST(ThreadPool, ZeroWorkersClampsToOne) {
     EXPECT_EQ(pool.size(), 1u);
     std::atomic<bool> ran{false};
     pool.submit([&](std::size_t) { ran.store(true); });
-    while (!ran.load()) std::this_thread::yield();
+    while (!ran.load()) util::yield_now();
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
@@ -80,12 +79,12 @@ TEST(ParallelFor, SingleChunkRunsInline) {
     // The degenerate fan-out must not pay dispatch: it runs on the calling
     // thread (observable through thread identity).
     util::ThreadPool pool(2);
-    const auto caller = std::this_thread::get_id();
-    std::thread::id executed;
+    const auto caller = util::this_thread_id();
+    util::ThreadId executed;
     util::parallel_for(pool, 5, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
         EXPECT_EQ(begin, 0u);
         EXPECT_EQ(end, 5u);
-        executed = std::this_thread::get_id();
+        executed = util::this_thread_id();
     });
     EXPECT_EQ(executed, caller);
 }
@@ -110,10 +109,10 @@ TEST(ParallelFor, ConcurrentCallersShareOnePool) {
     util::ThreadPool pool(4);
     constexpr std::size_t kCallers = 6;
     constexpr std::size_t kN = 512;
-    std::vector<std::thread> callers;
+    std::vector<util::Thread> callers;
     std::vector<std::uint64_t> totals(kCallers);
     for (std::size_t c = 0; c < kCallers; ++c) {
-        callers.emplace_back([&pool, &totals, c] {
+        callers.emplace_back(util::Thread([&pool, &totals, c] {
             std::vector<std::atomic<std::uint32_t>> hits(kN);
             for (int round = 0; round < 10; ++round) {
                 util::parallel_for(pool, kN, 4,
@@ -126,7 +125,7 @@ TEST(ParallelFor, ConcurrentCallersShareOnePool) {
             std::uint64_t total = 0;
             for (auto& hit : hits) total += hit.load();
             totals[c] = total;
-        });
+        }));
     }
     for (auto& caller : callers) caller.join();
     for (const auto total : totals) EXPECT_EQ(total, kN * 10);

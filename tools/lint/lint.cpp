@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <map>
@@ -23,7 +24,7 @@ namespace {
 const std::string kSecretHeaderMarker = std::string("hdlock-lint: ") + "secret-header";
 const std::string kDeviceBeginMarker = std::string("hdlock-lint: ") + "device-begin";
 const std::string kDeviceEndMarker = std::string("hdlock-lint: ") + "device-end";
-const std::string kAllowTaintMarker = std::string("hdlock-lint: ") + "allow(secret-taint)";
+const std::string kAllowMarkerPrefix = std::string("hdlock-lint: ") + "allow(";
 const std::string kAnnotationSecret = std::string("HDLOCK_") + "SECRET";
 const std::string kAnnotationOwnerOnly = std::string("HDLOCK_") + "OWNER_ONLY";
 
@@ -163,7 +164,8 @@ private:
             section_ = "layer";
             return;
         }
-        if (name != "lint" && name != "secret" && name != "taint" && name != "allow") {
+        if (name != "lint" && name != "secret" && name != "taint" && name != "allow" &&
+            name != "concurrency" && name != "nondeterminism") {
             fail("unknown section [" + name + "]");
         }
         section_ = name;
@@ -217,20 +219,36 @@ private:
             } else {
                 fail("unknown key '" + key + "' in [allow]");
             }
+        } else if (section_ == "concurrency") {
+            if (key == "raw_layers") {
+                manifest_.concurrency_raw_layers = std::move(items);
+            } else if (key == "raw_tokens") {
+                manifest_.concurrency_raw_tokens = std::move(items);
+            } else if (key == "raw_includes") {
+                manifest_.concurrency_raw_includes = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [concurrency]");
+            }
+        } else if (section_ == "nondeterminism") {
+            if (key == "banned") {
+                manifest_.nondeterminism_banned = std::move(items);
+            } else {
+                fail("unknown key '" + key + "' in [nondeterminism]");
+            }
         } else {
             fail("key '" + key + "' outside any known section");
         }
     }
 
     void assign_scalar(const std::string& key, const std::string& value) {
-        if (section_ == "layer" && key == "device") {
+        if (section_ == "layer" && (key == "device" || key == "deterministic")) {
+            bool flag = false;
             if (value == "true") {
-                current_layer_->device = true;
-            } else if (value == "false") {
-                current_layer_->device = false;
-            } else {
-                fail("'device' must be true or false");
+                flag = true;
+            } else if (value != "false") {
+                fail("'" + key + "' must be true or false");
             }
+            (key == "device" ? current_layer_->device : current_layer_->deterministic) = flag;
             return;
         }
         // Every other key takes a string or an array; a bare scalar that is
@@ -261,6 +279,13 @@ private:
                                     "allow edge '" + edge + "' is not of the form 'from -> to'");
             }
         }
+        for (const auto& layer_name : manifest_.concurrency_raw_layers) {
+            if (names.count(layer_name) == 0) {
+                throw ManifestError(path_.generic_string(), 0,
+                                    "[concurrency] raw_layers names unknown layer '" +
+                                        layer_name + "'");
+            }
+        }
     }
 
     fs::path path_;
@@ -285,14 +310,21 @@ struct IncludeEdge {
 
 struct ScannedFile {
     std::string path;  // repo-relative, generic separators
-    std::vector<IncludeEdge> includes;
+    std::vector<IncludeEdge> includes;        // quoted includes (layer edges)
+    std::vector<IncludeEdge> angle_includes;  // <...> includes (raw-include bans)
     bool secret_marker = false;      // file-level secret-header comment
     bool has_annotation = false;     // any HDLOCK_* confinement macro token
     // Stripped source lines (comments and string/char literal contents
-    // blanked), kept only when the file is in some taint scope.
+    // blanked) for the token scans.
     std::vector<std::string> stripped_lines;
-    std::vector<bool> line_allows_taint;  // per line: allow(secret-taint) marker
+    // Per line: the rules an allow(<rule>) marker suppresses there.  A
+    // marker on a comment-only line extends through the next code line, so
+    // a justification can span several comment lines above the suppressed
+    // statement.
+    std::vector<std::set<std::string>> line_allowed;
     std::vector<bool> line_in_device_region;
+    // allow(<rule>) markers with no justification text after ')'.
+    std::vector<std::pair<int, std::string>> bare_suppressions;  // (line, rule)
 };
 
 bool is_word_char(char c) {
@@ -340,7 +372,24 @@ std::string strip_code_line(const std::string& line, bool& in_block_comment) {
     return out;
 }
 
-ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path, bool keep_lines) {
+/// Every `hdlock-lint: allow(<rule>)` marker on the raw line, paired with
+/// whether any justification text follows the closing parenthesis.
+std::vector<std::pair<std::string, bool>> parse_allow_marks(const std::string& line) {
+    std::vector<std::pair<std::string, bool>> marks;
+    std::size_t pos = 0;
+    while ((pos = line.find(kAllowMarkerPrefix, pos)) != std::string::npos) {
+        const std::size_t open = pos + kAllowMarkerPrefix.size();
+        const std::size_t close = line.find(')', open);
+        if (close == std::string::npos) break;
+        const std::string rule = trim(line.substr(open, close - open));
+        const bool justified = !trim(line.substr(close + 1)).empty();
+        if (!rule.empty()) marks.emplace_back(rule, justified);
+        pos = close + 1;
+    }
+    return marks;
+}
+
+ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path) {
     ScannedFile scanned;
     scanned.path = rel_path;
     std::ifstream in(full_path);
@@ -348,6 +397,9 @@ ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path, bo
     int line_no = 0;
     bool in_block_comment = false;
     bool in_device_region = false;
+    // (line index, rule) of each justified allow marker; extension to the
+    // following code line happens after the whole file is read.
+    std::vector<std::pair<std::size_t, std::string>> allow_at;
     while (std::getline(in, line)) {
         ++line_no;
         // Markers live in comments: detect them on the raw line.
@@ -357,10 +409,16 @@ ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path, bo
             line.find(kAnnotationOwnerOnly) != std::string::npos) {
             scanned.has_annotation = true;
         }
-        const bool allows = line.find(kAllowTaintMarker) != std::string::npos;
+        for (const auto& [rule, justified] : parse_allow_marks(line)) {
+            if (justified) {
+                allow_at.emplace_back(static_cast<std::size_t>(line_no - 1), rule);
+            } else {
+                scanned.bare_suppressions.emplace_back(line_no, rule);
+            }
+        }
 
-        // Quoted includes are parsed from the raw line (the stripped line
-        // blanks the path); comment state still has to advance, so strip
+        // Includes are parsed from the raw line (the stripped line blanks
+        // the path); comment state still has to advance, so strip
         // afterwards regardless.
         std::size_t i = 0;
         while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
@@ -376,18 +434,35 @@ ScannedFile scan_file(const fs::path& full_path, const std::string& rel_path, bo
                             IncludeEdge{line.substr(open + 1, close - open - 1), line_no});
                     }
                 }
+                const auto angle_open = line.find('<', j + 7);
+                if (open == std::string::npos && angle_open != std::string::npos) {
+                    const auto angle_close = line.find('>', angle_open + 1);
+                    if (angle_close != std::string::npos && angle_close > angle_open + 1) {
+                        scanned.angle_includes.push_back(IncludeEdge{
+                            line.substr(angle_open + 1, angle_close - angle_open - 1), line_no});
+                    }
+                }
             }
         }
 
-        std::string stripped = strip_code_line(line, in_block_comment);
-        if (keep_lines) {
-            scanned.stripped_lines.push_back(std::move(stripped));
-            scanned.line_allows_taint.push_back(allows);
-            scanned.line_in_device_region.push_back(in_device_region);
-        }
+        scanned.stripped_lines.push_back(strip_code_line(line, in_block_comment));
+        scanned.line_allowed.emplace_back();
+        scanned.line_in_device_region.push_back(in_device_region);
         // device-end closes the region *after* its own line so the marker
         // comment itself can sit on the closing line of the region.
         if (line.find(kDeviceEndMarker) != std::string::npos) in_device_region = false;
+    }
+
+    // A marker covers its own line; from a comment-only line it extends
+    // through every following comment/blank line (the rest of the
+    // justification) up to and including the first code line.
+    for (const auto& [index, rule] : allow_at) {
+        scanned.line_allowed[index].insert(rule);
+        if (!trim(scanned.stripped_lines[index]).empty()) continue;
+        for (std::size_t j = index + 1; j < scanned.stripped_lines.size(); ++j) {
+            scanned.line_allowed[j].insert(rule);
+            if (!trim(scanned.stripped_lines[j]).empty()) break;
+        }
     }
     return scanned;
 }
@@ -408,6 +483,9 @@ public:
         check_layer_order();
         check_secret_reach();
         check_secret_taint();
+        check_concurrency();
+        check_nondeterminism();
+        check_suppressions();
         std::sort(report_.diagnostics.begin(), report_.diagnostics.end(),
                   [](const Diagnostic& a, const Diagnostic& b) {
                       return std::tie(a.file, a.line, a.rule, a.message) <
@@ -446,16 +524,11 @@ private:
         }
         std::sort(rel_paths.begin(), rel_paths.end());
 
-        // Taint scope is known before scanning, so only those files keep
-        // their stripped lines in memory.
-        const std::set<std::string> taint_whole(manifest_.taint_files.begin(),
-                                                manifest_.taint_files.end());
-        const std::set<std::string> taint_region(manifest_.taint_region_files.begin(),
-                                                 manifest_.taint_region_files.end());
+        // Every file keeps its stripped lines: the concurrency and
+        // nondeterminism token scans cover the whole tree, not just the
+        // taint scopes.
         for (const auto& rel : rel_paths) {
-            const bool keep = taint_whole.count(rel) != 0 || taint_region.count(rel) != 0 ||
-                              layer_is_device(rel);
-            files_.emplace(rel, scan_file(root_ / rel, rel, keep));
+            files_.emplace(rel, scan_file(root_ / rel, rel));
         }
         report_.files_scanned = files_.size();
     }
@@ -662,7 +735,7 @@ private:
             if (!whole_file && !regions_only) continue;
             for (std::size_t i = 0; i < scanned.stripped_lines.size(); ++i) {
                 if (regions_only && !scanned.line_in_device_region[i]) continue;
-                if (scanned.line_allows_taint[i]) continue;
+                if (scanned.line_allowed[i].count("secret-taint") != 0) continue;
                 for (const auto& identifier : manifest_.secret_identifiers) {
                     if (!contains_word(scanned.stripped_lines[i], identifier)) continue;
                     report_.diagnostics.push_back(
@@ -671,6 +744,135 @@ private:
                              (regions_only ? "a device serialization region"
                                            : "a device/report translation unit")});
                 }
+            }
+        }
+    }
+
+    /// Token scan for the concurrency/nondeterminism rules.  The character
+    /// before the match must not be an identifier character (so `steady_clock`
+    /// does not fire inside `my_steady_clock`, but does after `std::chrono::`).
+    /// A token ending in '(' is a call form and needs no right boundary;
+    /// otherwise the character after must not be an identifier character
+    /// (`std::thread` still fires in `std::thread::id`).
+    static bool contains_token(const std::string& line, const std::string& token) {
+        const bool call_form = !token.empty() && token.back() == '(';
+        std::size_t pos = 0;
+        while ((pos = line.find(token, pos)) != std::string::npos) {
+            const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+            const std::size_t end = pos + token.size();
+            const bool right_ok = call_form || end >= line.size() || !is_word_char(line[end]);
+            if (left_ok && right_ok) return true;
+            ++pos;
+        }
+        return false;
+    }
+
+    bool line_allows(const ScannedFile& scanned, std::size_t index, const char* rule) const {
+        return scanned.line_allowed[index].count(rule) != 0;
+    }
+
+    void check_concurrency() {
+        const std::set<std::string> raw_layers(manifest_.concurrency_raw_layers.begin(),
+                                               manifest_.concurrency_raw_layers.end());
+        const std::set<std::string> raw_includes(manifest_.concurrency_raw_includes.begin(),
+                                                 manifest_.concurrency_raw_includes.end());
+        // Member-call shapes of the banned operations.  manual-lock and
+        // thread-detach apply in *every* layer (including the raw layers):
+        // even the wrapper implementations justify their .lock() calls.
+        const std::vector<std::string> manual_lock = {std::string(".") + "lock(",
+                                                      std::string("->") + "lock(",
+                                                      std::string(".") + "unlock(",
+                                                      std::string("->") + "unlock("};
+        const std::vector<std::string> detach = {std::string(".") + "detach(",
+                                                 std::string("->") + "detach("};
+        for (const auto& [rel, scanned] : files_) {
+            const auto layer_it = layer_of_.find(rel);
+            const bool raw_ok =
+                layer_it != layer_of_.end() && raw_layers.count(layer_it->second) != 0;
+            for (std::size_t i = 0; i < scanned.stripped_lines.size(); ++i) {
+                const std::string& line = scanned.stripped_lines[i];
+                if (!raw_ok && !line_allows(scanned, i, "raw-sync-primitive")) {
+                    for (const auto& token : manifest_.concurrency_raw_tokens) {
+                        if (!contains_token(line, token)) continue;
+                        report_.diagnostics.push_back(
+                            {rel, static_cast<int>(i + 1), "raw-sync-primitive",
+                             "raw '" + token + "' outside the " + join(raw_layers) +
+                                 " layer(s); lock through the annotated util::Mutex/"
+                                 "MutexLock/CondVar/Thread wrappers (util/sync.hpp) so "
+                                 "-Wthread-safety sees it"});
+                    }
+                }
+                if (!line_allows(scanned, i, "manual-lock")) {
+                    for (const auto& token : manual_lock) {
+                        if (line.find(token) == std::string::npos) continue;
+                        report_.diagnostics.push_back(
+                            {rel, static_cast<int>(i + 1), "manual-lock",
+                             "bare '" + token + ")' call; acquire locks through an RAII "
+                                 "scope (util::MutexLock) — manual lock/unlock pairs leak "
+                                 "on exceptions and are invisible to -Wthread-safety"});
+                        break;
+                    }
+                }
+                if (!line_allows(scanned, i, "thread-detach")) {
+                    for (const auto& token : detach) {
+                        if (line.find(token) == std::string::npos) continue;
+                        report_.diagnostics.push_back(
+                            {rel, static_cast<int>(i + 1), "thread-detach",
+                             "thread detach; every thread in this repo joins (util::Thread "
+                                 "has no detach) — a detached thread outliving its captures "
+                                 "is undiagnosable"});
+                        break;
+                    }
+                }
+            }
+            if (raw_ok) continue;
+            for (const auto& [target, line] : scanned.angle_includes) {
+                if (raw_includes.count(target) == 0) continue;
+                if (line_allows(scanned, static_cast<std::size_t>(line - 1),
+                                "raw-sync-primitive")) {
+                    continue;
+                }
+                report_.diagnostics.push_back(
+                    {rel, line, "raw-sync-primitive",
+                     "#include <" + target + "> outside the " + join(raw_layers) +
+                         " layer(s); include \"util/sync.hpp\" instead"});
+            }
+        }
+    }
+
+    void check_nondeterminism() {
+        std::set<std::string> deterministic_layers;
+        for (const auto& layer : manifest_.layers) {
+            if (layer.deterministic) deterministic_layers.insert(layer.name);
+        }
+        for (const auto& [rel, scanned] : files_) {
+            const auto layer_it = layer_of_.find(rel);
+            if (layer_it == layer_of_.end() ||
+                deterministic_layers.count(layer_it->second) == 0) {
+                continue;
+            }
+            for (std::size_t i = 0; i < scanned.stripped_lines.size(); ++i) {
+                if (line_allows(scanned, i, "nondeterminism")) continue;
+                for (const auto& token : manifest_.nondeterminism_banned) {
+                    if (!contains_token(scanned.stripped_lines[i], token)) continue;
+                    report_.diagnostics.push_back(
+                        {rel, static_cast<int>(i + 1), "nondeterminism",
+                         "nondeterminism source '" + token + "' in deterministic layer '" +
+                             layer_it->second + "' — outputs here are byte-compared in CI; "
+                             "thread seeded util:: RNG through instead, or mark a genuine "
+                             "timing context with a justified allow(nondeterminism)"});
+                }
+            }
+        }
+    }
+
+    void check_suppressions() {
+        for (const auto& [rel, scanned] : files_) {
+            for (const auto& [line, rule] : scanned.bare_suppressions) {
+                report_.diagnostics.push_back(
+                    {rel, line, "unjustified-suppression",
+                     "allow(" + rule + ") without a justification — state why after the "
+                         "closing parenthesis"});
             }
         }
     }
@@ -705,6 +907,59 @@ private:
     Report report_;
 };
 
+// ---------------------------------------------------------------------------
+// JSON report rendering (--json)
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string report_json(const Report& report) {
+    std::string out = "{\n";
+    out += "  \"tool\": \"hdlock_lint\",\n";
+    out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+    out += "  \"edges_checked\": " + std::to_string(report.edges_checked) + ",\n";
+    out += std::string("  \"clean\": ") + (report.clean() ? "true" : "false") + ",\n";
+    out += "  \"diagnostics\": [";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const Diagnostic& d = report.diagnostics[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"file\": \"" + json_escape(d.file) + "\", \"line\": " +
+               std::to_string(d.line) + ", \"rule\": \"" + json_escape(d.rule) +
+               "\", \"message\": \"" + json_escape(d.message) + "\"}";
+    }
+    out += report.diagnostics.empty() ? "]\n" : "\n  ]\n";
+    out += "}";
+    return out;
+}
+
 }  // namespace
 
 Manifest parse_manifest(const fs::path& path) { return ManifestParser(path).parse(); }
@@ -717,6 +972,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     fs::path root = fs::current_path();
     fs::path manifest_path;
     bool verbose = false;
+    bool json_to_out = false;
+    fs::path json_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::optional<std::string> {
@@ -724,11 +981,28 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
             return std::string(argv[++i]);
         };
         if (arg == "--help" || arg == "-h") {
-            out << "usage: hdlock_lint [--root DIR] [--manifest FILE] [--verbose]\n"
-                   "Checks layer ordering, key confinement (secret-reach) and secret-identifier\n"
-                   "taint against the layer manifest (default: <root>/tools/lint/layers.toml).\n"
+            out << "usage: hdlock_lint [--root DIR] [--manifest FILE] [--verbose] "
+                   "[--json[=PATH]]\n"
+                   "Checks layer ordering, key confinement (secret-reach/taint), concurrency\n"
+                   "discipline (raw-sync-primitive, manual-lock, thread-detach) and\n"
+                   "deterministic-layer rules against the layer manifest (default:\n"
+                   "<root>/tools/lint/layers.toml).\n"
+                   "--json prints a machine-readable report instead of text; --json=PATH\n"
+                   "keeps the text output and writes the JSON report to PATH.\n"
                    "Exit codes: 0 clean, 1 violations, 2 usage/manifest errors.\n";
             return 0;
+        }
+        if (arg == "--json") {
+            json_to_out = true;
+            continue;
+        }
+        if (starts_with(arg, "--json=")) {
+            json_path = arg.substr(std::string("--json=").size());
+            if (json_path.empty()) {
+                err << "hdlock_lint: --json= needs a file path\n";
+                return 2;
+            }
+            continue;
         }
         if (arg == "--root") {
             const auto value = next();
@@ -759,14 +1033,27 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     try {
         const Manifest manifest = parse_manifest(manifest_path);
         const Report report = run(manifest, root);
-        for (const auto& diagnostic : report.diagnostics) {
-            out << diagnostic.file << ':' << diagnostic.line << ": [" << diagnostic.rule << "] "
-                << diagnostic.message << '\n';
+        if (json_to_out) {
+            out << report_json(report) << '\n';
+        } else {
+            for (const auto& diagnostic : report.diagnostics) {
+                out << diagnostic.file << ':' << diagnostic.line << ": [" << diagnostic.rule
+                    << "] " << diagnostic.message << '\n';
+            }
+            if (verbose || !report.clean()) {
+                out << "hdlock_lint: " << report.files_scanned << " files, "
+                    << report.edges_checked << " include edges, " << report.diagnostics.size()
+                    << " violation" << (report.diagnostics.size() == 1 ? "" : "s") << '\n';
+            }
         }
-        if (verbose || !report.clean()) {
-            out << "hdlock_lint: " << report.files_scanned << " files, " << report.edges_checked
-                << " include edges, " << report.diagnostics.size() << " violation"
-                << (report.diagnostics.size() == 1 ? "" : "s") << '\n';
+        if (!json_path.empty()) {
+            std::ofstream json_out(json_path);
+            json_out << report_json(report) << '\n';
+            if (!json_out) {
+                err << "hdlock_lint: cannot write JSON report to '"
+                    << json_path.generic_string() << "'\n";
+                return 2;
+            }
         }
         return report.clean() ? 0 : 1;
     } catch (const ManifestError& error) {

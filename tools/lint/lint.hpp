@@ -17,6 +17,27 @@
 ///                  code, device serialization regions, or eval JSON
 ///                  output paths
 ///
+/// plus the concurrency/determinism discipline rules (riding the same layer
+/// manifest):
+///
+///   raw-sync-primitive  raw std sync/thread primitives (std::mutex,
+///                       std::condition_variable, std::thread, ...) and
+///                       their angle includes outside the [concurrency]
+///                       raw_layers — everything else locks through the
+///                       annotated util::Mutex/MutexLock/CondVar/Thread
+///                       wrappers so -Wthread-safety sees it
+///   manual-lock         bare .lock()/.unlock() calls anywhere; locking is
+///                       RAII-scoped only
+///   thread-detach       .detach() anywhere; every thread joins
+///   nondeterminism      banned nondeterminism sources (rand, clocks,
+///                       std::random_device, ...) inside layers marked
+///                       `deterministic = true`
+///
+/// Any rule can be suppressed on a specific line with a
+/// `hdlock-lint: allow(<rule>)` comment, but only with a justification text
+/// after the closing parenthesis — a bare suppression is itself reported
+/// (unjustified-suppression).
+///
 /// The checker is a library (this header + lint.cpp) so its rules are
 /// themselves regression-tested against fixture trees in
 /// tests/lint/fixtures/; tools/lint/hdlock_lint.cpp is the thin CLI that CI
@@ -38,7 +59,10 @@ namespace hdlock::lint {
 struct Diagnostic {
     std::string file;  ///< repo-root-relative path (generic '/' separators)
     int line = 0;      ///< 1-based; 0 when the finding is file-level
-    std::string rule;  ///< layer-order | secret-reach | secret-taint | unmarked-secret | unassigned-file
+    /// layer-order | secret-reach | secret-taint | unmarked-secret |
+    /// unassigned-file | raw-sync-primitive | manual-lock | thread-detach |
+    /// nondeterminism | unjustified-suppression
+    std::string rule;
     std::string message;
 };
 
@@ -68,6 +92,9 @@ struct Layer {
     /// Device layers form the roots of the secret-reach walk and are
     /// whole-file secret-taint scopes: this is the code that ships.
     bool device = false;
+    /// Deterministic layers must not call the [nondeterminism] banned
+    /// sources (clocks, rand, ...): their outputs are byte-compared in CI.
+    bool deterministic = false;
 };
 
 struct Manifest {
@@ -93,6 +120,19 @@ struct Manifest {
 
     /// Explicitly granted include edges, each "from -> to" (repo-relative).
     std::vector<std::string> allow_edges;
+
+    /// [concurrency] — the raw-sync-primitive funnel.  Layers in
+    /// `raw_layers` (normally just util, where the annotated wrappers live)
+    /// may use the raw std primitives; everywhere else any `raw_tokens`
+    /// token or `raw_includes` angle include is a violation.
+    std::vector<std::string> concurrency_raw_layers;
+    std::vector<std::string> concurrency_raw_tokens;
+    std::vector<std::string> concurrency_raw_includes;
+
+    /// [nondeterminism] — tokens banned inside `deterministic = true`
+    /// layers.  A trailing '(' restricts the match to call syntax (so
+    /// `time(` flags the libc call but not `std::time_t`).
+    std::vector<std::string> nondeterminism_banned;
 };
 
 /// Parses the TOML-subset manifest (sections, string/bool scalars, string
@@ -113,9 +153,13 @@ struct Report {
 /// unknown layer); everything else is a Diagnostic.
 Report run(const Manifest& manifest, const std::filesystem::path& repo_root);
 
-/// The CLI: `hdlock_lint [--root DIR] [--manifest FILE] [--verbose]`.
+/// The CLI:
+/// `hdlock_lint [--root DIR] [--manifest FILE] [--verbose] [--json[=PATH]]`.
 /// Prints diagnostics to `out`, usage/manifest errors to `err`; returns the
-/// process exit code (0 clean / 1 violations / 2 errors).
+/// process exit code (0 clean / 1 violations / 2 errors).  `--json` replaces
+/// the text output with a machine-readable report on `out`; `--json=PATH`
+/// additionally keeps the text output and writes the JSON report to PATH
+/// (the CI artifact form).
 int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
 
 }  // namespace hdlock::lint
