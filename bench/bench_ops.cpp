@@ -405,6 +405,10 @@ BENCHMARK(BM_ServeBatchSessionCached)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::k
 //    threads hammering one shared session, pool vs. spawn.
 //  - BM_ServeAsyncMicroBatch: 64 independent 1-row predict_async() calls
 //    per iteration, coalesced by the SubmitQueue dispatcher.
+//  - BM_RouterOpenLoop/<placement>/{shards,burst}: open-loop typed requests
+//    against a ShardRouter fleet — bursts past the shed watermark must come
+//    back Overloaded (bounded queues, bounded p99 queue time) while every
+//    Ok response stays bit-identical to a reference session.
 //  - BM_BundleLoad{Copy,Mapped}: device `.hdlk` startup at D=10k, P=784 —
 //    full-copy load_device() vs. zero-copy open_mapped().
 // ---------------------------------------------------------------------------
@@ -554,6 +558,78 @@ void BM_ServeAsyncMicroBatch(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRequests);
 }
 BENCHMARK(BM_ServeAsyncMicroBatch)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Open-loop load against the shard-router fleet: each iteration fires
+/// `burst` 8-row typed requests without awaiting, then harvests every
+/// future.  range(0) = shard count, range(1) = burst size; small bursts fit
+/// under the shed watermark (derived: shards x max_queue_rows), large ones
+/// cross it so admission control engages.  Counters record the split and
+/// the queue-time percentiles of the served requests; `bit_identical` is 1
+/// only if every Ok response matched the reference session's labels.
+void BM_RouterOpenLoop(benchmark::State& state, api::Placement placement) {
+    const ServingFixture& fixture = latency_fixture();
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    const auto burst = static_cast<std::size_t>(state.range(1));
+    constexpr std::size_t kRowsPerRequest = 8;
+
+    api::RouterOptions options;
+    options.n_shards = shards;
+    options.placement = placement;
+    options.session.n_threads = 2;
+    options.session.min_rows_per_thread = 1;
+    options.session.use_product_cache = true;
+    options.session.max_batch = 64;
+    options.session.max_queue_rows = 256;
+    const auto router = fixture.owner.open_router(options);
+    const auto reference = fixture.owner.open_session({.n_threads = 1});
+    const auto rows = tile_rows(fixture.batch, kRowsPerRequest);
+    const std::vector<int> expected = reference.predict(rows);
+
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t mismatches = 0;
+    std::vector<double> queue_us;
+    for (auto _ : state) {
+        std::vector<std::future<api::Response>> inflight;
+        inflight.reserve(burst);
+        for (std::size_t r = 0; r < burst; ++r) {
+            api::Request request;
+            request.rows = tile_rows(fixture.batch, kRowsPerRequest);
+            if (placement == api::Placement::consistent_hash) request.shard_key = r % 16;
+            inflight.push_back(router.submit(std::move(request)));
+        }
+        for (auto& future : inflight) {
+            const api::Response response = future.get();
+            if (response.ok()) {
+                ++ok;
+                if (response.labels != expected) ++mismatches;
+                queue_us.push_back(
+                    std::chrono::duration<double, std::micro>(response.queue_time).count());
+            } else if (response.status == api::Status::overloaded) {
+                ++shed;
+            }
+        }
+    }
+    std::sort(queue_us.begin(), queue_us.end());
+    if (!queue_us.empty()) {
+        state.counters["queue_p50_us"] = queue_us[queue_us.size() / 2];
+        state.counters["queue_p99_us"] = queue_us[queue_us.size() * 99 / 100];
+    }
+    state.counters["ok"] = static_cast<double>(ok);
+    state.counters["shed"] = static_cast<double>(shed);
+    state.counters["shed_pct"] =
+        ok + shed == 0 ? 0.0 : 100.0 * static_cast<double>(shed) / static_cast<double>(ok + shed);
+    state.counters["bit_identical"] = mismatches == 0 ? 1.0 : 0.0;
+    state.SetItemsProcessed(static_cast<std::int64_t>(ok) *
+                            static_cast<std::int64_t>(kRowsPerRequest));
+}
+BENCHMARK_CAPTURE(BM_RouterOpenLoop, least_loaded, api::Placement::least_loaded)
+    ->Args({1, 16})->Args({1, 256})->Args({4, 16})->Args({4, 256})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_RouterOpenLoop, round_robin, api::Placement::round_robin)
+    ->Args({4, 256})->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_RouterOpenLoop, consistent_hash, api::Placement::consistent_hash)
+    ->Args({4, 256})->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /// Device `.hdlk` startup at the paper's deployment scale (D=10k, P=784):
 /// the full-copy loader vs. the zero-copy mapped open.  The file is written

@@ -15,10 +15,17 @@
 ///     std::vector<int> labels = session.predict(batch);       // pooled
 ///     auto future = session.predict_async(more_rows);         // micro-batched
 ///
+///     auto router = device.open_router({.n_shards = 4});      // the fleet
+///     auto response = router.submit({.rows = std::move(rows),
+///                                    .deadline = util::Deadline::after(5ms)});
+///
 /// See facades.hpp for the privilege model, bundle.hpp for the `.hdlk`
-/// format, inference_session.hpp for the serving contract.
+/// format, inference_session.hpp for the serving contract, request.hpp +
+/// shard_router.hpp for the typed request path and the fleet layer.
 
 #include "api/bundle.hpp"            // IWYU pragma: export
 #include "api/facades.hpp"           // IWYU pragma: export
 #include "api/inference_session.hpp" // IWYU pragma: export
+#include "api/request.hpp"           // IWYU pragma: export
 #include "api/sealed_encoder.hpp"    // IWYU pragma: export
+#include "api/shard_router.hpp"      // IWYU pragma: export

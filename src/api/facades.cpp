@@ -87,6 +87,15 @@ int Owner::predict_row(std::span<const float> row) const {
     return predict_one(*deployment_.encoder, *discretizer_, *model_, row);
 }
 
+std::vector<int> Owner::predict(const util::Matrix<float>& rows) const {
+    return open_session().predict(rows);
+}
+
+ShardRouter Owner::open_router(RouterOptions options) const {
+    HDLOCK_EXPECTS(trained(), "Owner::open_router: train (or load a trained bundle) first");
+    return ShardRouter(deployment_.encoder, *discretizer_, *model_, std::move(options));
+}
+
 KeyAuditReport Owner::audit() const {
     return audit_key(deployment_.secure->key(), *deployment_.store);
 }
@@ -160,6 +169,11 @@ const hdc::MinMaxDiscretizer& Device::discretizer() const {
 InferenceSession Device::open_session(SessionOptions options) const {
     HDLOCK_EXPECTS(can_serve(), "Device::open_session: bundle has no discretizer/model");
     return InferenceSession(encoder_, *discretizer_, *model_, options);
+}
+
+ShardRouter Device::open_router(RouterOptions options) const {
+    HDLOCK_EXPECTS(can_serve(), "Device::open_router: bundle has no discretizer/model");
+    return ShardRouter(encoder_, *discretizer_, *model_, std::move(options));
 }
 
 int Device::predict_row(std::span<const float> row) const {

@@ -28,6 +28,7 @@
 #include "api/bundle.hpp"
 #include "api/inference_session.hpp"
 #include "api/sealed_encoder.hpp"
+#include "api/shard_router.hpp"
 #include "core/key_tools.hpp"
 #include "core/locked_encoder.hpp"
 #include "data/dataset.hpp"
@@ -63,7 +64,11 @@ public:
 
     /// Accuracy on a labeled dataset (requires a trained model).
     double evaluate(const data::Dataset& dataset) const;
+    /// Single-row / batched predict, following the predict-surface
+    /// convention in inference_session.hpp (predict() mints a session per
+    /// call, like evaluate(); open a session for repeated batches).
     int predict_row(std::span<const float> row) const;
+    std::vector<int> predict(const util::Matrix<float>& rows) const;
 
     /// Pre-seal key hygiene: bounds + feature-aliasing + entropy report.
     KeyAuditReport audit() const;
@@ -80,6 +85,10 @@ public:
 
     /// Owner-side batched serving (e.g. scoring a validation set).
     InferenceSession open_session(SessionOptions options = {}) const;
+
+    /// Owner-side shard router — the same fleet shape production devices
+    /// run, e.g. for stress-testing a deployment's SLOs before export.
+    ShardRouter open_router(RouterOptions options = {}) const;
 
     // Privileged accessors — these exist only on the Owner facade.
     HDLOCK_SECRET const LockKey& key() const { return deployment_.secure->key(); }
@@ -127,10 +136,16 @@ public:
     /// Builds a device directly from a device bundle (e.g. Owner::make_device).
     explicit Device(DeploymentBundle bundle);
 
+    /// Single-row / batched predict, following the predict-surface
+    /// convention in inference_session.hpp (span of raw features in, typed
+    /// labels out; these reuse one session built at load time).
     int predict_row(std::span<const float> row) const;
     std::vector<int> predict(const util::Matrix<float>& rows) const;
     double evaluate(const data::Dataset& dataset) const;
     InferenceSession open_session(SessionOptions options = {}) const;
+    /// The serving fleet: N sessions over this device's (possibly mapped)
+    /// encoder — shards share the mmap, so memory stays ~1x the bundle.
+    ShardRouter open_router(RouterOptions options = {}) const;
     bool can_serve() const noexcept { return discretizer_.has_value() && model_.has_value(); }
 
     /// The sealed encoder, as the base interface: no key, no store handle.

@@ -30,6 +30,20 @@ void SubmitQueue::push(AsyncRequest request) {
     not_empty_.notify_one();
 }
 
+Status SubmitQueue::try_submit(AsyncRequest&& request) {
+    const std::size_t rows = request.rows.rows();
+    const util::MutexLock lock(mutex_);
+    if (closed_) throw Error("SubmitQueue: session is shutting down");
+    // Same admission rule as push() (oversized requests go in alone once
+    // the queue is empty), but a full queue refuses instead of blocking —
+    // the request is left untouched for the caller to resolve as shed.
+    if (queued_rows_ + rows > max_rows_ && !requests_.empty()) return Status::overloaded;
+    queued_rows_ += rows;
+    requests_.push_back(std::move(request));
+    not_empty_.notify_one();
+    return Status::ok;
+}
+
 std::vector<AsyncRequest> SubmitQueue::pop_batch(std::size_t max_batch,
                                                  std::chrono::microseconds delay) {
     max_batch = std::max<std::size_t>(max_batch, 1);
@@ -145,10 +159,18 @@ struct InferenceSession::ServingState {
     struct AsyncCore {
         const InferenceSession* session;
         SubmitQueue queue;
+        /// Effective coalescing delay in µs, read by the dispatcher each
+        /// cycle and rewritten by the adaptive governor (atomic so tests
+        /// and current_queue_delay() may read it from other threads).
+        std::atomic<std::int64_t> queue_delay_us;
+        // Governor state below is touched by the dispatcher thread only.
+        double arrival_rate = 0.0;  // EWMA, rows per µs
+        bool governor_primed = false;
+        util::SteadyTime last_pop{};
         util::Thread dispatcher;
 
         AsyncCore(const InferenceSession* owner, std::size_t max_rows)
-            : session(owner), queue(max_rows) {
+            : session(owner), queue(max_rows), queue_delay_us(owner->max_queue_delay_.count()) {
             dispatcher = util::Thread([this] { run(); });
         }
 
@@ -159,27 +181,128 @@ struct InferenceSession::ServingState {
 
         void run() {
             for (;;) {
-                std::vector<AsyncRequest> batch =
-                    queue.pop_batch(session->max_batch_, session->max_queue_delay_);
+                const std::chrono::microseconds delay(
+                    queue_delay_us.load(std::memory_order_relaxed));
+                std::vector<AsyncRequest> batch = queue.pop_batch(session->max_batch_, delay);
                 if (batch.empty()) return;  // closed and drained
+                if (session->adaptive_queue_delay_) update_governor(batch);
                 serve(batch);
             }
         }
 
-        void serve(std::vector<AsyncRequest>& batch) {
+        /// Adaptive max_queue_delay: estimate the request arrival rate from
+        /// rows popped per dispatch cycle (EWMA), then wait only as long as
+        /// coalescing can actually pay — zero when arrivals are too sparse
+        /// for a second request to join the window, otherwise just long
+        /// enough to fill a batch at the measured rate, capped at the
+        /// configured maximum.  Shapes batching/latency only, never labels.
+        void update_governor(const std::vector<AsyncRequest>& batch) {
+            std::size_t rows = 0;
+            for (const auto& request : batch) rows += request.rows.rows();
+            const util::SteadyTime now = util::steady_now();
+            if (!governor_primed) {
+                governor_primed = true;
+                last_pop = now;
+                return;
+            }
+            const double elapsed_us = std::max(
+                std::chrono::duration<double, std::micro>(now - last_pop).count(), 1.0);
+            last_pop = now;
+            const double rate = static_cast<double>(rows) / elapsed_us;
+            arrival_rate = arrival_rate == 0.0 ? rate : 0.8 * arrival_rate + 0.2 * rate;
+            const double max_us = static_cast<double>(session->max_queue_delay_.count());
+            double target_us = 0.0;
+            if (arrival_rate * max_us >= 1.0) {
+                target_us = std::min(
+                    max_us, static_cast<double>(session->max_batch_) / arrival_rate);
+            }
+            queue_delay_us.store(static_cast<std::int64_t>(target_us),
+                                 std::memory_order_relaxed);
+        }
+
+        /// Settles the in-flight accounting for a request.  Called *before*
+        /// the promise is resolved in every resolve_* path, so a caller that
+        /// has observed the response also observes the decremented counter
+        /// (the router's watermark and tests rely on that ordering).
+        void finish(const AsyncRequest& request) {
+            session->inflight_rows_.fetch_sub(static_cast<std::int64_t>(request.rows.rows()),
+                                              std::memory_order_relaxed);
+        }
+
+        void resolve_labels(AsyncRequest& request, std::vector<int> labels,
+                            util::SteadyTime now) {
+            finish(request);
+            if (request.typed) {
+                Response response;
+                response.labels = std::move(labels);
+                response.status = Status::ok;
+                response.shard_id = request.shard_id;
+                response.queue_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - request.enqueued_at);
+                request.typed_promise.set_value(std::move(response));
+            } else {
+                request.promise.set_value(std::move(labels));
+            }
+        }
+
+        void resolve_status(AsyncRequest& request, Status status, util::SteadyTime now) {
+            finish(request);
+            Response response;
+            response.status = status;
+            response.shard_id = request.shard_id;
+            response.queue_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - request.enqueued_at);
+            request.typed_promise.set_value(std::move(response));
+        }
+
+        void resolve_error(AsyncRequest& request, std::exception_ptr error) {
+            finish(request);
+            if (request.typed) {
+                request.typed_promise.set_exception(std::move(error));
+            } else {
+                request.promise.set_exception(std::move(error));
+            }
+        }
+
+        void serve_one(AsyncRequest& request, util::SteadyTime now) {
             try {
-                if (batch.size() == 1) {
-                    batch.front().promise.set_value(session->predict(batch.front().rows));
-                    return;
+                resolve_labels(request, session->predict(request.rows), now);
+            } catch (...) {
+                resolve_error(request, std::current_exception());
+            }
+        }
+
+        void serve(std::vector<AsyncRequest>& batch) {
+            // Pre-encode drop: cancelled or expired requests resolve here,
+            // before any discretize/encode work is spent on rows whose
+            // answer nobody is waiting for.
+            const util::SteadyTime now = util::steady_now();
+            std::vector<AsyncRequest> live;
+            live.reserve(batch.size());
+            for (auto& request : batch) {
+                if (request.typed && request.cancel.cancelled()) {
+                    resolve_status(request, Status::cancelled, now);
+                } else if (request.typed && request.deadline.expired_at(now)) {
+                    resolve_status(request, Status::deadline_exceeded, now);
+                } else {
+                    live.push_back(std::move(request));
                 }
+            }
+            if (live.empty()) return;
+            if (live.size() == 1) {
+                serve_one(live.front(), now);
+                return;
+            }
+            std::size_t resolved = 0;
+            try {
                 // Fuse the micro-batch into one matrix so dispatch, scratch
                 // reuse and worker fan-out amortise across every caller.
                 std::size_t total = 0;
-                for (const auto& request : batch) total += request.rows.rows();
+                for (const auto& request : live) total += request.rows.rows();
                 util::Matrix<float> fused(total, session->n_features());
                 const std::span<float> fused_values = fused.data();
                 std::size_t at = 0;
-                for (const auto& request : batch) {
+                for (const auto& request : live) {
                     const auto source = request.rows.data();
                     std::copy(source.begin(), source.end(),
                               fused_values.begin() +
@@ -188,16 +311,24 @@ struct InferenceSession::ServingState {
                 }
                 const std::vector<int> labels = session->predict(fused);
                 at = 0;
-                for (auto& request : batch) {
+                for (auto& request : live) {
                     const std::size_t rows = request.rows.rows();
-                    request.promise.set_value(
+                    resolve_labels(
+                        request,
                         std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(at),
-                                         labels.begin() + static_cast<std::ptrdiff_t>(at + rows)));
+                                         labels.begin() + static_cast<std::ptrdiff_t>(at + rows)),
+                        now);
+                    ++resolved;
                     at += rows;
                 }
             } catch (...) {
-                const std::exception_ptr error = std::current_exception();
-                for (auto& request : batch) request.promise.set_exception(error);
+                // Failure scoping: a fused batch mixes independent callers,
+                // so one poisoned request must not fail its peers.  Retry
+                // each not-yet-resolved request individually — the failure
+                // lands only on whichever request reproduces it, and the
+                // innocent ones pay a re-encode (the cheap side of the
+                // trade).
+                for (std::size_t r = resolved; r < live.size(); ++r) serve_one(live[r], now);
             }
         }
     };
@@ -224,6 +355,7 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
       max_batch_(std::max<std::size_t>(options.max_batch, 1)),
       max_queue_delay_(options.max_queue_delay),
       max_queue_rows_(std::max<std::size_t>(options.max_queue_rows, 1)),
+      adaptive_queue_delay_(options.adaptive_queue_delay),
       state_(std::make_unique<ServingState>()) {
     HDLOCK_EXPECTS(encoder_ != nullptr, "InferenceSession: null encoder");
     HDLOCK_EXPECTS(model_.n_classes() > 0, "InferenceSession: untrained model");
@@ -256,8 +388,10 @@ InferenceSession::InferenceSession(InferenceSession&& other) noexcept
       max_batch_(other.max_batch_),
       max_queue_delay_(other.max_queue_delay_),
       max_queue_rows_(other.max_queue_rows_),
+      adaptive_queue_delay_(other.adaptive_queue_delay_),
       state_(std::move(other.state_)),
-      rows_served_(other.rows_served_.load()) {
+      rows_served_(other.rows_served_.load()),
+      inflight_rows_(other.inflight_rows_.load()) {
     // Re-point a (contract-violating but easy to be robust about) live
     // dispatcher at the new address; legal moves happen before serving.
     if (state_ != nullptr) {
@@ -370,10 +504,101 @@ std::future<std::vector<int>> InferenceSession::predict_async(util::Matrix<float
         }
         core = state_->async.get();
     }
-    AsyncRequest request{.rows = std::move(rows), .promise = {}};
+    const std::int64_t n = static_cast<std::int64_t>(rows.rows());
+    AsyncRequest request;
+    request.rows = std::move(rows);
     std::future<std::vector<int>> future = request.promise.get_future();
-    core->queue.push(std::move(request));
+    inflight_rows_.fetch_add(n, std::memory_order_relaxed);
+    try {
+        core->queue.push(std::move(request));
+    } catch (...) {
+        inflight_rows_.fetch_sub(n, std::memory_order_relaxed);
+        throw;
+    }
     return future;
+}
+
+std::future<Response> InferenceSession::predict_async(Request request,
+                                                      std::uint32_t shard_id) const {
+    return submit_async_(std::move(request), shard_id, /*blocking=*/true);
+}
+
+std::future<Response> InferenceSession::try_predict_async(Request request,
+                                                          std::uint32_t shard_id) const {
+    return submit_async_(std::move(request), shard_id, /*blocking=*/false);
+}
+
+std::future<Response> InferenceSession::submit_async_(Request request, std::uint32_t shard_id,
+                                                      bool blocking) const {
+    if (request.rows.rows() != 0) {
+        HDLOCK_EXPECTS(request.rows.cols() == encoder_->n_features(),
+                       "InferenceSession::predict_async: request has wrong feature count");
+    }
+    // Outcomes decidable at submit time resolve immediately — an empty
+    // batch, a withdrawn request, or one whose budget is already spent
+    // never touches the queue.
+    Response early;
+    early.shard_id = shard_id;
+    if (request.rows.rows() == 0) return resolved_response(std::move(early));
+    if (request.cancel.cancelled()) {
+        early.status = Status::cancelled;
+        return resolved_response(std::move(early));
+    }
+    if (request.deadline.expired()) {
+        early.status = Status::deadline_exceeded;
+        return resolved_response(std::move(early));
+    }
+
+    ServingState::AsyncCore* core = nullptr;
+    {
+        const util::MutexLock lock(state_->async_init);
+        if (state_->async == nullptr) {
+            state_->async = std::make_unique<ServingState::AsyncCore>(this, max_queue_rows_);
+        }
+        core = state_->async.get();
+    }
+
+    const std::int64_t n = static_cast<std::int64_t>(request.rows.rows());
+    AsyncRequest queued{.rows = std::move(request.rows),
+                        .promise = {},
+                        .typed = true,
+                        .typed_promise = {},
+                        .deadline = request.deadline,
+                        .cancel = std::move(request.cancel),
+                        .shard_id = shard_id,
+                        .enqueued_at = util::steady_now()};
+    std::future<Response> future = queued.typed_promise.get_future();
+    inflight_rows_.fetch_add(n, std::memory_order_relaxed);
+    Status admitted = Status::ok;
+    try {
+        if (blocking) {
+            core->queue.push(std::move(queued));
+        } else {
+            admitted = core->queue.try_submit(std::move(queued));
+        }
+    } catch (...) {
+        inflight_rows_.fetch_sub(n, std::memory_order_relaxed);
+        throw;
+    }
+    if (admitted == Status::overloaded) {
+        // try_submit refused without consuming the request, so its promise
+        // is still ours to resolve with the shed outcome.
+        inflight_rows_.fetch_sub(n, std::memory_order_relaxed);
+        Response shed;
+        shed.status = Status::overloaded;
+        shed.shard_id = shard_id;
+        queued.typed_promise.set_value(std::move(shed));
+    }
+    return future;
+}
+
+std::chrono::microseconds InferenceSession::current_queue_delay() const {
+    const util::MutexLock lock(state_->async_init);
+    if (state_->async != nullptr) {
+        return std::chrono::microseconds(
+            state_->async->queue_delay_us.load(std::memory_order_relaxed));
+    }
+    return max_queue_delay_;
 }
 
 double InferenceSession::evaluate(const data::Dataset& dataset) const {

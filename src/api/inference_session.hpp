@@ -42,10 +42,12 @@
 #include <optional>
 #include <vector>
 
+#include "api/request.hpp"
 #include "data/dataset.hpp"
 #include "hdc/discretize.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/model.hpp"
+#include "util/deadline.hpp"
 #include "util/kernels.hpp"
 #include "util/matrix.hpp"
 #include "util/sync.hpp"
@@ -99,6 +101,14 @@ struct SessionOptions {
     /// Row capacity of the bounded submit queue; predict_async() blocks
     /// (backpressure) while the queue is full.
     std::size_t max_queue_rows = 8192;
+    /// Opt-in adaptive coalescing governor: the dispatcher measures the
+    /// request arrival rate (EWMA of rows/µs across pop cycles) and scales
+    /// the effective queue delay between 0 and `max_queue_delay` — waiting
+    /// only helps when arrivals actually overlap, so an idle session serves
+    /// immediately while a saturated one coalesces just long enough to fill
+    /// a batch.  Off by default (fixed `max_queue_delay`); the shard router
+    /// turns it on.  Affects batching/latency only, never labels.
+    bool adaptive_queue_delay = false;
 };
 
 /// Number of worker threads predict() fans a batch of `n_rows` out to —
@@ -109,11 +119,21 @@ struct SessionOptions {
 std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
                             std::size_t min_rows_per_thread) noexcept;
 
-/// One queued predict_async() request: the rows to classify and the promise
-/// their labels resolve.
+/// One queued predict_async() request.  Two transports share the queue:
+/// the legacy path resolves `promise` with bare labels, the typed path
+/// (predict_async(Request)) resolves `typed_promise` with a full Response —
+/// `typed` discriminates (std::promise cannot be type-erased after the
+/// future is handed out).  Deadline/cancel/enqueue metadata ride along so
+/// the dispatcher can drop doomed requests before paying for encode.
 struct AsyncRequest {
     util::Matrix<float> rows;
     std::promise<std::vector<int>> promise;
+    bool typed = false;
+    std::promise<Response> typed_promise;
+    util::Deadline deadline{};
+    CancelToken cancel{};
+    std::uint32_t shard_id = 0;
+    util::SteadyTime enqueued_at{};
 };
 
 /// Bounded MPSC hand-off between predict_async() callers and the session's
@@ -134,6 +154,14 @@ public:
     /// queue is admitted alone (it could never fit otherwise).  Throws
     /// Error when the queue is closed.
     void push(AsyncRequest request) HDLOCK_EXCLUDES(mutex_);
+
+    /// Non-blocking admission: returns Status::ok and consumes the request
+    /// when it fits under the row cap (same oversized-alone rule as push),
+    /// or Status::overloaded leaving `request` untouched so the caller can
+    /// resolve its promise with a shed response instead of blocking.  This
+    /// is the refusal path admission control needs.  Throws Error when the
+    /// queue is closed.
+    Status try_submit(AsyncRequest&& request) HDLOCK_EXCLUDES(mutex_);
 
     /// Blocks until a request arrives, then keeps collecting whole requests
     /// for up to `delay` or until `max_batch` rows are gathered.  Returns
@@ -156,6 +184,17 @@ private:
     bool closed_ HDLOCK_GUARDED_BY(mutex_) = false;
 };
 
+/// Predict-surface convention (shared by InferenceSession, Owner, Device
+/// and ShardRouter — see DESIGN.md §10):
+///   predict(Matrix)        -> vector<int>        synchronous batch
+///   predict_row(span)      -> int                synchronous single row
+///   predict_async(Matrix)  -> future<vector<int>> legacy async transport
+///   predict_async(Request) -> future<Response>    typed async transport
+///   try_predict_async(Request) -> future<Response> non-blocking admission
+/// Inputs are spans/matrices of raw feature values; typed results carry a
+/// Status instead of smuggling control flow through exceptions.  The legacy
+/// Matrix overload stays as a thin wrapper over the typed path and remains
+/// byte-identical — nothing is silently deprecated.
 class InferenceSession {
 public:
     /// The encoder is shared (it is immutable); discretizer and model are
@@ -185,6 +224,23 @@ public:
     /// first call lazily starts the dispatcher thread.
     std::future<std::vector<int>> predict_async(util::Matrix<float> rows) const;
 
+    /// Typed async serving: queues the request and resolves a Response
+    /// carrying labels plus Status.  Deadline and cancellation are checked
+    /// at submit and again by the dispatcher *before* encode, so a doomed
+    /// request never pays for inference; an Ok response's labels are
+    /// byte-identical to predict() on the same rows.  Blocks for
+    /// backpressure like the Matrix overload.  Genuine internal failures
+    /// still surface as exceptions through the future (they are bugs, not
+    /// load).  `shard_id` is stamped into Response::shard_id verbatim (the
+    /// router passes the chosen shard's index; direct callers leave it 0).
+    std::future<Response> predict_async(Request request, std::uint32_t shard_id = 0) const;
+
+    /// Like predict_async(Request) but never blocks: when the submit queue
+    /// is full the returned future is already resolved with
+    /// Status::overloaded.  This is the admission-control entry the shard
+    /// router uses.
+    std::future<Response> try_predict_async(Request request, std::uint32_t shard_id = 0) const;
+
     /// Single-row inference: same output as predict() on a 1-row batch, but
     /// skips dispatch entirely — it runs on the calling thread against a
     /// leased scratch and consults the bound-product cache when active.
@@ -207,10 +263,25 @@ public:
     /// approximate ordering under concurrency).
     std::uint64_t rows_served() const noexcept { return rows_served_.load(); }
 
+    /// Rows admitted to the async path and not yet resolved (queued or
+    /// being served).  The router's least-loaded placement and watermark
+    /// admission read this; approximate under concurrency.
+    std::size_t inflight_rows() const noexcept {
+        const std::int64_t rows = inflight_rows_.load(std::memory_order_relaxed);
+        return rows > 0 ? static_cast<std::size_t>(rows) : 0;
+    }
+
+    /// The coalescing delay the dispatcher is currently using: the
+    /// configured `max_queue_delay` until the adaptive governor (when
+    /// enabled) has measured an arrival rate, then its scaled value.
+    std::chrono::microseconds current_queue_delay() const;
+
 private:
     struct WorkerState;
     struct ServingState;
 
+    std::future<Response> submit_async_(Request request, std::uint32_t shard_id,
+                                        bool blocking) const;
     void predict_into_(const util::Matrix<float>& rows, std::span<int> out) const;
     /// The one serving inner body (discretize -> encode -> classify) every
     /// path funnels through — predict_range_ per batch row, predict_row via
@@ -229,10 +300,12 @@ private:
     std::size_t max_batch_ = 256;
     std::chrono::microseconds max_queue_delay_{200};
     std::size_t max_queue_rows_ = 8192;
+    bool adaptive_queue_delay_ = false;
     /// Pool, slot-pinned worker scratch, leased caller scratch and the lazy
     /// async core live behind one stable pointer so moves stay cheap.
     mutable std::unique_ptr<ServingState> state_;
     mutable std::atomic<std::uint64_t> rows_served_{0};
+    mutable std::atomic<std::int64_t> inflight_rows_{0};
 };
 
 }  // namespace hdlock::api

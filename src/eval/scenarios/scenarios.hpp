@@ -20,6 +20,7 @@ void register_fig9(ScenarioRegistry& registry);
 void register_table1(ScenarioRegistry& registry);
 void register_beyond_paper(ScenarioRegistry& registry);  ///< lock-grid, noise-robustness,
                                                          ///< ngram-lock
+void register_router(ScenarioRegistry& registry);        ///< router-slo serving tier
 
 }  // namespace scenarios
 }  // namespace hdlock::eval

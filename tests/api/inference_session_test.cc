@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <vector>
 
 #include "api/facades.hpp"
@@ -467,4 +468,224 @@ TEST(SubmitQueue, OversizedRequestIsAdmittedAloneAndCloseWakesProducers) {
     EXPECT_THROW(queue.push(api::AsyncRequest{.rows = util::Matrix<float>(1, 2), .promise = {}}),
                  Error);
     EXPECT_TRUE(queue.pop_batch(4, std::chrono::microseconds(0)).empty());
+}
+
+TEST(SubmitQueue, TrySubmitRefusesWhenFullWithoutConsumingTheRequest) {
+    api::SubmitQueue queue(/*max_rows=*/4);
+    api::AsyncRequest first;
+    first.rows = util::Matrix<float>(3, 2);
+    EXPECT_EQ(queue.try_submit(std::move(first)), api::Status::ok);
+    EXPECT_EQ(queue.queued_rows(), 3u);
+
+    api::AsyncRequest second;
+    second.rows = util::Matrix<float>(2, 2);
+    second.typed = true;
+    auto future = second.typed_promise.get_future();
+    // 3 + 2 > 4 and the queue is non-empty: refused, and — unlike push(),
+    // which would block — the caller gets the request back untouched
+    // (try_submit only moves from its argument on acceptance).
+    EXPECT_EQ(queue.try_submit(std::move(second)), api::Status::overloaded);
+    EXPECT_EQ(second.rows.rows(), 2u);
+    api::Response shed;
+    shed.status = api::Status::overloaded;
+    second.typed_promise.set_value(std::move(shed));
+    EXPECT_EQ(future.get().status, api::Status::overloaded);
+
+    api::AsyncRequest third;
+    third.rows = util::Matrix<float>(1, 2);
+    EXPECT_EQ(queue.try_submit(std::move(third)), api::Status::ok);
+    EXPECT_EQ(queue.queued_rows(), 4u);
+
+    queue.close();
+    api::AsyncRequest late;
+    late.rows = util::Matrix<float>(1, 2);
+    EXPECT_THROW(queue.try_submit(std::move(late)), Error);
+}
+
+TEST(SubmitQueue, TrySubmitIsSafeUnderConcurrentProducers) {
+    // TSan coverage for the non-blocking admission path: producers hammer
+    // try_submit while a consumer drains; the counts must reconcile and the
+    // queue's invariants hold under the annotated lock discipline.
+    api::SubmitQueue queue(/*max_rows=*/8);
+    std::atomic<int> accepted{0};
+    std::atomic<int> refused{0};
+    util::Thread consumer([&] {
+        while (true) {
+            const auto batch = queue.pop_batch(/*max_batch=*/4, std::chrono::microseconds(0));
+            if (batch.empty()) break;  // closed and drained
+        }
+    });
+
+    constexpr int kProducers = 4;
+    constexpr int kTries = 64;
+    std::vector<util::Thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back(util::Thread([&] {
+            for (int i = 0; i < kTries; ++i) {
+                api::AsyncRequest request;
+                request.rows = util::Matrix<float>(1, 2);
+                if (queue.try_submit(std::move(request)) == api::Status::ok) {
+                    accepted.fetch_add(1);
+                } else {
+                    refused.fetch_add(1);
+                }
+            }
+        }));
+    }
+    for (auto& producer : producers) producer.join();
+    queue.close();
+    consumer.join();
+
+    EXPECT_EQ(accepted.load() + refused.load(), kProducers * kTries);
+    EXPECT_GE(accepted.load(), 1);
+    EXPECT_EQ(queue.queued_rows(), 0u);
+}
+
+TEST(InferenceSession, TypedRequestMatchesPredictBitExactly) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    const auto session = pipeline.owner.open_session();
+    const auto& X = pipeline.data.test.X;
+    const std::vector<int> expected = session.predict(X);
+
+    api::Request request;
+    request.rows = X;
+    api::Response response = session.predict_async(std::move(request), /*shard_id=*/7).get();
+    EXPECT_EQ(response.status, api::Status::ok);
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.labels, expected);
+    EXPECT_EQ(response.shard_id, 7u);
+    EXPECT_GE(response.queue_time.count(), 0);
+
+    // An empty typed request resolves Ok with no labels, without serving.
+    api::Request empty;
+    api::Response none = session.predict_async(std::move(empty)).get();
+    EXPECT_EQ(none.status, api::Status::ok);
+    EXPECT_TRUE(none.labels.empty());
+}
+
+TEST(InferenceSession, DoomedTypedRequestsResolveWithoutServing) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    const auto session = pipeline.owner.open_session();
+    const std::uint64_t served_before = session.rows_served();
+
+    // Already-expired deadline: resolved at submit, never encoded.
+    api::Request expired;
+    expired.rows = util::Matrix<float>(pipeline.data.test.X);
+    expired.deadline = util::Deadline::after(std::chrono::nanoseconds{0});
+    api::Response late = session.predict_async(std::move(expired)).get();
+    EXPECT_EQ(late.status, api::Status::deadline_exceeded);
+    EXPECT_TRUE(late.labels.empty());
+    EXPECT_FALSE(late.ok());
+
+    // Cancellation requested before dispatch: same short-circuit.
+    api::CancelSource source;
+    source.request_cancel();
+    api::Request cancelled;
+    cancelled.rows = util::Matrix<float>(pipeline.data.test.X);
+    cancelled.cancel = source.token();
+    api::Response gone = session.predict_async(std::move(cancelled)).get();
+    EXPECT_EQ(gone.status, api::Status::cancelled);
+    EXPECT_TRUE(gone.labels.empty());
+
+    EXPECT_EQ(session.rows_served(), served_before);
+}
+
+namespace {
+
+/// Bit-identical to a RecordEncoder over the same ItemMemory and tie seed,
+/// but throws on an armed set of encode calls.  The shared kernel reads
+/// feature_hv_array() exactly once per row encode, so with a
+/// single-threaded session the call counter enumerates encoded rows in
+/// dispatch order — which lets a test poison "the second fused row, and the
+/// same request's solo retry" deterministically.
+class PoisonEncoder final : public hdc::Encoder {
+public:
+    PoisonEncoder(std::shared_ptr<const hdc::ItemMemory> memory, std::uint64_t tie_seed)
+        : Encoder(tie_seed), memory_(std::move(memory)) {}
+
+    std::size_t dim() const override { return memory_->dim(); }
+    std::size_t n_features() const override { return memory_->n_features(); }
+    std::size_t n_levels() const override { return memory_->n_levels(); }
+
+    void arm(std::vector<int> fail_on) {
+        fail_on_ = std::move(fail_on);
+        calls_.store(0);
+    }
+
+protected:
+    std::span<const hdc::BinaryHV> feature_hv_array() const override {
+        const int index = calls_.fetch_add(1);
+        for (const int fail : fail_on_) {
+            if (fail == index) throw std::runtime_error("poisoned encode");
+        }
+        return memory_->feature_hvs();
+    }
+    std::span<const hdc::BinaryHV> value_hv_array() const override {
+        return memory_->value_hvs();
+    }
+
+private:
+    std::shared_ptr<const hdc::ItemMemory> memory_;
+    std::vector<int> fail_on_;
+    mutable std::atomic<int> calls_{0};
+};
+
+}  // namespace
+
+TEST(InferenceSession, FusedBatchExceptionIsScopedToTheOffendingRequest) {
+    // Regression for the fused-batch failure path: an exception inside a
+    // fused micro-batch used to fan out to every request's promise.  Now
+    // the dispatcher retries the not-yet-resolved requests one by one, so
+    // only the request that fails on its own sees the exception.
+    data::SyntheticSpec spec;
+    spec.name = "poison";
+    spec.n_features = 16;
+    spec.n_classes = 3;
+    spec.n_train = 120;
+    spec.n_test = 12;
+    spec.n_levels = 4;
+    spec.seed = 11;
+    const auto data = data::make_benchmark(spec);
+
+    hdc::ItemMemoryConfig memory_config;
+    memory_config.dim = 512;
+    memory_config.n_features = spec.n_features;
+    memory_config.n_levels = spec.n_levels;
+    memory_config.seed = 17;
+    const auto memory =
+        std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(memory_config));
+    const auto clean = std::make_shared<hdc::RecordEncoder>(memory, /*tie_seed=*/99);
+    const auto poison = std::make_shared<PoisonEncoder>(memory, /*tie_seed=*/99);
+    const auto classifier = hdc::HdcClassifier::fit(data.train, clean, hdc::PipelineConfig{});
+
+    api::SessionOptions options;
+    options.n_threads = 1;           // sequential encode: rows 0..n in order
+    options.use_product_cache = false;
+    options.max_batch = 3;           // pop_batch waits for all three rows...
+    options.max_queue_delay = std::chrono::microseconds(2'000'000);  // ...for up to 2 s
+    const api::InferenceSession session(poison, classifier.discretizer(), classifier.model(),
+                                        options);
+    const api::InferenceSession reference(clean, classifier.discretizer(), classifier.model());
+
+    std::array<util::Matrix<float>, 3> rows;
+    std::array<std::vector<int>, 3> expected;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = util::Matrix<float>(1, spec.n_features);
+        const auto source = data.test.X.row(i);
+        std::copy(source.begin(), source.end(), rows[i].row(0).begin());
+        expected[i] = reference.predict(rows[i]);
+    }
+
+    // Encode call sequence: fused batch encodes rows 0,1 (call #1 throws,
+    // row 2 is never reached), then the per-request retries encode calls
+    // #2 (request 0), #3 (request 1, throws again), #4 (request 2).
+    poison->arm({1, 3});
+    auto f0 = session.predict_async(util::Matrix<float>(rows[0]));
+    auto f1 = session.predict_async(util::Matrix<float>(rows[1]));
+    auto f2 = session.predict_async(util::Matrix<float>(rows[2]));
+
+    EXPECT_EQ(f0.get(), expected[0]);
+    EXPECT_THROW(f1.get(), std::runtime_error);
+    EXPECT_EQ(f2.get(), expected[2]);
 }

@@ -1,0 +1,60 @@
+// Tests for the monotonic request deadline (src/util/deadline.hpp): the
+// never/armed split, expiry against the live clock and against a
+// caller-sampled "now", and the value-type contract the serving tier
+// relies on (copyable, comparable via expired_at with one clock read).
+
+#include "util/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+using hdlock::util::Deadline;
+using hdlock::util::SteadyTime;
+using hdlock::util::steady_now;
+using namespace std::chrono_literals;
+
+TEST(Deadline, DefaultConstructedNeverExpires) {
+    const Deadline deadline;
+    EXPECT_TRUE(deadline.is_never());
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_FALSE(deadline.expired_at(steady_now() + 24h));
+}
+
+TEST(Deadline, NeverFactoryMatchesDefault) {
+    const Deadline deadline = Deadline::never();
+    EXPECT_TRUE(deadline.is_never());
+    EXPECT_FALSE(deadline.expired_at(SteadyTime::max()));
+}
+
+TEST(Deadline, SpentBudgetIsExpiredImmediately) {
+    EXPECT_TRUE(Deadline::after(0ns).expired());
+    EXPECT_TRUE(Deadline::after(-5ms).expired());
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpired) {
+    const Deadline deadline = Deadline::after(1h);
+    EXPECT_FALSE(deadline.is_never());
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_GT(deadline.when(), steady_now());
+}
+
+TEST(Deadline, ExpiredAtUsesTheSampledClockOnly) {
+    const SteadyTime now = steady_now();
+    const Deadline deadline = Deadline::at(now + 10ms);
+    // Strictly before: live.  At and after the expiry point: expired.  The
+    // sampled-now form lets a dispatcher test a whole batch against one
+    // consistent clock read.
+    EXPECT_FALSE(deadline.expired_at(now));
+    EXPECT_FALSE(deadline.expired_at(now + 10ms - 1ns));
+    EXPECT_TRUE(deadline.expired_at(now + 10ms));
+    EXPECT_TRUE(deadline.expired_at(now + 1h));
+    EXPECT_EQ(deadline.when(), now + 10ms);
+}
+
+TEST(Deadline, CopiesPreserveTheExpiryPoint) {
+    const Deadline original = Deadline::at(steady_now() + 5s);
+    const Deadline copy = original;
+    EXPECT_EQ(copy.when(), original.when());
+    EXPECT_FALSE(copy.is_never());
+}

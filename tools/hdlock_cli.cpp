@@ -19,8 +19,11 @@
 ///             [--epochs E]                   fit model; refresh device.hdlk
 ///   export    --dir D                        (re)write device.hdlk
 ///   eval      --dir D --data test.csv [--side auto|owner|device]
-///             [--threads T]                  batched accuracy via
-///                                            api::InferenceSession
+///             [--threads T] [--mmap on|off]
+///             [--shards N] [--placement P]   batched accuracy via
+///                                            api::InferenceSession, or the
+///                                            api::ShardRouter fleet when
+///                                            --shards/--placement are given
 ///   eval      --list | --scenario NAME | --all [...]
 ///                                            paper-reproduction harness
 ///                                            (same contract as hdlock_eval;
@@ -147,7 +150,7 @@ int cmd_eval(const Args& args) {
         const auto options = cli::parse_eval_options(args, "hdlock_cli eval");
         return eval::run_eval_cli(options, eval::builtin_registry(), std::cout, std::cerr);
     }
-    args.check_known("eval", {"dir", "data", "side", "threads", "mmap"});
+    args.check_known("eval", {"dir", "data", "side", "threads", "mmap", "shards", "placement"});
     const Paths paths{fs::path(args.require("dir"))};
     const auto dataset = data::load_csv(args.require("data"));
 
@@ -162,6 +165,65 @@ int cmd_eval(const Args& args) {
     }
     const std::string mmap = args.get("mmap", "on");
     if (mmap != "on" && mmap != "off") throw UsageError("unknown --mmap (use on|off): " + mmap);
+
+    // --shards / --placement switch evaluation onto the shard-router
+    // serving tier (typed requests through api::ShardRouter); the default
+    // stays the single-session path.
+    const std::size_t shards = args.get_u64("shards", 1);
+    const std::string placement_arg = args.get("placement", "least-loaded");
+    const auto placement = api::parse_placement(placement_arg);
+    if (!placement) {
+        throw UsageError(
+            "unknown --placement (use round-robin|least-loaded|consistent-hash): " +
+            placement_arg);
+    }
+
+    if (shards > 1 || args.has("placement")) {
+        api::RouterOptions router_options;
+        router_options.n_shards = shards;
+        router_options.placement = *placement;
+        router_options.session = session_options;
+        const api::ShardRouter router =
+            use_device ? (mmap == "on" ? api::Device::open_mapped(paths.device)
+                                       : api::Device::load(paths.device))
+                             .open_router(router_options)
+                       : api::Owner::load(paths.owner).open_router(router_options);
+
+        // Closed-loop accuracy sweep in fixed-size typed requests: awaiting
+        // each response keeps the fleet inside its watermark, so every
+        // request serves Ok and the count is exact.
+        constexpr std::size_t kRowsPerRequest = 64;
+        std::size_t correct = 0;
+        for (std::size_t begin = 0; begin < dataset.n_samples(); begin += kRowsPerRequest) {
+            const std::size_t n =
+                std::min(kRowsPerRequest, dataset.n_samples() - begin);
+            api::Request request;
+            request.rows = util::Matrix<float>(n, dataset.X.cols());
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto source = dataset.X.row(begin + r);
+                std::copy(source.begin(), source.end(), request.rows.row(r).begin());
+            }
+            const api::Response response = router.submit(std::move(request)).get();
+            if (response.status != api::Status::ok) {
+                throw Error(std::string("router eval: request not served: ") +
+                            api::status_name(response.status));
+            }
+            for (std::size_t r = 0; r < n; ++r) {
+                if (response.labels[r] == dataset.y[begin + r]) ++correct;
+            }
+        }
+        const double accuracy =
+            dataset.n_samples() == 0
+                ? 0.0
+                : static_cast<double>(correct) / static_cast<double>(dataset.n_samples());
+        std::cout << "accuracy on " << dataset.n_samples() << " samples ("
+                  << (use_device ? "device" : "owner") << " bundle, "
+                  << router.n_shards() << " shard(s), "
+                  << api::placement_name(router.placement()) << ", "
+                  << session_options.n_threads << " thread(s)/shard): "
+                  << util::format_fixed(accuracy, 4) << "\n";
+        return 0;
+    }
 
     // The session outlives the facade it came from: it shares the encoder
     // (and, under --mmap on, the bundle mapping) and copies the discretizer
