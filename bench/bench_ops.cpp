@@ -45,6 +45,7 @@
 #include "data/synthetic.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/item_memory.hpp"
+#include "hdc/model.hpp"
 #include "util/kernels.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
@@ -676,6 +677,16 @@ void BM_BundleOpenMapped(benchmark::State& state) {
 }
 BENCHMARK(BM_BundleOpenMapped)->Unit(benchmark::kMillisecond);
 
+void BM_BundleOpenMappedWillneed(benchmark::State& state) {
+    const auto& fixture = bundle_load_fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(api::DeploymentBundle::open_mapped(
+            fixture.path, util::MappedFile::Advice::willneed));
+    }
+    state.counters["file_bytes"] = static_cast<double>(fixture.file_bytes);
+}
+BENCHMARK(BM_BundleOpenMappedWillneed)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Kernel-backend comparison: the same word kernels and the same batch encode
 // once per backend the host can run.  Registered dynamically from main() so
@@ -771,6 +782,69 @@ void BM_BackendPredictBinary(benchmark::State& state, kernels::Backend kind) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 * 10000);
 }
 
+/// The serving inner loop end to end at D = 10000, N = 784, 16 classes —
+/// the acceptance workload for the fused encode->distance path.  `fused`
+/// runs HdcModel::predict_fused (count planes stay in registers/L1, no
+/// query HV materialized); `twostep` runs encode_binary_into + predict.
+/// Both use the BoundProductCache, matching a served session's steady state.
+struct FusedPredictFixture {
+    std::shared_ptr<const hdc::ItemMemory> memory;
+    std::unique_ptr<const hdc::RecordEncoder> encoder;
+    std::shared_ptr<const hdc::BoundProductCache> cache;
+    hdc::HdcModel model;
+    std::vector<int> levels;
+
+    FusedPredictFixture() {
+        hdc::ItemMemoryConfig config;
+        config.dim = 10000;
+        config.n_features = 784;
+        config.n_levels = 16;
+        config.seed = 601;
+        memory = std::make_shared<const hdc::ItemMemory>(hdc::ItemMemory::generate(config));
+        encoder = std::make_unique<const hdc::RecordEncoder>(memory, /*tie_seed=*/7);
+        cache = encoder->make_product_cache(std::size_t{1} << 31);
+
+        util::Xoshiro256ss rng(602);
+        hdc::EncodedBatch batch;
+        for (int c = 0; c < 16; ++c) {
+            batch.binary.push_back(hdc::BinaryHV::random(10000, rng));
+            batch.non_binary.push_back(hdc::IntHV::from_binary(batch.binary.back()));
+            batch.labels.push_back(c);
+        }
+        hdc::TrainConfig train;
+        train.kind = hdc::ModelKind::binary;
+        model = hdc::HdcModel::train(batch, 16, train);
+
+        levels.resize(784);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(16));
+    }
+};
+
+const FusedPredictFixture& fused_predict_fixture() {
+    static const FusedPredictFixture fixture;
+    return fixture;
+}
+
+void BM_FusedPredict(benchmark::State& state, kernels::Backend kind, bool fused) {
+    const kernels::ScopedBackend pin(kind);
+    const auto& fixture = fused_predict_fixture();
+    hdc::EncoderScratch scratch;
+    hdc::BinaryHV query;
+    for (auto _ : state) {
+        int label;
+        if (fused) {
+            label = fixture.model.predict_fused(*fixture.encoder, fixture.levels, scratch,
+                                                fixture.cache.get());
+        } else {
+            fixture.encoder->encode_binary_into(fixture.levels, scratch, query,
+                                                fixture.cache.get());
+            label = fixture.model.predict(query);
+        }
+        benchmark::DoNotOptimize(label);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void register_backend_benchmarks() {
     for (const kernels::Backend kind : kernels::available_backends()) {
         const std::string suffix = std::string("/") + kernels::backend_name(kind);
@@ -783,6 +857,10 @@ void register_backend_benchmarks() {
                                      BM_BackendEncodeBatch, kind);
         benchmark::RegisterBenchmark(("BM_BackendPredictBinary" + suffix).c_str(),
                                      BM_BackendPredictBinary, kind);
+        benchmark::RegisterBenchmark(("BM_FusedPredict" + suffix + "/on").c_str(),
+                                     BM_FusedPredict, kind, true);
+        benchmark::RegisterBenchmark(("BM_FusedPredict" + suffix + "/off").c_str(),
+                                     BM_FusedPredict, kind, false);
     }
 }
 

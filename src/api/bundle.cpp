@@ -276,8 +276,9 @@ DeploymentBundle DeploymentBundle::load_any(const std::filesystem::path& path) {
     return util::load_file<DeploymentBundle>(path);
 }
 
-DeploymentBundle DeploymentBundle::open_mapped(const std::filesystem::path& path) {
-    auto mapping = std::make_shared<const util::MappedFile>(util::MappedFile::open(path));
+DeploymentBundle DeploymentBundle::open_mapped(const std::filesystem::path& path,
+                                               util::MappedFile::Advice advice) {
+    auto mapping = std::make_shared<const util::MappedFile>(util::MappedFile::open(path, advice));
     util::BinaryReader reader(mapping->bytes());
     DeploymentBundle bundle = load(reader);
     bundle.backing = mapping;

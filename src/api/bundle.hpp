@@ -108,7 +108,13 @@ struct DeploymentBundle {
     /// read fallback) and loads from the mapping, aliasing every v2 bulk
     /// section instead of copying it.  The returned bundle keeps the
     /// mapping alive through `backing`; v1 files load correctly but copy.
-    static DeploymentBundle open_mapped(const std::filesystem::path& path);
+    /// `advice` forwards to MappedFile::open — Advice::willneed starts
+    /// kernel readahead for the whole artifact at map time, trading a
+    /// little I/O eagerness for no demand-fault stalls on the first served
+    /// batch (serving bundles are read in full almost immediately).
+    static DeploymentBundle open_mapped(
+        const std::filesystem::path& path,
+        util::MappedFile::Advice advice = util::MappedFile::Advice::none);
 
     /// Owner-side persistence; throws ContractViolation when called on a
     /// bundle without a key (a device bundle cannot be promoted to owner).

@@ -146,8 +146,8 @@ Device Device::load(const std::filesystem::path& path) {
     return Device(DeploymentBundle::load_device(path));
 }
 
-Device Device::open_mapped(const std::filesystem::path& path) {
-    DeploymentBundle bundle = DeploymentBundle::open_mapped(path);
+Device Device::open_mapped(const std::filesystem::path& path, util::MappedFile::Advice advice) {
+    DeploymentBundle bundle = DeploymentBundle::open_mapped(path, advice);
     if (bundle.kind != BundleKind::device) {
         throw FormatError("DeploymentBundle: " + path.string() +
                           " is an owner bundle and carries the key; refuse to load it on the "

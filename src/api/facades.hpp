@@ -131,7 +131,11 @@ public:
     /// straight out of the mapping (the store, materialized encoder state
     /// and model class HVs are views; see DeploymentBundle::open_mapped).
     /// Same owner-bundle refusal as load(); v1 files work but copy.
-    static Device open_mapped(const std::filesystem::path& path);
+    /// Advice::willneed asks the kernel to read the whole artifact ahead at
+    /// map time, so cold-start serving does not stall on demand faults.
+    static Device open_mapped(
+        const std::filesystem::path& path,
+        util::MappedFile::Advice advice = util::MappedFile::Advice::none);
 
     /// Builds a device directly from a device bundle (e.g. Owner::make_device).
     explicit Device(DeploymentBundle bundle);

@@ -368,6 +368,24 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
     if (options.use_product_cache) {
         product_cache_ = encoder_->make_product_cache(options.product_cache_max_bytes);
     }
+    const bool fusable = model_.kind() == hdc::ModelKind::binary &&
+                         encoder_->n_features() <= util::kernels::kMaxFusedRows;
+    switch (options.fused_predict) {
+        case FusedPredict::auto_detect:
+            fused_predict_ = fusable;
+            break;
+        case FusedPredict::on:
+            if (!fusable) {
+                throw ConfigError(
+                    "InferenceSession: fused_predict=on requires a binary model with at most " +
+                    std::to_string(util::kernels::kMaxFusedRows) + " features");
+            }
+            fused_predict_ = true;
+            break;
+        case FusedPredict::off:
+            fused_predict_ = false;
+            break;
+    }
     if (dispatch_ == DispatchMode::pooled && n_threads_ > 1) {
         state_->pool = std::make_unique<util::ThreadPool>(n_threads_);
         state_->slots.reserve(n_threads_);
@@ -385,6 +403,7 @@ InferenceSession::InferenceSession(InferenceSession&& other) noexcept
       n_threads_(other.n_threads_),
       min_rows_per_thread_(other.min_rows_per_thread_),
       dispatch_(other.dispatch_),
+      fused_predict_(other.fused_predict_),
       max_batch_(other.max_batch_),
       max_queue_delay_(other.max_queue_delay_),
       max_queue_rows_(other.max_queue_rows_),
@@ -421,6 +440,13 @@ int InferenceSession::predict_one_(std::span<const float> row, WorkerState& stat
     std::vector<int>& levels = state.scratch.levels(encoder_->n_features());
     discretizer_.transform_row(row, levels);
     if (binary) {
+        if (fused_predict_) {
+            // Fused encode→distance: one kernel pass scores every class
+            // while the count planes are register/L1-resident; the query
+            // hypervector never exists.  Bit-identical labels to the
+            // two-step path below on every backend.
+            return model_.predict_fused(*encoder_, levels, state.scratch, cache);
+        }
         encoder_->encode_binary_into(levels, state.scratch, state.query, cache);
         return model_.predict(state.query);
     }

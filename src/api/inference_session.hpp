@@ -64,6 +64,13 @@ enum class DispatchMode : std::uint8_t {
     spawn = 1
 };
 
+/// SessionOptions::fused_predict states.
+enum class FusedPredict : std::uint8_t {
+    auto_detect = 0,  ///< fused when the model is binary and the shape fits
+    on = 1,           ///< required — construction throws when unsupported
+    off = 2           ///< always the two-step encode+predict baseline
+};
+
 struct SessionOptions {
     /// Worker threads for batch predict(); 0 picks the hardware concurrency.
     std::size_t n_threads = 1;
@@ -90,6 +97,16 @@ struct SessionOptions {
     /// Construction throws ConfigError when the backend is not available on
     /// this host; results are bit-identical across backends either way.
     std::optional<util::kernels::Backend> kernel_backend = std::nullopt;
+    /// Fused encode→distance predict for binary models: the per-row body
+    /// calls hdc::HdcModel::predict_fused, which scores every class inside
+    /// the kernel backend without materializing the query hypervector.
+    /// auto_detect (default) enables it whenever the model is binary and
+    /// the feature count fits the fused-path cap; `off` keeps the two-step
+    /// encode+predict path (the A/B baseline); `on` insists — construction
+    /// throws ConfigError when the session cannot honor it (non-binary
+    /// model, or n_features() > util::kernels::kMaxFusedRows).  Labels are
+    /// bit-identical either way, on every backend.
+    FusedPredict fused_predict = FusedPredict::auto_detect;
     /// How batches reach the workers (see DispatchMode).
     DispatchMode dispatch = DispatchMode::pooled;
     /// predict_async() micro-batching: the dispatcher fuses queued requests
@@ -256,6 +273,9 @@ public:
     /// True when the session holds a materialized bound-product cache (the
     /// opt-in was taken and the table fit under the byte cap).
     bool product_cache_active() const noexcept { return product_cache_ != nullptr; }
+    /// True when binary rows are served through the fused encode→distance
+    /// kernel path (see SessionOptions::fused_predict).
+    bool fused_predict_active() const noexcept { return fused_predict_; }
     const hdc::HdcModel& model() const noexcept { return model_; }
     const hdc::MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
 
@@ -297,6 +317,7 @@ private:
     std::size_t n_threads_ = 1;
     std::size_t min_rows_per_thread_ = 16;
     DispatchMode dispatch_ = DispatchMode::pooled;
+    bool fused_predict_ = false;
     std::size_t max_batch_ = 256;
     std::chrono::microseconds max_queue_delay_{200};
     std::size_t max_queue_rows_ = 8192;

@@ -26,6 +26,20 @@ int list_scenarios(const ScenarioRegistry& registry, std::ostream& out) {
                        scenario->info().description});
     }
     out << table.to_string();
+
+    // The kernel backend roster: which backends this binary carries, which
+    // the host can run, and which one dispatch picked — the fields an
+    // operator needs to act on the HDLOCK_KERNEL_BACKEND warning or choose
+    // a --backend value.
+    util::TextTable backends({"backend", "compiled", "available", "active"});
+    const auto& active = util::kernels::active();
+    for (const auto kind : util::kernels::all_backends()) {
+        backends.add_row({std::string(util::kernels::backend_name(kind)),
+                          util::kernels::compiled(kind) ? "yes" : "no",
+                          util::kernels::cpu_supports(kind) ? "yes" : "no",
+                          active.kind == kind ? "yes" : ""});
+    }
+    out << "\nkernel backends:\n" << backends.to_string();
     return 0;
 }
 
@@ -61,7 +75,8 @@ int run_eval_cli(const EvalCliOptions& options, const ScenarioRegistry& registry
         const auto kind = util::kernels::parse_backend(options.backend);
         if (!kind) {
             err << "unknown kernel backend '" << options.backend
-                << "' (expected portable, avx2, or avx512)\n";
+                << "' (expected portable, neon, avx2, or avx512; see --list for this "
+                   "binary's roster)\n";
             return 2;
         }
         try {

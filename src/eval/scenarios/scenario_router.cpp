@@ -48,6 +48,7 @@ double percentile(std::vector<double> values, double p) {
 struct Fleet {
     api::ShardRouter router;
     api::InferenceSession reference;
+    api::InferenceSession unfused;
     data::SyntheticBenchmark benchmark;
 };
 
@@ -77,7 +78,14 @@ Fleet build_fleet(std::size_t shards, api::Placement placement, const TrialConte
     options.shed_watermark_rows = shards * 48;
     api::ShardRouter router = owner.open_router(options);
     api::InferenceSession reference = owner.open_session();
-    return Fleet{std::move(router), std::move(reference), std::move(benchmark)};
+    // The A/B twin of the reference: fused encode→distance forced off, so
+    // the trial can assert the fused path (active by default on binary
+    // models) changes no label.
+    api::SessionOptions unfused_options;
+    unfused_options.fused_predict = api::FusedPredict::off;
+    api::InferenceSession unfused = owner.open_session(unfused_options);
+    return Fleet{std::move(router), std::move(reference), std::move(unfused),
+                 std::move(benchmark)};
 }
 
 /// Rows [begin, begin + n) of the test pool as one request batch.
@@ -202,6 +210,13 @@ Json run_router_trial(const TrialSpec& spec, const TrialContext& context) {
     metrics["n_expired"] = n_expired;
     metrics["expired_deadline_fraction"] =
         static_cast<double>(expired_hits) / static_cast<double>(n_expired);
+
+    // -- fused vs two-step predict: the reference session serves binary
+    //    rows through the fused encode→distance kernel path; its unfused
+    //    twin runs the two-step encode + Hamming argmin.  Labels must match
+    //    bit-for-bit over the whole pool (deterministic on every backend).
+    metrics["fused_active"] = fleet.reference.fused_predict_active() ? 1.0 : 0.0;
+    metrics["fused_bit_identical"] = fleet.unfused.predict(pool.X) == expected ? 1.0 : 0.0;
 
     const api::RouterStats stats = fleet.router.stats();
     metrics["timing"]["closed_rps"] =

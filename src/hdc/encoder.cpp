@@ -1,8 +1,33 @@
 #include "hdc/encoder.hpp"
 
+#include <bit>
+
+#include "util/kernels.hpp"
+
 namespace hdlock::hdc {
 
 namespace bits = util::bits;
+
+namespace {
+
+// TieResolver for the fused kernel: draws the same Xoshiro stream that
+// IntHV::sign_into draws for zero sums — one next_sign() per tied column, in
+// ascending column order (the kernel guarantees ascending word order and at
+// most one call per word; set bits walk LSB-first here).  A set bit in the
+// result means the tie resolves to -1 (bit 1 == value -1).
+util::bits::Word resolve_fused_ties(void* ctx, util::bits::Word eq_mask,
+                                    std::size_t /*word_index*/) noexcept {
+    auto& rng = *static_cast<util::Xoshiro256ss*>(ctx);
+    util::bits::Word negatives = 0;
+    while (eq_mask != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(eq_mask));
+        if (rng.next_sign() < 0) negatives |= util::bits::Word{1} << bit;
+        eq_mask &= eq_mask - 1;
+    }
+    return negatives;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // BoundProductCache
@@ -90,9 +115,13 @@ void Encoder::encode_into(std::span<const int> levels, EncoderScratch& scratch, 
     if (cache != nullptr) {
         HDLOCK_EXPECTS(cache->matches(n_features(), n_levels(), d),
                        "Encoder::encode_into: product cache built for a different encoder shape");
+        // Batch the precomputed products through add_rows: eight-row chunks
+        // compress in one csa_rows kernel call instead of eight phase steps.
+        scratch.rows_a_.resize(levels.size());
         for (std::size_t i = 0; i < levels.size(); ++i) {
-            counter.add(cache->product(i, static_cast<std::size_t>(levels[i])));
+            scratch.rows_a_[i] = cache->product(i, static_cast<std::size_t>(levels[i])).data();
         }
+        counter.add_rows(scratch.rows_a_);
     } else {
         const std::span<const BinaryHV> feature_hvs = feature_hv_array();
         const std::span<const BinaryHV> value_hvs = value_hv_array();
@@ -110,6 +139,55 @@ void Encoder::encode_binary_into(std::span<const int> levels, EncoderScratch& sc
     encode_into(levels, scratch, scratch.sums_, cache);
     util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, util::fnv1a_of(levels)));
     scratch.sums_.sign_into(tie_rng, out);
+}
+
+void Encoder::fused_hamming_into(std::span<const int> levels, EncoderScratch& scratch,
+                                 std::span<const BinaryHV> class_hvs,
+                                 std::span<std::uint64_t> distances,
+                                 const BoundProductCache* cache) const {
+    check_levels(levels);
+    HDLOCK_EXPECTS(class_hvs.size() == distances.size(),
+                   "Encoder::fused_hamming_into: class/distance count mismatch");
+    HDLOCK_EXPECTS(levels.size() <= util::kernels::kMaxFusedRows,
+                   "Encoder::fused_hamming_into: feature count exceeds the fused-path cap");
+    const std::size_t d = dim();
+    for (const BinaryHV& hv : class_hvs) {
+        HDLOCK_EXPECTS(hv.dim() == d, "Encoder::fused_hamming_into: class HV dimension mismatch");
+    }
+
+    const std::size_t n = levels.size();
+    scratch.rows_a_.resize(n);
+    scratch.class_rows_.resize(class_hvs.size());
+    for (std::size_t c = 0; c < class_hvs.size(); ++c) {
+        scratch.class_rows_[c] = class_hvs[c].words().data();
+    }
+
+    // Cached shape: one pointer per precomputed product, rows_b == nullptr.
+    // Uncached shape: feature/value pointer pairs, the kernel XORs them on
+    // load — same fusion the counter path gets from add_xor.
+    const bits::Word* const* rows_b = nullptr;
+    if (cache != nullptr) {
+        HDLOCK_EXPECTS(cache->matches(n_features(), n_levels(), d),
+                       "Encoder::fused_hamming_into: product cache built for a different "
+                       "encoder shape");
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch.rows_a_[i] = cache->product(i, static_cast<std::size_t>(levels[i])).data();
+        }
+    } else {
+        scratch.rows_b_.resize(n);
+        const std::span<const BinaryHV> feature_hvs = feature_hv_array();
+        const std::span<const BinaryHV> value_hvs = value_hv_array();
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch.rows_a_[i] = feature_hvs[i].words().data();
+            scratch.rows_b_[i] = value_hvs[static_cast<std::size_t>(levels[i])].words().data();
+        }
+        rows_b = scratch.rows_b_.data();
+    }
+
+    util::Xoshiro256ss tie_rng(util::hash_mix(tie_seed_, util::fnv1a_of(levels)));
+    util::kernels::active().fused_hamming_scores(
+        scratch.rows_a_.data(), rows_b, n, scratch.class_rows_.data(), class_hvs.size(),
+        bits::word_count(d), &resolve_fused_ties, &tie_rng, distances.data());
 }
 
 void Encoder::encode_batch(const util::Matrix<int>& levels_matrix, EncoderScratch& scratch,

@@ -96,6 +96,13 @@ public:
         return levels_;
     }
 
+    /// Per-class Hamming distance buffer for the fused encode→distance path
+    /// (Encoder::fused_hamming_into), sized to n entries.
+    std::vector<std::uint64_t>& distances(std::size_t n) {
+        distances_.resize(n);
+        return distances_;
+    }
+
 private:
     friend class Encoder;
 
@@ -106,6 +113,13 @@ private:
     std::optional<util::ColumnCounter> counter_;
     IntHV sums_;            // non-binary encoding en route to sign()
     std::vector<int> levels_;
+    // Row-pointer tables for the fused kernel call: the fused path hands the
+    // backend an array of product (or feature/value pair) pointers instead
+    // of streaming rows through the counter.
+    std::vector<const util::bits::Word*> rows_a_;      // products, or feature HVs
+    std::vector<const util::bits::Word*> rows_b_;      // value HVs (uncached fused path)
+    std::vector<const util::bits::Word*> class_rows_;  // class HV word arrays
+    std::vector<std::uint64_t> distances_;
 };
 
 class Encoder {
@@ -137,6 +151,22 @@ public:
 
     /// Allocation-free binary encode; bit-identical to encode_binary().
     void encode_binary_into(std::span<const int> levels, EncoderScratch& scratch, BinaryHV& out,
+                            const BoundProductCache* cache = nullptr) const;
+
+    /// Fused encode→distance: writes Hamming(sign(H_nb), class_hvs[c]) into
+    /// distances[c] without ever materializing the query hypervector.  The
+    /// bound products stream once through a register-resident carry-save
+    /// tree inside the kernel backend; binarization and the per-class
+    /// XOR+popcount happen per word block while the count planes are still
+    /// hot (no plane unpack, no sign pass, no query round-trip through
+    /// memory).  Tie-breaking draws the identical PRNG stream as
+    /// encode_binary_into, so on every backend
+    ///   distances[c] == class_hvs[c].hamming(encode_binary(levels))
+    /// exactly.  Requires n_features() <= util::kernels::kMaxFusedRows and
+    /// class_hvs.size() == distances.size().
+    void fused_hamming_into(std::span<const int> levels, EncoderScratch& scratch,
+                            std::span<const BinaryHV> class_hvs,
+                            std::span<std::uint64_t> distances,
                             const BoundProductCache* cache = nullptr) const;
 
     /// Batch encode: one IntHV per row of `levels_matrix` (rows x

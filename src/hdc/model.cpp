@@ -1,5 +1,7 @@
 #include "hdc/model.hpp"
 
+#include "hdc/encoder.hpp"
+
 namespace hdlock::hdc {
 
 HdcModel HdcModel::train(const EncodedBatch& batch, int n_classes, const TrainConfig& config) {
@@ -105,6 +107,27 @@ int HdcModel::predict(const BinaryHV& query) const {
     std::size_t best_distance = query.dim() + 1;
     for (int cls = 0; cls < n_classes(); ++cls) {
         const std::size_t distance = class_binary_[static_cast<std::size_t>(cls)].hamming(query);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = cls;
+        }
+    }
+    return best;
+}
+
+int HdcModel::predict_fused(const Encoder& encoder, std::span<const int> levels,
+                            EncoderScratch& scratch, const BoundProductCache* cache) const {
+    HDLOCK_EXPECTS(kind_ == ModelKind::binary, "HdcModel::predict_fused: non-binary model");
+    HDLOCK_EXPECTS(!class_binary_.empty(), "HdcModel::predict_fused: untrained model");
+    HDLOCK_EXPECTS(encoder.dim() == dim(),
+                   "HdcModel::predict_fused: encoder/model dimension mismatch");
+    std::vector<std::uint64_t>& distances = scratch.distances(class_binary_.size());
+    encoder.fused_hamming_into(levels, scratch, class_binary_, distances, cache);
+    // Same argmin as predict(BinaryHV): strict <, first class wins ties.
+    int best = 0;
+    auto best_distance = static_cast<std::uint64_t>(dim()) + 1;
+    for (int cls = 0; cls < n_classes(); ++cls) {
+        const std::uint64_t distance = distances[static_cast<std::size_t>(cls)];
         if (distance < best_distance) {
             best_distance = distance;
             best = cls;

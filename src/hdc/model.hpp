@@ -19,6 +19,10 @@
 
 namespace hdlock::hdc {
 
+class BoundProductCache;
+class Encoder;
+class EncoderScratch;
+
 enum class ModelKind : std::uint8_t {
     non_binary = 0,  ///< integer class HVs, cosine similarity
     binary = 1       ///< binarized class HVs, Hamming distance
@@ -73,6 +77,14 @@ public:
     /// (util/kernels.hpp via BinaryHV::hamming) — backend choice never
     /// changes a prediction, only how fast the argmin is found.
     int predict(const BinaryHV& query) const;
+
+    /// Fused binary inference: encodes `levels` and scores every class in
+    /// one pass through Encoder::fused_hamming_into — the query hypervector
+    /// is never materialized.  Returns the same argmin as
+    /// predict(encoder.encode_binary(levels)) on every kernel backend (same
+    /// distances, same strict-< first-wins tie order).  Binary models only.
+    int predict_fused(const Encoder& encoder, std::span<const int> levels,
+                      EncoderScratch& scratch, const BoundProductCache* cache = nullptr) const;
 
     /// Batch inference over already-encoded queries (one label per query,
     /// in order).  The serving path: pairs with Encoder::encode_batch /

@@ -1,7 +1,6 @@
 #include "util/bitslice.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <string>
 
 #include "util/kernels.hpp"
@@ -127,6 +126,25 @@ void ColumnCounter::add_xor(std::span<const bits::Word> a, std::span<const bits:
     accumulate_row_(a.data(), b.data());
 }
 
+void ColumnCounter::add_rows(std::span<const bits::Word* const> rows) {
+    std::size_t i = 0;
+    if (grouped_) {
+        const kernels::KernelBackend& kernel = kernels::active();
+        // csa_rows compresses eight rows through the exact phase-1/3/5/7
+        // tree, so it may only run when the pipeline sits on a group
+        // boundary; mid-group entries (phase_ != 0) fall through to the
+        // per-row path, which re-aligns the pipeline after 8 - phase_ rows.
+        for (; phase_ == 0 && i + 8 <= rows.size(); i += 8) {
+            group_dirty_ = true;
+            kernel.csa_rows(ones_.data(), twos_.data(), fours_.data(), carry_.data(),
+                            rows.data() + i, n_words_);
+            push_carry_(carry_, 3);
+            rows_added_ += 8;
+        }
+    }
+    for (; i < rows.size(); ++i) accumulate_row_(rows[i], nullptr);
+}
+
 void ColumnCounter::push_carry_(std::span<const bits::Word> carry_words,
                                 std::size_t start_plane) {
     const std::size_t weight = std::size_t{1} << start_plane;
@@ -166,22 +184,21 @@ void ColumnCounter::unpack_planes_into_(std::span<std::int32_t> accumulator) con
     // Complete 64-column words go through the backend kernel (vector code
     // touches all 64 output slots of a word unconditionally); the partial
     // tail word — whose columns past n_bits_ have no accumulator slot —
-    // keeps the scalar set-bit walk.  Plane tails are clean by the row-tail
-    // invariant, so no set bit ever lands past n_bits_.
+    // goes through the *same* kernel into a full-width stack buffer, and
+    // only the in-range columns fold back.  Plane tails are clean by the
+    // row-tail invariant, so the buffer's out-of-range columns stay zero;
+    // routing the tail through the vtable keeps every phase on the active
+    // backend (the scalar set-bit walk it replaces was the lone portable
+    // island in otherwise vectorized unpacks).
     const std::size_t full_words = n_bits_ / bits::kWordBits;
-    kernels::active().unpack_planes(planes_.data(), full_words, n_planes_, accumulator.data());
-    for (std::size_t w = full_words; w < n_words_; ++w) {
-        const bits::Word* plane = planes_.data() + w * n_planes_;
-        const std::size_t base = w * bits::kWordBits;
-        for (std::size_t p = 0; p < n_planes_; ++p) {
-            const auto weight = static_cast<std::int32_t>(1u << p);
-            bits::Word word = plane[p];
-            while (word != 0) {
-                const auto bit = static_cast<std::size_t>(std::countr_zero(word));
-                accumulator[base + bit] += weight;
-                word &= word - 1;
-            }
-        }
+    const kernels::KernelBackend& kernel = kernels::active();
+    kernel.unpack_planes(planes_.data(), full_words, n_planes_, accumulator.data());
+    if (full_words == n_words_) return;
+    std::int32_t tail[bits::kWordBits] = {};
+    kernel.unpack_planes(planes_.data() + full_words * n_planes_, 1, n_planes_, tail);
+    const std::size_t base = full_words * bits::kWordBits;
+    for (std::size_t j = base; j < n_bits_; ++j) {
+        accumulator[j] += tail[j - base];
     }
 }
 

@@ -75,6 +75,15 @@ public:
     /// `xor_into(tmp, a, b); add(tmp)`.
     void add_xor(std::span<const bits::Word> a, std::span<const bits::Word> b);
 
+    /// Adds a batch of packed rows (each word_count(n_bits) words with clean
+    /// tails).  When the 8-row pipeline is active and group-aligned, each
+    /// eight-row chunk folds through the single-pass csa_rows backend kernel
+    /// — one register-resident Harley–Seal tree per chunk instead of eight
+    /// phase steps round-tripping the pending row through memory; this is
+    /// the BoundProductCache accumulation path.  Leftover rows take the
+    /// per-row pipeline.  Exactly equivalent to add() on each row in order.
+    void add_rows(std::span<const bits::Word* const> rows);
+
     /// Number of rows added since the last reset().
     std::size_t rows_added() const noexcept { return rows_added_; }
 

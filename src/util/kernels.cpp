@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -99,13 +100,165 @@ void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes
     }
 }
 
+void csa_rows(Word* ones, Word* twos, Word* fours, Word* carry_out, const Word* const* rows,
+              std::size_t n) noexcept {
+    detail::csa_rows_words(ones, twos, fours, carry_out, rows, 0, n);
+}
+
+void fused_hamming_scores(const Word* const* rows_a, const Word* const* rows_b,
+                          std::size_t n_rows, const Word* const* class_rows,
+                          std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                          void* tie_ctx, std::uint64_t* distances) noexcept {
+    for (std::size_t c = 0; c < n_classes; ++c) distances[c] = 0;
+    detail::fused_hamming_words(rows_a, rows_b, n_rows, class_rows, n_classes, 0, n_words, ties,
+                                tie_ctx, distances);
+}
+
 }  // namespace portable
+
+namespace detail {
+
+void csa_rows_words(Word* ones, Word* twos, Word* fours, Word* carry_out,
+                    const Word* const* rows, std::size_t word_begin,
+                    std::size_t word_end) noexcept {
+    const Word* r0 = rows[0];
+    const Word* r1 = rows[1];
+    const Word* r2 = rows[2];
+    const Word* r3 = rows[3];
+    const Word* r4 = rows[4];
+    const Word* r5 = rows[5];
+    const Word* r6 = rows[6];
+    const Word* r7 = rows[7];
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+        // The exact compression tree of ColumnCounter phases 1/3/5/7 over a
+        // fresh group, so add_rows is plane-identical to eight add() calls.
+        Word u = ones[w] ^ r0[w];
+        const Word twos_a = (ones[w] & r0[w]) | (u & r1[w]);
+        Word one = u ^ r1[w];
+        u = one ^ r2[w];
+        const Word twos_b = (one & r2[w]) | (u & r3[w]);
+        one = u ^ r3[w];
+        Word u2 = twos[w] ^ twos_a;
+        const Word fours_a = (twos[w] & twos_a) | (u2 & twos_b);
+        Word two = u2 ^ twos_b;
+        u = one ^ r4[w];
+        const Word twos_c = (one & r4[w]) | (u & r5[w]);
+        one = u ^ r5[w];
+        u = one ^ r6[w];
+        const Word twos_d = (one & r6[w]) | (u & r7[w]);
+        one = u ^ r7[w];
+        u2 = two ^ twos_c;
+        const Word fours_b = (two & twos_c) | (u2 & twos_d);
+        two = u2 ^ twos_d;
+        const Word u3 = fours[w] ^ fours_a;
+        carry_out[w] = (fours[w] & fours_a) | (u3 & fours_b);
+        fours[w] = u3 ^ fours_b;
+        ones[w] = one;
+        twos[w] = two;
+    }
+}
+
+namespace {
+
+/// Ripples a carry word of weight 2^start into the bit-sliced count planes.
+/// The chain always dies before plane n_planes: column counts never exceed
+/// n_rows < 2^n_planes.
+inline void ripple(Word* planes, std::size_t n_planes, std::size_t start, Word carry) noexcept {
+    for (std::size_t p = start; p < n_planes && carry != 0; ++p) {
+        const Word sum = planes[p] ^ carry;
+        carry &= planes[p];
+        planes[p] = sum;
+    }
+}
+
+}  // namespace
+
+void fused_hamming_words(const Word* const* rows_a, const Word* const* rows_b,
+                         std::size_t n_rows, const Word* const* class_rows,
+                         std::size_t n_classes, std::size_t word_begin, std::size_t word_end,
+                         TieResolver ties, void* tie_ctx, std::uint64_t* distances) noexcept {
+    if (word_begin >= word_end || n_rows == 0) return;
+    const auto n_planes = static_cast<std::size_t>(std::bit_width(n_rows));
+    const Word threshold = n_rows / 2;
+    const bool can_tie = (n_rows % 2) == 0 && ties != nullptr;
+    Word planes[16];  // kMaxFusedRows caps counts at 16 bits
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+        for (std::size_t p = 0; p < n_planes; ++p) planes[p] = 0;
+        Word ones = 0;
+        Word twos = 0;
+        Word fours = 0;
+        std::size_t r = 0;
+        for (; r + 8 <= n_rows; r += 8) {
+            Word x[8];
+            for (std::size_t k = 0; k < 8; ++k) {
+                x[k] = rows_b == nullptr ? rows_a[r + k][w]
+                                         : rows_a[r + k][w] ^ rows_b[r + k][w];
+            }
+            // Same tree as csa_rows_words, registers only.
+            Word u = ones ^ x[0];
+            const Word twos_a = (ones & x[0]) | (u & x[1]);
+            ones = u ^ x[1];
+            u = ones ^ x[2];
+            const Word twos_b = (ones & x[2]) | (u & x[3]);
+            ones = u ^ x[3];
+            Word u2 = twos ^ twos_a;
+            const Word fours_a = (twos & twos_a) | (u2 & twos_b);
+            twos = u2 ^ twos_b;
+            u = ones ^ x[4];
+            const Word twos_c = (ones & x[4]) | (u & x[5]);
+            ones = u ^ x[5];
+            u = ones ^ x[6];
+            const Word twos_d = (ones & x[6]) | (u & x[7]);
+            ones = u ^ x[7];
+            u2 = twos ^ twos_c;
+            const Word fours_b = (twos & twos_c) | (u2 & twos_d);
+            twos = u2 ^ twos_d;
+            const Word u3 = fours ^ fours_a;
+            const Word carry = (fours & fours_a) | (u3 & fours_b);
+            fours = u3 ^ fours_b;
+            ripple(planes, n_planes, 3, carry);
+        }
+        for (; r < n_rows; ++r) {
+            const Word x = rows_b == nullptr ? rows_a[r][w] : rows_a[r][w] ^ rows_b[r][w];
+            const Word c1 = ones & x;
+            ones ^= x;
+            const Word c2 = twos & c1;
+            twos ^= c1;
+            const Word c3 = fours & c2;
+            fours ^= c2;
+            ripple(planes, n_planes, 3, c3);
+        }
+        ripple(planes, n_planes, 0, ones);
+        ripple(planes, n_planes, 1, twos);
+        ripple(planes, n_planes, 2, fours);
+        // Binarize without unpacking: a bit-sliced lexicographic compare of
+        // the per-column counts against the threshold, MSB plane first.  A
+        // set query bit means count > n_rows/2, i.e. a negative bipolar sum.
+        Word gt = 0;
+        Word eq = ~Word{0};
+        for (std::size_t p = n_planes; p-- > 0;) {
+            const Word t = ((threshold >> p) & 1u) != 0 ? ~Word{0} : Word{0};
+            gt |= eq & planes[p] & ~t;
+            eq &= ~(planes[p] ^ t);
+        }
+        Word query = gt;
+        if (can_tie && eq != 0) query |= ties(tie_ctx, eq, w) & eq;
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            distances[c] += static_cast<std::uint64_t>(std::popcount(query ^ class_rows[c][w]));
+        }
+    }
+}
+
+}  // namespace detail
 
 const KernelBackend& portable_backend() noexcept {
     static constexpr KernelBackend backend{
-        Backend::portable,     "portable",         &portable::xor_into,
-        &portable::popcount,   &portable::hamming, &portable::csa_pair,
-        &portable::csa_quad,   &portable::csa_oct, &portable::unpack_planes,
+        Backend::portable,       "portable",
+        &portable::xor_into,     &portable::popcount,
+        &portable::hamming,      &portable::csa_pair,
+        &portable::csa_quad,     &portable::csa_oct,
+        &portable::unpack_planes, &portable::csa_rows,
+        &portable::fused_hamming_scores,
     };
     return backend;
 }
@@ -118,6 +271,13 @@ bool cpu_supports(Backend kind) noexcept {
     switch (kind) {
         case Backend::portable:
             return true;
+        case Backend::neon:
+#if defined(__aarch64__) && defined(__ARM_NEON)
+            // Advanced SIMD is architecturally baseline on AArch64.
+            return true;
+#else
+            return false;
+#endif
 #if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
         case Backend::avx2:
             return __builtin_cpu_supports("avx2") != 0;
@@ -141,6 +301,8 @@ const KernelBackend* compiled_backend(Backend kind) noexcept {
     switch (kind) {
         case Backend::portable:
             return &portable_backend();
+        case Backend::neon:
+            return neon_backend();
         case Backend::avx2:
             return avx2_backend();
         case Backend::avx512:
@@ -154,7 +316,7 @@ const KernelBackend* resolve(Backend kind) noexcept {
 }
 
 const KernelBackend* best_available() noexcept {
-    for (const Backend kind : {Backend::avx512, Backend::avx2}) {
+    for (const Backend kind : {Backend::avx512, Backend::avx2, Backend::neon}) {
         if (const KernelBackend* backend = resolve(kind)) return backend;
     }
     return &portable_backend();
@@ -167,12 +329,38 @@ std::atomic<const KernelBackend*>& active_slot() noexcept {
 
 /// What active() resolves on first use: the HDLOCK_KERNEL_BACKEND override
 /// when set and available, otherwise the best backend this host offers.
+/// An unusable override degrades (a deployment artifact must not crash on a
+/// typo'd env var) but no longer degrades *silently*: one stderr warning
+/// names the accepted values and what the process actually runs.
 const KernelBackend* default_backend() noexcept {
     const char* env = std::getenv("HDLOCK_KERNEL_BACKEND");
-    return compiled_backend(choose_backend(env == nullptr ? "" : env));
+    const std::string_view value = env == nullptr ? std::string_view{} : std::string_view{env};
+    const Backend chosen = choose_backend(value);
+    if (!value.empty()) {
+        const auto requested = parse_backend(value);
+        if (!requested.has_value() || *requested != chosen) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true, std::memory_order_relaxed)) {
+                std::string roster;
+                for (const Backend kind : available_backends()) {
+                    if (!roster.empty()) roster += ", ";
+                    roster += backend_name(kind);
+                }
+                std::fprintf(stderr,
+                             "hdlock: ignoring HDLOCK_KERNEL_BACKEND='%s' (%s); accepted values: "
+                             "portable, neon, avx2, avx512; available here: %s; using '%s'\n",
+                             env, requested.has_value() ? "not available on this host"
+                                                        : "unknown backend",
+                             roster.c_str(), backend_name(chosen));
+            }
+        }
+    }
+    return compiled_backend(chosen);
 }
 
 }  // namespace
+
+bool compiled(Backend kind) noexcept { return compiled_backend(kind) != nullptr; }
 
 bool available(Backend kind) noexcept {
     return compiled_backend(kind) != nullptr && cpu_supports(kind);
@@ -180,6 +368,7 @@ bool available(Backend kind) noexcept {
 
 std::optional<Backend> parse_backend(std::string_view name) noexcept {
     if (name == "portable") return Backend::portable;
+    if (name == "neon") return Backend::neon;
     if (name == "avx2") return Backend::avx2;
     if (name == "avx512") return Backend::avx512;
     return std::nullopt;
@@ -189,6 +378,8 @@ const char* backend_name(Backend kind) noexcept {
     switch (kind) {
         case Backend::portable:
             return "portable";
+        case Backend::neon:
+            return "neon";
         case Backend::avx2:
             return "avx2";
         case Backend::avx512:
@@ -197,9 +388,13 @@ const char* backend_name(Backend kind) noexcept {
     return "unknown";
 }
 
+std::vector<Backend> all_backends() {
+    return {Backend::portable, Backend::neon, Backend::avx2, Backend::avx512};
+}
+
 std::vector<Backend> available_backends() {
     std::vector<Backend> kinds;
-    for (const Backend kind : {Backend::portable, Backend::avx2, Backend::avx512}) {
+    for (const Backend kind : all_backends()) {
         if (available(kind)) kinds.push_back(kind);
     }
     return kinds;
@@ -262,6 +457,8 @@ std::string cpu_feature_string() {
     if (__builtin_cpu_supports("avx512f")) append("avx512f");
     if (__builtin_cpu_supports("avx512bw")) append("avx512bw");
     if (__builtin_cpu_supports("avx512vpopcntdq")) append("avx512vpopcntdq");
+#elif defined(__aarch64__)
+    if (cpu_supports(Backend::neon)) append("asimd");
 #endif
     return features;
 }

@@ -7,10 +7,13 @@
 /// packed uint64 words: XOR binds, population counts, Hamming distances, the
 /// Harley–Seal carry-save steps inside util::ColumnCounter, and the
 /// plane-unpack that turns carry-save planes back into per-column counts.
-/// This header gives those loops a vtable (KernelBackend) with three
+/// This header gives those loops a vtable (KernelBackend) with four
 /// implementations:
 ///
 ///   portable  the plain C++ loops (always available, the reference);
+///   neon      128-bit ARM NEON intrinsics (kernels_neon.cpp; Advanced SIMD
+///             is baseline on aarch64, so no extra -m flags — the TU
+///             self-gates on __ARM_NEON);
 ///   avx2      256-bit AVX2 intrinsics (compiled only into kernels_avx2.cpp
 ///             with -mavx2; selected only when CPUID reports AVX2);
 ///   avx512    512-bit AVX-512 intrinsics (compiled with -mavx512f/-bw/
@@ -18,10 +21,11 @@
 ///
 /// Dispatch is process-global and resolved once at first use: the best
 /// compiled-in backend the CPU supports, overridable by the environment
-/// variable HDLOCK_KERNEL_BACKEND=portable|avx2|avx512 (an unavailable or
-/// unknown value falls back to auto-detection — a deployment artifact must
-/// degrade, not crash) and by set_backend() for tests and serving code that
-/// must pin a specific implementation (api::SessionOptions::kernel_backend).
+/// variable HDLOCK_KERNEL_BACKEND=portable|neon|avx2|avx512 (an unavailable
+/// or unknown value warns once on stderr and falls back to auto-detection —
+/// a deployment artifact must degrade, not crash) and by set_backend() for
+/// tests and serving code that must pin a specific implementation
+/// (api::SessionOptions::kernel_backend).
 ///
 /// Contract: every backend is bit-identical to portable on every input.
 /// All kernels are exact integer arithmetic with order-independent
@@ -49,8 +53,25 @@ namespace hdlock::util::kernels {
 using Word = std::uint64_t;
 
 /// Backend identity, in ascending preference order (auto-detection picks the
-/// highest available value).
-enum class Backend : std::uint8_t { portable = 0, avx2 = 1, avx512 = 2 };
+/// highest available value).  Never serialized — reports store the name
+/// string — so reordering to slot neon in is safe.
+enum class Backend : std::uint8_t { portable = 0, neon = 1, avx2 = 2, avx512 = 3 };
+
+/// Row-count ceiling of the fused encode→distance kernel: per-column counts
+/// are kept in bit-sliced planes, capped at 16 (the util::ColumnCounter
+/// plane budget), so counts must fit 16 bits.
+inline constexpr std::size_t kMaxFusedRows = 65535;
+
+/// Tie-break callback for fused_hamming_scores.  `eq_mask` flags the columns
+/// of word `word_index` whose accumulated count landed exactly on
+/// n_rows / 2 (a zero bipolar sum — only possible for even n_rows); the
+/// resolver returns the subset that binarize negative (bit set in the query).
+/// The kernel invokes it at most once per word, in ascending word order, and
+/// only when eq_mask != 0 — so a resolver drawing one RNG sign per set bit in
+/// ascending bit order consumes the stream exactly like IntHV::sign_into.
+/// Kept as a raw function pointer for the same ODR reason as the vtable: the
+/// RNG lives outside the ISA translation units.
+using TieResolver = Word (*)(void* ctx, Word eq_mask, std::size_t word_index) noexcept;
 
 /// The word-kernel vtable.  Raw pointers + lengths on purpose: the ISA
 /// translation units must not instantiate inline std templates under
@@ -98,28 +119,68 @@ struct KernelBackend {
     /// (vector code writes all 64 columns of a word unconditionally).
     void (*unpack_planes)(const Word* planes, std::size_t n_words, std::size_t n_planes,
                           std::int32_t* accumulator) noexcept;
+
+    /// Folds exactly eight rows (rows[0..8)) into the carry-save
+    /// accumulators in one pass — arithmetic identical to the eight
+    /// per-phase ColumnCounter steps (csa_pair/quad/oct over a fresh group),
+    /// but with all intermediate values in registers instead of round-
+    /// tripping the pending row through memory.  Leaves the group's single
+    /// weight-8 carry in `carry_out`; no output aliases any input.  This is
+    /// the BoundProductCache accumulation kernel: the cached encode path
+    /// hands eight product rows at a time to ColumnCounter::add_rows.
+    void (*csa_rows)(Word* ones, Word* twos, Word* fours, Word* carry_out,
+                     const Word* const* rows, std::size_t n) noexcept;
+
+    /// The fused encode→distance kernel: accumulates n_rows bit rows
+    /// (rows_a[r], XORed with rows_b[r] when rows_b != nullptr — the bind
+    /// step of the uncached encode path), binarizes the per-column counts
+    /// against n_rows / 2, and scores the never-materialized query against
+    /// n_classes class hypervectors:
+    ///   distances[c] = Hamming(sign(sum of rows), class_rows[c])
+    /// Per word block the Harley–Seal count planes live in registers/L1; the
+    /// query bits come from a bit-sliced lexicographic compare of the planes
+    /// against the threshold, ties (count == n_rows/2, even n_rows only) go
+    /// through `ties` (see TieResolver; may be nullptr when n_rows is odd).
+    /// Requirements: 1 <= n_rows <= kMaxFusedRows; rows carry clean tails
+    /// (tail columns count 0 and can never tie, so the query tail stays
+    /// clean and class tails must be clean too, as BinaryHV guarantees).
+    /// Bit-identical to encode_binary_into + per-class hamming() on every
+    /// backend, including the RNG draw order of tie breaks.
+    void (*fused_hamming_scores)(const Word* const* rows_a, const Word* const* rows_b,
+                                 std::size_t n_rows, const Word* const* class_rows,
+                                 std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                                 void* tie_ctx, std::uint64_t* distances) noexcept;
 };
 
 /// The reference backend (always available).
 const KernelBackend& portable_backend() noexcept;
 
 /// Compiled-in ISA backends; nullptr when the toolchain could not build them
-/// (missing -m flags support or a non-x86 target).  Availability at *run*
-/// time additionally requires cpu_supports(kind).
+/// (missing -m flags support or the wrong target arch).  Availability at
+/// *run* time additionally requires cpu_supports(kind).
+const KernelBackend* neon_backend() noexcept;
 const KernelBackend* avx2_backend() noexcept;
 const KernelBackend* avx512_backend() noexcept;
 
 /// True when the running CPU can execute the given backend (portable: always).
 bool cpu_supports(Backend kind) noexcept;
 
+/// True when the backend is compiled into this binary (portable: always).
+bool compiled(Backend kind) noexcept;
+
 /// True when the backend is compiled in AND the CPU supports it.
 bool available(Backend kind) noexcept;
 
-/// Parses "portable" / "avx2" / "avx512"; nullopt for anything else.
+/// Parses "portable" / "neon" / "avx2" / "avx512"; nullopt for anything else.
 std::optional<Backend> parse_backend(std::string_view name) noexcept;
 
-/// The backend's canonical name ("portable", "avx2", "avx512").
+/// The backend's canonical name ("portable", "neon", "avx2", "avx512").
 const char* backend_name(Backend kind) noexcept;
+
+/// Every backend this build knows of, ascending (portable first) — including
+/// ones not compiled in or not runnable here; pair with compiled()/
+/// available() for roster listings.
+std::vector<Backend> all_backends();
 
 /// Every backend available on this host, ascending (portable first).
 std::vector<Backend> available_backends();
@@ -145,8 +206,9 @@ inline const char* active_name() noexcept { return backend_name(active_kind()); 
 Backend set_backend(Backend kind);
 
 /// Space-separated SIMD feature list of the running CPU relevant to the
-/// compiled backends (e.g. "avx2 avx512f avx512bw avx512vpopcntdq"); empty
-/// on hosts with none.  Recorded in the eval:: JSON context.
+/// compiled backends (e.g. "avx2 avx512f avx512bw avx512vpopcntdq" on x86,
+/// "asimd" on aarch64); empty on hosts with none.  Recorded in the eval::
+/// JSON context.
 std::string cpu_feature_string();
 
 /// RAII pin for tests: set_backend(kind) now, restore the previous backend
@@ -172,5 +234,26 @@ private:
     Backend previous_;
     bool armed_ = true;
 };
+
+namespace detail {
+
+/// Scalar word-range loops shared by the vector backends' tail handling.
+/// Non-inline on purpose (compiled once, in kernels.cpp, at the baseline
+/// ISA) so the -m flagged translation units can call them without the ODR
+/// hazard of instantiating common code under a higher ISA.
+
+/// csa_rows over words [word_begin, word_end).
+void csa_rows_words(Word* ones, Word* twos, Word* fours, Word* carry_out,
+                    const Word* const* rows, std::size_t word_begin,
+                    std::size_t word_end) noexcept;
+
+/// fused_hamming_scores over words [word_begin, word_end), accumulating into
+/// distances (the caller zeroes them once up front).
+void fused_hamming_words(const Word* const* rows_a, const Word* const* rows_b,
+                         std::size_t n_rows, const Word* const* class_rows,
+                         std::size_t n_classes, std::size_t word_begin, std::size_t word_end,
+                         TieResolver ties, void* tie_ctx, std::uint64_t* distances) noexcept;
+
+}  // namespace detail
 
 }  // namespace hdlock::util::kernels

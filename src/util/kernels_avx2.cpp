@@ -239,9 +239,193 @@ void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes
     }
 }
 
+/// sum = a ^ b ^ c.
+__m256i csa_sum(__m256i a, __m256i b, __m256i c) noexcept {
+    return _mm256_xor_si256(_mm256_xor_si256(a, b), c);
+}
+
+/// carry = (a&b) | ((a^b)&c) — the CSA carry of the portable kernels.
+__m256i csa_carry(__m256i a, __m256i b, __m256i c) noexcept {
+    return _mm256_or_si256(_mm256_and_si256(a, b),
+                           _mm256_and_si256(_mm256_xor_si256(a, b), c));
+}
+
+void csa_rows(Word* ones, Word* twos, Word* fours, Word* carry_out, const Word* const* rows,
+              std::size_t n) noexcept {
+    const Word* r0 = rows[0];
+    const Word* r1 = rows[1];
+    const Word* r2 = rows[2];
+    const Word* r3 = rows[3];
+    const Word* r4 = rows[4];
+    const Word* r5 = rows[5];
+    const Word* r6 = rows[6];
+    const Word* r7 = rows[7];
+    const auto load = [](const Word* p, std::size_t w) noexcept {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + w));
+    };
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        // Same dataflow as the scalar csa_rows_words tree.
+        __m256i o = load(ones, w);
+        const __m256i x0 = load(r0, w);
+        const __m256i x1 = load(r1, w);
+        const __m256i twos_a = csa_carry(o, x0, x1);
+        o = csa_sum(o, x0, x1);
+        const __m256i x2 = load(r2, w);
+        const __m256i x3 = load(r3, w);
+        const __m256i twos_b = csa_carry(o, x2, x3);
+        o = csa_sum(o, x2, x3);
+        __m256i t = load(twos, w);
+        const __m256i fours_a = csa_carry(t, twos_a, twos_b);
+        t = csa_sum(t, twos_a, twos_b);
+        const __m256i x4 = load(r4, w);
+        const __m256i x5 = load(r5, w);
+        const __m256i twos_c = csa_carry(o, x4, x5);
+        o = csa_sum(o, x4, x5);
+        const __m256i x6 = load(r6, w);
+        const __m256i x7 = load(r7, w);
+        const __m256i twos_d = csa_carry(o, x6, x7);
+        o = csa_sum(o, x6, x7);
+        const __m256i fours_b = csa_carry(t, twos_c, twos_d);
+        t = csa_sum(t, twos_c, twos_d);
+        const __m256i f = load(fours, w);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(carry_out + w),
+                            csa_carry(f, fours_a, fours_b));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(fours + w), csa_sum(f, fours_a, fours_b));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ones + w), o);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(twos + w), t);
+    }
+    detail::csa_rows_words(ones, twos, fours, carry_out, rows, w, n);
+}
+
+template <bool Fused>
+__m256i load_row(const Word* const* rows_a, const Word* const* rows_b, std::size_t r,
+                 std::size_t w) noexcept {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows_a[r] + w));
+    if constexpr (!Fused) return a;
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows_b[r] + w));
+    return _mm256_xor_si256(a, b);
+}
+
+template <bool Fused>
+void fused_hamming_scores_impl(const Word* const* rows_a, const Word* const* rows_b,
+                               std::size_t n_rows, const Word* const* class_rows,
+                               std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                               void* tie_ctx, std::uint64_t* distances) noexcept {
+    const auto n_planes = static_cast<std::size_t>(64 - __builtin_clzll(n_rows));
+    const Word threshold = n_rows / 2;
+    const bool can_tie = (n_rows % 2) == 0 && ties != nullptr;
+    std::size_t w = 0;
+    for (; w + 4 <= n_words; w += 4) {
+        // Per four-word block: planes past the 16-ymm register file spill to
+        // the stack, but stay L1-hot — they are touched once per 8 rows.
+        __m256i planes[16];
+        for (std::size_t p = 0; p < n_planes; ++p) planes[p] = _mm256_setzero_si256();
+        __m256i ones = _mm256_setzero_si256();
+        __m256i twos = _mm256_setzero_si256();
+        __m256i fours = _mm256_setzero_si256();
+        std::size_t r = 0;
+        for (; r + 8 <= n_rows; r += 8) {
+            const __m256i x0 = load_row<Fused>(rows_a, rows_b, r + 0, w);
+            const __m256i x1 = load_row<Fused>(rows_a, rows_b, r + 1, w);
+            const __m256i twos_a = csa_carry(ones, x0, x1);
+            ones = csa_sum(ones, x0, x1);
+            const __m256i x2 = load_row<Fused>(rows_a, rows_b, r + 2, w);
+            const __m256i x3 = load_row<Fused>(rows_a, rows_b, r + 3, w);
+            const __m256i twos_b = csa_carry(ones, x2, x3);
+            ones = csa_sum(ones, x2, x3);
+            const __m256i fours_a = csa_carry(twos, twos_a, twos_b);
+            twos = csa_sum(twos, twos_a, twos_b);
+            const __m256i x4 = load_row<Fused>(rows_a, rows_b, r + 4, w);
+            const __m256i x5 = load_row<Fused>(rows_a, rows_b, r + 5, w);
+            const __m256i twos_c = csa_carry(ones, x4, x5);
+            ones = csa_sum(ones, x4, x5);
+            const __m256i x6 = load_row<Fused>(rows_a, rows_b, r + 6, w);
+            const __m256i x7 = load_row<Fused>(rows_a, rows_b, r + 7, w);
+            const __m256i twos_d = csa_carry(ones, x6, x7);
+            ones = csa_sum(ones, x6, x7);
+            const __m256i fours_b = csa_carry(twos, twos_c, twos_d);
+            twos = csa_sum(twos, twos_c, twos_d);
+            __m256i carry = csa_carry(fours, fours_a, fours_b);
+            fours = csa_sum(fours, fours_a, fours_b);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const __m256i sum = _mm256_xor_si256(planes[p], carry);
+                carry = _mm256_and_si256(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        for (; r < n_rows; ++r) {
+            const __m256i x = load_row<Fused>(rows_a, rows_b, r, w);
+            __m256i carry = _mm256_and_si256(ones, x);
+            ones = _mm256_xor_si256(ones, x);
+            const __m256i c2 = _mm256_and_si256(twos, carry);
+            twos = _mm256_xor_si256(twos, carry);
+            carry = _mm256_and_si256(fours, c2);
+            fours = _mm256_xor_si256(fours, c2);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const __m256i sum = _mm256_xor_si256(planes[p], carry);
+                carry = _mm256_and_si256(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        const __m256i carries[3] = {ones, twos, fours};
+        for (std::size_t start = 0; start < 3; ++start) {
+            __m256i carry = carries[start];
+            for (std::size_t p = start; p < n_planes; ++p) {
+                const __m256i sum = _mm256_xor_si256(planes[p], carry);
+                carry = _mm256_and_si256(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        // Bit-sliced count > / == threshold, MSB plane first.
+        __m256i gt = _mm256_setzero_si256();
+        __m256i eq = _mm256_set1_epi64x(-1);
+        for (std::size_t p = n_planes; p-- > 0;) {
+            if (((threshold >> p) & 1u) != 0) {
+                eq = _mm256_and_si256(eq, planes[p]);
+            } else {
+                gt = _mm256_or_si256(gt, _mm256_and_si256(eq, planes[p]));
+                eq = _mm256_andnot_si256(planes[p], eq);
+            }
+        }
+        __m256i query = gt;
+        if (can_tie && _mm256_testz_si256(eq, eq) == 0) {
+            alignas(32) Word eq_words[4];
+            alignas(32) Word tie_words[4];
+            _mm256_store_si256(reinterpret_cast<__m256i*>(eq_words), eq);
+            for (std::size_t k = 0; k < 4; ++k) {
+                tie_words[k] =
+                    eq_words[k] == 0 ? 0 : (ties(tie_ctx, eq_words[k], w + k) & eq_words[k]);
+            }
+            query = _mm256_or_si256(query,
+                                    _mm256_load_si256(reinterpret_cast<const __m256i*>(tie_words)));
+        }
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            const __m256i x = _mm256_xor_si256(
+                query, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(class_rows[c] + w)));
+            distances[c] += static_cast<std::uint64_t>(reduce_epi64(popcount_bytes_sad(x)));
+        }
+    }
+    detail::fused_hamming_words(rows_a, rows_b, n_rows, class_rows, n_classes, w, n_words, ties,
+                                tie_ctx, distances);
+}
+
+void fused_hamming_scores(const Word* const* rows_a, const Word* const* rows_b,
+                          std::size_t n_rows, const Word* const* class_rows,
+                          std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                          void* tie_ctx, std::uint64_t* distances) noexcept {
+    for (std::size_t c = 0; c < n_classes; ++c) distances[c] = 0;
+    if (n_rows == 0) return;
+    rows_b == nullptr
+        ? fused_hamming_scores_impl<false>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                           n_words, ties, tie_ctx, distances)
+        : fused_hamming_scores_impl<true>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                          n_words, ties, tie_ctx, distances);
+}
+
 constexpr KernelBackend kBackend{
-    Backend::avx2, "avx2",   &xor_into, &popcount,      &hamming,
-    &csa_pair,     &csa_quad, &csa_oct,  &unpack_planes,
+    Backend::avx2, "avx2",   &xor_into, &popcount,      &hamming,  &csa_pair,
+    &csa_quad,     &csa_oct, &unpack_planes, &csa_rows, &fused_hamming_scores,
 };
 
 }  // namespace

@@ -222,9 +222,178 @@ void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes
     }
 }
 
+void csa_rows(Word* ones, Word* twos, Word* fours, Word* carry_out, const Word* const* rows,
+              std::size_t n) noexcept {
+    const Word* r0 = rows[0];
+    const Word* r1 = rows[1];
+    const Word* r2 = rows[2];
+    const Word* r3 = rows[3];
+    const Word* r4 = rows[4];
+    const Word* r5 = rows[5];
+    const Word* r6 = rows[6];
+    const Word* r7 = rows[7];
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        // Same dataflow as the scalar csa_rows_words tree; every CSA is one
+        // vpternlogq pair.
+        __m512i o = _mm512_loadu_si512(ones + w);
+        const __m512i x0 = _mm512_loadu_si512(r0 + w);
+        const __m512i x1 = _mm512_loadu_si512(r1 + w);
+        const __m512i twos_a = csa_carry(o, x0, x1);
+        o = csa_sum(o, x0, x1);
+        const __m512i x2 = _mm512_loadu_si512(r2 + w);
+        const __m512i x3 = _mm512_loadu_si512(r3 + w);
+        const __m512i twos_b = csa_carry(o, x2, x3);
+        o = csa_sum(o, x2, x3);
+        __m512i t = _mm512_loadu_si512(twos + w);
+        const __m512i fours_a = csa_carry(t, twos_a, twos_b);
+        t = csa_sum(t, twos_a, twos_b);
+        const __m512i x4 = _mm512_loadu_si512(r4 + w);
+        const __m512i x5 = _mm512_loadu_si512(r5 + w);
+        const __m512i twos_c = csa_carry(o, x4, x5);
+        o = csa_sum(o, x4, x5);
+        const __m512i x6 = _mm512_loadu_si512(r6 + w);
+        const __m512i x7 = _mm512_loadu_si512(r7 + w);
+        const __m512i twos_d = csa_carry(o, x6, x7);
+        o = csa_sum(o, x6, x7);
+        const __m512i fours_b = csa_carry(t, twos_c, twos_d);
+        t = csa_sum(t, twos_c, twos_d);
+        const __m512i f = _mm512_loadu_si512(fours + w);
+        _mm512_storeu_si512(carry_out + w, csa_carry(f, fours_a, fours_b));
+        _mm512_storeu_si512(fours + w, csa_sum(f, fours_a, fours_b));
+        _mm512_storeu_si512(ones + w, o);
+        _mm512_storeu_si512(twos + w, t);
+    }
+    detail::csa_rows_words(ones, twos, fours, carry_out, rows, w, n);
+}
+
+template <bool Fused>
+__m512i load_row(const Word* const* rows_a, const Word* const* rows_b, std::size_t r,
+                 std::size_t w) noexcept {
+    const __m512i a = _mm512_loadu_si512(rows_a[r] + w);
+    if constexpr (!Fused) return a;
+    return _mm512_xor_si512(a, _mm512_loadu_si512(rows_b[r] + w));
+}
+
+template <bool Fused>
+void fused_hamming_scores_impl(const Word* const* rows_a, const Word* const* rows_b,
+                               std::size_t n_rows, const Word* const* class_rows,
+                               std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                               void* tie_ctx, std::uint64_t* distances) noexcept {
+    const auto n_planes = static_cast<std::size_t>(64 - __builtin_clzll(n_rows));
+    const Word threshold = n_rows / 2;
+    const bool can_tie = (n_rows % 2) == 0 && ties != nullptr;
+    std::size_t w = 0;
+    for (; w + 8 <= n_words; w += 8) {
+        // Per eight-word block the count planes live in zmm registers/L1:
+        // n_planes + ones/twos/fours + CSA temps stays within the 32-register
+        // file up to ~1k rows (see DESIGN.md register pressure math).
+        __m512i planes[16];
+        for (std::size_t p = 0; p < n_planes; ++p) planes[p] = _mm512_setzero_si512();
+        __m512i ones = _mm512_setzero_si512();
+        __m512i twos = _mm512_setzero_si512();
+        __m512i fours = _mm512_setzero_si512();
+        std::size_t r = 0;
+        for (; r + 8 <= n_rows; r += 8) {
+            const __m512i x0 = load_row<Fused>(rows_a, rows_b, r + 0, w);
+            const __m512i x1 = load_row<Fused>(rows_a, rows_b, r + 1, w);
+            const __m512i twos_a = csa_carry(ones, x0, x1);
+            ones = csa_sum(ones, x0, x1);
+            const __m512i x2 = load_row<Fused>(rows_a, rows_b, r + 2, w);
+            const __m512i x3 = load_row<Fused>(rows_a, rows_b, r + 3, w);
+            const __m512i twos_b = csa_carry(ones, x2, x3);
+            ones = csa_sum(ones, x2, x3);
+            const __m512i fours_a = csa_carry(twos, twos_a, twos_b);
+            twos = csa_sum(twos, twos_a, twos_b);
+            const __m512i x4 = load_row<Fused>(rows_a, rows_b, r + 4, w);
+            const __m512i x5 = load_row<Fused>(rows_a, rows_b, r + 5, w);
+            const __m512i twos_c = csa_carry(ones, x4, x5);
+            ones = csa_sum(ones, x4, x5);
+            const __m512i x6 = load_row<Fused>(rows_a, rows_b, r + 6, w);
+            const __m512i x7 = load_row<Fused>(rows_a, rows_b, r + 7, w);
+            const __m512i twos_d = csa_carry(ones, x6, x7);
+            ones = csa_sum(ones, x6, x7);
+            const __m512i fours_b = csa_carry(twos, twos_c, twos_d);
+            twos = csa_sum(twos, twos_c, twos_d);
+            __m512i carry = csa_carry(fours, fours_a, fours_b);
+            fours = csa_sum(fours, fours_a, fours_b);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const __m512i sum = _mm512_xor_si512(planes[p], carry);
+                carry = _mm512_and_si512(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        for (; r < n_rows; ++r) {
+            const __m512i x = load_row<Fused>(rows_a, rows_b, r, w);
+            __m512i carry = _mm512_and_si512(ones, x);
+            ones = _mm512_xor_si512(ones, x);
+            const __m512i c2 = _mm512_and_si512(twos, carry);
+            twos = _mm512_xor_si512(twos, carry);
+            carry = _mm512_and_si512(fours, c2);
+            fours = _mm512_xor_si512(fours, c2);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const __m512i sum = _mm512_xor_si512(planes[p], carry);
+                carry = _mm512_and_si512(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        __m512i carries[3] = {ones, twos, fours};
+        for (std::size_t start = 0; start < 3; ++start) {
+            __m512i carry = carries[start];
+            for (std::size_t p = start; p < n_planes; ++p) {
+                const __m512i sum = _mm512_xor_si512(planes[p], carry);
+                carry = _mm512_and_si512(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        // Bit-sliced count > / == threshold, MSB plane first.
+        __m512i gt = _mm512_setzero_si512();
+        __m512i eq = _mm512_set1_epi64(-1);
+        for (std::size_t p = n_planes; p-- > 0;) {
+            if (((threshold >> p) & 1u) != 0) {
+                eq = _mm512_and_si512(eq, planes[p]);
+            } else {
+                gt = _mm512_or_si512(gt, _mm512_and_si512(eq, planes[p]));
+                eq = _mm512_andnot_si512(planes[p], eq);
+            }
+        }
+        __m512i query = gt;
+        if (can_tie && _mm512_test_epi64_mask(eq, eq) != 0) {
+            alignas(64) Word eq_words[8];
+            alignas(64) Word tie_words[8];
+            _mm512_store_si512(eq_words, eq);
+            for (std::size_t k = 0; k < 8; ++k) {
+                tie_words[k] =
+                    eq_words[k] == 0 ? 0 : (ties(tie_ctx, eq_words[k], w + k) & eq_words[k]);
+            }
+            query = _mm512_or_si512(query, _mm512_load_si512(tie_words));
+        }
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            const __m512i x = _mm512_xor_si512(query, _mm512_loadu_si512(class_rows[c] + w));
+            distances[c] +=
+                static_cast<std::uint64_t>(_mm512_reduce_add_epi64(_mm512_popcnt_epi64(x)));
+        }
+    }
+    detail::fused_hamming_words(rows_a, rows_b, n_rows, class_rows, n_classes, w, n_words, ties,
+                                tie_ctx, distances);
+}
+
+void fused_hamming_scores(const Word* const* rows_a, const Word* const* rows_b,
+                          std::size_t n_rows, const Word* const* class_rows,
+                          std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                          void* tie_ctx, std::uint64_t* distances) noexcept {
+    for (std::size_t c = 0; c < n_classes; ++c) distances[c] = 0;
+    if (n_rows == 0) return;
+    rows_b == nullptr
+        ? fused_hamming_scores_impl<false>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                           n_words, ties, tie_ctx, distances)
+        : fused_hamming_scores_impl<true>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                          n_words, ties, tie_ctx, distances);
+}
+
 constexpr KernelBackend kBackend{
-    Backend::avx512, "avx512",  &xor_into, &popcount,      &hamming,
-    &csa_pair,       &csa_quad, &csa_oct,  &unpack_planes,
+    Backend::avx512, "avx512",  &xor_into, &popcount,      &hamming,   &csa_pair,
+    &csa_quad,       &csa_oct,  &unpack_planes, &csa_rows, &fused_hamming_scores,
 };
 
 }  // namespace

@@ -1,0 +1,398 @@
+/// \file kernels_neon.cpp
+/// The ARM NEON (Advanced SIMD) kernel backend: 128-bit words, vcntq_u8 +
+/// the vpaddlq widening chain for population counts, veor/vand/vorr for the
+/// carry-save steps, and vshlq_u32 with negative shift counts for the dense
+/// plane unpack.
+///
+/// Advanced SIMD is architecturally baseline on AArch64, so unlike the x86
+/// TUs this file needs no per-file -m flags — it simply self-gates on
+/// __ARM_NEON and compiles to the nullptr stub elsewhere (x86 builds, or
+/// 32-bit ARM without NEON).  Same ODR discipline as kernels_avx2.cpp:
+/// everything except the vector-free neon_backend() accessor has internal
+/// linkage, and scalar tails route through the baseline-compiled
+/// kernels::detail helpers.
+
+#include "util/kernels.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace hdlock::util::kernels {
+
+namespace {
+
+void xor_into(Word* dst, const Word* a, const Word* b, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        vst1q_u64(dst + w, veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w)));
+    }
+    for (; w < n; ++w) dst[w] = a[w] ^ b[w];
+}
+
+/// Per-lane popcount of a 128-bit vector, widened to two u64 partial sums.
+uint64x2_t popcount_pairs(uint64x2_t v) noexcept {
+    return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v)))));
+}
+
+std::size_t popcount(const Word* words, std::size_t n) noexcept {
+    uint64x2_t acc = vdupq_n_u64(0);
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        acc = vaddq_u64(acc, popcount_pairs(vld1q_u64(words + w)));
+    }
+    std::size_t total = static_cast<std::size_t>(vaddvq_u64(acc));
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(words[w]));
+    return total;
+}
+
+std::size_t hamming(const Word* a, const Word* b, std::size_t n) noexcept {
+    uint64x2_t acc = vdupq_n_u64(0);
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        acc = vaddq_u64(acc, popcount_pairs(veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w))));
+    }
+    std::size_t total = static_cast<std::size_t>(vaddvq_u64(acc));
+    for (; w < n; ++w) total += static_cast<std::size_t>(__builtin_popcountll(a[w] ^ b[w]));
+    return total;
+}
+
+/// sum = a ^ b ^ c.
+uint64x2_t csa_sum(uint64x2_t a, uint64x2_t b, uint64x2_t c) noexcept {
+    return veorq_u64(veorq_u64(a, b), c);
+}
+
+/// carry = (a&b) | ((a^b)&c) — the CSA carry of the portable kernels.
+uint64x2_t csa_carry(uint64x2_t a, uint64x2_t b, uint64x2_t c) noexcept {
+    return vorrq_u64(vandq_u64(a, b), vandq_u64(veorq_u64(a, b), c));
+}
+
+/// Loads the row operand: ya[w..w+2) or the fused bind ya ^ yb.
+template <bool Fused>
+uint64x2_t load_y(const Word* ya, const Word* yb, std::size_t w) noexcept {
+    const uint64x2_t a = vld1q_u64(ya + w);
+    if constexpr (!Fused) return a;
+    return veorq_u64(a, vld1q_u64(yb + w));
+}
+
+template <bool Fused>
+void csa_pair_impl(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+                   std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        const uint64x2_t o = vld1q_u64(ones + w);
+        const uint64x2_t vx = vld1q_u64(x + w);
+        const uint64x2_t y = load_y<Fused>(ya, yb, w);
+        vst1q_u64(carry + w, csa_carry(o, vx, y));
+        vst1q_u64(ones + w, csa_sum(o, vx, y));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        carry[w] = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+    }
+}
+
+void csa_pair(Word* ones, Word* carry, const Word* x, const Word* ya, const Word* yb,
+              std::size_t n) noexcept {
+    yb == nullptr ? csa_pair_impl<false>(ones, carry, x, ya, yb, n)
+                  : csa_pair_impl<true>(ones, carry, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_quad_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+                   const Word* ya, const Word* yb, std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        const uint64x2_t o = vld1q_u64(ones + w);
+        const uint64x2_t vx = vld1q_u64(x + w);
+        const uint64x2_t y = load_y<Fused>(ya, yb, w);
+        const uint64x2_t twos_b = csa_carry(o, vx, y);
+        vst1q_u64(ones + w, csa_sum(o, vx, y));
+        const uint64x2_t t = vld1q_u64(twos + w);
+        const uint64x2_t ta = vld1q_u64(twos_a + w);
+        vst1q_u64(fours_a + w, csa_carry(t, ta, twos_b));
+        vst1q_u64(twos + w, csa_sum(t, ta, twos_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        fours_a[w] = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+    }
+}
+
+void csa_quad(Word* ones, Word* twos, const Word* twos_a, Word* fours_a, const Word* x,
+              const Word* ya, const Word* yb, std::size_t n) noexcept {
+    yb == nullptr ? csa_quad_impl<false>(ones, twos, twos_a, fours_a, x, ya, yb, n)
+                  : csa_quad_impl<true>(ones, twos, twos_a, fours_a, x, ya, yb, n);
+}
+
+template <bool Fused>
+void csa_oct_impl(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+                  Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+                  std::size_t n) noexcept {
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        const uint64x2_t o = vld1q_u64(ones + w);
+        const uint64x2_t vx = vld1q_u64(x + w);
+        const uint64x2_t y = load_y<Fused>(ya, yb, w);
+        const uint64x2_t twos_b = csa_carry(o, vx, y);
+        vst1q_u64(ones + w, csa_sum(o, vx, y));
+        const uint64x2_t t = vld1q_u64(twos + w);
+        const uint64x2_t ta = vld1q_u64(twos_a + w);
+        const uint64x2_t fours_b = csa_carry(t, ta, twos_b);
+        vst1q_u64(twos + w, csa_sum(t, ta, twos_b));
+        const uint64x2_t f = vld1q_u64(fours + w);
+        const uint64x2_t fa = vld1q_u64(fours_a + w);
+        vst1q_u64(carry_out + w, csa_carry(f, fa, fours_b));
+        vst1q_u64(fours + w, csa_sum(f, fa, fours_b));
+    }
+    for (; w < n; ++w) {
+        const Word y = Fused ? ya[w] ^ yb[w] : ya[w];
+        const Word u = ones[w] ^ x[w];
+        const Word twos_b = (ones[w] & x[w]) | (u & y);
+        ones[w] = u ^ y;
+        const Word u2 = twos[w] ^ twos_a[w];
+        const Word fours_b = (twos[w] & twos_a[w]) | (u2 & twos_b);
+        twos[w] = u2 ^ twos_b;
+        const Word u3 = fours[w] ^ fours_a[w];
+        carry_out[w] = (fours[w] & fours_a[w]) | (u3 & fours_b);
+        fours[w] = u3 ^ fours_b;
+    }
+}
+
+void csa_oct(Word* ones, Word* twos, const Word* twos_a, Word* fours, const Word* fours_a,
+             Word* carry_out, const Word* x, const Word* ya, const Word* yb,
+             std::size_t n) noexcept {
+    yb == nullptr
+        ? csa_oct_impl<false>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n)
+        : csa_oct_impl<true>(ones, twos, twos_a, fours, fours_a, carry_out, x, ya, yb, n);
+}
+
+/// Dense plane unpack, the 4-lane analogue of the AVX2 srlv scheme: spread
+/// each plane word across sixteen int32x4 vectors with vshlq_u32 negative
+/// (= right) shifts, mask to the bit, weight by the plane, accumulate.
+void unpack_planes(const Word* planes, std::size_t n_words, std::size_t n_planes,
+                   std::int32_t* accumulator) noexcept {
+    const uint32x4_t one = vdupq_n_u32(1);
+    int32x4_t shifts[8];
+    for (int v = 0; v < 8; ++v) {
+        const std::int32_t lanes[4] = {-(v * 4 + 0), -(v * 4 + 1), -(v * 4 + 2), -(v * 4 + 3)};
+        shifts[v] = vld1q_s32(lanes);
+    }
+    for (std::size_t w = 0; w < n_words; ++w) {
+        const Word* plane = planes + w * n_planes;
+        int32x4_t counts[16];
+        for (int v = 0; v < 16; ++v) counts[v] = vdupq_n_s32(0);
+        for (std::size_t p = 0; p < n_planes; ++p) {
+            const Word word = plane[p];
+            if (word == 0) continue;
+            const uint32x4_t lo = vdupq_n_u32(static_cast<std::uint32_t>(word));
+            const uint32x4_t hi = vdupq_n_u32(static_cast<std::uint32_t>(word >> 32));
+            const int32x4_t weight_shift = vdupq_n_s32(static_cast<std::int32_t>(p));
+            for (int v = 0; v < 8; ++v) {
+                const uint32x4_t bits_lo = vandq_u32(vshlq_u32(lo, shifts[v]), one);
+                const uint32x4_t bits_hi = vandq_u32(vshlq_u32(hi, shifts[v]), one);
+                counts[v] = vaddq_s32(
+                    counts[v], vreinterpretq_s32_u32(vshlq_u32(bits_lo, weight_shift)));
+                counts[v + 8] = vaddq_s32(
+                    counts[v + 8], vreinterpretq_s32_u32(vshlq_u32(bits_hi, weight_shift)));
+            }
+        }
+        std::int32_t* out = accumulator + w * 64;
+        for (int v = 0; v < 16; ++v) {
+            vst1q_s32(out + v * 4, vaddq_s32(vld1q_s32(out + v * 4), counts[v]));
+        }
+    }
+}
+
+void csa_rows(Word* ones, Word* twos, Word* fours, Word* carry_out, const Word* const* rows,
+              std::size_t n) noexcept {
+    const Word* r0 = rows[0];
+    const Word* r1 = rows[1];
+    const Word* r2 = rows[2];
+    const Word* r3 = rows[3];
+    const Word* r4 = rows[4];
+    const Word* r5 = rows[5];
+    const Word* r6 = rows[6];
+    const Word* r7 = rows[7];
+    std::size_t w = 0;
+    for (; w + 2 <= n; w += 2) {
+        // Same dataflow as the scalar csa_rows_words tree.
+        uint64x2_t o = vld1q_u64(ones + w);
+        const uint64x2_t x0 = vld1q_u64(r0 + w);
+        const uint64x2_t x1 = vld1q_u64(r1 + w);
+        const uint64x2_t twos_a = csa_carry(o, x0, x1);
+        o = csa_sum(o, x0, x1);
+        const uint64x2_t x2 = vld1q_u64(r2 + w);
+        const uint64x2_t x3 = vld1q_u64(r3 + w);
+        const uint64x2_t twos_b = csa_carry(o, x2, x3);
+        o = csa_sum(o, x2, x3);
+        uint64x2_t t = vld1q_u64(twos + w);
+        const uint64x2_t fours_a = csa_carry(t, twos_a, twos_b);
+        t = csa_sum(t, twos_a, twos_b);
+        const uint64x2_t x4 = vld1q_u64(r4 + w);
+        const uint64x2_t x5 = vld1q_u64(r5 + w);
+        const uint64x2_t twos_c = csa_carry(o, x4, x5);
+        o = csa_sum(o, x4, x5);
+        const uint64x2_t x6 = vld1q_u64(r6 + w);
+        const uint64x2_t x7 = vld1q_u64(r7 + w);
+        const uint64x2_t twos_d = csa_carry(o, x6, x7);
+        o = csa_sum(o, x6, x7);
+        const uint64x2_t fours_b = csa_carry(t, twos_c, twos_d);
+        t = csa_sum(t, twos_c, twos_d);
+        const uint64x2_t f = vld1q_u64(fours + w);
+        vst1q_u64(carry_out + w, csa_carry(f, fours_a, fours_b));
+        vst1q_u64(fours + w, csa_sum(f, fours_a, fours_b));
+        vst1q_u64(ones + w, o);
+        vst1q_u64(twos + w, t);
+    }
+    detail::csa_rows_words(ones, twos, fours, carry_out, rows, w, n);
+}
+
+template <bool Fused>
+uint64x2_t load_row(const Word* const* rows_a, const Word* const* rows_b, std::size_t r,
+                    std::size_t w) noexcept {
+    const uint64x2_t a = vld1q_u64(rows_a[r] + w);
+    if constexpr (!Fused) return a;
+    return veorq_u64(a, vld1q_u64(rows_b[r] + w));
+}
+
+template <bool Fused>
+void fused_hamming_scores_impl(const Word* const* rows_a, const Word* const* rows_b,
+                               std::size_t n_rows, const Word* const* class_rows,
+                               std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                               void* tie_ctx, std::uint64_t* distances) noexcept {
+    const auto n_planes = static_cast<std::size_t>(64 - __builtin_clzll(n_rows));
+    const Word threshold = n_rows / 2;
+    const bool can_tie = (n_rows % 2) == 0 && ties != nullptr;
+    std::size_t w = 0;
+    for (; w + 2 <= n_words; w += 2) {
+        // Per two-word block: up to 16 count planes + ones/twos/fours + CSA
+        // temps fit the 32-register NEON file.
+        uint64x2_t planes[16];
+        for (std::size_t p = 0; p < n_planes; ++p) planes[p] = vdupq_n_u64(0);
+        uint64x2_t ones = vdupq_n_u64(0);
+        uint64x2_t twos = vdupq_n_u64(0);
+        uint64x2_t fours = vdupq_n_u64(0);
+        std::size_t r = 0;
+        for (; r + 8 <= n_rows; r += 8) {
+            const uint64x2_t x0 = load_row<Fused>(rows_a, rows_b, r + 0, w);
+            const uint64x2_t x1 = load_row<Fused>(rows_a, rows_b, r + 1, w);
+            const uint64x2_t twos_a = csa_carry(ones, x0, x1);
+            ones = csa_sum(ones, x0, x1);
+            const uint64x2_t x2 = load_row<Fused>(rows_a, rows_b, r + 2, w);
+            const uint64x2_t x3 = load_row<Fused>(rows_a, rows_b, r + 3, w);
+            const uint64x2_t twos_b = csa_carry(ones, x2, x3);
+            ones = csa_sum(ones, x2, x3);
+            const uint64x2_t fours_a = csa_carry(twos, twos_a, twos_b);
+            twos = csa_sum(twos, twos_a, twos_b);
+            const uint64x2_t x4 = load_row<Fused>(rows_a, rows_b, r + 4, w);
+            const uint64x2_t x5 = load_row<Fused>(rows_a, rows_b, r + 5, w);
+            const uint64x2_t twos_c = csa_carry(ones, x4, x5);
+            ones = csa_sum(ones, x4, x5);
+            const uint64x2_t x6 = load_row<Fused>(rows_a, rows_b, r + 6, w);
+            const uint64x2_t x7 = load_row<Fused>(rows_a, rows_b, r + 7, w);
+            const uint64x2_t twos_d = csa_carry(ones, x6, x7);
+            ones = csa_sum(ones, x6, x7);
+            const uint64x2_t fours_b = csa_carry(twos, twos_c, twos_d);
+            twos = csa_sum(twos, twos_c, twos_d);
+            uint64x2_t carry = csa_carry(fours, fours_a, fours_b);
+            fours = csa_sum(fours, fours_a, fours_b);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const uint64x2_t sum = veorq_u64(planes[p], carry);
+                carry = vandq_u64(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        for (; r < n_rows; ++r) {
+            const uint64x2_t x = load_row<Fused>(rows_a, rows_b, r, w);
+            uint64x2_t carry = vandq_u64(ones, x);
+            ones = veorq_u64(ones, x);
+            const uint64x2_t c2 = vandq_u64(twos, carry);
+            twos = veorq_u64(twos, carry);
+            carry = vandq_u64(fours, c2);
+            fours = veorq_u64(fours, c2);
+            for (std::size_t p = 3; p < n_planes; ++p) {
+                const uint64x2_t sum = veorq_u64(planes[p], carry);
+                carry = vandq_u64(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        const uint64x2_t carries[3] = {ones, twos, fours};
+        for (std::size_t start = 0; start < 3; ++start) {
+            uint64x2_t carry = carries[start];
+            for (std::size_t p = start; p < n_planes; ++p) {
+                const uint64x2_t sum = veorq_u64(planes[p], carry);
+                carry = vandq_u64(planes[p], carry);
+                planes[p] = sum;
+            }
+        }
+        // Bit-sliced count > / == threshold, MSB plane first.
+        uint64x2_t gt = vdupq_n_u64(0);
+        uint64x2_t eq = vdupq_n_u64(~Word{0});
+        for (std::size_t p = n_planes; p-- > 0;) {
+            if (((threshold >> p) & 1u) != 0) {
+                eq = vandq_u64(eq, planes[p]);
+            } else {
+                gt = vorrq_u64(gt, vandq_u64(eq, planes[p]));
+                eq = vbicq_u64(eq, planes[p]);
+            }
+        }
+        uint64x2_t query = gt;
+        if (can_tie) {
+            const Word eq0 = vgetq_lane_u64(eq, 0);
+            const Word eq1 = vgetq_lane_u64(eq, 1);
+            if ((eq0 | eq1) != 0) {
+                const Word tie0 = eq0 == 0 ? 0 : (ties(tie_ctx, eq0, w + 0) & eq0);
+                const Word tie1 = eq1 == 0 ? 0 : (ties(tie_ctx, eq1, w + 1) & eq1);
+                query = vorrq_u64(query, vcombine_u64(vcreate_u64(tie0), vcreate_u64(tie1)));
+            }
+        }
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            const uint64x2_t x = veorq_u64(query, vld1q_u64(class_rows[c] + w));
+            distances[c] += static_cast<std::uint64_t>(vaddvq_u64(popcount_pairs(x)));
+        }
+    }
+    detail::fused_hamming_words(rows_a, rows_b, n_rows, class_rows, n_classes, w, n_words, ties,
+                                tie_ctx, distances);
+}
+
+void fused_hamming_scores(const Word* const* rows_a, const Word* const* rows_b,
+                          std::size_t n_rows, const Word* const* class_rows,
+                          std::size_t n_classes, std::size_t n_words, TieResolver ties,
+                          void* tie_ctx, std::uint64_t* distances) noexcept {
+    for (std::size_t c = 0; c < n_classes; ++c) distances[c] = 0;
+    if (n_rows == 0) return;
+    rows_b == nullptr
+        ? fused_hamming_scores_impl<false>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                           n_words, ties, tie_ctx, distances)
+        : fused_hamming_scores_impl<true>(rows_a, rows_b, n_rows, class_rows, n_classes,
+                                          n_words, ties, tie_ctx, distances);
+}
+
+constexpr KernelBackend kBackend{
+    Backend::neon, "neon",   &xor_into, &popcount,      &hamming,  &csa_pair,
+    &csa_quad,     &csa_oct, &unpack_planes, &csa_rows, &fused_hamming_scores,
+};
+
+}  // namespace
+
+const KernelBackend* neon_backend() noexcept { return &kBackend; }
+
+}  // namespace hdlock::util::kernels
+
+#else  // not an AArch64 NEON target
+
+namespace hdlock::util::kernels {
+
+const KernelBackend* neon_backend() noexcept { return nullptr; }
+
+}  // namespace hdlock::util::kernels
+
+#endif

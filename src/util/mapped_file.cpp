@@ -51,7 +51,7 @@ MappedFile MappedFile::open_buffered(const std::filesystem::path& path) {
     return file;
 }
 
-MappedFile MappedFile::open(const std::filesystem::path& path) {
+MappedFile MappedFile::open(const std::filesystem::path& path, Advice advice) {
 #if HDLOCK_HAVE_MMAP
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) throw IoError("MappedFile: cannot open for reading: " + path.string());
@@ -68,12 +68,20 @@ MappedFile MappedFile::open(const std::filesystem::path& path) {
     void* address = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);  // the mapping keeps its own reference
     if (address == MAP_FAILED) return open_buffered(path);
+#if defined(MADV_WILLNEED)
+    // Best-effort readahead hint; a failure (e.g. a filesystem that does not
+    // support it) leaves plain lazy faulting, which is always correct.
+    if (advice == Advice::willneed) ::madvise(address, size, MADV_WILLNEED);
+#else
+    (void)advice;
+#endif
     MappedFile file;
     file.data_ = static_cast<const std::byte*>(address);
     file.size_ = size;
     file.mapped_ = true;
     return file;
 #else
+    (void)advice;
     return open_buffered(path);
 #endif
 }

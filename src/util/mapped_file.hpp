@@ -25,9 +25,21 @@ namespace hdlock::util {
 
 class MappedFile {
 public:
+    /// Page-in advice for open(): lazy faulting is ideal when only a slice
+    /// of the artifact is touched, but a serving process that will read the
+    /// whole model immediately (norm recompute, first batch) pays one minor
+    /// fault per 4 KiB page on the hot path.  `willneed` issues
+    /// madvise(MADV_WILLNEED) right after the map so the kernel starts
+    /// asynchronous readahead; purely a scheduling hint — contents and the
+    /// span interface are identical, and hosts without madvise ignore it.
+    enum class Advice : std::uint8_t {
+        none = 0,      ///< default lazy faulting
+        willneed = 1,  ///< kick off readahead for the whole mapping
+    };
+
     /// Maps `path` read-only; falls back to a buffered read when mapping is
     /// unavailable.  Throws IoError when the file cannot be opened or read.
-    static MappedFile open(const std::filesystem::path& path);
+    static MappedFile open(const std::filesystem::path& path, Advice advice = Advice::none);
 
     /// The fallback path, forced (for tests and for callers that will touch
     /// every byte exactly once anyway).

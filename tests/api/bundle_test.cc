@@ -385,6 +385,32 @@ TEST(DeploymentBundleV2, MappedDeviceServesAfterBundleAndDeviceAreGone) {
     std::filesystem::remove(owner_path);
 }
 
+TEST(DeploymentBundleV2, WillneedAdviceServesBitIdentically) {
+    // Device::open_mapped(path, willneed) is the cold-start prefetch knob:
+    // it may only change page-in timing, never bytes or labels.
+    data::SyntheticSpec spec;
+    spec.name = "bundle_mmap_advise";
+    spec.n_features = 16;
+    spec.n_classes = 3;
+    spec.n_train = 120;
+    spec.n_test = 40;
+    spec.n_levels = 4;
+    spec.seed = 8;
+    const auto benchmark = data::make_benchmark(spec);
+    api::Owner owner = api::Owner::provision(small_config());
+    owner.train(benchmark.train);
+    const auto path = temp_path("hdlock_bundle_mmap_advise_test.hdlk");
+    owner.export_device(path);
+
+    const auto plain = api::Device::open_mapped(path).predict(benchmark.test.X);
+    const auto advised =
+        api::Device::open_mapped(path, util::MappedFile::Advice::willneed)
+            .predict(benchmark.test.X);
+    EXPECT_EQ(advised, plain);
+
+    std::filesystem::remove(path);
+}
+
 TEST(DeploymentBundleV2, MutatingAMappedModelDetachesCopyOnWrite) {
     const auto owner = trained_owner_bundle();
     const auto path = temp_path("hdlock_bundle_mmap_cow_test.hdlk");

@@ -689,3 +689,78 @@ TEST(InferenceSession, FusedBatchExceptionIsScopedToTheOffendingRequest) {
     EXPECT_THROW(f1.get(), std::runtime_error);
     EXPECT_EQ(f2.get(), expected[2]);
 }
+
+// ---------------------------------------------------------------------------
+// Fused encode→distance predict (SessionOptions::fused_predict)
+// ---------------------------------------------------------------------------
+
+TEST(InferenceSession, FusedPredictAutoDetectsBinaryModelsOnly) {
+    const Pipeline binary = make_pipeline(hdc::ModelKind::binary);
+    EXPECT_TRUE(binary.owner.open_session().fused_predict_active())
+        << "binary models within the row cap must auto-enable the fused path";
+
+    const Pipeline non_binary = make_pipeline(hdc::ModelKind::non_binary);
+    EXPECT_FALSE(non_binary.owner.open_session().fused_predict_active());
+
+    api::SessionOptions off;
+    off.fused_predict = api::FusedPredict::off;
+    EXPECT_FALSE(binary.owner.open_session(off).fused_predict_active());
+
+    api::SessionOptions on;
+    on.fused_predict = api::FusedPredict::on;
+    EXPECT_TRUE(binary.owner.open_session(on).fused_predict_active());
+    EXPECT_THROW(non_binary.owner.open_session(on), ConfigError)
+        << "forcing fusion on a non-binary model must fail loudly at open";
+}
+
+TEST(InferenceSession, FusedPredictLabelsMatchTwoStepPathBitExactly) {
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions off;
+    off.fused_predict = api::FusedPredict::off;
+    const auto unfused = pipeline.owner.open_session(off);
+    ASSERT_FALSE(unfused.fused_predict_active());
+    const auto reference = unfused.predict(pipeline.data.test.X);
+
+    for (const bool cached : {false, true}) {
+        for (const std::size_t n_threads : {1u, 4u}) {
+            api::SessionOptions options;
+            options.fused_predict = api::FusedPredict::on;
+            options.use_product_cache = cached;
+            options.n_threads = n_threads;
+            options.min_rows_per_thread = 1;
+            const auto fused = pipeline.owner.open_session(options);
+            EXPECT_EQ(fused.predict(pipeline.data.test.X), reference)
+                << "cached=" << cached << " T" << n_threads;
+        }
+    }
+}
+
+TEST(InferenceSession, ConcurrentFusedPredictCallersStayBitIdentical) {
+    // The fused-path sibling of ConcurrentPredictCallersShareThePoolSafely:
+    // many caller threads share one fused session; the TSan job drives this
+    // to prove the fused scratch (pointer tables, tie RNG) stays slot-private.
+    const Pipeline pipeline = make_pipeline(hdc::ModelKind::binary);
+    api::SessionOptions options;
+    options.fused_predict = api::FusedPredict::on;
+    options.n_threads = 2;
+    options.min_rows_per_thread = 1;
+    const auto session = pipeline.owner.open_session(options);
+    ASSERT_TRUE(session.fused_predict_active());
+    const auto reference = session.predict(pipeline.data.test.X);
+
+    std::vector<util::Thread> callers;
+    std::array<std::atomic<bool>, 4> agree{};
+    for (std::size_t t = 0; t < agree.size(); ++t) {
+        callers.emplace_back(util::Thread([&, t] {
+            bool all = true;
+            for (int round = 0; round < 5; ++round) {
+                all = all && session.predict(pipeline.data.test.X) == reference;
+            }
+            agree[t].store(all);
+        }));
+    }
+    for (auto& caller : callers) caller.join();
+    for (std::size_t t = 0; t < agree.size(); ++t) {
+        EXPECT_TRUE(agree[t].load()) << "caller " << t;
+    }
+}

@@ -166,10 +166,43 @@ TEST(EvalDriver, UnknownBackendIsUsageError) {
     std::ostringstream out, err;
     auto options = base_options();
     options.scenarios = {"quick"};
-    options.backend = "neon";
+    options.backend = "sse9";
     EXPECT_EQ(eval::run_eval_cli(options, test_registry(), out, err), 2);
-    EXPECT_NE(err.str().find("neon"), std::string::npos);
+    EXPECT_NE(err.str().find("sse9"), std::string::npos);
+    // The usage error names the full accepted roster, NEON included.
     EXPECT_NE(err.str().find("portable"), std::string::npos);
+    EXPECT_NE(err.str().find("neon"), std::string::npos);
+}
+
+TEST(EvalDriver, KnownButUnavailableBackendIsUsageError) {
+    namespace kernels = hdlock::util::kernels;
+    // Some backend in the enum is always unavailable on any given host
+    // (neon on x86, avx512 under qemu-aarch64, ...).
+    for (const auto kind : kernels::all_backends()) {
+        if (kernels::compiled(kind) && kernels::cpu_supports(kind)) continue;
+        std::ostringstream out, err;
+        auto options = base_options();
+        options.scenarios = {"quick"};
+        options.backend = kernels::backend_name(kind);
+        EXPECT_EQ(eval::run_eval_cli(options, test_registry(), out, err), 2);
+        EXPECT_NE(err.str().find(kernels::backend_name(kind)), std::string::npos);
+        return;
+    }
+    GTEST_SKIP() << "every compiled backend is available on this host";
+}
+
+TEST(EvalDriver, ListPrintsKernelBackendRoster) {
+    namespace kernels = hdlock::util::kernels;
+    std::ostringstream out, err;
+    auto options = base_options();
+    options.list = true;
+    EXPECT_EQ(eval::run_eval_cli(options, test_registry(), out, err), 0);
+    EXPECT_NE(out.str().find("kernel backends"), std::string::npos);
+    for (const auto kind : kernels::all_backends()) {
+        EXPECT_NE(out.str().find(kernels::backend_name(kind)), std::string::npos)
+            << kernels::backend_name(kind);
+    }
+    EXPECT_NE(out.str().find(kernels::active_name()), std::string::npos);
 }
 
 TEST(EvalDriver, BackendPinRunsAndIsRecordedInContext) {

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <tuple>
+#include <vector>
+
+#include "util/kernels.hpp"
 
 using hdlock::ContractViolation;
 using hdlock::hdc::BinaryHV;
@@ -183,4 +187,107 @@ TEST(RecordEncoder, RejectsMemoryWithoutFeatureHVs) {
     config.n_levels = 2;
     auto memory = std::make_shared<const ItemMemory>(ItemMemory::generate(config));
     EXPECT_THROW(RecordEncoder(memory, 1), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Fused encode→distance (Encoder::fused_hamming_into)
+// ---------------------------------------------------------------------------
+
+// The fused kernel path must reproduce the two-step encode_binary + hamming
+// distances bit-for-bit: every backend, dimensions spanning vector-width
+// tails (64 / odd / 1000 / 10000), bound-product cache on and off, and both
+// feature-count parities — even N exercises the randomized tie draws, odd N
+// the tie-free path.
+TEST(EncoderFused, DistancesMatchTwoStepPathEverywhere) {
+    namespace kernels = hdlock::util::kernels;
+    for (const auto& [dim, n_features, n_levels] :
+         {std::make_tuple<std::size_t, std::size_t, std::size_t>(64, 8, 4),
+          std::make_tuple<std::size_t, std::size_t, std::size_t>(777, 33, 8),
+          std::make_tuple<std::size_t, std::size_t, std::size_t>(1000, 64, 8),
+          std::make_tuple<std::size_t, std::size_t, std::size_t>(10000, 63, 4)}) {
+        const RecordEncoder encoder(make_memory(dim, n_features, n_levels, 5), /*tie_seed=*/9);
+        const auto cache = encoder.make_product_cache(std::size_t{1} << 30);
+        ASSERT_NE(cache, nullptr);
+
+        const std::size_t n_classes = 5;
+        hdlock::util::Xoshiro256ss rng(4242);
+        std::vector<BinaryHV> class_hvs;
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            class_hvs.push_back(BinaryHV::random(dim, rng));
+        }
+
+        for (std::uint64_t trial = 0; trial < 3; ++trial) {
+            const auto levels = random_levels(n_features, n_levels, 700 + trial);
+            const BinaryHV query = encoder.encode_binary(levels);
+            std::vector<std::uint64_t> expected;
+            for (const auto& hv : class_hvs) expected.push_back(hv.hamming(query));
+
+            for (const auto kind : kernels::available_backends()) {
+                kernels::ScopedBackend pin(kind);
+                for (const bool cached : {false, true}) {
+                    hdlock::hdc::EncoderScratch scratch;
+                    std::vector<std::uint64_t> distances(n_classes, 0);
+                    encoder.fused_hamming_into(levels, scratch, class_hvs, distances,
+                                               cached ? cache.get() : nullptr);
+                    EXPECT_EQ(distances, expected)
+                        << kernels::backend_name(kind) << " D=" << dim << " N=" << n_features
+                        << " cached=" << cached;
+                }
+            }
+        }
+    }
+}
+
+// Even feature counts tie on ~C(N, N/2)/2^N of the columns; the fused path
+// must draw the identical tie stream as sign_into.  A wrong draw order (or a
+// draw for a tail column) shifts every later sign, so exact distance
+// equality here pins the whole RNG-parity contract.
+TEST(EncoderFused, TieDrawsMatchSignIntoOnEvenFeatureCounts) {
+    namespace kernels = hdlock::util::kernels;
+    const std::size_t dim = 1000;
+    const std::size_t n_features = 8;  // even and small: many ties per row
+    const RecordEncoder encoder(make_memory(dim, n_features, 4, 21), /*tie_seed=*/77);
+    const auto cache = encoder.make_product_cache(std::size_t{1} << 30);
+    ASSERT_NE(cache, nullptr);
+
+    hdlock::util::Xoshiro256ss rng(31337);
+    std::vector<BinaryHV> class_hvs{BinaryHV::random(dim, rng), BinaryHV::random(dim, rng)};
+
+    std::size_t tied_columns = 0;
+    for (std::uint64_t trial = 0; trial < 5; ++trial) {
+        const auto levels = random_levels(n_features, 4, 900 + trial);
+        const IntHV sums = encoder.encode(levels);
+        for (std::size_t j = 0; j < dim; ++j) tied_columns += sums[j] == 0 ? 1 : 0;
+        const BinaryHV query = encoder.encode_binary(levels);
+        std::vector<std::uint64_t> expected;
+        for (const auto& hv : class_hvs) expected.push_back(hv.hamming(query));
+        for (const auto kind : kernels::available_backends()) {
+            kernels::ScopedBackend pin(kind);
+            for (const bool cached : {false, true}) {
+                hdlock::hdc::EncoderScratch scratch;
+                std::vector<std::uint64_t> distances(class_hvs.size(), 0);
+                encoder.fused_hamming_into(levels, scratch, class_hvs, distances,
+                                           cached ? cache.get() : nullptr);
+                EXPECT_EQ(distances, expected)
+                    << kernels::backend_name(kind) << " trial=" << trial
+                    << " cached=" << cached;
+            }
+        }
+    }
+    EXPECT_GT(tied_columns, 0u) << "test shape never tied; tie parity untested";
+}
+
+TEST(EncoderFused, RejectsShapeMismatches) {
+    const RecordEncoder encoder(make_memory(256, 8, 4, 3), 1);
+    hdlock::hdc::EncoderScratch scratch;
+    hdlock::util::Xoshiro256ss rng(5);
+    std::vector<BinaryHV> classes{BinaryHV::random(256, rng)};
+    std::vector<std::uint64_t> distances(2, 0);  // wrong: 2 distances, 1 class
+    const auto levels = random_levels(8, 4, 1);
+    EXPECT_THROW(encoder.fused_hamming_into(levels, scratch, classes, distances),
+                 ContractViolation);
+    std::vector<BinaryHV> wrong_dim{BinaryHV::random(128, rng)};
+    std::vector<std::uint64_t> one(1, 0);
+    EXPECT_THROW(encoder.fused_hamming_into(levels, scratch, wrong_dim, one),
+                 ContractViolation);
 }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "hdc/encoder.hpp"
+#include "util/kernels.hpp"
 
 using hdlock::ContractViolation;
 using hdlock::hdc::BinaryHV;
@@ -244,4 +245,60 @@ TEST(HdcModel, SerializationRoundTrip) {
     EXPECT_EQ(loaded.class_sum(2), model.class_sum(2));
     EXPECT_EQ(loaded.class_binary(1), model.class_binary(1));
     EXPECT_EQ(loaded.predict_batch(batch), model.predict_batch(batch));
+}
+
+// ---------------------------------------------------------------------------
+// Fused predict (HdcModel::predict_fused)
+// ---------------------------------------------------------------------------
+
+TEST(HdcModel, PredictFusedMatchesTwoStepPredict) {
+    namespace kernels = hdlock::util::kernels;
+    hdlock::hdc::ItemMemoryConfig memory_config;
+    memory_config.dim = 1000;
+    memory_config.n_features = 16;
+    memory_config.n_levels = 4;
+    memory_config.seed = 7;
+    auto memory = std::make_shared<const hdlock::hdc::ItemMemory>(
+        hdlock::hdc::ItemMemory::generate(memory_config));
+    const hdlock::hdc::RecordEncoder encoder(memory, /*tie_seed=*/3);
+    const auto cache = encoder.make_product_cache(std::size_t{1} << 30);
+    ASSERT_NE(cache, nullptr);
+
+    const auto batch = make_batch(4, 10, 1000, 0.2, 9, true);
+    TrainConfig config;
+    config.kind = ModelKind::binary;
+    const HdcModel model = HdcModel::train(batch, 4, config);
+
+    hdlock::hdc::EncoderScratch scratch;
+    Xoshiro256ss rng(55);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<int> levels(16);
+        for (auto& level : levels) level = static_cast<int>(rng.next_below(4));
+        const int expected = model.predict(encoder.encode_binary(levels));
+        for (const auto kind : kernels::available_backends()) {
+            kernels::ScopedBackend pin(kind);
+            EXPECT_EQ(model.predict_fused(encoder, levels, scratch, nullptr), expected)
+                << kernels::backend_name(kind) << " uncached, trial " << trial;
+            EXPECT_EQ(model.predict_fused(encoder, levels, scratch, cache.get()), expected)
+                << kernels::backend_name(kind) << " cached, trial " << trial;
+        }
+    }
+}
+
+TEST(HdcModel, PredictFusedRejectsNonBinaryModel) {
+    hdlock::hdc::ItemMemoryConfig memory_config;
+    memory_config.dim = 256;
+    memory_config.n_features = 8;
+    memory_config.n_levels = 4;
+    memory_config.seed = 11;
+    auto memory = std::make_shared<const hdlock::hdc::ItemMemory>(
+        hdlock::hdc::ItemMemory::generate(memory_config));
+    const hdlock::hdc::RecordEncoder encoder(memory, 1);
+    const auto batch = make_batch(2, 8, 256, 0.2, 13, false);
+    TrainConfig config;
+    config.kind = ModelKind::non_binary;
+    const HdcModel model = HdcModel::train(batch, 2, config);
+    hdlock::hdc::EncoderScratch scratch;
+    const std::vector<int> levels(8, 0);
+    EXPECT_THROW(model.predict_fused(encoder, levels, scratch), ContractViolation);
 }

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,7 @@ namespace {
 /// The ISA backends runnable on this host (excludes portable).
 std::vector<const KernelBackend*> simd_backends() {
     std::vector<const KernelBackend*> backends;
+    if (kernels::available(Backend::neon)) backends.push_back(kernels::neon_backend());
     if (kernels::available(Backend::avx2)) backends.push_back(kernels::avx2_backend());
     if (kernels::available(Backend::avx512)) backends.push_back(kernels::avx512_backend());
     return backends;
@@ -53,13 +56,32 @@ const std::size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 15, 16
 
 TEST(Kernels, ParseAndNames) {
     EXPECT_EQ(kernels::parse_backend("portable"), Backend::portable);
+    EXPECT_EQ(kernels::parse_backend("neon"), Backend::neon);
     EXPECT_EQ(kernels::parse_backend("avx2"), Backend::avx2);
     EXPECT_EQ(kernels::parse_backend("avx512"), Backend::avx512);
     EXPECT_EQ(kernels::parse_backend("AVX2"), std::nullopt);
     EXPECT_EQ(kernels::parse_backend(""), std::nullopt);
-    for (const Backend kind : {Backend::portable, Backend::avx2, Backend::avx512}) {
+    for (const Backend kind : kernels::all_backends()) {
         EXPECT_EQ(kernels::parse_backend(kernels::backend_name(kind)), kind);
     }
+}
+
+TEST(Kernels, AllBackendsRosterAndCompiled) {
+    const auto all = kernels::all_backends();
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_TRUE(kernels::compiled(Backend::portable));
+    // available == compiled into this binary AND runnable on this CPU.
+    for (const Backend kind : kernels::available_backends()) {
+        EXPECT_TRUE(kernels::compiled(kind)) << kernels::backend_name(kind);
+        EXPECT_TRUE(kernels::cpu_supports(kind)) << kernels::backend_name(kind);
+    }
+#if defined(__aarch64__) && defined(__ARM_NEON)
+    EXPECT_TRUE(kernels::compiled(Backend::neon));
+    EXPECT_TRUE(kernels::available(Backend::neon));
+#else
+    EXPECT_FALSE(kernels::compiled(Backend::neon));
+    EXPECT_FALSE(kernels::available(Backend::neon));
+#endif
 }
 
 TEST(Kernels, PortableAlwaysAvailable) {
@@ -124,11 +146,13 @@ TEST(Kernels, SetBackendReturnsActualPreviousWhenNested) {
 }
 
 TEST(Kernels, SetBackendRejectsUnavailable) {
-    for (const Backend kind : {Backend::avx2, Backend::avx512}) {
+    bool tested = false;
+    for (const Backend kind : {Backend::neon, Backend::avx2, Backend::avx512}) {
         if (kernels::available(kind)) continue;
         EXPECT_THROW(kernels::set_backend(kind), ConfigError) << kernels::backend_name(kind);
+        tested = true;
     }
-    if (kernels::available(Backend::avx2) && kernels::available(Backend::avx512)) {
+    if (!tested) {
         GTEST_SKIP() << "every backend available on this host; rejection untestable";
     }
 }
@@ -297,6 +321,270 @@ TEST(Kernels, ColumnCounterBitIdenticalAcrossBackends) {
                     EXPECT_EQ(sums, reference_sums)
                         << kernels::backend_name(kind) << " D=" << n_bits
                         << " planes=" << n_planes;
+                }
+            }
+        }
+    }
+}
+
+// csa_rows semantics: folding 8 rows into zeroed residues must leave a
+// per-column binary decomposition of the exact column count —
+//   count(j) = ones(j) + 2*twos(j) + 4*fours(j) + 8*carry(j)
+// — and every backend must produce bit-identical residue planes.
+TEST(Kernels, CsaRowsDecomposesColumnCountsAndAgreesAcrossBackends) {
+    const KernelBackend& portable = kernels::portable_backend();
+    Xoshiro256ss rng(61);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{5},
+                                std::size_t{8}, std::size_t{9}, std::size_t{13}}) {
+        std::vector<std::vector<Word>> rows;
+        std::vector<const Word*> row_ptrs;
+        for (std::size_t r = 0; r < 8; ++r) {
+            rows.push_back(random_words(n, rng));
+            row_ptrs.push_back(rows.back().data());
+        }
+        // Non-zero initial residues: csa_rows folds *into* live state.
+        const auto ones0 = random_words(n, rng);
+        const auto twos0 = random_words(n, rng);
+        const auto fours0 = random_words(n, rng);
+
+        auto p_ones = ones0;
+        auto p_twos = twos0;
+        auto p_fours = fours0;
+        std::vector<Word> p_carry(n, 0);
+        portable.csa_rows(p_ones.data(), p_twos.data(), p_fours.data(), p_carry.data(),
+                          row_ptrs.data(), n);
+
+        // Absolute check against per-column arithmetic, zero initial state.
+        std::vector<Word> z_ones(n, 0), z_twos(n, 0), z_fours(n, 0), z_carry(n, 0);
+        portable.csa_rows(z_ones.data(), z_twos.data(), z_fours.data(), z_carry.data(),
+                          row_ptrs.data(), n);
+        for (std::size_t w = 0; w < n; ++w) {
+            for (std::size_t bit = 0; bit < 64; ++bit) {
+                std::size_t count = 0;
+                for (const auto& row : rows) count += (row[w] >> bit) & 1u;
+                const std::size_t decomposed = ((z_ones[w] >> bit) & 1u) +
+                                               2 * ((z_twos[w] >> bit) & 1u) +
+                                               4 * ((z_fours[w] >> bit) & 1u) +
+                                               8 * ((z_carry[w] >> bit) & 1u);
+                ASSERT_EQ(decomposed, count) << "word " << w << " bit " << bit;
+            }
+        }
+
+        for (const KernelBackend* backend : simd_backends()) {
+            auto b_ones = ones0;
+            auto b_twos = twos0;
+            auto b_fours = fours0;
+            std::vector<Word> b_carry(n, 0);
+            backend->csa_rows(b_ones.data(), b_twos.data(), b_fours.data(), b_carry.data(),
+                              row_ptrs.data(), n);
+            EXPECT_EQ(b_ones, p_ones) << backend->name << " n=" << n;
+            EXPECT_EQ(b_twos, p_twos) << backend->name << " n=" << n;
+            EXPECT_EQ(b_fours, p_fours) << backend->name << " n=" << n;
+            EXPECT_EQ(b_carry, p_carry) << backend->name << " n=" << n;
+        }
+    }
+}
+
+namespace {
+
+/// Deterministic TieResolver: a fixed per-word pattern, so every backend
+/// (and the reference below) resolves identical ties identically without
+/// shared state.
+Word pattern_ties(void* /*ctx*/, Word eq_mask, std::size_t word_index) noexcept {
+    return eq_mask & (Word{0x9E3779B97F4A7C15ULL} * static_cast<Word>(word_index + 3));
+}
+
+/// Stateful TieResolver drawing one Xoshiro sign per tied column (the
+/// production resolver's shape).  Cross-backend distance equality with this
+/// resolver proves every backend calls it in the identical (word-ascending,
+/// at-most-once-per-word) order with identical eq masks.
+Word rng_ties(void* ctx, Word eq_mask, std::size_t /*word_index*/) noexcept {
+    auto& rng = *static_cast<Xoshiro256ss*>(ctx);
+    Word negatives = 0;
+    while (eq_mask != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(eq_mask));
+        if (rng.next_sign() < 0) negatives |= Word{1} << bit;
+        eq_mask &= eq_mask - 1;
+    }
+    return negatives;
+}
+
+/// Independent scalar re-implementation of the fused contract: majority of
+/// per-column counts (ties at exactly n/2 for even n resolved by `ties`),
+/// then per-class Hamming against the implied query.
+std::vector<std::uint64_t> fused_reference(const std::vector<std::vector<Word>>& rows_a,
+                                           const std::vector<std::vector<Word>>& rows_b,
+                                           const std::vector<std::vector<Word>>& classes,
+                                           std::size_t n_words, kernels::TieResolver ties,
+                                           void* tie_ctx) {
+    const std::size_t n = rows_a.size();
+    std::vector<std::uint64_t> distances(classes.size(), 0);
+    for (std::size_t w = 0; w < n_words; ++w) {
+        Word query = 0;
+        Word eq = 0;
+        for (std::size_t bit = 0; bit < 64; ++bit) {
+            std::size_t count = 0;
+            for (std::size_t r = 0; r < n; ++r) {
+                Word x = rows_a[r][w];
+                if (!rows_b.empty()) x ^= rows_b[r][w];
+                count += (x >> bit) & 1u;
+            }
+            if (count > n / 2) {
+                query |= Word{1} << bit;
+            } else if (n % 2 == 0 && count == n / 2) {
+                eq |= Word{1} << bit;
+            }
+        }
+        if (eq != 0 && ties != nullptr) query |= ties(tie_ctx, eq, w) & eq;
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            distances[c] += static_cast<std::uint64_t>(std::popcount(query ^ classes[c][w]));
+        }
+    }
+    return distances;
+}
+
+}  // namespace
+
+// The fused encode→distance kernel vs the scalar reference and across
+// backends: row counts spanning the 8-row groups and every leftover shape,
+// word counts spanning vector-width tails, cached (rows_b == nullptr) and
+// uncached (XOR-on-load) forms, with and without a tie resolver.
+TEST(Kernels, FusedHammingScoresMatchesReferenceAcrossBackends) {
+    Xoshiro256ss rng(83);
+    const KernelBackend& portable = kernels::portable_backend();
+    const std::size_t n_classes = 3;
+    for (const std::size_t n_rows : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                     std::size_t{7}, std::size_t{8}, std::size_t{9},
+                                     std::size_t{16}, std::size_t{17}, std::size_t{33}}) {
+        for (const std::size_t n_words : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                                          std::size_t{8}, std::size_t{9}, std::size_t{13}}) {
+            std::vector<std::vector<Word>> rows_a, rows_b, classes;
+            std::vector<const Word*> ptrs_a, ptrs_b, class_ptrs;
+            for (std::size_t r = 0; r < n_rows; ++r) {
+                rows_a.push_back(random_words(n_words, rng));
+                rows_b.push_back(random_words(n_words, rng));
+                ptrs_a.push_back(rows_a.back().data());
+                ptrs_b.push_back(rows_b.back().data());
+            }
+            for (std::size_t c = 0; c < n_classes; ++c) {
+                classes.push_back(random_words(n_words, rng));
+                class_ptrs.push_back(classes.back().data());
+            }
+
+            for (const bool cached : {true, false}) {
+                for (const bool with_ties : {true, false}) {
+                    const kernels::TieResolver ties = with_ties ? &pattern_ties : nullptr;
+                    const auto expected =
+                        fused_reference(rows_a,
+                                        cached ? std::vector<std::vector<Word>>{} : rows_b,
+                                        classes, n_words, ties, nullptr);
+                    std::vector<std::uint64_t> actual(n_classes, ~std::uint64_t{0});
+                    portable.fused_hamming_scores(ptrs_a.data(),
+                                                  cached ? nullptr : ptrs_b.data(), n_rows,
+                                                  class_ptrs.data(), n_classes, n_words, ties,
+                                                  nullptr, actual.data());
+                    EXPECT_EQ(actual, expected) << "portable rows=" << n_rows
+                                                << " words=" << n_words << " cached=" << cached
+                                                << " ties=" << with_ties;
+                    for (const KernelBackend* backend : simd_backends()) {
+                        std::vector<std::uint64_t> simd(n_classes, ~std::uint64_t{0});
+                        backend->fused_hamming_scores(ptrs_a.data(),
+                                                      cached ? nullptr : ptrs_b.data(), n_rows,
+                                                      class_ptrs.data(), n_classes, n_words,
+                                                      ties, nullptr, simd.data());
+                        EXPECT_EQ(simd, expected)
+                            << backend->name << " rows=" << n_rows << " words=" << n_words
+                            << " cached=" << cached << " ties=" << with_ties;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// The production tie resolver is stateful (one PRNG draw per tied column),
+// so identical distances across backends require identical resolver call
+// order and identical eq masks — this is the RNG-parity contract the
+// encoder's fused path relies on.
+TEST(Kernels, FusedHammingScoresDrawsStatefulTiesIdentically) {
+    Xoshiro256ss rng(97);
+    const std::size_t n_rows = 8;  // even: ~27% tie probability per column
+    const std::size_t n_words = 11;
+    const std::size_t n_classes = 4;
+    std::vector<std::vector<Word>> rows, classes;
+    std::vector<const Word*> row_ptrs, class_ptrs;
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        rows.push_back(random_words(n_words, rng));
+        row_ptrs.push_back(rows.back().data());
+    }
+    for (std::size_t c = 0; c < n_classes; ++c) {
+        classes.push_back(random_words(n_words, rng));
+        class_ptrs.push_back(classes.back().data());
+    }
+
+    Xoshiro256ss reference_rng(1234);
+    std::vector<std::uint64_t> expected(n_classes, 0);
+    kernels::portable_backend().fused_hamming_scores(row_ptrs.data(), nullptr, n_rows,
+                                                     class_ptrs.data(), n_classes, n_words,
+                                                     &rng_ties, &reference_rng, expected.data());
+    for (const KernelBackend* backend : simd_backends()) {
+        Xoshiro256ss backend_rng(1234);
+        std::vector<std::uint64_t> actual(n_classes, 0);
+        backend->fused_hamming_scores(row_ptrs.data(), nullptr, n_rows, class_ptrs.data(),
+                                      n_classes, n_words, &rng_ties, &backend_rng, actual.data());
+        EXPECT_EQ(actual, expected) << backend->name;
+    }
+}
+
+TEST(Kernels, FusedHammingScoresZeroRowsZeroesDistances) {
+    Xoshiro256ss rng(11);
+    const auto cls = random_words(5, rng);
+    const Word* class_ptrs[] = {cls.data()};
+    std::vector<std::uint64_t> distances(1, ~std::uint64_t{0});
+    kernels::active().fused_hamming_scores(nullptr, nullptr, 0, class_ptrs, 1, 5, nullptr,
+                                           nullptr, distances.data());
+    EXPECT_EQ(distances[0], 0u);
+}
+
+// ColumnCounter::add_rows must be exactly add() per row — plane-identical
+// counts on every backend, at odd dimensions (tail words) and from
+// mid-group entry points.
+TEST(Kernels, ColumnCounterAddRowsMatchesSequentialAdds) {
+    for (const Backend kind : kernels::available_backends()) {
+        kernels::ScopedBackend pin(kind);
+        for (const std::size_t n_bits :
+             {std::size_t{63}, std::size_t{65}, std::size_t{513}, std::size_t{777},
+              std::size_t{1000}}) {
+            for (const std::size_t n_planes : {std::size_t{3}, std::size_t{4}, std::size_t{6},
+                                               std::size_t{16}}) {
+                for (const std::size_t misalign : {std::size_t{0}, std::size_t{3}}) {
+                    Xoshiro256ss rng(500 + n_bits + n_planes * 7 + misalign);
+                    const std::size_t n_words = bits::word_count(n_bits);
+                    std::vector<std::vector<Word>> rows;
+                    std::vector<const Word*> row_ptrs;
+                    for (std::size_t r = 0; r < 37; ++r) {
+                        auto row = random_words(n_words, rng);
+                        row.back() &= bits::tail_mask(n_bits);
+                        rows.push_back(std::move(row));
+                    }
+                    for (const auto& row : rows) row_ptrs.push_back(row.data());
+
+                    ColumnCounter sequential(n_bits, n_planes);
+                    ColumnCounter batched(n_bits, n_planes);
+                    for (std::size_t r = 0; r < misalign; ++r) {
+                        sequential.add(rows[r]);
+                        batched.add(rows[r]);  // enter add_rows mid-group
+                    }
+                    for (std::size_t r = misalign; r < rows.size(); ++r) sequential.add(rows[r]);
+                    batched.add_rows(std::span<const Word* const>(row_ptrs).subspan(misalign));
+                    EXPECT_EQ(batched.rows_added(), sequential.rows_added());
+
+                    std::vector<std::int32_t> expected(n_bits, 0), actual(n_bits, 0);
+                    sequential.counts_into(expected);
+                    batched.counts_into(actual);
+                    EXPECT_EQ(actual, expected)
+                        << kernels::backend_name(kind) << " D=" << n_bits
+                        << " planes=" << n_planes << " misalign=" << misalign;
                 }
             }
         }

@@ -54,6 +54,25 @@ TEST(MappedFile, MappedAndBufferedAgreeByteForByte) {
     std::filesystem::remove(path);
 }
 
+TEST(MappedFile, WillneedAdviceReturnsIdenticalBytes) {
+    // MADV_WILLNEED is a pure prefetch hint: the mapping's contents,
+    // size, and mode must be indistinguishable from an unadvised open.
+    const auto path = temp_path("hdlock_mapped_file_advise_test.bin");
+    std::string contents(4096 * 3 + 17, '\0');
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+        contents[i] = static_cast<char>((i * 131 + 5) & 0xFF);
+    }
+    write_file(path, contents);
+
+    const auto plain = util::MappedFile::open(path);
+    const auto advised = util::MappedFile::open(path, util::MappedFile::Advice::willneed);
+    EXPECT_EQ(advised.is_mapped(), plain.is_mapped());
+    ASSERT_EQ(advised.size(), contents.size());
+    EXPECT_EQ(std::memcmp(advised.bytes().data(), contents.data(), contents.size()), 0);
+
+    std::filesystem::remove(path);
+}
+
 TEST(MappedFile, EmptyFileAndMissingFile) {
     const auto path = temp_path("hdlock_mapped_file_empty_test.bin");
     write_file(path, "");

@@ -1,0 +1,27 @@
+# Cross-compilation toolchain for the CI aarch64 job: builds the whole tree
+# with the distro aarch64 GCC and runs every test binary under qemu-user,
+# so the NEON kernel backend (src/util/kernels_neon.cpp) is exercised for
+# real instead of compiling to its x86 stub.
+#
+#   cmake -B build -S . -DCMAKE_TOOLCHAIN_FILE=tools/ci/aarch64-toolchain.cmake
+#
+# Requires: g++-aarch64-linux-gnu, qemu-user.  The emulator line is what
+# makes ctest (and gtest test discovery) transparent — every cross binary
+# is invoked as `qemu-aarch64 -L /usr/aarch64-linux-gnu <binary>` so the
+# target's libc/libstdc++ resolve from the cross sysroot.
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")
+
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+# BOTH (not ONLY): the CI job cross-compiles googletest into a host-side
+# prefix and points CMAKE_PREFIX_PATH at it.
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY BOTH)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE BOTH)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE BOTH)

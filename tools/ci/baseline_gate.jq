@@ -14,6 +14,9 @@
 #   - complexity metrics (paths mentioning "guesses", "log10", "key_bits")
 #     must match exactly — the closed-form Sec. 4 attack-cost math has no
 #     business drifting;
+#   - kernel-fusion invariants (paths mentioning "fused") must match
+#     exactly — the fused encode→distance path is bit-identical by
+#     contract, so fused_active / fused_bit_identical may never drift;
 #   - all other metrics are attribution/diagnostics and are not gated.
 #
 # On any violation the script prints one JSON line per violation and exits
@@ -54,7 +57,7 @@ def trial_map(report):
         elif ($pathstr | test("accuracy")) and ((($got - $want) | abs) > 0.02) then
           {trial: $trial, metric: $pathstr, problem: "accuracy drift exceeds 0.02",
            baseline: $want, current: $got}
-        elif ($pathstr | test("guesses|log10|key_bits")) and ($got != $want) then
+        elif ($pathstr | test("guesses|log10|key_bits|fused")) and ($got != $want) then
           {trial: $trial, metric: $pathstr, problem: "complexity drift (must be exact)",
            baseline: $want, current: $got}
         else empty end ]
