@@ -2,7 +2,10 @@
 
 #include <sstream>
 
+#include "api/inference_session.hpp"
 #include "api/sealed_encoder.hpp"
+#include "util/fault_inject.hpp"
+#include "util/serialize.hpp"
 
 namespace hdlock::api {
 
@@ -82,34 +85,49 @@ void check_saveable(const DeploymentBundle& bundle) {
 
 }  // namespace
 
-void DeploymentBundle::save(util::BinaryWriter& writer) const {
-    check_saveable(*this);
-    writer.write_tag("HDLK");
-    writer.write_u32(kFormatVersion);
-    writer.write_u8(static_cast<std::uint8_t>(kind));
-    writer.write_u64(tie_seed);
-    writer.write_u8(header_flags(*this));
+namespace {
 
-    store->save_v2(writer);
-    if (kind == BundleKind::owner) {
+/// One body for the aligned-block formats: v3 is v2 plus the epoch word
+/// after the flags byte (every later field sits at a version-independent
+/// offset because epoch goes last in the header).
+void save_aligned(const DeploymentBundle& bundle, util::BinaryWriter& writer,
+                  std::uint32_t version) {
+    check_saveable(bundle);
+    writer.write_tag("HDLK");
+    writer.write_u32(version);
+    writer.write_u8(static_cast<std::uint8_t>(bundle.kind));
+    writer.write_u64(bundle.tie_seed);
+    writer.write_u8(header_flags(bundle));
+    if (version >= 3) writer.write_u64(bundle.epoch);
+
+    bundle.store->save_v2(writer);
+    if (bundle.kind == BundleKind::owner) {
         writer.write_tag("SECR");
-        key->save(writer);
-        save_value_mapping(writer, *value_mapping);
+        bundle.key->save(writer);
+        save_value_mapping(writer, *bundle.value_mapping);
     } else {
         // hdlock-lint: device-begin (SEN2 writer: the bytes that ship; the
         // confinement taint scan proves no secret identifier is in reach)
         writer.write_tag("SEN2");
-        writer.write_u64(feature_hvs.size());
-        writer.write_u64(value_hvs.size());
-        writer.write_u64(store->dim());
-        hdc::save_hv_block(writer, feature_hvs, store->dim());
-        hdc::save_hv_block(writer, value_hvs, store->dim());
+        writer.write_u64(bundle.feature_hvs.size());
+        writer.write_u64(bundle.value_hvs.size());
+        writer.write_u64(bundle.store->dim());
+        hdc::save_hv_block(writer, bundle.feature_hvs, bundle.store->dim());
+        hdc::save_hv_block(writer, bundle.value_hvs, bundle.store->dim());
         // hdlock-lint: device-end
     }
-    if (discretizer) discretizer->save(writer);
-    if (model) model->save_v2(writer);
+    if (bundle.discretizer) bundle.discretizer->save(writer);
+    if (bundle.model) bundle.model->save_v2(writer);
     writer.write_tag("HEND");
 }
+
+}  // namespace
+
+void DeploymentBundle::save(util::BinaryWriter& writer) const {
+    save_aligned(*this, writer, kFormatVersion);
+}
+
+void DeploymentBundle::save_v2(util::BinaryWriter& writer) const { save_aligned(*this, writer, 2); }
 
 void DeploymentBundle::save_v1(util::BinaryWriter& writer) const {
     check_saveable(*this);
@@ -149,6 +167,11 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
     const std::uint8_t flags = reader.read_u8();
     if (flags & ~(kFlagDiscretizer | kFlagModel)) {
         throw FormatError("DeploymentBundle: unknown section flags");
+    }
+    // v1/v2 artifacts predate key rotation: they are epoch 0 by definition.
+    bundle.epoch = version >= 3 ? reader.read_u64() : 0;
+    if (util::fault::should_fail(util::fault::kBundleCorruptHeader)) {
+        throw FormatError("DeploymentBundle: corrupt header (fault injected)");
     }
 
     bundle.store = std::make_shared<const PublicStore>(
@@ -244,6 +267,20 @@ DeploymentBundle DeploymentBundle::load(util::BinaryReader& reader) {
     return bundle;
 }
 
+void DeploymentBundle::save_atomic(const std::filesystem::path& path) const {
+    util::atomic_file_write(path, [this](util::BinaryWriter& writer) { save(writer); });
+}
+
+BundleSnapshot DeploymentBundle::make_snapshot() const {
+    BundleSnapshot snapshot;
+    snapshot.epoch = epoch;
+    snapshot.encoder = make_encoder();
+    snapshot.discretizer = discretizer;
+    snapshot.model = model;
+    snapshot.backing = backing;
+    return snapshot;
+}
+
 void DeploymentBundle::save_owner(const std::filesystem::path& path) const {
     HDLOCK_EXPECTS(kind == BundleKind::owner && has_key(),
                    "DeploymentBundle::save_owner: not an owner bundle");
@@ -323,6 +360,7 @@ DeploymentBundle DeploymentBundle::copy_without_secrets() const {
     DeploymentBundle copy;
     copy.kind = kind;
     copy.tie_seed = tie_seed;
+    copy.epoch = epoch;
     copy.store = store;
     copy.feature_hvs = feature_hvs;
     copy.value_hvs = value_hvs;
@@ -336,8 +374,11 @@ DeploymentBundle DeploymentBundle::export_device() const {
     HDLOCK_EXPECTS(store != nullptr, "DeploymentBundle::export_device: no public store");
     if (kind == BundleKind::device) return copy_without_secrets();
     HDLOCK_EXPECTS(has_key(), "DeploymentBundle::export_device: owner bundle without key");
-    return device_from_materialized(LockedEncoder(store, key->clone(), *value_mapping, tie_seed),
-                                    store, discretizer, model);
+    DeploymentBundle device =
+        device_from_materialized(LockedEncoder(store, key->clone(), *value_mapping, tie_seed),
+                                 store, discretizer, model);
+    device.epoch = epoch;  // a device export serves its owner's generation
+    return device;
 }
 
 void DeploymentBundle::export_device(const std::filesystem::path& path) const {

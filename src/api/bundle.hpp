@@ -16,10 +16,13 @@
 /// materialized Eq. 9 products, so a device artifact is *physically*
 /// incapable of leaking the key: the bytes are simply not in the file.
 ///
-/// On-disk layout (util/serialize.hpp primitives, little-endian).  Version 2
-/// is the current write format; version 1 files still load.
+/// On-disk layout (util/serialize.hpp primitives, little-endian).  Version 3
+/// is the current write format; version 1 and 2 files still load (their
+/// epoch defaults to 0 — pre-rotation artifacts are epoch zero by
+/// definition).
 ///
 ///   "HDLK"  u32 version  u8 kind(0=owner,1=device)  u64 tie_seed  u8 flags
+///   v3+: u64 epoch   (key-rotation generation; see api::Owner::rotate)
 ///   v2: "PUB2" store shape + 64-byte-aligned word blocks
 ///   v1: "PUBS" PublicStore (per-HV tagged)
 ///   owner:  "SECR" LockKey  "VMAP" u32 count, u32 slots...
@@ -56,16 +59,22 @@
 
 namespace hdlock::api {
 
+struct BundleSnapshot;  // api/inference_session.hpp
+
 enum class BundleKind : std::uint8_t {
     owner = 0,  ///< carries the key; never leaves the owner's infrastructure
     device = 1  ///< key stripped; holds materialized encoder state instead
 };
 
 struct DeploymentBundle {
-    static constexpr std::uint32_t kFormatVersion = 2;
+    static constexpr std::uint32_t kFormatVersion = 3;
 
     BundleKind kind = BundleKind::owner;
     std::uint64_t tie_seed = 0;
+    /// Key-rotation generation: 0 for a fresh provision (and for every
+    /// v1/v2 artifact), bumped by api::Owner::rotate.  Serving stamps it
+    /// into Response::epoch so a hot swap is observable per request.
+    std::uint64_t epoch = 0;
     std::shared_ptr<const PublicStore> store;
 
     /// Owner-only secret section; never populated for device bundles.
@@ -103,6 +112,25 @@ struct DeploymentBundle {
     /// Kept so the v1 backward-compat load path stays covered by tests and
     /// old tooling can be fed on demand; new artifacts should use save().
     void save_v1(util::BinaryWriter& writer) const;
+
+    /// Writes the v2 layout (aligned bulk blocks, no epoch field).  Kept so
+    /// the v2 compat path — "old artifact loads as epoch 0" — stays covered
+    /// by tests; new artifacts should use save().
+    void save_v2(util::BinaryWriter& writer) const;
+
+    /// Crash-safe persistence (util::atomic_file_write): serialize to a
+    /// sibling temp, fsync, rename over `path`, fsync the directory.  A
+    /// failure at any step — including the injected short-write / fsync /
+    /// rename failpoints — leaves the previous file intact and no torn
+    /// bytes at `path`.
+    void save_atomic(const std::filesystem::path& path) const;
+
+    /// The serving-facing view of this bundle for
+    /// InferenceSession::swap_bundle / ShardRouter::swap_all: epoch +
+    /// reconstructed encoder + discretizer/model copies + the mmap anchor.
+    /// The owner-side types stay out of the serving layer; only this
+    /// snapshot crosses.
+    BundleSnapshot make_snapshot() const;
 
     /// Zero-copy startup: maps `path` (util::MappedFile, with its portable
     /// read fallback) and loads from the mapping, aliasing every v2 bulk

@@ -37,6 +37,7 @@ Owner Owner::load(const std::filesystem::path& path) {
         std::make_shared<SecureStore>(std::move(*bundle.key), std::move(*bundle.value_mapping));
     owner.discretizer_ = std::move(bundle.discretizer);
     owner.model_ = std::move(bundle.model);
+    owner.epoch_ = bundle.epoch;
     return owner;
 }
 
@@ -44,11 +45,19 @@ DeploymentBundle Owner::to_bundle() const {
     DeploymentBundle bundle = DeploymentBundle::from_deployment(deployment_);
     bundle.discretizer = discretizer_;
     bundle.model = model_;
+    bundle.epoch = epoch_;
     return bundle;
 }
 
 void Owner::save(const std::filesystem::path& path) const {
     to_bundle().save_owner(path);
+}
+
+void Owner::save_atomic(const std::filesystem::path& path) const {
+    const DeploymentBundle bundle = to_bundle();
+    HDLOCK_EXPECTS(bundle.kind == BundleKind::owner && bundle.has_key(),
+                   "Owner::save_atomic: not an owner bundle");
+    bundle.save_atomic(path);
 }
 
 double Owner::train(const data::Dataset& train_set, const TrainOptions& options) {
@@ -75,6 +84,7 @@ const hdc::MinMaxDiscretizer& Owner::discretizer() const {
 
 InferenceSession Owner::open_session(SessionOptions options) const {
     HDLOCK_EXPECTS(trained(), "Owner::open_session: train (or load a trained bundle) first");
+    options.epoch = epoch_;
     return InferenceSession(deployment_.encoder, *discretizer_, *model_, options);
 }
 
@@ -93,6 +103,7 @@ std::vector<int> Owner::predict(const util::Matrix<float>& rows) const {
 
 ShardRouter Owner::open_router(RouterOptions options) const {
     HDLOCK_EXPECTS(trained(), "Owner::open_router: train (or load a trained bundle) first");
+    options.session.epoch = epoch_;
     return ShardRouter(deployment_.encoder, *discretizer_, *model_, std::move(options));
 }
 
@@ -109,15 +120,63 @@ void Owner::rotate_key(std::uint64_t seed) {
     // here; LockKey scrubs its storage on destruction.
     deployment_.secure = std::make_shared<SecureStore>(std::move(fresh), std::move(mapping));
     model_.reset();  // fitted against the old feature hypervectors
+    ++epoch_;
+}
+
+RotationReport Owner::rotate(const data::Dataset& train_set, const RotateOptions& options) {
+    RotationReport report;
+    report.previous_epoch = epoch_;
+    try {
+        // Stage everything against locals first; the owner's own state is
+        // only touched past the commit point below, so a failed rekey or
+        // retrain leaves it exactly as it was (all-or-nothing contract).
+        LockKey fresh = rekey(deployment_.secure->key(), *deployment_.store, options.seed);
+        ValueMapping mapping = deployment_.secure->value_mapping();
+        auto encoder = std::make_shared<const LockedEncoder>(
+            deployment_.store, fresh.clone(), mapping, deployment_.encoder->tie_seed());
+
+        hdc::PipelineConfig pipeline;
+        pipeline.discretizer_mode = options.train.discretizer_mode;
+        pipeline.train.kind = options.train.kind;
+        pipeline.train.retrain_epochs = options.train.retrain_epochs;
+        pipeline.train.seed = options.train.seed;
+        const auto classifier = hdc::HdcClassifier::fit(train_set, encoder, pipeline);
+        std::optional<hdc::MinMaxDiscretizer> discretizer = classifier.discretizer();
+        std::optional<hdc::HdcModel> model = classifier.model();
+        auto secure = std::make_shared<SecureStore>(std::move(fresh), std::move(mapping));
+
+        // Commit point: moves only from here on.  The old SecureStore (and
+        // the compromised key inside it) is dropped; LockKey scrubs its
+        // storage on destruction.
+        deployment_.encoder = std::move(encoder);
+        deployment_.secure = std::move(secure);
+        discretizer_ = std::move(discretizer);
+        model_ = std::move(model);
+        epoch_ = report.previous_epoch + 1;
+        report.epoch = epoch_;
+        report.train_accuracy = classifier.train_accuracy();
+    } catch (const RotationError&) {
+        throw;
+    } catch (const Error& error) {
+        throw RotationError("Owner::rotate: rotation failed; owner unchanged at epoch " +
+                            std::to_string(epoch_) + ": " + error.what());
+    }
+    return report;
 }
 
 DeploymentBundle Owner::to_device_bundle() const {
-    return DeploymentBundle::device_from_materialized(*deployment_.encoder, deployment_.store,
-                                                      discretizer_, model_);
+    DeploymentBundle device = DeploymentBundle::device_from_materialized(
+        *deployment_.encoder, deployment_.store, discretizer_, model_);
+    device.epoch = epoch_;
+    return device;
 }
 
 void Owner::export_device(const std::filesystem::path& path) const {
     util::save_file(to_device_bundle(), path);
+}
+
+void Owner::export_device_atomic(const std::filesystem::path& path) const {
+    to_device_bundle().save_atomic(path);
 }
 
 Device Owner::make_device() const {
@@ -139,7 +198,12 @@ Device::Device(DeploymentBundle bundle) {
                                                      bundle.tie_seed, backing_);
     discretizer_ = std::move(bundle.discretizer);
     model_ = std::move(bundle.model);
-    if (can_serve()) session_.emplace(encoder_, *discretizer_, *model_, SessionOptions{});
+    epoch_ = bundle.epoch;
+    if (can_serve()) {
+        SessionOptions options;
+        options.epoch = epoch_;
+        session_.emplace(encoder_, *discretizer_, *model_, options);
+    }
 }
 
 Device Device::load(const std::filesystem::path& path) {
@@ -168,11 +232,13 @@ const hdc::MinMaxDiscretizer& Device::discretizer() const {
 
 InferenceSession Device::open_session(SessionOptions options) const {
     HDLOCK_EXPECTS(can_serve(), "Device::open_session: bundle has no discretizer/model");
+    options.epoch = epoch_;
     return InferenceSession(encoder_, *discretizer_, *model_, options);
 }
 
 ShardRouter Device::open_router(RouterOptions options) const {
     HDLOCK_EXPECTS(can_serve(), "Device::open_router: bundle has no discretizer/model");
+    options.session.epoch = epoch_;
     return ShardRouter(encoder_, *discretizer_, *model_, std::move(options));
 }
 

@@ -44,6 +44,25 @@ struct TrainOptions {
     std::uint64_t seed = 1;
 };
 
+/// Knobs for Owner::rotate — the full key-rotation pipeline (rotate_key()
+/// underneath is the key-only primitive).
+struct RotateOptions {
+    /// Seed for the fresh sub-keys (core/key_tools.hpp rekey).
+    std::uint64_t seed = 1;
+    /// How to retrain the model against the rotated encoder.
+    TrainOptions train{};
+};
+
+/// What one Owner::rotate call did, for logs and the CLI.
+struct RotationReport {
+    std::uint64_t previous_epoch = 0;
+    /// The new generation: previous_epoch + 1.  Every bundle the owner
+    /// produces from here on carries it.
+    std::uint64_t epoch = 0;
+    /// Training-set accuracy of the retrained model.
+    double train_accuracy = 0.0;
+};
+
 class Device;
 
 /// The privileged side of a deployment.
@@ -56,6 +75,11 @@ public:
     /// on device bundles (their key was stripped — nothing to own).
     static Owner load(const std::filesystem::path& path);
     void save(const std::filesystem::path& path) const;
+
+    /// Crash-safe save (DeploymentBundle::save_atomic): serialize → sibling
+    /// temp → fsync → rename.  A failure at any step — power loss included —
+    /// leaves whatever was previously at `path` intact and readable.
+    void save_atomic(const std::filesystem::path& path) const;
 
     /// Fits discretizer + HDC model through the locked encoder; returns the
     /// training-set accuracy. Replaces any previously trained model.
@@ -75,12 +99,29 @@ public:
 
     /// Replaces the key after a suspected leak (core/key_tools.hpp rekey):
     /// fresh sub-keys sharing no layer pair with the old key, encoder
-    /// re-materialized.  The trained model is discarded — it was fitted
-    /// against the old feature hypervectors; retrain before serving.
+    /// re-materialized, epoch bumped.  The trained model is discarded — it
+    /// was fitted against the old feature hypervectors; retrain before
+    /// serving (or use rotate(), which does both).
     void rotate_key(std::uint64_t seed);
+
+    /// The full zero-downtime rotation pipeline: rekey + retrain on
+    /// `train_set` + epoch bump, all-or-nothing.  On success the owner is
+    /// the next generation — persist with save_atomic / export_device_atomic
+    /// and push to live serving via InferenceSession::swap_bundle or
+    /// ShardRouter::swap_all.  On failure throws RotationError and leaves
+    /// this owner byte-for-byte unchanged (old key, old model, old epoch).
+    RotationReport rotate(const data::Dataset& train_set, const RotateOptions& options = {});
+
+    /// Key-rotation generation stamped into every bundle this owner
+    /// produces: 0 for a fresh provision, bumped by rotate()/rotate_key().
+    std::uint64_t epoch() const noexcept { return epoch_; }
 
     /// The key-free field artifact / in-memory device.
     void export_device(const std::filesystem::path& path) const;
+    /// Crash-safe flavour of export_device (same guarantee as save_atomic):
+    /// the rotation runbook overwrites the live device artifact in place,
+    /// and a torn write there would brick every device that restarts.
+    void export_device_atomic(const std::filesystem::path& path) const;
     Device make_device() const;
 
     /// Owner-side batched serving (e.g. scoring a validation set).
@@ -117,6 +158,7 @@ private:
     Deployment deployment_;
     std::optional<hdc::MinMaxDiscretizer> discretizer_;
     std::optional<hdc::HdcModel> model_;
+    std::uint64_t epoch_ = 0;
 };
 
 /// The untrusted side: what actually ships. Holds no key, in memory or on
@@ -161,6 +203,11 @@ public:
     const hdc::HdcModel& model() const;
     const hdc::MinMaxDiscretizer& discretizer() const;
 
+    /// Key-rotation generation of the loaded bundle (0 for pre-rotation
+    /// v1/v2 artifacts); sessions and routers opened here stamp it into
+    /// Response::epoch.
+    std::uint64_t epoch() const noexcept { return epoch_; }
+
 private:
     std::shared_ptr<const PublicStore> store_;
     std::shared_ptr<const SealedEncoder> encoder_;
@@ -169,6 +216,7 @@ private:
     std::shared_ptr<const util::MappedFile> backing_;
     std::optional<hdc::MinMaxDiscretizer> discretizer_;
     std::optional<hdc::HdcModel> model_;
+    std::uint64_t epoch_ = 0;
     /// Built once at construction when the bundle can serve, so the predict
     /// conveniences don't copy the model per call (rows_served() accumulates
     /// across them); open_session() still mints fresh sessions on demand.

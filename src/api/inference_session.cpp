@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "util/fault_inject.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
@@ -24,7 +25,7 @@ void SubmitQueue::push(AsyncRequest request) {
     while (!closed_ && queued_rows_ + rows > max_rows_ && !requests_.empty()) {
         not_full_.wait(mutex_);
     }
-    if (closed_) throw Error("SubmitQueue: session is shutting down");
+    if (closed_) throw ShutdownError("SubmitQueue: session is shutting down");
     queued_rows_ += rows;
     requests_.push_back(std::move(request));
     not_empty_.notify_one();
@@ -33,7 +34,7 @@ void SubmitQueue::push(AsyncRequest request) {
 Status SubmitQueue::try_submit(AsyncRequest&& request) {
     const std::size_t rows = request.rows.rows();
     const util::MutexLock lock(mutex_);
-    if (closed_) throw Error("SubmitQueue: session is shutting down");
+    if (closed_) throw ShutdownError("SubmitQueue: session is shutting down");
     // Same admission rule as push() (oversized requests go in alone once
     // the queue is empty), but a full queue refuses instead of blocking —
     // the request is left untouched for the caller to resolve as shed.
@@ -86,13 +87,18 @@ void SubmitQueue::close() {
     not_full_.notify_all();
 }
 
+bool SubmitQueue::closed() const {
+    const util::MutexLock lock(mutex_);
+    return closed_;
+}
+
 std::size_t SubmitQueue::queued_rows() const {
     const util::MutexLock lock(mutex_);
     return queued_rows_;
 }
 
 // ---------------------------------------------------------------------------
-// Internal serving state
+// Internal runtime state
 // ---------------------------------------------------------------------------
 
 /// Per-worker pinned buffers: reused across every batch the session serves,
@@ -101,12 +107,29 @@ struct InferenceSession::WorkerState {
     hdc::EncoderScratch scratch;
     hdc::IntHV sums;
     hdc::BinaryHV query;
+    std::uint64_t epoch = 0;
+    bool primed = false;
+
+    /// Lazy epoch invalidation: the first row a worker serves on a new
+    /// epoch drops buffers sized for the old epoch's shapes and starts
+    /// fresh.  Workers the new epoch never touches keep their old scratch
+    /// (harmless — it is plain capacity) until they next serve.
+    void refresh(std::uint64_t serving_epoch) {
+        if (primed && epoch == serving_epoch) return;
+        scratch = hdc::EncoderScratch{};
+        sums = hdc::IntHV{};
+        query = hdc::BinaryHV{};
+        epoch = serving_epoch;
+        primed = true;
+    }
 };
 
 /// Everything mutable behind the serving fast path, kept behind one stable
 /// pointer: the persistent pool with its slot-pinned scratch, the caller
-/// free-list, and the lazily-started async core.
-struct InferenceSession::ServingState {
+/// free-list, and the lazily-started async core.  Distinct from the RCU'd
+/// ServingState: the runtime (threads, scratch) survives epoch swaps; the
+/// serving state (encoder/model/caches) is what swaps.
+struct InferenceSession::Runtime {
     /// Free-list of WorkerStates for the inline paths (predict_row, small
     /// batches) where the caller thread does the work itself: concurrent
     /// callers each lease their own scratch for one mutex handoff — far
@@ -185,8 +208,25 @@ struct InferenceSession::ServingState {
                     queue_delay_us.load(std::memory_order_relaxed));
                 std::vector<AsyncRequest> batch = queue.pop_batch(session->max_batch_, delay);
                 if (batch.empty()) return;  // closed and drained
+                if (queue.closed()) {
+                    // Shutdown leftovers: the session is being destroyed, so
+                    // serving now would race teardown.  Fail every queued
+                    // future with a typed broken-promise error instead of
+                    // hanging or abandoning it.
+                    fail_shutdown(batch);
+                    continue;
+                }
                 if (session->adaptive_queue_delay_) update_governor(batch);
                 serve(batch);
+            }
+        }
+
+        void fail_shutdown(std::vector<AsyncRequest>& batch) {
+            for (auto& request : batch) {
+                resolve_error(request,
+                              std::make_exception_ptr(ShutdownError(
+                                  "InferenceSession: destroyed with queued predict_async "
+                                  "work; the request was never served")));
             }
         }
 
@@ -229,14 +269,15 @@ struct InferenceSession::ServingState {
                                               std::memory_order_relaxed);
         }
 
-        void resolve_labels(AsyncRequest& request, std::vector<int> labels,
-                            util::SteadyTime now) {
+        void resolve_labels(AsyncRequest& request, std::vector<int> labels, util::SteadyTime now,
+                            std::uint64_t epoch) {
             finish(request);
             if (request.typed) {
                 Response response;
                 response.labels = std::move(labels);
                 response.status = Status::ok;
                 response.shard_id = request.shard_id;
+                response.epoch = epoch;
                 response.queue_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
                     now - request.enqueued_at);
                 request.typed_promise.set_value(std::move(response));
@@ -245,11 +286,13 @@ struct InferenceSession::ServingState {
             }
         }
 
-        void resolve_status(AsyncRequest& request, Status status, util::SteadyTime now) {
+        void resolve_status(AsyncRequest& request, Status status, util::SteadyTime now,
+                            std::uint64_t epoch) {
             finish(request);
             Response response;
             response.status = status;
             response.shard_id = request.shard_id;
+            response.epoch = epoch;
             response.queue_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
                 now - request.enqueued_at);
             request.typed_promise.set_value(std::move(response));
@@ -264,15 +307,22 @@ struct InferenceSession::ServingState {
             }
         }
 
-        void serve_one(AsyncRequest& request, util::SteadyTime now) {
+        void serve_one(AsyncRequest& request, util::SteadyTime now, const ServingState& state) {
             try {
-                resolve_labels(request, session->predict(request.rows), now);
+                resolve_labels(request, session->predict_with_(state, request.rows), now,
+                               state.epoch);
             } catch (...) {
                 resolve_error(request, std::current_exception());
             }
         }
 
         void serve(std::vector<AsyncRequest>& batch) {
+            // One snapshot per dispatched batch: every request in the batch
+            // is served — and its Response::epoch stamped — by the same
+            // epoch, even when swap_bundle() installs a new one mid-batch.
+            // The snapshot pins the epoch's state (mmap included) until the
+            // batch resolves.
+            const std::shared_ptr<const ServingState> state = session->serving_state();
             // Pre-encode drop: cancelled or expired requests resolve here,
             // before any discretize/encode work is spent on rows whose
             // answer nobody is waiting for.
@@ -281,16 +331,16 @@ struct InferenceSession::ServingState {
             live.reserve(batch.size());
             for (auto& request : batch) {
                 if (request.typed && request.cancel.cancelled()) {
-                    resolve_status(request, Status::cancelled, now);
+                    resolve_status(request, Status::cancelled, now, state->epoch);
                 } else if (request.typed && request.deadline.expired_at(now)) {
-                    resolve_status(request, Status::deadline_exceeded, now);
+                    resolve_status(request, Status::deadline_exceeded, now, state->epoch);
                 } else {
                     live.push_back(std::move(request));
                 }
             }
             if (live.empty()) return;
             if (live.size() == 1) {
-                serve_one(live.front(), now);
+                serve_one(live.front(), now, *state);
                 return;
             }
             std::size_t resolved = 0;
@@ -299,7 +349,7 @@ struct InferenceSession::ServingState {
                 // reuse and worker fan-out amortise across every caller.
                 std::size_t total = 0;
                 for (const auto& request : live) total += request.rows.rows();
-                util::Matrix<float> fused(total, session->n_features());
+                util::Matrix<float> fused(total, state->encoder->n_features());
                 const std::span<float> fused_values = fused.data();
                 std::size_t at = 0;
                 for (const auto& request : live) {
@@ -309,7 +359,7 @@ struct InferenceSession::ServingState {
                                   static_cast<std::ptrdiff_t>(at * fused.cols()));
                     at += request.rows.rows();
                 }
-                const std::vector<int> labels = session->predict(fused);
+                const std::vector<int> labels = session->predict_with_(*state, fused);
                 at = 0;
                 for (auto& request : live) {
                     const std::size_t rows = request.rows.rows();
@@ -317,7 +367,7 @@ struct InferenceSession::ServingState {
                         request,
                         std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(at),
                                          labels.begin() + static_cast<std::ptrdiff_t>(at + rows)),
-                        now);
+                        now, state->epoch);
                     ++resolved;
                     at += rows;
                 }
@@ -328,7 +378,9 @@ struct InferenceSession::ServingState {
                 // lands only on whichever request reproduces it, and the
                 // innocent ones pay a re-encode (the cheap side of the
                 // trade).
-                for (std::size_t r = resolved; r < live.size(); ++r) serve_one(live[r], now);
+                for (std::size_t r = resolved; r < live.size(); ++r) {
+                    serve_one(live[r], now, *state);
+                }
             }
         }
     };
@@ -347,32 +399,79 @@ struct InferenceSession::ServingState {
 InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
                                    hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
                                    SessionOptions options)
-    : encoder_(std::move(encoder)),
-      discretizer_(std::move(discretizer)),
-      model_(std::move(model)),
-      min_rows_per_thread_(std::max<std::size_t>(options.min_rows_per_thread, 1)),
+    : min_rows_per_thread_(std::max<std::size_t>(options.min_rows_per_thread, 1)),
       dispatch_(options.dispatch),
       max_batch_(std::max<std::size_t>(options.max_batch, 1)),
       max_queue_delay_(options.max_queue_delay),
       max_queue_rows_(std::max<std::size_t>(options.max_queue_rows, 1)),
       adaptive_queue_delay_(options.adaptive_queue_delay),
-      state_(std::make_unique<ServingState>()) {
-    HDLOCK_EXPECTS(encoder_ != nullptr, "InferenceSession: null encoder");
-    HDLOCK_EXPECTS(model_.n_classes() > 0, "InferenceSession: untrained model");
-    HDLOCK_EXPECTS(model_.dim() == encoder_->dim(),
-                   "InferenceSession: model dimensionality does not match encoder");
-    HDLOCK_EXPECTS(discretizer_.n_levels() == encoder_->n_levels(),
-                   "InferenceSession: discretizer levels do not match encoder");
+      fused_mode_(options.fused_predict),
+      use_product_cache_(options.use_product_cache),
+      product_cache_max_bytes_(options.product_cache_max_bytes),
+      runtime_(std::make_unique<Runtime>()) {
     if (options.kernel_backend) util::kernels::set_backend(*options.kernel_backend);
     n_threads_ = options.n_threads != 0 ? options.n_threads : util::hardware_concurrency();
-    if (options.use_product_cache) {
-        product_cache_ = encoder_->make_product_cache(options.product_cache_max_bytes);
+    serving_.store(build_serving_state_(options.epoch, std::move(encoder),
+                                        std::move(discretizer), std::move(model), nullptr),
+                   std::memory_order_release);
+    if (dispatch_ == DispatchMode::pooled && n_threads_ > 1) {
+        runtime_->pool = std::make_unique<util::ThreadPool>(n_threads_);
+        runtime_->slots.reserve(n_threads_);
+        for (std::size_t slot = 0; slot < n_threads_; ++slot) {
+            runtime_->slots.push_back(std::make_unique<WorkerState>());
+        }
     }
-    const bool fusable = model_.kind() == hdc::ModelKind::binary &&
-                         encoder_->n_features() <= util::kernels::kMaxFusedRows;
-    switch (options.fused_predict) {
+}
+
+InferenceSession::InferenceSession(InferenceSession&& other) noexcept
+    : n_threads_(other.n_threads_),
+      min_rows_per_thread_(other.min_rows_per_thread_),
+      dispatch_(other.dispatch_),
+      max_batch_(other.max_batch_),
+      max_queue_delay_(other.max_queue_delay_),
+      max_queue_rows_(other.max_queue_rows_),
+      adaptive_queue_delay_(other.adaptive_queue_delay_),
+      fused_mode_(other.fused_mode_),
+      use_product_cache_(other.use_product_cache_),
+      product_cache_max_bytes_(other.product_cache_max_bytes_),
+      serving_(other.serving_.load(std::memory_order_acquire)),
+      runtime_(std::move(other.runtime_)),
+      rows_served_(other.rows_served_.load()),
+      inflight_rows_(other.inflight_rows_.load()) {
+    // Re-point a (contract-violating but easy to be robust about) live
+    // dispatcher at the new address; legal moves happen before serving.
+    if (runtime_ != nullptr) {
+        const util::MutexLock lock(runtime_->async_init);
+        if (runtime_->async != nullptr) runtime_->async->session = this;
+    }
+}
+
+InferenceSession::~InferenceSession() = default;
+
+std::shared_ptr<const InferenceSession::ServingState> InferenceSession::build_serving_state_(
+    std::uint64_t epoch, std::shared_ptr<const hdc::Encoder> encoder,
+    hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
+    std::shared_ptr<const void> backing) const {
+    HDLOCK_EXPECTS(encoder != nullptr, "InferenceSession: null encoder");
+    HDLOCK_EXPECTS(model.n_classes() > 0, "InferenceSession: untrained model");
+    HDLOCK_EXPECTS(model.dim() == encoder->dim(),
+                   "InferenceSession: model dimensionality does not match encoder");
+    HDLOCK_EXPECTS(discretizer.n_levels() == encoder->n_levels(),
+                   "InferenceSession: discretizer levels do not match encoder");
+    auto state = std::make_shared<ServingState>();
+    state->epoch = epoch;
+    state->encoder = std::move(encoder);
+    state->discretizer = std::move(discretizer);
+    state->model = std::move(model);
+    state->backing = std::move(backing);
+    if (use_product_cache_) {
+        state->product_cache = state->encoder->make_product_cache(product_cache_max_bytes_);
+    }
+    const bool fusable = state->model.kind() == hdc::ModelKind::binary &&
+                         state->encoder->n_features() <= util::kernels::kMaxFusedRows;
+    switch (fused_mode_) {
         case FusedPredict::auto_detect:
-            fused_predict_ = fusable;
+            state->fused_predict = fusable;
             break;
         case FusedPredict::on:
             if (!fusable) {
@@ -380,46 +479,56 @@ InferenceSession::InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
                     "InferenceSession: fused_predict=on requires a binary model with at most " +
                     std::to_string(util::kernels::kMaxFusedRows) + " features");
             }
-            fused_predict_ = true;
+            state->fused_predict = true;
             break;
         case FusedPredict::off:
-            fused_predict_ = false;
+            state->fused_predict = false;
             break;
     }
-    if (dispatch_ == DispatchMode::pooled && n_threads_ > 1) {
-        state_->pool = std::make_unique<util::ThreadPool>(n_threads_);
-        state_->slots.reserve(n_threads_);
-        for (std::size_t slot = 0; slot < n_threads_; ++slot) {
-            state_->slots.push_back(std::make_unique<WorkerState>());
-        }
-    }
+    return state;
 }
 
-InferenceSession::InferenceSession(InferenceSession&& other) noexcept
-    : encoder_(std::move(other.encoder_)),
-      discretizer_(std::move(other.discretizer_)),
-      model_(std::move(other.model_)),
-      product_cache_(std::move(other.product_cache_)),
-      n_threads_(other.n_threads_),
-      min_rows_per_thread_(other.min_rows_per_thread_),
-      dispatch_(other.dispatch_),
-      fused_predict_(other.fused_predict_),
-      max_batch_(other.max_batch_),
-      max_queue_delay_(other.max_queue_delay_),
-      max_queue_rows_(other.max_queue_rows_),
-      adaptive_queue_delay_(other.adaptive_queue_delay_),
-      state_(std::move(other.state_)),
-      rows_served_(other.rows_served_.load()),
-      inflight_rows_(other.inflight_rows_.load()) {
-    // Re-point a (contract-violating but easy to be robust about) live
-    // dispatcher at the new address; legal moves happen before serving.
-    if (state_ != nullptr) {
-        const util::MutexLock lock(state_->async_init);
-        if (state_->async != nullptr) state_->async->session = this;
+std::uint64_t InferenceSession::swap_bundle(BundleSnapshot snapshot) const {
+    const std::uint64_t epoch = snapshot.epoch;
+    const std::shared_ptr<const ServingState> current = serving_state();
+    // Validate before touching anything: every refusal below leaves the
+    // current epoch serving exactly as it was.
+    if (snapshot.encoder == nullptr) {
+        throw RotationError("swap_bundle: snapshot has no encoder; epoch " +
+                            std::to_string(current->epoch) + " keeps serving");
     }
+    if (!snapshot.discretizer.has_value() || !snapshot.model.has_value()) {
+        throw RotationError(
+            "swap_bundle: snapshot cannot serve (no discretizer/model); epoch " +
+            std::to_string(current->epoch) + " keeps serving");
+    }
+    if (snapshot.encoder->n_features() != current->encoder->n_features()) {
+        throw RotationError("swap_bundle: snapshot has " +
+                            std::to_string(snapshot.encoder->n_features()) +
+                            " features but epoch " + std::to_string(current->epoch) +
+                            " serves " + std::to_string(current->encoder->n_features()) +
+                            "; queued requests would be torn — old epoch keeps serving");
+    }
+    std::shared_ptr<const ServingState> next;
+    try {
+        next = build_serving_state_(epoch, std::move(snapshot.encoder),
+                                    std::move(*snapshot.discretizer),
+                                    std::move(*snapshot.model), std::move(snapshot.backing));
+    } catch (const Error& error) {
+        throw RotationError("swap_bundle: validation failed; epoch " +
+                            std::to_string(current->epoch) +
+                            " keeps serving: " + error.what());
+    }
+    if (util::fault::should_fail(util::fault::kSwapValidate)) {
+        throw RotationError("swap_bundle: fault-injected validation failure; epoch " +
+                            std::to_string(current->epoch) + " keeps serving");
+    }
+    // The RCU install: one release store.  Readers that already snapshotted
+    // finish on the old state (their shared_ptr pins it, and through it the
+    // old mmap); the state frees itself after the last reader drops it.
+    serving_.store(std::move(next), std::memory_order_release);
+    return epoch;
 }
-
-InferenceSession::~InferenceSession() = default;
 
 std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
                             std::size_t min_rows_per_thread) noexcept {
@@ -434,48 +543,52 @@ std::size_t planned_workers(std::size_t n_rows, std::size_t n_threads,
     return (n_rows + chunk - 1) / chunk;
 }
 
-int InferenceSession::predict_one_(std::span<const float> row, WorkerState& state) const {
-    const bool binary = model_.kind() == hdc::ModelKind::binary;
-    const hdc::BoundProductCache* cache = product_cache_.get();
-    std::vector<int>& levels = state.scratch.levels(encoder_->n_features());
-    discretizer_.transform_row(row, levels);
+int InferenceSession::predict_one_(const ServingState& state, std::span<const float> row,
+                                   WorkerState& worker) const {
+    const bool binary = state.model.kind() == hdc::ModelKind::binary;
+    const hdc::BoundProductCache* cache = state.product_cache.get();
+    std::vector<int>& levels = worker.scratch.levels(state.encoder->n_features());
+    state.discretizer.transform_row(row, levels);
     if (binary) {
-        if (fused_predict_) {
+        if (state.fused_predict) {
             // Fused encode→distance: one kernel pass scores every class
             // while the count planes are register/L1-resident; the query
             // hypervector never exists.  Bit-identical labels to the
             // two-step path below on every backend.
-            return model_.predict_fused(*encoder_, levels, state.scratch, cache);
+            return state.model.predict_fused(*state.encoder, levels, worker.scratch, cache);
         }
-        encoder_->encode_binary_into(levels, state.scratch, state.query, cache);
-        return model_.predict(state.query);
+        state.encoder->encode_binary_into(levels, worker.scratch, worker.query, cache);
+        return state.model.predict(worker.query);
     }
-    encoder_->encode_into(levels, state.scratch, state.sums, cache);
-    return model_.predict(state.sums);
+    state.encoder->encode_into(levels, worker.scratch, worker.sums, cache);
+    return state.model.predict(worker.sums);
 }
 
-void InferenceSession::predict_range_(const util::Matrix<float>& rows, std::size_t begin,
-                                      std::size_t end, std::span<int> out,
-                                      WorkerState& state) const {
-    for (std::size_t r = begin; r < end; ++r) out[r] = predict_one_(rows.row(r), state);
+void InferenceSession::predict_range_(const ServingState& state, const util::Matrix<float>& rows,
+                                      std::size_t begin, std::size_t end, std::span<int> out,
+                                      WorkerState& worker) const {
+    worker.refresh(state.epoch);  // first touch of a new epoch rebuilds scratch
+    for (std::size_t r = begin; r < end; ++r) out[r] = predict_one_(state, rows.row(r), worker);
 }
 
-void InferenceSession::predict_into_(const util::Matrix<float>& rows, std::span<int> out) const {
+void InferenceSession::predict_into_(const ServingState& state, const util::Matrix<float>& rows,
+                                     std::span<int> out) const {
     const std::size_t n = rows.rows();
     const std::size_t workers = planned_workers(n, n_threads_, min_rows_per_thread_);
 
     if (workers <= 1) {
         // Single-worker fast path: no dispatch at all, just a leased scratch
         // on the calling thread (concurrent callers each lease their own).
-        ServingState::ScratchLease lease(state_->caller_scratch);
-        predict_range_(rows, 0, n, out, *lease);
+        Runtime::ScratchLease lease(runtime_->caller_scratch);
+        predict_range_(state, rows, 0, n, out, *lease);
         return;
     }
 
-    if (dispatch_ == DispatchMode::pooled && state_->pool != nullptr) {
-        util::parallel_for(*state_->pool, n, workers,
+    if (dispatch_ == DispatchMode::pooled && runtime_->pool != nullptr) {
+        util::parallel_for(*runtime_->pool, n, workers,
                            [&](std::size_t begin, std::size_t end, std::size_t slot) {
-                               predict_range_(rows, begin, end, out, *state_->slots[slot]);
+                               predict_range_(state, rows, begin, end, out,
+                                              *runtime_->slots[slot]);
                            });
         return;
     }
@@ -489,10 +602,10 @@ void InferenceSession::predict_into_(const util::Matrix<float>& rows, std::span<
     for (std::size_t w = 0; w < workers; ++w) {
         const std::size_t begin = w * chunk;
         const std::size_t end = std::min(begin + chunk, n);
-        threads.emplace_back(util::Thread([this, &rows, &out, &failures, w, begin, end] {
+        threads.emplace_back(util::Thread([this, &state, &rows, &out, &failures, w, begin, end] {
             try {
-                WorkerState state;
-                predict_range_(rows, begin, end, out, state);
+                WorkerState worker;
+                predict_range_(state, rows, begin, end, out, worker);
             } catch (...) {
                 failures[w] = std::current_exception();
             }
@@ -504,14 +617,22 @@ void InferenceSession::predict_into_(const util::Matrix<float>& rows, std::span<
     }
 }
 
-std::vector<int> InferenceSession::predict(const util::Matrix<float>& rows) const {
+std::vector<int> InferenceSession::predict_with_(const ServingState& state,
+                                                 const util::Matrix<float>& rows) const {
     if (rows.rows() == 0) return {};
-    HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
+    HDLOCK_EXPECTS(rows.cols() == state.encoder->n_features(),
                    "InferenceSession::predict: batch has wrong feature count");
     std::vector<int> out(rows.rows());
-    predict_into_(rows, out);
+    predict_into_(state, rows, out);
     rows_served_.fetch_add(rows.rows(), std::memory_order_relaxed);
     return out;
+}
+
+std::vector<int> InferenceSession::predict(const util::Matrix<float>& rows) const {
+    // One snapshot per call: the whole batch — including its worker fan-out
+    // — serves a single epoch even if swap_bundle() lands mid-batch.
+    const std::shared_ptr<const ServingState> state = serving_state();
+    return predict_with_(*state, rows);
 }
 
 std::future<std::vector<int>> InferenceSession::predict_async(util::Matrix<float> rows) const {
@@ -520,15 +641,15 @@ std::future<std::vector<int>> InferenceSession::predict_async(util::Matrix<float
         ready.set_value({});
         return ready.get_future();
     }
-    HDLOCK_EXPECTS(rows.cols() == encoder_->n_features(),
+    HDLOCK_EXPECTS(rows.cols() == n_features(),
                    "InferenceSession::predict_async: batch has wrong feature count");
-    ServingState::AsyncCore* core = nullptr;
+    Runtime::AsyncCore* core = nullptr;
     {
-        const util::MutexLock lock(state_->async_init);
-        if (state_->async == nullptr) {
-            state_->async = std::make_unique<ServingState::AsyncCore>(this, max_queue_rows_);
+        const util::MutexLock lock(runtime_->async_init);
+        if (runtime_->async == nullptr) {
+            runtime_->async = std::make_unique<Runtime::AsyncCore>(this, max_queue_rows_);
         }
-        core = state_->async.get();
+        core = runtime_->async.get();
     }
     const std::int64_t n = static_cast<std::int64_t>(rows.rows());
     AsyncRequest request;
@@ -557,7 +678,7 @@ std::future<Response> InferenceSession::try_predict_async(Request request,
 std::future<Response> InferenceSession::submit_async_(Request request, std::uint32_t shard_id,
                                                       bool blocking) const {
     if (request.rows.rows() != 0) {
-        HDLOCK_EXPECTS(request.rows.cols() == encoder_->n_features(),
+        HDLOCK_EXPECTS(request.rows.cols() == n_features(),
                        "InferenceSession::predict_async: request has wrong feature count");
     }
     // Outcomes decidable at submit time resolve immediately — an empty
@@ -575,13 +696,13 @@ std::future<Response> InferenceSession::submit_async_(Request request, std::uint
         return resolved_response(std::move(early));
     }
 
-    ServingState::AsyncCore* core = nullptr;
+    Runtime::AsyncCore* core = nullptr;
     {
-        const util::MutexLock lock(state_->async_init);
-        if (state_->async == nullptr) {
-            state_->async = std::make_unique<ServingState::AsyncCore>(this, max_queue_rows_);
+        const util::MutexLock lock(runtime_->async_init);
+        if (runtime_->async == nullptr) {
+            runtime_->async = std::make_unique<Runtime::AsyncCore>(this, max_queue_rows_);
         }
-        core = state_->async.get();
+        core = runtime_->async.get();
     }
 
     const std::int64_t n = static_cast<std::int64_t>(request.rows.rows());
@@ -619,10 +740,10 @@ std::future<Response> InferenceSession::submit_async_(Request request, std::uint
 }
 
 std::chrono::microseconds InferenceSession::current_queue_delay() const {
-    const util::MutexLock lock(state_->async_init);
-    if (state_->async != nullptr) {
+    const util::MutexLock lock(runtime_->async_init);
+    if (runtime_->async != nullptr) {
         return std::chrono::microseconds(
-            state_->async->queue_delay_us.load(std::memory_order_relaxed));
+            runtime_->async->queue_delay_us.load(std::memory_order_relaxed));
     }
     return max_queue_delay_;
 }
@@ -639,10 +760,12 @@ double InferenceSession::evaluate(const data::Dataset& dataset) const {
 }
 
 int InferenceSession::predict_row(std::span<const float> row) const {
-    HDLOCK_EXPECTS(row.size() == encoder_->n_features(),
+    const std::shared_ptr<const ServingState> state = serving_state();
+    HDLOCK_EXPECTS(row.size() == state->encoder->n_features(),
                    "InferenceSession::predict_row: wrong feature count");
-    ServingState::ScratchLease lease(state_->caller_scratch);
-    const int label = predict_one_(row, *lease);
+    Runtime::ScratchLease lease(runtime_->caller_scratch);
+    (*lease).refresh(state->epoch);
+    const int label = predict_one_(*state, row, *lease);
     rows_served_.fetch_add(1, std::memory_order_relaxed);
     return label;
 }

@@ -28,10 +28,21 @@
 /// optional bound-product cache is active (see hdc::Encoder on tie
 /// breaking).
 ///
-/// The session is immutable after construction and safe to share across
-/// caller threads; concurrent predict()/predict_async() calls only touch
-/// slot-pinned or leased scratch and an atomic served-rows counter.  Moving
-/// a session is only legal before it starts serving.
+/// Epochs and hot swap (DESIGN.md §12): everything a served row reads —
+/// encoder, discretizer, model, bound-product cache, fused flag, the mmap
+/// anchor — lives in one immutable epoch-tagged ServingState behind an
+/// atomic shared_ptr.  Every predict call takes ONE snapshot at entry, so a
+/// batch is epoch-consistent even while swap_bundle() installs a rotated
+/// bundle concurrently: in-flight work finishes on the old state (whose
+/// aliasing anchors pin the old mmap), new work sees the new epoch, and the
+/// old state frees itself when its last reader drops the snapshot.  Per-slot
+/// scratch is rebuilt lazily on first touch of a new epoch.  A swap that
+/// fails validation throws RotationError and leaves the old epoch serving.
+///
+/// Outside of the explicit swap_bundle() mutation the session is safe to
+/// share across caller threads; concurrent predict()/predict_async() calls
+/// only touch slot-pinned or leased scratch and atomic counters.  Moving a
+/// session is only legal before it starts serving.
 
 #include <atomic>
 #include <chrono>
@@ -126,6 +137,23 @@ struct SessionOptions {
     /// a batch.  Off by default (fixed `max_queue_delay`); the shard router
     /// turns it on.  Affects batching/latency only, never labels.
     bool adaptive_queue_delay = false;
+    /// Epoch stamp of the initial serving state.  Bundle-derived factories
+    /// (api::Device, api::Owner) pass the bundle's epoch; hand-built
+    /// sessions start at 0.  Response::epoch reports the epoch that served.
+    std::uint64_t epoch = 0;
+};
+
+/// The serving-facing contents of one epoch of a deployment bundle,
+/// decoupled from DeploymentBundle itself so the device serving layer never
+/// includes the owner-side bundle header (DeploymentBundle::make_snapshot()
+/// and api::Owner/Device build these).  `backing` pins the mmap for
+/// zero-copy bundles; null for owned state.
+struct BundleSnapshot {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const hdc::Encoder> encoder;
+    std::optional<hdc::MinMaxDiscretizer> discretizer;
+    std::optional<hdc::HdcModel> model;
+    std::shared_ptr<const void> backing;
 };
 
 /// Number of worker threads predict() fans a batch of `n_rows` out to —
@@ -169,15 +197,15 @@ public:
 
     /// Blocks while the queue is full.  A request larger than the whole
     /// queue is admitted alone (it could never fit otherwise).  Throws
-    /// Error when the queue is closed.
+    /// ShutdownError when the queue is closed.
     void push(AsyncRequest request) HDLOCK_EXCLUDES(mutex_);
 
     /// Non-blocking admission: returns Status::ok and consumes the request
     /// when it fits under the row cap (same oversized-alone rule as push),
     /// or Status::overloaded leaving `request` untouched so the caller can
     /// resolve its promise with a shed response instead of blocking.  This
-    /// is the refusal path admission control needs.  Throws Error when the
-    /// queue is closed.
+    /// is the refusal path admission control needs.  Throws ShutdownError
+    /// when the queue is closed.
     Status try_submit(AsyncRequest&& request) HDLOCK_EXCLUDES(mutex_);
 
     /// Blocks until a request arrives, then keeps collecting whole requests
@@ -187,6 +215,12 @@ public:
         HDLOCK_EXCLUDES(mutex_);
 
     void close() HDLOCK_EXCLUDES(mutex_);
+
+    /// True once close() has been called.  The dispatcher checks this after
+    /// every pop: batches popped after close are shutdown leftovers whose
+    /// futures must be *failed* (ShutdownError), not served — the session
+    /// is being destroyed out from under them.
+    bool closed() const HDLOCK_EXCLUDES(mutex_);
 
     /// Rows currently queued (for tests / introspection).
     std::size_t queued_rows() const HDLOCK_EXCLUDES(mutex_);
@@ -214,6 +248,25 @@ private:
 /// byte-identical — nothing is silently deprecated.
 class InferenceSession {
 public:
+    /// One immutable epoch of serving state: everything a served row reads,
+    /// installed and replaced atomically as a unit (RCU).  Snapshots taken
+    /// at predict entry keep an epoch (and its mmap, via the shared encoder
+    /// anchors and `backing`) alive until the last in-flight batch on it
+    /// finishes.
+    struct ServingState {
+        std::uint64_t epoch = 0;
+        std::shared_ptr<const hdc::Encoder> encoder;
+        hdc::MinMaxDiscretizer discretizer;
+        hdc::HdcModel model;
+        /// Rebuilt per epoch when SessionOptions::use_product_cache was
+        /// taken (built off the hot path, before install — the old epoch
+        /// serves while this epoch precomputes).
+        std::shared_ptr<const hdc::BoundProductCache> product_cache;
+        bool fused_predict = false;
+        /// Pins the mmap behind a zero-copy bundle epoch; null when owned.
+        std::shared_ptr<const void> backing;
+    };
+
     /// The encoder is shared (it is immutable); discretizer and model are
     /// copied so the session's lifetime is independent of its maker.
     InferenceSession(std::shared_ptr<const hdc::Encoder> encoder,
@@ -263,21 +316,50 @@ public:
     /// leased scratch and consults the bound-product cache when active.
     int predict_row(std::span<const float> row) const;
 
+    /// RCU hot swap: validates the rotated bundle's serving state (trained
+    /// model, matching shapes, same feature count as the current epoch, the
+    /// configured fused/product-cache options still satisfiable), builds the
+    /// new immutable ServingState — product cache precomputed here, while
+    /// the old epoch still serves — and installs it with one atomic
+    /// exchange.  In-flight requests finish on the old epoch's snapshot;
+    /// requests submitted after the swap serve the new epoch; per-slot
+    /// scratch rebuilds lazily on first touch of the new epoch.  Throws
+    /// RotationError on any validation failure, leaving the old epoch
+    /// serving untouched.  Returns the installed epoch.
+    std::uint64_t swap_bundle(BundleSnapshot snapshot) const;
+
+    /// The current epoch's immutable serving state (one atomic load).  The
+    /// returned snapshot stays valid — old mmap included — for as long as
+    /// the caller holds it, even across concurrent swaps.
+    std::shared_ptr<const ServingState> serving_state() const noexcept {
+        return serving_.load(std::memory_order_acquire);
+    }
+
+    /// Epoch currently being served (new submissions land here).
+    std::uint64_t epoch() const noexcept { return serving_state()->epoch; }
+
     /// Fraction of the labeled dataset classified correctly (batched
     /// through predict()); 0 for an empty dataset.
     double evaluate(const data::Dataset& dataset) const;
 
-    std::size_t n_features() const noexcept { return encoder_->n_features(); }
+    std::size_t n_features() const noexcept { return serving_state()->encoder->n_features(); }
     std::size_t n_threads() const noexcept { return n_threads_; }
     DispatchMode dispatch_mode() const noexcept { return dispatch_; }
-    /// True when the session holds a materialized bound-product cache (the
-    /// opt-in was taken and the table fit under the byte cap).
-    bool product_cache_active() const noexcept { return product_cache_ != nullptr; }
+    /// True when the current epoch holds a materialized bound-product cache
+    /// (the opt-in was taken and the table fit under the byte cap).
+    bool product_cache_active() const noexcept {
+        return serving_state()->product_cache != nullptr;
+    }
     /// True when binary rows are served through the fused encode→distance
     /// kernel path (see SessionOptions::fused_predict).
-    bool fused_predict_active() const noexcept { return fused_predict_; }
-    const hdc::HdcModel& model() const noexcept { return model_; }
-    const hdc::MinMaxDiscretizer& discretizer() const noexcept { return discretizer_; }
+    bool fused_predict_active() const noexcept { return serving_state()->fused_predict; }
+    /// Current epoch's model/discretizer.  The references read through the
+    /// installed state: valid until the next swap_bundle() (hold
+    /// serving_state() instead when swaps may race).
+    const hdc::HdcModel& model() const noexcept { return serving_.load()->model; }
+    const hdc::MinMaxDiscretizer& discretizer() const noexcept {
+        return serving_.load()->discretizer;
+    }
 
     /// Total rows served by this session across all predict calls (atomic;
     /// approximate ordering under concurrency).
@@ -297,34 +379,56 @@ public:
     std::chrono::microseconds current_queue_delay() const;
 
 private:
+    friend class ShardRouter;  // swap_all rollback re-installs captured states
+
     struct WorkerState;
-    struct ServingState;
+    struct Runtime;
+
+    /// Validates and assembles one epoch of serving state under this
+    /// session's options (fused mode honored, product cache precomputed).
+    /// Throws ConfigError naming the violation; swap_bundle wraps that in
+    /// RotationError, the constructor lets it surface as-is.
+    std::shared_ptr<const ServingState> build_serving_state_(
+        std::uint64_t epoch, std::shared_ptr<const hdc::Encoder> encoder,
+        hdc::MinMaxDiscretizer discretizer, hdc::HdcModel model,
+        std::shared_ptr<const void> backing) const;
+    /// Installs an already-built state (the router's rollback path).
+    void install_serving_state_(std::shared_ptr<const ServingState> state) const noexcept {
+        serving_.store(std::move(state), std::memory_order_release);
+    }
 
     std::future<Response> submit_async_(Request request, std::uint32_t shard_id,
                                         bool blocking) const;
-    void predict_into_(const util::Matrix<float>& rows, std::span<int> out) const;
+    std::vector<int> predict_with_(const ServingState& state,
+                                   const util::Matrix<float>& rows) const;
+    void predict_into_(const ServingState& state, const util::Matrix<float>& rows,
+                       std::span<int> out) const;
     /// The one serving inner body (discretize -> encode -> classify) every
     /// path funnels through — predict_range_ per batch row, predict_row via
     /// a leased scratch — so they cannot diverge.
-    int predict_one_(std::span<const float> row, WorkerState& state) const;
-    void predict_range_(const util::Matrix<float>& rows, std::size_t begin, std::size_t end,
-                        std::span<int> out, WorkerState& state) const;
+    int predict_one_(const ServingState& state, std::span<const float> row,
+                     WorkerState& worker) const;
+    void predict_range_(const ServingState& state, const util::Matrix<float>& rows,
+                        std::size_t begin, std::size_t end, std::span<int> out,
+                        WorkerState& worker) const;
 
-    std::shared_ptr<const hdc::Encoder> encoder_;
-    hdc::MinMaxDiscretizer discretizer_;
-    hdc::HdcModel model_;
-    std::shared_ptr<const hdc::BoundProductCache> product_cache_;
     std::size_t n_threads_ = 1;
     std::size_t min_rows_per_thread_ = 16;
     DispatchMode dispatch_ = DispatchMode::pooled;
-    bool fused_predict_ = false;
     std::size_t max_batch_ = 256;
     std::chrono::microseconds max_queue_delay_{200};
     std::size_t max_queue_rows_ = 8192;
     bool adaptive_queue_delay_ = false;
+    /// Options a swap must re-apply when building the next epoch's state.
+    FusedPredict fused_mode_ = FusedPredict::auto_detect;
+    bool use_product_cache_ = false;
+    std::size_t product_cache_max_bytes_ = std::size_t{256} << 20;
+    /// The RCU cell: the current epoch's immutable serving state.  Readers
+    /// snapshot once per predict call; swap_bundle exchanges the pointer.
+    mutable std::atomic<std::shared_ptr<const ServingState>> serving_;
     /// Pool, slot-pinned worker scratch, leased caller scratch and the lazy
     /// async core live behind one stable pointer so moves stay cheap.
-    mutable std::unique_ptr<ServingState> state_;
+    mutable std::unique_ptr<Runtime> runtime_;
     mutable std::atomic<std::uint64_t> rows_served_{0};
     mutable std::atomic<std::int64_t> inflight_rows_{0};
 };

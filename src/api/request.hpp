@@ -131,6 +131,12 @@ struct Response {
     /// Which shard served (router) or 0 when submitted straight to a
     /// session.
     std::uint32_t shard_id = 0;
+    /// Bundle epoch of the serving state that resolved this request (see
+    /// InferenceSession::swap_bundle).  During a hot swap, concurrent
+    /// responses may carry either the old or the new epoch; labels are
+    /// always consistent with the stamped epoch's model.  0 for outcomes
+    /// decided at submit time (shed/expired/cancelled before enqueue).
+    std::uint64_t epoch = 0;
     /// Time the request sat between submit and dispatch.  Wall-clock
     /// telemetry: report it only under timing-stripped metrics.
     std::chrono::nanoseconds queue_time{0};

@@ -102,6 +102,31 @@ std::uint32_t ShardRouter::pick_shard_(const std::optional<std::uint64_t>& shard
     return static_cast<std::uint32_t>(round_robin_.fetch_add(1, std::memory_order_relaxed) % n);
 }
 
+std::uint64_t ShardRouter::swap_all(const BundleSnapshot& snapshot) const {
+    // Capture every shard's current state first: the rollback path must be
+    // able to restore shards 0..k-1 without re-validating anything.
+    std::vector<std::shared_ptr<const InferenceSession::ServingState>> previous;
+    previous.reserve(shards_.size());
+    for (const auto& shard : shards_) previous.push_back(shard->serving_state());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        try {
+            // Per-shard copy: each shard validates independently and owns
+            // its own product cache, exactly as at construction.
+            shards_[s]->swap_bundle(snapshot);
+        } catch (const Error& error) {
+            for (std::size_t r = 0; r < s; ++r) {
+                shards_[r]->install_serving_state_(previous[r]);
+            }
+            throw RotationError("ShardRouter::swap_all: shard " + std::to_string(s) +
+                                " refused the swap; rolled " + std::to_string(s) +
+                                " shard(s) back to epoch " +
+                                std::to_string(previous.empty() ? 0 : previous[0]->epoch) +
+                                ": " + error.what());
+        }
+    }
+    return snapshot.epoch;
+}
+
 std::size_t ShardRouter::inflight_rows() const noexcept {
     std::size_t total = 0;
     for (const auto& shard : shards_) total += shard->inflight_rows();

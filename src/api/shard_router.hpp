@@ -134,6 +134,17 @@ public:
     std::vector<int> predict(const util::Matrix<float>& rows) const;
     int predict_row(std::span<const float> row) const;
 
+    /// Rolls an epoch hot swap across every shard (see
+    /// InferenceSession::swap_bundle): each shard validates and installs the
+    /// snapshot in turn, old-epoch work finishing undisturbed.  If any
+    /// shard's validation fails, the shards already swapped are rolled back
+    /// to their previous serving state and RotationError (naming the
+    /// failing shard) is thrown — the fleet is never left serving a mix of
+    /// epochs after the call returns or throws.  During the roll itself a
+    /// brief mix of the two epochs is expected and safe (responses carry
+    /// Response::epoch).  Returns the installed epoch.
+    std::uint64_t swap_all(const BundleSnapshot& snapshot) const;
+
     std::size_t n_shards() const noexcept { return shards_.size(); }
     Placement placement() const noexcept { return options_.placement; }
     std::size_t shed_watermark_rows() const noexcept { return watermark_; }

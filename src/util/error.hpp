@@ -43,6 +43,22 @@ public:
     using Error::Error;
 };
 
+/// A key-rotation or epoch-swap step failed.  The contract is that the
+/// failure is *contained*: the previously installed epoch keeps serving and
+/// any bundle on disk is left intact (save_atomic never tears the target).
+class RotationError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Work was refused or abandoned because the owning component is shutting
+/// down — e.g. a predict_async future broken by destroying its session with
+/// requests still queued.
+class ShutdownError : public Error {
+public:
+    using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void contract_failure(const char* expr, const char* file, int line,

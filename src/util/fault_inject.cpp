@@ -1,0 +1,128 @@
+#include "util/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace hdlock::util::fault {
+
+namespace {
+
+struct Failpoint {
+    int skip = 0;      // hits to let pass before firing
+    int remaining = 0; // shots left once skipping is done
+    std::uint64_t hits = 0;
+};
+
+struct Registry {
+    util::Mutex mutex;
+    std::map<std::string, Failpoint, std::less<>> points HDLOCK_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+    static Registry instance;
+    return instance;
+}
+
+/// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_forced{-1};
+
+/// Number of armed failpoints; the disabled/idle fast path in should_fail
+/// is this load plus the enable check — no lock, no lookup.
+std::atomic<int> g_armed{0};
+
+bool env_enabled() {
+    static const bool value = [] {
+        // hdlock-lint: allow(nondeterminism) — a process-lifetime test-seam
+        // gate, read once; it can only turn failure injection on, never
+        // alter a served label.
+        const char* raw = std::getenv("HDLOCK_FAULT_INJECTION");
+        if (raw == nullptr) return false;
+        const std::string_view v(raw);
+        return v == "1" || v == "on" || v == "ON" || v == "true" || v == "TRUE";
+    }();
+    return value;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced >= 0) return forced != 0;
+    return env_enabled();
+}
+
+void force_enable(bool on) noexcept {
+    g_forced.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void arm(std::string_view point, int count, int skip) {
+    Registry& reg = registry();
+    const util::MutexLock lock(reg.mutex);
+    auto [it, inserted] = reg.points.insert_or_assign(
+        std::string(point), Failpoint{skip, count < 0 ? 0 : count, 0});
+    (void)it;
+    if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(std::string_view point) {
+    Registry& reg = registry();
+    const util::MutexLock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    if (it != reg.points.end()) {
+        reg.points.erase(it);
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void reset() noexcept {
+    Registry& reg = registry();
+    const util::MutexLock lock(reg.mutex);
+    g_armed.fetch_sub(static_cast<int>(reg.points.size()), std::memory_order_relaxed);
+    reg.points.clear();
+}
+
+bool should_fail(std::string_view point) noexcept {
+    if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+    if (!enabled()) return false;
+    Registry& reg = registry();
+    const util::MutexLock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    if (it == reg.points.end()) return false;
+    Failpoint& fp = it->second;
+    if (fp.skip > 0) {
+        --fp.skip;
+        return false;
+    }
+    if (fp.remaining <= 0) return false;
+    --fp.remaining;
+    ++fp.hits;
+    return true;
+}
+
+std::uint64_t hit_count(std::string_view point) {
+    Registry& reg = registry();
+    const util::MutexLock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+ScopedFault::ScopedFault(std::string_view point, int count, int skip)
+    : point_(point), was_forced_(g_forced.load(std::memory_order_relaxed) >= 0) {
+    force_enable(true);
+    arm(point_, count, skip);
+}
+
+ScopedFault::~ScopedFault() {
+    disarm(point_);
+    if (!was_forced_) g_forced.store(-1, std::memory_order_relaxed);
+}
+
+std::uint64_t ScopedFault::hits() const {
+    return hit_count(point_);
+}
+
+}  // namespace hdlock::util::fault

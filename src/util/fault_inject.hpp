@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file fault_inject.hpp
+/// Registry-driven failpoints: the test seam that proves failure paths.
+///
+/// Production code asks `should_fail("name")` at the few places where an
+/// external failure can strike (a short write, a failed fsync, a rename
+/// refused by the filesystem, a swap validation) and raises exactly the
+/// error a real failure would raise.  Tests arm the named failpoint, drive
+/// the operation, and assert the degraded-but-correct outcome — the old
+/// epoch keeps serving, the on-disk bundle stays intact, the error is typed.
+///
+/// Two gates keep this free in production:
+///   - the whole subsystem is off unless the HDLOCK_FAULT_INJECTION
+///     environment variable is set truthy ("1"/"on"/"ON"/"true") at first
+///     use, or a test calls force_enable(true);
+///   - `should_fail` is two relaxed atomic loads on the disabled path — no
+///     lock, no map lookup, no string hashing.
+///
+/// Failpoints are process-global (like the kernel-backend pin): one test
+/// process arms and fires them serially.  Deterministic eval scenarios must
+/// NOT arm failpoints — trials run concurrently and a name armed by one
+/// trial could fire in another; they provoke failures with invalid inputs
+/// instead.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hdlock::util::fault {
+
+/// True when the subsystem is active (env opt-in or force_enable(true)).
+bool enabled() noexcept;
+
+/// Test hook: overrides the environment gate for this process.  Pass true
+/// in a failpoint test's setup so the suite passes with or without
+/// HDLOCK_FAULT_INJECTION exported; pass false to restore the env verdict.
+void force_enable(bool on) noexcept;
+
+/// Arms `point` to fail `count` times after first letting `skip` hits pass
+/// through — skip targets "the Nth call", e.g. shard 2 of a rolling swap.
+void arm(std::string_view point, int count = 1, int skip = 0);
+
+/// Disarms one failpoint (no-op when it is not armed).
+void disarm(std::string_view point);
+
+/// Disarms everything and clears hit counters.
+void reset() noexcept;
+
+/// The production-side probe: true when the subsystem is enabled and
+/// `point` is armed with shots remaining.  Counts every call against the
+/// skip/count budget and records hits.
+bool should_fail(std::string_view point) noexcept;
+
+/// Times `point` fired (returned true) since the last reset().
+std::uint64_t hit_count(std::string_view point);
+
+/// RAII arm: enables the subsystem, arms the failpoint for the scope, and
+/// disarms + restores the enable override on destruction.  The unit-test
+/// idiom — a throwing assertion cannot leave the process armed.
+class ScopedFault {
+public:
+    explicit ScopedFault(std::string_view point, int count = 1, int skip = 0);
+    ~ScopedFault();
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+    /// Times the guarded failpoint fired so far.
+    std::uint64_t hits() const;
+
+private:
+    std::string point_;
+    bool was_forced_;
+};
+
+// The failpoint registry: every probe site spells its name from here, so a
+// test arming a point cannot drift from the code that checks it.
+inline constexpr std::string_view kBundleShortWrite = "bundle.save_atomic.short_write";
+inline constexpr std::string_view kBundleFsync = "bundle.save_atomic.fsync";
+inline constexpr std::string_view kBundleRename = "bundle.save_atomic.rename";
+inline constexpr std::string_view kBundleCorruptHeader = "bundle.load.corrupt_header";
+inline constexpr std::string_view kSwapValidate = "session.swap.validate";
+
+}  // namespace hdlock::util::fault

@@ -1,8 +1,11 @@
 #include "util/mapped_file.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <new>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -22,11 +25,21 @@ namespace {
 
 constexpr std::size_t kAlignment = 64;
 
+/// errno rendered for exception messages, e.g. " (errno 2, No such file or
+/// directory)".  Captured at the call site of the failing syscall.
+std::string errno_detail() {
+    const int code = errno;
+    return " (errno " + std::to_string(code) + ", " + std::strerror(code) + ")";
+}
+
 /// Reads the whole file into a 64-byte-aligned heap buffer (the portable
 /// fallback and the empty-file case — mmap rejects zero-length mappings).
 const std::byte* read_whole_file(const std::filesystem::path& path, std::size_t& size_out) {
+    errno = 0;
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in) throw IoError("MappedFile: cannot open for reading: " + path.string());
+    if (!in) {
+        throw IoError("MappedFile: cannot open for reading: " + path.string() + errno_detail());
+    }
     const std::streamoff size = in.tellg();
     if (size < 0) throw IoError("MappedFile: cannot size: " + path.string());
     in.seekg(0);
@@ -54,11 +67,14 @@ MappedFile MappedFile::open_buffered(const std::filesystem::path& path) {
 MappedFile MappedFile::open(const std::filesystem::path& path, Advice advice) {
 #if HDLOCK_HAVE_MMAP
     const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) throw IoError("MappedFile: cannot open for reading: " + path.string());
+    if (fd < 0) {
+        throw IoError("MappedFile: cannot open for reading: " + path.string() + errno_detail());
+    }
     struct stat status {};
     if (::fstat(fd, &status) != 0 || status.st_size < 0) {
+        const std::string detail = errno_detail();
         ::close(fd);
-        throw IoError("MappedFile: cannot stat: " + path.string());
+        throw IoError("MappedFile: cannot stat: " + path.string() + detail);
     }
     const auto size = static_cast<std::size_t>(status.st_size);
     if (size == 0) {

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <system_error>
+
+#include "util/fault_inject.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace hdlock::util {
 
@@ -153,6 +163,101 @@ std::string BinaryReader::read_string() {
     std::string s(static_cast<std::size_t>(n), '\0');
     read_bytes(std::as_writable_bytes(std::span<char>(s.data(), s.size())));
     return s;
+}
+
+// ---------------------------------------------------------------------------
+// atomic_file_write
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string errno_detail() {
+    const int code = errno;
+    return " (errno " + std::to_string(code) + ", " + std::strerror(code) + ")";
+}
+
+/// fsync(2) the given path (a file or directory); throws IoError unless the
+/// platform has no fsync, where durability falls back to the OS cache.
+void fsync_path(const std::filesystem::path& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+    const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) {
+        throw IoError("atomic_file_write: cannot open for fsync: " + path.string() +
+                      errno_detail());
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0 || fault::should_fail(fault::kBundleFsync)) {
+        throw IoError("atomic_file_write: fsync failed: " + path.string() +
+                      (rc != 0 ? errno_detail() : " (fault injected)"));
+    }
+#else
+    (void)path;
+    (void)directory;
+    if (fault::should_fail(fault::kBundleFsync)) {
+        throw IoError("atomic_file_write: fsync failed: " + path.string() + " (fault injected)");
+    }
+#endif
+}
+
+}  // namespace
+
+void atomic_file_write(const std::filesystem::path& path,
+                       const std::function<void(BinaryWriter&)>& write_fn) {
+    // Serialize to memory first: the temp file then receives the payload in
+    // one write, so a short write is the only mid-file failure mode — and it
+    // hits the temp, never `path`.
+    std::ostringstream buffer(std::ios::binary);
+    BinaryWriter writer(buffer);
+    write_fn(writer);
+    const std::string payload = std::move(buffer).str();
+
+    const std::filesystem::path temp = path.string() + ".tmp";
+    struct TempGuard {
+        const std::filesystem::path& temp;
+        bool keep = false;
+        ~TempGuard() {
+            if (!keep) {
+                std::error_code discard;
+                std::filesystem::remove(temp, discard);
+            }
+        }
+    } guard{temp};
+
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw IoError("atomic_file_write: cannot open for writing: " + temp.string() +
+                          errno_detail());
+        }
+        std::size_t n = payload.size();
+        if (fault::should_fail(fault::kBundleShortWrite)) n /= 2;  // tear the *temp* only
+        out.write(payload.data(), static_cast<std::streamsize>(n));
+        out.flush();
+        if (!out || n != payload.size()) {
+            throw IoError("atomic_file_write: short write: " + temp.string() +
+                          (n != payload.size() ? " (fault injected)" : errno_detail()));
+        }
+    }
+    fsync_path(temp, /*directory=*/false);
+
+    if (fault::should_fail(fault::kBundleRename)) {
+        throw IoError("atomic_file_write: rename failed: " + temp.string() + " -> " +
+                      path.string() + " (fault injected)");
+    }
+    std::error_code rename_error;
+    std::filesystem::rename(temp, path, rename_error);
+    if (rename_error) {
+        throw IoError("atomic_file_write: rename failed: " + temp.string() + " -> " +
+                      path.string() + " (" + rename_error.message() + ")");
+    }
+    guard.keep = true;
+    // Persist the directory entry; the parent of a relative bare filename is
+    // the working directory.
+    const std::filesystem::path parent =
+        path.has_parent_path() ? path.parent_path() : std::filesystem::path(".");
+    fsync_path(parent, /*directory=*/true);
 }
 
 }  // namespace hdlock::util

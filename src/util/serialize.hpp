@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -133,6 +134,23 @@ T load_file(const std::filesystem::path& path) {
     if (!in) throw IoError("cannot open for reading: " + path.string());
     BinaryReader reader(in);
     return T::load(reader);
+}
+
+/// Crash-safe replace of `path`: `write_fn` serializes into a sibling
+/// temporary (`<path>.tmp`), the temp is flushed and fsync'd, then renamed
+/// over `path` and the directory fsync'd — a crash or failure at any point
+/// leaves either the old file or the new file, never a torn mix.  On any
+/// failure the temp is removed and IoError (with errno detail) is thrown;
+/// the target is untouched.  Failpoints (util/fault_inject.hpp):
+/// bundle.save_atomic.{short_write,fsync,rename}.
+void atomic_file_write(const std::filesystem::path& path,
+                       const std::function<void(BinaryWriter&)>& write_fn);
+
+/// atomic_file_write over the save(BinaryWriter&) convention, i.e. the
+/// crash-safe sibling of save_file().
+template <typename T>
+void save_file_atomic(const T& object, const std::filesystem::path& path) {
+    atomic_file_write(path, [&object](BinaryWriter& writer) { object.save(writer); });
 }
 
 }  // namespace hdlock::util

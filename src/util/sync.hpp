@@ -149,6 +149,11 @@ inline ThreadId this_thread_id() noexcept { return std::this_thread::get_id(); }
 /// Polite spin-wait helper for tests.
 inline void yield_now() noexcept { std::this_thread::yield(); }
 
+/// Sleep wrapper so layers above util never touch std::this_thread directly.
+inline void sleep_for(std::chrono::microseconds duration) {
+    std::this_thread::sleep_for(duration);
+}
+
 /// std::thread::hardware_concurrency clamped to at least 1 (the standard
 /// allows it to return 0) — the one place that query lives, so layers above
 /// util never need the raw std::thread type.

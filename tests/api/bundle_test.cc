@@ -272,13 +272,13 @@ std::size_t find_tag(const std::string& bytes, std::string_view tag) {
 
 }  // namespace
 
-TEST(DeploymentBundleV2, WritesVersion2WithAlignedSections) {
+TEST(DeploymentBundleV2, WritesVersion3WithAlignedSections) {
     const std::string bytes = serialize(trained_owner_bundle().export_device());
     ASSERT_GE(bytes.size(), 8u);
     EXPECT_EQ(bytes.substr(0, 4), "HDLK");
     std::uint32_t version = 0;
     std::memcpy(&version, bytes.data() + 4, sizeof(version));
-    EXPECT_EQ(version, 2u);
+    EXPECT_EQ(version, 3u);
     // The bulk sections live behind "PUB2"/"SEN2"/"MDL2" headers.
     EXPECT_NE(find_tag(bytes, "PUB2"), std::string::npos);
     EXPECT_NE(find_tag(bytes, "SEN2"), std::string::npos);

@@ -1,0 +1,130 @@
+// Tests for the failpoint registry (src/util/fault_inject.*): the enable
+// gates, arm/skip/count accounting, ScopedFault hygiene, and the crash-safe
+// atomic_file_write seam the bundle failpoints hook into.
+
+#include "util/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace hdlock;
+namespace fault = util::fault;
+
+std::filesystem::path temp_path(const std::string& name) {
+    return std::filesystem::temp_directory_path() / name;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Each test leaves the process-global registry exactly as it found it.
+class FaultInject : public ::testing::Test {
+protected:
+    void TearDown() override {
+        fault::reset();
+        fault::force_enable(false);
+    }
+};
+
+TEST_F(FaultInject, DisarmedPointsNeverFire) {
+    EXPECT_FALSE(fault::should_fail("nothing.armed.here"));
+    fault::force_enable(true);
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_FALSE(fault::should_fail("nothing.armed.here"));
+}
+
+TEST_F(FaultInject, ArmedPointNeedsTheEnableGate) {
+    // arm() without the env/force gate: the probe must stay cold — a stray
+    // armed name cannot perturb a production process.
+    fault::arm("gate.test", 1);
+    if (!fault::enabled()) {
+        EXPECT_FALSE(fault::should_fail("gate.test"));
+        fault::force_enable(true);
+    }
+    EXPECT_TRUE(fault::should_fail("gate.test"));
+}
+
+TEST_F(FaultInject, CountAndSkipBudgetsAreExact) {
+    fault::force_enable(true);
+    fault::arm("budget.test", /*count=*/2, /*skip=*/3);
+    // Three skipped hits, two failures, then permanently exhausted.
+    for (int i = 0; i < 3; ++i) EXPECT_FALSE(fault::should_fail("budget.test"));
+    EXPECT_TRUE(fault::should_fail("budget.test"));
+    EXPECT_TRUE(fault::should_fail("budget.test"));
+    EXPECT_FALSE(fault::should_fail("budget.test"));
+    EXPECT_EQ(fault::hit_count("budget.test"), 2u);
+}
+
+TEST_F(FaultInject, ScopedFaultDisarmsOnExit) {
+    {
+        fault::ScopedFault guard(fault::kSwapValidate);
+        EXPECT_TRUE(fault::enabled());
+        EXPECT_TRUE(fault::should_fail(fault::kSwapValidate));
+        EXPECT_EQ(guard.hits(), 1u);
+    }
+    EXPECT_FALSE(fault::should_fail(fault::kSwapValidate));
+}
+
+// ---------------------------------------------------------------------------
+// The atomic_file_write seam: every injected filesystem failure must leave
+// the previous file intact and no temp debris behind.
+// ---------------------------------------------------------------------------
+
+class AtomicFileWrite : public FaultInject {};
+
+TEST_F(AtomicFileWrite, WritesAndRenamesOnTheHappyPath) {
+    const auto path = temp_path("hdlock_atomic_write_ok.bin");
+    util::atomic_file_write(path, [](util::BinaryWriter& writer) {
+        writer.write_tag("GOOD");
+        writer.write_u64(42);
+    });
+    EXPECT_EQ(read_file(path).substr(0, 4), "GOOD");
+    EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+    std::filesystem::remove(path);
+}
+
+TEST_F(AtomicFileWrite, EveryInjectedFaultPreservesThePreviousFile) {
+    const auto path = temp_path("hdlock_atomic_write_fault.bin");
+    util::atomic_file_write(path, [](util::BinaryWriter& writer) { writer.write_tag("OLD1"); });
+    const std::string before = read_file(path);
+
+    for (const auto point :
+         {fault::kBundleShortWrite, fault::kBundleFsync, fault::kBundleRename}) {
+        fault::ScopedFault guard(point);
+        EXPECT_THROW(util::atomic_file_write(
+                         path, [](util::BinaryWriter& writer) { writer.write_tag("NEW1"); }),
+                     IoError)
+            << "failpoint " << point;
+        EXPECT_EQ(guard.hits(), 1u) << "failpoint " << point;
+        // The previous artifact is untouched and the temp was cleaned up.
+        EXPECT_EQ(read_file(path), before) << "failpoint " << point;
+        EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp")) << "failpoint " << point;
+    }
+
+    // With the faults gone the same write goes through.
+    util::atomic_file_write(path, [](util::BinaryWriter& writer) { writer.write_tag("NEW1"); });
+    EXPECT_EQ(read_file(path).substr(0, 4), "NEW1");
+    std::filesystem::remove(path);
+}
+
+TEST_F(AtomicFileWrite, BareFilenameTargetsTheWorkingDirectory) {
+    // The parent-directory fsync must cope with a path that has no parent.
+    const std::string name = "hdlock_atomic_write_bare.bin";
+    util::atomic_file_write(name, [](util::BinaryWriter& writer) { writer.write_tag("BARE"); });
+    EXPECT_EQ(read_file(name).substr(0, 4), "BARE");
+    std::filesystem::remove(name);
+}
+
+}  // namespace

@@ -14,6 +14,10 @@
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
@@ -82,6 +86,65 @@ TEST(MappedFile, EmptyFileAndMissingFile) {
 
     EXPECT_THROW(util::MappedFile::open(temp_path("hdlock_no_such_file.bin")), IoError);
     EXPECT_THROW(util::MappedFile::open_buffered(temp_path("hdlock_no_such_file.bin")), IoError);
+}
+
+TEST(MappedFile, MissingFileErrorNamesThePathAndErrno) {
+    // Ops triage lives and dies on this message: which file, and why.
+    const auto path = temp_path("hdlock_mapped_file_enoent_test.bin");
+    for (const bool buffered : {false, true}) {
+        try {
+            if (buffered) {
+                (void)util::MappedFile::open_buffered(path);
+            } else {
+                (void)util::MappedFile::open(path);
+            }
+            FAIL() << "open of a missing file must throw (buffered=" << buffered << ")";
+        } catch (const IoError& error) {
+            const std::string what = error.what();
+            EXPECT_NE(what.find(path.string()), std::string::npos) << what;
+            EXPECT_NE(what.find("errno"), std::string::npos) << what;
+            EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+        }
+    }
+}
+
+TEST(MappedFile, UnreadableFileErrorCarriesPermissionDetail) {
+#if defined(__unix__) || defined(__APPLE__)
+    if (::geteuid() == 0) {
+        GTEST_SKIP() << "running as root: chmod 000 does not make files unreadable";
+    }
+    const auto path = temp_path("hdlock_mapped_file_unreadable_test.bin");
+    write_file(path, "secret");
+    std::filesystem::permissions(path, std::filesystem::perms::none);
+    try {
+        (void)util::MappedFile::open(path);
+        FAIL() << "open of an unreadable file must throw";
+    } catch (const IoError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(path.string()), std::string::npos) << what;
+        EXPECT_NE(what.find("errno"), std::string::npos) << what;
+    }
+    std::filesystem::permissions(path, std::filesystem::perms::owner_all);
+    std::filesystem::remove(path);
+#else
+    GTEST_SKIP() << "permission-bit semantics are POSIX-specific";
+#endif
+}
+
+TEST(MappedFile, ZeroLengthFileRoundTripsThroughBothModes) {
+    const auto path = temp_path("hdlock_mapped_file_zero_test.bin");
+    write_file(path, "");
+    // mmap rejects zero-length mappings, so open() must take the buffered
+    // fallback — and both modes must agree on the (empty) contents.
+    const auto mapped = util::MappedFile::open(path);
+    const auto buffered = util::MappedFile::open_buffered(path);
+    EXPECT_EQ(mapped.size(), 0u);
+    EXPECT_EQ(buffered.size(), 0u);
+    EXPECT_TRUE(mapped.bytes().empty());
+    // A reader over the empty mapping reports clean truncation, not UB.
+    util::BinaryReader reader(mapped.bytes());
+    EXPECT_THROW(reader.read_u32(), FormatError);
+    std::filesystem::remove(path);
 }
 
 TEST(MappedFile, MoveTransfersOwnership) {

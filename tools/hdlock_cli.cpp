@@ -18,6 +18,9 @@
 ///   train     --dir D --data train.csv [--kind binary|nonbinary]
 ///             [--epochs E]                   fit model; refresh device.hdlk
 ///   export    --dir D                        (re)write device.hdlk
+///   rotate    --dir D --data train.csv [--seed S] [--kind K] [--epochs E]
+///                                            rekey + retrain + epoch bump;
+///                                            atomic rewrite of both bundles
 ///   eval      --dir D --data test.csv [--side auto|owner|device]
 ///             [--threads T] [--mmap on|off]
 ///             [--shards N] [--placement P]   batched accuracy via
@@ -128,6 +131,32 @@ int cmd_train(const Args& args) {
               << util::format_fixed(train_accuracy, 4) << "\n"
               << "wrote " << paths.owner.string() << " and key-free " << paths.device.string()
               << "\n";
+    return 0;
+}
+
+int cmd_rotate(const Args& args) {
+    args.check_known("rotate", {"dir", "data", "kind", "epochs", "seed"});
+    const Paths paths{fs::path(args.require("dir"))};
+    const auto dataset = data::load_csv(args.require("data"));
+
+    api::Owner owner = api::Owner::load(paths.owner);
+    api::RotateOptions options;
+    options.seed = args.get_u64("seed", 1);
+    options.train.kind = parse_kind(args.get("kind", "binary"));
+    options.train.retrain_epochs = static_cast<int>(args.get_u64("epochs", 10));
+    const api::RotationReport report = owner.rotate(dataset, options);
+
+    // Crash-safe rewrites: a power cut mid-rotation must leave both
+    // artifacts at the previous epoch, never torn.
+    owner.save_atomic(paths.owner);
+    owner.export_device_atomic(paths.device);
+    std::cout << "rotated key: epoch " << report.previous_epoch << " -> " << report.epoch
+              << "; retrained on " << dataset.n_samples() << " samples, train accuracy "
+              << util::format_fixed(report.train_accuracy, 4) << "\n"
+              << "wrote " << paths.owner.string() << " and key-free " << paths.device.string()
+              << " (atomic rename)\n"
+              << "live fleets pick up epoch " << report.epoch
+              << " via InferenceSession::swap_bundle / ShardRouter::swap_all\n";
     return 0;
 }
 
@@ -304,7 +333,7 @@ int cmd_complexity(const Args& args) {
 
 int usage(std::ostream& out, int code) {
     out << "hdlock_cli -- HDLock deployment toolkit (.hdlk bundles)\n"
-           "usage: hdlock_cli <provision|audit|train|export|eval|attack|complexity> [--flags]\n"
+           "usage: hdlock_cli <provision|audit|train|export|rotate|eval|attack|complexity> [--flags]\n"
            "see the header comment of tools/hdlock_cli.cpp for per-command flags\n";
     return code;
 }
@@ -321,6 +350,7 @@ int main(int argc, char** argv) {
         if (command == "audit") return cmd_audit(args);
         if (command == "train") return cmd_train(args);
         if (command == "export") return cmd_export(args);
+        if (command == "rotate") return cmd_rotate(args);
         if (command == "eval") return cmd_eval(args);
         if (command == "attack") return cmd_attack(args);
         if (command == "complexity") return cmd_complexity(args);
